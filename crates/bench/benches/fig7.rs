@@ -1,0 +1,29 @@
+//! Figure 7 pipeline benchmark: acquisition cost as components are
+//! consecutively enabled (the axis of the component-contribution figure).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use webiq::core::{Components, WebIQConfig};
+use webiq::pipeline::DomainPipeline;
+
+fn bench_components(c: &mut Criterion) {
+    let p = DomainPipeline::build("auto", 0x1ce0).expect("domain");
+    let cfg = WebIQConfig::default();
+    let stages: [(&str, Components); 3] = [
+        ("surface", Components::SURFACE),
+        ("surface_deep", Components::SURFACE_DEEP),
+        ("all", Components::ALL),
+    ];
+    let mut group = c.benchmark_group("fig7/auto");
+    group.sample_size(10);
+    for (name, components) in stages {
+        group.bench_function(name, |b| b.iter(|| black_box(p.acquire(components, &cfg))));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_components
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Micro-benchmarks of the hot substrate operations: POS tagging, label
+//! classification, stemming, search-engine queries, PMI validation,
+//! outlier removal, naive-Bayes training, HTML form extraction, and the
+//! pairwise similarity the matcher computes O(n²) times.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use webiq::core::{patterns, verify};
+use webiq::data::{corpus, kb};
+use webiq::html::form::extract_forms;
+use webiq::matcher::{similarity, MatchAttribute, MatchConfig};
+use webiq::nlp::{chunk, pos, stem};
+use webiq::stats::{bayes::NaiveBayes, outlier};
+use webiq::web::{gen, GenConfig, SearchEngine};
+
+fn engine() -> SearchEngine {
+    let def = kb::domain("airfare").expect("domain");
+    SearchEngine::new(gen::generate(&corpus::concept_specs(def), &GenConfig::default()))
+}
+
+fn bench_nlp(c: &mut Criterion) {
+    c.bench_function("nlp/pos_tag_sentence", |b| {
+        b.iter(|| pos::tag(black_box("Popular departure cities such as Boston, Chicago, and LAX are listed on this page")))
+    });
+    c.bench_function("nlp/classify_label", |b| {
+        b.iter(|| chunk::classify_label(black_box("Class of service")))
+    });
+    c.bench_function("nlp/porter_stem", |b| {
+        b.iter(|| stem::stem(black_box("internationalization")))
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let e = engine();
+    c.bench_function("web/num_hits_keyword", |b| {
+        // bypass the memo: alternate two queries
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            e.num_hits(black_box(if flip { "boston" } else { "chicago" }))
+        })
+    });
+    c.bench_function("web/num_hits_phrase", |b| {
+        b.iter(|| e.num_hits(black_box("\"departure cities such as\" +airfare")))
+    });
+    c.bench_function("web/search_top10", |b| {
+        b.iter(|| e.search(black_box("\"cities such as\" +airfare"), 10))
+    });
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let e = engine();
+    let np = webiq::core::extract::primary_noun_phrase("Airline").expect("np");
+    let phrases = patterns::validation_phrases("Airline", Some(&np));
+    c.bench_function("core/validation_vector", |b| {
+        b.iter(|| verify::validation_vector(&e, &phrases, black_box("Delta"), true))
+    });
+
+    let candidates: Vec<String> = kb::pools::CITIES.iter().map(|s| s.to_string()).collect();
+    c.bench_function("stats/outlier_removal_45", |b| {
+        b.iter(|| outlier::remove_outliers(black_box(&candidates)))
+    });
+
+    let examples: Vec<(Vec<bool>, bool)> = (0..40)
+        .map(|i| (vec![i % 2 == 0, i % 3 == 0, i % 5 == 0], i % 2 == 0))
+        .collect();
+    c.bench_function("stats/naive_bayes_train_40", |b| {
+        b.iter(|| NaiveBayes::train(black_box(&examples)).expect("train"))
+    });
+}
+
+fn bench_html(c: &mut Criterion) {
+    let def = kb::domain("airfare").expect("domain");
+    let ds = webiq::data::generate_domain(def, &webiq::data::GenOptions::default());
+    let html = ds.interfaces[0].to_html();
+    c.bench_function("html/extract_form", |b| b.iter(|| extract_forms(black_box(&html))));
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let a = MatchAttribute {
+        r: (0, 0),
+        label: "Departure city".into(),
+        values: kb::pools::CITIES.iter().take(10).map(|s| s.to_string()).collect(),
+    };
+    let b_attr = MatchAttribute {
+        r: (1, 0),
+        label: "From city".into(),
+        values: kb::pools::CITIES.iter().skip(5).take(10).map(|s| s.to_string()).collect(),
+    };
+    let cfg = MatchConfig::default();
+    c.bench_function("match/pairwise_similarity", |b| {
+        b.iter(|| similarity(black_box(&a), black_box(&b_attr), &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_nlp, bench_engine, bench_verification, bench_html, bench_similarity
+}
+criterion_main!(benches);

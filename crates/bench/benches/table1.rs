@@ -1,0 +1,46 @@
+//! Table 1 pipeline benchmark: dataset generation + characteristics
+//! (columns 2–5) and the instance-acquisition passes behind columns 6–7.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use webiq::core::{Components, WebIQConfig};
+use webiq::data::stats::characteristics;
+use webiq::data::{generate_domain, kb, GenOptions};
+use webiq::pipeline::DomainPipeline;
+
+fn bench_characteristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/columns2-5");
+    for key in ["airfare", "book"] {
+        let def = kb::domain(key).expect("domain");
+        group.bench_function(key, |b| {
+            b.iter(|| {
+                let ds = generate_domain(def, &GenOptions::default());
+                black_box(characteristics(&ds, def))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_acquisition_success(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/columns6-7");
+    group.sample_size(10);
+    // one fast domain and one borrow-heavy domain
+    for key in ["book", "auto"] {
+        let p = DomainPipeline::build(key, 0x1ce0).expect("domain");
+        let cfg = WebIQConfig::default();
+        group.bench_function(format!("{key}/surface_only"), |b| {
+            b.iter(|| black_box(p.acquire(Components::SURFACE, &cfg)))
+        });
+        group.bench_function(format!("{key}/surface_plus_deep"), |b| {
+            b.iter(|| black_box(p.acquire(Components::SURFACE_DEEP, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_characteristics, bench_acquisition_success
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Reproduce the paper's evaluation (§6): Table 1 and Figures 6–8, plus
+//! the design-choice ablations.
+//!
+//! ```sh
+//! cargo run --release -p webiq-bench --bin experiments            # everything
+//! cargo run --release -p webiq-bench --bin experiments table1     # one artifact
+//! cargo run --release -p webiq-bench --bin experiments fig6 fig7
+//! cargo run --release -p webiq-bench --bin experiments -- --seed 7 fig6
+//! ```
+
+use webiq_bench::{experiments, render};
+
+fn main() {
+    let mut seed = experiments::SEED;
+    let mut json = false;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = args.next().unwrap_or_default();
+                seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --seed value {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [--seed N] [--json] \
+                     [table1|fig6|fig7|fig8|ablations|learned|weights]..."
+                );
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    let all = wanted.is_empty();
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+
+    if json {
+        let mut out = serde_json::Map::new();
+        out.insert("seed".into(), seed.into());
+        if want("table1") {
+            out.insert("table1".into(), to_json(&experiments::table1(seed)));
+        }
+        if want("fig6") {
+            out.insert("fig6".into(), to_json(&experiments::fig6(seed)));
+        }
+        if want("fig7") {
+            out.insert("fig7".into(), to_json(&experiments::fig7(seed)));
+        }
+        if want("fig8") {
+            out.insert("fig8".into(), to_json(&experiments::fig8(seed)));
+        }
+        if want("ablations") {
+            out.insert("ablations".into(), to_json(&experiments::ablations(seed)));
+        }
+        if want("learned") {
+            out.insert("learned".into(), to_json(&experiments::learned_thresholds(seed)));
+        }
+        if want("weights") {
+            out.insert("weights".into(), to_json(&experiments::weights(seed)));
+        }
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::Value::Object(out))
+                .expect("rows serialise")
+        );
+        return;
+    }
+
+    println!("WebIQ evaluation (seed {seed:#x}); every run is deterministic in the seed.\n");
+    if want("table1") {
+        println!("{}", render::table1(&experiments::table1(seed)));
+    }
+    if want("fig6") {
+        println!("{}", render::fig6(&experiments::fig6(seed)));
+    }
+    if want("fig7") {
+        println!("{}", render::fig7(&experiments::fig7(seed)));
+    }
+    if want("fig8") {
+        println!("{}", render::fig8(&experiments::fig8(seed)));
+    }
+    if want("ablations") {
+        println!("{}", render::ablations(&experiments::ablations(seed)));
+    }
+    if want("learned") {
+        println!("{}", render::learned(&experiments::learned_thresholds(seed)));
+    }
+    if want("weights") {
+        println!("{}", render::weights(&experiments::weights(seed)));
+    }
+}
+
+fn to_json<T: serde::Serialize>(rows: &[T]) -> serde_json::Value {
+    serde_json::to_value(rows).expect("experiment rows serialise")
+}

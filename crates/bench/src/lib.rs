@@ -1,0 +1,9 @@
+//! # webiq-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§6) over
+//! the simulated substrates, plus the ablations DESIGN.md calls out. The
+//! [`experiments`] functions return plain data; the `experiments` binary
+//! renders them, and the Criterion benches time the underlying pipelines.
+
+pub mod experiments;
+pub mod render;

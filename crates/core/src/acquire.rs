@@ -1,0 +1,552 @@
+//! The §5 acquisition strategy: how WebIQ's three components are combined
+//! to gather instances for every attribute across a domain's interfaces.
+//!
+//! Per attribute X₁:
+//! 1. **no instances** → discover from the Surface Web (Surface). If fewer
+//!    than k instances were gathered, borrow from other attributes and
+//!    validate via the Deep Web (Attr-Deep) by probing X₁'s own source.
+//! 2. **pre-defined instances** → borrow from other attributes and
+//!    validate via the Surface Web (Attr-Surface); the Deep Web cannot be
+//!    used because X₁ only accepts its pre-defined values.
+//!
+//! Borrowing is pre-filtered (§5): for case 1 the candidate's label must
+//! resemble X₁'s (unless X₁'s label carries no content words at all — the
+//! `From`-style labels for which only probing can decide) and its domain
+//! must differ from every instance-bearing sibling on X₁'s interface; for
+//! case 2 the candidate must share at least one very similar value with
+//! X₁'s domain.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use webiq_data::interface::{AttrRef, Dataset};
+use webiq_data::DomainDef;
+use webiq_deep::DeepSource;
+use webiq_match::domsim;
+use webiq_match::labelsim;
+use webiq_web::SearchEngine;
+
+use crate::attr_deep;
+use crate::attr_surface;
+use crate::config::{Components, WebIQConfig};
+use crate::extract::DomainInfo;
+use crate::surface;
+
+/// Per-component accounting for the overhead analysis (Fig. 8).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ComponentCost {
+    /// Wall-clock seconds spent in the component.
+    pub secs: f64,
+    /// Search-engine queries issued (search + hit-count calls).
+    pub engine_queries: u64,
+    /// Deep-Web probe submissions issued.
+    pub probes: u64,
+}
+
+/// Acquisition statistics and costs.
+#[derive(Debug, Clone, Default)]
+pub struct AcquisitionReport {
+    /// Attributes that had no pre-defined instances.
+    pub no_inst_attrs: usize,
+    /// Of those, how many reached k instances with Surface alone
+    /// (Table 1, column 6).
+    pub surface_success: usize,
+    /// Of those, how many reached k after Surface + Deep-validated
+    /// borrowing (Table 1, column 7).
+    pub surface_deep_success: usize,
+    /// Attributes with pre-defined instances that gained at least one
+    /// borrowed instance through Attr-Surface.
+    pub attr_surface_enriched: usize,
+    /// Cost of the Surface component.
+    pub surface_cost: ComponentCost,
+    /// Cost of the Attr-Surface component.
+    pub attr_surface_cost: ComponentCost,
+    /// Cost of the Attr-Deep component.
+    pub attr_deep_cost: ComponentCost,
+}
+
+impl AcquisitionReport {
+    /// Surface-only success rate over instance-less attributes (%).
+    pub fn surface_success_rate(&self) -> f64 {
+        percent(self.surface_success, self.no_inst_attrs)
+    }
+
+    /// Surface + Deep success rate over instance-less attributes (%).
+    pub fn surface_deep_success_rate(&self) -> f64 {
+        percent(self.surface_deep_success, self.no_inst_attrs)
+    }
+}
+
+fn percent(n: usize, of: usize) -> f64 {
+    if of == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / of as f64
+    }
+}
+
+/// The outcome of running acquisition over a dataset.
+#[derive(Debug, Clone, Default)]
+pub struct Acquisition {
+    /// Instances acquired per attribute (beyond its pre-defined ones).
+    pub acquired: BTreeMap<AttrRef, Vec<String>>,
+    /// Statistics and per-component costs.
+    pub report: AcquisitionReport,
+}
+
+impl Acquisition {
+    /// The acquired instances for an attribute (empty slice if none).
+    pub fn instances_for(&self, r: AttrRef) -> &[String] {
+        self.acquired.get(&r).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Case-insensitive containment check.
+fn contains_ci(haystack: &[String], needle: &str) -> bool {
+    haystack.iter().any(|h| h.eq_ignore_ascii_case(needle))
+}
+
+/// Content keywords from the labels of the other attributes on X₁'s
+/// interface — the `+title +isbn` material of §2.1's query scoping.
+fn sibling_terms(ds: &Dataset, r1: AttrRef) -> Vec<String> {
+    let mut out = Vec::new();
+    for (j, a) in ds.interfaces[r1.0].attributes.iter().enumerate() {
+        if j == r1.1 {
+            continue;
+        }
+        for word in webiq_nlp::words_lower(&a.label) {
+            if !webiq_nlp::stopwords::is_stopword(&word) && !out.contains(&word) {
+                out.push(word);
+                break; // one keyword per sibling label, like the paper
+            }
+        }
+    }
+    out
+}
+
+/// Borrow candidates for an instance-less attribute (§5 case 1), ordered
+/// by descending label similarity: candidates must have instances, live on
+/// a different interface, carry a similar label (unless X₁'s label has no
+/// content words), and their domain must differ from every instance-bearing
+/// sibling on X₁'s interface. When the label filter eliminates everything
+/// (hard-synonym labels), it is dropped and probing decides.
+pub fn case1_candidates(
+    ds: &Dataset,
+    r1: AttrRef,
+    label: &str,
+    cfg: &WebIQConfig,
+) -> Vec<AttrRef> {
+    let label_vec_empty = labelsim::label_vector(label).is_empty();
+    let siblings: Vec<&Vec<String>> = ds.interfaces[r1.0]
+        .attributes
+        .iter()
+        .enumerate()
+        .filter(|(j, a)| *j != r1.1 && a.has_instances())
+        .map(|(_, a)| &a.instances)
+        .collect();
+
+    let collect = |use_label_filter: bool| {
+        let mut scored: Vec<(f64, AttrRef)> = Vec::new();
+        for (ri, ai) in ds.attributes() {
+            if ri.0 == r1.0 || !ai.has_instances() {
+                continue;
+            }
+            let ls = labelsim::label_sim(label, &ai.label);
+            if cfg.borrow_prefilter {
+                // Labels must be similar — unless X₁'s label has no content
+                // words (bare prepositions), where only probing can decide.
+                if use_label_filter && !label_vec_empty && ls < cfg.borrow_label_sim {
+                    continue;
+                }
+                // The candidate's domain must differ from every
+                // instance-bearing sibling of X₁ (if a sibling already
+                // covers that domain, X₁ is unlikely to be that concept).
+                let clashes = siblings.iter().any(|y| {
+                    domsim::dom_sim(&ai.instances, y) > cfg.borrow_sibling_dom_sim
+                });
+                if clashes {
+                    continue;
+                }
+            }
+            scored.push((ls, ri));
+        }
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+        scored.into_iter().map(|(_, r)| r).collect::<Vec<_>>()
+    };
+    let filtered = collect(true);
+    if !filtered.is_empty() {
+        return filtered;
+    }
+    // A hard-synonym label (`Manufacturer` among `Make`s) has *no*
+    // label-similar candidate by definition; fall back to the
+    // sibling-domain filter alone and let Deep-Web probing decide.
+    collect(false)
+}
+
+/// Borrow candidates for an attribute with pre-defined instances (§5 case
+/// 2): the candidate must share at least one very similar value pair
+/// ("two values, one from each domain, which are very similar").
+pub fn case2_candidates(
+    ds: &Dataset,
+    r1: AttrRef,
+    values: &[String],
+    cfg: &WebIQConfig,
+) -> Vec<AttrRef> {
+    let mut out = Vec::new();
+    for (ri, ai) in ds.attributes() {
+        if ri.0 == r1.0 || !ai.has_instances() {
+            continue;
+        }
+        if cfg.borrow_prefilter {
+            let similar_pair = values.iter().any(|v| {
+                ai.instances.iter().any(|w| domsim::value_similarity(v, w) >= 0.85)
+            });
+            if !similar_pair {
+                continue;
+            }
+        }
+        out.push(ri);
+    }
+    out
+}
+
+/// Run the full §5 acquisition strategy over a domain's dataset.
+///
+/// `sources[i]` must be the Deep-Web source behind `ds.interfaces[i]`
+/// (empty slice disables Attr-Deep regardless of `components`).
+pub fn acquire(
+    ds: &Dataset,
+    def: &DomainDef,
+    engine: &SearchEngine,
+    sources: &[DeepSource],
+    components: Components,
+    cfg: &WebIQConfig,
+) -> Acquisition {
+    let info = DomainInfo {
+        object: def.object.to_string(),
+        domain_terms: def.domain_terms.iter().map(|s| s.to_string()).collect(),
+        sibling_terms: Vec::new(), // filled per attribute below
+    };
+    let mut acq = Acquisition::default();
+    let probes_before: u64 = sources.iter().map(DeepSource::probe_count).sum();
+
+    for (r1, a1) in ds.attributes() {
+        if !a1.has_instances() {
+            acq.report.no_inst_attrs += 1;
+            let mut got: Vec<String> = Vec::new();
+
+            // Step 1.a: discover from the Surface Web, scoping queries
+            // with the domain terms and (when configured) keywords from
+            // the sibling attributes' labels (§2.1).
+            if components.surface {
+                let before = engine.stats().total();
+                let t0 = Instant::now();
+                let mut attr_info = info.clone();
+                attr_info.sibling_terms = sibling_terms(ds, r1);
+                let result = surface::discover(engine, &a1.label, &attr_info, cfg);
+                acq.report.surface_cost.secs += t0.elapsed().as_secs_f64();
+                acq.report.surface_cost.engine_queries += engine.stats().total() - before;
+                got = result.texts();
+            }
+            if got.len() >= cfg.k {
+                acq.report.surface_success += 1;
+                acq.report.surface_deep_success += 1;
+            } else if components.attr_deep && !sources.is_empty() {
+                // Step 1.b: borrow and validate via the Deep Web. Probing
+                // is expensive, so candidates whose domain resembles one
+                // already probed (either way) are skipped — each probe
+                // round-trip then tests a genuinely new domain.
+                let t0 = Instant::now();
+                let candidates = case1_candidates(ds, r1, &a1.label, cfg);
+                let mut accepted_domains: Vec<&Vec<String>> = Vec::new();
+                let mut failed_domains: Vec<&Vec<String>> = Vec::new();
+                let mut tried = 0usize;
+                for cand in candidates {
+                    if tried >= 12 {
+                        break;
+                    }
+                    let inst = &ds.attribute(cand).expect("candidate exists").instances;
+                    let take_all = |got: &mut Vec<String>| {
+                        for v in inst {
+                            if !contains_ci(got, v) {
+                                got.push(v.clone());
+                            }
+                        }
+                    };
+                    // Same domain as an already-validated one → borrow
+                    // without re-probing; same as a failed one → skip.
+                    if accepted_domains.iter().any(|p| domsim::dom_sim(p, inst) > 0.5) {
+                        take_all(&mut got);
+                    } else if failed_domains.iter().any(|p| domsim::dom_sim(p, inst) > 0.5) {
+                        continue;
+                    } else {
+                        tried += 1;
+                        let outcome =
+                            attr_deep::validate_borrowed(&sources[r1.0], &a1.name, inst, cfg);
+                        if outcome.accepted {
+                            accepted_domains.push(inst);
+                            take_all(&mut got);
+                        } else {
+                            failed_domains.push(inst);
+                        }
+                    }
+                    if got.len() >= cfg.k {
+                        break;
+                    }
+                }
+                acq.report.attr_deep_cost.secs += t0.elapsed().as_secs_f64();
+                if got.len() >= cfg.k {
+                    acq.report.surface_deep_success += 1;
+                }
+            }
+            if !got.is_empty() {
+                acq.acquired.insert(r1, got);
+            }
+        } else if components.attr_surface {
+            // Step 2: borrow for a pre-defined attribute, validate via the
+            // Surface Web (the Deep Web cannot be probed with values
+            // outside the pre-defined list).
+            let before = engine.stats().total();
+            let t0 = Instant::now();
+            let candidates = case2_candidates(ds, r1, &a1.instances, cfg);
+            let mut pool: Vec<String> = Vec::new();
+            for cand in candidates.into_iter().take(8) {
+                for v in &ds.attribute(cand).expect("candidate exists").instances {
+                    if !contains_ci(&a1.instances, v) && !contains_ci(&pool, v) {
+                        pool.push(v.clone());
+                    }
+                }
+            }
+            pool.truncate(15);
+            if !pool.is_empty() {
+                let negatives: Vec<String> = ds.interfaces[r1.0]
+                    .attributes
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, a)| *j != r1.1 && a.has_instances())
+                    .flat_map(|(_, a)| a.instances.iter().take(2).cloned())
+                    .collect();
+                let accepted = attr_surface::verify_borrowed(
+                    engine,
+                    &a1.label,
+                    &a1.instances,
+                    &negatives,
+                    &pool,
+                    cfg,
+                );
+                if !accepted.is_empty() {
+                    acq.report.attr_surface_enriched += 1;
+                    acq.acquired.insert(r1, accepted);
+                }
+            }
+            acq.report.attr_surface_cost.secs += t0.elapsed().as_secs_f64();
+            acq.report.attr_surface_cost.engine_queries += engine.stats().total() - before;
+        }
+    }
+
+    let probes_after: u64 = sources.iter().map(DeepSource::probe_count).sum();
+    acq.report.attr_deep_cost.probes = probes_after - probes_before;
+    acq
+}
+
+#[cfg(test)]
+mod candidate_tests {
+    use super::*;
+    use webiq_data::interface::{Attribute, Interface};
+
+    fn attr(name: &str, label: &str, concept: &str, instances: &[&str]) -> Attribute {
+        Attribute {
+            name: name.into(),
+            label: label.into(),
+            concept: concept.into(),
+            instances: instances.iter().map(|s| s.to_string()).collect(),
+            default: None,
+        }
+    }
+
+    /// Interface 0: text `From` + month select. Interfaces 1–2: city and
+    /// month selects under various labels.
+    fn dataset() -> Dataset {
+        let mk = |id: usize, attrs: Vec<Attribute>| Interface {
+            id,
+            domain: "airfare".into(),
+            site: format!("site{id}"),
+            attributes: attrs,
+        };
+        Dataset {
+            domain: "airfare".into(),
+            interfaces: vec![
+                mk(0, vec![
+                    attr("from", "From city", "from_city", &[]),
+                    attr("dep", "Departure date", "depart_date", &["Jan", "Feb", "Mar", "Apr"]),
+                ]),
+                mk(1, vec![
+                    attr("from", "Departure city", "from_city", &["Boston", "Chicago", "Denver"]),
+                    attr("dep", "Departure on", "depart_date", &["May", "Jun", "Jul"]),
+                ]),
+                mk(2, vec![
+                    attr("city", "From city", "from_city", &["Miami", "Austin", "Tampa"]),
+                ]),
+            ],
+        }
+    }
+
+    #[test]
+    fn case1_excludes_own_interface_and_sibling_domains() {
+        let ds = dataset();
+        let cfg = WebIQConfig::default();
+        // X1 = the text "From city" attr on interface 0; its sibling has a
+        // month domain, so month-valued candidates are filtered out.
+        let candidates = case1_candidates(&ds, (0, 0), "From city", &cfg);
+        assert!(candidates.contains(&(1, 0)), "{candidates:?}");
+        assert!(candidates.contains(&(2, 0)), "{candidates:?}");
+        assert!(
+            !candidates.contains(&(1, 1)),
+            "month attr clashes with the month sibling: {candidates:?}"
+        );
+        assert!(!candidates.iter().any(|r| r.0 == 0), "own interface excluded");
+    }
+
+    #[test]
+    fn case1_orders_by_label_similarity() {
+        let ds = dataset();
+        let cfg = WebIQConfig::default();
+        let candidates = case1_candidates(&ds, (0, 0), "From city", &cfg);
+        // the identically labelled (2,0) must rank above (1,0)
+        let pos = |r: AttrRef| candidates.iter().position(|c| *c == r).expect("present");
+        assert!(pos((2, 0)) < pos((1, 0)), "{candidates:?}");
+    }
+
+    #[test]
+    fn case1_without_prefilter_returns_everything_foreign() {
+        let ds = dataset();
+        let cfg = WebIQConfig { borrow_prefilter: false, ..WebIQConfig::default() };
+        let candidates = case1_candidates(&ds, (0, 0), "From city", &cfg);
+        assert_eq!(candidates.len(), 3); // (1,0), (1,1), (2,0)
+    }
+
+    #[test]
+    fn case2_requires_similar_value_pair() {
+        let ds = dataset();
+        let cfg = WebIQConfig::default();
+        // X1 = the month select on interface 0 (Jan..Apr); candidate months
+        // on interface 1 are May..Jul — no similar value → not a candidate.
+        let own: Vec<String> = ["Jan", "Feb", "Mar", "Apr"].iter().map(|s| s.to_string()).collect();
+        let candidates = case2_candidates(&ds, (0, 1), &own, &cfg);
+        assert!(candidates.is_empty(), "{candidates:?}");
+
+        // sharing one value (case-insensitively) admits the candidate
+        let own: Vec<String> = ["jun", "Dec"].iter().map(|s| s.to_string()).collect();
+        let candidates = case2_candidates(&ds, (0, 1), &own, &cfg);
+        assert!(candidates.contains(&(1, 1)), "{candidates:?}");
+    }
+
+    #[test]
+    fn case2_spelling_variants_count_as_similar() {
+        let ds = dataset();
+        let cfg = WebIQConfig::default();
+        let own: Vec<String> = vec!["Bostonn".to_string()]; // 1 edit from Boston
+        let candidates = case2_candidates(&ds, (0, 1), &own, &cfg);
+        assert!(candidates.contains(&(1, 0)), "{candidates:?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webiq_data::records::{build_deep_source, RecordOptions};
+    use webiq_data::{corpus, generate_domain, kb, GenOptions};
+    use webiq_web::{gen, GenConfig};
+
+    fn setup(domain: &str) -> (Dataset, &'static DomainDef, SearchEngine, Vec<DeepSource>) {
+        let def = kb::domain(domain).expect("domain");
+        let ds = generate_domain(def, &GenOptions::default());
+        let engine = SearchEngine::new(gen::generate(&corpus::concept_specs(def), &GenConfig::default()));
+        let sources = ds
+            .interfaces
+            .iter()
+            .map(|i| build_deep_source(def, i, &RecordOptions::default()))
+            .collect();
+        (ds, def, engine, sources)
+    }
+
+    #[test]
+    fn acquisition_gathers_instances_for_no_inst_attrs() {
+        let (ds, def, engine, sources) = setup("book");
+        let cfg = WebIQConfig::default();
+        let acq = acquire(&ds, def, &engine, &sources, Components::SURFACE_DEEP, &cfg);
+        assert!(acq.report.no_inst_attrs > 0);
+        assert!(
+            acq.report.surface_success > 0,
+            "no Surface successes: {:?}",
+            acq.report
+        );
+        assert!(acq.report.surface_deep_success >= acq.report.surface_success);
+        assert!(acq.report.surface_cost.engine_queries > 0);
+    }
+
+    #[test]
+    fn deep_validation_improves_on_surface_alone() {
+        let (ds, def, engine, sources) = setup("airfare");
+        let cfg = WebIQConfig::default();
+        let surface_only = acquire(&ds, def, &engine, &sources, Components::SURFACE, &cfg);
+        let with_deep = acquire(&ds, def, &engine, &sources, Components::SURFACE_DEEP, &cfg);
+        assert!(
+            with_deep.report.surface_deep_success_rate()
+                >= surface_only.report.surface_success_rate(),
+            "deep must not hurt: {:?} vs {:?}",
+            with_deep.report.surface_deep_success_rate(),
+            surface_only.report.surface_success_rate()
+        );
+        assert!(with_deep.report.attr_deep_cost.probes > 0);
+    }
+
+    #[test]
+    fn none_components_acquire_nothing() {
+        let (ds, def, engine, sources) = setup("auto");
+        let cfg = WebIQConfig::default();
+        let acq = acquire(&ds, def, &engine, &sources, Components::NONE, &cfg);
+        assert!(acq.acquired.is_empty());
+        assert_eq!(acq.report.surface_success, 0);
+    }
+
+    #[test]
+    fn attr_surface_enriches_predefined_attributes() {
+        let (ds, def, engine, sources) = setup("airfare");
+        let cfg = WebIQConfig::default();
+        let acq = acquire(&ds, def, &engine, &sources, Components::ALL, &cfg);
+        assert!(
+            acq.report.attr_surface_enriched > 0,
+            "Attr-Surface enriched nothing: {:?}",
+            acq.report
+        );
+    }
+
+    #[test]
+    fn acquired_values_do_not_duplicate_predefined_ones() {
+        let (ds, def, engine, sources) = setup("airfare");
+        let cfg = WebIQConfig::default();
+        let acq = acquire(&ds, def, &engine, &sources, Components::ALL, &cfg);
+        for (r, acquired) in &acq.acquired {
+            let a = ds.attribute(*r).expect("attr");
+            for v in acquired {
+                assert!(
+                    !a.instances.iter().any(|p| p.eq_ignore_ascii_case(v)),
+                    "{v} duplicated for {r:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn success_rates_are_percentages() {
+        let (ds, def, engine, sources) = setup("job");
+        let cfg = WebIQConfig::default();
+        let acq = acquire(&ds, def, &engine, &sources, Components::SURFACE_DEEP, &cfg);
+        let s = acq.report.surface_success_rate();
+        let sd = acq.report.surface_deep_success_rate();
+        assert!((0.0..=100.0).contains(&s));
+        assert!((0.0..=100.0).contains(&sd));
+        assert!(sd >= s);
+    }
+}

@@ -1,0 +1,133 @@
+//! Attr-Deep (§4): validate borrowed instances by probing the attribute's
+//! own Deep-Web source.
+//!
+//! To verify that `b` (an instance of attribute B) is also an instance of
+//! A, submit A's form with A set to `b` and every other attribute at its
+//! default (empty) value, then classify the response page. "If the
+//! submission is successful for at least one third of the instances of B,
+//! then we assume that all instances of B are instances of A."
+
+use std::collections::BTreeMap;
+
+use webiq_deep::{analyze_response, DeepSource};
+
+use crate::config::WebIQConfig;
+
+/// Result of probing one borrowed attribute's instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeOutcome {
+    /// Instances actually probed (≤ `probe_limit`).
+    pub probed: usize,
+    /// Probes whose response page indicated success.
+    pub successes: usize,
+    /// Whether B's instances were accepted wholesale.
+    pub accepted: bool,
+}
+
+/// Probe `source` with `target_param` set to each of (up to `probe_limit`
+/// of) `instances`; accept all when the success ratio reaches
+/// `probe_accept_ratio`.
+pub fn validate_borrowed(
+    source: &DeepSource,
+    target_param: &str,
+    instances: &[String],
+    cfg: &WebIQConfig,
+) -> ProbeOutcome {
+    let to_probe: Vec<&String> = instances.iter().take(cfg.probe_limit.max(1)).collect();
+    if to_probe.is_empty() {
+        return ProbeOutcome { probed: 0, successes: 0, accepted: false };
+    }
+    let mut successes = 0;
+    for instance in &to_probe {
+        let mut params = BTreeMap::new();
+        params.insert(target_param.to_string(), (*instance).clone());
+        let page = source.submit(&params);
+        if analyze_response(&page).is_success() {
+            successes += 1;
+        }
+    }
+    let ratio = successes as f64 / to_probe.len() as f64;
+    ProbeOutcome { probed: to_probe.len(), successes, accepted: ratio >= cfg.probe_accept_ratio }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webiq_deep::{ParamDomain, Record, RecordStore, SourceParam};
+
+    fn flight_source() -> DeepSource {
+        let cities = ["Chicago", "Boston", "Seattle", "Denver", "Atlanta", "Miami"];
+        let mut store = RecordStore::default();
+        for (i, from) in cities.iter().enumerate() {
+            store.push(Record::new([
+                ("from", *from),
+                ("to", cities[(i + 1) % cities.len()]),
+            ]));
+        }
+        DeepSource::new(
+            "AcmeAir",
+            vec![
+                SourceParam { name: "from".into(), domain: ParamDomain::Free, required: false },
+                SourceParam { name: "to".into(), domain: ParamDomain::Free, required: false },
+            ],
+            store,
+        )
+    }
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn cities_accepted_months_rejected() {
+        // the §4 motivating example: from=Chicago yields results,
+        // from=January does not.
+        let src = flight_source();
+        let cfg = WebIQConfig::default();
+        let cities = validate_borrowed(&src, "from", &strings(&["Chicago", "Boston", "Seattle"]), &cfg);
+        assert!(cities.accepted, "{cities:?}");
+        assert_eq!(cities.successes, 3);
+
+        let months = validate_borrowed(&src, "from", &strings(&["Jan", "Feb", "Mar"]), &cfg);
+        assert!(!months.accepted, "{months:?}");
+        assert_eq!(months.successes, 0);
+    }
+
+    #[test]
+    fn one_third_rule() {
+        let src = flight_source();
+        let cfg = WebIQConfig::default();
+        // 1 of 3 valid → ratio 1/3 ≥ 1/3 → accepted
+        let mixed = validate_borrowed(&src, "from", &strings(&["Chicago", "Jan", "Feb"]), &cfg);
+        assert!(mixed.accepted, "{mixed:?}");
+        // 1 of 4 valid → ratio 1/4 < 1/3 → rejected
+        let weak = validate_borrowed(&src, "from", &strings(&["Chicago", "Jan", "Feb", "Mar"]), &cfg);
+        assert!(!weak.accepted, "{weak:?}");
+    }
+
+    #[test]
+    fn probe_limit_bounds_traffic() {
+        let src = flight_source();
+        let cfg = WebIQConfig { probe_limit: 2, ..WebIQConfig::default() };
+        let many = strings(&["Chicago", "Boston", "Seattle", "Denver", "Atlanta"]);
+        let out = validate_borrowed(&src, "from", &many, &cfg);
+        assert_eq!(out.probed, 2);
+        assert_eq!(src.probe_count(), 2);
+    }
+
+    #[test]
+    fn empty_instances() {
+        let src = flight_source();
+        let out = validate_borrowed(&src, "from", &[], &WebIQConfig::default());
+        assert!(!out.accepted);
+        assert_eq!(out.probed, 0);
+    }
+
+    #[test]
+    fn flaky_source_degrades_gracefully() {
+        let src = flight_source().with_failure_rate(1.0);
+        let cfg = WebIQConfig::default();
+        let out = validate_borrowed(&src, "from", &strings(&["Chicago", "Boston"]), &cfg);
+        assert!(!out.accepted, "{out:?}");
+    }
+}

@@ -1,0 +1,279 @@
+//! Attr-Surface (§3): borrow instances from other attributes and verify
+//! them via the Surface Web with a *validation-based naive Bayes
+//! classifier*, trained fully automatically.
+//!
+//! Training (§3.2, Figure 5): positives are A's own instances, negatives
+//! the instances of the other attributes on A's interface. Each example is
+//! represented by its validation-score vector; T₁ estimates per-feature
+//! thresholds by information gain, T₂ (binarized by those thresholds)
+//! estimates the Laplace-smoothed probabilities.
+
+use webiq_stats::bayes::NaiveBayes;
+use webiq_stats::entropy;
+use webiq_web::SearchEngine;
+
+use crate::config::WebIQConfig;
+use crate::extract;
+use crate::patterns;
+use crate::verify;
+
+/// A trained validation-based classifier for one attribute.
+#[derive(Debug, Clone)]
+pub struct ValidationClassifier {
+    phrases: Vec<String>,
+    thresholds: Vec<f64>,
+    nb: NaiveBayes,
+}
+
+/// Why training could not proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainFailure {
+    /// Fewer than two positive examples (A has too few instances).
+    TooFewPositives,
+    /// No negative examples (no sibling attribute has instances).
+    NoNegatives,
+}
+
+impl ValidationClassifier {
+    /// Train for attribute `label` from its own instances (positives) and
+    /// sibling-attribute instances (negatives).
+    pub fn train(
+        engine: &SearchEngine,
+        label: &str,
+        positives: &[String],
+        negatives: &[String],
+        cfg: &WebIQConfig,
+    ) -> Result<Self, TrainFailure> {
+        if positives.len() < 2 {
+            return Err(TrainFailure::TooFewPositives);
+        }
+        if negatives.is_empty() {
+            return Err(TrainFailure::NoNegatives);
+        }
+        let np = extract::primary_noun_phrase(label);
+        let phrases = patterns::validation_phrases(label, np.as_ref());
+
+        // Step 1: validation vectors for the training set.
+        let vector = |x: &str| verify::validation_vector(engine, &phrases, x, cfg.use_pmi);
+        let pos_vecs: Vec<Vec<f64>> = positives.iter().map(|x| vector(x)).collect();
+        let neg_vecs: Vec<Vec<f64>> = negatives.iter().map(|x| vector(x)).collect();
+
+        // Split each class: first half → T₁ (threshold estimation), rest →
+        // T₂ (probability estimation). With tiny classes T₂ falls back to
+        // the full set.
+        let split = |n: usize| n.div_ceil(2);
+        let (p1, p2) = pos_vecs.split_at(split(pos_vecs.len()));
+        let (n1, n2) = neg_vecs.split_at(split(neg_vecs.len()));
+        let p2: &[Vec<f64>] = if p2.is_empty() { &pos_vecs } else { p2 };
+        let n2: &[Vec<f64>] = if n2.is_empty() { &neg_vecs } else { n2 };
+
+        // Step 2: per-feature thresholds on T₁.
+        let n_features = phrases.len();
+        let thresholds: Vec<f64> = (0..n_features)
+            .map(|i| {
+                if cfg.info_gain_thresholds {
+                    let examples: Vec<(f64, bool)> = p1
+                        .iter()
+                        .map(|v| (v[i], true))
+                        .chain(n1.iter().map(|v| (v[i], false)))
+                        .collect();
+                    entropy::best_threshold(&examples)
+                } else {
+                    // ablation: midpoint of the observed score range
+                    let all: Vec<f64> =
+                        p1.iter().chain(n1.iter()).map(|v| v[i]).collect();
+                    let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
+                    let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    (lo + hi) / 2.0
+                }
+            })
+            .collect();
+
+        // Step 3: binarize T₂ and estimate the probabilities.
+        let binarize = |v: &Vec<f64>| -> Vec<bool> {
+            v.iter().zip(&thresholds).map(|(m, t)| m > t).collect()
+        };
+        let examples: Vec<(Vec<bool>, bool)> = p2
+            .iter()
+            .map(|v| (binarize(v), true))
+            .chain(n2.iter().map(|v| (binarize(v), false)))
+            .collect();
+        let nb = NaiveBayes::train(&examples).expect("T2 is non-empty by construction");
+        Ok(ValidationClassifier { phrases, thresholds, nb })
+    }
+
+    /// Per-feature thresholds (exposed for inspection/tests).
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// Posterior probability that `candidate` is an instance of the
+    /// attribute.
+    pub fn posterior(&self, engine: &SearchEngine, candidate: &str, cfg: &WebIQConfig) -> f64 {
+        let v = verify::validation_vector(engine, &self.phrases, candidate, cfg.use_pmi);
+        let features: Vec<bool> =
+            v.iter().zip(&self.thresholds).map(|(m, t)| m > t).collect();
+        self.nb.posterior_pos(&features)
+    }
+
+    /// Classify `candidate` (posterior > ½).
+    pub fn accepts(&self, engine: &SearchEngine, candidate: &str, cfg: &WebIQConfig) -> bool {
+        self.posterior(engine, candidate, cfg) > 0.5
+    }
+}
+
+/// Verify borrowed instances for an attribute via the Surface Web: train
+/// the classifier, then keep the accepted candidates.
+pub fn verify_borrowed(
+    engine: &SearchEngine,
+    label: &str,
+    positives: &[String],
+    negatives: &[String],
+    borrowed: &[String],
+    cfg: &WebIQConfig,
+) -> Vec<String> {
+    let Ok(classifier) = ValidationClassifier::train(engine, label, positives, negatives, cfg)
+    else {
+        return Vec::new();
+    };
+    borrowed
+        .iter()
+        .filter(|b| classifier.accepts(engine, b, cfg))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webiq_data::{corpus, kb};
+    use webiq_web::{gen, GenConfig, SearchEngine};
+
+    fn airfare_engine() -> SearchEngine {
+        let def = kb::domain("airfare").expect("domain");
+        let specs = corpus::concept_specs(def);
+        SearchEngine::new(gen::generate(&specs, &GenConfig::default()))
+    }
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn aer_lingus_is_accepted_as_airline() {
+        // the paper's running example: borrow `Aer Lingus` (an instance of
+        // B₃ = Carrier) for A₅ = Airline, whose own instances are North
+        // American. Non-instances come from the sibling attributes.
+        let engine = airfare_engine();
+        let cfg = WebIQConfig::default();
+        let positives = strings(&["Air Canada", "American", "Delta", "United"]);
+        let negatives = strings(&["Economy", "First Class", "Jan", "1"]);
+        let borrowed = strings(&["Aer Lingus", "Lufthansa", "Economy", "Jan"]);
+        let accepted = verify_borrowed(&engine, "Airline", &positives, &negatives, &borrowed, &cfg);
+        assert!(accepted.contains(&"Aer Lingus".to_string()), "accepted: {accepted:?}");
+        assert!(!accepted.contains(&"Economy".to_string()), "accepted: {accepted:?}");
+        assert!(!accepted.contains(&"Jan".to_string()), "accepted: {accepted:?}");
+    }
+
+    #[test]
+    fn classifier_separates_instances_from_non_instances() {
+        let engine = airfare_engine();
+        let cfg = WebIQConfig::default();
+        let classifier = ValidationClassifier::train(
+            &engine,
+            "Airline",
+            &strings(&["Air Canada", "American", "Delta", "United"]),
+            &strings(&["Economy", "First Class", "Jan", "1"]),
+            &cfg,
+        )
+        .expect("train");
+        // Average over several held-out candidates: individual tail
+        // airlines can be too rare on the simulated Web to clear every
+        // feature threshold.
+        let avg = |xs: &[&str]| {
+            xs.iter().map(|x| classifier.posterior(&engine, x, &cfg)).sum::<f64>()
+                / xs.len() as f64
+        };
+        let p_airline = avg(&["Northwest", "Southwest", "Continental"]);
+        let p_noise = avg(&["Round trip", "Economy", "Feb"]);
+        assert!(
+            p_airline > p_noise,
+            "airline={p_airline:.3} noise={p_noise:.3}"
+        );
+    }
+
+    #[test]
+    fn too_few_positives_fails_training() {
+        let engine = airfare_engine();
+        let cfg = WebIQConfig::default();
+        let r = ValidationClassifier::train(
+            &engine,
+            "Airline",
+            &strings(&["Delta"]),
+            &strings(&["Economy"]),
+            &cfg,
+        );
+        assert_eq!(r.unwrap_err(), TrainFailure::TooFewPositives);
+    }
+
+    #[test]
+    fn no_negatives_fails_training() {
+        let engine = airfare_engine();
+        let cfg = WebIQConfig::default();
+        let r = ValidationClassifier::train(
+            &engine,
+            "Airline",
+            &strings(&["Delta", "United"]),
+            &[],
+            &cfg,
+        );
+        assert_eq!(r.unwrap_err(), TrainFailure::NoNegatives);
+    }
+
+    #[test]
+    fn thresholds_have_one_per_phrase() {
+        let engine = airfare_engine();
+        let cfg = WebIQConfig::default();
+        let classifier = ValidationClassifier::train(
+            &engine,
+            "Airline",
+            &strings(&["Air Canada", "American", "Delta", "United"]),
+            &strings(&["Economy", "First Class", "Jan", "1"]),
+            &cfg,
+        )
+        .expect("train");
+        // proximity + two cue phrases
+        assert_eq!(classifier.thresholds().len(), 3);
+    }
+
+    #[test]
+    fn midpoint_ablation_still_trains() {
+        let engine = airfare_engine();
+        let cfg = WebIQConfig { info_gain_thresholds: false, ..WebIQConfig::default() };
+        let accepted = verify_borrowed(
+            &engine,
+            "Airline",
+            &strings(&["Air Canada", "American", "Delta", "United"]),
+            &strings(&["Economy", "First Class", "Jan", "1"]),
+            &strings(&["Aer Lingus"]),
+            &cfg,
+        );
+        // the midpoint variant may be less accurate but must not crash
+        assert!(accepted.len() <= 1);
+    }
+
+    #[test]
+    fn empty_borrowed_list() {
+        let engine = airfare_engine();
+        let cfg = WebIQConfig::default();
+        let accepted = verify_borrowed(
+            &engine,
+            "Airline",
+            &strings(&["Delta", "United"]),
+            &strings(&["Economy"]),
+            &[],
+            &cfg,
+        );
+        assert!(accepted.is_empty());
+    }
+}

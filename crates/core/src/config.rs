@@ -1,0 +1,120 @@
+//! Configuration for the WebIQ pipeline.
+
+use webiq_stats::DiscordancyTest;
+
+/// Tunables for the Surface component and the validation machinery.
+#[derive(Debug, Clone)]
+pub struct WebIQConfig {
+    /// Number of instances to acquire per attribute (`k` in §2 and §5;
+    /// the paper deems acquisition successful at k = 10).
+    pub k: usize,
+    /// Snippets downloaded per extraction query (top-k results).
+    pub snippets_per_query: usize,
+    /// Number of domain keywords appended to extraction queries
+    /// (the `+book` of `"authors such as" +book`).
+    pub scope_keywords: usize,
+    /// Number of sibling-attribute-label keywords appended to extraction
+    /// queries (the `+title +isbn` of the paper's example). Each keyword is
+    /// a strict AND filter, so this trades snippet volume for precision;
+    /// 0 disables the narrowing.
+    pub sibling_keywords: usize,
+    /// Minimum average-PMI validation score for a candidate to survive Web
+    /// validation (0 = any positive evidence).
+    pub min_validation_score: f64,
+    /// Run the statistical outlier-removal phase before Web validation
+    /// (§2.2; switchable for the ablation study).
+    pub outlier_phase: bool,
+    /// Which discordancy test the outlier phase runs (the paper's 3σ rule
+    /// or Grubbs' sample-size-aware test — both from its citation [4]).
+    pub discordancy: DiscordancyTest,
+    /// Use PMI for validation scores; `false` falls back to raw joint hit
+    /// counts (ablation: popularity bias).
+    pub use_pmi: bool,
+    /// Label-similarity floor when selecting borrow candidates for an
+    /// instance-less attribute (§5 case 1).
+    pub borrow_label_sim: f64,
+    /// Domain-similarity ceiling against sibling attributes when selecting
+    /// borrow candidates (§5 case 1: the candidate's domain must be very
+    /// different from every other domain on X₁'s interface).
+    pub borrow_sibling_dom_sim: f64,
+    /// Maximum probes sent to a Deep-Web source per borrowed attribute.
+    pub probe_limit: usize,
+    /// Success ratio above which all of B's instances are accepted (§4
+    /// uses one third).
+    pub probe_accept_ratio: f64,
+    /// Apply the §5 borrow-candidate pre-filters (ablation switch;
+    /// `false` borrows from every attribute with instances).
+    pub borrow_prefilter: bool,
+    /// Estimate classifier thresholds by information gain (§3.2);
+    /// `false` uses the midpoint of the observed score range (ablation).
+    pub info_gain_thresholds: bool,
+}
+
+impl Default for WebIQConfig {
+    fn default() -> Self {
+        WebIQConfig {
+            k: 10,
+            snippets_per_query: 10,
+            scope_keywords: 1,
+            sibling_keywords: 0,
+            min_validation_score: 0.0,
+            outlier_phase: true,
+            discordancy: DiscordancyTest::ThreeSigma,
+            use_pmi: true,
+            borrow_label_sim: 0.25,
+            borrow_sibling_dom_sim: 0.3,
+            probe_limit: 6,
+            probe_accept_ratio: 1.0 / 3.0,
+            borrow_prefilter: true,
+            info_gain_thresholds: true,
+        }
+    }
+}
+
+/// Which WebIQ components run during acquisition — Figure 7's axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Components {
+    /// Discover instances from the Surface Web (§2).
+    pub surface: bool,
+    /// Borrow + validate via the Deep Web (§4).
+    pub attr_deep: bool,
+    /// Borrow + validate via the Surface Web (§3).
+    pub attr_surface: bool,
+}
+
+impl Components {
+    /// Baseline: no acquisition at all.
+    pub const NONE: Components =
+        Components { surface: false, attr_deep: false, attr_surface: false };
+    /// Surface only.
+    pub const SURFACE: Components =
+        Components { surface: true, attr_deep: false, attr_surface: false };
+    /// Surface + Attr-Deep.
+    pub const SURFACE_DEEP: Components =
+        Components { surface: true, attr_deep: true, attr_surface: false };
+    /// All three components (full WebIQ).
+    pub const ALL: Components = Components { surface: true, attr_deep: true, attr_surface: true };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = WebIQConfig::default();
+        assert_eq!(c.k, 10);
+        assert!((c.probe_accept_ratio - 1.0 / 3.0).abs() < 1e-12);
+        assert!(c.outlier_phase);
+        assert!(c.use_pmi);
+    }
+
+    #[test]
+    fn component_presets() {
+        let enabled = |c: Components| [c.surface, c.attr_deep, c.attr_surface];
+        assert_eq!(enabled(Components::NONE), [false, false, false]);
+        assert_eq!(enabled(Components::SURFACE), [true, false, false]);
+        assert_eq!(enabled(Components::SURFACE_DEEP), [true, true, false]);
+        assert_eq!(enabled(Components::ALL), [true, true, true]);
+    }
+}

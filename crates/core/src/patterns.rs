@@ -1,0 +1,182 @@
+//! Extraction and validation patterns (Figure 4 of the paper).
+//!
+//! Set patterns (completion = a list of NPs):
+//!   s1: `Ls such as NP₁, …, NPₙ`      s3: `Ls including NP₁, …, NPₙ`
+//!   s2: `such Ls as NP₁, …, NPₙ`      s4: `NP₁, …, NPₙ, and other Ls`
+//!
+//! Singleton patterns (completion = one NP; `O` is the object name):
+//!   g1: `the L of the O is NP`        g3: `NP is the L of the O`
+//!   g2: `the L is NP`                 g4: `NP is the L`
+//!
+//! Each pattern's *cue phrase* doubles as a validation phrase (§2.2).
+
+use webiq_nlp::chunk::NounPhrase;
+
+/// Where the completion sits relative to the cue phrase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionSide {
+    /// NPs follow the cue (`s1–s3`, `g1–g2`).
+    After,
+    /// NPs precede the cue (`s4`, `g3–g4`).
+    Before,
+}
+
+/// Whether a pattern extracts a list or a single instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternKind {
+    /// Set extraction (list of NPs).
+    Set,
+    /// Singleton extraction (one NP).
+    Singleton,
+}
+
+/// One extraction pattern, materialised for a specific attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaterializedPattern {
+    /// Pattern id (`"s1"`, …, `"g4"`).
+    pub id: &'static str,
+    /// Set or singleton.
+    pub kind: PatternKind,
+    /// The cue phrase, lowercased (`"departure cities such as"`).
+    pub cue: String,
+    /// Which side of the cue the completion lies on.
+    pub side: CompletionSide,
+}
+
+/// Materialise the eight extraction patterns of Fig. 4 for a noun phrase
+/// extracted from an attribute label. `object` is the domain's real-world
+/// object name (`"book"`); singleton g1/g3 need it.
+pub fn extraction_patterns(np: &NounPhrase, object: &str) -> Vec<MaterializedPattern> {
+    let lex = np.text();
+    let plural = np.plural_text();
+    vec![
+        MaterializedPattern {
+            id: "s1",
+            kind: PatternKind::Set,
+            cue: format!("{plural} such as"),
+            side: CompletionSide::After,
+        },
+        MaterializedPattern {
+            id: "s2",
+            kind: PatternKind::Set,
+            cue: format!("such {plural} as"),
+            side: CompletionSide::After,
+        },
+        MaterializedPattern {
+            id: "s3",
+            kind: PatternKind::Set,
+            cue: format!("{plural} including"),
+            side: CompletionSide::After,
+        },
+        MaterializedPattern {
+            id: "s4",
+            kind: PatternKind::Set,
+            cue: format!("and other {plural}"),
+            side: CompletionSide::Before,
+        },
+        MaterializedPattern {
+            id: "g1",
+            kind: PatternKind::Singleton,
+            cue: format!("the {lex} of the {object} is"),
+            side: CompletionSide::After,
+        },
+        MaterializedPattern {
+            id: "g2",
+            kind: PatternKind::Singleton,
+            cue: format!("the {lex} is"),
+            side: CompletionSide::After,
+        },
+        MaterializedPattern {
+            id: "g3",
+            kind: PatternKind::Singleton,
+            cue: format!("is the {lex} of the {object}"),
+            side: CompletionSide::Before,
+        },
+        MaterializedPattern {
+            id: "g4",
+            kind: PatternKind::Singleton,
+            cue: format!("is the {lex}"),
+            side: CompletionSide::Before,
+        },
+    ]
+}
+
+/// Validation phrases for an attribute (§2.2): the proximity phrase (the
+/// raw label) plus cue-phrase-based ones. Used both to score extraction
+/// candidates and as the classifier features of §3.
+pub fn validation_phrases(label: &str, np: Option<&NounPhrase>) -> Vec<String> {
+    let mut phrases = vec![label.trim().trim_end_matches(':').to_lowercase()];
+    if let Some(np) = np {
+        let plural = np.plural_text();
+        phrases.push(format!("{plural} such as"));
+        phrases.push(format!("such {plural} as"));
+    }
+    phrases.retain(|p| !p.is_empty());
+    phrases.dedup();
+    phrases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webiq_nlp::chunk::{classify_label, LabelForm};
+
+    fn np_of(label: &str) -> NounPhrase {
+        match classify_label(label) {
+            LabelForm::NounPhrase(np) => np,
+            other => panic!("expected NP for {label}: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_example_author() {
+        // §2.1: label `author` in a bookstore schema → s1 yields
+        // "authors such as", g1 yields "the author of the book is".
+        let np = np_of("author");
+        let pats = extraction_patterns(&np, "book");
+        let by_id = |id: &str| pats.iter().find(|p| p.id == id).expect("pattern");
+        assert_eq!(by_id("s1").cue, "authors such as");
+        assert_eq!(by_id("g1").cue, "the author of the book is");
+        assert_eq!(by_id("s2").cue, "such authors as");
+        assert_eq!(by_id("s4").cue, "and other authors");
+        assert_eq!(by_id("g4").cue, "is the author");
+    }
+
+    #[test]
+    fn multiword_np_pluralizes_head() {
+        let np = np_of("Departure city");
+        let pats = extraction_patterns(&np, "flight");
+        assert_eq!(pats[0].cue, "departure cities such as");
+    }
+
+    #[test]
+    fn pp_postmodifier_pluralizes_inner_head() {
+        let np = np_of("Class of service");
+        let pats = extraction_patterns(&np, "flight");
+        assert_eq!(pats[0].cue, "classes of service such as");
+        assert_eq!(pats[4].cue, "the class of service of the flight is");
+    }
+
+    #[test]
+    fn sides_and_kinds() {
+        let np = np_of("make");
+        let pats = extraction_patterns(&np, "car");
+        assert_eq!(pats.iter().filter(|p| p.kind == PatternKind::Set).count(), 4);
+        assert_eq!(pats.iter().filter(|p| p.side == CompletionSide::Before).count(), 3);
+    }
+
+    #[test]
+    fn validation_phrases_include_proximity_and_cues() {
+        let np = np_of("make");
+        let phrases = validation_phrases("Make:", Some(&np));
+        assert_eq!(phrases[0], "make");
+        assert!(phrases.contains(&"makes such as".to_string()));
+        assert!(phrases.contains(&"such makes as".to_string()));
+    }
+
+    #[test]
+    fn validation_phrases_without_np() {
+        let phrases = validation_phrases("From", None);
+        assert_eq!(phrases, vec!["from"]);
+    }
+}

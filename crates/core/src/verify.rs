@@ -1,0 +1,233 @@
+//! The instance-verification phase (§2.2): statistical outlier removal
+//! followed by Web validation with PMI-scored validation queries.
+
+use webiq_stats::{outlier, pmi};
+use webiq_web::SearchEngine;
+
+use crate::config::WebIQConfig;
+
+/// A candidate that survived verification, with its confidence score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidatedInstance {
+    /// The instance text.
+    pub text: String,
+    /// Average validation score across the validation phrases.
+    pub score: f64,
+}
+
+/// Outcome of the verification phase.
+#[derive(Debug, Clone, Default)]
+pub struct VerificationOutcome {
+    /// Survivors, best first (at most `k`).
+    pub instances: Vec<ValidatedInstance>,
+    /// Candidates removed by the outlier phase.
+    pub outliers_removed: usize,
+    /// Candidates removed by Web validation.
+    pub validation_removed: usize,
+}
+
+/// Compute the validation score of `candidate` against one validation
+/// phrase (§2.2): `PMI(V, x) = NumHits(V + x) / (NumHits(V) · NumHits(x))`,
+/// or the raw joint hit count when `use_pmi` is off (the ablation that
+/// exhibits popularity bias).
+pub fn validation_score(
+    engine: &SearchEngine,
+    phrase: &str,
+    candidate: &str,
+    use_pmi: bool,
+) -> f64 {
+    let joint = engine.num_hits(&format!("\"{phrase} {candidate}\""));
+    if !use_pmi {
+        return joint as f64;
+    }
+    let v = engine.num_hits(&format!("\"{phrase}\""));
+    let x = engine.num_hits(&format!("\"{candidate}\""));
+    pmi::pmi(joint, v, x)
+}
+
+/// The full validation vector of a candidate across all phrases.
+pub fn validation_vector(
+    engine: &SearchEngine,
+    phrases: &[String],
+    candidate: &str,
+    use_pmi: bool,
+) -> Vec<f64> {
+    phrases
+        .iter()
+        .map(|p| validation_score(engine, p, candidate, use_pmi))
+        .collect()
+}
+
+/// Average validation score (the paper's confidence score).
+pub fn confidence(engine: &SearchEngine, phrases: &[String], candidate: &str, use_pmi: bool) -> f64 {
+    let scores = validation_vector(engine, phrases, candidate, use_pmi);
+    pmi::average(&scores)
+}
+
+/// Run the verification phase over extraction candidates: outlier
+/// detection (when enabled), then Web validation, returning the top `k`
+/// by confidence.
+pub fn verify_candidates(
+    engine: &SearchEngine,
+    phrases: &[String],
+    candidates: &[String],
+    cfg: &WebIQConfig,
+) -> VerificationOutcome {
+    let (kept, outliers_removed) = if cfg.outlier_phase {
+        let r = outlier::remove_outliers_with(candidates, cfg.discordancy);
+        (r.kept, r.removed.len())
+    } else {
+        (candidates.iter().map(|c| c.to_string()).collect(), 0)
+    };
+
+    let mut scored: Vec<ValidatedInstance> = kept
+        .into_iter()
+        .map(|text| {
+            let score = confidence(engine, phrases, &text, cfg.use_pmi);
+            ValidatedInstance { text, score }
+        })
+        .collect();
+    let before = scored.len();
+    scored.retain(|v| v.score > cfg.min_validation_score);
+    let validation_removed = before - scored.len();
+
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| a.text.cmp(&b.text))
+    });
+    scored.truncate(cfg.k);
+    VerificationOutcome { instances: scored, outliers_removed, validation_removed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webiq_web::Corpus;
+
+    fn engine() -> SearchEngine {
+        SearchEngine::new(Corpus::from_texts([
+            // strong evidence for Honda/Toyota as makes
+            "makes such as Honda and Toyota are common",
+            "Make: Honda. Model: Accord.",
+            "Make: Toyota. Model: Camry.",
+            "this car's make is Honda",
+            // Economy appears a lot but never near "make"
+            "economy class is cheap",
+            "economy news economy report economy",
+            "the economy grows",
+        ]))
+    }
+
+    fn phrases() -> Vec<String> {
+        vec!["make".into(), "makes such as".into()]
+    }
+
+    #[test]
+    fn instances_outscore_non_instances() {
+        let e = engine();
+        let honda = confidence(&e, &phrases(), "Honda", true);
+        let economy = confidence(&e, &phrases(), "Economy", true);
+        assert!(honda > economy, "honda={honda} economy={economy}");
+        assert_eq!(economy, 0.0);
+    }
+
+    #[test]
+    fn pmi_corrects_popularity_bias() {
+        // raw joint hits would rank a popular co-occurring term higher than
+        // a rare true instance; PMI normalises by the marginals
+        let e = SearchEngine::new(Corpus::from_texts([
+            "makes such as Honda",
+            "makes such as Star every day",
+            "Star here", "Star there", "Star again", "Star a lot", "Star star",
+            "Star news", "Star reviews", "Star ratings",
+        ]));
+        let p = vec!["makes such as".to_string()];
+        let honda_pmi = confidence(&e, &p, "Honda", true);
+        let star_pmi = confidence(&e, &p, "Star", true);
+        assert!(honda_pmi > star_pmi, "pmi: honda={honda_pmi} star={star_pmi}");
+        let honda_raw = confidence(&e, &p, "Honda", false);
+        let star_raw = confidence(&e, &p, "Star", false);
+        assert!(honda_raw <= star_raw, "raw: honda={honda_raw} star={star_raw}");
+    }
+
+    #[test]
+    fn verify_keeps_true_instances_and_drops_noise() {
+        let e = engine();
+        let candidates: Vec<String> = ["Honda", "Toyota", "Economy"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out = verify_candidates(&e, &phrases(), &candidates, &WebIQConfig::default());
+        let texts: Vec<&str> = out.instances.iter().map(|i| i.text.as_str()).collect();
+        assert!(texts.contains(&"Honda"));
+        assert!(texts.contains(&"Toyota"));
+        assert!(!texts.contains(&"Economy"));
+        assert_eq!(out.validation_removed, 1);
+    }
+
+    #[test]
+    fn top_k_is_respected() {
+        let e = engine();
+        let candidates: Vec<String> = vec!["Honda".into(), "Toyota".into()];
+        let cfg = WebIQConfig { k: 1, ..WebIQConfig::default() };
+        let out = verify_candidates(&e, &phrases(), &candidates, &cfg);
+        assert_eq!(out.instances.len(), 1);
+    }
+
+    #[test]
+    fn outlier_phase_removes_overlong_junk() {
+        let e = engine();
+        let mut candidates: Vec<String> = [
+            "Honda", "Toyota", "Nissan", "Mazda", "Subaru", "Lexus", "Acura", "Jeep",
+            "Dodge", "Buick", "Chevy", "Saturn",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        candidates.push("a very long extraction artifact that is clearly not a car make".into());
+        let out = verify_candidates(&e, &phrases(), &candidates, &WebIQConfig::default());
+        assert_eq!(out.outliers_removed, 1);
+
+        // ablation: with the outlier phase off, the junk reaches (and is
+        // rejected by) Web validation instead — costing validation queries
+        let cfg = WebIQConfig { outlier_phase: false, ..WebIQConfig::default() };
+        let out2 = verify_candidates(&e, &phrases(), &candidates, &cfg);
+        assert_eq!(out2.outliers_removed, 0);
+        assert!(out2.validation_removed >= 1);
+    }
+
+    #[test]
+    fn grubbs_variant_is_usable() {
+        use webiq_stats::DiscordancyTest;
+        let e = engine();
+        // n = 6: the 3σ rule cannot fire, Grubbs can
+        let candidates: Vec<String> = ["Honda", "Toyota", "Nissan", "Mazda", "Subaru"]
+            .iter()
+            .map(|s| s.to_string())
+            .chain(["an extremely long extraction artifact that is not a make".to_string()])
+            .collect();
+        let sigma = verify_candidates(&e, &phrases(), &candidates, &WebIQConfig::default());
+        let cfg = WebIQConfig { discordancy: DiscordancyTest::Grubbs, ..WebIQConfig::default() };
+        let grubbs = verify_candidates(&e, &phrases(), &candidates, &cfg);
+        assert_eq!(sigma.outliers_removed, 0);
+        assert_eq!(grubbs.outliers_removed, 1);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let e = engine();
+        let out = verify_candidates(&e, &phrases(), &[], &WebIQConfig::default());
+        assert!(out.instances.is_empty());
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let e = engine();
+        let candidates: Vec<String> = vec!["Toyota".into(), "Honda".into()];
+        let a = verify_candidates(&e, &phrases(), &candidates, &WebIQConfig::default());
+        let b = verify_candidates(&e, &phrases(), &candidates, &WebIQConfig::default());
+        assert_eq!(a.instances, b.instances);
+    }
+}

@@ -1,0 +1,138 @@
+//! Mapping domain knowledge bases to Surface-Web corpus specifications.
+//!
+//! The simulated Web discusses each concept under its noun-phrase
+//! lexicalizations. Label variants that are not noun phrases (`From`,
+//! `Depart from`) produce no lexicalization — the Web does not write
+//! "*froms such as Boston*" — which is precisely why those labels are hard
+//! for Surface extraction (§6, airfare discussion).
+
+use webiq_nlp::chunk::{classify_label, LabelForm};
+use webiq_web::gen::ConceptSpec;
+
+use crate::kb::{ConceptDef, DomainDef};
+
+/// Lexicalizations of a concept: the noun phrases among its label variants,
+/// lowercased (the text form WebIQ's own label analysis would extract).
+pub fn lexicalizations(concept: &ConceptDef) -> Vec<String> {
+    let mut out = Vec::new();
+    for label in concept.labels {
+        let np_text = match classify_label(label) {
+            LabelForm::NounPhrase(np) => Some(np.text()),
+            // the Web talks about the NP inside a prepositional label
+            LabelForm::PrepPhrase { np: Some(np), .. } => Some(np.text()),
+            LabelForm::VerbPhrase { np: Some(np), .. } => Some(np.text()),
+            LabelForm::Conjunction(nps) => nps.first().map(|np| np.text()),
+            _ => None,
+        };
+        if let Some(t) = np_text {
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+/// Build the corpus concept spec for one KB concept. Returns `None` when
+/// the concept has no noun-phrase lexicalization or no instances — the Web
+/// simply does not enumerate such things.
+pub fn concept_spec(def: &DomainDef, concept: &ConceptDef) -> Option<ConceptSpec> {
+    let lexicalizations = lexicalizations(concept);
+    if lexicalizations.is_empty() {
+        return None;
+    }
+    // The Web knows the union of both regional pools; interleave them so
+    // both regions share the head of the popularity (Zipf) ranking — the
+    // real Web talks about Aer Lingus as much as about Air Canada.
+    let mut instances: Vec<String> = Vec::new();
+    let (a, b) = (concept.instances, concept.instances_alt);
+    for i in 0..a.len().max(b.len()) {
+        if let Some(v) = a.get(i) {
+            instances.push((*v).to_string());
+        }
+        if let Some(v) = b.get(i) {
+            instances.push((*v).to_string());
+        }
+    }
+    if instances.is_empty() {
+        return None;
+    }
+    Some(ConceptSpec {
+        key: format!("{}/{}", def.key, concept.key),
+        lexicalizations,
+        object: def.object.to_string(),
+        domain_terms: def.domain_terms.iter().map(|s| s.to_string()).collect(),
+        instances,
+        confusers: concept.confusers.iter().map(|s| s.to_string()).collect(),
+        richness: concept.web_richness,
+    })
+}
+
+/// Corpus specs for every concept of a domain (skipping Web-invisible
+/// concepts).
+pub fn concept_specs(def: &DomainDef) -> Vec<ConceptSpec> {
+    def.concepts.iter().filter_map(|c| concept_spec(def, c)).collect()
+}
+
+/// Corpus specs across all five domains — the full simulated Web.
+pub fn all_concept_specs() -> Vec<ConceptSpec> {
+    crate::kb::all_domains()
+        .iter()
+        .flat_map(|d| concept_specs(d))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb;
+
+    #[test]
+    fn prepositional_labels_contribute_inner_np() {
+        let def = kb::domain("airfare").expect("domain");
+        let from_city = def.concept("from_city").expect("concept");
+        let lex = lexicalizations(from_city);
+        // "From" contributes nothing; "From city" contributes "city".
+        assert!(lex.contains(&"city".to_string()), "{lex:?}");
+        assert!(lex.contains(&"departure city".to_string()), "{lex:?}");
+        assert!(!lex.contains(&"from".to_string()));
+    }
+
+    #[test]
+    fn keyword_concept_is_web_invisible() {
+        let def = kb::domain("book").expect("domain");
+        let kw = def.concept("keyword").expect("concept");
+        assert!(concept_spec(def, kw).is_none());
+    }
+
+    #[test]
+    fn airline_spec_merges_pools() {
+        let def = kb::domain("airfare").expect("domain");
+        let airline = def.concept("airline").expect("concept");
+        let spec = concept_spec(def, airline).expect("spec");
+        assert!(spec.instances.contains(&"Delta".to_string()));
+        assert!(spec.instances.contains(&"Aer Lingus".to_string()));
+        assert!(spec.lexicalizations.contains(&"airline".to_string()));
+        assert!(spec.lexicalizations.contains(&"carrier".to_string()));
+    }
+
+    #[test]
+    fn all_domains_produce_specs() {
+        let specs = all_concept_specs();
+        assert!(specs.len() >= 30, "got {}", specs.len());
+        // keys are unique
+        let mut keys: Vec<&str> = specs.iter().map(|s| s.key.as_str()).collect();
+        let n = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), n);
+    }
+
+    #[test]
+    fn class_of_service_lexicalization() {
+        let def = kb::domain("airfare").expect("domain");
+        let cabin = def.concept("cabin").expect("concept");
+        let lex = lexicalizations(cabin);
+        assert!(lex.contains(&"class of service".to_string()), "{lex:?}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Dataset export and import: persist a generated benchmark to disk as the
+//! HTML pages a crawler would have fetched, plus a gold-standard file, and
+//! load it back through the real HTML-extraction path.
+//!
+//! Layout of an exported dataset directory:
+//!
+//! ```text
+//! <dir>/
+//!   manifest.tsv          # id <TAB> site <TAB> file
+//!   gold.tsv              # interface_id <TAB> attr_index <TAB> control <TAB> concept
+//!   interfaces/
+//!     000_<site>.html
+//!     001_<site>.html
+//!     …
+//! ```
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+use webiq_html::form::extract_forms;
+
+use crate::interface::{Dataset, Interface};
+
+/// Errors during export/import.
+#[derive(Debug)]
+pub enum ExportError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The directory's contents do not form a valid dataset.
+    Malformed(String),
+}
+
+impl From<io::Error> for ExportError {
+    fn from(e: io::Error) -> Self {
+        ExportError::Io(e)
+    }
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::Io(e) => write!(f, "i/o error: {e}"),
+            ExportError::Malformed(m) => write!(f, "malformed dataset: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExportError::Io(e) => Some(e),
+            ExportError::Malformed(_) => None,
+        }
+    }
+}
+
+/// A filesystem-safe slug of a site name.
+fn slug(site: &str) -> String {
+    site.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect()
+}
+
+/// Export `ds` under `dir` (created if absent).
+pub fn export(ds: &Dataset, dir: &Path) -> Result<(), ExportError> {
+    let pages = dir.join("interfaces");
+    fs::create_dir_all(&pages)?;
+
+    let mut manifest = fs::File::create(dir.join("manifest.tsv"))?;
+    writeln!(manifest, "# domain\t{}", ds.domain)?;
+    let mut gold = fs::File::create(dir.join("gold.tsv"))?;
+    for iface in &ds.interfaces {
+        let file = format!("{:03}_{}.html", iface.id, slug(&iface.site));
+        fs::write(pages.join(&file), iface.to_html())?;
+        writeln!(manifest, "{}\t{}\t{}", iface.id, iface.site, file)?;
+        for (j, a) in iface.attributes.iter().enumerate() {
+            writeln!(gold, "{}\t{}\t{}\t{}", iface.id, j, a.name, a.concept)?;
+        }
+    }
+    Ok(())
+}
+
+/// Import a dataset previously written by [`export`]. Interfaces are
+/// reconstructed by parsing the HTML pages (the same path a crawler over
+/// real sources runs); gold concept keys come from `gold.tsv`.
+pub fn import(dir: &Path) -> Result<Dataset, ExportError> {
+    let manifest = fs::read_to_string(dir.join("manifest.tsv"))?;
+    let mut lines = manifest.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| ExportError::Malformed("empty manifest".into()))?;
+    let domain = header
+        .strip_prefix("# domain\t")
+        .ok_or_else(|| ExportError::Malformed("missing domain header".into()))?
+        .to_string();
+
+    let gold_raw = fs::read_to_string(dir.join("gold.tsv"))?;
+    let mut concepts: std::collections::BTreeMap<(usize, usize), String> =
+        std::collections::BTreeMap::new();
+    for (n, line) in gold_raw.lines().enumerate() {
+        let mut parts = line.split('\t');
+        let (Some(id), Some(j), Some(_control), Some(concept)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(ExportError::Malformed(format!("gold.tsv line {}", n + 1)));
+        };
+        let id: usize = id
+            .parse()
+            .map_err(|_| ExportError::Malformed(format!("gold.tsv line {}: id", n + 1)))?;
+        let j: usize = j
+            .parse()
+            .map_err(|_| ExportError::Malformed(format!("gold.tsv line {}: index", n + 1)))?;
+        concepts.insert((id, j), concept.to_string());
+    }
+
+    let mut interfaces = Vec::new();
+    for (n, line) in lines.enumerate() {
+        let mut parts = line.split('\t');
+        let (Some(id), Some(site), Some(file)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(ExportError::Malformed(format!("manifest line {}", n + 2)));
+        };
+        let id: usize = id
+            .parse()
+            .map_err(|_| ExportError::Malformed(format!("manifest line {}: id", n + 2)))?;
+        let html = fs::read_to_string(dir.join("interfaces").join(file))?;
+        let forms = extract_forms(&html);
+        let form = forms
+            .first()
+            .ok_or_else(|| ExportError::Malformed(format!("{file}: no form")))?;
+        let mut iface = Interface::from_extracted(id, &domain, site, form);
+        for (j, a) in iface.attributes.iter_mut().enumerate() {
+            if let Some(c) = concepts.get(&(id, j)) {
+                a.concept = c.clone();
+            }
+        }
+        interfaces.push(iface);
+    }
+    if interfaces.is_empty() {
+        return Err(ExportError::Malformed("no interfaces listed".into()));
+    }
+    Ok(Dataset { domain, interfaces })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_domain, GenOptions};
+    use crate::kb;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "webiq-export-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_preserves_dataset() {
+        let def = kb::domain("auto").expect("domain");
+        let ds = generate_domain(def, &GenOptions::default());
+        let dir = tmpdir("roundtrip");
+        export(&ds, &dir).expect("export");
+        let back = import(&dir).expect("import");
+
+        assert_eq!(back.domain, ds.domain);
+        assert_eq!(back.interfaces.len(), ds.interfaces.len());
+        for (a, b) in ds.interfaces.iter().zip(&back.interfaces) {
+            assert_eq!(a.site, b.site);
+            assert_eq!(a.attributes.len(), b.attributes.len());
+            for (x, y) in a.attributes.iter().zip(&b.attributes) {
+                assert_eq!(x.name, y.name);
+                assert_eq!(x.label, y.label);
+                assert_eq!(x.instances, y.instances);
+                assert_eq!(x.concept, y.concept);
+            }
+        }
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn gold_survives_roundtrip() {
+        let def = kb::domain("book").expect("domain");
+        let ds = generate_domain(def, &GenOptions::default());
+        let dir = tmpdir("gold");
+        export(&ds, &dir).expect("export");
+        let back = import(&dir).expect("import");
+        assert_eq!(crate::gold::gold_pairs(&ds), crate::gold::gold_pairs(&back));
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn import_missing_dir_errors() {
+        let err = import(Path::new("/nonexistent/webiq-dataset")).unwrap_err();
+        assert!(matches!(err, ExportError::Io(_)));
+    }
+
+    #[test]
+    fn import_rejects_malformed_manifest() {
+        let dir = tmpdir("bad");
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(dir.join("manifest.tsv"), "garbage no header").expect("write");
+        fs::write(dir.join("gold.tsv"), "").expect("write");
+        let err = import(&dir).unwrap_err();
+        assert!(matches!(err, ExportError::Malformed(_)), "{err}");
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn slug_is_filesystem_safe() {
+        assert_eq!(slug("SkyQuest Travel"), "skyquest_travel");
+        assert_eq!(slug("a/b\\c:d"), "a_b_c_d");
+    }
+}

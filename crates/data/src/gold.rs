@@ -1,0 +1,103 @@
+//! Gold-standard matches.
+//!
+//! The generator stamps each attribute with its concept key; attributes
+//! sharing a key match. Evaluation compares a matcher's output clusters
+//! against these via pairwise precision/recall (the metrics of §6).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::interface::{AttrRef, Dataset};
+
+/// Gold clusters: one per concept (only concepts with ≥ 1 attribute).
+pub fn gold_clusters(ds: &Dataset) -> Vec<Vec<AttrRef>> {
+    let mut by_concept: BTreeMap<&str, Vec<AttrRef>> = BTreeMap::new();
+    for (r, a) in ds.attributes() {
+        by_concept.entry(a.concept.as_str()).or_default().push(r);
+    }
+    by_concept.into_values().collect()
+}
+
+/// The set of gold matching pairs (unordered, stored with the smaller
+/// `AttrRef` first).
+pub fn gold_pairs(ds: &Dataset) -> BTreeSet<(AttrRef, AttrRef)> {
+    let mut pairs = BTreeSet::new();
+    for cluster in gold_clusters(ds) {
+        for i in 0..cluster.len() {
+            for j in i + 1..cluster.len() {
+                pairs.insert(ordered(cluster[i], cluster[j]));
+            }
+        }
+    }
+    pairs
+}
+
+/// Normalise a pair to `(min, max)` order.
+pub fn ordered(a: AttrRef, b: AttrRef) -> (AttrRef, AttrRef) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Pairs induced by arbitrary clusters (matcher output), normalised the
+/// same way so sets compare directly with [`gold_pairs`].
+pub fn cluster_pairs(clusters: &[Vec<AttrRef>]) -> BTreeSet<(AttrRef, AttrRef)> {
+    let mut pairs = BTreeSet::new();
+    for cluster in clusters {
+        for i in 0..cluster.len() {
+            for j in i + 1..cluster.len() {
+                pairs.insert(ordered(cluster[i], cluster[j]));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_domain, GenOptions};
+    use crate::kb;
+
+    #[test]
+    fn clusters_partition_all_attributes() {
+        let ds = generate_domain(kb::domain("auto").expect("d"), &GenOptions::default());
+        let clusters = gold_clusters(&ds);
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, ds.attr_count());
+        // no AttrRef appears twice
+        let mut seen = BTreeSet::new();
+        for c in &clusters {
+            for r in c {
+                assert!(seen.insert(*r));
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_are_normalized_and_symmetric_free() {
+        let ds = generate_domain(kb::domain("book").expect("d"), &GenOptions::default());
+        for (a, b) in gold_pairs(&ds) {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn cluster_pairs_of_gold_equals_gold_pairs() {
+        let ds = generate_domain(kb::domain("job").expect("d"), &GenOptions::default());
+        assert_eq!(cluster_pairs(&gold_clusters(&ds)), gold_pairs(&ds));
+    }
+
+    #[test]
+    fn pair_count_formula() {
+        let clusters = vec![vec![(0, 0), (1, 0), (2, 0)], vec![(0, 1), (1, 1)]];
+        assert_eq!(cluster_pairs(&clusters).len(), 3 + 1);
+    }
+
+    #[test]
+    fn ordered_normalizes() {
+        assert_eq!(ordered((1, 0), (0, 0)), ((0, 0), (1, 0)));
+        assert_eq!(ordered((0, 0), (1, 0)), ((0, 0), (1, 0)));
+    }
+}

@@ -1,0 +1,231 @@
+//! The query-interface (schema) model.
+//!
+//! An interface is a web form; its attributes have a label, an optional set
+//! of pre-defined instances, and — for evaluation only — the gold concept
+//! key assigned by the generator. Interfaces render to HTML and can be
+//! re-extracted from HTML, exercising the same parse path a crawler over
+//! real Deep-Web sources would run.
+
+use webiq_html::form::{ExtractedForm, FieldKind};
+
+/// Reference to an attribute: `(interface index, attribute index)`.
+pub type AttrRef = (usize, usize);
+
+/// One attribute of a query interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Form-control name (the submitted parameter).
+    pub name: String,
+    /// Human-readable label.
+    pub label: String,
+    /// Gold concept key (generator-assigned; **evaluation only** — the
+    /// matcher never reads this).
+    pub concept: String,
+    /// Pre-defined instances; empty for free-text controls.
+    pub instances: Vec<String>,
+    /// Default value, if any.
+    pub default: Option<String>,
+}
+
+impl Attribute {
+    /// Does the attribute carry pre-defined instances?
+    pub fn has_instances(&self) -> bool {
+        !self.instances.is_empty()
+    }
+}
+
+/// A query interface (one Deep-Web source's form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interface {
+    /// Index within the dataset.
+    pub id: usize,
+    /// Domain key.
+    pub domain: String,
+    /// Source (site) name.
+    pub site: String,
+    /// Attributes in form order.
+    pub attributes: Vec<Attribute>,
+}
+
+impl Interface {
+    /// Number of attributes without pre-defined instances.
+    pub fn attrs_without_instances(&self) -> usize {
+        self.attributes.iter().filter(|a| !a.has_instances()).count()
+    }
+
+    /// Render the interface as an HTML form page.
+    pub fn to_html(&self) -> String {
+        let mut html = String::with_capacity(512);
+        html.push_str("<html><head><title>");
+        html.push_str(&webiq_html::entities::encode(&self.site));
+        html.push_str("</title></head><body><form action=\"/search\" method=\"get\">\n");
+        for a in &self.attributes {
+            let label = webiq_html::entities::encode(&a.label);
+            let name = webiq_html::entities::encode(&a.name);
+            if a.has_instances() {
+                html.push_str(&format!("{label}: <select name=\"{name}\">\n"));
+                html.push_str("<option>-- select --</option>\n");
+                for inst in &a.instances {
+                    let v = webiq_html::entities::encode(inst);
+                    if a.default.as_deref() == Some(inst.as_str()) {
+                        html.push_str(&format!("<option selected>{v}</option>\n"));
+                    } else {
+                        html.push_str(&format!("<option>{v}</option>\n"));
+                    }
+                }
+                html.push_str("</select><br>\n");
+            } else {
+                match &a.default {
+                    Some(d) => html.push_str(&format!(
+                        "{label}: <input type=\"text\" name=\"{name}\" value=\"{}\"><br>\n",
+                        webiq_html::entities::encode(d)
+                    )),
+                    None => html.push_str(&format!(
+                        "{label}: <input type=\"text\" name=\"{name}\"><br>\n"
+                    )),
+                }
+            }
+        }
+        html.push_str("<input type=\"submit\" value=\"Search\">\n</form></body></html>");
+        html
+    }
+
+    /// Reconstruct an interface from an extracted HTML form. Gold concept
+    /// keys are unknown from markup alone and left empty; callers holding
+    /// the generated dataset can restore them by control name with
+    /// [`Interface::adopt_concepts_from`].
+    pub fn from_extracted(id: usize, domain: &str, site: &str, form: &ExtractedForm) -> Self {
+        let attributes = form
+            .fields
+            .iter()
+            .filter(|f| f.kind != FieldKind::Hidden)
+            .map(|f| Attribute {
+                name: f.name.clone(),
+                label: f.label.clone(),
+                concept: String::new(),
+                instances: f.options.clone(),
+                default: f.default.clone(),
+            })
+            .collect();
+        Interface {
+            id,
+            domain: domain.to_string(),
+            site: site.to_string(),
+            attributes,
+        }
+    }
+
+    /// Copy gold concept keys from `reference` by matching control names.
+    pub fn adopt_concepts_from(&mut self, reference: &Interface) {
+        for a in &mut self.attributes {
+            if let Some(r) = reference.attributes.iter().find(|r| r.name == a.name) {
+                a.concept = r.concept.clone();
+            }
+        }
+    }
+}
+
+/// A generated dataset: all interfaces of one domain.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Domain key.
+    pub domain: String,
+    /// The interfaces.
+    pub interfaces: Vec<Interface>,
+}
+
+impl Dataset {
+    /// All attributes as `(AttrRef, &Attribute)` in dataset order.
+    pub fn attributes(&self) -> impl Iterator<Item = (AttrRef, &Attribute)> {
+        self.interfaces.iter().enumerate().flat_map(|(i, interface)| {
+            interface
+                .attributes
+                .iter()
+                .enumerate()
+                .map(move |(j, a)| ((i, j), a))
+        })
+    }
+
+    /// Attribute by reference.
+    pub fn attribute(&self, r: AttrRef) -> Option<&Attribute> {
+        self.interfaces.get(r.0).and_then(|i| i.attributes.get(r.1))
+    }
+
+    /// Total number of attributes.
+    pub fn attr_count(&self) -> usize {
+        self.interfaces.iter().map(|i| i.attributes.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webiq_html::form::extract_forms;
+
+    fn sample() -> Interface {
+        Interface {
+            id: 0,
+            domain: "airfare".into(),
+            site: "SkyQuest Travel".into(),
+            attributes: vec![
+                Attribute {
+                    name: "from".into(),
+                    label: "From city".into(),
+                    concept: "from_city".into(),
+                    instances: vec![],
+                    default: None,
+                },
+                Attribute {
+                    name: "airline".into(),
+                    label: "Airline".into(),
+                    concept: "airline".into(),
+                    instances: vec!["Delta".into(), "United".into()],
+                    default: Some("Delta".into()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn html_roundtrip_preserves_schema() {
+        let original = sample();
+        let html = original.to_html();
+        let forms = extract_forms(&html);
+        assert_eq!(forms.len(), 1);
+        let mut parsed = Interface::from_extracted(0, "airfare", "SkyQuest Travel", &forms[0]);
+        parsed.adopt_concepts_from(&original);
+
+        assert_eq!(parsed.attributes.len(), 2);
+        assert_eq!(parsed.attributes[0].label, "From city");
+        assert_eq!(parsed.attributes[0].name, "from");
+        assert!(!parsed.attributes[0].has_instances());
+        assert_eq!(parsed.attributes[1].instances, vec!["Delta", "United"]);
+        assert_eq!(parsed.attributes[1].default.as_deref(), Some("Delta"));
+        assert_eq!(parsed.attributes[1].concept, "airline");
+    }
+
+    #[test]
+    fn attrs_without_instances_counts() {
+        assert_eq!(sample().attrs_without_instances(), 1);
+    }
+
+    #[test]
+    fn dataset_iteration() {
+        let ds = Dataset { domain: "airfare".into(), interfaces: vec![sample(), sample()] };
+        assert_eq!(ds.attr_count(), 4);
+        assert_eq!(ds.attributes().count(), 4);
+        let ((i, j), a) = ds.attributes().nth(3).expect("4 attrs");
+        assert_eq!((i, j), (1, 1));
+        assert_eq!(a.name, "airline");
+        assert!(ds.attribute((1, 1)).is_some());
+        assert!(ds.attribute((2, 0)).is_none());
+    }
+
+    #[test]
+    fn html_escapes_special_chars() {
+        let mut iface = sample();
+        iface.attributes[0].label = "From <city> & more".into();
+        let html = iface.to_html();
+        assert!(html.contains("From &lt;city&gt; &amp; more"));
+    }
+}

@@ -1,0 +1,136 @@
+//! The automobile domain.
+//!
+//! Surface success in the paper is dragged down by ambiguous labels like
+//! `Zip` ("zip code"); the `zip` concept is text-only and has thin Web
+//! coverage (`web_richness` = 0.15) to reproduce that.
+
+use super::pools;
+use super::{ConceptDef, DomainDef};
+
+/// Automobile concepts.
+pub static CONCEPTS: &[ConceptDef] = &[
+    ConceptDef {
+        key: "make",
+        labels: &["Make", "Car make", "Vehicle make", "Manufacturer", "Brand"],
+        hard_from: 3,
+        control_names: &["make", "car_make", "mk"],
+        instances: pools::CAR_MAKES,
+        instances_alt: &[],
+        frequency: 1.0,
+        select_prob: 0.8,
+        expect_web: true,
+        web_richness: 1.0,
+        confusers: &["many other brands"],
+    },
+    ConceptDef {
+        key: "model",
+        labels: &["Model", "Vehicle model", "Car model"],
+        hard_from: usize::MAX,
+        control_names: &["model", "car_model", "mdl"],
+        instances: pools::CAR_MODELS,
+        instances_alt: &[],
+        frequency: 0.9,
+        select_prob: 0.65,
+        expect_web: true,
+        web_richness: 0.9,
+        confusers: &[],
+    },
+    ConceptDef {
+        key: "price",
+        labels: &["Price", "Maximum price", "Price range", "Cost"],
+        hard_from: 3,
+        control_names: &["price", "max_price", "price_to"],
+        instances: pools::CAR_PRICES,
+        instances_alt: &[],
+        frequency: 0.8,
+        select_prob: 0.8,
+        expect_web: true,
+        web_richness: 0.7,
+        confusers: &[],
+    },
+    ConceptDef {
+        key: "year",
+        labels: &["Year", "Model year", "Year of make"],
+        hard_from: usize::MAX,
+        control_names: &["year", "model_year", "yr"],
+        instances: pools::CAR_YEARS,
+        instances_alt: &[],
+        frequency: 0.8,
+        select_prob: 0.85,
+        expect_web: true,
+        web_richness: 0.6,
+        confusers: &[],
+    },
+    ConceptDef {
+        key: "zip",
+        labels: &["Zip", "Zip code", "Near zip code", "Postal code"],
+        hard_from: 3,
+        control_names: &["zip", "zipcode", "postal"],
+        instances: pools::ZIP_CODES,
+        instances_alt: &[],
+        frequency: 0.7,
+        select_prob: 0.0,
+        expect_web: true,
+        web_richness: 0.15,
+        confusers: &["your local area"],
+    },
+    ConceptDef {
+        key: "mileage",
+        labels: &["Mileage", "Maximum mileage", "Miles", "Odometer reading"],
+        hard_from: 2,
+        control_names: &["mileage", "max_miles", "miles"],
+        instances: pools::MILEAGES,
+        instances_alt: &[],
+        frequency: 0.5,
+        select_prob: 0.7,
+        expect_web: true,
+        web_richness: 0.5,
+        confusers: &[],
+    },
+    ConceptDef {
+        key: "color",
+        labels: &["Color", "Exterior color"],
+        hard_from: usize::MAX,
+        control_names: &["color", "ext_color"],
+        instances: pools::CAR_COLORS,
+        instances_alt: &[],
+        frequency: 0.3,
+        select_prob: 0.8,
+        expect_web: true,
+        web_richness: 0.8,
+        confusers: &[],
+    },
+    ConceptDef {
+        key: "body_style",
+        labels: &["Body style", "Body type", "Vehicle type"],
+        hard_from: usize::MAX,
+        control_names: &["body", "body_style", "vtype"],
+        instances: pools::BODY_STYLES,
+        instances_alt: &[],
+        frequency: 0.5,
+        select_prob: 0.9,
+        expect_web: true,
+        web_richness: 0.8,
+        confusers: &[],
+    },
+];
+
+/// Automobile site names.
+pub static SITES: &[&str] = &[
+    "AutoTrader Plus", "CarSeeker", "MotorMart", "DriveTime Deals",
+    "WheelsFinder", "RideQuest", "AutoBahn USA", "CarHuntr", "MotorCity Sales",
+    "GearBox Autos", "TurboLot", "ChromeDeals", "EngineBay Motors",
+    "PistonPoint", "AxleAuto", "TorqueTown", "CamshaftCars", "SparkPlug Autos",
+    "OverdriveMotors", "RoadReady Cars",
+];
+
+/// The automobile domain definition.
+pub static AUTO: DomainDef = DomainDef {
+    key: "auto",
+    display: "Auto",
+    object: "car",
+    domain_terms: &["car", "vehicle", "auto"],
+    concepts: CONCEPTS,
+    site_names: SITES,
+    all_select_rate: 0.05,
+};

@@ -1,0 +1,139 @@
+//! The book domain.
+//!
+//! The easiest domain for Surface extraction in the paper (84.4 %): the
+//! instance-less attributes carry plain noun labels (`author`,
+//! `publisher`, `title`) for which the Hearst-style extraction patterns
+//! are highly effective. The generic `keyword` concept is the one
+//! attribute class whose instances cannot be expected on the Web
+//! (Table 1 column 5 = 98 %).
+
+use super::pools;
+use super::{ConceptDef, DomainDef};
+
+/// Book concepts.
+pub static CONCEPTS: &[ConceptDef] = &[
+    ConceptDef {
+        key: "title",
+        labels: &["Title", "Book title", "Name of book"],
+        hard_from: 2,
+        control_names: &["title", "book_title", "btitle"],
+        instances: pools::BOOK_TITLES,
+        instances_alt: &[],
+        frequency: 1.0,
+        select_prob: 0.5,
+        expect_web: true,
+        web_richness: 1.0,
+        confusers: &["many other bestsellers"],
+    },
+    ConceptDef {
+        key: "author",
+        labels: &["Author", "Author name", "Written by"],
+        hard_from: 2,
+        control_names: &["author", "author_name", "writer"],
+        instances: pools::AUTHORS,
+        instances_alt: &[],
+        frequency: 1.0,
+        select_prob: 0.6,
+        expect_web: true,
+        web_richness: 1.2,
+        confusers: &["numerous award winners"],
+    },
+    ConceptDef {
+        key: "keyword",
+        labels: &["Keyword", "Keywords", "Search terms"],
+        hard_from: usize::MAX,
+        control_names: &["keyword", "kw", "terms"],
+        instances: &[],
+        instances_alt: &[],
+        frequency: 0.15,
+        select_prob: 0.0,
+        expect_web: false,
+        web_richness: 0.0,
+        confusers: &[],
+    },
+    ConceptDef {
+        key: "isbn",
+        labels: &["ISBN", "ISBN number"],
+        hard_from: usize::MAX,
+        control_names: &["isbn", "isbn_no"],
+        instances: &[],
+        instances_alt: &[],
+        frequency: 0.5,
+        select_prob: 0.0,
+        expect_web: true,
+        web_richness: 0.6,
+        confusers: &[],
+    },
+    ConceptDef {
+        key: "publisher",
+        labels: &["Publisher", "Publishing house"],
+        hard_from: usize::MAX,
+        control_names: &["publisher", "pub", "pub_name"],
+        instances: pools::PUBLISHERS,
+        instances_alt: &[],
+        frequency: 0.5,
+        select_prob: 0.6,
+        expect_web: true,
+        web_richness: 1.1,
+        confusers: &[],
+    },
+    ConceptDef {
+        key: "subject",
+        labels: &["Subject", "Category", "Genre"],
+        hard_from: 2,
+        control_names: &["subject", "category", "genre"],
+        instances: pools::BOOK_SUBJECTS,
+        instances_alt: &[],
+        frequency: 0.6,
+        select_prob: 0.9,
+        expect_web: true,
+        web_richness: 0.9,
+        confusers: &[],
+    },
+    ConceptDef {
+        key: "price",
+        labels: &["Price", "Maximum price"],
+        hard_from: 3,
+        control_names: &["price", "max_price"],
+        instances: pools::BOOK_PRICES,
+        instances_alt: &[],
+        frequency: 0.4,
+        select_prob: 0.85,
+        expect_web: true,
+        web_richness: 0.6,
+        confusers: &[],
+    },
+    ConceptDef {
+        key: "format",
+        labels: &["Format", "Binding"],
+        hard_from: usize::MAX,
+        control_names: &["format", "binding"],
+        instances: pools::BOOK_FORMATS,
+        instances_alt: &[],
+        frequency: 0.4,
+        select_prob: 0.9,
+        expect_web: true,
+        web_richness: 0.8,
+        confusers: &[],
+    },
+];
+
+/// Book site names.
+pub static SITES: &[&str] = &[
+    "PageTurner Books", "InkWell Shop", "Bindery Lane", "NovelIdea Store",
+    "ChapterHouse", "BookBarn Online", "ReadersNook", "SpineStreet",
+    "FolioFinder", "PaperbackPlaza", "TomeTraders", "LibrettoBooks",
+    "QuillQuarters", "VellumVault", "HardcoverHaven", "ProloguePress Shop",
+    "EpilogueEmporium", "MarginaliaMart", "DustJacketDepot", "Bibliotheca Plus",
+];
+
+/// The book domain definition.
+pub static BOOK: DomainDef = DomainDef {
+    key: "book",
+    display: "Book",
+    object: "book",
+    domain_terms: &["book", "bookstore", "reading"],
+    concepts: CONCEPTS,
+    site_names: SITES,
+    all_select_rate: 0.15,
+};

@@ -1,0 +1,159 @@
+//! The movie domain — **not part of the paper's evaluation**.
+//!
+//! The paper's five domains are fixed by the ICQ dataset; this sixth
+//! domain exists to demonstrate that the knowledge-base format, the
+//! dataset generator, the corpus generator, and the full WebIQ pipeline
+//! are domain-agnostic: define concepts, labels, and instance pools, and
+//! everything else follows. It is reachable via
+//! [`super::extended_domains`] but deliberately excluded from
+//! [`super::all_domains`] (and therefore from every Table-1/Figure-6
+//! regeneration).
+
+use super::pools;
+use super::{ConceptDef, DomainDef};
+
+/// Movie titles.
+pub static MOVIE_TITLES: &[&str] = &[
+    "The Matrix", "Jurassic Park", "Casablanca", "Vertigo", "Jaws",
+    "Alien", "Amadeus", "Rocky", "Titanic", "Gladiator", "Memento",
+    "Fargo", "Heat", "Seven", "Chinatown", "Goodfellas", "Psycho",
+    "Rear Window", "The Sting", "Ben Hur",
+];
+
+/// Film directors.
+pub static DIRECTORS: &[&str] = &[
+    "Steven Spielberg", "Alfred Hitchcock", "Stanley Kubrick",
+    "Martin Scorsese", "Ridley Scott", "Francis Ford Coppola",
+    "Sidney Lumet", "Billy Wilder", "Robert Altman", "John Huston",
+    "Orson Welles", "Akira Kurosawa", "David Lean", "Fritz Lang",
+];
+
+/// Genres.
+pub static GENRES: &[&str] = &[
+    "Action", "Comedy", "Drama", "Thriller", "Horror", "Western",
+    "Science Fiction", "Documentary", "Animation", "Musical", "Film Noir",
+];
+
+/// MPAA-style ratings.
+pub static RATINGS: &[&str] = &["G", "PG", "PG-13", "R", "NC-17"];
+
+/// Release years.
+pub static MOVIE_YEARS: &[&str] = &[
+    "1970", "1975", "1980", "1985", "1990", "1995", "1998", "2000",
+    "2002", "2004", "2005", "2006",
+];
+
+/// Movie concepts.
+pub static CONCEPTS: &[ConceptDef] = &[
+    ConceptDef {
+        key: "title",
+        labels: &["Title", "Movie title", "Film name"],
+        hard_from: 2,
+        control_names: &["title", "movie_title", "film"],
+        instances: MOVIE_TITLES,
+        instances_alt: &[],
+        frequency: 1.0,
+        select_prob: 0.4,
+        expect_web: true,
+        web_richness: 1.0,
+        confusers: &["many other classics"],
+    },
+    ConceptDef {
+        key: "director",
+        labels: &["Director", "Directed by", "Filmmaker"],
+        hard_from: 2,
+        control_names: &["director", "dir"],
+        instances: DIRECTORS,
+        instances_alt: &[],
+        frequency: 0.8,
+        select_prob: 0.5,
+        expect_web: true,
+        web_richness: 1.1,
+        confusers: &[],
+    },
+    ConceptDef {
+        key: "genre",
+        labels: &["Genre", "Category", "Type of film"],
+        hard_from: 1,
+        control_names: &["genre", "category"],
+        instances: GENRES,
+        instances_alt: &[],
+        frequency: 0.8,
+        select_prob: 0.9,
+        expect_web: true,
+        web_richness: 0.9,
+        confusers: &[],
+    },
+    ConceptDef {
+        key: "year",
+        labels: &["Year", "Release year", "Released in"],
+        hard_from: usize::MAX,
+        control_names: &["year", "rel_year"],
+        instances: MOVIE_YEARS,
+        instances_alt: &[],
+        frequency: 0.7,
+        select_prob: 0.8,
+        expect_web: true,
+        web_richness: 0.6,
+        confusers: &[],
+    },
+    ConceptDef {
+        key: "rating",
+        labels: &["Rating", "MPAA rating"],
+        hard_from: usize::MAX,
+        control_names: &["rating", "mpaa"],
+        instances: RATINGS,
+        instances_alt: &[],
+        frequency: 0.5,
+        select_prob: 0.9,
+        expect_web: true,
+        web_richness: 0.5,
+        confusers: &[],
+    },
+    ConceptDef {
+        key: "keyword",
+        labels: &["Keywords", "Keyword"],
+        hard_from: usize::MAX,
+        control_names: &["keywords", "kw"],
+        instances: &[],
+        instances_alt: &[],
+        frequency: 0.3,
+        select_prob: 0.0,
+        expect_web: false,
+        web_richness: 0.0,
+        confusers: &[],
+    },
+    ConceptDef {
+        key: "state",
+        labels: &["State"],
+        hard_from: usize::MAX,
+        control_names: &["state"],
+        instances: pools::STATES,
+        instances_alt: &[],
+        frequency: 0.2,
+        select_prob: 0.8,
+        expect_web: true,
+        web_richness: 0.8,
+        confusers: &[],
+    },
+];
+
+/// Movie site names.
+pub static SITES: &[&str] = &[
+    "ReelFinder", "CineSearch", "FlickBase", "ScreenScout", "FilmFolio",
+    "MovieMill", "PopcornPicks", "SilverScreen Search", "ClapboardCat",
+    "MatineeMart", "TrailerTrove", "CelluloidCity", "ProjectorPal",
+    "BoxOfficeBay", "DirectorDex", "SceneSeeker", "FeatureFind",
+    "CreditRoll", "CastCatalog", "PremierePages",
+];
+
+/// The movie domain definition.
+pub static MOVIE: DomainDef = DomainDef {
+    key: "movie",
+    display: "Movie",
+    object: "movie",
+    domain_terms: &["movie", "film", "cinema"],
+    concepts: CONCEPTS,
+    site_names: SITES,
+    all_select_rate: 0.1,
+};

@@ -1,0 +1,130 @@
+//! Dataset characteristics — Table 1, columns 2–5.
+
+use crate::interface::Dataset;
+use crate::kb::DomainDef;
+
+/// The per-domain characteristics reported in Table 1 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Characteristics {
+    /// Column 2: average number of attributes per interface.
+    pub avg_attrs: f64,
+    /// Column 3: % of interfaces containing at least one attribute without
+    /// instances.
+    pub pct_interfaces_no_inst: f64,
+    /// Column 4: among those interfaces, % of attributes without instances.
+    pub pct_attrs_no_inst: f64,
+    /// Column 5: among attributes without instances, % whose instances can
+    /// reasonably be expected on the Surface Web.
+    pub pct_expected_on_web: f64,
+}
+
+/// Compute the Table-1 characteristics of a generated dataset.
+///
+/// Column 5 needs the domain definition: whether instances of an attribute
+/// can be *expected* on the Web is a property of its concept (generic
+/// attributes like `keyword` cannot), which the paper assessed manually and
+/// we record as [`crate::kb::ConceptDef::expect_web`].
+pub fn characteristics(ds: &Dataset, def: &DomainDef) -> Characteristics {
+    let n_interfaces = ds.interfaces.len().max(1);
+    let avg_attrs = ds.attr_count() as f64 / n_interfaces as f64;
+
+    let with_noinst: Vec<_> = ds
+        .interfaces
+        .iter()
+        .filter(|i| i.attrs_without_instances() > 0)
+        .collect();
+    let pct_interfaces_no_inst = 100.0 * with_noinst.len() as f64 / n_interfaces as f64;
+
+    let (mut attrs_in_those, mut noinst_in_those) = (0usize, 0usize);
+    let (mut noinst_total, mut noinst_expected) = (0usize, 0usize);
+    for i in &with_noinst {
+        attrs_in_those += i.attributes.len();
+        noinst_in_those += i.attrs_without_instances();
+        for a in &i.attributes {
+            if !a.has_instances() {
+                noinst_total += 1;
+                if def.concept(&a.concept).is_some_and(|c| c.expect_web) {
+                    noinst_expected += 1;
+                }
+            }
+        }
+    }
+    let pct_attrs_no_inst = if attrs_in_those == 0 {
+        0.0
+    } else {
+        100.0 * noinst_in_those as f64 / attrs_in_those as f64
+    };
+    let pct_expected_on_web = if noinst_total == 0 {
+        0.0
+    } else {
+        100.0 * noinst_expected as f64 / noinst_total as f64
+    };
+
+    Characteristics { avg_attrs, pct_interfaces_no_inst, pct_attrs_no_inst, pct_expected_on_web }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_domain, GenOptions};
+    use crate::kb;
+
+    /// Table 1 of the paper; the generated datasets must land near these.
+    /// Tolerances account for 20-interface sampling noise.
+    #[test]
+    fn generated_datasets_match_table1_profile() {
+        let targets = [
+            // (domain, avg_attrs, int_no_inst%, attr_no_inst%, exp_inst%)
+            ("airfare", 10.7, 85.0, 32.2, 100.0),
+            ("auto", 5.1, 95.0, 28.1, 100.0),
+            ("book", 5.4, 85.0, 38.6, 98.0),
+            ("job", 4.6, 100.0, 74.6, 83.1),
+            ("realestate", 6.5, 95.0, 30.0, 66.7),
+        ];
+        for (key, avg, int_ni, attr_ni, exp) in targets {
+            let def = kb::domain(key).expect("domain");
+            let ds = generate_domain(def, &GenOptions::default());
+            let c = characteristics(&ds, def);
+            assert!(
+                (c.avg_attrs - avg).abs() <= 1.5,
+                "{key}: avg_attrs {:.1} vs {avg}", c.avg_attrs
+            );
+            assert!(
+                (c.pct_interfaces_no_inst - int_ni).abs() <= 16.0,
+                "{key}: IntNoInst {:.1} vs {int_ni}", c.pct_interfaces_no_inst
+            );
+            assert!(
+                (c.pct_attrs_no_inst - attr_ni).abs() <= 12.0,
+                "{key}: AttrNoInst {:.1} vs {attr_ni}", c.pct_attrs_no_inst
+            );
+            assert!(
+                (c.pct_expected_on_web - exp).abs() <= 15.0,
+                "{key}: ExpInst {:.1} vs {exp}", c.pct_expected_on_web
+            );
+        }
+    }
+
+    #[test]
+    fn empty_dataset_is_safe() {
+        let ds = Dataset { domain: "airfare".into(), interfaces: vec![] };
+        let def = kb::domain("airfare").expect("domain");
+        let c = characteristics(&ds, def);
+        assert_eq!(c.avg_attrs, 0.0);
+        assert_eq!(c.pct_interfaces_no_inst, 0.0);
+        assert_eq!(c.pct_attrs_no_inst, 0.0);
+    }
+
+    #[test]
+    fn job_is_most_instance_poor() {
+        let opts = GenOptions::default();
+        let mut worst = ("", 0.0f64);
+        for def in kb::all_domains() {
+            let ds = generate_domain(def, &opts);
+            let c = characteristics(&ds, def);
+            if c.pct_attrs_no_inst > worst.1 {
+                worst = (def.key, c.pct_attrs_no_inst);
+            }
+        }
+        assert_eq!(worst.0, "job", "job must be the most instance-poor domain");
+    }
+}

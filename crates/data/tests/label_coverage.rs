@@ -1,0 +1,54 @@
+//! Cross-crate invariant: every label in every knowledge base (paper +
+//! extension domains) is analysable by the NLP substrate — it classifies
+//! into one of the §2.1 forms, and noun-phrase labels produce non-empty
+//! cue phrases.
+
+use webiq_data::kb;
+use webiq_nlp::{classify_label, LabelForm};
+
+#[test]
+fn every_kb_label_classifies() {
+    for def in kb::extended_domains() {
+        for concept in def.concepts {
+            for label in concept.labels {
+                let form = classify_label(label);
+                assert!(
+                    !matches!(form, LabelForm::Other),
+                    "{}/{}: label {label:?} classified as Other",
+                    def.key,
+                    concept.key
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn noun_phrase_labels_pluralize_sanely() {
+    for def in kb::extended_domains() {
+        for concept in def.concepts {
+            for label in concept.labels {
+                if let LabelForm::NounPhrase(np) = classify_label(label) {
+                    let plural = np.plural_text();
+                    assert!(!plural.is_empty(), "{label:?} → empty plural");
+                    assert!(
+                        plural.split_whitespace().count() >= np.words.len(),
+                        "{label:?} → {plural:?} lost words"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn instance_pools_have_no_blank_values() {
+    for def in kb::extended_domains() {
+        for concept in def.concepts {
+            for v in concept.instances.iter().chain(concept.instances_alt) {
+                assert!(!v.trim().is_empty(), "{}/{} has a blank instance", def.key, concept.key);
+                assert!(v.len() < 60, "{}/{}: instance {v:?} overlong", def.key, concept.key);
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Backend record stores for simulated Deep-Web sources.
+//!
+//! Each source sits on top of a relational-style store; probing queries
+//! (§4) succeed or fail depending on whether the constrained values select
+//! any records — which is exactly the signal Attr-Deep exploits: `from =
+//! Chicago` selects flights, `from = January` selects nothing.
+
+use std::collections::BTreeMap;
+
+/// One backend record: attribute name → value.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Record {
+    fields: BTreeMap<String, String>,
+}
+
+impl Record {
+    /// Build from `(name, value)` pairs.
+    pub fn new<I, K, V>(fields: I) -> Self
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<String>,
+    {
+        Record {
+            fields: fields.into_iter().map(|(k, v)| (k.into(), v.into())).collect(),
+        }
+    }
+
+    /// Value of a field.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.fields.get(name).map(String::as_str)
+    }
+
+    /// Set a field value.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.fields.insert(name.into(), value.into());
+    }
+
+    /// Iterate `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+/// How a constraint value is matched against a record value.
+fn value_matches(record_value: &str, query_value: &str) -> bool {
+    let rv = record_value.trim().to_ascii_lowercase();
+    let qv = query_value.trim().to_ascii_lowercase();
+    if qv.is_empty() {
+        return true; // unconstrained
+    }
+    // exact (case-insensitive) or whole-word containment, mirroring how
+    // real sources treat text boxes leniently but select values exactly.
+    rv == qv || rv.split_whitespace().any(|w| w == qv) || rv.contains(&qv)
+}
+
+/// A store of records.
+#[derive(Debug, Clone, Default)]
+pub struct RecordStore {
+    records: Vec<Record>,
+}
+
+impl RecordStore {
+    /// Build from records.
+    pub fn new(records: Vec<Record>) -> Self {
+        RecordStore { records }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, record: Record) {
+        self.records.push(record);
+    }
+
+    /// All records matching every non-empty constraint. Constraints naming
+    /// fields absent from a record never match it.
+    pub fn query(&self, constraints: &BTreeMap<String, String>) -> Vec<&Record> {
+        self.records
+            .iter()
+            .filter(|r| {
+                constraints.iter().all(|(name, value)| {
+                    if value.trim().is_empty() {
+                        return true;
+                    }
+                    match r.get(name) {
+                        Some(rv) => value_matches(rv, value),
+                        None => false,
+                    }
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flights() -> RecordStore {
+        RecordStore::new(vec![
+            Record::new([("from", "Chicago"), ("to", "Boston"), ("airline", "United")]),
+            Record::new([("from", "Chicago"), ("to", "Denver"), ("airline", "Delta")]),
+            Record::new([("from", "Seattle"), ("to", "Boston"), ("airline", "Alaska")]),
+        ])
+    }
+
+    fn constraints(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn exact_match() {
+        let s = flights();
+        assert_eq!(s.query(&constraints(&[("from", "Chicago")])).len(), 2);
+        assert_eq!(s.query(&constraints(&[("from", "chicago")])).len(), 2);
+    }
+
+    #[test]
+    fn conjunctive_constraints() {
+        let s = flights();
+        let got = s.query(&constraints(&[("from", "Chicago"), ("to", "Boston")]));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].get("airline"), Some("United"));
+    }
+
+    #[test]
+    fn ill_typed_value_selects_nothing() {
+        let s = flights();
+        assert!(s.query(&constraints(&[("from", "January")])).is_empty());
+    }
+
+    #[test]
+    fn empty_values_are_unconstrained() {
+        let s = flights();
+        assert_eq!(s.query(&constraints(&[("from", ""), ("to", "  ")])).len(), 3);
+        assert_eq!(s.query(&constraints(&[])).len(), 3);
+    }
+
+    #[test]
+    fn unknown_field_never_matches() {
+        let s = flights();
+        assert!(s.query(&constraints(&[("color", "red")])).is_empty());
+    }
+
+    #[test]
+    fn substring_containment_for_text() {
+        let s = RecordStore::new(vec![Record::new([("title", "The Art of Computer Programming")])]);
+        assert_eq!(s.query(&constraints(&[("title", "computer")])).len(), 1);
+        assert_eq!(s.query(&constraints(&[("title", "biology")])).len(), 0);
+    }
+
+    #[test]
+    fn record_accessors() {
+        let mut r = Record::new([("a", "1")]);
+        assert_eq!(r.len(), 1);
+        r.set("b", "2");
+        assert_eq!(r.iter().count(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.get("b"), Some("2"));
+        assert_eq!(r.get("c"), None);
+    }
+}

@@ -1,0 +1,270 @@
+//! A simulated Deep-Web data source: a form handler over a record store.
+//!
+//! `submit` takes the form parameters (attribute name → value), runs the
+//! backend query, and returns an HTML response page. Behaviour mirrors what
+//! the paper relies on (§4):
+//!
+//! - **partial queries are permitted** — unspecified/empty values are
+//!   unconstrained ("many interfaces permit partial queries");
+//! - **pre-defined domains are enforced** — a `<select>`-backed attribute
+//!   rejects values outside its option list with an error page;
+//! - ill-typed free-text values simply select nothing → "no results";
+//! - optional **failure injection** deterministically returns server
+//!   errors for a configurable fraction of probes.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::record::RecordStore;
+use crate::render;
+
+/// Constraint a source places on one of its parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamDomain {
+    /// Free-text parameter: any value accepted, matching done by the store.
+    Free,
+    /// Pre-defined values (a `<select>`/radio attribute): values outside
+    /// the list are rejected with an error page.
+    Enumerated(Vec<String>),
+}
+
+/// A parameter the source's form accepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceParam {
+    /// Parameter (form-control) name.
+    pub name: String,
+    /// Accepted values.
+    pub domain: ParamDomain,
+    /// Whether the source requires this parameter to be non-empty.
+    pub required: bool,
+}
+
+/// A simulated Deep-Web source.
+#[derive(Debug)]
+pub struct DeepSource {
+    /// Human-readable source name (used in response pages).
+    pub name: String,
+    params: Vec<SourceParam>,
+    store: RecordStore,
+    /// Fraction of probes answered with a 500 page, in [0, 1].
+    failure_rate: f64,
+    probes: AtomicU64,
+}
+
+impl DeepSource {
+    /// Stand up a source over `store` accepting `params`.
+    pub fn new(name: impl Into<String>, params: Vec<SourceParam>, store: RecordStore) -> Self {
+        DeepSource {
+            name: name.into(),
+            params,
+            store,
+            failure_rate: 0.0,
+            probes: AtomicU64::new(0),
+        }
+    }
+
+    /// Enable deterministic failure injection: a `rate` fraction of
+    /// submissions (chosen by a hash of the parameters) return a server
+    /// error page.
+    pub fn with_failure_rate(mut self, rate: f64) -> Self {
+        self.failure_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The source's accepted parameters.
+    pub fn params(&self) -> &[SourceParam] {
+        &self.params
+    }
+
+    /// Number of probe submissions served so far.
+    pub fn probe_count(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Number of backend records.
+    pub fn record_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Submit the form with `values` (name → value; empty string = leave
+    /// unspecified). Returns the HTML response page.
+    pub fn submit(&self, values: &BTreeMap<String, String>) -> String {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+
+        if self.failure_rate > 0.0 {
+            let h = param_hash(values);
+            if (h % 10_000) as f64 / 10_000.0 < self.failure_rate {
+                return render::server_error_page();
+            }
+        }
+
+        // Validate against parameter domains.
+        for p in &self.params {
+            let supplied = values.get(&p.name).map(String::as_str).unwrap_or("");
+            if supplied.trim().is_empty() {
+                if p.required {
+                    return render::error_page(
+                        &self.name,
+                        &format!("field '{}' is required", p.name),
+                    );
+                }
+                continue;
+            }
+            if let ParamDomain::Enumerated(allowed) = &p.domain {
+                if !allowed.iter().any(|a| a.eq_ignore_ascii_case(supplied.trim())) {
+                    return render::error_page(
+                        &self.name,
+                        &format!("invalid value for field '{}'", p.name),
+                    );
+                }
+            }
+        }
+
+        // Unknown parameter names are ignored by real CGI endpoints; only
+        // known ones constrain the query.
+        let known: BTreeMap<String, String> = values
+            .iter()
+            .filter(|(k, _)| self.params.iter().any(|p| &p.name == *k))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+
+        let matches = self.store.query(&known);
+        if matches.is_empty() {
+            render::no_results_page(&self.name)
+        } else {
+            render::results_page(&self.name, &matches)
+        }
+    }
+}
+
+/// Deterministic hash of the submitted parameters (FNV-1a).
+fn param_hash(values: &BTreeMap<String, String>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for (k, v) in values {
+        for b in k.bytes().chain([0u8]).chain(v.bytes()).chain([0u8]) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+
+    fn source() -> DeepSource {
+        let store = RecordStore::new(vec![
+            Record::new([("from", "Chicago"), ("to", "Boston"), ("airline", "United")]),
+            Record::new([("from", "Chicago"), ("to", "Denver"), ("airline", "Delta")]),
+            Record::new([("from", "Seattle"), ("to", "Boston"), ("airline", "Alaska")]),
+        ]);
+        DeepSource::new(
+            "AcmeAir",
+            vec![
+                SourceParam { name: "from".into(), domain: ParamDomain::Free, required: false },
+                SourceParam { name: "to".into(), domain: ParamDomain::Free, required: false },
+                SourceParam {
+                    name: "airline".into(),
+                    domain: ParamDomain::Enumerated(vec![
+                        "United".into(),
+                        "Delta".into(),
+                        "Alaska".into(),
+                    ]),
+                    required: false,
+                },
+            ],
+            store,
+        )
+    }
+
+    fn params(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn valid_probe_returns_results() {
+        let s = source();
+        let page = s.submit(&params(&[("from", "Chicago")]));
+        assert!(page.contains("Found 2 matching results"), "{page}");
+    }
+
+    #[test]
+    fn ill_typed_probe_returns_no_results() {
+        let s = source();
+        let page = s.submit(&params(&[("from", "January")]));
+        assert!(page.contains("no results"), "{page}");
+    }
+
+    #[test]
+    fn enumerated_domain_rejects_unknown_value() {
+        let s = source();
+        let page = s.submit(&params(&[("airline", "Aer Lingus")]));
+        assert!(page.contains("invalid value"), "{page}");
+    }
+
+    #[test]
+    fn enumerated_domain_accepts_case_insensitively() {
+        let s = source();
+        let page = s.submit(&params(&[("airline", "delta")]));
+        assert!(page.contains("Found 1 matching results"), "{page}");
+    }
+
+    #[test]
+    fn partial_query_with_all_defaults() {
+        let s = source();
+        let page = s.submit(&params(&[("from", ""), ("to", "")]));
+        assert!(page.contains("Found 3 matching results"), "{page}");
+    }
+
+    #[test]
+    fn required_field_enforced() {
+        let store = RecordStore::new(vec![Record::new([("q", "x")])]);
+        let s = DeepSource::new(
+            "Req",
+            vec![SourceParam { name: "q".into(), domain: ParamDomain::Free, required: true }],
+            store,
+        );
+        let page = s.submit(&params(&[]));
+        assert!(page.contains("required"), "{page}");
+    }
+
+    #[test]
+    fn unknown_params_ignored() {
+        let s = source();
+        let page = s.submit(&params(&[("bogus", "value")]));
+        assert!(page.contains("Found 3 matching results"), "{page}");
+    }
+
+    #[test]
+    fn probe_counter_increments() {
+        let s = source();
+        let _ = s.submit(&params(&[]));
+        let _ = s.submit(&params(&[]));
+        assert_eq!(s.probe_count(), 2);
+    }
+
+    #[test]
+    fn failure_injection_is_deterministic() {
+        let s = source().with_failure_rate(1.0);
+        let page = s.submit(&params(&[("from", "Chicago")]));
+        assert!(page.contains("Internal Server Error"));
+        let s2 = source().with_failure_rate(0.0);
+        let page2 = s2.submit(&params(&[("from", "Chicago")]));
+        assert!(!page2.contains("Internal Server Error"));
+    }
+
+    #[test]
+    fn partial_failure_rate_hits_some_probes() {
+        let s = source().with_failure_rate(0.5);
+        let mut failures = 0;
+        for i in 0..40 {
+            let page = s.submit(&params(&[("from", &format!("city{i}"))]));
+            if page.contains("Internal Server Error") {
+                failures += 1;
+            }
+        }
+        assert!(failures > 5 && failures < 35, "failures = {failures}");
+    }
+}

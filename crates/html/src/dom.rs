@@ -1,0 +1,291 @@
+//! DOM-lite tree construction over the token stream.
+//!
+//! A forgiving tree builder: void elements never take children, a handful
+//! of implicit-close rules handle the tag-soup constructs common on
+//! query-interface pages (`<option>` without `</option>`, unclosed `<p>`,
+//! `<li>`, `<tr>`, `<td>`), and unmatched end tags are ignored.
+
+use crate::lexer::{self, Attr, HtmlToken};
+
+/// A DOM node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// An element with lowercase tag name, attributes, and children.
+    Element {
+        /// Lowercased tag name.
+        name: String,
+        /// Attributes in source order.
+        attrs: Vec<Attr>,
+        /// Child nodes in document order.
+        children: Vec<Node>,
+    },
+    /// A text node (entities already decoded).
+    Text(String),
+}
+
+impl Node {
+    /// The tag name if this is an element.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            Node::Element { name, .. } => Some(name),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// Attribute lookup (case-insensitive name, first match).
+    pub fn attr(&self, attr_name: &str) -> Option<&str> {
+        match self {
+            Node::Element { attrs, .. } => attrs
+                .iter()
+                .find(|a| a.name.eq_ignore_ascii_case(attr_name))
+                .map(|a| a.value.as_str()),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// Children slice (empty for text nodes).
+    pub fn children(&self) -> &[Node] {
+        match self {
+            Node::Element { children, .. } => children,
+            Node::Text(_) => &[],
+        }
+    }
+
+    /// Concatenated descendant text, whitespace-normalized.
+    pub fn text(&self) -> String {
+        let mut buf = String::new();
+        self.collect_text(&mut buf);
+        normalize_ws(&buf)
+    }
+
+    fn collect_text(&self, buf: &mut String) {
+        match self {
+            Node::Text(t) => {
+                buf.push_str(t);
+                buf.push(' ');
+            }
+            Node::Element { children, .. } => {
+                for c in children {
+                    c.collect_text(buf);
+                }
+            }
+        }
+    }
+
+    /// Depth-first search for all elements named `tag` (lowercase).
+    pub fn find_all<'a>(&'a self, tag: &str, out: &mut Vec<&'a Node>) {
+        if self.name() == Some(tag) {
+            out.push(self);
+        }
+        for c in self.children() {
+            c.find_all(tag, out);
+        }
+    }
+
+    /// First descendant element named `tag`, depth-first.
+    pub fn find_first<'a>(&'a self, tag: &str) -> Option<&'a Node> {
+        if self.name() == Some(tag) {
+            return Some(self);
+        }
+        self.children().iter().find_map(|c| c.find_first(tag))
+    }
+}
+
+/// Collapse runs of whitespace to single spaces and trim.
+pub fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Tags that never have children.
+fn is_void(name: &str) -> bool {
+    matches!(
+        name,
+        "input" | "br" | "hr" | "img" | "meta" | "link" | "area" | "base" | "col" | "embed"
+            | "source" | "track" | "wbr"
+    )
+}
+
+/// Does opening `incoming` implicitly close an open `open_tag`?
+fn implicitly_closes(open_tag: &str, incoming: &str) -> bool {
+    match open_tag {
+        "option" => matches!(incoming, "option" | "optgroup" | "select"),
+        "li" => incoming == "li",
+        "p" => matches!(
+            incoming,
+            "p" | "div" | "table" | "form" | "ul" | "ol" | "h1" | "h2" | "h3" | "h4"
+        ),
+        "tr" => matches!(incoming, "tr" | "tbody" | "thead"),
+        "td" | "th" => matches!(incoming, "td" | "th" | "tr" | "tbody" | "thead" | "table"),
+        _ => false,
+    }
+}
+
+/// Parse HTML into a forest of top-level nodes.
+pub fn parse(html: &str) -> Vec<Node> {
+    #[derive(Debug)]
+    struct Open {
+        name: String,
+        attrs: Vec<Attr>,
+        children: Vec<Node>,
+    }
+
+    let mut stack: Vec<Open> = Vec::new();
+    let mut roots: Vec<Node> = Vec::new();
+
+    fn push_node(stack: &mut [Open], roots: &mut Vec<Node>, node: Node) {
+        match stack.last_mut() {
+            Some(open) => open.children.push(node),
+            None => roots.push(node),
+        }
+    }
+
+    fn close_one(stack: &mut Vec<Open>, roots: &mut Vec<Node>) {
+        if let Some(open) = stack.pop() {
+            let node =
+                Node::Element { name: open.name, attrs: open.attrs, children: open.children };
+            push_node(stack, roots, node);
+        }
+    }
+
+    for token in lexer::tokenize(html) {
+        match token {
+            HtmlToken::Text(t) => {
+                if !t.trim().is_empty() {
+                    push_node(&mut stack, &mut roots, Node::Text(t));
+                }
+            }
+            HtmlToken::Comment(_) | HtmlToken::Doctype(_) => {}
+            HtmlToken::StartTag { name, attrs, self_closing } => {
+                while stack
+                    .last()
+                    .is_some_and(|open| implicitly_closes(&open.name, &name))
+                {
+                    close_one(&mut stack, &mut roots);
+                }
+                if self_closing || is_void(&name) {
+                    push_node(
+                        &mut stack,
+                        &mut roots,
+                        Node::Element { name, attrs, children: Vec::new() },
+                    );
+                } else {
+                    stack.push(Open { name, attrs, children: Vec::new() });
+                }
+            }
+            HtmlToken::EndTag { name } => {
+                // Find the matching open element; ignore the end tag if none.
+                if let Some(pos) = stack.iter().rposition(|open| open.name == name) {
+                    while stack.len() > pos {
+                        close_one(&mut stack, &mut roots);
+                    }
+                }
+            }
+        }
+    }
+    // close anything left open at EOF
+    while !stack.is_empty() {
+        close_one(&mut stack, &mut roots);
+    }
+    roots
+}
+
+/// Parse and wrap in a synthetic root element for uniform traversal.
+pub fn parse_document(html: &str) -> Node {
+    Node::Element {
+        name: "#document".to_string(),
+        attrs: Vec::new(),
+        children: parse(html),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_tree() {
+        let doc = parse_document("<html><body><p>Hello</p></body></html>");
+        let p = doc.find_first("p").expect("p");
+        assert_eq!(p.text(), "Hello");
+    }
+
+    #[test]
+    fn void_elements_take_no_children() {
+        let doc = parse_document("<div><input name=a>text after</div>");
+        let input = doc.find_first("input").expect("input");
+        assert!(input.children().is_empty());
+        let div = doc.find_first("div").expect("div");
+        assert_eq!(div.children().len(), 2);
+    }
+
+    #[test]
+    fn options_without_close_tags() {
+        let html = "<select name=airline><option>Delta<option>United<option selected>American</select>";
+        let doc = parse_document(html);
+        let mut options = Vec::new();
+        doc.find_all("option", &mut options);
+        assert_eq!(options.len(), 3);
+        assert_eq!(options[0].text(), "Delta");
+        assert_eq!(options[2].text(), "American");
+        assert!(options[2].attr("selected").is_some());
+    }
+
+    #[test]
+    fn unmatched_end_tag_ignored() {
+        let doc = parse_document("<div>a</span>b</div>");
+        let div = doc.find_first("div").expect("div");
+        assert_eq!(div.text(), "a b");
+    }
+
+    #[test]
+    fn eof_closes_open_elements() {
+        let doc = parse_document("<div><p>unclosed");
+        assert_eq!(doc.find_first("p").expect("p").text(), "unclosed");
+    }
+
+    #[test]
+    fn end_tag_closes_intervening_elements() {
+        // </table> closes the open <td> and <tr> too
+        let doc = parse_document("<table><tr><td>x</table>");
+        let td = doc.find_first("td").expect("td");
+        assert_eq!(td.text(), "x");
+        let table = doc.find_first("table").expect("table");
+        assert_eq!(table.children().len(), 1); // tr
+    }
+
+    #[test]
+    fn text_normalization() {
+        let doc = parse_document("<p>  spaced \n out  </p>");
+        assert_eq!(doc.find_first("p").expect("p").text(), "spaced out");
+    }
+
+    #[test]
+    fn attr_lookup_case_insensitive() {
+        let doc = parse_document(r#"<input NAME="city">"#);
+        let input = doc.find_first("input").expect("input");
+        assert_eq!(input.attr("name"), Some("city"));
+        assert_eq!(input.attr("NAME"), Some("city"));
+        assert_eq!(input.attr("value"), None);
+    }
+
+    #[test]
+    fn find_all_collects_in_document_order() {
+        let doc = parse_document("<div><p>1</p><span><p>2</p></span><p>3</p></div>");
+        let mut ps = Vec::new();
+        doc.find_all("p", &mut ps);
+        let texts: Vec<String> = ps.iter().map(|p| p.text()).collect();
+        assert_eq!(texts, vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let doc = parse_document("<div>  \n  </div>");
+        assert!(doc.find_first("div").expect("div").children().is_empty());
+    }
+
+    #[test]
+    fn nested_paragraph_implicit_close() {
+        let doc = parse_document("<p>one<p>two");
+        assert_eq!(doc.children().len(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! HTML character-reference (entity) decoding.
+
+/// Named entities that appear in query-interface pages.
+static NAMED: &[(&str, &str)] = &[
+    ("amp", "&"),
+    ("lt", "<"),
+    ("gt", ">"),
+    ("quot", "\""),
+    ("apos", "'"),
+    ("nbsp", " "),
+    ("copy", "©"),
+    ("reg", "®"),
+    ("trade", "™"),
+    ("mdash", "—"),
+    ("ndash", "–"),
+    ("hellip", "…"),
+];
+
+/// Decode HTML entities in `s`. Unknown or malformed references are left
+/// verbatim (browser-like leniency).
+pub fn decode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&s[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        // find terminating ';' within a sane distance
+        let end = s[i + 1..].char_indices().take(10).find(|(_, c)| *c == ';');
+        let Some((off, _)) = end else {
+            out.push('&');
+            i += 1;
+            continue;
+        };
+        let name = &s[i + 1..i + 1 + off];
+        if let Some(stripped) = name.strip_prefix('#') {
+            let code = if let Some(hex) = stripped.strip_prefix(['x', 'X']) {
+                u32::from_str_radix(hex, 16).ok()
+            } else {
+                stripped.parse::<u32>().ok()
+            };
+            match code.and_then(char::from_u32) {
+                Some(c) => {
+                    out.push(c);
+                    i += 2 + off;
+                }
+                None => {
+                    out.push('&');
+                    i += 1;
+                }
+            }
+        } else if let Some((_, repl)) = NAMED.iter().find(|(n, _)| *n == name) {
+            out.push_str(repl);
+            i += 2 + off;
+        } else {
+            out.push('&');
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Encode the five XML-significant characters.
+pub fn encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_entities() {
+        assert_eq!(decode("Barnes &amp; Noble"), "Barnes & Noble");
+        assert_eq!(decode("&lt;b&gt;bold&lt;/b&gt;"), "<b>bold</b>");
+        assert_eq!(decode("no&nbsp;break"), "no break");
+    }
+
+    #[test]
+    fn numeric_entities() {
+        assert_eq!(decode("&#65;&#66;"), "AB");
+        assert_eq!(decode("&#x41;"), "A");
+        assert_eq!(decode("&#X41;"), "A");
+    }
+
+    #[test]
+    fn malformed_left_verbatim() {
+        assert_eq!(decode("AT&T"), "AT&T");
+        assert_eq!(decode("&unknown;"), "&unknown;");
+        assert_eq!(decode("&;"), "&;");
+        assert_eq!(decode("tail&"), "tail&");
+        assert_eq!(decode("&#zzz;"), "&#zzz;");
+        assert_eq!(decode("&#x110000;"), "&#x110000;"); // beyond char range
+    }
+
+    #[test]
+    fn encode_roundtrip() {
+        let original = "a<b> & \"c\" 'd'";
+        assert_eq!(decode(&encode(original)), original);
+    }
+
+    #[test]
+    fn multibyte_passthrough() {
+        assert_eq!(decode("café — naïve"), "café — naïve");
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(decode(""), "");
+        assert_eq!(encode(""), "");
+    }
+}

@@ -1,0 +1,422 @@
+//! Query-interface extraction from HTML forms.
+//!
+//! A Deep-Web query interface is an HTML form; its *attributes* are the
+//! form's controls, each with a human-readable label and (for `<select>`,
+//! radio groups, …) a set of pre-defined instances. This module recovers
+//! that schema from markup, handling the association styles of real pages:
+//! `<label for=…>`, wrapping `<label>`, and plain text preceding the
+//! control (`From city: <input name=from>`).
+
+use crate::dom::{self, Node};
+
+/// The kind of form control backing an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldKind {
+    /// Free-text entry (`<input type=text>`, `<textarea>`).
+    Text,
+    /// Drop-down with pre-defined instances (`<select>`).
+    Select,
+    /// Radio-button group (pre-defined instances).
+    Radio,
+    /// Checkbox.
+    Checkbox,
+    /// Hidden field (carried along but not a matchable attribute).
+    Hidden,
+}
+
+/// One extracted attribute of a query interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormField {
+    /// The control's `name` attribute (the parameter submitted).
+    pub name: String,
+    /// Human-readable label associated with the control.
+    pub label: String,
+    /// Control kind.
+    pub kind: FieldKind,
+    /// Pre-defined instances (options of a `<select>` or values of a radio
+    /// group); empty for free-text controls.
+    pub options: Vec<String>,
+    /// Default value, when one is marked (`selected`, `checked`, `value=`).
+    pub default: Option<String>,
+}
+
+/// An extracted form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractedForm {
+    /// The form's `action` attribute (empty if absent).
+    pub action: String,
+    /// The form's `method` attribute, lowercased (`get` if absent).
+    pub method: String,
+    /// The matchable attributes in document order.
+    pub fields: Vec<FormField>,
+}
+
+/// Flattened traversal event within a form.
+enum Event<'a> {
+    Text(String),
+    Control(&'a Node),
+}
+
+/// Collect text and control events in document order. Text inside `<label>`,
+/// `<b>`, `<td>`, etc. all flattens to plain text events.
+fn collect_events<'a>(node: &'a Node, events: &mut Vec<Event<'a>>) {
+    match node {
+        Node::Text(t) => {
+            let t = dom::normalize_ws(t);
+            if !t.is_empty() {
+                events.push(Event::Text(t));
+            }
+        }
+        Node::Element { name, .. } => {
+            match name.as_str() {
+                "input" | "textarea" | "select" => {
+                    events.push(Event::Control(node));
+                    // do not descend into selects — options are read later
+                }
+                "script" | "style" => {}
+                _ => {
+                    for c in node.children() {
+                        collect_events(c, events);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Map of `<label for=ID>` → label text, collected across the form.
+fn label_for_map(form: &Node) -> Vec<(String, String)> {
+    let mut labels = Vec::new();
+    form.find_all("label", &mut labels);
+    labels
+        .into_iter()
+        .filter_map(|l| {
+            let id = l.attr("for")?.to_string();
+            let text = clean_label(&l.text());
+            (!text.is_empty()).then_some((id, text))
+        })
+        .collect()
+}
+
+/// Trim trailing separators commonly stuck to label text.
+fn clean_label(s: &str) -> String {
+    s.trim().trim_end_matches([':', '*', '?']).trim().to_string()
+}
+
+/// Options (and default) of a `<select>` node.
+fn select_options(select: &Node) -> (Vec<String>, Option<String>) {
+    let mut opts = Vec::new();
+    let mut nodes = Vec::new();
+    select.find_all("option", &mut nodes);
+    let mut default = None;
+    for o in nodes {
+        let text = o.text();
+        let value = o.attr("value").map(str::to_string).unwrap_or_else(|| text.clone());
+        // skip placeholder entries like "-- select --", "any", ""
+        let is_placeholder = {
+            let t = text.to_ascii_lowercase();
+            t.is_empty()
+                || t.starts_with('-')
+                || t.starts_with("select")
+                || t.starts_with("choose")
+                || t == "any"
+                || t == "all"
+                || t == "no preference"
+        };
+        if o.attr("selected").is_some() && !is_placeholder {
+            default = Some(value.clone());
+        }
+        if !is_placeholder {
+            opts.push(value);
+        }
+    }
+    (opts, default)
+}
+
+/// Extract all forms in an HTML document.
+pub fn extract_forms(html: &str) -> Vec<ExtractedForm> {
+    let doc = dom::parse_document(html);
+    let mut forms = Vec::new();
+    doc.find_all("form", &mut forms);
+    forms.iter().map(|f| extract_form(f)).collect()
+}
+
+/// Extract one `<form>` element's schema.
+pub fn extract_form(form: &Node) -> ExtractedForm {
+    let action = form.attr("action").unwrap_or("").to_string();
+    let method = form.attr("method").unwrap_or("get").to_ascii_lowercase();
+    let for_labels = label_for_map(form);
+
+    let mut events = Vec::new();
+    for c in form.children() {
+        collect_events(c, &mut events);
+    }
+
+    let mut fields: Vec<FormField> = Vec::new();
+    let mut pending_text: Option<String> = None;
+
+    for event in &events {
+        match event {
+            Event::Text(t) => {
+                pending_text = Some(t.clone());
+            }
+            Event::Control(node) => {
+                let Some(field) =
+                    build_field(node, &for_labels, &mut pending_text, &mut fields)
+                else {
+                    continue;
+                };
+                fields.push(field);
+            }
+        }
+    }
+    ExtractedForm { action, method, fields }
+}
+
+/// Build a field from a control node; radio buttons merge into an existing
+/// group when one with the same name exists.
+fn build_field(
+    node: &Node,
+    for_labels: &[(String, String)],
+    pending_text: &mut Option<String>,
+    fields: &mut [FormField],
+) -> Option<FormField> {
+    let tag = node.name().expect("control is an element");
+    let name = node.attr("name").unwrap_or("").to_string();
+    if name.is_empty() {
+        return None;
+    }
+
+    let label_from_id = node
+        .attr("id")
+        .and_then(|id| for_labels.iter().find(|(k, _)| k == id))
+        .map(|(_, v)| v.clone());
+
+    let take_label = |pending: &mut Option<String>| {
+        label_from_id
+            .clone()
+            .or_else(|| pending.take().map(|t| clean_label(&t)))
+            .unwrap_or_default()
+    };
+
+    match tag {
+        "select" => {
+            let (options, default) = select_options(node);
+            let label = take_label(pending_text);
+            Some(FormField { name, label, kind: FieldKind::Select, options, default })
+        }
+        "textarea" => {
+            let label = take_label(pending_text);
+            Some(FormField { name, label, kind: FieldKind::Text, options: Vec::new(), default: None })
+        }
+        "input" => {
+            let ty = node.attr("type").unwrap_or("text").to_ascii_lowercase();
+            match ty.as_str() {
+                "submit" | "reset" | "button" | "image" => None,
+                "hidden" => Some(FormField {
+                    name,
+                    label: String::new(),
+                    kind: FieldKind::Hidden,
+                    options: Vec::new(),
+                    default: node.attr("value").map(str::to_string),
+                }),
+                "radio" => {
+                    let value = node.attr("value").unwrap_or("").to_string();
+                    let checked = node.attr("checked").is_some();
+                    if let Some(group) = fields
+                        .iter_mut()
+                        .find(|f| f.kind == FieldKind::Radio && f.name == name)
+                    {
+                        // The text before a later radio is that radio's value
+                        // caption, not a new attribute label; drop it.
+                        let _ = pending_text.take();
+                        if !value.is_empty() {
+                            group.options.push(value.clone());
+                        }
+                        if checked {
+                            group.default = Some(value);
+                        }
+                        None
+                    } else {
+                        let label = take_label(pending_text);
+                        let mut options = Vec::new();
+                        if !value.is_empty() {
+                            options.push(value.clone());
+                        }
+                        Some(FormField {
+                            name,
+                            label,
+                            kind: FieldKind::Radio,
+                            options,
+                            default: checked.then_some(value),
+                        })
+                    }
+                }
+                "checkbox" => {
+                    let label = take_label(pending_text);
+                    let value = node.attr("value").unwrap_or("on").to_string();
+                    Some(FormField {
+                        name,
+                        label,
+                        kind: FieldKind::Checkbox,
+                        options: vec![value.clone()],
+                        default: node.attr("checked").is_some().then_some(value),
+                    })
+                }
+                _ => {
+                    // text, search, date, number, … all behave as free text
+                    let label = take_label(pending_text);
+                    Some(FormField {
+                        name,
+                        label,
+                        kind: FieldKind::Text,
+                        options: Vec::new(),
+                        default: node
+                            .attr("value")
+                            .filter(|v| !v.is_empty())
+                            .map(str::to_string),
+                    })
+                }
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_text_input_with_preceding_text_label() {
+        let html = r#"<form action="/search">From city: <input type=text name=from></form>"#;
+        let forms = extract_forms(html);
+        assert_eq!(forms.len(), 1);
+        let f = &forms[0].fields[0];
+        assert_eq!(f.label, "From city");
+        assert_eq!(f.name, "from");
+        assert_eq!(f.kind, FieldKind::Text);
+        assert!(f.options.is_empty());
+    }
+
+    #[test]
+    fn extracts_select_with_options() {
+        let html = r#"<form>Airline:
+            <select name=airline>
+              <option>-- select --</option>
+              <option>Air Canada</option>
+              <option selected>American</option>
+              <option value="DL">Delta</option>
+            </select></form>"#;
+        let forms = extract_forms(html);
+        let f = &forms[0].fields[0];
+        assert_eq!(f.label, "Airline");
+        assert_eq!(f.kind, FieldKind::Select);
+        assert_eq!(f.options, vec!["Air Canada", "American", "DL"]);
+        assert_eq!(f.default.as_deref(), Some("American"));
+    }
+
+    #[test]
+    fn label_for_association_wins() {
+        let html = r#"<form>
+            <label for=dep>Departure date</label>
+            irrelevant text
+            <input type=text id=dep name=depdate>
+        </form>"#;
+        let forms = extract_forms(html);
+        assert_eq!(forms[0].fields[0].label, "Departure date");
+    }
+
+    #[test]
+    fn wrapping_label_text_is_used() {
+        let html = r#"<form><label>Carrier: <select name=c><option>Aer Lingus</option></select></label></form>"#;
+        let forms = extract_forms(html);
+        let f = &forms[0].fields[0];
+        assert_eq!(f.label, "Carrier");
+        assert_eq!(f.options, vec!["Aer Lingus"]);
+    }
+
+    #[test]
+    fn radio_group_merges() {
+        let html = r#"<form>Trip type:
+            <input type=radio name=trip value="round trip" checked> Round trip
+            <input type=radio name=trip value="one way"> One way
+        </form>"#;
+        let forms = extract_forms(html);
+        assert_eq!(forms[0].fields.len(), 1);
+        let f = &forms[0].fields[0];
+        assert_eq!(f.kind, FieldKind::Radio);
+        assert_eq!(f.label, "Trip type");
+        assert_eq!(f.options, vec!["round trip", "one way"]);
+        assert_eq!(f.default.as_deref(), Some("round trip"));
+    }
+
+    #[test]
+    fn submit_buttons_skipped() {
+        let html = r#"<form><input type=text name=q><input type=submit name=go value=Search></form>"#;
+        let forms = extract_forms(html);
+        assert_eq!(forms[0].fields.len(), 1);
+        assert_eq!(forms[0].fields[0].name, "q");
+    }
+
+    #[test]
+    fn hidden_fields_kept_as_hidden() {
+        let html = r#"<form><input type=hidden name=sid value=abc123></form>"#;
+        let forms = extract_forms(html);
+        let f = &forms[0].fields[0];
+        assert_eq!(f.kind, FieldKind::Hidden);
+        assert_eq!(f.default.as_deref(), Some("abc123"));
+    }
+
+    #[test]
+    fn table_layout_labels() {
+        let html = r#"<form><table>
+            <tr><td>Title</td><td><input name=title></td></tr>
+            <tr><td>Author</td><td><input name=author></td></tr>
+        </table></form>"#;
+        let forms = extract_forms(html);
+        let labels: Vec<&str> = forms[0].fields.iter().map(|f| f.label.as_str()).collect();
+        assert_eq!(labels, vec!["Title", "Author"]);
+    }
+
+    #[test]
+    fn unnamed_controls_skipped() {
+        let html = r#"<form><input type=text></form>"#;
+        assert!(extract_forms(html)[0].fields.is_empty());
+    }
+
+    #[test]
+    fn method_and_action() {
+        let html = r#"<form action="/q" method=POST><input name=x></form>"#;
+        let f = &extract_forms(html)[0];
+        assert_eq!(f.action, "/q");
+        assert_eq!(f.method, "post");
+    }
+
+    #[test]
+    fn multiple_forms() {
+        let html = r#"<form><input name=a></form><form><input name=b></form>"#;
+        let forms = extract_forms(html);
+        assert_eq!(forms.len(), 2);
+    }
+
+    #[test]
+    fn textarea_is_text_field() {
+        let html = r#"<form>Description: <textarea name=desc></textarea></form>"#;
+        let f = &extract_forms(html)[0].fields[0];
+        assert_eq!(f.kind, FieldKind::Text);
+        assert_eq!(f.label, "Description");
+    }
+
+    #[test]
+    fn default_value_of_text_input() {
+        let html = r#"<form>Zip: <input name=zip value="60601"></form>"#;
+        let f = &extract_forms(html)[0].fields[0];
+        assert_eq!(f.default.as_deref(), Some("60601"));
+    }
+
+    #[test]
+    fn no_forms_in_plain_page() {
+        assert!(extract_forms("<html><body><p>hi</p></body></html>").is_empty());
+    }
+}

@@ -1,0 +1,344 @@
+//! HTML tokenizer.
+//!
+//! Splits raw HTML into start tags (with attributes), end tags, text,
+//! comments, and doctype declarations. Lenient in the ways real-world 2006
+//! query-interface pages require: unquoted attribute values, valueless
+//! attributes (`selected`), mixed case, stray `<` in text.
+
+use crate::entities;
+
+/// One attribute: lowercase name, decoded value (empty for valueless).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attr {
+    /// Attribute name, lowercased.
+    pub name: String,
+    /// Attribute value with entities decoded; `""` for valueless attrs.
+    pub value: String,
+}
+
+/// A lexical HTML token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HtmlToken {
+    /// `<name attr=value …>`; `self_closing` for `<input/>`.
+    StartTag {
+        /// Tag name, lowercased.
+        name: String,
+        /// Attributes in source order.
+        attrs: Vec<Attr>,
+        /// True when the tag ends with `/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Tag name, lowercased.
+        name: String,
+    },
+    /// Character data between tags, entities decoded, whitespace preserved.
+    Text(String),
+    /// `<!-- … -->` contents.
+    Comment(String),
+    /// `<!DOCTYPE …>` contents.
+    Doctype(String),
+}
+
+/// Tokenize an HTML document.
+pub fn tokenize(html: &str) -> Vec<HtmlToken> {
+    let b = html.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut text_start = 0;
+
+    // Inside <script> or <style>, text runs to the matching close tag.
+    let mut raw_text_until: Option<&'static str> = None;
+
+    while i < b.len() {
+        if let Some(close) = raw_text_until {
+            let rest = &html[i..];
+            let pos = find_ci(rest, close).unwrap_or(rest.len());
+            if i + pos > text_start {
+                out.push(HtmlToken::Text(html[text_start..i + pos].to_string()));
+            }
+            i += pos;
+            text_start = i;
+            raw_text_until = None;
+            continue;
+        }
+        if b[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        // Decide what the '<' introduces *before* flushing text, so a stray
+        // '<' stays part of the surrounding text run.
+        let flush = |out: &mut Vec<HtmlToken>, upto: usize, from: usize| {
+            if upto > from {
+                out.push(HtmlToken::Text(entities::decode(&html[from..upto])));
+            }
+        };
+        if html[i..].starts_with("<!--") {
+            flush(&mut out, i, text_start);
+            let end = html[i + 4..].find("-->").map(|p| i + 4 + p);
+            match end {
+                Some(e) => {
+                    out.push(HtmlToken::Comment(html[i + 4..e].to_string()));
+                    i = e + 3;
+                }
+                None => {
+                    out.push(HtmlToken::Comment(html[i + 4..].to_string()));
+                    i = b.len();
+                }
+            }
+            text_start = i;
+            continue;
+        }
+        if i + 1 < b.len() && (b[i + 1] == b'!' || b[i + 1] == b'?') {
+            // doctype or processing instruction
+            flush(&mut out, i, text_start);
+            let end = html[i..].find('>').map(|p| i + p).unwrap_or(b.len());
+            out.push(HtmlToken::Doctype(html[i + 2..end].trim().to_string()));
+            i = (end + 1).min(b.len());
+            text_start = i;
+            continue;
+        }
+        match lex_tag(html, i) {
+            Some((token, next)) => {
+                flush(&mut out, i, text_start);
+                if let HtmlToken::StartTag { name, .. } = &token {
+                    if name == "script" {
+                        raw_text_until = Some("</script");
+                    } else if name == "style" {
+                        raw_text_until = Some("</style");
+                    }
+                }
+                out.push(token);
+                i = next;
+                text_start = i;
+            }
+            None => {
+                // stray '<' — stays inside the current text run
+                i += 1;
+            }
+        }
+    }
+    if b.len() > text_start {
+        out.push(HtmlToken::Text(entities::decode(&html[text_start..])));
+    }
+    out
+}
+
+/// Case-insensitive substring search.
+fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    if n.is_empty() || h.len() < n.len() {
+        return None;
+    }
+    (0..=h.len() - n.len()).find(|&i| {
+        h[i..i + n.len()]
+            .iter()
+            .zip(n)
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    })
+}
+
+/// Lex a tag starting at `<`; returns the token and the index after `>`.
+fn lex_tag(html: &str, start: usize) -> Option<(HtmlToken, usize)> {
+    let b = html.as_bytes();
+    let mut i = start + 1;
+    let closing = b.get(i) == Some(&b'/');
+    if closing {
+        i += 1;
+    }
+    let name_start = i;
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'-') {
+        i += 1;
+    }
+    if i == name_start {
+        return None; // not a tag
+    }
+    let name = html[name_start..i].to_ascii_lowercase();
+    if closing {
+        let end = html[i..].find('>').map(|p| i + p)?;
+        return Some((HtmlToken::EndTag { name }, end + 1));
+    }
+    let mut attrs = Vec::new();
+    let mut self_closing = false;
+    loop {
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= b.len() {
+            return Some((HtmlToken::StartTag { name, attrs, self_closing }, i));
+        }
+        match b[i] {
+            b'>' => {
+                return Some((HtmlToken::StartTag { name, attrs, self_closing }, i + 1));
+            }
+            b'/' => {
+                self_closing = true;
+                i += 1;
+            }
+            _ => {
+                // attribute name
+                let an_start = i;
+                while i < b.len()
+                    && !b[i].is_ascii_whitespace()
+                    && b[i] != b'='
+                    && b[i] != b'>'
+                    && b[i] != b'/'
+                {
+                    i += 1;
+                }
+                let an = html[an_start..i].to_ascii_lowercase();
+                while i < b.len() && b[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                let mut value = String::new();
+                if i < b.len() && b[i] == b'=' {
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    if i < b.len() && (b[i] == b'"' || b[i] == b'\'') {
+                        let quote = b[i];
+                        i += 1;
+                        let v_start = i;
+                        while i < b.len() && b[i] != quote {
+                            i += 1;
+                        }
+                        value = entities::decode(&html[v_start..i]);
+                        i = (i + 1).min(b.len());
+                    } else {
+                        let v_start = i;
+                        while i < b.len()
+                            && !b[i].is_ascii_whitespace()
+                            && b[i] != b'>'
+                        {
+                            i += 1;
+                        }
+                        value = entities::decode(&html[v_start..i]);
+                    }
+                }
+                if !an.is_empty() {
+                    attrs.push(Attr { name: an, value });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(tok: &HtmlToken) -> (&str, &[Attr]) {
+        match tok {
+            HtmlToken::StartTag { name, attrs, .. } => (name, attrs),
+            other => panic!("expected start tag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_document() {
+        let toks = tokenize("<html><body>Hi</body></html>");
+        assert_eq!(toks.len(), 5);
+        assert_eq!(start(&toks[0]).0, "html");
+        assert_eq!(toks[2], HtmlToken::Text("Hi".into()));
+        assert_eq!(toks[4], HtmlToken::EndTag { name: "html".into() });
+    }
+
+    #[test]
+    fn attributes_quoted_and_unquoted() {
+        let toks = tokenize(r#"<input type="text" name=city value='Boston' disabled>"#);
+        let (name, attrs) = start(&toks[0]);
+        assert_eq!(name, "input");
+        assert_eq!(attrs.len(), 4);
+        assert_eq!(attrs[0], Attr { name: "type".into(), value: "text".into() });
+        assert_eq!(attrs[1], Attr { name: "name".into(), value: "city".into() });
+        assert_eq!(attrs[2], Attr { name: "value".into(), value: "Boston".into() });
+        assert_eq!(attrs[3], Attr { name: "disabled".into(), value: "".into() });
+    }
+
+    #[test]
+    fn self_closing() {
+        let toks = tokenize("<br/><input type=text />");
+        match &toks[0] {
+            HtmlToken::StartTag { self_closing, .. } => assert!(self_closing),
+            other => panic!("{other:?}"),
+        }
+        match &toks[1] {
+            HtmlToken::StartTag { name, self_closing, attrs } => {
+                assert_eq!(name, "input");
+                assert!(self_closing);
+                assert_eq!(attrs.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_is_normalized() {
+        let toks = tokenize("<SELECT NAME=airline><OPTION>Delta</OPTION></SELECT>");
+        assert_eq!(start(&toks[0]).0, "select");
+        assert_eq!(start(&toks[0]).1[0].name, "name");
+        assert_eq!(toks.last(), Some(&HtmlToken::EndTag { name: "select".into() }));
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let toks = tokenize(r#"<a title="Barnes &amp; Noble">R&amp;D</a>"#);
+        assert_eq!(start(&toks[0]).1[0].value, "Barnes & Noble");
+        assert_eq!(toks[1], HtmlToken::Text("R&D".into()));
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let toks = tokenize("<!DOCTYPE html><!-- hidden --><p>x</p>");
+        assert_eq!(toks[0], HtmlToken::Doctype("DOCTYPE html".into()));
+        assert_eq!(toks[1], HtmlToken::Comment(" hidden ".into()));
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        let toks = tokenize("a < b");
+        // "a " text, stray '<' consumed as text, " b"
+        let text: String = toks
+            .iter()
+            .filter_map(|t| match t {
+                HtmlToken::Text(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(text, "a < b");
+    }
+
+    #[test]
+    fn script_contents_not_parsed() {
+        let toks = tokenize("<script>if (a<b) {}</script><p>after</p>");
+        assert_eq!(start(&toks[0]).0, "script");
+        assert_eq!(toks[1], HtmlToken::Text("if (a<b) {}".into()));
+        assert_eq!(toks[2], HtmlToken::EndTag { name: "script".into() });
+    }
+
+    #[test]
+    fn unterminated_tag_at_eof() {
+        let toks = tokenize("<input type=text");
+        match &toks[0] {
+            HtmlToken::StartTag { name, attrs, .. } => {
+                assert_eq!(name, "input");
+                assert_eq!(attrs.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_comment() {
+        let toks = tokenize("<!-- open");
+        assert_eq!(toks[0], HtmlToken::Comment(" open".into()));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Tag-soup torture tests: constructs observed on real 2006-era query
+//! interfaces that a forgiving parser must survive.
+
+use webiq_html::form::{extract_forms, FieldKind};
+use webiq_html::{dom, parse_document};
+
+#[test]
+fn table_soup_with_unclosed_cells() {
+    let html = r#"
+        <form action=search.cgi>
+        <table border=1>
+          <tr><td>From<td><input name=from>
+          <tr><td>To<td><input name=to>
+        </table>
+        </form>"#;
+    let forms = extract_forms(html);
+    assert_eq!(forms.len(), 1);
+    let labels: Vec<&str> = forms[0].fields.iter().map(|f| f.label.as_str()).collect();
+    assert_eq!(labels, vec!["From", "To"]);
+}
+
+#[test]
+fn font_and_bold_wrapped_labels() {
+    let html = r#"<form><font size=2><b>Departure city:</b></font>
+        <input name=dep></form>"#;
+    let forms = extract_forms(html);
+    assert_eq!(forms[0].fields[0].label, "Departure city");
+}
+
+#[test]
+fn uppercase_everything() {
+    let html = r#"<FORM METHOD=GET><B>AIRLINE:</B>
+        <SELECT NAME=AL><OPTION>Delta<OPTION SELECTED>United</SELECT></FORM>"#;
+    let forms = extract_forms(html);
+    let f = &forms[0].fields[0];
+    assert_eq!(f.name, "AL");
+    assert_eq!(f.kind, FieldKind::Select);
+    assert_eq!(f.options, vec!["Delta", "United"]);
+    assert_eq!(f.default.as_deref(), Some("United"));
+}
+
+#[test]
+fn comments_and_scripts_do_not_leak_labels() {
+    let html = r#"<form>
+        <!-- label: Bogus -->
+        <script>var label = "Fake<input name=ghost>";</script>
+        Real label: <input name=real>
+        </form>"#;
+    let forms = extract_forms(html);
+    assert_eq!(forms[0].fields.len(), 1);
+    assert_eq!(forms[0].fields[0].name, "real");
+    assert_eq!(forms[0].fields[0].label, "Real label");
+}
+
+#[test]
+fn nested_forms_are_tolerated() {
+    // illegal HTML, seen in the wild; the inner form is treated as part of
+    // the outer one by our lenient parser and also extracted on its own
+    let html = r#"<form><input name=a><form><input name=b></form></form>"#;
+    let forms = extract_forms(html);
+    assert!(!forms.is_empty());
+    let all_names: Vec<String> = forms
+        .iter()
+        .flat_map(|f| f.fields.iter().map(|x| x.name.clone()))
+        .collect();
+    assert!(all_names.contains(&"a".to_string()));
+    assert!(all_names.contains(&"b".to_string()));
+}
+
+#[test]
+fn entities_in_labels_and_options() {
+    let html = r#"<form>Price&nbsp;range: <select name=p>
+        <option>&lt; $10</option><option>$10 &amp; up</option></select></form>"#;
+    let forms = extract_forms(html);
+    let f = &forms[0].fields[0];
+    assert_eq!(f.label, "Price range");
+    assert_eq!(f.options, vec!["< $10", "$10 & up"]);
+}
+
+#[test]
+fn attribute_values_with_spaces_unquoted_stop_at_whitespace() {
+    // unquoted value stops at whitespace; the rest parses as attributes
+    let html = r#"<form><input name=city value=New York></form>"#;
+    let forms = extract_forms(html);
+    let f = &forms[0].fields[0];
+    assert_eq!(f.default.as_deref(), Some("New"));
+}
+
+#[test]
+fn deeply_nested_markup_terminates() {
+    let mut html = String::from("<form>");
+    for _ in 0..200 {
+        html.push_str("<div><span>");
+    }
+    html.push_str("Label: <input name=deep>");
+    html.push_str("</form>");
+    let forms = extract_forms(&html);
+    assert_eq!(forms[0].fields[0].name, "deep");
+}
+
+#[test]
+fn document_text_ignores_style_blocks() {
+    let doc = parse_document("<style>td { color: red }</style><p>visible</p>");
+    let p = doc.find_first("p").expect("p");
+    assert_eq!(p.text(), "visible");
+    // style contents exist in the tree but as the style element's text
+    let style = doc.find_first("style").expect("style");
+    assert!(style.text().contains("color"));
+}
+
+#[test]
+fn malformed_doctype_and_pi_skipped() {
+    let doc = parse_document("<?xml version=\"1.0\"?><!DOCTYPE html><p>x</p>");
+    assert_eq!(doc.find_first("p").expect("p").text(), "x");
+}
+
+#[test]
+fn select_multiple_and_optgroups() {
+    let html = r#"<form>States: <select name=st multiple>
+        <optgroup label="West"><option>Oregon<option>Nevada</optgroup>
+        <optgroup label="East"><option>Maine</optgroup>
+        </select></form>"#;
+    let forms = extract_forms(html);
+    let f = &forms[0].fields[0];
+    assert_eq!(f.options, vec!["Oregon", "Nevada", "Maine"]);
+}
+
+#[test]
+fn whitespace_heavy_layout() {
+    let html = "<form>\n\n\t  Make \u{a0}: \n\t<input\n\tname=mk\n>\n</form>";
+    let forms = extract_forms(html);
+    assert_eq!(forms[0].fields[0].name, "mk");
+    assert!(forms[0].fields[0].label.starts_with("Make"));
+}

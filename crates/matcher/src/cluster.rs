@@ -1,0 +1,237 @@
+//! Constrained agglomerative clustering — the automatic core of IceQ (§5).
+//!
+//! IceQ groups attributes into clusters, each containing all attributes
+//! that match. We implement the standard average-link agglomerative scheme
+//! with the schema constraint that makes τ = 0 viable: **two attributes of
+//! the same interface never co-occur in a cluster** (they are distinct
+//! attributes of one schema by construction). Merging proceeds greedily on
+//! the highest average inter-cluster similarity and stops when no
+//! admissible pair exceeds the threshold τ.
+
+/// An item to cluster: an opaque id plus the interface it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Item<I> {
+    /// Caller's identifier (e.g. an `AttrRef`).
+    pub id: I,
+    /// Interface index, for the same-interface exclusion constraint.
+    pub interface: usize,
+}
+
+/// One merge performed during clustering: the (average-link) score at
+/// which it happened and a representative cross pair — the most similar
+/// pair spanning the two merged clusters, i.e. the pair a user would be
+/// shown if asked to confirm the merge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergeEvent<I> {
+    /// Average-link score of the merge.
+    pub score: f64,
+    /// Representative item from the first cluster.
+    pub a: I,
+    /// Representative item from the second cluster.
+    pub b: I,
+}
+
+/// Agglomerative clustering over a precomputed similarity matrix.
+///
+/// `sim[i][j]` must be symmetric; only `i < j` entries are read.
+/// Returns clusters as lists of item indices into `items`.
+pub fn cluster<I: Copy>(items: &[Item<I>], sim: &[Vec<f64>], threshold: f64) -> Vec<Vec<usize>> {
+    cluster_logged(items, sim, threshold).0
+}
+
+/// Like [`cluster`], additionally returning the log of merge events in the
+/// order they happened (descending score). The log is what interactive
+/// threshold learning samples from.
+pub fn cluster_logged<I: Copy>(
+    items: &[Item<I>],
+    sim: &[Vec<f64>],
+    threshold: f64,
+) -> (Vec<Vec<usize>>, Vec<MergeEvent<I>>) {
+    let n = items.len();
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut log = Vec::new();
+
+    loop {
+        // Find the best admissible merge.
+        let mut best: Option<(f64, usize, usize)> = None;
+        for a in 0..clusters.len() {
+            for b in a + 1..clusters.len() {
+                if violates_constraint(items, &clusters[a], &clusters[b]) {
+                    continue;
+                }
+                let s = average_link(&clusters[a], &clusters[b], sim);
+                if s > threshold && best.is_none_or(|(bs, _, _)| s > bs) {
+                    best = Some((s, a, b));
+                }
+            }
+        }
+        let Some((score, a, b)) = best else { break };
+        let (ra, rb) = representative_pair(&clusters[a], &clusters[b], sim);
+        log.push(MergeEvent { score, a: items[ra].id, b: items[rb].id });
+        let merged = clusters.swap_remove(b);
+        clusters[a].extend(merged);
+    }
+    (clusters, log)
+}
+
+/// The most similar cross pair of two clusters.
+fn representative_pair(a: &[usize], b: &[usize], sim: &[Vec<f64>]) -> (usize, usize) {
+    let mut best = (a[0], b[0], f64::NEG_INFINITY);
+    for &i in a {
+        for &j in b {
+            let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+            if sim[lo][hi] > best.2 {
+                best = (i, j, sim[lo][hi]);
+            }
+        }
+    }
+    (best.0, best.1)
+}
+
+/// Would merging `a` and `b` put two attributes of one interface together?
+fn violates_constraint<I>(items: &[Item<I>], a: &[usize], b: &[usize]) -> bool {
+    a.iter()
+        .any(|&i| b.iter().any(|&j| items[i].interface == items[j].interface))
+}
+
+/// Average pairwise similarity between two clusters.
+fn average_link(a: &[usize], b: &[usize], sim: &[Vec<f64>]) -> f64 {
+    let mut total = 0.0;
+    for &i in a {
+        for &j in b {
+            let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+            total += sim[lo][hi];
+        }
+    }
+    total / (a.len() * b.len()) as f64
+}
+
+/// Convenience: build the (upper-triangular) similarity matrix from a
+/// pairwise function.
+#[allow(clippy::needless_range_loop)] // i/j are the matrix coordinates themselves
+pub fn similarity_matrix<I, F>(items: &[Item<I>], mut f: F) -> Vec<Vec<f64>>
+where
+    F: FnMut(usize, usize) -> f64,
+{
+    let n = items.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            m[i][j] = f(i, j);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(interfaces: &[usize]) -> Vec<Item<usize>> {
+        interfaces.iter().enumerate().map(|(id, &interface)| Item { id, interface }).collect()
+    }
+
+    /// Similarity matrix from explicit entries.
+    fn matrix(n: usize, entries: &[(usize, usize, f64)]) -> Vec<Vec<f64>> {
+        let mut m = vec![vec![0.0; n]; n];
+        for &(i, j, s) in entries {
+            let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+            m[lo][hi] = s;
+        }
+        m
+    }
+
+    #[test]
+    fn merges_similar_items() {
+        // items 0,1 on different interfaces, highly similar
+        let its = items(&[0, 1, 2]);
+        let m = matrix(3, &[(0, 1, 0.9), (0, 2, 0.05), (1, 2, 0.05)]);
+        let clusters = cluster(&its, &m, 0.1);
+        assert_eq!(clusters.iter().filter(|c| c.len() == 2).count(), 1);
+        let pair = clusters.iter().find(|c| c.len() == 2).expect("pair");
+        let mut p = pair.to_vec();
+        p.sort_unstable();
+        assert_eq!(p, vec![0, 1]);
+    }
+
+    #[test]
+    fn same_interface_never_merges() {
+        let its = items(&[0, 0]);
+        let m = matrix(2, &[(0, 1, 1.0)]);
+        let clusters = cluster(&its, &m, 0.0);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn constraint_propagates_through_clusters() {
+        // 0 and 1 merge (interfaces 0, 1). Item 2 is on interface 0 and
+        // similar to 1 — joining would pair it with 0 → blocked.
+        let its = items(&[0, 1, 0]);
+        let m = matrix(3, &[(0, 1, 0.9), (1, 2, 0.8)]);
+        let clusters = cluster(&its, &m, 0.1);
+        assert!(clusters.iter().all(|c| {
+            let mut ifaces: Vec<usize> = c.iter().map(|&i| its[i].interface).collect();
+            let n = ifaces.len();
+            ifaces.sort_unstable();
+            ifaces.dedup();
+            ifaces.len() == n
+        }));
+        // 2 remains a singleton
+        assert!(clusters.iter().any(|c| c == &vec![2]));
+    }
+
+    #[test]
+    fn threshold_blocks_weak_merges() {
+        let its = items(&[0, 1]);
+        let m = matrix(2, &[(0, 1, 0.05)]);
+        assert_eq!(cluster(&its, &m, 0.1).len(), 2);
+        assert_eq!(cluster(&its, &m, 0.0).len(), 1);
+    }
+
+    #[test]
+    fn greedy_prefers_strongest_merge() {
+        // 0-1: 0.9; 1-2: 0.8; 0-2 share interface. After 0-1 merge, 2 can't
+        // join. With greedy order, 1 must pair with 0, not 2.
+        let its = items(&[0, 1, 0]);
+        let m = matrix(3, &[(0, 1, 0.9), (1, 2, 0.95)]);
+        let clusters = cluster(&its, &m, 0.1);
+        // strongest merge is 1-2
+        let pair = clusters.iter().find(|c| c.len() == 2).expect("pair");
+        let mut p = pair.to_vec();
+        p.sort_unstable();
+        assert_eq!(p, vec![1, 2]);
+    }
+
+    #[test]
+    fn average_link_dilutes() {
+        // 0-1 strong; 2 strong to 1 but zero to 0 → average to {0,1} is 0.4
+        let its = items(&[0, 1, 2]);
+        let m = matrix(3, &[(0, 1, 0.9), (1, 2, 0.8)]);
+        let clusters = cluster(&its, &m, 0.5);
+        // {0,1} merges; then avg({0,1},{2}) = (0 + .8)/2 = .4 < .5 → stop
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let its: Vec<Item<usize>> = vec![];
+        let m: Vec<Vec<f64>> = vec![];
+        assert!(cluster(&its, &m, 0.0).is_empty());
+    }
+
+    #[test]
+    fn chain_of_many_interfaces() {
+        // 5 items, one per interface, all pairwise similar → one cluster
+        let its = items(&[0, 1, 2, 3, 4]);
+        let mut entries = Vec::new();
+        for i in 0..5 {
+            for j in i + 1..5 {
+                entries.push((i, j, 0.7));
+            }
+        }
+        let m = matrix(5, &entries);
+        let clusters = cluster(&its, &m, 0.1);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 5);
+    }
+}

@@ -1,0 +1,285 @@
+//! Domain (instance-set) similarity (§5).
+//!
+//! `DomSim(A, B)` is evaluated from the inferred *types* of the two
+//! domains (integer, real, monetary, date, text) and the *values* in them:
+//!
+//! - attributes with no values contribute nothing (similarity 0) — this is
+//!   the paper's core problem, solved by instance acquisition;
+//! - mismatched types score (near) zero;
+//! - numeric domains compare by range overlap;
+//! - textual/date domains compare by case-insensitive value overlap —
+//!   Jaccard and containment (`|A∩B| / min`), the latter because a small
+//!   drop-down sample and a set of acquired instances of the same concept
+//!   overlap far more relative to the smaller set than to the union.
+//!
+//! Word-level (sub-value) overlap is deliberately **not** used: shared
+//! words like the `Air` of `Air Canada`/`Air France` would create faint
+//! similarity bridges that let unthresholded clustering merge attribute
+//! pairs the paper's WebIQ needs instance acquisition to connect.
+
+use std::collections::BTreeSet;
+
+use webiq_stats::types::{infer_type, numeric_value, ValueType};
+
+/// Majority fine-grained type of a value set (ties resolve toward Text).
+pub fn majority_type<S: AsRef<str>>(values: &[S]) -> ValueType {
+    let mut counts: [(ValueType, usize); 5] = [
+        (ValueType::Integer, 0),
+        (ValueType::Real, 0),
+        (ValueType::Monetary, 0),
+        (ValueType::Date, 0),
+        (ValueType::Text, 0),
+    ];
+    for v in values {
+        let t = infer_type(v.as_ref());
+        for slot in &mut counts {
+            if slot.0 == t {
+                slot.1 += 1;
+            }
+        }
+    }
+    counts
+        .iter()
+        .max_by_key(|(t, n)| (*n, matches!(t, ValueType::Text) as usize))
+        .map(|(t, _)| *t)
+        .expect("counts is non-empty")
+}
+
+/// Jaccard overlap of lowercase value sets.
+fn value_jaccard<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let sa: BTreeSet<String> = a.iter().map(|v| v.as_ref().trim().to_ascii_lowercase()).collect();
+    let sb: BTreeSet<String> = b.iter().map(|v| v.as_ref().trim().to_ascii_lowercase()).collect();
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f64 / union as f64
+}
+
+/// Containment overlap (`|A∩B| / min(|A|, |B|)`) of lowercase value sets.
+/// Two small samples of one large underlying population (a 6-option
+/// drop-down vs. ten acquired instances of the same concept) overlap far
+/// more relative to the smaller set than relative to the union, so
+/// containment is the right measure for enriched domains.
+fn value_containment<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let sa: BTreeSet<String> = a.iter().map(|v| v.as_ref().trim().to_ascii_lowercase()).collect();
+    let sb: BTreeSet<String> = b.iter().map(|v| v.as_ref().trim().to_ascii_lowercase()).collect();
+    let min = sa.len().min(sb.len());
+    if min == 0 {
+        return 0.0;
+    }
+    sa.intersection(&sb).count() as f64 / min as f64
+}
+
+/// Overlap ratio of the numeric ranges spanned by two value sets.
+fn range_overlap<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let range = |vals: &[S]| -> Option<(f64, f64)> {
+        let nums: Vec<f64> = vals.iter().filter_map(|v| numeric_value(v.as_ref())).collect();
+        if nums.is_empty() {
+            return None;
+        }
+        let lo = nums.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = nums.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some((lo, hi))
+    };
+    let (Some((alo, ahi)), Some((blo, bhi))) = (range(a), range(b)) else {
+        return 0.0;
+    };
+    let inter = (ahi.min(bhi) - alo.max(blo)).max(0.0);
+    let union = ahi.max(bhi) - alo.min(blo);
+    if union <= 0.0 {
+        // both ranges are single identical points
+        return if (alo - blo).abs() < f64::EPSILON { 1.0 } else { 0.0 };
+    }
+    inter / union
+}
+
+/// Normalised string similarity between two individual values:
+/// `1 − levenshtein(a, b) / max(|a|, |b|)` over lowercased text. Used by
+/// the §5 borrow-candidate pre-filter ("at least two values, one from each
+/// domain, which are very similar").
+pub fn value_similarity(a: &str, b: &str) -> f64 {
+    let a = a.trim().to_ascii_lowercase();
+    let b = b.trim().to_ascii_lowercase();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(&a, &b) as f64 / max_len as f64
+}
+
+/// Classic Levenshtein edit distance (two-row DP).
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Domain similarity between two attribute value sets.
+///
+/// ```
+/// use webiq_match::domsim::dom_sim;
+/// let a = ["Boston", "Chicago", "Denver"];
+/// let b = ["Chicago", "Denver", "Miami"];
+/// assert!(dom_sim(&a, &b) > 0.4);          // overlapping city sets
+/// let months = ["Jan", "Feb", "Mar"];
+/// assert!(dom_sim(&a, &months) < 0.15);    // type mismatch
+/// let empty: [&str; 0] = [];
+/// assert_eq!(dom_sim(&a, &empty), 0.0);    // the paper's core problem
+/// ```
+pub fn dom_sim<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let ta = majority_type(a);
+    let tb = majority_type(b);
+    if ta != tb {
+        // a thin bridge for mixed sets (e.g. "2" vs "2 bedrooms")
+        return 0.1 * value_jaccard(a, b);
+    }
+    match ta {
+        ValueType::Integer | ValueType::Real | ValueType::Monetary => {
+            // ranges say "same kind of quantity"; exact value overlap
+            // strengthens it
+            0.6 * range_overlap(a, b) + 0.4 * value_containment(a, b)
+        }
+        ValueType::Date => 0.5 + 0.5 * value_containment(a, b),
+        ValueType::Text => value_jaccard(a, b).max(0.9 * value_containment(a, b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_domains_score_zero() {
+        let vals = ["Boston", "Chicago"];
+        let none: [&str; 0] = [];
+        assert_eq!(dom_sim(&vals, &none), 0.0);
+        assert_eq!(dom_sim(&none, &none), 0.0);
+    }
+
+    #[test]
+    fn overlapping_city_sets_score_high() {
+        let a = ["Boston", "Chicago", "Denver", "Seattle"];
+        let b = ["Chicago", "Denver", "Seattle", "Miami"];
+        let s = dom_sim(&a, &b);
+        assert!(s > 0.4, "s = {s}");
+    }
+
+    #[test]
+    fn disjoint_same_type_sets_score_low() {
+        // the Airline (NA) vs Carrier (EU) situation pre-acquisition
+        let a = ["Air Canada", "American", "Delta"];
+        let b = ["Aer Lingus", "Lufthansa", "Alitalia"];
+        let s = dom_sim(&a, &b);
+        assert!(s < 0.15, "s = {s}");
+    }
+
+    #[test]
+    fn mixed_type_sets_score_near_zero() {
+        let cities = ["Boston", "Chicago", "Denver"];
+        let months = ["Jan", "Feb", "Mar"];
+        let s = dom_sim(&cities, &months);
+        assert!(s < 0.15, "s = {s}");
+    }
+
+    #[test]
+    fn numeric_ranges_overlap() {
+        let a = ["1", "2", "3", "4"];
+        let b = ["2", "3", "4", "5"];
+        let s = dom_sim(&a, &b);
+        assert!(s > 0.5, "s = {s}");
+        let c = ["100", "200", "300"];
+        let far = dom_sim(&a, &c);
+        assert!(far < 0.1, "far = {far}");
+    }
+
+    #[test]
+    fn monetary_vs_integer_types_differ() {
+        let money = ["$5,000", "$10,000"];
+        let ints = ["5000", "10000"];
+        // different inferred fine types → near zero
+        let s = dom_sim(&money, &ints);
+        assert!(s < 0.15, "s = {s}");
+    }
+
+    #[test]
+    fn month_domains_match() {
+        let a = ["Jan", "Feb", "Mar", "Apr"];
+        let b = ["Mar", "Apr", "May", "Jun"];
+        let s = dom_sim(&a, &b);
+        assert!(s > 0.5, "s = {s}");
+        assert_eq!(majority_type(&a), ValueType::Date);
+    }
+
+    #[test]
+    fn exact_value_overlap_for_name_domains() {
+        let a = ["Stephen King", "John Grisham"];
+        let b = ["Stephen King", "Tom Clancy"];
+        let s = dom_sim(&a, &b);
+        assert!(s > 0.2, "s = {s}"); // one of two shared → containment 0.5
+        // word-level overlap alone must NOT create similarity
+        let c = ["Air Canada", "American"];
+        let d = ["Air France", "Aer Lingus"];
+        assert_eq!(dom_sim(&c, &d), 0.0);
+    }
+
+    #[test]
+    fn majority_type_is_majority() {
+        assert_eq!(majority_type(&["1", "2", "Boston"]), ValueType::Integer);
+        assert_eq!(majority_type(&["Boston", "Chicago", "1"]), ValueType::Text);
+        assert_eq!(majority_type(&["$5", "$10"]), ValueType::Monetary);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = ["Boston", "Chicago"];
+        let b = ["Chicago", "Miami", "Denver"];
+        assert!((dom_sim(&a, &b) - dom_sim(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_similarity_behaviour() {
+        assert_eq!(value_similarity("Boston", "boston"), 1.0);
+        assert!(value_similarity("Chicago", "Chicgo") > 0.8); // one deletion
+        assert!(value_similarity("Boston", "Miami") < 0.5);
+        assert_eq!(value_similarity("", ""), 1.0);
+        assert_eq!(value_similarity("abc", ""), 0.0);
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn identical_singleton_numeric() {
+        let a = ["5"];
+        let b = ["5"];
+        assert!(dom_sim(&a, &b) > 0.9);
+    }
+}

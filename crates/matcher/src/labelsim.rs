@@ -1,0 +1,118 @@
+//! Label similarity (§5).
+//!
+//! `LabelSim(A, B) = Cos(Ā, B̄)` where `X̄` is a vector of words
+//! transformed from the label of attribute X — tokenized, lowercased,
+//! stopword-filtered, and Porter-stemmed, as IceQ does.
+
+use std::collections::BTreeMap;
+
+use webiq_nlp::{stem, stopwords, token};
+
+/// The bag-of-stems vector of a label (term → frequency).
+pub fn label_vector(label: &str) -> BTreeMap<String, f64> {
+    let mut v: BTreeMap<String, f64> = BTreeMap::new();
+    for word in token::words_lower(label) {
+        if stopwords::is_stopword(&word) {
+            continue;
+        }
+        *v.entry(stem::stem(&word)).or_insert(0.0) += 1.0;
+    }
+    v
+}
+
+/// Cosine similarity of two sparse vectors.
+pub fn cosine(a: &BTreeMap<String, f64>, b: &BTreeMap<String, f64>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut dot = 0.0;
+    for (term, wa) in a {
+        if let Some(wb) = b.get(term) {
+            dot += wa * wb;
+        }
+    }
+    if dot == 0.0 {
+        return 0.0;
+    }
+    let na: f64 = a.values().map(|w| w * w).sum::<f64>().sqrt();
+    let nb: f64 = b.values().map(|w| w * w).sum::<f64>().sqrt();
+    dot / (na * nb)
+}
+
+/// Label similarity between two raw labels.
+///
+/// ```
+/// use webiq_match::labelsim::label_sim;
+/// assert!(label_sim("From city", "Departure city") > 0.4);
+/// assert_eq!(label_sim("Airline", "Carrier"), 0.0); // no shared word
+/// ```
+pub fn label_sim(a: &str, b: &str) -> f64 {
+    cosine(&label_vector(a), &label_vector(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_labels_score_one() {
+        assert!((label_sim("Departure city", "Departure city") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_head_noun_scores_partially() {
+        let s = label_sim("From city", "Departure city");
+        assert!(s > 0.4 && s < 1.0, "s = {s}");
+    }
+
+    #[test]
+    fn morphological_variants_conflate() {
+        // stemming conflates plural/singular: "locations" and "location"
+        assert!(label_sim("Job locations", "Job location") > 0.9);
+        // "departing"/"departure" stem differently under Porter; the shared
+        // head noun still carries half the weight
+        let s = label_sim("Departing city", "Departure city");
+        assert!(s > 0.4, "s = {s}");
+    }
+
+    #[test]
+    fn synonyms_share_nothing() {
+        // the paper's Airline vs. Carrier example: no common word
+        assert_eq!(label_sim("Airline", "Carrier"), 0.0);
+    }
+
+    #[test]
+    fn ambiguous_partial_overlap() {
+        // Departure city vs Departure date share "departure" — the paper's
+        // B1 example of a misleading label similarity.
+        let s = label_sim("Departure city", "Departure date");
+        assert!(s > 0.3, "s = {s}");
+    }
+
+    #[test]
+    fn stopwords_do_not_contribute() {
+        // "of" must not create similarity
+        assert_eq!(label_sim("Class of service", "Type of job"), 0.0);
+    }
+
+    #[test]
+    fn empty_labels() {
+        assert_eq!(label_sim("", "Airline"), 0.0);
+        assert_eq!(label_sim("", ""), 0.0);
+        assert_eq!(label_sim("of the", "of the"), 0.0); // all stopwords
+    }
+
+    #[test]
+    fn cosine_is_symmetric() {
+        let pairs = [("From city", "Departure city"), ("Make", "Vehicle make")];
+        for (a, b) in pairs {
+            assert!((label_sim(a, b) - label_sim(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn repeated_words_weighted() {
+        let v = label_vector("city city town");
+        assert_eq!(v.get(&webiq_nlp::stem::stem("city")).copied(), Some(2.0));
+    }
+}

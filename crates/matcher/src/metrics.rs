@@ -1,0 +1,97 @@
+//! Matching-accuracy metrics (§6).
+//!
+//! Precision = correct matches / matches identified by the system;
+//! recall = correct matches / matches given by domain experts;
+//! F-1 = 2PR / (P + R).
+
+use std::collections::BTreeSet;
+
+/// Precision / recall / F-1 triple (all in [0, 1]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrF1 {
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F-1 measure.
+    pub f1: f64,
+}
+
+impl PrF1 {
+    /// Compute from predicted and gold pair sets.
+    pub fn from_pairs<T: Ord>(predicted: &BTreeSet<T>, gold: &BTreeSet<T>) -> PrF1 {
+        let correct = predicted.intersection(gold).count() as f64;
+        let precision = if predicted.is_empty() { 0.0 } else { correct / predicted.len() as f64 };
+        let recall = if gold.is_empty() { 0.0 } else { correct / gold.len() as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        PrF1 { precision, recall, f1 }
+    }
+
+    /// Percentage view of the F-1 (as the paper reports).
+    pub fn f1_pct(&self) -> f64 {
+        self.f1 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(pairs: &[(u32, u32)]) -> BTreeSet<(u32, u32)> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_match() {
+        let gold = set(&[(1, 2), (3, 4)]);
+        let m = PrF1::from_pairs(&gold, &gold);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.f1_pct(), 100.0);
+    }
+
+    #[test]
+    fn half_precision() {
+        let predicted = set(&[(1, 2), (5, 6)]);
+        let gold = set(&[(1, 2), (3, 4)]);
+        let m = PrF1::from_pairs(&predicted, &gold);
+        assert_eq!(m.precision, 0.5);
+        assert_eq!(m.recall, 0.5);
+        assert_eq!(m.f1, 0.5);
+    }
+
+    #[test]
+    fn empty_prediction() {
+        let predicted: BTreeSet<(u32, u32)> = BTreeSet::new();
+        let gold = set(&[(1, 2)]);
+        let m = PrF1::from_pairs(&predicted, &gold);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn empty_gold() {
+        let predicted = set(&[(1, 2)]);
+        let gold: BTreeSet<(u32, u32)> = BTreeSet::new();
+        let m = PrF1::from_pairs(&predicted, &gold);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let predicted = set(&[(1, 2), (3, 4), (5, 6), (7, 8)]);
+        let gold = set(&[(1, 2), (3, 4), (9, 10)]);
+        let m = PrF1::from_pairs(&predicted, &gold);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+        let expected = 2.0 * 0.5 * (2.0 / 3.0) / (0.5 + 2.0 / 3.0);
+        assert!((m.f1 - expected).abs() < 1e-12);
+    }
+}

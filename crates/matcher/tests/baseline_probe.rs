@@ -1,0 +1,17 @@
+//! Diagnostic: baseline F-1 per domain (printed with --nocapture).
+use webiq_data::{generate_domain, kb, GenOptions};
+use webiq_match::{match_dataset, MatchConfig};
+
+#[test]
+#[ignore] // diagnostic; run with --ignored --nocapture to inspect baselines
+fn print_baselines() {
+    for def in kb::all_domains() {
+        let ds = generate_domain(def, &GenOptions::default());
+        let m0 = match_dataset(&ds, &MatchConfig::default()).evaluate(&ds);
+        let mt = match_dataset(&ds, &MatchConfig::with_threshold(0.1)).evaluate(&ds);
+        println!(
+            "{:10} baseline t=0: P={:.3} R={:.3} F1={:.3} | t=0.1: F1={:.3}",
+            def.key, m0.precision, m0.recall, m0.f1, mt.f1
+        );
+    }
+}

@@ -1,0 +1,483 @@
+//! Shallow chunking: noun-phrase recognition and label-form classification.
+//!
+//! §2.1 of the paper: the label of an attribute is checked for the
+//! occurrence of a *noun phrase*, a *prepositional phrase* (preposition
+//! followed by a noun phrase), or a *noun-phrase conjunction*; the obtained
+//! POS tags are matched against pre-determined patterns. The noun-phrase
+//! pattern is: optional determiner + optional modifiers (adjectives /
+//! noun-adjectives) + noun + optional post-modifier (prepositional phrase).
+
+use crate::inflect;
+use crate::pos::{self, Tag, Tagged};
+
+/// A recognised noun phrase.
+///
+/// `words` holds the lowercase core (modifiers + head noun, determiner
+/// dropped); `head` indexes the head noun within `words`; `post_modifier`
+/// is an optional prepositional-phrase post-modifier (`class **of
+/// service**`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NounPhrase {
+    /// Lowercased core words: modifiers followed by the head noun.
+    pub words: Vec<String>,
+    /// Index of the head noun within `words` (always the last core word).
+    pub head: usize,
+    /// Optional `preposition + NP` post-modifier.
+    pub post_modifier: Option<(String, Box<NounPhrase>)>,
+}
+
+impl NounPhrase {
+    /// Build a post-modifier-free NP from lowercase words; the last word is
+    /// the head.
+    pub fn simple(words: Vec<String>) -> Self {
+        assert!(!words.is_empty(), "a noun phrase needs at least a head noun");
+        let head = words.len() - 1;
+        NounPhrase { words, head, post_modifier: None }
+    }
+
+    /// The head noun.
+    pub fn head_word(&self) -> &str {
+        &self.words[self.head]
+    }
+
+    /// Full surface text, e.g. `"class of service"`.
+    pub fn text(&self) -> String {
+        let mut s = self.words.join(" ");
+        if let Some((prep, np)) = &self.post_modifier {
+            s.push(' ');
+            s.push_str(prep);
+            s.push(' ');
+            s.push_str(&np.text());
+        }
+        s
+    }
+
+    /// Surface text with the head noun pluralised: `"departure city"` →
+    /// `"departure cities"`, `"class of service"` → `"classes of service"`.
+    ///
+    /// This is the `Ls` of the extraction patterns in Fig. 4 of the paper.
+    pub fn plural_text(&self) -> String {
+        let mut words = self.words.clone();
+        words[self.head] = inflect::pluralize(&words[self.head]);
+        let mut s = words.join(" ");
+        if let Some((prep, np)) = &self.post_modifier {
+            s.push(' ');
+            s.push_str(prep);
+            s.push(' ');
+            s.push_str(&np.text());
+        }
+        s
+    }
+
+    /// True if the head noun is already plural.
+    pub fn head_is_plural(&self) -> bool {
+        inflect::is_plural(self.head_word())
+    }
+}
+
+/// Syntactic classification of an attribute label (§2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelForm {
+    /// The label is (or contains) a noun phrase: `Departure city`,
+    /// `Class of service`.
+    NounPhrase(NounPhrase),
+    /// Preposition followed by an optional noun phrase: `From city`
+    /// (np = Some) or bare `From` (np = None).
+    PrepPhrase {
+        /// The leading preposition, lowercased.
+        prep: String,
+        /// The noun phrase following it, if any.
+        np: Option<NounPhrase>,
+    },
+    /// Verb-initial label: `Depart from` (np = None),
+    /// `Select departure city` (np = Some).
+    VerbPhrase {
+        /// The leading verb, lowercased.
+        verb: String,
+        /// The first noun phrase following it, if any.
+        np: Option<NounPhrase>,
+    },
+    /// Noun phrases joined by coordinating conjunctions:
+    /// `First name or last name`.
+    Conjunction(Vec<NounPhrase>),
+    /// None of the interesting forms.
+    Other,
+}
+
+impl LabelForm {
+    /// The noun phrases usable for extraction-query formulation. Empty when
+    /// the label contains no noun phrase (extraction terminates, §2.1).
+    pub fn noun_phrases(&self) -> Vec<&NounPhrase> {
+        match self {
+            LabelForm::NounPhrase(np) => vec![np],
+            LabelForm::PrepPhrase { np: Some(np), .. } => vec![np],
+            LabelForm::VerbPhrase { np: Some(np), .. } => vec![np],
+            LabelForm::Conjunction(nps) => nps.iter().collect(),
+            _ => vec![],
+        }
+    }
+}
+
+/// Try to parse one core NP starting at `i`: `(DT)? modifier* noun`.
+/// Returns `(core_start, core_end_exclusive, next_index)` — the span of
+/// the NP body (determiner excluded) and where parsing may resume.
+///
+/// A bare number (`1996`, `$15,000`) is accepted as a degenerate one-token
+/// item: numeric attribute domains (years, mileages, prices) complete cue
+/// phrases with numbers rather than noun phrases, and §2.2's numeric
+/// outlier statistics presuppose that such candidates get extracted.
+fn parse_core_np_span(tagged: &[Tagged], mut i: usize) -> Option<(usize, usize, usize)> {
+    if i < tagged.len() && tagged[i].tag == Tag::DT {
+        i += 1;
+    }
+    let body_start = i;
+    // Greedily take modifiers and nouns; the NP ends at the last noun seen.
+    let mut last_noun: Option<usize> = None;
+    while i < tagged.len() {
+        let tag = tagged[i].tag;
+        if tag.is_noun() {
+            last_noun = Some(i);
+            i += 1;
+        } else if tag.is_np_modifier() {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    match last_noun {
+        Some(n) => Some((body_start, n + 1, n + 1)),
+        // no noun: a leading number forms its own item ("1996, 1997, …")
+        None if tagged.get(body_start).is_some_and(|t| t.tag == Tag::CD) => {
+            Some((body_start, body_start + 1, body_start + 1))
+        }
+        None => None,
+    }
+}
+
+/// Try to parse one core NP starting at `i`: `(DT)? modifier* noun`.
+/// Returns the NP (without post-modifier) and the next index.
+fn parse_core_np(tagged: &[Tagged], i: usize) -> Option<(NounPhrase, usize)> {
+    let (start, end, next) = parse_core_np_span(tagged, i)?;
+    let words: Vec<String> = tagged[start..end].iter().map(|t| t.lower()).collect();
+    debug_assert!(!words.is_empty());
+    let head = words.len() - 1;
+    Some((NounPhrase { words, head, post_modifier: None }, next))
+}
+
+/// Parse an NP with an optional prepositional post-modifier starting at `i`.
+fn parse_np(tagged: &[Tagged], i: usize) -> Option<(NounPhrase, usize)> {
+    let (mut np, mut next) = parse_core_np(tagged, i)?;
+    // Optional PP post-modifier: IN + core NP. Restricted to `of` so that a
+    // conjunction like "city of departure and arrival" attaches sensibly and
+    // a label like "departure in March" does not swallow instances.
+    if next + 1 < tagged.len() && tagged[next].tag == Tag::IN && tagged[next].lower() == "of" {
+        if let Some((pp_np, after)) = parse_core_np(tagged, next + 1) {
+            np.post_modifier = Some(("of".to_string(), Box::new(pp_np)));
+            next = after;
+        }
+    }
+    Some((np, next))
+}
+
+/// Find the first NP anywhere in the sequence.
+fn find_first_np(tagged: &[Tagged]) -> Option<NounPhrase> {
+    for i in 0..tagged.len() {
+        if let Some((np, _)) = parse_np(tagged, i) {
+            return Some(np);
+        }
+    }
+    None
+}
+
+/// Strip trailing punctuation tokens (labels often end with `:` or `*`).
+fn strip_punct(mut tagged: Vec<Tagged>) -> Vec<Tagged> {
+    while tagged.last().is_some_and(|t| t.tag == Tag::SYM) {
+        tagged.pop();
+    }
+    tagged.retain(|t| t.tag != Tag::SYM);
+    tagged
+}
+
+/// Classify an attribute label into one of the forms of §2.1.
+///
+/// ```
+/// use webiq_nlp::chunk::{classify_label, LabelForm};
+///
+/// assert!(matches!(classify_label("Departure city"), LabelForm::NounPhrase(_)));
+/// assert!(matches!(classify_label("From city"), LabelForm::PrepPhrase { .. }));
+/// assert!(matches!(classify_label("Depart from"), LabelForm::VerbPhrase { .. }));
+///
+/// if let LabelForm::NounPhrase(np) = classify_label("Class of service") {
+///     assert_eq!(np.plural_text(), "classes of service");
+/// }
+/// ```
+pub fn classify_label(label: &str) -> LabelForm {
+    let tagged = strip_punct(pos::tag(label));
+    if tagged.is_empty() {
+        return LabelForm::Other;
+    }
+    let first = &tagged[0];
+    // Prepositional label: `From city`, bare `From`, `To`, `Within`.
+    if first.tag == Tag::IN || first.tag == Tag::TO {
+        let np = find_first_np(&tagged[1..]);
+        return LabelForm::PrepPhrase { prep: first.lower(), np };
+    }
+    // Verb-initial label: `Depart from`, `Select departure city`.
+    if first.tag.is_verb() {
+        let np = find_first_np(&tagged[1..]);
+        return LabelForm::VerbPhrase { verb: first.lower(), np };
+    }
+    // NP conjunction: NP (CC NP)+
+    if let Some((head_np, mut next)) = parse_np(&tagged, 0) {
+        let mut nps = vec![head_np];
+        while next < tagged.len() && tagged[next].tag == Tag::CC {
+            match parse_np(&tagged, next + 1) {
+                Some((np, after)) => {
+                    nps.push(np);
+                    next = after;
+                }
+                None => break,
+            }
+        }
+        if nps.len() > 1 {
+            return LabelForm::Conjunction(nps);
+        }
+        return LabelForm::NounPhrase(nps.into_iter().next().expect("one NP parsed"));
+    }
+    // No NP at the start; look anywhere (e.g. "cheapest available fare" with
+    // an unknown leading adverb).
+    match find_first_np(&tagged) {
+        Some(np) => LabelForm::NounPhrase(np),
+        None => LabelForm::Other,
+    }
+}
+
+/// Like [`parse_np_list`] but returning token-index spans
+/// `(start, end_exclusive)` into `tagged`, so callers can recover the
+/// original (cased) surface text of each list item.
+pub fn parse_np_list_spans(tagged: &[Tagged]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some((start, end, next)) = parse_core_np_span(tagged, i) {
+        out.push((start, end));
+        i = next;
+        let mut progressed = false;
+        while i < tagged.len() {
+            let t = &tagged[i];
+            let is_separator = (t.tag == Tag::SYM && t.token.text == ",") || t.tag == Tag::CC;
+            if is_separator {
+                i += 1;
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    out
+}
+
+/// Parse a comma/conjunction-separated list of noun phrases starting at the
+/// beginning of `tagged`, as produced by set extraction patterns
+/// (`"... such as Boston, Chicago, and LAX"`). Parsing stops at the first
+/// token that fits neither an NP nor a separator.
+pub fn parse_np_list(tagged: &[Tagged]) -> Vec<NounPhrase> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some((np, next)) = parse_core_np(tagged, i) {
+        out.push(np);
+        i = next;
+        // Accept separators: "," / "and" / "or" / ", and".
+        let mut progressed = false;
+        while i < tagged.len() {
+            let t = &tagged[i];
+            let is_separator = (t.tag == Tag::SYM && t.token.text == ",") || t.tag == Tag::CC;
+            if is_separator {
+                i += 1;
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn np(words: &[&str]) -> NounPhrase {
+        NounPhrase::simple(words.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn classifies_simple_noun_phrase() {
+        match classify_label("Departure city") {
+            LabelForm::NounPhrase(n) => {
+                assert_eq!(n.words, vec!["departure", "city"]);
+                assert_eq!(n.head_word(), "city");
+            }
+            other => panic!("expected NounPhrase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classifies_np_with_pp_postmodifier() {
+        match classify_label("Class of service") {
+            LabelForm::NounPhrase(n) => {
+                assert_eq!(n.words, vec!["class"]);
+                let (prep, inner) = n.post_modifier.as_ref().expect("post-modifier");
+                assert_eq!(prep, "of");
+                assert_eq!(inner.words, vec!["service"]);
+                assert_eq!(n.text(), "class of service");
+                assert_eq!(n.plural_text(), "classes of service");
+            }
+            other => panic!("expected NounPhrase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classifies_prepositional_phrase() {
+        match classify_label("From city") {
+            LabelForm::PrepPhrase { prep, np } => {
+                assert_eq!(prep, "from");
+                assert_eq!(np.expect("np").words, vec!["city"]);
+            }
+            other => panic!("expected PrepPhrase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_preposition_has_no_np() {
+        match classify_label("From") {
+            LabelForm::PrepPhrase { prep, np } => {
+                assert_eq!(prep, "from");
+                assert!(np.is_none());
+            }
+            other => panic!("expected PrepPhrase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classifies_verb_phrase() {
+        match classify_label("Depart from") {
+            LabelForm::VerbPhrase { verb, np } => {
+                assert_eq!(verb, "depart");
+                assert!(np.is_none());
+            }
+            other => panic!("expected VerbPhrase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verb_phrase_with_np() {
+        match classify_label("Select departure city") {
+            LabelForm::VerbPhrase { verb, np } => {
+                assert_eq!(verb, "select");
+                assert_eq!(np.expect("np").words, vec!["departure", "city"]);
+            }
+            other => panic!("expected VerbPhrase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classifies_conjunction() {
+        match classify_label("First name or last name") {
+            LabelForm::Conjunction(nps) => {
+                assert_eq!(nps.len(), 2);
+                assert_eq!(nps[0].words, vec!["first", "name"]);
+                assert_eq!(nps[1].words, vec!["last", "name"]);
+            }
+            other => panic!("expected Conjunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_colon_is_stripped() {
+        match classify_label("Airline:") {
+            LabelForm::NounPhrase(n) => assert_eq!(n.words, vec!["airline"]),
+            other => panic!("expected NounPhrase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_label_is_other() {
+        assert_eq!(classify_label(""), LabelForm::Other);
+        assert_eq!(classify_label(":"), LabelForm::Other);
+    }
+
+    #[test]
+    fn determiner_is_dropped_from_core() {
+        match classify_label("The make") {
+            LabelForm::NounPhrase(n) => assert_eq!(n.words, vec!["make"]),
+            other => panic!("expected NounPhrase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plural_head_pluralization() {
+        let n = np(&["departure", "city"]);
+        assert_eq!(n.plural_text(), "departure cities");
+        assert!(!n.head_is_plural());
+        let n = np(&["bedrooms"]);
+        assert!(n.head_is_plural());
+    }
+
+    #[test]
+    fn noun_phrases_accessor() {
+        let form = classify_label("First name or last name");
+        assert_eq!(form.noun_phrases().len(), 2);
+        let form = classify_label("From");
+        assert!(form.noun_phrases().is_empty());
+    }
+
+    #[test]
+    fn parses_np_list_from_snippet() {
+        let tagged = pos::tag("Boston, Chicago, and LAX. More text follows");
+        let nps = parse_np_list(&tagged);
+        assert!(nps.len() >= 3, "got {nps:?}");
+        assert_eq!(nps[0].text(), "boston");
+        assert_eq!(nps[1].text(), "chicago");
+        assert_eq!(nps[2].text(), "lax");
+    }
+
+    #[test]
+    fn np_list_multiword_proper_nouns() {
+        let tagged = pos::tag("Air Canada, American, and United");
+        let nps = parse_np_list(&tagged);
+        assert_eq!(nps.len(), 3);
+        assert_eq!(nps[0].text(), "air canada");
+    }
+
+    #[test]
+    fn np_list_stops_at_non_np() {
+        let tagged = pos::tag("Boston from Chicago");
+        let nps = parse_np_list(&tagged);
+        assert_eq!(nps.len(), 1);
+    }
+
+    #[test]
+    fn numeric_list_items_are_extracted() {
+        let tagged = pos::tag("1996, 1997, and 1998 are available");
+        let spans = parse_np_list_spans(&tagged);
+        assert_eq!(spans.len(), 3, "{spans:?}");
+        let tagged = pos::tag("$5,000 and $10,000");
+        let spans = parse_np_list_spans(&tagged);
+        assert_eq!(spans.len(), 2, "{spans:?}");
+    }
+
+    #[test]
+    fn number_noun_compound_stays_one_np() {
+        // "2 bedrooms" must remain a single NP headed by the noun
+        let tagged = pos::tag("2 bedrooms");
+        let nps = parse_np_list(&tagged);
+        assert_eq!(nps.len(), 1);
+        assert_eq!(nps[0].text(), "2 bedrooms");
+    }
+}

@@ -1,0 +1,229 @@
+//! English noun pluralisation and singularisation.
+//!
+//! The extraction patterns of Fig. 4 need the plural form of the label's
+//! head noun (`city` → `cities` for the cue phrase *departure cities such
+//! as*). A rule-based inflector with an irregular-form table covers the
+//! vocabulary of query-interface labels.
+
+/// Irregular singular → plural pairs (also used in reverse).
+static IRREGULAR: &[(&str, &str)] = &[
+    ("man", "men"),
+    ("woman", "women"),
+    ("child", "children"),
+    ("person", "people"),
+    ("foot", "feet"),
+    ("tooth", "teeth"),
+    ("goose", "geese"),
+    ("mouse", "mice"),
+    ("criterion", "criteria"),
+    ("datum", "data"),
+    ("medium", "media"),
+    ("index", "indices"),
+    ("axis", "axes"),
+    ("analysis", "analyses"),
+    ("basis", "bases"),
+    ("life", "lives"),
+    ("leaf", "leaves"),
+    ("shelf", "shelves"),
+    ("half", "halves"),
+    ("wife", "wives"),
+    ("knife", "knives"),
+];
+
+/// Words identical in singular and plural.
+static INVARIANT: &[&str] = &[
+    "series", "species", "aircraft", "luggage", "information", "news", "equipment",
+    "furniture", "real estate", "software",
+];
+
+fn is_vowel(c: u8) -> bool {
+    matches!(c, b'a' | b'e' | b'i' | b'o' | b'u')
+}
+
+/// Pluralise a singular English noun (lowercase in, lowercase out).
+///
+/// Already-plural inputs are returned unchanged when detectable (`cities`,
+/// `children`); this makes the function idempotent for the cases the cue
+/// phrases produce.
+///
+/// ```
+/// use webiq_nlp::inflect::pluralize;
+/// assert_eq!(pluralize("city"), "cities");
+/// assert_eq!(pluralize("class"), "classes");
+/// assert_eq!(pluralize("person"), "people");
+/// ```
+pub fn pluralize(word: &str) -> String {
+    let w = word.to_ascii_lowercase();
+    if w.is_empty() {
+        return w;
+    }
+    if INVARIANT.contains(&w.as_str()) {
+        return w;
+    }
+    if let Some((_, plural)) = IRREGULAR.iter().find(|(s, _)| *s == w) {
+        return (*plural).to_string();
+    }
+    // Already plural (irregular plural or regular -s that singularizes back).
+    if IRREGULAR.iter().any(|(_, p)| *p == w) || (w.ends_with('s') && is_plural(&w)) {
+        return w;
+    }
+    let b = w.as_bytes();
+    let n = b.len();
+    if w.ends_with("ch") || w.ends_with("sh") || w.ends_with('x') || w.ends_with('s')
+        || w.ends_with('z')
+    {
+        return format!("{w}es");
+    }
+    if n >= 2 && b[n - 1] == b'y' && !is_vowel(b[n - 2]) {
+        return format!("{}ies", &w[..n - 1]);
+    }
+    if n >= 2 && b[n - 1] == b'o' && !is_vowel(b[n - 2]) {
+        // tomato → tomatoes; but many -o words take plain s (photos, autos).
+        if matches!(w.as_str(), "tomato" | "potato" | "hero" | "echo" | "veto" | "cargo") {
+            return format!("{w}es");
+        }
+        return format!("{w}s");
+    }
+    format!("{w}s")
+}
+
+/// Singularise a plural English noun (lowercase in, lowercase out).
+/// Non-plural inputs are returned unchanged.
+pub fn singularize(word: &str) -> String {
+    let w = word.to_ascii_lowercase();
+    if w.is_empty() || INVARIANT.contains(&w.as_str()) {
+        return w;
+    }
+    if let Some((singular, _)) = IRREGULAR.iter().find(|(_, p)| *p == w) {
+        return (*singular).to_string();
+    }
+    let n = w.len();
+    if n > 3 && w.ends_with("ies") {
+        // cities → city, but movies → movie (vowel before the -ies).
+        let b = w.as_bytes();
+        if n >= 4 && !is_vowel(b[n - 4]) {
+            return format!("{}y", &w[..n - 3]);
+        }
+        return w[..n - 1].to_string();
+    }
+    if n > 4
+        && w.ends_with("es")
+        && (w[..n - 2].ends_with("ch")
+            || w[..n - 2].ends_with("sh")
+            || w[..n - 2].ends_with('x')
+            || w[..n - 2].ends_with('s')
+            || w[..n - 2].ends_with('z'))
+    {
+        return w[..n - 2].to_string();
+    }
+    if n > 3 && w.ends_with('s') && !w.ends_with("ss") && !w.ends_with("us") && !w.ends_with("is")
+    {
+        return w[..n - 1].to_string();
+    }
+    w
+}
+
+/// Heuristic plural detection: true when singularising changes the word.
+pub fn is_plural(word: &str) -> bool {
+    let w = word.to_ascii_lowercase();
+    if IRREGULAR.iter().any(|(_, p)| *p == w) {
+        return true;
+    }
+    singularize(&w) != w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_s() {
+        assert_eq!(pluralize("author"), "authors");
+        assert_eq!(pluralize("airline"), "airlines");
+        assert_eq!(pluralize("publisher"), "publishers");
+    }
+
+    #[test]
+    fn sibilant_es() {
+        assert_eq!(pluralize("class"), "classes");
+        assert_eq!(pluralize("branch"), "branches");
+        assert_eq!(pluralize("box"), "boxes");
+    }
+
+    #[test]
+    fn consonant_y_to_ies() {
+        assert_eq!(pluralize("city"), "cities");
+        assert_eq!(pluralize("company"), "companies");
+        assert_eq!(pluralize("category"), "categories");
+    }
+
+    #[test]
+    fn vowel_y_plain_s() {
+        assert_eq!(pluralize("day"), "days");
+        assert_eq!(pluralize("key"), "keys");
+    }
+
+    #[test]
+    fn o_endings() {
+        assert_eq!(pluralize("tomato"), "tomatoes");
+        assert_eq!(pluralize("auto"), "autos");
+        assert_eq!(pluralize("photo"), "photos");
+    }
+
+    #[test]
+    fn irregulars_both_ways() {
+        assert_eq!(pluralize("person"), "people");
+        assert_eq!(pluralize("child"), "children");
+        assert_eq!(singularize("people"), "person");
+        assert_eq!(singularize("children"), "child");
+        assert_eq!(singularize("feet"), "foot");
+    }
+
+    #[test]
+    fn invariants() {
+        assert_eq!(pluralize("series"), "series");
+        assert_eq!(singularize("series"), "series");
+    }
+
+    #[test]
+    fn pluralize_is_idempotent_on_plurals() {
+        assert_eq!(pluralize("cities"), "cities");
+        assert_eq!(pluralize("children"), "children");
+        assert_eq!(pluralize("authors"), "authors");
+    }
+
+    #[test]
+    fn singularize_regular() {
+        assert_eq!(singularize("cities"), "city");
+        assert_eq!(singularize("classes"), "class");
+        assert_eq!(singularize("authors"), "author");
+        assert_eq!(singularize("boxes"), "box");
+    }
+
+    #[test]
+    fn singularize_leaves_non_plurals() {
+        assert_eq!(singularize("class"), "class");
+        assert_eq!(singularize("bus"), "bus");
+        assert_eq!(singularize("analysis"), "analysis");
+        assert_eq!(singularize("gas"), "gas");
+    }
+
+    #[test]
+    fn plurality_detection() {
+        assert!(is_plural("cities"));
+        assert!(is_plural("people"));
+        assert!(!is_plural("city"));
+        assert!(!is_plural("class"));
+    }
+
+    #[test]
+    fn empty_word() {
+        assert_eq!(pluralize(""), "");
+        assert_eq!(singularize(""), "");
+    }
+
+    #[test]
+    fn case_is_normalized() {
+        assert_eq!(pluralize("City"), "cities");
+    }
+}

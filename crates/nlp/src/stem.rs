@@ -1,0 +1,321 @@
+//! Porter stemming.
+//!
+//! IceQ's label similarity compares word vectors built from labels; stemming
+//! conflates morphological variants (`departure`/`departing`, `location`/
+//! `locations`) so cosine similarity sees them as the same dimension. This
+//! is a standard implementation of Porter's 1980 algorithm (steps 1a–5b).
+
+/// Stem an English word with Porter's algorithm. Input is lowercased; words
+/// shorter than three characters are returned unchanged (per the original
+/// algorithm's guidance).
+///
+/// ```
+/// use webiq_nlp::stem::stem;
+/// assert_eq!(stem("cities"), "citi");
+/// assert_eq!(stem("locations"), stem("location"));
+/// ```
+pub fn stem(word: &str) -> String {
+    let w = word.to_ascii_lowercase();
+    if w.len() <= 2 || !w.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return w;
+    }
+    let mut b: Vec<u8> = w.into_bytes();
+    step1a(&mut b);
+    step1b(&mut b);
+    step1c(&mut b);
+    step2(&mut b);
+    step3(&mut b);
+    step4(&mut b);
+    step5a(&mut b);
+    step5b(&mut b);
+    String::from_utf8(b).expect("ascii input stays ascii")
+}
+
+/// Is `b[i]` a consonant (in the Porter sense, where `y` is contextual)?
+fn is_cons(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !is_cons(b, i - 1),
+        _ => true,
+    }
+}
+
+/// Porter's measure m of `b[..len]`: number of VC sequences.
+fn measure(b: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // skip initial consonants
+    while i < len && is_cons(b, i) {
+        i += 1;
+    }
+    loop {
+        // skip vowels
+        while i < len && !is_cons(b, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        m += 1;
+        // skip consonants
+        while i < len && is_cons(b, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+    }
+}
+
+/// Does `b[..len]` contain a vowel?
+fn has_vowel(b: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_cons(b, i))
+}
+
+/// Does `b[..len]` end with a double consonant?
+fn double_cons(b: &[u8], len: usize) -> bool {
+    len >= 2 && b[len - 1] == b[len - 2] && is_cons(b, len - 1)
+}
+
+/// Does `b[..len]` end consonant-vowel-consonant, where the final consonant
+/// is not w, x, or y?
+fn cvc(b: &[u8], len: usize) -> bool {
+    len >= 3
+        && is_cons(b, len - 3)
+        && !is_cons(b, len - 2)
+        && is_cons(b, len - 1)
+        && !matches!(b[len - 1], b'w' | b'x' | b'y')
+}
+
+fn ends_with(b: &[u8], suffix: &str) -> bool {
+    b.len() >= suffix.len() && &b[b.len() - suffix.len()..] == suffix.as_bytes()
+}
+
+/// Replace the trailing `suffix` with `to` if the stem before it has
+/// measure > `min_m`. Returns true if replaced.
+fn replace_if(b: &mut Vec<u8>, suffix: &str, to: &str, min_m: usize) -> bool {
+    if ends_with(b, suffix) {
+        let stem_len = b.len() - suffix.len();
+        if measure(b, stem_len) > min_m {
+            b.truncate(stem_len);
+            b.extend_from_slice(to.as_bytes());
+        }
+        true // suffix matched (even if condition failed, stop trying others)
+    } else {
+        false
+    }
+}
+
+fn step1a(b: &mut Vec<u8>) {
+    if ends_with(b, "sses") || ends_with(b, "ies") {
+        b.truncate(b.len() - 2);
+    } else if ends_with(b, "ss") {
+        // unchanged
+    } else if ends_with(b, "s") {
+        b.truncate(b.len() - 1);
+    }
+}
+
+fn step1b(b: &mut Vec<u8>) {
+    if ends_with(b, "eed") {
+        let stem_len = b.len() - 3;
+        if measure(b, stem_len) > 0 {
+            b.truncate(b.len() - 1);
+        }
+        return;
+    }
+    let trimmed = if ends_with(b, "ed") && has_vowel(b, b.len() - 2) {
+        b.truncate(b.len() - 2);
+        true
+    } else if ends_with(b, "ing") && has_vowel(b, b.len() - 3) {
+        b.truncate(b.len() - 3);
+        true
+    } else {
+        false
+    };
+    if trimmed {
+        if ends_with(b, "at") || ends_with(b, "bl") || ends_with(b, "iz") {
+            b.push(b'e');
+        } else if double_cons(b, b.len()) && !matches!(b[b.len() - 1], b'l' | b's' | b'z') {
+            b.truncate(b.len() - 1);
+        } else if measure(b, b.len()) == 1 && cvc(b, b.len()) {
+            b.push(b'e');
+        }
+    }
+}
+
+fn step1c(b: &mut [u8]) {
+    let n = b.len();
+    if n >= 2 && b[n - 1] == b'y' && has_vowel(b, n - 1) {
+        b[n - 1] = b'i';
+    }
+}
+
+fn step2(b: &mut Vec<u8>) {
+    static PAIRS: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ];
+    for (from, to) in PAIRS {
+        if replace_if(b, from, to, 0) {
+            return;
+        }
+    }
+}
+
+fn step3(b: &mut Vec<u8>) {
+    static PAIRS: &[(&str, &str)] = &[
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    for (from, to) in PAIRS {
+        if replace_if(b, from, to, 0) {
+            return;
+        }
+    }
+}
+
+fn step4(b: &mut Vec<u8>) {
+    static SUFFIXES: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
+        "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    for suffix in SUFFIXES {
+        if ends_with(b, suffix) {
+            let stem_len = b.len() - suffix.len();
+            if measure(b, stem_len) > 1 {
+                b.truncate(stem_len);
+            }
+            return;
+        }
+    }
+    // special case: -ion preceded by s or t
+    if ends_with(b, "ion") {
+        let stem_len = b.len() - 3;
+        if stem_len > 0
+            && matches!(b[stem_len - 1], b's' | b't')
+            && measure(b, stem_len) > 1
+        {
+            b.truncate(stem_len);
+        }
+    }
+}
+
+fn step5a(b: &mut Vec<u8>) {
+    if ends_with(b, "e") {
+        let stem_len = b.len() - 1;
+        let m = measure(b, stem_len);
+        if m > 1 || (m == 1 && !cvc(b, stem_len)) {
+            b.truncate(stem_len);
+        }
+    }
+}
+
+fn step5b(b: &mut Vec<u8>) {
+    let n = b.len();
+    if n >= 2 && b[n - 1] == b'l' && b[n - 2] == b'l' && measure(b, n) > 1 {
+        b.truncate(n - 1);
+    }
+}
+
+/// Stem every word of an already-tokenized lowercase word list.
+pub fn stem_all<I: IntoIterator<Item = S>, S: AsRef<str>>(words: I) -> Vec<String> {
+    words.into_iter().map(|w| stem(w.as_ref())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_porter_examples() {
+        assert_eq!(stem("caresses"), "caress");
+        assert_eq!(stem("ponies"), "poni");
+        assert_eq!(stem("caress"), "caress");
+        assert_eq!(stem("cats"), "cat");
+        assert_eq!(stem("feed"), "feed");
+        assert_eq!(stem("agreed"), "agre");
+        assert_eq!(stem("plastered"), "plaster");
+        assert_eq!(stem("motoring"), "motor");
+        assert_eq!(stem("sing"), "sing");
+        assert_eq!(stem("conflated"), "conflat");
+        assert_eq!(stem("troubled"), "troubl");
+        assert_eq!(stem("sized"), "size");
+        assert_eq!(stem("hopping"), "hop");
+        assert_eq!(stem("falling"), "fall");
+        assert_eq!(stem("hissing"), "hiss");
+        assert_eq!(stem("failing"), "fail");
+        assert_eq!(stem("filing"), "file");
+        assert_eq!(stem("happy"), "happi");
+        assert_eq!(stem("sky"), "sky");
+        assert_eq!(stem("relational"), "relat");
+        assert_eq!(stem("conditional"), "condit");
+        assert_eq!(stem("triplicate"), "triplic");
+        assert_eq!(stem("hopeful"), "hope");
+        assert_eq!(stem("goodness"), "good");
+        assert_eq!(stem("revival"), "reviv");
+        assert_eq!(stem("allowance"), "allow");
+        assert_eq!(stem("inference"), "infer");
+        assert_eq!(stem("adjustment"), "adjust");
+        assert_eq!(stem("adoption"), "adopt");
+        assert_eq!(stem("probate"), "probat");
+        assert_eq!(stem("rate"), "rate");
+        assert_eq!(stem("cease"), "ceas");
+        assert_eq!(stem("controll"), "control");
+        assert_eq!(stem("roll"), "roll");
+    }
+
+    #[test]
+    fn interface_vocabulary_conflation() {
+        assert_eq!(stem("departure"), stem("departures"));
+        assert_eq!(stem("city"), stem("cities"));
+        assert_eq!(stem("location"), stem("locations"));
+        assert_eq!(stem("airline"), stem("airlines"));
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(stem("be"), "be");
+        assert_eq!(stem("a"), "a");
+        assert_eq!(stem("is"), "is");
+    }
+
+    #[test]
+    fn non_alphabetic_untouched() {
+        assert_eq!(stem("isbn-10"), "isbn-10");
+        assert_eq!(stem("42"), "42");
+    }
+
+    #[test]
+    fn case_normalized() {
+        assert_eq!(stem("Cities"), "citi");
+    }
+
+    #[test]
+    fn stem_all_maps() {
+        assert_eq!(stem_all(["departure", "cities"]), vec!["departur", "citi"]);
+    }
+}

@@ -1,0 +1,78 @@
+//! English stopword list used when building label word vectors.
+//!
+//! Function words carry no matching signal between labels (`of` in
+//! `Class of service` matches `of` in `Type of job` spuriously), so IceQ's
+//! label vectors drop them. Two deliberate exceptions: `from` and `to` are
+//! NOT stopwords — on query interfaces they are semantically load-bearing
+//! direction markers (`From city` vs `To city`, `Price from` vs `Price
+//! to`) and are the only signal distinguishing those attribute pairs.
+
+/// Alphabetically sorted stopword list (lowercase).
+static STOPWORDS: &[&str] = &[
+    "a", "about", "after", "all", "an", "and", "any", "are", "as", "at", "be", "been",
+    "before", "between", "but", "by", "can", "do", "does", "each", "enter", "every",
+    "for", "had", "has", "have", "here", "how", "i", "if", "in", "into", "is",
+    "it", "its", "may", "more", "most", "must", "my", "near", "no", "nor", "not", "now",
+    "of", "on", "only", "or", "other", "our", "over", "per", "please", "select",
+    "shall", "should", "since", "some", "such", "than", "that", "the", "their", "then",
+    "there", "these", "they", "this", "those", "through", "under", "until", "up",
+    "very", "via", "was", "we", "were", "what", "when", "where", "which", "will",
+    "with", "within", "without", "would", "you", "your",
+];
+
+/// Is `word` (any case) a stopword?
+pub fn is_stopword(word: &str) -> bool {
+    let lower = word.to_ascii_lowercase();
+    STOPWORDS.binary_search(&lower.as_str()).is_ok()
+}
+
+/// Remove stopwords from a word list, preserving order.
+pub fn remove_stopwords<S: AsRef<str>>(words: &[S]) -> Vec<String> {
+    words
+        .iter()
+        .map(|w| w.as_ref().to_string())
+        .filter(|w| !is_stopword(w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS, "STOPWORDS must stay sorted");
+    }
+
+    #[test]
+    fn detects_stopwords_case_insensitively() {
+        assert!(is_stopword("the"));
+        assert!(is_stopword("OF"));
+        assert!(!is_stopword("From"));
+        assert!(!is_stopword("to"));
+    }
+
+    #[test]
+    fn content_words_pass() {
+        assert!(!is_stopword("city"));
+        assert!(!is_stopword("airline"));
+        assert!(!is_stopword("departure"));
+    }
+
+    #[test]
+    fn removal_preserves_order() {
+        assert_eq!(
+            remove_stopwords(&["class", "of", "service"]),
+            vec!["class", "service"]
+        );
+        // `from`/`to` are deliberately NOT stopwords (direction markers)
+        assert_eq!(remove_stopwords(&["from", "city"]), vec!["from", "city"]);
+    }
+
+    #[test]
+    fn all_stopwords_removed_leaves_empty() {
+        assert!(remove_stopwords(&["the", "of", "and"]).is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Binary naive Bayes with Laplacean smoothing (§3.1–3.2).
+//!
+//! The validation-based classifier represents an object by thresholded
+//! validation scores — a boolean feature vector — and predicts membership
+//! with Formula 1 of the paper:
+//!
+//! ```text
+//! P(c|x) = P(c) Πᵢ P(fᵢ|c) / (P(c) Πᵢ P(fᵢ|c) + P(¬c) Πᵢ P(fᵢ|¬c))
+//! ```
+//!
+//! Probabilities are estimated from counts with Laplacean smoothing, e.g.
+//! `P(f₁=1|+) = (2+1)/(2+2) = 3/4` in the paper's Figure 5.h.
+
+/// A trained binary naive Bayes classifier over boolean feature vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveBayes {
+    n_features: usize,
+    prior_pos: f64,
+    /// `p_true[c][i]` = P(fᵢ = 1 | class c), c ∈ {0 = neg, 1 = pos}.
+    p_true: [Vec<f64>; 2],
+}
+
+/// Errors from training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// No training examples were supplied.
+    Empty,
+    /// Feature vectors have inconsistent lengths.
+    RaggedFeatures {
+        /// Length of the first example's feature vector.
+        expected: usize,
+        /// The offending length encountered.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Empty => write!(f, "cannot train on an empty example set"),
+            TrainError::RaggedFeatures { expected, got } => {
+                write!(f, "inconsistent feature vector lengths: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl NaiveBayes {
+    /// Train from `(features, is_positive)` examples with Laplacean
+    /// smoothing on both the class-conditional probabilities and the prior.
+    pub fn train(examples: &[(Vec<bool>, bool)]) -> Result<Self, TrainError> {
+        let Some(first) = examples.first() else {
+            return Err(TrainError::Empty);
+        };
+        let n_features = first.0.len();
+        let mut class_count = [0usize; 2];
+        let mut true_count = [vec![0usize; n_features], vec![0usize; n_features]];
+        for (features, positive) in examples {
+            if features.len() != n_features {
+                return Err(TrainError::RaggedFeatures {
+                    expected: n_features,
+                    got: features.len(),
+                });
+            }
+            let c = usize::from(*positive);
+            class_count[c] += 1;
+            for (i, &f) in features.iter().enumerate() {
+                true_count[c][i] += usize::from(f);
+            }
+        }
+        let total = examples.len();
+        let prior_pos = (class_count[1] as f64 + 1.0) / (total as f64 + 2.0);
+        let p_true = [0, 1].map(|c| {
+            (0..n_features)
+                .map(|i| (true_count[c][i] as f64 + 1.0) / (class_count[c] as f64 + 2.0))
+                .collect()
+        });
+        Ok(NaiveBayes { n_features, prior_pos, p_true })
+    }
+
+    /// Number of features the classifier was trained with.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The smoothed class prior P(+).
+    pub fn prior_pos(&self) -> f64 {
+        self.prior_pos
+    }
+
+    /// Smoothed P(fᵢ = 1 | class), `positive` selecting the class.
+    pub fn p_feature_true(&self, i: usize, positive: bool) -> f64 {
+        self.p_true[usize::from(positive)][i]
+    }
+
+    /// Posterior probability of the positive class (Formula 1).
+    ///
+    /// # Panics
+    /// Panics if `features.len()` differs from the training dimensionality.
+    pub fn posterior_pos(&self, features: &[bool]) -> f64 {
+        assert_eq!(
+            features.len(),
+            self.n_features,
+            "feature vector length must match training data"
+        );
+        // Work in log space to avoid underflow with many features.
+        let mut log_pos = self.prior_pos.ln();
+        let mut log_neg = (1.0 - self.prior_pos).ln();
+        for (i, &f) in features.iter().enumerate() {
+            let pp = if f { self.p_true[1][i] } else { 1.0 - self.p_true[1][i] };
+            let pn = if f { self.p_true[0][i] } else { 1.0 - self.p_true[0][i] };
+            log_pos += pp.ln();
+            log_neg += pn.ln();
+        }
+        // logistic of the log-odds
+        1.0 / (1.0 + (log_neg - log_pos).exp())
+    }
+
+    /// Classify: positive iff the posterior exceeds ½.
+    pub fn classify(&self, features: &[bool]) -> bool {
+        self.posterior_pos(features) > 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The training set T₂′ of Figure 5.g and probabilities of Figure 5.h.
+    fn paper_t2() -> Vec<(Vec<bool>, bool)> {
+        vec![
+            (vec![true, true], true),   // Delta
+            (vec![true, true], true),   // United
+            (vec![false, false], false), // Jan
+            (vec![false, true], false), // 1
+        ]
+    }
+
+    #[test]
+    fn paper_probability_estimates() {
+        let nb = NaiveBayes::train(&paper_t2()).expect("train");
+        assert!((nb.prior_pos() - 0.5).abs() < 1e-12);
+        // P(f1=1|+) = (2+1)/(2+2) = 3/4
+        assert!((nb.p_feature_true(0, true) - 0.75).abs() < 1e-12);
+        // P(f1=1|−) = (0+1)/(2+2) = 1/4
+        assert!((nb.p_feature_true(0, false) - 0.25).abs() < 1e-12);
+        // P(f2=1|+) = (2+1)/(2+2) = 3/4
+        assert!((nb.p_feature_true(1, true) - 0.75).abs() < 1e-12);
+        // P(f2=1|−) = (1+1)/(2+2) = 1/2
+        assert!((nb.p_feature_true(1, false) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classifies_paper_examples() {
+        let nb = NaiveBayes::train(&paper_t2()).expect("train");
+        assert!(nb.classify(&[true, true]));
+        assert!(!nb.classify(&[false, false]));
+    }
+
+    #[test]
+    fn posterior_matches_hand_computation() {
+        let nb = NaiveBayes::train(&paper_t2()).expect("train");
+        // x = <1,1>: P(+)∏ = .5*.75*.75 = .28125 ; P(−)∏ = .5*.25*.5 = .0625
+        let expected = 0.28125 / (0.28125 + 0.0625);
+        assert!((nb.posterior_pos(&[true, true]) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_training_set_errors() {
+        assert_eq!(NaiveBayes::train(&[]), Err(TrainError::Empty));
+    }
+
+    #[test]
+    fn ragged_features_error() {
+        let ex = vec![(vec![true], true), (vec![true, false], false)];
+        assert_eq!(
+            NaiveBayes::train(&ex),
+            Err(TrainError::RaggedFeatures { expected: 1, got: 2 })
+        );
+    }
+
+    #[test]
+    fn single_class_training_is_smoothed() {
+        // All positives: smoothing keeps the negative prior nonzero.
+        let ex = vec![(vec![true], true), (vec![true], true)];
+        let nb = NaiveBayes::train(&ex).expect("train");
+        assert!(nb.prior_pos() < 1.0);
+        assert!(nb.posterior_pos(&[true]) > 0.5);
+    }
+
+    #[test]
+    fn zero_feature_classifier_uses_prior() {
+        let ex = vec![(vec![], true), (vec![], true), (vec![], false)];
+        let nb = NaiveBayes::train(&ex).expect("train");
+        let p = nb.posterior_pos(&[]);
+        assert!((p - 0.6).abs() < 1e-12); // (2+1)/(3+2)
+        assert!(nb.classify(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature vector length")]
+    fn wrong_arity_panics() {
+        let nb = NaiveBayes::train(&paper_t2()).expect("train");
+        let _ = nb.posterior_pos(&[true]);
+    }
+
+    #[test]
+    fn many_features_do_not_underflow() {
+        let n = 500;
+        let ex = vec![
+            (vec![true; n], true),
+            (vec![true; n], true),
+            (vec![false; n], false),
+            (vec![false; n], false),
+        ];
+        let nb = NaiveBayes::train(&ex).expect("train");
+        let p = nb.posterior_pos(&vec![true; n]);
+        assert!(p > 0.99, "p = {p}");
+        assert!(p.is_finite());
+    }
+}

@@ -1,0 +1,139 @@
+//! Entropy and information-gain threshold estimation (§3.2, step 2).
+//!
+//! The validation-based classifier thresholds each validation score; the
+//! threshold tᵢ is chosen to maximise information gain over the T₁ split of
+//! the training set: `E(T₁) − (|T₁₁|/|T₁| · E(T₁₁) + |T₁₂|/|T₁| · E(T₁₂))`
+//! where T₁₁ = {fᵢ < tᵢ} and T₁₂ = {fᵢ ≥ tᵢ}.
+
+/// Binary entropy of a set with `pos` positive out of `total` examples,
+/// in bits. Empty sets have zero entropy.
+pub fn binary_entropy(pos: usize, total: usize) -> f64 {
+    if total == 0 || pos == 0 || pos == total {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    let q = 1.0 - p;
+    -(p * p.log2() + q * q.log2())
+}
+
+/// Information gain of splitting `examples` (score, is_positive) at
+/// `threshold` into `< threshold` and `≥ threshold` halves.
+pub fn information_gain(examples: &[(f64, bool)], threshold: f64) -> f64 {
+    let total = examples.len();
+    if total == 0 {
+        return 0.0;
+    }
+    let pos_total = examples.iter().filter(|(_, p)| *p).count();
+    let (mut lo_n, mut lo_pos, mut hi_n, mut hi_pos) = (0usize, 0usize, 0usize, 0usize);
+    for &(score, positive) in examples {
+        if score < threshold {
+            lo_n += 1;
+            lo_pos += usize::from(positive);
+        } else {
+            hi_n += 1;
+            hi_pos += usize::from(positive);
+        }
+    }
+    let e = binary_entropy(pos_total, total);
+    let e_lo = binary_entropy(lo_pos, lo_n);
+    let e_hi = binary_entropy(hi_pos, hi_n);
+    e - (lo_n as f64 / total as f64) * e_lo - (hi_n as f64 / total as f64) * e_hi
+}
+
+/// Choose the threshold with maximal information gain.
+///
+/// Candidate thresholds are midpoints between consecutive distinct sorted
+/// scores (the standard C4.5 candidate set). Ties prefer the **larger**
+/// threshold, which separates positives (high validation scores) from
+/// negatives more conservatively. Returns the midpoint of all scores when
+/// the input is empty or single-class-separable trivially.
+///
+/// ```
+/// use webiq_stats::entropy::best_threshold;
+/// // Figure 5.f of the paper: t1 = .45
+/// let t = best_threshold(&[(0.2, false), (0.4, false), (0.5, true), (0.8, true)]);
+/// assert!((t - 0.45).abs() < 1e-12);
+/// ```
+pub fn best_threshold(examples: &[(f64, bool)]) -> f64 {
+    if examples.is_empty() {
+        return 0.0;
+    }
+    let mut scores: Vec<f64> = examples.iter().map(|(s, _)| *s).collect();
+    scores.sort_by(|a, b| a.partial_cmp(b).expect("scores must not be NaN"));
+    scores.dedup();
+    if scores.len() == 1 {
+        return scores[0];
+    }
+    let mut best = (f64::NEG_INFINITY, scores[0]);
+    for w in scores.windows(2) {
+        let mid = (w[0] + w[1]) / 2.0;
+        let gain = information_gain(examples, mid);
+        if gain >= best.0 {
+            best = (gain, mid);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_bounds() {
+        assert_eq!(binary_entropy(0, 10), 0.0);
+        assert_eq!(binary_entropy(10, 10), 0.0);
+        assert!((binary_entropy(5, 10) - 1.0).abs() < 1e-12);
+        assert_eq!(binary_entropy(0, 0), 0.0);
+    }
+
+    #[test]
+    fn entropy_is_symmetric() {
+        assert!((binary_entropy(3, 10) - binary_entropy(7, 10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_thresholds() {
+        // Figure 5.f: T1 scores for phrase 1: (.2,−) (.4,−) (.5,+) (.8,+)
+        // → t1 = .45; for phrase 2: (.03,−) (.05,−) (.1,+) (.3,+) → t2 = .075.
+        let t1 = best_threshold(&[(0.2, false), (0.4, false), (0.5, true), (0.8, true)]);
+        assert!((t1 - 0.45).abs() < 1e-12, "t1 = {t1}");
+        let t2 = best_threshold(&[(0.03, false), (0.05, false), (0.1, true), (0.3, true)]);
+        assert!((t2 - 0.075).abs() < 1e-12, "t2 = {t2}");
+    }
+
+    #[test]
+    fn perfect_split_has_full_gain() {
+        let ex = [(0.1, false), (0.2, false), (0.8, true), (0.9, true)];
+        let g = information_gain(&ex, 0.5);
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn useless_split_has_zero_gain() {
+        let ex = [(0.1, false), (0.2, true), (0.8, false), (0.9, true)];
+        let g = information_gain(&ex, 0.05); // everything on one side
+        assert!(g.abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(best_threshold(&[]), 0.0);
+        assert_eq!(best_threshold(&[(0.5, true)]), 0.5);
+        assert_eq!(best_threshold(&[(0.5, true), (0.5, false)]), 0.5);
+    }
+
+    #[test]
+    fn overlapping_classes_still_pick_reasonable_cut() {
+        let ex = [
+            (0.1, false),
+            (0.3, false),
+            (0.35, true), // overlap
+            (0.4, false),
+            (0.5, true),
+            (0.9, true),
+        ];
+        let t = best_threshold(&ex);
+        assert!(t > 0.3 && t < 0.9, "t = {t}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Pointwise mutual information over search-engine hit counts (§2.2).
+//!
+//! The paper adapts PMI to measure the co-occurrence of a validation phrase
+//! `V` and an instance candidate `x`:
+//!
+//! ```text
+//! PMI(V, x) = NumHits(V + x) / (NumHits(V) * NumHits(x))
+//! ```
+//!
+//! where `V + x` is the validation query combining the two. Using PMI rather
+//! than raw hits avoids biasing toward popular instances.
+
+/// PMI between a validation phrase and a candidate, from hit counts.
+///
+/// Returns 0 when either marginal count is zero (no evidence) — this keeps
+/// scores well-defined for candidates the simulated search engine has never
+/// seen, mirroring how a zero-hit Google query contributes no support.
+pub fn pmi(hits_joint: u64, hits_phrase: u64, hits_candidate: u64) -> f64 {
+    if hits_phrase == 0 || hits_candidate == 0 {
+        return 0.0;
+    }
+    hits_joint as f64 / (hits_phrase as f64 * hits_candidate as f64)
+}
+
+/// Average PMI across several validation phrases — the paper's confidence
+/// score for a candidate (Σᵢ PMI(Vᵢ, x) / n). Empty input scores 0.
+pub fn average(scores: &[f64]) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores.iter().sum::<f64>() / scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ratio() {
+        assert!((pmi(10, 100, 50) - 10.0 / 5000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_marginals_yield_zero() {
+        assert_eq!(pmi(5, 0, 10), 0.0);
+        assert_eq!(pmi(5, 10, 0), 0.0);
+        assert_eq!(pmi(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn zero_joint_is_zero() {
+        assert_eq!(pmi(0, 10, 10), 0.0);
+    }
+
+    #[test]
+    fn popularity_bias_is_normalized() {
+        // A popular non-instance co-occurs more in absolute terms but less
+        // relative to its own popularity.
+        let popular = pmi(20, 100, 10_000); // 20 joint hits, hugely popular word
+        let niche = pmi(10, 100, 50); // 10 joint hits, rare word
+        assert!(niche > popular);
+    }
+
+    #[test]
+    fn average_of_scores() {
+        assert_eq!(average(&[]), 0.0);
+        assert!((average(&[0.1, 0.3]) - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,81 @@
+//! Document collection backing the simulated Surface Web.
+
+/// One Surface-Web "page".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Stable document id (index into the corpus).
+    pub id: u32,
+    /// Plain text of the page.
+    pub text: String,
+}
+
+/// An immutable collection of documents.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    docs: Vec<Document>,
+}
+
+impl Corpus {
+    /// Build a corpus from page texts; ids are assigned sequentially.
+    pub fn from_texts<I, S>(texts: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let docs = texts
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| Document { id: i as u32, text: t.into() })
+            .collect();
+        Corpus { docs }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when the corpus holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Document by id.
+    pub fn get(&self, id: u32) -> Option<&Document> {
+        self.docs.get(id as usize)
+    }
+
+    /// Iterate documents in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Document> {
+        self.docs.iter()
+    }
+
+    /// Append a document, returning its id.
+    pub fn push(&mut self, text: impl Into<String>) -> u32 {
+        let id = self.docs.len() as u32;
+        self.docs.push(Document { id, text: text.into() });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_ids() {
+        let c = Corpus::from_texts(["a", "b", "c"]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(1).map(|d| d.text.as_str()), Some("b"));
+        assert_eq!(c.get(3), None);
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut c = Corpus::default();
+        assert!(c.is_empty());
+        assert_eq!(c.push("x"), 0);
+        assert_eq!(c.push("y"), 1);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,328 @@
+//! The search-engine façade: `search` and `num_hits` over the index.
+//!
+//! This is the interface WebIQ's components program against — the same
+//! surface the paper used via Google's Web API: top-k result *snippets*
+//! for extraction queries and *hit counts* for validation queries. Query
+//! traffic is counted so the overhead analysis (Fig. 8) can report the
+//! number of search-engine round-trips per component.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use crate::corpus::Corpus;
+use crate::index::InvertedIndex;
+use crate::query::{self, Query};
+
+/// A result snippet: a text window around the first match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snippet {
+    /// Source document id.
+    pub doc_id: u32,
+    /// The snippet text (a contiguous slice of the document).
+    pub text: String,
+}
+
+/// Counters for engine traffic, used by the overhead analysis.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    search_queries: AtomicU64,
+    hit_queries: AtomicU64,
+}
+
+impl EngineStats {
+    /// Number of `search` calls served.
+    pub fn search_queries(&self) -> u64 {
+        self.search_queries.load(Ordering::Relaxed)
+    }
+
+    /// Number of `num_hits` calls served.
+    pub fn hit_queries(&self) -> u64 {
+        self.hit_queries.load(Ordering::Relaxed)
+    }
+
+    /// Total queries of both kinds.
+    pub fn total(&self) -> u64 {
+        self.search_queries() + self.hit_queries()
+    }
+
+    /// Reset both counters to zero.
+    pub fn reset(&self) {
+        self.search_queries.store(0, Ordering::Relaxed);
+        self.hit_queries.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The simulated search engine.
+///
+/// ```
+/// use webiq_web::{Corpus, SearchEngine};
+/// let engine = SearchEngine::new(Corpus::from_texts([
+///     "airlines such as Delta and United fly from Boston",
+///     "a page about gardening",
+/// ]));
+/// assert_eq!(engine.num_hits("\"airlines such as\""), 1);
+/// assert_eq!(engine.num_hits("boston -gardening"), 1);
+/// let snippets = engine.search("\"airlines such as\"", 10);
+/// assert!(snippets[0].text.contains("Delta"));
+/// ```
+pub struct SearchEngine {
+    corpus: Corpus,
+    index: InvertedIndex,
+    stats: EngineStats,
+    hit_cache: Mutex<HashMap<String, u64>>,
+}
+
+impl SearchEngine {
+    /// Index `corpus` and stand up the engine.
+    pub fn new(corpus: Corpus) -> Self {
+        let index = InvertedIndex::build(&corpus);
+        SearchEngine { corpus, index, stats: EngineStats::default(), hit_cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> usize {
+        self.index.doc_count()
+    }
+
+    /// Documents matching a parsed query, ascending; each with the position
+    /// of the first phrase match (or 0 when the query has no phrases).
+    fn matching_docs(&self, q: &Query) -> Vec<(u32, u32)> {
+        if q.is_empty() {
+            return Vec::new();
+        }
+        // Start from the most selective phrase, or from keyword postings.
+        let mut candidates: Option<Vec<(u32, u32)>> = None;
+        for phrase in &q.phrases {
+            let docs = self.index.phrase_docs(phrase);
+            candidates = Some(match candidates {
+                None => docs,
+                Some(prev) => intersect_keep_first_pos(&prev, &docs),
+            });
+        }
+        let mut result: Vec<(u32, u32)> = match candidates {
+            Some(c) => c,
+            None => {
+                // keyword-only query: seed with the first keyword's docs
+                let first = &q.keywords[0];
+                self.index.term_docs(first).into_iter().map(|d| (d, 0)).collect()
+            }
+        };
+        for kw in &q.keywords {
+            let docs = self.index.term_docs(kw);
+            result.retain(|(d, _)| docs.binary_search(d).is_ok());
+            if result.is_empty() {
+                break;
+            }
+        }
+        for ex in &q.excluded {
+            let docs = self.index.term_docs(ex);
+            result.retain(|(d, _)| docs.binary_search(d).is_err());
+            if result.is_empty() {
+                break;
+            }
+        }
+        result
+    }
+
+    /// Number of pages matching `query` — the `NumHits` oracle of §2.2.
+    /// Results are memoised, and the traffic counter counts *cache misses*
+    /// only: repeated validation queries (phrase and candidate marginals
+    /// recur constantly during classifier training) would be served from a
+    /// client-side cache in any real deployment and cost no search-engine
+    /// round-trip.
+    pub fn num_hits(&self, query: &str) -> u64 {
+        if let Some(&hits) = self.hit_cache.lock().get(query) {
+            return hits;
+        }
+        self.stats.hit_queries.fetch_add(1, Ordering::Relaxed);
+        let q = query::parse(query);
+        let hits = self.matching_docs(&q).len() as u64;
+        self.hit_cache.lock().insert(query.to_string(), hits);
+        hits
+    }
+
+    /// Top-`k` snippets for `query`, in ascending doc-id order (the
+    /// deterministic stand-in for relevance order).
+    pub fn search(&self, query: &str, k: usize) -> Vec<Snippet> {
+        self.stats.search_queries.fetch_add(1, Ordering::Relaxed);
+        let q = query::parse(query);
+        self.matching_docs(&q)
+            .into_iter()
+            .take(k)
+            .map(|(doc_id, pos)| {
+                let doc = self.corpus.get(doc_id).expect("doc ids come from the index");
+                Snippet { doc_id, text: make_snippet(&doc.text, pos) }
+            })
+            .collect()
+    }
+}
+
+/// Intersect two `(doc, first_pos)` lists on doc id, keeping the first
+/// list's position (the earliest phrase anchor).
+fn intersect_keep_first_pos(a: &[(u32, u32)], b: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Extract a snippet window around token position `pos`: a few tokens of
+/// left context and a generous right context (cue-phrase completions are to
+/// the right of the match).
+fn make_snippet(text: &str, pos: u32) -> String {
+    const LEFT: usize = 5;
+    const RIGHT: usize = 40;
+    // Token boundaries in byte offsets, consistent enough with the index
+    // tokenizer for windowing purposes.
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut start = None;
+    for (i, c) in text.char_indices() {
+        let is_word = c.is_alphanumeric() || c == '$';
+        match (is_word, start) {
+            (true, None) => start = Some(i),
+            (false, Some(s))
+                if (!matches!(c, '\'' | '-' | '.' | ',')
+                    || !text[i + c.len_utf8()..].chars().next().is_some_and(char::is_alphanumeric))
+                => {
+                    spans.push((s, i));
+                    start = None;
+                }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        spans.push((s, text.len()));
+    }
+    if spans.is_empty() {
+        return text.to_string();
+    }
+    let pos = (pos as usize).min(spans.len() - 1);
+    let from = spans[pos.saturating_sub(LEFT)].0;
+    let to = spans[(pos + RIGHT).min(spans.len() - 1)].1;
+    // extend to end of sentence punctuation if adjacent
+    let mut end = to;
+    let bytes = text.as_bytes();
+    while end < bytes.len() && matches!(bytes[end], b'.' | b'!' | b'?' | b',') {
+        end += 1;
+    }
+    text[from..end].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> SearchEngine {
+        SearchEngine::new(Corpus::from_texts([
+            "Flights depart daily. Popular departure cities such as Boston, Chicago, and LAX are listed.",
+            "Delta is an airline based in Atlanta.",
+            "airlines such as Delta and United fly from Boston",
+            "cities such as Boston and Chicago host many flights",
+            "random page about gardening and tomatoes",
+        ]))
+    }
+
+    #[test]
+    fn num_hits_counts_matching_docs() {
+        let e = engine();
+        assert_eq!(e.num_hits("boston"), 3);
+        // "cities such as" also matches inside "departure cities such as"
+        assert_eq!(e.num_hits(r#""cities such as""#), 2);
+        // both matching docs also contain "flights"
+        assert_eq!(e.num_hits(r#""cities such as" +flights"#), 2);
+        assert_eq!(e.num_hits(r#""cities such as" +host"#), 1);
+        assert_eq!(e.num_hits("nonexistentterm"), 0);
+        assert_eq!(e.num_hits(""), 0);
+    }
+
+    #[test]
+    fn search_returns_snippets_containing_phrase() {
+        let e = engine();
+        let snippets = e.search(r#""departure cities such as""#, 5);
+        assert_eq!(snippets.len(), 1);
+        assert!(snippets[0].text.contains("departure cities such as Boston, Chicago, and LAX"),
+            "snippet: {}", snippets[0].text);
+    }
+
+    #[test]
+    fn search_respects_k() {
+        let e = engine();
+        assert_eq!(e.search("boston", 2).len(), 2);
+        assert_eq!(e.search("boston", 10).len(), 3);
+    }
+
+    #[test]
+    fn keyword_conjunction() {
+        let e = engine();
+        assert_eq!(e.num_hits("boston chicago"), 2);
+        assert_eq!(e.num_hits("boston gardening"), 0);
+    }
+
+    #[test]
+    fn exclusion_filters_documents() {
+        let e = engine();
+        let with = e.num_hits("boston");
+        let without = e.num_hits("boston -chicago");
+        assert!(without < with, "{without} !< {with}");
+        assert_eq!(e.num_hits("boston -boston"), 0);
+    }
+
+    #[test]
+    fn multiple_phrases_intersect() {
+        let e = engine();
+        assert_eq!(e.num_hits(r#""such as" "fly from""#), 1);
+    }
+
+    #[test]
+    fn stats_count_queries() {
+        let e = engine();
+        let _ = e.search("boston", 3);
+        let _ = e.num_hits("boston");
+        let _ = e.num_hits("delta");
+        assert_eq!(e.stats().search_queries(), 1);
+        assert_eq!(e.stats().hit_queries(), 2);
+        assert_eq!(e.stats().total(), 3);
+        e.stats().reset();
+        assert_eq!(e.stats().total(), 0);
+    }
+
+    #[test]
+    fn hit_cache_returns_consistent_results() {
+        let e = engine();
+        let a = e.num_hits(r#""cities such as""#);
+        let b = e.num_hits(r#""cities such as""#);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snippet_window_has_left_context() {
+        let e = engine();
+        let snippets = e.search(r#""cities such as" +host"#, 5);
+        assert_eq!(snippets.len(), 1);
+        assert!(snippets[0].text.starts_with("cities such as"));
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let e = SearchEngine::new(Corpus::default());
+        assert_eq!(e.num_hits("anything"), 0);
+        assert!(e.search("anything", 5).is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Positional inverted index.
+//!
+//! Maps each term to its postings — `(doc, positions)` pairs — enabling
+//! both boolean keyword matching and exact phrase matching by position
+//! intersection, the two operations Google's 2006 query subset needs.
+
+use std::collections::HashMap;
+
+use crate::corpus::Corpus;
+use crate::query::webiq_nlp_like_tokens;
+
+/// Postings for one term: documents and in-document token positions,
+/// both ascending.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Postings {
+    /// `(doc_id, positions)` sorted by doc id; positions sorted ascending.
+    pub docs: Vec<(u32, Vec<u32>)>,
+}
+
+impl Postings {
+    /// Number of documents containing the term.
+    pub fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+}
+
+/// The inverted index over a corpus.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    terms: HashMap<String, Postings>,
+    doc_count: usize,
+}
+
+impl InvertedIndex {
+    /// Build the index by tokenizing every document.
+    pub fn build(corpus: &Corpus) -> Self {
+        let mut terms: HashMap<String, Postings> = HashMap::new();
+        for doc in corpus.iter() {
+            for (pos, tok) in webiq_nlp_like_tokens(&doc.text).into_iter().enumerate() {
+                let postings = terms.entry(tok).or_default();
+                match postings.docs.last_mut() {
+                    Some((d, positions)) if *d == doc.id => positions.push(pos as u32),
+                    _ => postings.docs.push((doc.id, vec![pos as u32])),
+                }
+            }
+        }
+        InvertedIndex { terms, doc_count: corpus.len() }
+    }
+
+    /// Total number of indexed documents.
+    pub fn doc_count(&self) -> usize {
+        self.doc_count
+    }
+
+    /// Postings for a term (lowercase).
+    pub fn postings(&self, term: &str) -> Option<&Postings> {
+        self.terms.get(term)
+    }
+
+    /// Documents containing `term`, ascending.
+    pub fn term_docs(&self, term: &str) -> Vec<u32> {
+        self.terms
+            .get(term)
+            .map(|p| p.docs.iter().map(|(d, _)| *d).collect())
+            .unwrap_or_default()
+    }
+
+    /// Documents containing the exact `phrase` (sequence of lowercase
+    /// tokens), ascending, along with the first match position in each.
+    pub fn phrase_docs(&self, phrase: &[String]) -> Vec<(u32, u32)> {
+        let Some(first) = phrase.first() else { return Vec::new() };
+        let Some(first_postings) = self.terms.get(first) else { return Vec::new() };
+        if phrase.len() == 1 {
+            return first_postings
+                .docs
+                .iter()
+                .map(|(d, ps)| (*d, ps[0]))
+                .collect();
+        }
+        // For each doc containing the first term, check each start position.
+        let rest: Vec<Option<&Postings>> =
+            phrase[1..].iter().map(|t| self.terms.get(t)).collect();
+        if rest.iter().any(Option::is_none) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        'docs: for (doc, starts) in &first_postings.docs {
+            // positions of each subsequent term in this doc
+            let mut positions: Vec<&[u32]> = Vec::with_capacity(rest.len());
+            for p in &rest {
+                match p.expect("checked above").docs.binary_search_by_key(doc, |(d, _)| *d) {
+                    Ok(idx) => positions.push(&p.expect("checked").docs[idx].1),
+                    Err(_) => continue 'docs,
+                }
+            }
+            for &s in starts {
+                let matched = positions
+                    .iter()
+                    .enumerate()
+                    .all(|(off, ps)| ps.binary_search(&(s + off as u32 + 1)).is_ok());
+                if matched {
+                    out.push((*doc, s));
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        Corpus::from_texts([
+            "airlines such as Delta and United fly from Boston",
+            "Delta is an airline based in Atlanta",
+            "cities such as Boston and Chicago",
+        ])
+    }
+
+    #[test]
+    fn term_lookup() {
+        let idx = InvertedIndex::build(&corpus());
+        assert_eq!(idx.term_docs("delta"), vec![0, 1]);
+        assert_eq!(idx.term_docs("boston"), vec![0, 2]);
+        assert_eq!(idx.term_docs("zurich"), Vec::<u32>::new());
+        assert_eq!(idx.doc_count(), 3);
+    }
+
+    #[test]
+    fn positions_recorded() {
+        let idx = InvertedIndex::build(&corpus());
+        let p = idx.postings("such").expect("postings");
+        assert_eq!(p.doc_count(), 2);
+        assert_eq!(p.docs[0], (0, vec![1]));
+    }
+
+    #[test]
+    fn phrase_match() {
+        let idx = InvertedIndex::build(&corpus());
+        let phrase: Vec<String> = ["airlines", "such", "as"].map(String::from).to_vec();
+        assert_eq!(idx.phrase_docs(&phrase), vec![(0, 0)]);
+        let phrase: Vec<String> = ["such", "as"].map(String::from).to_vec();
+        assert_eq!(idx.phrase_docs(&phrase).len(), 2);
+    }
+
+    #[test]
+    fn phrase_requires_adjacency() {
+        let idx = InvertedIndex::build(&corpus());
+        let phrase: Vec<String> = ["delta", "united"].map(String::from).to_vec();
+        assert!(idx.phrase_docs(&phrase).is_empty());
+    }
+
+    #[test]
+    fn phrase_with_unknown_term() {
+        let idx = InvertedIndex::build(&corpus());
+        let phrase: Vec<String> = ["such", "zebras"].map(String::from).to_vec();
+        assert!(idx.phrase_docs(&phrase).is_empty());
+    }
+
+    #[test]
+    fn single_word_phrase() {
+        let idx = InvertedIndex::build(&corpus());
+        let phrase = vec!["boston".to_string()];
+        assert_eq!(idx.phrase_docs(&phrase).len(), 2);
+    }
+
+    #[test]
+    fn empty_phrase() {
+        let idx = InvertedIndex::build(&corpus());
+        assert!(idx.phrase_docs(&[]).is_empty());
+    }
+
+    #[test]
+    fn repeated_term_in_doc() {
+        let c = Corpus::from_texts(["boston boston boston"]);
+        let idx = InvertedIndex::build(&c);
+        assert_eq!(idx.postings("boston").expect("p").docs[0].1, vec![0, 1, 2]);
+    }
+}

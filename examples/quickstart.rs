@@ -1,0 +1,64 @@
+//! Quickstart: match the book domain's 20 query interfaces with and
+//! without WebIQ instance acquisition.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use webiq::core::{Components, WebIQConfig};
+use webiq::matcher::MatchConfig;
+use webiq::pipeline::{DomainPipeline, THRESHOLD};
+
+fn main() {
+    let pipeline = DomainPipeline::build("book", 0x1ce0).expect("book is a known domain");
+    println!(
+        "dataset: {} interfaces, {} attributes ({} without instances)",
+        pipeline.dataset.interfaces.len(),
+        pipeline.dataset.attr_count(),
+        pipeline
+            .dataset
+            .interfaces
+            .iter()
+            .map(|i| i.attrs_without_instances())
+            .sum::<usize>(),
+    );
+    println!("simulated Surface Web: {} pages", pipeline.engine.doc_count());
+
+    // Baseline: IceQ on labels + pre-defined instances only.
+    let baseline = pipeline.baseline_f1();
+    println!(
+        "baseline IceQ:        P={:.3} R={:.3} F1={:.1}%",
+        baseline.precision,
+        baseline.recall,
+        baseline.f1_pct()
+    );
+
+    // Full WebIQ: Surface discovery + Deep-validated and Surface-validated
+    // borrowing, then matching over the enriched attributes.
+    let acq = pipeline.acquire(Components::ALL, &WebIQConfig::default());
+    println!(
+        "acquisition: {}/{} instance-less attributes reached k=10 \
+         (Surface alone: {}), {} pre-defined attributes enriched",
+        acq.report.surface_deep_success,
+        acq.report.no_inst_attrs,
+        acq.report.surface_success,
+        acq.report.attr_surface_enriched,
+    );
+
+    let attrs = pipeline.enriched_attributes(&acq);
+    let (_, webiq) = pipeline.match_and_evaluate(&attrs, &MatchConfig::default());
+    let (_, webiq_t) =
+        pipeline.match_and_evaluate(&attrs, &MatchConfig::with_threshold(THRESHOLD));
+    println!(
+        "IceQ + WebIQ:         P={:.3} R={:.3} F1={:.1}%",
+        webiq.precision,
+        webiq.recall,
+        webiq.f1_pct()
+    );
+    println!(
+        "IceQ + WebIQ + thr.:  P={:.3} R={:.3} F1={:.1}%",
+        webiq_t.precision,
+        webiq_t.recall,
+        webiq_t.f1_pct()
+    );
+}

@@ -1,0 +1,134 @@
+//! # WebIQ — learning from the Web to match Deep-Web query interfaces
+//!
+//! A production-quality Rust reproduction of *WebIQ: Learning from the Web
+//! to Match Deep-Web Query Interfaces* (Wu, Doan, Yu — ICDE 2006),
+//! including every substrate the paper depends on:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`nlp`] | shallow NLP: Brill-style POS tagging, NP chunking, inflection, stemming |
+//! | [`stats`] | discordancy tests, PMI, information gain, naive Bayes |
+//! | [`html`] | HTML parsing and query-interface (form) extraction |
+//! | [`web`] | the Surface-Web simulator (search engine + corpus generator) |
+//! | [`deep`] | the Deep-Web source simulator (record stores, probing, response analysis) |
+//! | [`data`] | five-domain knowledge bases and the ICQ-profile dataset generator |
+//! | [`matcher`] | the IceQ-style interface matcher (label/domain similarity + clustering) |
+//! | [`core`] | **WebIQ itself**: Surface, Attr-Surface, Attr-Deep, and the §5 strategy |
+//!
+//! The [`pipeline`] module wires everything together for one domain; see
+//! `examples/quickstart.rs` for the three-line version.
+
+pub use webiq_core as core;
+pub use webiq_data as data;
+pub use webiq_deep as deep;
+pub use webiq_html as html;
+pub use webiq_match as matcher;
+pub use webiq_nlp as nlp;
+pub use webiq_stats as stats;
+pub use webiq_web as web;
+
+pub mod pipeline {
+    //! End-to-end assembly: dataset + simulated Web + simulated sources +
+    //! acquisition + matching for one domain.
+
+    use webiq_core::{acquire, Acquisition, Components, WebIQConfig};
+    use webiq_data::records::{build_deep_source, RecordOptions};
+    use webiq_data::{corpus, generate_domain, DomainDef, Dataset, GenOptions};
+    use webiq_deep::DeepSource;
+    use webiq_match::{
+        attributes_of, match_attributes, MatchAttribute, MatchConfig, MatchResult, PrF1,
+    };
+    use webiq_web::{gen, GenConfig, SearchEngine};
+
+    /// The clustering threshold used for the paper's "+ thresholding"
+    /// configuration, calibrated to our similarity scale the same way the
+    /// paper calibrated τ = 0.1 to IceQ's (the average of the thresholds
+    /// learned per domain).
+    pub const THRESHOLD: f64 = 0.03;
+
+    /// Everything needed to run WebIQ experiments over one domain.
+    pub struct DomainPipeline {
+        /// The domain's knowledge-base definition.
+        pub def: &'static DomainDef,
+        /// The generated 20-interface dataset.
+        pub dataset: Dataset,
+        /// The simulated Surface Web.
+        pub engine: SearchEngine,
+        /// One simulated Deep-Web source per interface.
+        pub sources: Vec<DeepSource>,
+    }
+
+    impl DomainPipeline {
+        /// Build the pipeline for `domain` (one of `airfare`, `auto`,
+        /// `book`, `job`, `realestate`) with the given seed.
+        pub fn build(domain: &str, seed: u64) -> Option<Self> {
+            let def = webiq_data::kb::domain(domain)?;
+            Some(Self::from_def(def, seed))
+        }
+
+        /// Build from a domain definition.
+        pub fn from_def(def: &'static DomainDef, seed: u64) -> Self {
+            let dataset = generate_domain(def, &GenOptions { seed, ..GenOptions::default() });
+            let engine = SearchEngine::new(gen::generate(
+                &corpus::concept_specs(def),
+                &GenConfig { seed: seed ^ 0xc0ffee, confuser_rate: 0.25, ..GenConfig::default() },
+            ));
+            // Live 2006 sources were flaky; a twentieth of probes fail
+            // with a server error, as they would against the real Deep Web.
+            let sources = dataset
+                .interfaces
+                .iter()
+                .map(|i| {
+                    build_deep_source(
+                        def,
+                        i,
+                        &RecordOptions { seed, failure_rate: 0.05, ..RecordOptions::default() },
+                    )
+                })
+                .collect();
+            DomainPipeline { def, dataset, engine, sources }
+        }
+
+        /// Run instance acquisition with the chosen components.
+        pub fn acquire(&self, components: Components, cfg: &WebIQConfig) -> Acquisition {
+            acquire::acquire(&self.dataset, self.def, &self.engine, &self.sources, components, cfg)
+        }
+
+        /// Matcher inputs from the raw dataset (no acquisition).
+        pub fn baseline_attributes(&self) -> Vec<MatchAttribute> {
+            attributes_of(&self.dataset)
+        }
+
+        /// Matcher inputs enriched with acquired instances.
+        pub fn enriched_attributes(&self, acq: &Acquisition) -> Vec<MatchAttribute> {
+            let mut attrs = attributes_of(&self.dataset);
+            for a in &mut attrs {
+                a.values.extend(acq.instances_for(a.r).iter().cloned());
+            }
+            attrs
+        }
+
+        /// Match a set of attributes and evaluate against gold.
+        pub fn match_and_evaluate(
+            &self,
+            attrs: &[MatchAttribute],
+            cfg: &MatchConfig,
+        ) -> (MatchResult, PrF1) {
+            let result = match_attributes(attrs, cfg);
+            let metrics = result.evaluate(&self.dataset);
+            (result, metrics)
+        }
+
+        /// Baseline IceQ F-1 (no acquisition, τ = 0).
+        pub fn baseline_f1(&self) -> PrF1 {
+            self.match_and_evaluate(&self.baseline_attributes(), &MatchConfig::default()).1
+        }
+
+        /// IceQ + WebIQ F-1 for a component selection.
+        pub fn webiq_f1(&self, components: Components, threshold: f64) -> PrF1 {
+            let acq = self.acquire(components, &WebIQConfig::default());
+            let attrs = self.enriched_attributes(&acq);
+            self.match_and_evaluate(&attrs, &MatchConfig::with_threshold(threshold)).1
+        }
+    }
+}

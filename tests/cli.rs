@@ -1,0 +1,85 @@
+//! End-to-end tests of the `webiq` command-line interface, driving the
+//! compiled binary the way a user would.
+
+use std::process::Command;
+
+fn webiq(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_webiq"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn domains_lists_all_six() {
+    let out = webiq(&["domains"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    for key in ["airfare", "auto", "book", "job", "realestate", "movie"] {
+        assert!(text.contains(key), "missing {key} in:\n{text}");
+    }
+}
+
+#[test]
+fn no_command_prints_usage_and_fails() {
+    let out = webiq(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = webiq(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn generate_then_match_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("webiq-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().expect("utf-8 temp path");
+
+    let out = webiq(&["generate", "--domain", "book", "--out", dir_s, "--seed", "7"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("exported 20 interfaces"));
+
+    let out = webiq(&["match", "--dataset", dir_s]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains('≡'), "no clusters printed:\n{text}");
+    assert!(text.contains("vs gold"), "no evaluation printed:\n{text}");
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn match_missing_dataset_fails_cleanly() {
+    let out = webiq(&["match", "--dataset", "/nonexistent/webiq-ds"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("error"));
+}
+
+#[test]
+fn acquire_reports_success_rates() {
+    let out = webiq(&["acquire", "--domain", "auto", "--components", "surface"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Surface success"), "{text}");
+    assert!(text.contains("+="), "no acquisitions printed:\n{text}");
+}
+
+#[test]
+fn invalid_seed_rejected() {
+    let out = webiq(&["acquire", "--domain", "auto", "--seed", "banana"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("invalid --seed"));
+}

@@ -1,0 +1,98 @@
+//! The paper's concrete worked examples, verified end to end across
+//! crates.
+
+use webiq::core::extract;
+use webiq::core::patterns::{extraction_patterns, validation_phrases};
+use webiq::nlp::{classify_label, LabelForm};
+use webiq::stats::entropy::best_threshold;
+use webiq::stats::NaiveBayes;
+
+/// §1 / Fig. 2: the extraction query "departure cities such as" applied to
+/// the Google snippet yields Boston, Chicago, and LAX.
+#[test]
+fn figure2_snippet_extraction() {
+    let np = extract::primary_noun_phrase("Departure city").expect("noun phrase");
+    let patterns = extraction_patterns(&np, "flight");
+    let s1 = &patterns[0];
+    assert_eq!(s1.cue, "departure cities such as");
+    let snippet = "Our fare finder covers departure cities such as Boston, Chicago, and LAX \
+                   with service on all major airlines.";
+    let got = extract::completions(snippet, s1);
+    assert_eq!(got, vec!["Boston", "Chicago", "LAX"]);
+}
+
+/// §2.1: "if the label L is a singular noun phrase, then form the query
+/// '[plural form of L] such as'".
+#[test]
+fn section21_pluralized_cue_phrases() {
+    for (label, cue) in [
+        ("author", "authors such as"),
+        ("Departure city", "departure cities such as"),
+        ("Class of service", "classes of service such as"),
+        ("make", "makes such as"),
+    ] {
+        let np = extract::primary_noun_phrase(label).expect(label);
+        assert_eq!(extraction_patterns(&np, "x")[0].cue, cue);
+    }
+}
+
+/// §2.1: labels of the forms the paper names analyze correctly.
+#[test]
+fn section21_label_forms() {
+    assert!(matches!(classify_label("Departure city"), LabelForm::NounPhrase(_)));
+    assert!(matches!(classify_label("Type of job"), LabelForm::NounPhrase(_)));
+    assert!(matches!(classify_label("From"), LabelForm::PrepPhrase { .. }));
+    assert!(matches!(classify_label("From city"), LabelForm::PrepPhrase { .. }));
+    assert!(matches!(classify_label("Depart from"), LabelForm::VerbPhrase { .. }));
+    assert!(matches!(classify_label("First name or last name"), LabelForm::Conjunction(_)));
+}
+
+/// §2.2: the validation query for label `make` and candidate `Honda` is
+/// the proximity phrase "make honda"; cue-phrase validation uses
+/// "makes such as honda".
+#[test]
+fn section22_validation_queries() {
+    let np = extract::primary_noun_phrase("make").expect("np");
+    let phrases = validation_phrases("make", Some(&np));
+    assert_eq!(phrases[0], "make");
+    assert!(phrases.contains(&"makes such as".to_string()));
+}
+
+/// Figure 5.f: threshold estimation from T₁ gives t₁ = .45 and t₂ = .075.
+#[test]
+fn figure5_thresholds() {
+    let t1 = best_threshold(&[(0.2, false), (0.4, false), (0.5, true), (0.8, true)]);
+    let t2 = best_threshold(&[(0.03, false), (0.05, false), (0.1, true), (0.3, true)]);
+    assert!((t1 - 0.45).abs() < 1e-12);
+    assert!((t2 - 0.075).abs() < 1e-12);
+}
+
+/// Figure 5.g–h: the probabilities estimated from T₂′ with Laplacean
+/// smoothing, e.g. P(f₁=1|+) = (2+1)/(2+2) = 3/4.
+#[test]
+fn figure5_probabilities() {
+    let t2_prime = vec![
+        (vec![true, true], true),    // Delta
+        (vec![true, true], true),    // United
+        (vec![false, false], false), // Jan
+        (vec![false, true], false),  // 1
+    ];
+    let nb = NaiveBayes::train(&t2_prime).expect("train");
+    assert!((nb.prior_pos() - 0.5).abs() < 1e-12);
+    assert!((nb.p_feature_true(0, true) - 0.75).abs() < 1e-12);
+    assert!((nb.p_feature_true(0, false) - 0.25).abs() < 1e-12);
+    assert!((nb.p_feature_true(1, true) - 0.75).abs() < 1e-12);
+    assert!((nb.p_feature_true(1, false) - 0.5).abs() < 1e-12);
+}
+
+/// §2.1: the paper's fully-formatted Google query for the `author`
+/// attribute of a bookstore schema.
+#[test]
+fn section21_google_query_format() {
+    use webiq::core::{DomainInfo, WebIQConfig};
+    let np = extract::primary_noun_phrase("author").expect("np");
+    let pattern = &extraction_patterns(&np, "book")[0];
+    let info = DomainInfo { object: "book".into(), domain_terms: vec!["book".into()], sibling_terms: Vec::new() };
+    let q = extract::build_query(pattern, &info, &WebIQConfig::default());
+    assert_eq!(q, "\"authors such as\" +book");
+}
