@@ -4,7 +4,8 @@
 //! *cost* side of each choice; the `experiments ablations` binary reports
 //! the accuracy side.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use webiq_bench::timing::{black_box, Criterion};
+use webiq_bench::{criterion_group, criterion_main};
 use webiq::core::{surface, Components, DomainInfo, WebIQConfig};
 use webiq::pipeline::DomainPipeline;
 

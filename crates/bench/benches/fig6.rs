@@ -3,7 +3,8 @@
 //! book domain (acquisition is pre-computed once; the bars differ in what
 //! the matcher consumes).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use webiq_bench::timing::{black_box, Criterion};
+use webiq_bench::{criterion_group, criterion_main};
 use webiq::core::{Components, WebIQConfig};
 use webiq::matcher::MatchConfig;
 use webiq::pipeline::{DomainPipeline, THRESHOLD};

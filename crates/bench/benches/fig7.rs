@@ -1,7 +1,8 @@
 //! Figure 7 pipeline benchmark: acquisition cost as components are
 //! consecutively enabled (the axis of the component-contribution figure).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use webiq_bench::timing::{black_box, Criterion};
+use webiq_bench::{criterion_group, criterion_main};
 use webiq::core::{Components, WebIQConfig};
 use webiq::pipeline::DomainPipeline;
 

@@ -4,7 +4,8 @@
 
 use std::collections::BTreeMap;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use webiq_bench::timing::{black_box, Criterion};
+use webiq_bench::{criterion_group, criterion_main};
 use webiq::core::{attr_deep, attr_surface, surface, Components, DomainInfo, WebIQConfig};
 use webiq::matcher::MatchConfig;
 use webiq::pipeline::DomainPipeline;

@@ -3,7 +3,8 @@
 //! outlier removal, naive-Bayes training, HTML form extraction, and the
 //! pairwise similarity the matcher computes O(n²) times.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use webiq_bench::timing::{black_box, Criterion};
+use webiq_bench::{criterion_group, criterion_main};
 use webiq::core::{patterns, verify};
 use webiq::data::{corpus, kb};
 use webiq::html::form::extract_forms;

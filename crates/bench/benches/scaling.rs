@@ -5,7 +5,8 @@
 //! paper's workloads (≈100–220 attributes per domain) sit comfortably
 //! below it.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use webiq_bench::timing::{black_box, BenchmarkId, Criterion};
+use webiq_bench::{criterion_group, criterion_main};
 use webiq::data::kb;
 use webiq::matcher::{match_attributes, MatchAttribute, MatchConfig};
 

@@ -1,7 +1,8 @@
 //! Table 1 pipeline benchmark: dataset generation + characteristics
 //! (columns 2–5) and the instance-acquisition passes behind columns 6–7.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use webiq_bench::timing::{black_box, Criterion};
+use webiq_bench::{criterion_group, criterion_main};
 use webiq::core::{Components, WebIQConfig};
 use webiq::data::stats::characteristics;
 use webiq::data::{generate_domain, kb, GenOptions};

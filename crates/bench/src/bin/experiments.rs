@@ -8,6 +8,7 @@
 //! cargo run --release -p webiq-bench --bin experiments -- --seed 7 fig6
 //! ```
 
+use webiq_bench::json::{rows, Json};
 use webiq_bench::{experiments, render};
 
 fn main() {
@@ -39,34 +40,29 @@ fn main() {
     let want = |name: &str| all || wanted.iter().any(|w| w == name);
 
     if json {
-        let mut out = serde_json::Map::new();
-        out.insert("seed".into(), seed.into());
+        let mut out: Vec<(String, Json)> = vec![("seed".into(), Json::from(seed))];
         if want("table1") {
-            out.insert("table1".into(), to_json(&experiments::table1(seed)));
+            out.push(("table1".into(), rows(&experiments::table1(seed))));
         }
         if want("fig6") {
-            out.insert("fig6".into(), to_json(&experiments::fig6(seed)));
+            out.push(("fig6".into(), rows(&experiments::fig6(seed))));
         }
         if want("fig7") {
-            out.insert("fig7".into(), to_json(&experiments::fig7(seed)));
+            out.push(("fig7".into(), rows(&experiments::fig7(seed))));
         }
         if want("fig8") {
-            out.insert("fig8".into(), to_json(&experiments::fig8(seed)));
+            out.push(("fig8".into(), rows(&experiments::fig8(seed))));
         }
         if want("ablations") {
-            out.insert("ablations".into(), to_json(&experiments::ablations(seed)));
+            out.push(("ablations".into(), rows(&experiments::ablations(seed))));
         }
         if want("learned") {
-            out.insert("learned".into(), to_json(&experiments::learned_thresholds(seed)));
+            out.push(("learned".into(), rows(&experiments::learned_thresholds(seed))));
         }
         if want("weights") {
-            out.insert("weights".into(), to_json(&experiments::weights(seed)));
+            out.push(("weights".into(), rows(&experiments::weights(seed))));
         }
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&serde_json::Value::Object(out))
-                .expect("rows serialise")
-        );
+        println!("{}", Json::Obj(out).pretty());
         return;
     }
 
@@ -92,8 +88,4 @@ fn main() {
     if want("weights") {
         println!("{}", render::weights(&experiments::weights(seed)));
     }
-}
-
-fn to_json<T: serde::Serialize>(rows: &[T]) -> serde_json::Value {
-    serde_json::to_value(rows).expect("experiment rows serialise")
 }

@@ -3,8 +3,9 @@
 
 use std::time::Instant;
 
-use serde::Serialize;
 use webiq::core::{Components, WebIQConfig};
+
+use crate::json::{obj, Json, ToJson};
 use webiq::data::stats::characteristics;
 use webiq::data::{kb, Dataset, DomainDef};
 use webiq::matcher::MatchConfig;
@@ -21,17 +22,14 @@ where
     F: Fn(&'static DomainDef) -> T + Sync,
 {
     let domains = kb::all_domains();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = domains
-            .into_iter()
-            .map(|def| scope.spawn(|_| f(def)))
-            .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            domains.into_iter().map(|def| scope.spawn(|| f(def))).collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("domain worker panicked"))
             .collect()
     })
-    .expect("crossbeam scope")
 }
 
 /// Nominal per-query round-trip latency to a 2006 search engine, used to
@@ -40,7 +38,7 @@ where
 pub const SIMULATED_QUERY_SECS: f64 = 0.3;
 
 /// One row of Table 1.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Domain display name.
     pub domain: &'static str,
@@ -80,7 +78,7 @@ pub fn table1(seed: u64) -> Vec<Table1Row> {
 }
 
 /// One row of Figure 6 (matching accuracy, F-1 %).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6Row {
     /// Domain display name.
     pub domain: &'static str,
@@ -106,7 +104,7 @@ pub fn fig6(seed: u64) -> Vec<Fig6Row> {
 }
 
 /// One row of Figure 7 (component contributions, F-1 %).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7Row {
     /// Domain display name.
     pub domain: &'static str,
@@ -135,7 +133,7 @@ pub fn fig7(seed: u64) -> Vec<Fig7Row> {
 }
 
 /// One row of Figure 8 (overhead analysis).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8Row {
     /// Domain display name.
     pub domain: &'static str,
@@ -223,7 +221,7 @@ pub fn acquisition_precision(
 
 /// One row of the learned-threshold experiment (the interactive part of
 /// IceQ the paper ran manually, §5).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LearnedRow {
     /// Domain display name.
     pub domain: &'static str,
@@ -263,7 +261,7 @@ pub fn learned_thresholds(seed: u64) -> Vec<LearnedRow> {
 }
 
 /// One row of the similarity-weight study.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct WeightsRow {
     /// Domain display name.
     pub domain: &'static str,
@@ -302,7 +300,7 @@ pub fn weights(seed: u64) -> Vec<WeightsRow> {
 }
 
 /// One ablation outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Ablation name.
     pub name: &'static str,
@@ -373,6 +371,92 @@ pub fn ablations(seed: u64) -> Vec<AblationRow> {
             },
         ),
     ]
+}
+
+impl ToJson for Table1Row {
+    fn to_json(&self) -> Json {
+        obj([
+            ("domain", self.domain.into()),
+            ("avg_attrs", self.avg_attrs.into()),
+            ("int_no_inst", self.int_no_inst.into()),
+            ("attr_no_inst", self.attr_no_inst.into()),
+            ("exp_inst", self.exp_inst.into()),
+            ("surface", self.surface.into()),
+            ("surface_deep", self.surface_deep.into()),
+        ])
+    }
+}
+
+impl ToJson for Fig6Row {
+    fn to_json(&self) -> Json {
+        obj([
+            ("domain", self.domain.into()),
+            ("baseline", self.baseline.into()),
+            ("webiq", self.webiq.into()),
+            ("webiq_threshold", self.webiq_threshold.into()),
+        ])
+    }
+}
+
+impl ToJson for Fig7Row {
+    fn to_json(&self) -> Json {
+        obj([
+            ("domain", self.domain.into()),
+            ("baseline", self.baseline.into()),
+            ("surface", self.surface.into()),
+            ("surface_deep", self.surface_deep.into()),
+            ("all", self.all.into()),
+        ])
+    }
+}
+
+impl ToJson for Fig8Row {
+    fn to_json(&self) -> Json {
+        obj([
+            ("domain", self.domain.into()),
+            ("matching_secs", self.matching_secs.into()),
+            ("surface_secs", self.surface_secs.into()),
+            ("attr_surface_secs", self.attr_surface_secs.into()),
+            ("attr_deep_secs", self.attr_deep_secs.into()),
+            ("surface_queries", self.surface_queries.into()),
+            ("attr_surface_queries", self.attr_surface_queries.into()),
+            ("probes", self.probes.into()),
+        ])
+    }
+}
+
+impl ToJson for LearnedRow {
+    fn to_json(&self) -> Json {
+        obj([
+            ("domain", self.domain.into()),
+            ("threshold", self.threshold.into()),
+            ("questions", self.questions.into()),
+            ("f1_with_learned", self.f1_with_learned.into()),
+        ])
+    }
+}
+
+impl ToJson for WeightsRow {
+    fn to_json(&self) -> Json {
+        obj([
+            ("domain", self.domain.into()),
+            ("label_only", self.label_only.into()),
+            ("baseline", self.baseline.into()),
+            ("label_only_enriched", self.label_only_enriched.into()),
+            ("webiq", self.webiq.into()),
+        ])
+    }
+}
+
+impl ToJson for AblationRow {
+    fn to_json(&self) -> Json {
+        obj([
+            ("name", self.name.into()),
+            ("avg_f1", self.avg_f1.into()),
+            ("acq_precision", self.acq_precision.into()),
+            ("total_queries", self.total_queries.into()),
+        ])
+    }
 }
 
 #[cfg(test)]

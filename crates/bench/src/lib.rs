@@ -3,7 +3,10 @@
 //! Regenerates every table and figure of the paper's evaluation (§6) over
 //! the simulated substrates, plus the ablations DESIGN.md calls out. The
 //! [`experiments`] functions return plain data; the `experiments` binary
-//! renders them, and the Criterion benches time the underlying pipelines.
+//! renders them (text or JSON via [`json`]), and the bench targets time
+//! the underlying pipelines with the dependency-free [`timing`] harness.
 
 pub mod experiments;
+pub mod json;
 pub mod render;
+pub mod timing;

@@ -16,15 +16,16 @@
 //! case 2 the candidate must share at least one very similar value with
 //! X₁'s domain.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use webiq_data::interface::{AttrRef, Dataset};
+use webiq_data::interface::{Attribute, AttrRef, Dataset};
 use webiq_data::DomainDef;
 use webiq_deep::DeepSource;
 use webiq_match::domsim;
 use webiq_match::labelsim;
-use webiq_web::SearchEngine;
+use webiq_web::{thread_issued_queries, SearchEngine};
 
 use crate::attr_deep;
 use crate::attr_surface;
@@ -33,7 +34,7 @@ use crate::extract::DomainInfo;
 use crate::surface;
 
 /// Per-component accounting for the overhead analysis (Fig. 8).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ComponentCost {
     /// Wall-clock seconds spent in the component.
     pub secs: f64,
@@ -44,7 +45,7 @@ pub struct ComponentCost {
 }
 
 /// Acquisition statistics and costs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AcquisitionReport {
     /// Attributes that had no pre-defined instances.
     pub no_inst_attrs: usize,
@@ -108,14 +109,17 @@ fn contains_ci(haystack: &[String], needle: &str) -> bool {
 
 /// Content keywords from the labels of the other attributes on X₁'s
 /// interface — the `+title +isbn` material of §2.1's query scoping.
+/// Deduplicated through a set (first-seen order preserved) so wide
+/// interfaces don't pay a quadratic membership scan.
 fn sibling_terms(ds: &Dataset, r1: AttrRef) -> Vec<String> {
+    let mut seen: HashSet<String> = HashSet::new();
     let mut out = Vec::new();
     for (j, a) in ds.interfaces[r1.0].attributes.iter().enumerate() {
         if j == r1.1 {
             continue;
         }
         for word in webiq_nlp::words_lower(&a.label) {
-            if !webiq_nlp::stopwords::is_stopword(&word) && !out.contains(&word) {
+            if !webiq_nlp::stopwords::is_stopword(&word) && seen.insert(word.clone()) {
                 out.push(word);
                 break; // one keyword per sibling label, like the paper
             }
@@ -210,10 +214,171 @@ pub fn case2_candidates(
     out
 }
 
+/// What processing one attribute produced. Work items are independent, so
+/// a pool of workers can compute these in any order; the merge back into
+/// [`Acquisition`] happens sequentially in attribute order, making the
+/// parallel result identical to the sequential one.
+enum ItemOutcome {
+    /// An instance-less attribute (§5 case 1).
+    NoInst {
+        got: Vec<String>,
+        surface_success: bool,
+        surface_deep_success: bool,
+        surface_secs: f64,
+        surface_queries: u64,
+        deep_secs: f64,
+    },
+    /// A pre-defined attribute run through Attr-Surface (§5 case 2).
+    Predefined { accepted: Vec<String>, secs: f64, queries: u64 },
+    /// A pre-defined attribute with Attr-Surface disabled.
+    Skipped,
+}
+
+/// The shared, read-only context every acquisition work item sees.
+struct AcquireCtx<'a> {
+    ds: &'a Dataset,
+    info: &'a DomainInfo,
+    engine: &'a SearchEngine,
+    sources: &'a [DeepSource],
+    components: Components,
+    cfg: &'a WebIQConfig,
+}
+
+/// Process one attribute — the §5 strategy body. Reads shared state only
+/// (`engine` and `sources` are internally synchronised); query accounting
+/// uses the calling thread's issued-query counter, so the numbers are
+/// deterministic whatever the cache state or worker count.
+fn process_attribute(ctx: &AcquireCtx<'_>, r1: AttrRef, a1: &Attribute) -> ItemOutcome {
+    let &AcquireCtx { ds, info, engine, sources, components, cfg } = ctx;
+    if !a1.has_instances() {
+        let mut got: Vec<String> = Vec::new();
+        let mut surface_secs = 0.0;
+        let mut surface_queries = 0;
+        let mut deep_secs = 0.0;
+
+        // Step 1.a: discover from the Surface Web, scoping queries with
+        // the domain terms and (when configured) keywords from the
+        // sibling attributes' labels (§2.1).
+        if components.surface {
+            let before = thread_issued_queries();
+            let t0 = Instant::now();
+            let mut attr_info = info.clone();
+            attr_info.sibling_terms = sibling_terms(ds, r1);
+            let result = surface::discover(engine, &a1.label, &attr_info, cfg);
+            surface_secs = t0.elapsed().as_secs_f64();
+            surface_queries = thread_issued_queries() - before;
+            got = result.texts();
+        }
+        let surface_success = got.len() >= cfg.k;
+        let mut surface_deep_success = surface_success;
+        if !surface_success && components.attr_deep && !sources.is_empty() {
+            // Step 1.b: borrow and validate via the Deep Web. Probing is
+            // expensive, so candidates whose domain resembles one already
+            // probed (either way) are skipped — each probe round-trip
+            // then tests a genuinely new domain.
+            let t0 = Instant::now();
+            let candidates = case1_candidates(ds, r1, &a1.label, cfg);
+            let mut accepted_domains: Vec<&Vec<String>> = Vec::new();
+            let mut failed_domains: Vec<&Vec<String>> = Vec::new();
+            let mut tried = 0usize;
+            for cand in candidates {
+                if tried >= 12 {
+                    break;
+                }
+                let inst = &ds.attribute(cand).expect("candidate exists").instances;
+                let take_all = |got: &mut Vec<String>| {
+                    for v in inst {
+                        if !contains_ci(got, v) {
+                            got.push(v.clone());
+                        }
+                    }
+                };
+                // Same domain as an already-validated one → borrow
+                // without re-probing; same as a failed one → skip.
+                if accepted_domains.iter().any(|p| domsim::dom_sim(p, inst) > 0.5) {
+                    take_all(&mut got);
+                } else if failed_domains.iter().any(|p| domsim::dom_sim(p, inst) > 0.5) {
+                    continue;
+                } else {
+                    tried += 1;
+                    let outcome =
+                        attr_deep::validate_borrowed(&sources[r1.0], &a1.name, inst, cfg);
+                    if outcome.accepted {
+                        accepted_domains.push(inst);
+                        take_all(&mut got);
+                    } else {
+                        failed_domains.push(inst);
+                    }
+                }
+                if got.len() >= cfg.k {
+                    break;
+                }
+            }
+            deep_secs = t0.elapsed().as_secs_f64();
+            surface_deep_success = got.len() >= cfg.k;
+        }
+        ItemOutcome::NoInst {
+            got,
+            surface_success,
+            surface_deep_success,
+            surface_secs,
+            surface_queries,
+            deep_secs,
+        }
+    } else if components.attr_surface {
+        // Step 2: borrow for a pre-defined attribute, validate via the
+        // Surface Web (the Deep Web cannot be probed with values outside
+        // the pre-defined list).
+        let before = thread_issued_queries();
+        let t0 = Instant::now();
+        let candidates = case2_candidates(ds, r1, &a1.instances, cfg);
+        let mut pool: Vec<String> = Vec::new();
+        for cand in candidates.into_iter().take(8) {
+            for v in &ds.attribute(cand).expect("candidate exists").instances {
+                if !contains_ci(&a1.instances, v) && !contains_ci(&pool, v) {
+                    pool.push(v.clone());
+                }
+            }
+        }
+        pool.truncate(15);
+        let mut accepted = Vec::new();
+        if !pool.is_empty() {
+            let negatives: Vec<String> = ds.interfaces[r1.0]
+                .attributes
+                .iter()
+                .enumerate()
+                .filter(|(j, a)| *j != r1.1 && a.has_instances())
+                .flat_map(|(_, a)| a.instances.iter().take(2).cloned())
+                .collect();
+            accepted = attr_surface::verify_borrowed(
+                engine,
+                &a1.label,
+                &a1.instances,
+                &negatives,
+                &pool,
+                cfg,
+            );
+        }
+        ItemOutcome::Predefined {
+            accepted,
+            secs: t0.elapsed().as_secs_f64(),
+            queries: thread_issued_queries() - before,
+        }
+    } else {
+        ItemOutcome::Skipped
+    }
+}
+
 /// Run the full §5 acquisition strategy over a domain's dataset.
 ///
 /// `sources[i]` must be the Deep-Web source behind `ds.interfaces[i]`
 /// (empty slice disables Attr-Deep regardless of `components`).
+///
+/// Attributes are independent work items dispatched over a scoped worker
+/// pool ([`WebIQConfig::resolved_threads`] workers; see also the
+/// `WEBIQ_THREADS` env var). Outcomes are merged in attribute order, so
+/// the acquired-instance maps and every report counter except the
+/// wall-clock `secs` fields are byte-identical to a single-threaded run.
 pub fn acquire(
     ds: &Dataset,
     def: &DomainDef,
@@ -225,122 +390,74 @@ pub fn acquire(
     let info = DomainInfo {
         object: def.object.to_string(),
         domain_terms: def.domain_terms.iter().map(|s| s.to_string()).collect(),
-        sibling_terms: Vec::new(), // filled per attribute below
+        sibling_terms: Vec::new(), // filled per attribute in process_attribute
     };
-    let mut acq = Acquisition::default();
     let probes_before: u64 = sources.iter().map(DeepSource::probe_count).sum();
 
-    for (r1, a1) in ds.attributes() {
-        if !a1.has_instances() {
-            acq.report.no_inst_attrs += 1;
-            let mut got: Vec<String> = Vec::new();
+    let ctx = AcquireCtx { ds, info: &info, engine, sources, components, cfg };
+    let items: Vec<(AttrRef, &Attribute)> = ds.attributes().collect();
+    let workers = cfg.resolved_threads().min(items.len().max(1));
+    let outcomes: Vec<ItemOutcome> = if workers <= 1 {
+        items.iter().map(|&(r1, a1)| process_attribute(&ctx, r1, a1)).collect()
+    } else {
+        // Work-stealing by atomic index: each worker pulls the next
+        // unclaimed attribute, tags its outcome with the item index, and
+        // the merge below re-establishes attribute order.
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, ItemOutcome)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (items, ctx, next) = (&items, &ctx, &next);
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(r1, a1)) = items.get(i) else { break };
+                            local.push((i, process_attribute(ctx, r1, a1)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("acquisition worker panicked"))
+                .collect()
+        });
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, o)| o).collect()
+    };
 
-            // Step 1.a: discover from the Surface Web, scoping queries
-            // with the domain terms and (when configured) keywords from
-            // the sibling attributes' labels (§2.1).
-            if components.surface {
-                let before = engine.stats().total();
-                let t0 = Instant::now();
-                let mut attr_info = info.clone();
-                attr_info.sibling_terms = sibling_terms(ds, r1);
-                let result = surface::discover(engine, &a1.label, &attr_info, cfg);
-                acq.report.surface_cost.secs += t0.elapsed().as_secs_f64();
-                acq.report.surface_cost.engine_queries += engine.stats().total() - before;
-                got = result.texts();
-            }
-            if got.len() >= cfg.k {
-                acq.report.surface_success += 1;
-                acq.report.surface_deep_success += 1;
-            } else if components.attr_deep && !sources.is_empty() {
-                // Step 1.b: borrow and validate via the Deep Web. Probing
-                // is expensive, so candidates whose domain resembles one
-                // already probed (either way) are skipped — each probe
-                // round-trip then tests a genuinely new domain.
-                let t0 = Instant::now();
-                let candidates = case1_candidates(ds, r1, &a1.label, cfg);
-                let mut accepted_domains: Vec<&Vec<String>> = Vec::new();
-                let mut failed_domains: Vec<&Vec<String>> = Vec::new();
-                let mut tried = 0usize;
-                for cand in candidates {
-                    if tried >= 12 {
-                        break;
-                    }
-                    let inst = &ds.attribute(cand).expect("candidate exists").instances;
-                    let take_all = |got: &mut Vec<String>| {
-                        for v in inst {
-                            if !contains_ci(got, v) {
-                                got.push(v.clone());
-                            }
-                        }
-                    };
-                    // Same domain as an already-validated one → borrow
-                    // without re-probing; same as a failed one → skip.
-                    if accepted_domains.iter().any(|p| domsim::dom_sim(p, inst) > 0.5) {
-                        take_all(&mut got);
-                    } else if failed_domains.iter().any(|p| domsim::dom_sim(p, inst) > 0.5) {
-                        continue;
-                    } else {
-                        tried += 1;
-                        let outcome =
-                            attr_deep::validate_borrowed(&sources[r1.0], &a1.name, inst, cfg);
-                        if outcome.accepted {
-                            accepted_domains.push(inst);
-                            take_all(&mut got);
-                        } else {
-                            failed_domains.push(inst);
-                        }
-                    }
-                    if got.len() >= cfg.k {
-                        break;
-                    }
-                }
-                acq.report.attr_deep_cost.secs += t0.elapsed().as_secs_f64();
-                if got.len() >= cfg.k {
-                    acq.report.surface_deep_success += 1;
+    let mut acq = Acquisition::default();
+    for (&(r1, _), outcome) in items.iter().zip(outcomes) {
+        match outcome {
+            ItemOutcome::NoInst {
+                got,
+                surface_success,
+                surface_deep_success,
+                surface_secs,
+                surface_queries,
+                deep_secs,
+            } => {
+                acq.report.no_inst_attrs += 1;
+                acq.report.surface_success += surface_success as usize;
+                acq.report.surface_deep_success += surface_deep_success as usize;
+                acq.report.surface_cost.secs += surface_secs;
+                acq.report.surface_cost.engine_queries += surface_queries;
+                acq.report.attr_deep_cost.secs += deep_secs;
+                if !got.is_empty() {
+                    acq.acquired.insert(r1, got);
                 }
             }
-            if !got.is_empty() {
-                acq.acquired.insert(r1, got);
-            }
-        } else if components.attr_surface {
-            // Step 2: borrow for a pre-defined attribute, validate via the
-            // Surface Web (the Deep Web cannot be probed with values
-            // outside the pre-defined list).
-            let before = engine.stats().total();
-            let t0 = Instant::now();
-            let candidates = case2_candidates(ds, r1, &a1.instances, cfg);
-            let mut pool: Vec<String> = Vec::new();
-            for cand in candidates.into_iter().take(8) {
-                for v in &ds.attribute(cand).expect("candidate exists").instances {
-                    if !contains_ci(&a1.instances, v) && !contains_ci(&pool, v) {
-                        pool.push(v.clone());
-                    }
-                }
-            }
-            pool.truncate(15);
-            if !pool.is_empty() {
-                let negatives: Vec<String> = ds.interfaces[r1.0]
-                    .attributes
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, a)| *j != r1.1 && a.has_instances())
-                    .flat_map(|(_, a)| a.instances.iter().take(2).cloned())
-                    .collect();
-                let accepted = attr_surface::verify_borrowed(
-                    engine,
-                    &a1.label,
-                    &a1.instances,
-                    &negatives,
-                    &pool,
-                    cfg,
-                );
+            ItemOutcome::Predefined { accepted, secs, queries } => {
+                acq.report.attr_surface_cost.secs += secs;
+                acq.report.attr_surface_cost.engine_queries += queries;
                 if !accepted.is_empty() {
                     acq.report.attr_surface_enriched += 1;
                     acq.acquired.insert(r1, accepted);
                 }
             }
-            acq.report.attr_surface_cost.secs += t0.elapsed().as_secs_f64();
-            acq.report.attr_surface_cost.engine_queries += engine.stats().total() - before;
+            ItemOutcome::Skipped => {}
         }
     }
 

@@ -48,6 +48,29 @@ pub struct WebIQConfig {
     /// Estimate classifier thresholds by information gain (§3.2);
     /// `false` uses the midpoint of the observed score range (ablation).
     pub info_gain_thresholds: bool,
+    /// Worker threads for parallel acquisition. `None` resolves from the
+    /// `WEBIQ_THREADS` environment variable, then from the machine's
+    /// available parallelism. Any thread count produces byte-identical
+    /// acquisition output (see DESIGN.md).
+    pub threads: Option<usize>,
+}
+
+impl WebIQConfig {
+    /// The acquisition worker count: the explicit `threads` override if
+    /// set, else `WEBIQ_THREADS`, else available parallelism (at least 1).
+    pub fn resolved_threads(&self) -> usize {
+        if let Some(n) = self.threads {
+            return n.max(1);
+        }
+        if let Some(n) = std::env::var("WEBIQ_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
 }
 
 impl Default for WebIQConfig {
@@ -67,6 +90,7 @@ impl Default for WebIQConfig {
             probe_accept_ratio: 1.0 / 3.0,
             borrow_prefilter: true,
             info_gain_thresholds: true,
+            threads: None,
         }
     }
 }
@@ -107,6 +131,15 @@ mod tests {
         assert!((c.probe_accept_ratio - 1.0 / 3.0).abs() < 1e-12);
         assert!(c.outlier_phase);
         assert!(c.use_pmi);
+    }
+
+    #[test]
+    fn threads_resolution() {
+        // explicit override wins and is floored at 1
+        assert_eq!(WebIQConfig { threads: Some(4), ..WebIQConfig::default() }.resolved_threads(), 4);
+        assert_eq!(WebIQConfig { threads: Some(0), ..WebIQConfig::default() }.resolved_threads(), 1);
+        // unset: env var or machine parallelism, but never 0
+        assert!(WebIQConfig::default().resolved_threads() >= 1);
     }
 
     #[test]

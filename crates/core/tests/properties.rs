@@ -2,8 +2,8 @@
 //! invariants of the extraction/verification pipeline, and probing-rule
 //! arithmetic.
 
-use proptest::prelude::*;
 use webiq_core::{extract, patterns, surface, verify, DomainInfo, WebIQConfig};
+use webiq_rng::prop;
 use webiq_web::{Corpus, SearchEngine};
 
 fn small_engine() -> SearchEngine {
@@ -15,94 +15,127 @@ fn small_engine() -> SearchEngine {
     ]))
 }
 
-proptest! {
-    /// Label analysis and query formulation never panic on arbitrary
-    /// label-ish text, and extraction stays within its query budget.
-    #[test]
-    fn extraction_total_on_arbitrary_labels(label in "[a-zA-Z0-9 :*/-]{0,40}") {
+/// Label analysis and query formulation never panic on arbitrary
+/// label-ish text, and extraction stays within its query budget.
+#[test]
+fn extraction_total_on_arbitrary_labels() {
+    prop::cases(prop::CASES, |rng| {
+        let label = rng.gen_string(
+            prop::charset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 :*/-"),
+            0,
+            40,
+        );
         let engine = small_engine();
-        let info = DomainInfo { object: "thing".into(), domain_terms: vec!["travel".into()], sibling_terms: Vec::new() };
+        let info = DomainInfo {
+            object: "thing".into(),
+            domain_terms: vec!["travel".into()],
+            sibling_terms: Vec::new(),
+        };
         let cfg = WebIQConfig::default();
         let outcome = extract::extract_candidates(&engine, &label, &info, &cfg);
         // 8 patterns per noun phrase; conjunction labels have at most a
         // handful of NPs
-        prop_assert!(outcome.queries <= 8 * 8);
+        assert!(outcome.queries <= 8 * 8);
         for c in &outcome.candidates {
-            prop_assert!(!c.text.trim().is_empty());
-            prop_assert!(c.count >= 1);
+            assert!(!c.text.trim().is_empty());
+            assert!(c.count >= 1);
         }
-    }
+    });
+}
 
-    /// The Surface component returns at most k instances, each scored
-    /// strictly above the configured floor, sorted descending.
-    #[test]
-    fn surface_respects_k_and_ordering(k in 1usize..15) {
+/// The Surface component returns at most k instances, each scored
+/// strictly above the configured floor, sorted descending.
+#[test]
+fn surface_respects_k_and_ordering() {
+    prop::cases(prop::CASES, |rng| {
+        let k = rng.gen_range(1usize..15);
         let engine = small_engine();
-        let info = DomainInfo { object: "flight".into(), domain_terms: vec!["travel".into()], sibling_terms: Vec::new() };
+        let info = DomainInfo {
+            object: "flight".into(),
+            domain_terms: vec!["travel".into()],
+            sibling_terms: Vec::new(),
+        };
         let cfg = WebIQConfig { k, ..WebIQConfig::default() };
         let result = surface::discover(&engine, "Departure city", &info, &cfg);
-        prop_assert!(result.instances.len() <= k);
+        assert!(result.instances.len() <= k);
         for w in result.instances.windows(2) {
-            prop_assert!(w[0].score >= w[1].score);
+            assert!(w[0].score >= w[1].score);
         }
         for inst in &result.instances {
-            prop_assert!(inst.score > cfg.min_validation_score);
+            assert!(inst.score > cfg.min_validation_score);
         }
-    }
+    });
+}
 
-    /// Validation scores are finite and non-negative for arbitrary
-    /// phrase/candidate combinations, with and without PMI.
-    #[test]
-    fn validation_scores_finite(
-        phrase in "[a-z ]{1,20}",
-        candidate in "[a-zA-Z ]{1,20}",
-        use_pmi in any::<bool>(),
-    ) {
+/// Validation scores are finite and non-negative for arbitrary
+/// phrase/candidate combinations, with and without PMI.
+#[test]
+fn validation_scores_finite() {
+    prop::cases(prop::CASES, |rng| {
+        let phrase = rng.gen_string(prop::lower_space(), 1, 20);
+        let candidate = rng.gen_string(prop::alpha_space(), 1, 20);
+        let use_pmi = rng.gen_bool(0.5);
         let engine = small_engine();
         let s = verify::validation_score(&engine, &phrase, &candidate, use_pmi);
-        prop_assert!(s.is_finite());
-        prop_assert!(s >= 0.0);
-    }
+        assert!(s.is_finite());
+        assert!(s >= 0.0);
+    });
+}
 
-    /// verify_candidates partitions its input: survivors + outliers +
-    /// validation-removed = input size.
-    #[test]
-    fn verification_accounts_for_every_candidate(
-        candidates in proptest::collection::vec("[a-zA-Z]{2,12}", 0..25),
-    ) {
+/// verify_candidates partitions its input: survivors + outliers +
+/// validation-removed = input size.
+#[test]
+fn verification_accounts_for_every_candidate() {
+    prop::cases(prop::CASES, |rng| {
+        let candidates = prop::string_vec(
+            rng,
+            prop::charset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"),
+            0,
+            24,
+            2,
+            12,
+        );
+        let unique: std::collections::BTreeSet<String> =
+            candidates.iter().map(|c| c.to_lowercase()).collect();
+        if unique.len() != candidates.len() {
+            return; // case-insensitive duplicates merge; skip
+        }
         let engine = small_engine();
         let cfg = WebIQConfig { k: usize::MAX, ..WebIQConfig::default() };
         let phrases = vec!["city".to_string()];
-        let unique: std::collections::BTreeSet<String> =
-            candidates.iter().map(|c| c.to_lowercase()).collect();
-        prop_assume!(unique.len() == candidates.len());
         let out = verify::verify_candidates(&engine, &phrases, &candidates, &cfg);
-        prop_assert_eq!(
+        assert_eq!(
             out.instances.len() + out.outliers_removed + out.validation_removed,
             candidates.len()
         );
-    }
+    });
+}
 
-    /// Extraction patterns always materialise all eight Fig.-4 patterns
-    /// with non-empty cue phrases for any noun-phrase label.
-    #[test]
-    fn patterns_materialize_for_noun_labels(idx in 0usize..6) {
+/// Extraction patterns always materialise all eight Fig.-4 patterns
+/// with non-empty cue phrases for any noun-phrase label.
+#[test]
+fn patterns_materialize_for_noun_labels() {
+    prop::cases(prop::CASES, |rng| {
         let labels = ["author", "city", "make", "publisher", "salary", "airline"];
+        let idx = rng.gen_range(0usize..labels.len());
         let np = extract::primary_noun_phrase(labels[idx]).expect("nouns");
         let pats = patterns::extraction_patterns(&np, "object");
-        prop_assert_eq!(pats.len(), 8);
+        assert_eq!(pats.len(), 8);
         for p in &pats {
-            prop_assert!(!p.cue.trim().is_empty());
-            prop_assert_eq!(p.cue.to_lowercase(), p.cue.clone());
+            assert!(!p.cue.trim().is_empty());
+            assert_eq!(p.cue.to_lowercase(), p.cue);
         }
-    }
+    });
+}
 
-    /// Snippet completion extraction never panics on arbitrary snippets.
-    #[test]
-    fn completions_total(snippet in ".{0,200}") {
+/// Snippet completion extraction never panics on arbitrary snippets.
+#[test]
+fn completions_total() {
+    prop::cases(prop::CASES, |rng| {
+        let snippet = rng.gen_string(prop::any_char(), 0, 200);
         let np = extract::primary_noun_phrase("city").expect("np");
         for p in patterns::extraction_patterns(&np, "flight") {
             let _ = extract::completions(&snippet, &p);
         }
-    }
+    });
 }

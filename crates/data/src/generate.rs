@@ -6,9 +6,7 @@
 //! (hard prepositional/verb-phrase variants included), and the
 //! disjoint-instance split for concepts with two regional pools.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use webiq_rng::{SliceRandom, StdRng};
 
 use crate::interface::{Attribute, Dataset, Interface};
 use crate::kb::{ConceptDef, DomainDef};

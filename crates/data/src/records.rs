@@ -7,10 +7,8 @@
 //! records, while an ill-typed value (`from = January`) selects nothing —
 //! the exact discrimination Attr-Deep (§4) relies on.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use webiq_deep::{DeepSource, ParamDomain, Record, RecordStore, SourceParam};
+use webiq_rng::{SliceRandom, StdRng};
 
 use crate::generate::site_pool;
 use crate::interface::Interface;

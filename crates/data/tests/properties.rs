@@ -1,57 +1,62 @@
 //! Property-based tests for dataset generation.
 
-use proptest::prelude::*;
 use webiq_data::{generate_domain, gold, kb, GenOptions, Interface};
 use webiq_html::form::extract_forms;
+use webiq_rng::prop;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any seed yields a structurally valid dataset for every domain.
-    #[test]
-    fn any_seed_valid(seed in any::<u64>()) {
+/// Any seed yields a structurally valid dataset for every domain.
+#[test]
+fn any_seed_valid() {
+    prop::cases(24, |rng| {
+        let seed = rng.next_u64();
         for def in kb::all_domains() {
             let ds = generate_domain(def, &GenOptions { seed, ..GenOptions::default() });
-            prop_assert_eq!(ds.interfaces.len(), 20);
+            assert_eq!(ds.interfaces.len(), 20);
             for i in &ds.interfaces {
-                prop_assert!(i.attributes.len() >= 2);
+                assert!(i.attributes.len() >= 2);
                 for a in &i.attributes {
-                    prop_assert!(!a.label.is_empty());
-                    prop_assert!(!a.name.is_empty());
-                    prop_assert!(def.concept(&a.concept).is_some());
+                    assert!(!a.label.is_empty());
+                    assert!(!a.name.is_empty());
+                    assert!(def.concept(&a.concept).is_some());
                 }
             }
         }
-    }
+    });
+}
 
-    /// HTML round-trip preserves every interface's schema for any seed.
-    #[test]
-    fn html_roundtrip_any_seed(seed in any::<u64>()) {
+/// HTML round-trip preserves every interface's schema for any seed.
+#[test]
+fn html_roundtrip_any_seed() {
+    prop::cases(24, |rng| {
+        let seed = rng.next_u64();
         let def = kb::domain("airfare").expect("domain");
         let ds = generate_domain(def, &GenOptions { seed, ..GenOptions::default() });
         for iface in &ds.interfaces {
             let html = iface.to_html();
             let forms = extract_forms(&html);
-            prop_assert_eq!(forms.len(), 1);
+            assert_eq!(forms.len(), 1);
             let mut parsed = Interface::from_extracted(iface.id, &iface.domain, &iface.site, &forms[0]);
             parsed.adopt_concepts_from(iface);
-            prop_assert_eq!(parsed.attributes.len(), iface.attributes.len());
+            assert_eq!(parsed.attributes.len(), iface.attributes.len());
             for (p, o) in parsed.attributes.iter().zip(&iface.attributes) {
-                prop_assert_eq!(&p.name, &o.name);
-                prop_assert_eq!(&p.label, &o.label);
-                prop_assert_eq!(&p.instances, &o.instances);
-                prop_assert_eq!(&p.concept, &o.concept);
+                assert_eq!(&p.name, &o.name);
+                assert_eq!(&p.label, &o.label);
+                assert_eq!(&p.instances, &o.instances);
+                assert_eq!(&p.concept, &o.concept);
             }
         }
-    }
+    });
+}
 
-    /// Gold clusters always partition the attribute set.
-    #[test]
-    fn gold_partitions(seed in any::<u64>()) {
+/// Gold clusters always partition the attribute set.
+#[test]
+fn gold_partitions() {
+    prop::cases(24, |rng| {
+        let seed = rng.next_u64();
         let def = kb::domain("job").expect("domain");
         let ds = generate_domain(def, &GenOptions { seed, ..GenOptions::default() });
         let clusters = gold::gold_clusters(&ds);
         let total: usize = clusters.iter().map(Vec::len).sum();
-        prop_assert_eq!(total, ds.attr_count());
-    }
+        assert_eq!(total, ds.attr_count());
+    });
 }

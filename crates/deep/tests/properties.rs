@@ -2,11 +2,11 @@
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
 use webiq_deep::{
     analyze_response, DeepSource, ParamDomain, Record, RecordStore, SourceParam,
     SubmissionOutcome,
 };
+use webiq_rng::prop;
 
 fn source(values: &[String]) -> DeepSource {
     let mut store = RecordStore::default();
@@ -20,66 +20,76 @@ fn source(values: &[String]) -> DeepSource {
     )
 }
 
-proptest! {
-    /// Submitting arbitrary parameters never panics and always yields a
-    /// parseable page with a classifiable outcome.
-    #[test]
-    fn submit_total(
-        values in proptest::collection::vec("[a-zA-Z0-9 ]{1,12}", 1..10),
-        key in "[a-z]{1,8}",
-        value in "[a-zA-Z0-9<>&\" ]{0,20}",
-    ) {
+/// Submitting arbitrary parameters never panics and always yields a
+/// parseable page with a classifiable outcome.
+#[test]
+fn submit_total() {
+    prop::cases(prop::CASES, |rng| {
+        let values = prop::string_vec(rng, prop::alnum_space(), 1, 9, 1, 12);
+        let key = rng.gen_string(prop::lower(), 1, 8);
+        let value = rng.gen_string(prop::charset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789<>&\" "), 0, 20);
         let src = source(&values);
         let mut params = BTreeMap::new();
         params.insert(key, value);
         let page = src.submit(&params);
         let _ = analyze_response(&page);
-        prop_assert!(page.contains("<html>"));
-    }
+        assert!(page.contains("<html>"));
+    });
+}
 
-    /// A value present in the store is always found; a value absent from
-    /// every record (as a substring, case-insensitively) never is.
-    #[test]
-    fn store_membership_decides_outcome(
-        values in proptest::collection::vec("[a-z]{3,10}", 1..10),
-        probe_idx in 0usize..10,
-    ) {
+/// A value present in the store is always found; a value absent from
+/// every record (as a substring, case-insensitively) never is.
+#[test]
+fn store_membership_decides_outcome() {
+    prop::cases(prop::CASES, |rng| {
+        let values = prop::string_vec(rng, prop::lower(), 1, 9, 3, 10);
+        let probe_idx = rng.gen_range(0usize..10);
         let src = source(&values);
         let probe = values[probe_idx % values.len()].clone();
         let mut params = BTreeMap::new();
         params.insert("field".to_string(), probe);
-        prop_assert!(analyze_response(&src.submit(&params)).is_success());
+        assert!(analyze_response(&src.submit(&params)).is_success());
 
         // "0" can never appear in an alphabetic store
         let mut params = BTreeMap::new();
         params.insert("field".to_string(), "0".to_string());
-        prop_assert_eq!(analyze_response(&src.submit(&params)), SubmissionOutcome::NoResults);
-    }
+        assert_eq!(analyze_response(&src.submit(&params)), SubmissionOutcome::NoResults);
+    });
+}
 
-    /// Response analysis is total over arbitrary HTML soup.
-    #[test]
-    fn analyze_total(html in ".{0,400}") {
+/// Response analysis is total over arbitrary HTML soup.
+#[test]
+fn analyze_total() {
+    prop::cases(prop::CASES, |rng| {
+        let html = rng.gen_string(prop::any_char(), 0, 400);
         let _ = analyze_response(&html);
-    }
+    });
+}
 
-    /// Probe counting is exact.
-    #[test]
-    fn probe_count_exact(n in 0usize..20) {
+/// Probe counting is exact.
+#[test]
+fn probe_count_exact() {
+    prop::cases(prop::CASES, |rng| {
+        let n = rng.gen_range(0usize..20);
         let src = source(&["abc".to_string()]);
         for _ in 0..n {
             let _ = src.submit(&BTreeMap::new());
         }
-        prop_assert_eq!(src.probe_count(), n as u64);
-    }
+        assert_eq!(src.probe_count(), n as u64);
+    });
+}
 
-    /// Failure injection is deterministic: the same submission always gets
-    /// the same verdict.
-    #[test]
-    fn failure_injection_deterministic(value in "[a-z]{1,10}", rate in 0.0f64..1.0) {
+/// Failure injection is deterministic: the same submission always gets
+/// the same verdict.
+#[test]
+fn failure_injection_deterministic() {
+    prop::cases(prop::CASES, |rng| {
+        let value = rng.gen_string(prop::lower(), 1, 10);
+        let rate = rng.gen_range(0.0f64..1.0);
         let a = source(&["abc".to_string()]).with_failure_rate(rate);
         let b = source(&["abc".to_string()]).with_failure_rate(rate);
         let mut params = BTreeMap::new();
         params.insert("field".to_string(), value);
-        prop_assert_eq!(a.submit(&params), b.submit(&params));
-    }
+        assert_eq!(a.submit(&params), b.submit(&params));
+    });
 }

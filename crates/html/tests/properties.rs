@@ -1,69 +1,100 @@
 //! Property-based tests for the HTML substrate.
 
-use proptest::prelude::*;
 use webiq_html::{dom, entities, form, lexer};
+use webiq_rng::prop;
 
-proptest! {
-    /// The tokenizer is total on arbitrary bytes-as-text.
-    #[test]
-    fn tokenizer_total(s in ".{0,300}") {
+/// The tokenizer is total on arbitrary bytes-as-text.
+#[test]
+fn tokenizer_total() {
+    prop::cases(prop::CASES, |rng| {
+        let s = rng.gen_string(prop::any_char(), 0, 300);
         let _ = lexer::tokenize(&s);
-    }
+    });
+}
 
-    /// The DOM parser is total and produces a finite tree.
-    #[test]
-    fn parser_total(s in "[a-zA-Z<>/=\"' ]{0,300}") {
+/// The DOM parser is total and produces a finite tree.
+#[test]
+fn parser_total() {
+    prop::cases(prop::CASES, |rng| {
+        let s = rng.gen_string(
+            prop::charset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ<>/=\"' "),
+            0,
+            300,
+        );
         let doc = dom::parse_document(&s);
         // walking the tree terminates
         fn count(n: &dom::Node) -> usize {
             1 + n.children().iter().map(count).sum::<usize>()
         }
-        prop_assert!(count(&doc) >= 1);
-    }
+        assert!(count(&doc) >= 1);
+    });
+}
 
-    /// Entity encode → decode round-trips arbitrary text.
-    #[test]
-    fn entity_roundtrip(s in ".{0,200}") {
-        prop_assert_eq!(entities::decode(&entities::encode(&s)), s);
-    }
+/// Entity encode → decode round-trips arbitrary text.
+#[test]
+fn entity_roundtrip() {
+    prop::cases(prop::CASES, |rng| {
+        let s = rng.gen_string(prop::any_char(), 0, 200);
+        assert_eq!(entities::decode(&entities::encode(&s)), s);
+    });
+}
 
-    /// Decoding never panics on malformed entity soup.
-    #[test]
-    fn decode_total(s in "[&#;a-zA-Z0-9]{0,100}") {
+/// Decoding never panics on malformed entity soup.
+#[test]
+fn decode_total() {
+    prop::cases(prop::CASES, |rng| {
+        let s = rng.gen_string(
+            prop::charset("&#;abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"),
+            0,
+            100,
+        );
         let _ = entities::decode(&s);
-    }
+    });
+}
 
-    /// Form extraction is total on arbitrary tag soup.
-    #[test]
-    fn form_extraction_total(s in "[a-zA-Z<>/=\"' :]{0,300}") {
+/// Form extraction is total on arbitrary tag soup.
+#[test]
+fn form_extraction_total() {
+    prop::cases(prop::CASES, |rng| {
+        let s = rng.gen_string(
+            prop::charset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ<>/=\"' :"),
+            0,
+            300,
+        );
         let _ = form::extract_forms(&s);
-    }
+    });
+}
 
-    /// A generated well-formed form round-trips its field names.
-    #[test]
-    fn generated_form_roundtrip(
-        names in proptest::collection::vec("[a-z]{1,10}", 1..8),
-    ) {
-        prop_assume!(names.iter().collect::<std::collections::HashSet<_>>().len() == names.len());
+/// A generated well-formed form round-trips its field names.
+#[test]
+fn generated_form_roundtrip() {
+    prop::cases(prop::CASES, |rng| {
+        let names = prop::string_vec(rng, prop::lower(), 1, 7, 1, 10);
+        if names.iter().collect::<std::collections::HashSet<_>>().len() != names.len() {
+            return;
+        }
         let mut html = String::from("<form>");
         for n in &names {
             html.push_str(&format!("Label {n}: <input type=text name={n}>"));
         }
         html.push_str("</form>");
         let forms = form::extract_forms(&html);
-        prop_assert_eq!(forms.len(), 1);
+        assert_eq!(forms.len(), 1);
         let got: Vec<&str> = forms[0].fields.iter().map(|f| f.name.as_str()).collect();
         let want: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    /// Text nodes in parsed output contain no raw markup delimiters from
-    /// well-formed input.
-    #[test]
-    fn text_has_no_tags(words in proptest::collection::vec("[a-z]{1,8}", 1..6)) {
+/// Text nodes in parsed output contain no raw markup delimiters from
+/// well-formed input.
+#[test]
+fn text_has_no_tags() {
+    prop::cases(prop::CASES, |rng| {
+        let words = prop::string_vec(rng, prop::lower(), 1, 5, 1, 8);
         let html = format!("<div><p>{}</p></div>", words.join(" "));
         let doc = dom::parse_document(&html);
         let text = doc.text();
-        prop_assert!(!text.contains('<') && !text.contains('>'));
-    }
+        assert!(!text.contains('<') && !text.contains('>'));
+    });
 }

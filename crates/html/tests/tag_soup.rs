@@ -2,7 +2,7 @@
 //! interfaces that a forgiving parser must survive.
 
 use webiq_html::form::{extract_forms, FieldKind};
-use webiq_html::{dom, parse_document};
+use webiq_html::parse_document;
 
 #[test]
 fn table_soup_with_unclosed_cells() {

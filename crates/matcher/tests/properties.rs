@@ -1,9 +1,9 @@
 //! Property-based tests for the matcher: clustering invariants, metric
 //! bounds, similarity symmetry.
 
-use proptest::prelude::*;
 use webiq_match::cluster::{cluster, Item};
 use webiq_match::{domsim, labelsim, metrics::PrF1, similarity, MatchAttribute, MatchConfig};
+use webiq_rng::{prop, StdRng};
 
 /// A random symmetric similarity matrix in [0, 1].
 #[allow(clippy::needless_range_loop)] // i/j are matrix coordinates
@@ -19,16 +19,24 @@ fn sim_matrix(n: usize, seed: &[f64]) -> Vec<Vec<f64>> {
     m
 }
 
-proptest! {
-    /// Clustering always partitions the items, and no cluster ever holds
-    /// two items of the same interface — for any similarity structure and
-    /// threshold.
-    #[test]
-    fn clustering_invariants(
-        interfaces in proptest::collection::vec(0usize..6, 1..16),
-        seed in proptest::collection::vec(0.0f64..1.0, 8),
-        threshold in 0.0f64..1.0,
-    ) {
+fn interface_ids(rng: &mut StdRng, max_iface: usize, min_len: usize, max_len: usize) -> Vec<usize> {
+    let n = rng.gen_range(min_len..=max_len);
+    (0..n).map(|_| rng.gen_range(0..max_iface)).collect()
+}
+
+fn unit_seed(rng: &mut StdRng) -> Vec<f64> {
+    (0..8).map(|_| rng.gen_range(0.0f64..1.0)).collect()
+}
+
+/// Clustering always partitions the items, and no cluster ever holds two
+/// items of the same interface — for any similarity structure and
+/// threshold.
+#[test]
+fn clustering_invariants() {
+    prop::cases(prop::CASES, |rng| {
+        let interfaces = interface_ids(rng, 6, 1, 15);
+        let seed = unit_seed(rng);
+        let threshold = rng.gen_range(0.0f64..1.0);
         let items: Vec<Item<usize>> = interfaces
             .iter()
             .enumerate()
@@ -41,11 +49,11 @@ proptest! {
         let mut seen = vec![false; items.len()];
         for c in &clusters {
             for &i in c {
-                prop_assert!(!seen[i], "item {i} appears twice");
+                assert!(!seen[i], "item {i} appears twice");
                 seen[i] = true;
             }
         }
-        prop_assert!(seen.iter().all(|s| *s));
+        assert!(seen.iter().all(|s| *s));
 
         // same-interface exclusion
         for c in &clusters {
@@ -53,19 +61,20 @@ proptest! {
             let n = ifaces.len();
             ifaces.sort_unstable();
             ifaces.dedup();
-            prop_assert_eq!(ifaces.len(), n);
+            assert_eq!(ifaces.len(), n);
         }
-    }
+    });
+}
 
-    /// Raising the threshold never increases the amount of merging
-    /// (cluster count is monotone non-decreasing in τ).
-    #[test]
-    fn threshold_monotone(
-        interfaces in proptest::collection::vec(0usize..8, 2..14),
-        seed in proptest::collection::vec(0.0f64..1.0, 8),
-        t1 in 0.0f64..1.0,
-        t2 in 0.0f64..1.0,
-    ) {
+/// Raising the threshold never increases the amount of merging (cluster
+/// count is monotone non-decreasing in τ).
+#[test]
+fn threshold_monotone() {
+    prop::cases(prop::CASES, |rng| {
+        let interfaces = interface_ids(rng, 8, 2, 13);
+        let seed = unit_seed(rng);
+        let t1 = rng.gen_range(0.0f64..1.0);
+        let t2 = rng.gen_range(0.0f64..1.0);
         let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
         let items: Vec<Item<usize>> = interfaces
             .iter()
@@ -75,67 +84,93 @@ proptest! {
         let m = sim_matrix(items.len(), &seed);
         let c_lo = cluster(&items, &m, lo).len();
         let c_hi = cluster(&items, &m, hi).len();
-        prop_assert!(c_hi >= c_lo, "τ={lo}→{c_lo} clusters, τ={hi}→{c_hi}");
-    }
+        assert!(c_hi >= c_lo, "τ={lo}→{c_lo} clusters, τ={hi}→{c_hi}");
+    });
+}
 
-    /// Similarity is symmetric and within [0, 1] for arbitrary attributes.
-    #[test]
-    fn similarity_symmetric_bounded(
-        la in "[a-zA-Z ]{0,20}",
-        lb in "[a-zA-Z ]{0,20}",
-        va in proptest::collection::vec("[a-zA-Z0-9 ]{1,10}", 0..6),
-        vb in proptest::collection::vec("[a-zA-Z0-9 ]{1,10}", 0..6),
-    ) {
+/// Similarity is symmetric and within [0, 1] for arbitrary attributes.
+#[test]
+fn similarity_symmetric_bounded() {
+    prop::cases(prop::CASES, |rng| {
+        let la = rng.gen_string(prop::alpha_space(), 0, 20);
+        let lb = rng.gen_string(prop::alpha_space(), 0, 20);
+        let va = prop::string_vec(rng, prop::alnum_space(), 0, 5, 1, 10);
+        let vb = prop::string_vec(rng, prop::alnum_space(), 0, 5, 1, 10);
         let cfg = MatchConfig::default();
         let a = MatchAttribute { r: (0, 0), label: la, values: va };
         let b = MatchAttribute { r: (1, 0), label: lb, values: vb };
         let sab = similarity(&a, &b, &cfg);
         let sba = similarity(&b, &a, &cfg);
-        prop_assert!((sab - sba).abs() < 1e-12);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&sab), "s = {sab}");
-    }
+        assert!((sab - sba).abs() < 1e-12);
+        assert!((0.0..=1.0 + 1e-12).contains(&sab), "s = {sab}");
+    });
+}
 
-    /// dom_sim of a non-empty set with itself is high; with an empty set
-    /// it is zero.
-    #[test]
-    fn dom_sim_reflexive_ish(vals in proptest::collection::vec("[a-zA-Z]{2,8}", 1..8)) {
+/// dom_sim of a non-empty set with itself is high; with an empty set it
+/// is zero.
+#[test]
+fn dom_sim_reflexive_ish() {
+    prop::cases(prop::CASES, |rng| {
+        let vals = prop::string_vec(
+            rng,
+            prop::charset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"),
+            1,
+            7,
+            2,
+            8,
+        );
         let s = domsim::dom_sim(&vals, &vals);
-        prop_assert!(s > 0.85, "self-sim {s}");
+        assert!(s > 0.85, "self-sim {s}");
         let empty: Vec<String> = Vec::new();
-        prop_assert_eq!(domsim::dom_sim(&vals, &empty), 0.0);
-    }
+        assert_eq!(domsim::dom_sim(&vals, &empty), 0.0);
+    });
+}
 
-    /// value_similarity is symmetric, bounded, and 1 on equal strings.
-    #[test]
-    fn value_similarity_properties(a in "[a-zA-Z ]{0,15}", b in "[a-zA-Z ]{0,15}") {
+/// value_similarity is symmetric, bounded, and 1 on equal strings.
+#[test]
+fn value_similarity_properties() {
+    prop::cases(prop::CASES, |rng| {
+        let a = rng.gen_string(prop::alpha_space(), 0, 15);
+        let b = rng.gen_string(prop::alpha_space(), 0, 15);
         let sab = domsim::value_similarity(&a, &b);
-        prop_assert!((sab - domsim::value_similarity(&b, &a)).abs() < 1e-12);
-        prop_assert!((0.0..=1.0).contains(&sab));
-        prop_assert!((domsim::value_similarity(&a, &a) - 1.0).abs() < 1e-12);
-    }
+        assert!((sab - domsim::value_similarity(&b, &a)).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&sab));
+        assert!((domsim::value_similarity(&a, &a) - 1.0).abs() < 1e-12);
+    });
+}
 
-    /// label_sim is bounded and zero against an empty label.
-    #[test]
-    fn label_sim_bounds(a in "[a-zA-Z ]{0,25}", b in "[a-zA-Z ]{0,25}") {
+/// label_sim is bounded and zero against an empty label.
+#[test]
+fn label_sim_bounds() {
+    prop::cases(prop::CASES, |rng| {
+        let a = rng.gen_string(prop::alpha_space(), 0, 25);
+        let b = rng.gen_string(prop::alpha_space(), 0, 25);
         let s = labelsim::label_sim(&a, &b);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
-        prop_assert_eq!(labelsim::label_sim(&a, ""), 0.0);
-    }
+        assert!((0.0..=1.0 + 1e-12).contains(&s));
+        assert_eq!(labelsim::label_sim(&a, ""), 0.0);
+    });
+}
 
-    /// P/R/F1 are always within [0, 1] and F1 is zero iff P or R is.
-    #[test]
-    fn metric_bounds(
-        pred in proptest::collection::btree_set((0u32..10, 0u32..10), 0..20),
-        gold in proptest::collection::btree_set((0u32..10, 0u32..10), 0..20),
-    ) {
+/// P/R/F1 are always within [0, 1] and F1 is zero iff P or R is.
+#[test]
+fn metric_bounds() {
+    prop::cases(prop::CASES, |rng| {
+        let mut pred = std::collections::BTreeSet::new();
+        for _ in 0..rng.gen_range(0usize..20) {
+            pred.insert((rng.gen_range(0u32..10), rng.gen_range(0u32..10)));
+        }
+        let mut gold = std::collections::BTreeSet::new();
+        for _ in 0..rng.gen_range(0usize..20) {
+            gold.insert((rng.gen_range(0u32..10), rng.gen_range(0u32..10)));
+        }
         let m = PrF1::from_pairs(&pred, &gold);
         for v in [m.precision, m.recall, m.f1] {
-            prop_assert!((0.0..=1.0).contains(&v));
+            assert!((0.0..=1.0).contains(&v));
         }
         if m.f1 == 0.0 {
-            prop_assert!(m.precision == 0.0 || m.recall == 0.0);
+            assert!(m.precision == 0.0 || m.recall == 0.0);
         } else {
-            prop_assert!(m.precision > 0.0 && m.recall > 0.0);
+            assert!(m.precision > 0.0 && m.recall > 0.0);
         }
-    }
+    });
 }

@@ -1,104 +1,149 @@
 //! Property-based tests for the NLP substrate.
 
-use proptest::prelude::*;
 use webiq_nlp::{chunk, inflect, pos, stem, stopwords, token};
+use webiq_rng::prop;
 
-proptest! {
-    /// Tokenization never panics and never produces empty tokens.
-    #[test]
-    fn tokenize_total(s in ".{0,200}") {
+/// Tokenization never panics and never produces empty tokens.
+#[test]
+fn tokenize_total() {
+    prop::cases(prop::CASES, |rng| {
+        let s = rng.gen_string(prop::any_char(), 0, 200);
         for t in token::tokenize(&s) {
-            prop_assert!(!t.text.is_empty());
+            assert!(!t.text.is_empty());
         }
-    }
+    });
+}
 
-    /// Word tokens contain no whitespace.
-    #[test]
-    fn tokens_have_no_whitespace(s in "[a-zA-Z0-9 ,.$-]{0,120}") {
+/// Word tokens contain no whitespace.
+#[test]
+fn tokens_have_no_whitespace() {
+    prop::cases(prop::CASES, |rng| {
+        let s = rng.gen_string(
+            prop::charset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,.$-"),
+            0,
+            120,
+        );
         for t in token::tokenize(&s) {
-            prop_assert!(!t.text.chars().any(char::is_whitespace), "token {:?}", t);
+            assert!(!t.text.chars().any(char::is_whitespace), "token {t:?}");
         }
-    }
+    });
+}
 
-    /// Tagging assigns exactly one tag per token.
-    #[test]
-    fn tagging_is_total(s in "[a-zA-Z ,.']{0,120}") {
+/// Tagging assigns exactly one tag per token.
+#[test]
+fn tagging_is_total() {
+    prop::cases(prop::CASES, |rng| {
+        let s = rng.gen_string(
+            prop::charset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ ,.'"),
+            0,
+            120,
+        );
         let toks = token::tokenize(&s);
         let tagged = pos::tag_tokens(&toks);
-        prop_assert_eq!(toks.len(), tagged.len());
-    }
+        assert_eq!(toks.len(), tagged.len());
+    });
+}
 
-    /// Pluralize then singularize round-trips for regular lowercase nouns
-    /// that are not already plural and avoid ambiguous endings.
-    #[test]
-    fn plural_roundtrip(w in "[a-z]{3,10}") {
-        prop_assume!(!inflect::is_plural(&w));
+/// Pluralize then singularize round-trips for regular lowercase nouns
+/// that are not already plural and avoid ambiguous endings.
+#[test]
+fn plural_roundtrip() {
+    prop::cases(prop::CASES * 4, |rng| {
+        let w = rng.gen_string(prop::lower(), 3, 10);
+        if inflect::is_plural(&w) {
+            return;
+        }
         // Endings whose plural is genuinely ambiguous to invert in English
         // (tie/ties vs. fly/flies; potato/potatoes vs. auto/autos) or that
         // produce -is/-us plurals the singularizer deliberately protects
         // (analysis, bus).
-        prop_assume!(!w.ends_with('s') && !w.ends_with('o'));
-        prop_assume!(!w.ends_with("ie") && !w.ends_with('i') && !w.ends_with('u'));
+        if w.ends_with('s') || w.ends_with('o') {
+            return;
+        }
+        if w.ends_with("ie") || w.ends_with('i') || w.ends_with('u') {
+            return;
+        }
         // sibilant+e endings collide with sibilant -es plurals (axe/axes vs.
         // box/boxes), another genuine English ambiguity.
-        prop_assume!(!["xe", "se", "ze", "che", "she"].iter().any(|s| w.ends_with(s)));
+        if ["xe", "se", "ze", "che", "she"].iter().any(|s| w.ends_with(s)) {
+            return;
+        }
         let p = inflect::pluralize(&w);
-        prop_assert_eq!(inflect::singularize(&p), w);
-    }
+        assert_eq!(inflect::singularize(&p), w);
+    });
+}
 
-    /// Pluralisation is idempotent (for realistic noun lengths; one- and
-    /// two-letter "nouns" like `a` are out of scope).
-    #[test]
-    fn plural_idempotent(w in "[a-z]{3,12}") {
+/// Pluralisation is idempotent (for realistic noun lengths; one- and
+/// two-letter "nouns" like `a` are out of scope).
+#[test]
+fn plural_idempotent() {
+    prop::cases(prop::CASES * 4, |rng| {
+        let w = rng.gen_string(prop::lower(), 3, 12);
         // Words ending in i/u pluralise to -is/-us forms the singularizer
         // deliberately refuses to touch (analysis, bus), defeating the
         // already-plural detection on the second application.
-        prop_assume!(!w.ends_with('i') && !w.ends_with('u'));
+        if w.ends_with('i') || w.ends_with('u') {
+            return;
+        }
         let once = inflect::pluralize(&w);
         let twice = inflect::pluralize(&once);
-        prop_assert_eq!(once, twice);
-    }
+        assert_eq!(once, twice);
+    });
+}
 
-    /// Stemming never grows a word and is idempotent-ish: stemming a stem
-    /// never panics and stays ASCII.
-    #[test]
-    fn stem_never_grows(w in "[a-z]{1,20}") {
+/// Stemming never grows a word and is idempotent-ish: stemming a stem
+/// never panics and stays ASCII.
+#[test]
+fn stem_never_grows() {
+    prop::cases(prop::CASES, |rng| {
+        let w = rng.gen_string(prop::lower(), 1, 20);
         let s = stem::stem(&w);
-        prop_assert!(s.len() <= w.len());
-        prop_assert!(s.is_ascii());
+        assert!(s.len() <= w.len());
+        assert!(s.is_ascii());
         let _ = stem::stem(&s);
-    }
+    });
+}
 
-    /// classify_label is total (never panics) on arbitrary label-ish text.
-    #[test]
-    fn classify_total(s in "[a-zA-Z0-9 :*()/-]{0,60}") {
+/// classify_label is total (never panics) on arbitrary label-ish text.
+#[test]
+fn classify_total() {
+    prop::cases(prop::CASES, |rng| {
+        let s = rng.gen_string(
+            prop::charset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 :*()/-"),
+            0,
+            60,
+        );
         let _ = chunk::classify_label(&s);
-    }
+    });
+}
 
-    /// Labels made of a single known noun always classify as a noun phrase
-    /// headed by that noun.
-    #[test]
-    fn single_noun_is_np(idx in 0usize..8) {
-        let nouns = ["city", "airline", "author", "price", "company",
-                     "publisher", "salary", "mileage"];
-        let w = nouns[idx];
+/// Labels made of a single known noun always classify as a noun phrase
+/// headed by that noun.
+#[test]
+fn single_noun_is_np() {
+    let nouns =
+        ["city", "airline", "author", "price", "company", "publisher", "salary", "mileage"];
+    for w in nouns {
         match chunk::classify_label(w) {
-            chunk::LabelForm::NounPhrase(np) => prop_assert_eq!(np.head_word(), w),
-            other => prop_assert!(false, "expected NP for {}, got {:?}", w, other),
+            chunk::LabelForm::NounPhrase(np) => assert_eq!(np.head_word(), w),
+            other => panic!("expected NP for {w}, got {other:?}"),
         }
     }
+}
 
-    /// Stopword removal output never contains a stopword and never reorders.
-    #[test]
-    fn stopword_filter_sound(ws in proptest::collection::vec("[a-z]{1,8}", 0..12)) {
+/// Stopword removal output never contains a stopword and never reorders.
+#[test]
+fn stopword_filter_sound() {
+    prop::cases(prop::CASES, |rng| {
+        let ws = prop::string_vec(rng, prop::lower(), 0, 11, 1, 8);
         let out = stopwords::remove_stopwords(&ws);
         for w in &out {
-            prop_assert!(!stopwords::is_stopword(w));
+            assert!(!stopwords::is_stopword(w));
         }
         // order preserved: `out` is a subsequence of `ws`
         let mut it = ws.iter();
         for w in &out {
-            prop_assert!(it.any(|x| x == w));
+            assert!(it.any(|x| x == w));
         }
-    }
+    });
 }

@@ -1,0 +1,125 @@
+//! A miniature property-test harness.
+//!
+//! Replaces `proptest` for the workspace's `tests/properties.rs` suites:
+//! each property runs a fixed number of deterministically seeded cases, so
+//! failures reproduce exactly (the case seed is printed on panic via the
+//! assertion message of the failing property itself).
+//!
+//! ```
+//! use webiq_rng::prop;
+//!
+//! prop::cases(64, |rng| {
+//!     let s = rng.gen_string(prop::alnum_space(), 0, 20);
+//!     assert!(s.chars().count() <= 20);
+//! });
+//! ```
+
+use crate::StdRng;
+
+use std::sync::OnceLock;
+
+/// Default number of cases per property.
+pub const CASES: usize = 96;
+
+/// Lowercase letters.
+pub fn lower() -> &'static [char] {
+    charset("abcdefghijklmnopqrstuvwxyz")
+}
+
+/// Lowercase letters plus space.
+pub fn lower_space() -> &'static [char] {
+    charset("abcdefghijklmnopqrstuvwxyz ")
+}
+
+/// Letters of both cases plus space.
+pub fn alpha_space() -> &'static [char] {
+    charset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ ")
+}
+
+/// Letters, digits, and space.
+pub fn alnum_space() -> &'static [char] {
+    charset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ")
+}
+
+/// "Anything" — printable ASCII, whitespace/control, and multibyte
+/// characters; the stand-in for proptest's `.` regex class.
+pub fn any_char() -> &'static [char] {
+    static CS: OnceLock<Vec<char>> = OnceLock::new();
+    CS.get_or_init(|| {
+        let mut v: Vec<char> = (' '..='~').collect();
+        v.extend(['\t', '\n', '\r', '\u{0}', '\u{7f}']);
+        v.extend(['é', 'ü', 'ß', 'ñ', 'Ω', '中', '文', 'δ', '¥', '€', '🚀', '\u{200b}']);
+        v
+    })
+}
+
+/// Interns an arbitrary charset string as a `'static` char slice.
+pub fn charset(chars: &str) -> &'static [char] {
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+    static INTERNED: OnceLock<Mutex<HashMap<String, &'static [char]>>> = OnceLock::new();
+    let map = INTERNED.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = map.lock().expect("charset intern lock");
+    if let Some(cs) = map.get(chars) {
+        return cs;
+    }
+    let leaked: &'static [char] = Box::leak(chars.chars().collect::<Vec<_>>().into_boxed_slice());
+    map.insert(chars.to_string(), leaked);
+    leaked
+}
+
+/// Run `n` deterministic cases of a property. Case `i` receives an RNG
+/// seeded as a pure function of `i`, so a failing case replays by itself.
+pub fn cases(n: usize, mut property: impl FnMut(&mut StdRng)) {
+    for i in 0..n {
+        let mut rng = StdRng::seed_from_u64(0xC0FF_EE00_0000_0000 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        property(&mut rng);
+    }
+}
+
+/// A random `Vec<String>` with `len ∈ [min_len, max_len]`, each element a
+/// string over `cs` with length in `[min_s, max_s]`.
+pub fn string_vec(
+    rng: &mut StdRng,
+    cs: &[char],
+    min_len: usize,
+    max_len: usize,
+    min_s: usize,
+    max_s: usize,
+) -> Vec<String> {
+    let n = rng.gen_range(min_len..=max_len);
+    (0..n).map(|_| rng.gen_string(cs, min_s, max_s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first: Vec<u64> = Vec::new();
+        cases(10, |rng| first.push(rng.next_u64()));
+        let mut second: Vec<u64> = Vec::new();
+        cases(10, |rng| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn string_vec_bounds() {
+        cases(20, |rng| {
+            let v = string_vec(rng, lower(), 1, 5, 2, 4);
+            assert!((1..=5).contains(&v.len()));
+            for s in &v {
+                assert!((2..=4).contains(&s.chars().count()));
+            }
+        });
+    }
+
+    #[test]
+    fn charsets_nonempty() {
+        for cs in [lower(), lower_space(), alpha_space(), alnum_space(), any_char()] {
+            assert!(!cs.is_empty());
+        }
+        assert_eq!(charset("xyz"), charset("xyz"));
+    }
+}

@@ -1,107 +1,155 @@
 //! Property-based tests for the statistics substrate.
 
-use proptest::prelude::*;
+use webiq_rng::prop;
 use webiq_stats::{bayes::NaiveBayes, entropy, outlier, pmi, types};
 
-proptest! {
-    /// Entropy is within [0, 1] for any counts.
-    #[test]
-    fn entropy_bounded(pos in 0usize..100, extra in 0usize..100) {
+/// Entropy is within [0, 1] for any counts.
+#[test]
+fn entropy_bounded() {
+    prop::cases(prop::CASES, |rng| {
+        let pos = rng.gen_range(0usize..100);
+        let extra = rng.gen_range(0usize..100);
         let total = pos + extra;
         let e = entropy::binary_entropy(pos, total);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&e));
-    }
+        assert!((0.0..=1.0 + 1e-12).contains(&e));
+    });
+}
 
-    /// Information gain is non-negative and at most the parent entropy.
-    #[test]
-    fn gain_bounded(
-        examples in proptest::collection::vec((0.0f64..1.0, any::<bool>()), 1..40),
-        threshold in 0.0f64..1.0,
-    ) {
+fn score_examples(rng: &mut webiq_rng::StdRng, max_len: usize) -> Vec<(f64, bool)> {
+    let n = rng.gen_range(1..=max_len);
+    (0..n).map(|_| (rng.gen_range(0.0f64..1.0), rng.gen_bool(0.5))).collect()
+}
+
+/// Information gain is non-negative and at most the parent entropy.
+#[test]
+fn gain_bounded() {
+    prop::cases(prop::CASES, |rng| {
+        let examples = score_examples(rng, 39);
+        let threshold = rng.gen_range(0.0f64..1.0);
         let pos = examples.iter().filter(|(_, p)| *p).count();
         let parent = entropy::binary_entropy(pos, examples.len());
         let g = entropy::information_gain(&examples, threshold);
-        prop_assert!(g >= -1e-12, "gain {g}");
-        prop_assert!(g <= parent + 1e-12, "gain {g} parent {parent}");
-    }
+        assert!(g >= -1e-12, "gain {g}");
+        assert!(g <= parent + 1e-12, "gain {g} parent {parent}");
+    });
+}
 
-    /// best_threshold always lies within the score range.
-    #[test]
-    fn threshold_in_range(
-        examples in proptest::collection::vec((0.0f64..1.0, any::<bool>()), 1..40),
-    ) {
+/// best_threshold always lies within the score range.
+#[test]
+fn threshold_in_range() {
+    prop::cases(prop::CASES, |rng| {
+        let examples = score_examples(rng, 39);
         let t = entropy::best_threshold(&examples);
         let lo = examples.iter().map(|(s, _)| *s).fold(f64::INFINITY, f64::min);
         let hi = examples.iter().map(|(s, _)| *s).fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(t >= lo - 1e-12 && t <= hi + 1e-12, "t = {t} not in [{lo}, {hi}]");
-    }
+        assert!(t >= lo - 1e-12 && t <= hi + 1e-12, "t = {t} not in [{lo}, {hi}]");
+    });
+}
 
-    /// A perfectly separable training set is classified perfectly by NB.
-    #[test]
-    fn nb_learns_separable_data(npos in 2usize..20, nneg in 2usize..20) {
+/// A perfectly separable training set is classified perfectly by NB.
+#[test]
+fn nb_learns_separable_data() {
+    prop::cases(prop::CASES, |rng| {
+        let npos = rng.gen_range(2usize..20);
+        let nneg = rng.gen_range(2usize..20);
         let mut ex = Vec::new();
-        for _ in 0..npos { ex.push((vec![true, true, true], true)); }
-        for _ in 0..nneg { ex.push((vec![false, false, false], false)); }
+        for _ in 0..npos {
+            ex.push((vec![true, true, true], true));
+        }
+        for _ in 0..nneg {
+            ex.push((vec![false, false, false], false));
+        }
         let nb = NaiveBayes::train(&ex).expect("train");
-        prop_assert!(nb.classify(&[true, true, true]));
-        prop_assert!(!nb.classify(&[false, false, false]));
-    }
+        assert!(nb.classify(&[true, true, true]));
+        assert!(!nb.classify(&[false, false, false]));
+    });
+}
 
-    /// NB posterior is a valid probability for arbitrary boolean data.
-    #[test]
-    fn nb_posterior_valid(
-        ex in proptest::collection::vec(
-            (proptest::collection::vec(any::<bool>(), 3), any::<bool>()), 1..30),
-        probe in proptest::collection::vec(any::<bool>(), 3),
-    ) {
+/// NB posterior is a valid probability for arbitrary boolean data.
+#[test]
+fn nb_posterior_valid() {
+    prop::cases(prop::CASES, |rng| {
+        let n = rng.gen_range(1usize..30);
+        let ex: Vec<(Vec<bool>, bool)> = (0..n)
+            .map(|_| {
+                ((0..3).map(|_| rng.gen_bool(0.5)).collect(), rng.gen_bool(0.5))
+            })
+            .collect();
+        let probe: Vec<bool> = (0..3).map(|_| rng.gen_bool(0.5)).collect();
         let nb = NaiveBayes::train(&ex).expect("train");
         let p = nb.posterior_pos(&probe);
-        prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
-    }
+        assert!((0.0..=1.0).contains(&p), "p = {p}");
+    });
+}
 
-    /// PMI is non-negative and zero iff numerator or a marginal is zero.
-    #[test]
-    fn pmi_nonnegative(j in 0u64..1000, a in 0u64..1000, b in 0u64..1000) {
+/// PMI is non-negative and zero iff numerator or a marginal is zero.
+#[test]
+fn pmi_nonnegative() {
+    prop::cases(prop::CASES, |rng| {
+        let j = rng.gen_range(0u64..1000);
+        let a = rng.gen_range(0u64..1000);
+        let b = rng.gen_range(0u64..1000);
         let v = pmi::pmi(j, a, b);
-        prop_assert!(v >= 0.0);
+        assert!(v >= 0.0);
         if j > 0 && a > 0 && b > 0 {
-            prop_assert!(v > 0.0);
+            assert!(v > 0.0);
         } else {
-            prop_assert_eq!(v, 0.0);
+            assert_eq!(v, 0.0);
         }
-    }
+    });
+}
 
-    /// Outlier removal partitions the input: kept + removed == input (as
-    /// multisets, order preserved within each part).
-    #[test]
-    fn outlier_partition(values in proptest::collection::vec("[a-zA-Z0-9 $.,]{0,20}", 0..30)) {
+/// Outlier removal partitions the input: kept + removed == input (as
+/// multisets, order preserved within each part).
+#[test]
+fn outlier_partition() {
+    prop::cases(prop::CASES, |rng| {
+        let values = prop::string_vec(
+            rng,
+            prop::charset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 $.,"),
+            0,
+            29,
+            0,
+            20,
+        );
         let r = outlier::remove_outliers(&values);
-        prop_assert_eq!(r.kept.len() + r.removed.len(), values.len());
+        assert_eq!(r.kept.len() + r.removed.len(), values.len());
         let mut all: Vec<String> = r.kept.clone();
         all.extend(r.removed.clone());
         all.sort();
         let mut orig = values.clone();
         orig.sort();
-        prop_assert_eq!(all, orig);
-    }
+        assert_eq!(all, orig);
+    });
+}
 
-    /// Identical values are never outliers.
-    #[test]
-    fn identical_values_all_kept(v in "[a-zA-Z]{1,10}", n in 1usize..20) {
+/// Identical values are never outliers.
+#[test]
+fn identical_values_all_kept() {
+    prop::cases(prop::CASES, |rng| {
+        let v = rng.gen_string(
+            prop::charset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"),
+            1,
+            10,
+        );
+        let n = rng.gen_range(1usize..20);
         let values = vec![v; n];
         let r = outlier::remove_outliers(&values);
-        prop_assert!(r.removed.is_empty());
-    }
+        assert!(r.removed.is_empty());
+    });
+}
 
-    /// Type inference is total and consistent with the numeric parser:
-    /// whenever `numeric_value` parses, the inferred type is numeric.
-    #[test]
-    fn type_inference_consistent(s in ".{0,20}") {
+/// Type inference is total and consistent with the numeric parser:
+/// whenever `numeric_value` parses, the inferred type is numeric.
+#[test]
+fn type_inference_consistent() {
+    prop::cases(prop::CASES, |rng| {
+        let s = rng.gen_string(prop::any_char(), 0, 20);
         let t = types::infer_type(&s);
         if types::numeric_value(&s).is_some() {
             // Dates like 1/5 don't parse as numeric; numeric parses must be
             // numeric or date (e.g. "2006" is an integer even if year-like).
-            prop_assert!(t.is_numeric() || t == types::ValueType::Date, "{s} → {t:?}");
+            assert!(t.is_numeric() || t == types::ValueType::Date, "{s} → {t:?}");
         }
-    }
+    });
 }

@@ -1,0 +1,303 @@
+//! Concurrency-clean caches for the search engine.
+//!
+//! The engine is hammered from many acquisition workers at once, so its
+//! memoisation must not serialise unrelated queries behind one lock:
+//!
+//! - [`ShardedMap`] — an N-way sharded hash map for the unbounded
+//!   hit-count cache; queries hash to shards, so threads working on
+//!   different queries almost never contend.
+//! - [`LruCache`] — a bounded least-recently-used map (intrusive
+//!   doubly-linked list over a slab) for the snippet/search and
+//!   parsed-query caches, whose values are too large to keep unbounded.
+//! - [`ShardedLru`] — N [`LruCache`] shards behind their own locks; the
+//!   per-shard capacity is `total / N`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Mutex;
+
+/// Number of shards used by the engine's caches. A power of two well above
+/// typical worker counts keeps the collision probability per lookup low.
+pub const SHARDS: usize = 16;
+
+/// FNV-1a, used only for shard selection (stable across platforms).
+pub fn shard_hash(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An N-way sharded `HashMap<String, V>` for read-mostly memoisation.
+pub struct ShardedMap<V> {
+    shards: Vec<Mutex<HashMap<String, V>>>,
+}
+
+impl<V: Clone> ShardedMap<V> {
+    /// An empty map with [`SHARDS`] shards.
+    pub fn new() -> Self {
+        ShardedMap { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, V>> {
+        &self.shards[(shard_hash(key) as usize) % SHARDS]
+    }
+
+    /// Cloned value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<V> {
+        self.shard(key).lock().expect("cache shard lock").get(key).cloned()
+    }
+
+    /// Insert (last writer wins; racing writers insert equal values here,
+    /// since every cached computation is a pure function of the key).
+    pub fn insert(&self, key: String, value: V) {
+        self.shard(&key).lock().expect("cache shard lock").insert(key, value);
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard lock").len()).sum()
+    }
+
+    /// True when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<V: Clone> Default for ShardedMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    val: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded LRU map. O(1) get/insert; least-recently-used entry evicted
+/// at capacity.
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, usize>,
+    entries: Vec<Entry<K, V>>,
+    head: usize,
+    tail: usize,
+    cap: usize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// An empty cache holding at most `cap` entries (`cap ≥ 1`).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        LruCache {
+            map: HashMap::with_capacity(cap),
+            entries: Vec::with_capacity(cap),
+            head: NIL,
+            tail: NIL,
+            cap,
+        }
+    }
+
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.entries[i].prev, self.entries[i].next);
+        if prev != NIL {
+            self.entries[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entries[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.entries[i].prev = NIL;
+        self.entries[i].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Cloned value for `key`, marking it most recently used.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let &i = self.map.get(key)?;
+        if i != self.head {
+            self.detach(i);
+            self.push_front(i);
+        }
+        Some(self.entries[i].val.clone())
+    }
+
+    /// Insert or refresh `key`, evicting the LRU entry at capacity.
+    pub fn insert(&mut self, key: K, val: V) {
+        if let Some(&i) = self.map.get(&key) {
+            self.entries[i].val = val;
+            if i != self.head {
+                self.detach(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        if self.entries.len() < self.cap {
+            let i = self.entries.len();
+            self.entries.push(Entry { key: key.clone(), val, prev: NIL, next: NIL });
+            self.map.insert(key, i);
+            self.push_front(i);
+        } else {
+            // reuse the LRU slot
+            let i = self.tail;
+            self.detach(i);
+            self.map.remove(&self.entries[i].key);
+            self.entries[i].key = key.clone();
+            self.entries[i].val = val;
+            self.map.insert(key, i);
+            self.push_front(i);
+        }
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// N-way sharded [`LruCache`] keyed by strings plus an extra hashed key
+/// component (e.g. `k` for search queries).
+pub struct ShardedLru<K: Eq + Hash + Clone, V> {
+    shards: Vec<Mutex<LruCache<K, V>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
+    /// A cache of `total_cap` entries split over [`SHARDS`] shards.
+    pub fn new(total_cap: usize) -> Self {
+        let per = (total_cap / SHARDS).max(1);
+        ShardedLru { shards: (0..SHARDS).map(|_| Mutex::new(LruCache::new(per))).collect() }
+    }
+
+    /// Cloned value under the shard selected by `shard_key`.
+    pub fn get(&self, shard_key: &str, key: &K) -> Option<V> {
+        self.shards[(shard_hash(shard_key) as usize) % SHARDS]
+            .lock()
+            .expect("lru shard lock")
+            .get(key)
+    }
+
+    /// Insert under the shard selected by `shard_key`.
+    pub fn insert(&self, shard_key: &str, key: K, val: V) {
+        self.shards[(shard_hash(shard_key) as usize) % SHARDS]
+            .lock()
+            .expect("lru shard lock")
+            .insert(key, val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_map_roundtrip() {
+        let m: ShardedMap<u64> = ShardedMap::new();
+        assert!(m.is_empty());
+        for i in 0..100u64 {
+            m.insert(format!("query {i}"), i);
+        }
+        assert_eq!(m.len(), 100);
+        for i in 0..100u64 {
+            assert_eq!(m.get(&format!("query {i}")), Some(i));
+        }
+        assert_eq!(m.get("missing"), None);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c: LruCache<String, u32> = LruCache::new(2);
+        c.insert("a".into(), 1);
+        c.insert("b".into(), 2);
+        assert_eq!(c.get(&"a".into()), Some(1)); // refresh a
+        c.insert("c".into(), 3); // evicts b
+        assert_eq!(c.get(&"b".into()), None);
+        assert_eq!(c.get(&"a".into()), Some(1));
+        assert_eq!(c.get(&"c".into()), Some(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_update_refreshes() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // refresh + update
+        c.insert(3, 30); // evicts 2
+        assert_eq!(c.get(&1), Some(11));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&3), Some(30));
+    }
+
+    #[test]
+    fn lru_single_slot() {
+        let mut c: LruCache<u8, u8> = LruCache::new(1);
+        for i in 0..10 {
+            c.insert(i, i);
+            assert_eq!(c.get(&i), Some(i));
+            assert_eq!(c.len(), 1);
+        }
+    }
+
+    #[test]
+    fn lru_stress_against_model() {
+        use webiq_rng::StdRng;
+        let mut c: LruCache<u8, u32> = LruCache::new(8);
+        // model: vector of (key, val) in recency order (front = most recent)
+        let mut model: Vec<(u8, u32)> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        for step in 0..5000u32 {
+            let k = (rng.next_u64() % 24) as u8;
+            if rng.gen_bool(0.5) {
+                // insert
+                model.retain(|(mk, _)| *mk != k);
+                model.insert(0, (k, step));
+                model.truncate(8);
+                c.insert(k, step);
+            } else {
+                let want = model.iter().position(|(mk, _)| *mk == k);
+                let got = c.get(&k);
+                match want {
+                    Some(p) => {
+                        let (mk, mv) = model.remove(p);
+                        model.insert(0, (mk, mv));
+                        assert_eq!(got, Some(mv), "step {step} key {k}");
+                    }
+                    None => assert_eq!(got, None, "step {step} key {k}"),
+                }
+            }
+            assert_eq!(c.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn sharded_lru_roundtrip() {
+        let c: ShardedLru<(String, usize), u32> = ShardedLru::new(64);
+        c.insert("q", ("q".into(), 10), 7);
+        assert_eq!(c.get("q", &("q".into(), 10)), Some(7));
+        assert_eq!(c.get("q", &("q".into(), 20)), None);
+    }
+}

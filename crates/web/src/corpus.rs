@@ -50,6 +50,11 @@ impl Corpus {
         self.docs.iter()
     }
 
+    /// All documents as a slice, in id order.
+    pub fn docs(&self) -> &[Document] {
+        &self.docs
+    }
+
     /// Append a document, returning its id.
     pub fn push(&mut self, text: impl Into<String>) -> u32 {
         let id = self.docs.len() as u32;

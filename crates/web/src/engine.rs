@@ -5,12 +5,27 @@
 //! for extraction queries and *hit counts* for validation queries. Query
 //! traffic is counted so the overhead analysis (Fig. 8) can report the
 //! number of search-engine round-trips per component.
+//!
+//! The engine is fully `Sync` and designed to be shared across the
+//! parallel acquisition workers (see DESIGN.md, "Parallel acquisition
+//! architecture"):
+//!
+//! - the hit-count cache is sharded N ways so unrelated queries never
+//!   contend on one lock;
+//! - search results and parsed queries sit behind bounded LRU caches
+//!   storing `Arc`s, so repeated extraction queries are served without
+//!   re-matching or re-parsing;
+//! - in addition to the global (cache-miss-based) [`EngineStats`], a
+//!   thread-local *issued-query* counter lets a worker measure exactly
+//!   the queries its own work item issued, independent of cache state or
+//!   scheduling — the basis of the deterministic per-component cost
+//!   accounting in `webiq-core`.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
-use std::collections::HashMap;
-
+use crate::cache::{ShardedLru, ShardedMap};
 use crate::corpus::Corpus;
 use crate::index::InvertedIndex;
 use crate::query::{self, Query};
@@ -25,34 +40,93 @@ pub struct Snippet {
 }
 
 /// Counters for engine traffic, used by the overhead analysis.
+///
+/// Both counters count *cache misses* — actual round-trips to the engine
+/// core. Repeated queries (phrase and candidate marginals recur constantly
+/// during classifier training) would be served from a client-side cache in
+/// any real deployment and cost no search-engine round-trip. For
+/// per-call-site accounting that is independent of cache state, use
+/// [`thread_issued_queries`].
 #[derive(Debug, Default)]
 pub struct EngineStats {
     search_queries: AtomicU64,
     hit_queries: AtomicU64,
+    search_issued: AtomicU64,
+    hit_issued: AtomicU64,
 }
 
 impl EngineStats {
-    /// Number of `search` calls served.
+    /// Number of `search` calls that missed the cache.
     pub fn search_queries(&self) -> u64 {
         self.search_queries.load(Ordering::Relaxed)
     }
 
-    /// Number of `num_hits` calls served.
+    /// Number of `num_hits` calls that missed the cache.
     pub fn hit_queries(&self) -> u64 {
         self.hit_queries.load(Ordering::Relaxed)
     }
 
-    /// Total queries of both kinds.
+    /// Total cache-missing queries of both kinds.
     pub fn total(&self) -> u64 {
         self.search_queries() + self.hit_queries()
     }
 
-    /// Reset both counters to zero.
+    /// Number of `search` calls issued (hits and misses alike).
+    pub fn search_issued(&self) -> u64 {
+        self.search_issued.load(Ordering::Relaxed)
+    }
+
+    /// Number of `num_hits` calls issued (hits and misses alike).
+    pub fn hit_issued(&self) -> u64 {
+        self.hit_issued.load(Ordering::Relaxed)
+    }
+
+    /// Total issued queries of both kinds.
+    pub fn total_issued(&self) -> u64 {
+        self.search_issued() + self.hit_issued()
+    }
+
+    /// Fraction of issued queries served from cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let issued = self.total_issued();
+        if issued == 0 {
+            return 0.0;
+        }
+        1.0 - self.total() as f64 / issued as f64
+    }
+
+    /// Reset all counters to zero.
     pub fn reset(&self) {
         self.search_queries.store(0, Ordering::Relaxed);
         self.hit_queries.store(0, Ordering::Relaxed);
+        self.search_issued.store(0, Ordering::Relaxed);
+        self.hit_issued.store(0, Ordering::Relaxed);
     }
 }
+
+thread_local! {
+    static ISSUED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Queries issued *by the calling thread* across all engines, counting
+/// cache hits and misses alike.
+///
+/// Because a parallel acquisition work item runs entirely on one worker
+/// thread, the delta of this counter around a component call is a
+/// deterministic measure of that component's query traffic — identical
+/// whatever the thread count, cache state, or scheduling.
+pub fn thread_issued_queries() -> u64 {
+    ISSUED.with(|c| c.get())
+}
+
+fn bump_thread_issued() {
+    ISSUED.with(|c| c.set(c.get() + 1));
+}
+
+/// Bounded capacity of the search (snippet) result cache.
+const SEARCH_CACHE_CAP: usize = 4096;
+/// Bounded capacity of the parsed-query memo.
+const PARSE_CACHE_CAP: usize = 8192;
 
 /// The simulated search engine.
 ///
@@ -71,14 +145,45 @@ pub struct SearchEngine {
     corpus: Corpus,
     index: InvertedIndex,
     stats: EngineStats,
-    hit_cache: Mutex<HashMap<String, u64>>,
+    hit_cache: ShardedMap<u64>,
+    search_cache: ShardedLru<(String, usize), Arc<Vec<Snippet>>>,
+    parse_cache: ShardedLru<String, Arc<Query>>,
+    /// Simulated network round-trip, in microseconds, charged to each
+    /// cache *miss* (a cache hit is a local lookup). 0 = disabled.
+    latency_us: AtomicU64,
 }
 
 impl SearchEngine {
     /// Index `corpus` and stand up the engine.
     pub fn new(corpus: Corpus) -> Self {
         let index = InvertedIndex::build(&corpus);
-        SearchEngine { corpus, index, stats: EngineStats::default(), hit_cache: Mutex::new(HashMap::new()) }
+        SearchEngine {
+            corpus,
+            index,
+            stats: EngineStats::default(),
+            hit_cache: ShardedMap::new(),
+            search_cache: ShardedLru::new(SEARCH_CACHE_CAP),
+            parse_cache: ShardedLru::new(PARSE_CACHE_CAP),
+            latency_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Charge every cache-missing query a simulated network round-trip of
+    /// `us` microseconds (the paper cites 0.1-0.5 s per Google query).
+    /// Makes the engine I/O-bound like its real counterpart, so benchmarks
+    /// can observe round-trip overlap from the parallel executor; results
+    /// and counters are unaffected. 0 disables.
+    pub fn set_simulated_latency_us(&self, us: u64) {
+        self.latency_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Sleep for the configured simulated round-trip, if any. Called on
+    /// the issuing thread outside any cache lock.
+    fn simulate_round_trip(&self) {
+        let us = self.latency_us.load(Ordering::Relaxed);
+        if us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
     }
 
     /// Traffic counters.
@@ -89,6 +194,17 @@ impl SearchEngine {
     /// Number of indexed documents.
     pub fn doc_count(&self) -> usize {
         self.index.doc_count()
+    }
+
+    /// Parse `query`, memoised through a bounded LRU keyed by the raw
+    /// query string.
+    fn parse_cached(&self, query: &str) -> Arc<Query> {
+        if let Some(q) = self.parse_cache.get(query, &query.to_string()) {
+            return q;
+        }
+        let q = Arc::new(query::parse(query));
+        self.parse_cache.insert(query, query.to_string(), Arc::clone(&q));
+        q
     }
 
     /// Documents matching a parsed query, ascending; each with the position
@@ -132,35 +248,49 @@ impl SearchEngine {
     }
 
     /// Number of pages matching `query` — the `NumHits` oracle of §2.2.
-    /// Results are memoised, and the traffic counter counts *cache misses*
-    /// only: repeated validation queries (phrase and candidate marginals
-    /// recur constantly during classifier training) would be served from a
-    /// client-side cache in any real deployment and cost no search-engine
-    /// round-trip.
+    /// Results are memoised in a sharded cache, and [`EngineStats`] counts
+    /// *cache misses* only. Racing threads that miss on the same fresh
+    /// query may each count a miss; the cached value itself is a pure
+    /// function of the query, so results are unaffected.
     pub fn num_hits(&self, query: &str) -> u64 {
-        if let Some(&hits) = self.hit_cache.lock().get(query) {
+        bump_thread_issued();
+        self.stats.hit_issued.fetch_add(1, Ordering::Relaxed);
+        if let Some(hits) = self.hit_cache.get(query) {
             return hits;
         }
         self.stats.hit_queries.fetch_add(1, Ordering::Relaxed);
-        let q = query::parse(query);
+        self.simulate_round_trip();
+        let q = self.parse_cached(query);
         let hits = self.matching_docs(&q).len() as u64;
-        self.hit_cache.lock().insert(query.to_string(), hits);
+        self.hit_cache.insert(query.to_string(), hits);
         hits
     }
 
     /// Top-`k` snippets for `query`, in ascending doc-id order (the
-    /// deterministic stand-in for relevance order).
+    /// deterministic stand-in for relevance order). Results are memoised
+    /// per `(query, k)` in a bounded LRU; [`EngineStats`] counts cache
+    /// misses only.
     pub fn search(&self, query: &str, k: usize) -> Vec<Snippet> {
+        bump_thread_issued();
+        self.stats.search_issued.fetch_add(1, Ordering::Relaxed);
+        let key = (query.to_string(), k);
+        if let Some(hit) = self.search_cache.get(query, &key) {
+            return hit.as_ref().clone();
+        }
         self.stats.search_queries.fetch_add(1, Ordering::Relaxed);
-        let q = query::parse(query);
-        self.matching_docs(&q)
+        self.simulate_round_trip();
+        let q = self.parse_cached(query);
+        let snippets: Vec<Snippet> = self
+            .matching_docs(&q)
             .into_iter()
             .take(k)
             .map(|(doc_id, pos)| {
                 let doc = self.corpus.get(doc_id).expect("doc ids come from the index");
                 Snippet { doc_id, text: make_snippet(&doc.text, pos) }
             })
-            .collect()
+            .collect();
+        self.search_cache.insert(query, key, Arc::new(snippets.clone()));
+        snippets
     }
 }
 
@@ -304,6 +434,39 @@ mod tests {
     }
 
     #[test]
+    fn stats_count_issued_and_hit_rate() {
+        let e = engine();
+        let _ = e.num_hits("boston");
+        let _ = e.num_hits("boston"); // cache hit
+        let _ = e.search("boston", 3);
+        let _ = e.search("boston", 3); // cache hit
+        assert_eq!(e.stats().total(), 2);
+        assert_eq!(e.stats().total_issued(), 4);
+        assert!((e.stats().cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thread_issued_counter_advances() {
+        let e = engine();
+        let before = thread_issued_queries();
+        let _ = e.num_hits("boston");
+        let _ = e.num_hits("boston"); // cached, still issued
+        let _ = e.search("delta", 4);
+        assert_eq!(thread_issued_queries() - before, 3);
+    }
+
+    #[test]
+    fn search_cache_returns_identical_results() {
+        let e = engine();
+        let a = e.search("boston", 10);
+        let b = e.search("boston", 10);
+        assert_eq!(a, b);
+        assert_eq!(e.stats().search_queries(), 1);
+        // a different k is a different cache entry, not a stale slice
+        assert_eq!(e.search("boston", 2).len(), 2);
+    }
+
+    #[test]
     fn hit_cache_returns_consistent_results() {
         let e = engine();
         let a = e.num_hits(r#""cities such as""#);
@@ -324,5 +487,11 @@ mod tests {
         let e = SearchEngine::new(Corpus::default());
         assert_eq!(e.num_hits("anything"), 0);
         assert!(e.search("anything", 5).is_empty());
+    }
+
+    #[test]
+    fn engine_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<SearchEngine>();
     }
 }

@@ -17,10 +17,8 @@
 //!
 //! Generation is fully deterministic given the seed.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use webiq_nlp::inflect;
+use webiq_rng::{SliceRandom, StdRng};
 
 use crate::corpus::Corpus;
 
@@ -162,7 +160,7 @@ fn concept_sentences(
     let n_sent = rng.gen_range(2..=4);
     for _ in 0..n_sent {
         let template = *TEMPLATES.choose(rng).expect("nonempty");
-        let list_len = rng.gen_range(2..=4);
+        let list_len = rng.gen_range(2..=4usize);
         let mut items: Vec<&str> = pick_distinct(rng, &c.instances, list_len);
         if items.is_empty() {
             continue;

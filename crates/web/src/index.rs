@@ -25,23 +25,76 @@ impl Postings {
 }
 
 /// The inverted index over a corpus.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InvertedIndex {
     terms: HashMap<String, Postings>,
     doc_count: usize,
 }
 
+/// Corpora below this size are indexed sequentially: chunking overhead
+/// would dominate.
+const PARALLEL_BUILD_MIN_DOCS: usize = 256;
+
+/// Worker count for index building: `WEBIQ_THREADS` if set and valid,
+/// otherwise the machine's available parallelism.
+fn build_threads() -> usize {
+    std::env::var("WEBIQ_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Tokenize a contiguous run of documents into a partial term map.
+/// Documents arrive in id order, so per-term doc lists come out ascending.
+fn index_chunk(docs: &[crate::corpus::Document]) -> HashMap<String, Postings> {
+    let mut terms: HashMap<String, Postings> = HashMap::new();
+    for doc in docs {
+        for (pos, tok) in webiq_nlp_like_tokens(&doc.text).into_iter().enumerate() {
+            let postings = terms.entry(tok).or_default();
+            match postings.docs.last_mut() {
+                Some((d, positions)) if *d == doc.id => positions.push(pos as u32),
+                _ => postings.docs.push((doc.id, vec![pos as u32])),
+            }
+        }
+    }
+    terms
+}
+
 impl InvertedIndex {
     /// Build the index by tokenizing every document.
+    ///
+    /// Large corpora are split into contiguous document-range chunks
+    /// indexed on a scoped worker pool; the partial term maps are merged
+    /// in chunk order, so postings stay ascending and the result is
+    /// byte-identical to a sequential build regardless of thread count.
     pub fn build(corpus: &Corpus) -> Self {
-        let mut terms: HashMap<String, Postings> = HashMap::new();
-        for doc in corpus.iter() {
-            for (pos, tok) in webiq_nlp_like_tokens(&doc.text).into_iter().enumerate() {
-                let postings = terms.entry(tok).or_default();
-                match postings.docs.last_mut() {
-                    Some((d, positions)) if *d == doc.id => positions.push(pos as u32),
-                    _ => postings.docs.push((doc.id, vec![pos as u32])),
-                }
+        Self::build_with_threads(corpus, build_threads())
+    }
+
+    /// [`InvertedIndex::build`] with an explicit worker count.
+    pub fn build_with_threads(corpus: &Corpus, threads: usize) -> Self {
+        let docs = corpus.docs();
+        let threads = threads.max(1);
+        if threads == 1 || docs.len() < PARALLEL_BUILD_MIN_DOCS {
+            return InvertedIndex { terms: index_chunk(docs), doc_count: corpus.len() };
+        }
+        let chunk_size = docs.len().div_ceil(threads);
+        let chunks: Vec<&[crate::corpus::Document]> = docs.chunks(chunk_size).collect();
+        let mut partials: Vec<HashMap<String, Postings>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                chunks.iter().map(|chunk| scope.spawn(move || index_chunk(chunk))).collect();
+            for h in handles {
+                partials.push(h.join().expect("index worker panicked"));
+            }
+        });
+        // Merge in chunk order: chunk i covers strictly smaller doc ids
+        // than chunk i+1, so appending keeps every posting list ascending.
+        let mut terms: HashMap<String, Postings> = partials.remove(0);
+        for partial in partials {
+            for (term, mut postings) in partial {
+                terms.entry(term).or_default().docs.append(&mut postings.docs);
             }
         }
         InvertedIndex { terms, doc_count: corpus.len() }
@@ -178,5 +231,34 @@ mod tests {
         let c = Corpus::from_texts(["boston boston boston"]);
         let idx = InvertedIndex::build(&c);
         assert_eq!(idx.postings("boston").expect("p").docs[0].1, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        // A corpus large enough to clear the parallel threshold, with
+        // repeated vocabulary so terms span chunk boundaries.
+        let texts: Vec<String> = (0..600)
+            .map(|i| {
+                format!(
+                    "city{} flights depart from hub{} such as terminal{} daily",
+                    i % 37,
+                    i % 11,
+                    i % 5
+                )
+            })
+            .collect();
+        let c = Corpus::from_texts(texts);
+        let seq = InvertedIndex::build_with_threads(&c, 1);
+        for threads in [2, 3, 4, 8] {
+            let par = InvertedIndex::build_with_threads(&c, threads);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn build_with_more_threads_than_docs() {
+        let c = Corpus::from_texts(["one doc"]);
+        let idx = InvertedIndex::build_with_threads(&c, 64);
+        assert_eq!(idx.term_docs("doc"), vec![0]);
     }
 }

@@ -16,6 +16,7 @@
 //! paper relied on: Hearst-pattern sentences, proximity co-occurrences,
 //! Zipf popularity skew, false completions, and noise.
 
+pub mod cache;
 pub mod corpus;
 pub mod engine;
 pub mod gen;
@@ -23,6 +24,6 @@ pub mod index;
 pub mod query;
 
 pub use corpus::{Corpus, Document};
-pub use engine::{EngineStats, SearchEngine, Snippet};
+pub use engine::{thread_issued_queries, EngineStats, SearchEngine, Snippet};
 pub use gen::{generate, ConceptSpec, GenConfig};
 pub use query::Query;

@@ -1,72 +1,84 @@
 //! Property-based tests for the Surface-Web simulator.
 
-use proptest::prelude::*;
+use webiq_rng::prop;
 use webiq_web::{gen, query, Corpus, SearchEngine};
 
-proptest! {
-    /// Query parsing is total.
-    #[test]
-    fn parse_total(s in ".{0,120}") {
+/// Query parsing is total.
+#[test]
+fn parse_total() {
+    prop::cases(prop::CASES, |rng| {
+        let s = rng.gen_string(prop::any_char(), 0, 120);
         let _ = query::parse(&s);
-    }
+    });
+}
 
-    /// num_hits never exceeds the corpus size.
-    #[test]
-    fn hits_bounded(
-        texts in proptest::collection::vec("[a-z ]{0,60}", 0..12),
-        q in "[a-z +\"]{0,40}",
-    ) {
+/// num_hits never exceeds the corpus size.
+#[test]
+fn hits_bounded() {
+    prop::cases(prop::CASES, |rng| {
+        let texts = prop::string_vec(rng, prop::lower_space(), 0, 11, 0, 60);
+        let q = rng.gen_string(prop::charset("abcdefghijklmnopqrstuvwxyz +\""), 0, 40);
         let engine = SearchEngine::new(Corpus::from_texts(texts.clone()));
-        prop_assert!(engine.num_hits(&q) <= texts.len() as u64);
-    }
+        assert!(engine.num_hits(&q) <= texts.len() as u64);
+    });
+}
 
-    /// Adding a keyword never increases the hit count (conjunctive
-    /// semantics are monotone).
-    #[test]
-    fn conjunction_monotone(
-        texts in proptest::collection::vec("[a-c ]{0,40}", 0..12),
-        base in "[a-c]{1,3}",
-        extra in "[a-c]{1,3}",
-    ) {
+/// Adding a keyword never increases the hit count (conjunctive semantics
+/// are monotone).
+#[test]
+fn conjunction_monotone() {
+    prop::cases(prop::CASES, |rng| {
+        let texts = prop::string_vec(rng, prop::charset("abc "), 0, 11, 0, 40);
+        let base = rng.gen_string(prop::charset("abc"), 1, 3);
+        let extra = rng.gen_string(prop::charset("abc"), 1, 3);
         let engine = SearchEngine::new(Corpus::from_texts(texts));
         let h1 = engine.num_hits(&base);
         let h2 = engine.num_hits(&format!("{base} +{extra}"));
-        prop_assert!(h2 <= h1, "h1={h1} h2={h2}");
-    }
+        assert!(h2 <= h1, "h1={h1} h2={h2}");
+    });
+}
 
-    /// Every snippet returned for a quoted phrase contains that phrase.
-    #[test]
-    fn snippets_contain_phrase(
-        words in proptest::collection::vec("[a-z]{2,6}", 2..4),
-        texts in proptest::collection::vec("[a-z ]{0,40}", 0..8),
-    ) {
+/// Every snippet returned for a quoted phrase contains that phrase.
+#[test]
+fn snippets_contain_phrase() {
+    prop::cases(prop::CASES, |rng| {
+        let words = prop::string_vec(rng, prop::lower(), 2, 3, 2, 6);
+        let texts = prop::string_vec(rng, prop::lower_space(), 0, 7, 0, 40);
         let phrase = words.join(" ");
         let mut all = texts;
         all.push(format!("prefix words then {phrase} and a suffix"));
         let engine = SearchEngine::new(Corpus::from_texts(all));
         let q = format!("\"{phrase}\"");
         let snippets = engine.search(&q, 10);
-        prop_assert!(!snippets.is_empty());
+        assert!(!snippets.is_empty());
         for s in snippets {
-            prop_assert!(
+            assert!(
                 s.text.to_lowercase().contains(&phrase),
-                "snippet {:?} lacks {:?}", s.text, phrase
+                "snippet {:?} lacks {:?}",
+                s.text,
+                phrase
             );
         }
-    }
+    });
+}
 
-    /// A document matches its own exact text as a phrase query.
-    #[test]
-    fn self_phrase_match(words in proptest::collection::vec("[a-z]{2,6}", 1..6)) {
+/// A document matches its own exact text as a phrase query.
+#[test]
+fn self_phrase_match() {
+    prop::cases(prop::CASES, |rng| {
+        let words = prop::string_vec(rng, prop::lower(), 1, 5, 2, 6);
         let text = words.join(" ");
         let engine = SearchEngine::new(Corpus::from_texts([text.clone()]));
-        let q = format!("\"{}\"", text);
-        prop_assert!(engine.num_hits(&q) >= 1);
-    }
+        let q = format!("\"{text}\"");
+        assert!(engine.num_hits(&q) >= 1);
+    });
+}
 
-    /// Corpus generation is deterministic in the seed.
-    #[test]
-    fn generation_deterministic(seed in any::<u64>()) {
+/// Corpus generation is deterministic in the seed.
+#[test]
+fn generation_deterministic() {
+    prop::cases(prop::CASES, |rng| {
+        let seed = rng.next_u64();
         let concept = gen::ConceptSpec {
             key: "k".into(),
             lexicalizations: vec!["city".into()],
@@ -79,9 +91,9 @@ proptest! {
         let cfg = gen::GenConfig { seed, docs_per_concept: 5, noise_docs: 5, ..gen::GenConfig::default() };
         let a = gen::generate(std::slice::from_ref(&concept), &cfg);
         let b = gen::generate(std::slice::from_ref(&concept), &cfg);
-        prop_assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b.iter()) {
-            prop_assert_eq!(&x.text, &y.text);
+            assert_eq!(&x.text, &y.text);
         }
-    }
+    });
 }
