@@ -4,26 +4,45 @@
 //! *cost* side of each choice; the `experiments ablations` binary reports
 //! the accuracy side.
 
-use webiq_bench::timing::{black_box, Criterion};
-use webiq_bench::{criterion_group, criterion_main};
 use webiq::core::{surface, Components, DomainInfo, WebIQConfig};
 use webiq::pipeline::DomainPipeline;
+use webiq_bench::timing::{black_box, Criterion};
+use webiq_bench::{criterion_group, criterion_main};
 
 fn bench_surface_ablations(c: &mut Criterion) {
     let p = DomainPipeline::build("auto", 0x1ce0).expect("domain");
     let info = DomainInfo {
         object: p.def.object.to_string(),
-        domain_terms: p.def.domain_terms.iter().map(|s| s.to_string()).collect(), sibling_terms: Vec::new() };
+        domain_terms: p
+            .def
+            .domain_terms
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect(),
+        sibling_terms: Vec::new(),
+    };
     let variants: [(&str, WebIQConfig); 3] = [
         ("default", WebIQConfig::default()),
-        ("no_outlier_phase", WebIQConfig { outlier_phase: false, ..WebIQConfig::default() }),
-        ("raw_hits", WebIQConfig { use_pmi: false, ..WebIQConfig::default() }),
+        (
+            "no_outlier_phase",
+            WebIQConfig {
+                outlier_phase: false,
+                ..WebIQConfig::default()
+            },
+        ),
+        (
+            "raw_hits",
+            WebIQConfig {
+                use_pmi: false,
+                ..WebIQConfig::default()
+            },
+        ),
     ];
     let mut group = c.benchmark_group("ablation/surface_discover");
     group.sample_size(10);
     for (name, cfg) in &variants {
         group.bench_function(*name, |b| {
-            b.iter(|| black_box(surface::discover(&p.engine, "Make", &info, cfg)))
+            b.iter(|| black_box(surface::discover(&p.engine, "Make", &info, cfg)));
         });
     }
     group.finish();
@@ -33,13 +52,19 @@ fn bench_prefilter_ablation(c: &mut Criterion) {
     let p = DomainPipeline::build("auto", 0x1ce0).expect("domain");
     let variants: [(&str, WebIQConfig); 2] = [
         ("prefilter_on", WebIQConfig::default()),
-        ("prefilter_off", WebIQConfig { borrow_prefilter: false, ..WebIQConfig::default() }),
+        (
+            "prefilter_off",
+            WebIQConfig {
+                borrow_prefilter: false,
+                ..WebIQConfig::default()
+            },
+        ),
     ];
     let mut group = c.benchmark_group("ablation/borrowing");
     group.sample_size(10);
     for (name, cfg) in &variants {
         group.bench_function(*name, |b| {
-            b.iter(|| black_box(p.acquire(Components::ALL, cfg)))
+            b.iter(|| black_box(p.acquire(Components::ALL, cfg).expect("acquisition")));
         });
     }
     group.finish();

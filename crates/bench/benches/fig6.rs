@@ -3,37 +3,46 @@
 //! book domain (acquisition is pre-computed once; the bars differ in what
 //! the matcher consumes).
 
-use webiq_bench::timing::{black_box, Criterion};
-use webiq_bench::{criterion_group, criterion_main};
 use webiq::core::{Components, WebIQConfig};
 use webiq::matcher::MatchConfig;
 use webiq::pipeline::{DomainPipeline, THRESHOLD};
+use webiq_bench::timing::{black_box, Criterion};
+use webiq_bench::{criterion_group, criterion_main};
 
 fn bench_fig6(c: &mut Criterion) {
     let p = DomainPipeline::build("book", 0x1ce0).expect("domain");
-    let acq = p.acquire(Components::ALL, &WebIQConfig::default());
+    let acq = p
+        .acquire(Components::ALL, &WebIQConfig::default())
+        .expect("acquisition");
     let baseline_attrs = p.baseline_attributes();
     let enriched_attrs = p.enriched_attributes(&acq);
 
     let mut group = c.benchmark_group("fig6/book");
     group.sample_size(20);
     group.bench_function("baseline_match", |b| {
-        b.iter(|| black_box(p.match_and_evaluate(&baseline_attrs, &MatchConfig::default())))
+        b.iter(|| black_box(p.match_and_evaluate(&baseline_attrs, &MatchConfig::default())));
     });
     group.bench_function("webiq_match", |b| {
-        b.iter(|| black_box(p.match_and_evaluate(&enriched_attrs, &MatchConfig::default())))
+        b.iter(|| black_box(p.match_and_evaluate(&enriched_attrs, &MatchConfig::default())));
     });
     group.bench_function("webiq_threshold_match", |b| {
         b.iter(|| {
-            black_box(p.match_and_evaluate(&enriched_attrs, &MatchConfig::with_threshold(THRESHOLD)))
-        })
+            black_box(
+                p.match_and_evaluate(&enriched_attrs, &MatchConfig::with_threshold(THRESHOLD)),
+            )
+        });
     });
     group.finish();
 
     let mut group = c.benchmark_group("fig6/acquisition");
     group.sample_size(10);
     group.bench_function("book_full_webiq", |b| {
-        b.iter(|| black_box(p.acquire(Components::ALL, &WebIQConfig::default())))
+        b.iter(|| {
+            black_box(
+                p.acquire(Components::ALL, &WebIQConfig::default())
+                    .expect("acquisition"),
+            )
+        });
     });
     group.finish();
 }

@@ -1,10 +1,10 @@
 //! Figure 7 pipeline benchmark: acquisition cost as components are
 //! consecutively enabled (the axis of the component-contribution figure).
 
-use webiq_bench::timing::{black_box, Criterion};
-use webiq_bench::{criterion_group, criterion_main};
 use webiq::core::{Components, WebIQConfig};
 use webiq::pipeline::DomainPipeline;
+use webiq_bench::timing::{black_box, Criterion};
+use webiq_bench::{criterion_group, criterion_main};
 
 fn bench_components(c: &mut Criterion) {
     let p = DomainPipeline::build("auto", 0x1ce0).expect("domain");
@@ -17,7 +17,9 @@ fn bench_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7/auto");
     group.sample_size(10);
     for (name, components) in stages {
-        group.bench_function(name, |b| b.iter(|| black_box(p.acquire(components, &cfg))));
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(p.acquire(components, &cfg).expect("acquisition")));
+        });
     }
     group.finish();
 }

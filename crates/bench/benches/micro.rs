@@ -3,8 +3,6 @@
 //! outlier removal, naive-Bayes training, HTML form extraction, and the
 //! pairwise similarity the matcher computes O(n²) times.
 
-use webiq_bench::timing::{black_box, Criterion};
-use webiq_bench::{criterion_group, criterion_main};
 use webiq::core::{patterns, verify};
 use webiq::data::{corpus, kb};
 use webiq::html::form::extract_forms;
@@ -12,21 +10,31 @@ use webiq::matcher::{similarity, MatchAttribute, MatchConfig};
 use webiq::nlp::{chunk, pos, stem};
 use webiq::stats::{bayes::NaiveBayes, outlier};
 use webiq::web::{gen, GenConfig, SearchEngine};
+use webiq_bench::timing::{black_box, Criterion};
+use webiq_bench::{criterion_group, criterion_main};
 
 fn engine() -> SearchEngine {
     let def = kb::domain("airfare").expect("domain");
-    SearchEngine::new(gen::generate(&corpus::concept_specs(def), &GenConfig::default()))
+    SearchEngine::new(gen::generate(
+        &corpus::concept_specs(def),
+        &GenConfig::default(),
+    ))
+    .expect("engine")
 }
 
 fn bench_nlp(c: &mut Criterion) {
     c.bench_function("nlp/pos_tag_sentence", |b| {
-        b.iter(|| pos::tag(black_box("Popular departure cities such as Boston, Chicago, and LAX are listed on this page")))
+        b.iter(|| {
+            pos::tag(black_box(
+                "Popular departure cities such as Boston, Chicago, and LAX are listed on this page",
+            ))
+        });
     });
     c.bench_function("nlp/classify_label", |b| {
-        b.iter(|| chunk::classify_label(black_box("Class of service")))
+        b.iter(|| chunk::classify_label(black_box("Class of service")));
     });
     c.bench_function("nlp/porter_stem", |b| {
-        b.iter(|| stem::stem(black_box("internationalization")))
+        b.iter(|| stem::stem(black_box("internationalization")));
     });
 }
 
@@ -38,13 +46,13 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| {
             flip = !flip;
             e.num_hits(black_box(if flip { "boston" } else { "chicago" }))
-        })
+        });
     });
     c.bench_function("web/num_hits_phrase", |b| {
-        b.iter(|| e.num_hits(black_box("\"departure cities such as\" +airfare")))
+        b.iter(|| e.num_hits(black_box("\"departure cities such as\" +airfare")));
     });
     c.bench_function("web/search_top10", |b| {
-        b.iter(|| e.search(black_box("\"cities such as\" +airfare"), 10))
+        b.iter(|| e.search(black_box("\"cities such as\" +airfare"), 10));
     });
 }
 
@@ -53,19 +61,19 @@ fn bench_verification(c: &mut Criterion) {
     let np = webiq::core::extract::primary_noun_phrase("Airline").expect("np");
     let phrases = patterns::validation_phrases("Airline", Some(&np));
     c.bench_function("core/validation_vector", |b| {
-        b.iter(|| verify::validation_vector(&e, &phrases, black_box("Delta"), true))
+        b.iter(|| verify::validation_vector(&e, &phrases, black_box("Delta"), true));
     });
 
-    let candidates: Vec<String> = kb::pools::CITIES.iter().map(|s| s.to_string()).collect();
+    let candidates: Vec<String> = kb::pools::CITIES.iter().map(|s| (*s).to_string()).collect();
     c.bench_function("stats/outlier_removal_45", |b| {
-        b.iter(|| outlier::remove_outliers(black_box(&candidates)))
+        b.iter(|| outlier::remove_outliers(black_box(&candidates)));
     });
 
     let examples: Vec<(Vec<bool>, bool)> = (0..40)
         .map(|i| (vec![i % 2 == 0, i % 3 == 0, i % 5 == 0], i % 2 == 0))
         .collect();
     c.bench_function("stats/naive_bayes_train_40", |b| {
-        b.iter(|| NaiveBayes::train(black_box(&examples)).expect("train"))
+        b.iter(|| NaiveBayes::train(black_box(&examples)).expect("train"));
     });
 }
 
@@ -73,23 +81,34 @@ fn bench_html(c: &mut Criterion) {
     let def = kb::domain("airfare").expect("domain");
     let ds = webiq::data::generate_domain(def, &webiq::data::GenOptions::default());
     let html = ds.interfaces[0].to_html();
-    c.bench_function("html/extract_form", |b| b.iter(|| extract_forms(black_box(&html))));
+    c.bench_function("html/extract_form", |b| {
+        b.iter(|| extract_forms(black_box(&html)));
+    });
 }
 
 fn bench_similarity(c: &mut Criterion) {
     let a = MatchAttribute {
         r: (0, 0),
         label: "Departure city".into(),
-        values: kb::pools::CITIES.iter().take(10).map(|s| s.to_string()).collect(),
+        values: kb::pools::CITIES
+            .iter()
+            .take(10)
+            .map(|s| (*s).to_string())
+            .collect(),
     };
     let b_attr = MatchAttribute {
         r: (1, 0),
         label: "From city".into(),
-        values: kb::pools::CITIES.iter().skip(5).take(10).map(|s| s.to_string()).collect(),
+        values: kb::pools::CITIES
+            .iter()
+            .skip(5)
+            .take(10)
+            .map(|s| (*s).to_string())
+            .collect(),
     };
     let cfg = MatchConfig::default();
     c.bench_function("match/pairwise_similarity", |b| {
-        b.iter(|| similarity(black_box(&a), black_box(&b_attr), &cfg))
+        b.iter(|| similarity(black_box(&a), black_box(&b_attr), &cfg));
     });
 }
 

@@ -5,10 +5,10 @@
 //! paper's workloads (≈100–220 attributes per domain) sit comfortably
 //! below it.
 
-use webiq_bench::timing::{black_box, BenchmarkId, Criterion};
-use webiq_bench::{criterion_group, criterion_main};
 use webiq::data::kb;
 use webiq::matcher::{match_attributes, MatchAttribute, MatchConfig};
+use webiq_bench::timing::{black_box, BenchmarkId, Criterion};
+use webiq_bench::{criterion_group, criterion_main};
 
 /// Synthesize `n` attributes across `n / 5` interfaces drawn from a few
 /// concept archetypes, mimicking a domain's structure at scale.
@@ -29,9 +29,13 @@ fn synthetic_attributes(n: usize) -> Vec<MatchAttribute> {
                 .cycle()
                 .skip(start)
                 .take(6)
-                .map(|s| s.to_string())
+                .map(|s| (*s).to_string())
                 .collect();
-            MatchAttribute { r: (i / archetypes.len(), i % archetypes.len()), label: label.into(), values }
+            MatchAttribute {
+                r: (i / archetypes.len(), i % archetypes.len()),
+                label: label.into(),
+                values,
+            }
         })
         .collect()
 }
@@ -42,7 +46,7 @@ fn bench_matcher_scaling(c: &mut Criterion) {
     for n in [50usize, 100, 200] {
         let attrs = synthetic_attributes(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &attrs, |b, attrs| {
-            b.iter(|| black_box(match_attributes(attrs, &MatchConfig::default())))
+            b.iter(|| black_box(match_attributes(attrs, &MatchConfig::default())));
         });
     }
     group.finish();
@@ -55,9 +59,12 @@ fn bench_engine_scaling(c: &mut Criterion) {
     for docs in [50usize, 150, 400] {
         let def = kb::domain("book").expect("domain");
         let specs = webiq::data::corpus::concept_specs(def);
-        let cfg = GenConfig { docs_per_concept: docs, ..GenConfig::default() };
+        let cfg = GenConfig {
+            docs_per_concept: docs,
+            ..GenConfig::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(docs), &cfg, |b, cfg| {
-            b.iter(|| black_box(SearchEngine::new(gen::generate(&specs, cfg))))
+            b.iter(|| black_box(SearchEngine::new(gen::generate(&specs, cfg)).expect("engine")));
         });
     }
     group.finish();

@@ -43,8 +43,11 @@ fn run_domain(key: &'static str) -> (Vec<Run>, &'static str) {
         let p = DomainPipeline::build(key, SEED).expect("domain");
         p.engine.set_simulated_latency_us(LATENCY_US);
         display = p.def.display;
-        let cfg = WebIQConfig { threads: Some(threads), ..WebIQConfig::default() };
-        let (acq, secs) = time_once(|| p.acquire(Components::ALL, &cfg));
+        let cfg = WebIQConfig {
+            threads: Some(threads),
+            ..WebIQConfig::default()
+        };
+        let (acq, secs) = time_once(|| p.acquire(Components::ALL, &cfg).expect("acquisition"));
         let queries = p.engine.stats().total_issued() + acq.report.attr_deep_cost.probes;
         let cache_hit_rate = p.engine.stats().cache_hit_rate();
         println!(
@@ -53,13 +56,20 @@ fn run_domain(key: &'static str) -> (Vec<Run>, &'static str) {
             fmt_time(secs),
             100.0 * cache_hit_rate,
         );
-        runs.push(Run { threads, secs, queries, cache_hit_rate });
+        runs.push(Run {
+            threads,
+            secs,
+            queries,
+            cache_hit_rate,
+        });
     }
     (runs, display)
 }
 
 fn secs_at(runs: &[Run], threads: usize) -> f64 {
-    runs.iter().find(|r| r.threads == threads).map_or(f64::NAN, |r| r.secs)
+    runs.iter()
+        .find(|r| r.threads == threads)
+        .map_or(f64::NAN, |r| r.secs)
 }
 
 fn main() {
@@ -73,7 +83,10 @@ fn main() {
         let (t1, t4) = (secs_at(&runs, 1), secs_at(&runs, 4));
         total_1t += t1;
         total_4t += t4;
-        println!("scaling_threads/{key:<11} speedup at 4 threads: {:.2}x\n", t1 / t4);
+        println!(
+            "scaling_threads/{key:<11} speedup at 4 threads: {:.2}x\n",
+            t1 / t4
+        );
         domain_objs.push(obj([
             ("domain", display.into()),
             ("key", key.into()),
@@ -98,7 +111,10 @@ fn main() {
 
     let report = obj([
         ("seed", SEED.into()),
-        ("thread_counts", Json::Arr(THREAD_COUNTS.iter().map(|&t| t.into()).collect())),
+        (
+            "thread_counts",
+            Json::Arr(THREAD_COUNTS.iter().map(|&t| t.into()).collect()),
+        ),
         ("domains", Json::Arr(domain_objs)),
         (
             "summary",

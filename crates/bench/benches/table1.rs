@@ -1,12 +1,12 @@
 //! Table 1 pipeline benchmark: dataset generation + characteristics
 //! (columns 2–5) and the instance-acquisition passes behind columns 6–7.
 
-use webiq_bench::timing::{black_box, Criterion};
-use webiq_bench::{criterion_group, criterion_main};
 use webiq::core::{Components, WebIQConfig};
 use webiq::data::stats::characteristics;
 use webiq::data::{generate_domain, kb, GenOptions};
 use webiq::pipeline::DomainPipeline;
+use webiq_bench::timing::{black_box, Criterion};
+use webiq_bench::{criterion_group, criterion_main};
 
 fn bench_characteristics(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/columns2-5");
@@ -16,7 +16,7 @@ fn bench_characteristics(c: &mut Criterion) {
             b.iter(|| {
                 let ds = generate_domain(def, &GenOptions::default());
                 black_box(characteristics(&ds, def))
-            })
+            });
         });
     }
     group.finish();
@@ -30,10 +30,15 @@ fn bench_acquisition_success(c: &mut Criterion) {
         let p = DomainPipeline::build(key, 0x1ce0).expect("domain");
         let cfg = WebIQConfig::default();
         group.bench_function(format!("{key}/surface_only"), |b| {
-            b.iter(|| black_box(p.acquire(Components::SURFACE, &cfg)))
+            b.iter(|| black_box(p.acquire(Components::SURFACE, &cfg).expect("acquisition")));
         });
         group.bench_function(format!("{key}/surface_plus_deep"), |b| {
-            b.iter(|| black_box(p.acquire(Components::SURFACE_DEEP, &cfg)))
+            b.iter(|| {
+                black_box(
+                    p.acquire(Components::SURFACE_DEEP, &cfg)
+                        .expect("acquisition"),
+                )
+            });
         });
     }
     group.finish();

@@ -7,6 +7,7 @@
 //! cargo run --release -p webiq-bench --bin experiments fig6 fig7
 //! cargo run --release -p webiq-bench --bin experiments -- --seed 7 fig6
 //! ```
+#![forbid(unsafe_code)]
 
 use webiq_bench::json::{rows, Json};
 use webiq_bench::{experiments, render};
@@ -57,7 +58,10 @@ fn main() {
             out.push(("ablations".into(), rows(&experiments::ablations(seed))));
         }
         if want("learned") {
-            out.push(("learned".into(), rows(&experiments::learned_thresholds(seed))));
+            out.push((
+                "learned".into(),
+                rows(&experiments::learned_thresholds(seed)),
+            ));
         }
         if want("weights") {
             out.push(("weights".into(), rows(&experiments::weights(seed))));
@@ -83,7 +87,10 @@ fn main() {
         println!("{}", render::ablations(&experiments::ablations(seed)));
     }
     if want("learned") {
-        println!("{}", render::learned(&experiments::learned_thresholds(seed)));
+        println!(
+            "{}",
+            render::learned(&experiments::learned_thresholds(seed))
+        );
     }
     if want("weights") {
         println!("{}", render::weights(&experiments::weights(seed)));

@@ -23,8 +23,10 @@ where
 {
     let domains = kb::all_domains();
     std::thread::scope(|scope| {
-        let handles: Vec<_> =
-            domains.into_iter().map(|def| scope.spawn(|| f(def))).collect();
+        let handles: Vec<_> = domains
+            .into_iter()
+            .map(|def| scope.spawn(|| f(def)))
+            .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("domain worker panicked"))
@@ -60,20 +62,22 @@ pub struct Table1Row {
 /// Regenerate Table 1.
 pub fn table1(seed: u64) -> Vec<Table1Row> {
     par_domains(|def| {
-            let p = DomainPipeline::from_def(def, seed);
-            let c = characteristics(&p.dataset, def);
-            let cfg = WebIQConfig::default();
-            let surface_only = p.acquire(Components::SURFACE, &cfg);
-            let with_deep = p.acquire(Components::SURFACE_DEEP, &cfg);
-            Table1Row {
-                domain: def.display,
-                avg_attrs: c.avg_attrs,
-                int_no_inst: c.pct_interfaces_no_inst,
-                attr_no_inst: c.pct_attrs_no_inst,
-                exp_inst: c.pct_expected_on_web,
-                surface: surface_only.report.surface_success_rate(),
-                surface_deep: with_deep.report.surface_deep_success_rate(),
-            }
+        let p = DomainPipeline::from_def(def, seed).expect("pipeline");
+        let c = characteristics(&p.dataset, def);
+        let cfg = WebIQConfig::default();
+        let surface_only = p.acquire(Components::SURFACE, &cfg).expect("acquisition");
+        let with_deep = p
+            .acquire(Components::SURFACE_DEEP, &cfg)
+            .expect("acquisition");
+        Table1Row {
+            domain: def.display,
+            avg_attrs: c.avg_attrs,
+            int_no_inst: c.pct_interfaces_no_inst,
+            attr_no_inst: c.pct_attrs_no_inst,
+            exp_inst: c.pct_expected_on_web,
+            surface: surface_only.report.surface_success_rate(),
+            surface_deep: with_deep.report.surface_deep_success_rate(),
+        }
     })
 }
 
@@ -93,13 +97,19 @@ pub struct Fig6Row {
 /// Regenerate Figure 6.
 pub fn fig6(seed: u64) -> Vec<Fig6Row> {
     par_domains(|def| {
-            let p = DomainPipeline::from_def(def, seed);
-            Fig6Row {
-                domain: def.display,
-                baseline: p.baseline_f1().f1_pct(),
-                webiq: p.webiq_f1(Components::ALL, 0.0).f1_pct(),
-                webiq_threshold: p.webiq_f1(Components::ALL, THRESHOLD).f1_pct(),
-            }
+        let p = DomainPipeline::from_def(def, seed).expect("pipeline");
+        Fig6Row {
+            domain: def.display,
+            baseline: p.baseline_f1().f1_pct(),
+            webiq: p
+                .webiq_f1(Components::ALL, 0.0)
+                .expect("acquisition")
+                .f1_pct(),
+            webiq_threshold: p
+                .webiq_f1(Components::ALL, THRESHOLD)
+                .expect("acquisition")
+                .f1_pct(),
+        }
     })
 }
 
@@ -121,14 +131,23 @@ pub struct Fig7Row {
 /// Regenerate Figure 7.
 pub fn fig7(seed: u64) -> Vec<Fig7Row> {
     par_domains(|def| {
-            let p = DomainPipeline::from_def(def, seed);
-            Fig7Row {
-                domain: def.display,
-                baseline: p.baseline_f1().f1_pct(),
-                surface: p.webiq_f1(Components::SURFACE, 0.0).f1_pct(),
-                surface_deep: p.webiq_f1(Components::SURFACE_DEEP, 0.0).f1_pct(),
-                all: p.webiq_f1(Components::ALL, 0.0).f1_pct(),
-            }
+        let p = DomainPipeline::from_def(def, seed).expect("pipeline");
+        Fig7Row {
+            domain: def.display,
+            baseline: p.baseline_f1().f1_pct(),
+            surface: p
+                .webiq_f1(Components::SURFACE, 0.0)
+                .expect("acquisition")
+                .f1_pct(),
+            surface_deep: p
+                .webiq_f1(Components::SURFACE_DEEP, 0.0)
+                .expect("acquisition")
+                .f1_pct(),
+            all: p
+                .webiq_f1(Components::ALL, 0.0)
+                .expect("acquisition")
+                .f1_pct(),
+        }
     })
 }
 
@@ -175,40 +194,44 @@ impl Fig8Row {
 /// Regenerate Figure 8.
 pub fn fig8(seed: u64) -> Vec<Fig8Row> {
     par_domains(|def| {
-            let p = DomainPipeline::from_def(def, seed);
-            let acq = p.acquire(Components::ALL, &WebIQConfig::default());
-            let attrs = p.enriched_attributes(&acq);
-            let t0 = Instant::now();
-            let _ = p.match_and_evaluate(&attrs, &MatchConfig::with_threshold(THRESHOLD));
-            let matching_secs = t0.elapsed().as_secs_f64();
-            Fig8Row {
-                domain: def.display,
-                matching_secs,
-                surface_secs: acq.report.surface_cost.secs,
-                attr_surface_secs: acq.report.attr_surface_cost.secs,
-                attr_deep_secs: acq.report.attr_deep_cost.secs,
-                surface_queries: acq.report.surface_cost.engine_queries,
-                attr_surface_queries: acq.report.attr_surface_cost.engine_queries,
-                probes: acq.report.attr_deep_cost.probes,
-            }
+        let p = DomainPipeline::from_def(def, seed).expect("pipeline");
+        let acq = p
+            .acquire(Components::ALL, &WebIQConfig::default())
+            .expect("acquisition");
+        let attrs = p.enriched_attributes(&acq);
+        let t0 = Instant::now();
+        let _ = p.match_and_evaluate(&attrs, &MatchConfig::with_threshold(THRESHOLD));
+        let matching_secs = t0.elapsed().as_secs_f64();
+        Fig8Row {
+            domain: def.display,
+            matching_secs,
+            surface_secs: acq.report.surface_cost.secs,
+            attr_surface_secs: acq.report.attr_surface_cost.secs,
+            attr_deep_secs: acq.report.attr_deep_cost.secs,
+            surface_queries: acq.report.surface_cost.engine_queries,
+            attr_surface_queries: acq.report.attr_surface_cost.engine_queries,
+            probes: acq.report.attr_deep_cost.probes,
+        }
     })
 }
 
 /// How accurate is acquisition itself? An acquired instance is *correct*
 /// when it belongs to the attribute's gold concept inventory.
-pub fn acquisition_precision(
-    ds: &Dataset,
-    def: &DomainDef,
-    acq: &webiq::core::Acquisition,
-) -> f64 {
+pub fn acquisition_precision(ds: &Dataset, def: &DomainDef, acq: &webiq::core::Acquisition) -> f64 {
     let mut total = 0usize;
     let mut correct = 0usize;
     for (r, values) in &acq.acquired {
         let a = ds.attribute(*r).expect("acquired refs are valid");
-        let Some(c) = def.concept(&a.concept) else { continue };
+        let Some(c) = def.concept(&a.concept) else {
+            continue;
+        };
         for v in values {
             total += 1;
-            let hit = c.instances.iter().chain(c.instances_alt).any(|p| p.eq_ignore_ascii_case(v));
+            let hit = c
+                .instances
+                .iter()
+                .chain(c.instances_alt)
+                .any(|p| p.eq_ignore_ascii_case(v));
             correct += usize::from(hit);
         }
     }
@@ -242,21 +265,23 @@ pub fn learned_thresholds(seed: u64) -> Vec<LearnedRow> {
     use webiq::data::gold;
     use webiq::matcher::{learn_threshold, GoldOracle};
     par_domains(|def| {
-            let p = DomainPipeline::from_def(def, seed);
-            let acq = p.acquire(Components::ALL, &WebIQConfig::default());
-            let attrs = p.enriched_attributes(&acq);
-            let mut oracle = GoldOracle::new(gold::gold_pairs(&p.dataset));
-            let learned = learn_threshold(&attrs, &MatchConfig::default(), &mut oracle, 20);
-            let f1 = p
-                .match_and_evaluate(&attrs, &MatchConfig::with_threshold(learned.threshold))
-                .1
-                .f1_pct();
-            LearnedRow {
-                domain: def.display,
-                threshold: learned.threshold,
-                questions: learned.questions,
-                f1_with_learned: f1,
-            }
+        let p = DomainPipeline::from_def(def, seed).expect("pipeline");
+        let acq = p
+            .acquire(Components::ALL, &WebIQConfig::default())
+            .expect("acquisition");
+        let attrs = p.enriched_attributes(&acq);
+        let mut oracle = GoldOracle::new(gold::gold_pairs(&p.dataset));
+        let learned = learn_threshold(&attrs, &MatchConfig::default(), &mut oracle, 20);
+        let f1 = p
+            .match_and_evaluate(&attrs, &MatchConfig::with_threshold(learned.threshold))
+            .1
+            .f1_pct();
+        LearnedRow {
+            domain: def.display,
+            threshold: learned.threshold,
+            questions: learned.questions,
+            f1_with_learned: f1,
+        }
     })
 }
 
@@ -281,12 +306,18 @@ pub struct WeightsRow {
 /// from instances, before and after acquisition.
 pub fn weights(seed: u64) -> Vec<WeightsRow> {
     par_domains(|def| {
-        let p = DomainPipeline::from_def(def, seed);
-        let label_cfg = MatchConfig { alpha: 1.0, beta: 0.0, threshold: 0.0 };
+        let p = DomainPipeline::from_def(def, seed).expect("pipeline");
+        let label_cfg = MatchConfig {
+            alpha: 1.0,
+            beta: 0.0,
+            threshold: 0.0,
+        };
         let full_cfg = MatchConfig::default();
 
         let raw = p.baseline_attributes();
-        let acq = p.acquire(Components::ALL, &WebIQConfig::default());
+        let acq = p
+            .acquire(Components::ALL, &WebIQConfig::default())
+            .expect("acquisition");
         let enriched = p.enriched_attributes(&acq);
 
         WeightsRow {
@@ -315,14 +346,17 @@ pub struct AblationRow {
 /// Run one configuration across all domains.
 fn run_config(seed: u64, name: &'static str, cfg: &WebIQConfig) -> AblationRow {
     let per_domain = par_domains(|def| {
-        let p = DomainPipeline::from_def(def, seed);
-        let acq = p.acquire(Components::ALL, cfg);
+        let p = DomainPipeline::from_def(def, seed).expect("pipeline");
+        let acq = p.acquire(Components::ALL, cfg).expect("acquisition");
         let prec = acquisition_precision(&p.dataset, def, &acq);
         let queries = acq.report.surface_cost.engine_queries
             + acq.report.attr_surface_cost.engine_queries
             + acq.report.attr_deep_cost.probes;
         let attrs = p.enriched_attributes(&acq);
-        let f1 = p.match_and_evaluate(&attrs, &MatchConfig::with_threshold(THRESHOLD)).1.f1;
+        let f1 = p
+            .match_and_evaluate(&attrs, &MatchConfig::with_threshold(THRESHOLD))
+            .1
+            .f1;
         (f1, prec, queries)
     });
     let f1_sum: f64 = per_domain.iter().map(|(f, _, _)| f).sum();
@@ -344,23 +378,42 @@ pub fn ablations(seed: u64) -> Vec<AblationRow> {
         run_config(
             seed,
             "no outlier phase",
-            &WebIQConfig { outlier_phase: false, ..base.clone() },
+            &WebIQConfig {
+                outlier_phase: false,
+                ..base.clone()
+            },
         ),
-        run_config(seed, "raw hits instead of PMI", &WebIQConfig { use_pmi: false, ..base.clone() }),
+        run_config(
+            seed,
+            "raw hits instead of PMI",
+            &WebIQConfig {
+                use_pmi: false,
+                ..base.clone()
+            },
+        ),
         run_config(
             seed,
             "midpoint thresholds (no info gain)",
-            &WebIQConfig { info_gain_thresholds: false, ..base.clone() },
+            &WebIQConfig {
+                info_gain_thresholds: false,
+                ..base.clone()
+            },
         ),
         run_config(
             seed,
             "no borrow pre-filter",
-            &WebIQConfig { borrow_prefilter: false, ..base.clone() },
+            &WebIQConfig {
+                borrow_prefilter: false,
+                ..base.clone()
+            },
         ),
         run_config(
             seed,
             "sibling-keyword query scoping (+2)",
-            &WebIQConfig { sibling_keywords: 2, ..base.clone() },
+            &WebIQConfig {
+                sibling_keywords: 2,
+                ..base.clone()
+            },
         ),
         run_config(
             seed,
@@ -471,7 +524,11 @@ mod tests {
         for r in &rows {
             assert!(r.avg_attrs > 2.0 && r.avg_attrs < 15.0);
             assert!((0.0..=100.0).contains(&r.surface));
-            assert!(r.surface_deep >= r.surface - 1e-9, "{}: deep >= surface", r.domain);
+            assert!(
+                r.surface_deep >= r.surface - 1e-9,
+                "{}: deep >= surface",
+                r.domain
+            );
         }
     }
 
@@ -500,7 +557,10 @@ mod tests {
         // the domain-similarity term must add accuracy on the raw dataset
         // (IceQ's comparative claim) and even more after acquisition
         assert!(avg(|r| r.baseline) > avg(|r| r.label_only), "{rows:?}");
-        assert!(avg(|r| r.webiq) > avg(|r| r.label_only_enriched), "{rows:?}");
+        assert!(
+            avg(|r| r.webiq) > avg(|r| r.label_only_enriched),
+            "{rows:?}"
+        );
         assert!(avg(|r| r.webiq) > avg(|r| r.baseline), "{rows:?}");
     }
 
@@ -509,16 +569,28 @@ mod tests {
         let rows = learned_thresholds(SEED);
         assert_eq!(rows.len(), 5);
         for r in &rows {
-            assert!((0.0..1.0).contains(&r.threshold), "{}: τ={}", r.domain, r.threshold);
-            assert!(r.f1_with_learned > 80.0, "{}: F1={}", r.domain, r.f1_with_learned);
+            assert!(
+                (0.0..1.0).contains(&r.threshold),
+                "{}: τ={}",
+                r.domain,
+                r.threshold
+            );
+            assert!(
+                r.f1_with_learned > 80.0,
+                "{}: F1={}",
+                r.domain,
+                r.f1_with_learned
+            );
         }
     }
 
     #[test]
     fn acquisition_precision_is_high_by_default() {
         let def = kb::domain("airfare").expect("domain");
-        let p = DomainPipeline::from_def(def, SEED);
-        let acq = p.acquire(Components::ALL, &WebIQConfig::default());
+        let p = DomainPipeline::from_def(def, SEED).expect("pipeline");
+        let acq = p
+            .acquire(Components::ALL, &WebIQConfig::default())
+            .expect("acquisition");
         let prec = acquisition_precision(&p.dataset, def, &acq);
         assert!(prec > 0.9, "acquisition precision {prec:.3}");
     }

@@ -5,6 +5,7 @@
 //! [`experiments`] functions return plain data; the `experiments` binary
 //! renders them (text or JSON via [`json`]), and the bench targets time
 //! the underlying pipelines with the dependency-free [`timing`] harness.
+#![forbid(unsafe_code)]
 
 pub mod experiments;
 pub mod json;

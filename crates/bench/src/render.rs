@@ -1,7 +1,9 @@
 //! Plain-text rendering of the experiment tables, in the shape the paper
 //! reports them.
 
-use crate::experiments::{AblationRow, Fig6Row, Fig7Row, Fig8Row, LearnedRow, Table1Row, WeightsRow};
+use crate::experiments::{
+    AblationRow, Fig6Row, Fig7Row, Fig8Row, LearnedRow, Table1Row, WeightsRow,
+};
 
 /// Render Table 1.
 pub fn table1(rows: &[Table1Row]) -> String {
@@ -14,7 +16,12 @@ pub fn table1(rows: &[Table1Row]) -> String {
     for r in rows {
         s.push_str(&format!(
             "{:<12} {:>5.1} {:>11.0} {:>12.1} {:>9.1} {:>9.1} {:>14.1}\n",
-            r.domain, r.avg_attrs, r.int_no_inst, r.attr_no_inst, r.exp_inst, r.surface,
+            r.domain,
+            r.avg_attrs,
+            r.int_no_inst,
+            r.attr_no_inst,
+            r.exp_inst,
+            r.surface,
             r.surface_deep
         ));
         for (a, v) in acc.iter_mut().zip([

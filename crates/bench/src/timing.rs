@@ -71,7 +71,10 @@ impl Bencher {
 }
 
 fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) -> Option<Sample> {
-    let mut b = Bencher { sample_size, samples: Vec::new() };
+    let mut b = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
     f(&mut b);
     let mut s = b.samples;
     if s.is_empty() {
@@ -87,7 +90,11 @@ fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) -> O
         fmt_time(mean),
         s.len()
     );
-    Some(Sample { median_secs: median, mean_secs: mean, samples: s.len() })
+    Some(Sample {
+        median_secs: median,
+        mean_secs: mean,
+        samples: s.len(),
+    })
 }
 
 /// The harness entry point; mirrors Criterion's builder API.
@@ -117,7 +124,11 @@ impl Criterion {
     /// Start a named group; measurements print as `group/name`.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
-        BenchmarkGroup { _parent: self, prefix: name.to_string(), sample_size }
+        BenchmarkGroup {
+            _parent: self,
+            prefix: name.to_string(),
+            sample_size,
+        }
     }
 }
 
@@ -162,7 +173,11 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_one(&format!("{}/{}", self.prefix, id.0), self.sample_size, &mut |b| f(b, input));
+        run_one(
+            &format!("{}/{}", self.prefix, id.0),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
         self
     }
 

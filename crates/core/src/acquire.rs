@@ -16,11 +16,13 @@
 //! case 2 the candidate must share at least one very similar value with
 //! X₁'s domain.
 
+// lint:deterministic
+
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use webiq_data::interface::{Attribute, AttrRef, Dataset};
+use webiq_data::interface::{AttrRef, Attribute, Dataset};
 use webiq_data::DomainDef;
 use webiq_deep::DeepSource;
 use webiq_match::domsim;
@@ -30,6 +32,7 @@ use webiq_web::{thread_issued_queries, SearchEngine};
 use crate::attr_deep;
 use crate::attr_surface;
 use crate::config::{Components, WebIQConfig};
+use crate::error::WebIqError;
 use crate::extract::DomainInfo;
 use crate::surface;
 
@@ -98,7 +101,7 @@ pub struct Acquisition {
 impl Acquisition {
     /// The acquired instances for an attribute (empty slice if none).
     pub fn instances_for(&self, r: AttrRef) -> &[String] {
-        self.acquired.get(&r).map(Vec::as_slice).unwrap_or(&[])
+        self.acquired.get(&r).map_or(&[], Vec::as_slice)
     }
 }
 
@@ -134,12 +137,7 @@ fn sibling_terms(ds: &Dataset, r1: AttrRef) -> Vec<String> {
 /// content words), and their domain must differ from every instance-bearing
 /// sibling on X₁'s interface. When the label filter eliminates everything
 /// (hard-synonym labels), it is dropped and probing decides.
-pub fn case1_candidates(
-    ds: &Dataset,
-    r1: AttrRef,
-    label: &str,
-    cfg: &WebIQConfig,
-) -> Vec<AttrRef> {
+pub fn case1_candidates(ds: &Dataset, r1: AttrRef, label: &str, cfg: &WebIQConfig) -> Vec<AttrRef> {
     let label_vec_empty = labelsim::label_vector(label).is_empty();
     let siblings: Vec<&Vec<String>> = ds.interfaces[r1.0]
         .attributes
@@ -165,16 +163,16 @@ pub fn case1_candidates(
                 // The candidate's domain must differ from every
                 // instance-bearing sibling of X₁ (if a sibling already
                 // covers that domain, X₁ is unlikely to be that concept).
-                let clashes = siblings.iter().any(|y| {
-                    domsim::dom_sim(&ai.instances, y) > cfg.borrow_sibling_dom_sim
-                });
+                let clashes = siblings
+                    .iter()
+                    .any(|y| domsim::dom_sim(&ai.instances, y) > cfg.borrow_sibling_dom_sim);
                 if clashes {
                     continue;
                 }
             }
             scored.push((ls, ri));
         }
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         scored.into_iter().map(|(_, r)| r).collect::<Vec<_>>()
     };
     let filtered = collect(true);
@@ -203,7 +201,9 @@ pub fn case2_candidates(
         }
         if cfg.borrow_prefilter {
             let similar_pair = values.iter().any(|v| {
-                ai.instances.iter().any(|w| domsim::value_similarity(v, w) >= 0.85)
+                ai.instances
+                    .iter()
+                    .any(|w| domsim::value_similarity(v, w) >= 0.85)
             });
             if !similar_pair {
                 continue;
@@ -229,7 +229,11 @@ enum ItemOutcome {
         deep_secs: f64,
     },
     /// A pre-defined attribute run through Attr-Surface (§5 case 2).
-    Predefined { accepted: Vec<String>, secs: f64, queries: u64 },
+    Predefined {
+        accepted: Vec<String>,
+        secs: f64,
+        queries: u64,
+    },
     /// A pre-defined attribute with Attr-Surface disabled.
     Skipped,
 }
@@ -244,12 +248,32 @@ struct AcquireCtx<'a> {
     cfg: &'a WebIQConfig,
 }
 
+/// A candidate reference that no longer resolves in the dataset — an
+/// internal inconsistency surfaced as an error instead of a panic.
+fn dangling(cand: AttrRef) -> WebIqError {
+    WebIqError::MissingAttribute {
+        interface: cand.0,
+        attribute: cand.1,
+    }
+}
+
 /// Process one attribute — the §5 strategy body. Reads shared state only
 /// (`engine` and `sources` are internally synchronised); query accounting
 /// uses the calling thread's issued-query counter, so the numbers are
 /// deterministic whatever the cache state or worker count.
-fn process_attribute(ctx: &AcquireCtx<'_>, r1: AttrRef, a1: &Attribute) -> ItemOutcome {
-    let &AcquireCtx { ds, info, engine, sources, components, cfg } = ctx;
+fn process_attribute(
+    ctx: &AcquireCtx<'_>,
+    r1: AttrRef,
+    a1: &Attribute,
+) -> Result<ItemOutcome, WebIqError> {
+    let &AcquireCtx {
+        ds,
+        info,
+        engine,
+        sources,
+        components,
+        cfg,
+    } = ctx;
     if !a1.has_instances() {
         let mut got: Vec<String> = Vec::new();
         let mut surface_secs = 0.0;
@@ -261,6 +285,7 @@ fn process_attribute(ctx: &AcquireCtx<'_>, r1: AttrRef, a1: &Attribute) -> ItemO
         // sibling attributes' labels (§2.1).
         if components.surface {
             let before = thread_issued_queries();
+            // lint:allow(wall-clock) elapsed time feeds only the report-only surface_secs field
             let t0 = Instant::now();
             let mut attr_info = info.clone();
             attr_info.sibling_terms = sibling_terms(ds, r1);
@@ -276,6 +301,7 @@ fn process_attribute(ctx: &AcquireCtx<'_>, r1: AttrRef, a1: &Attribute) -> ItemO
             // expensive, so candidates whose domain resembles one already
             // probed (either way) are skipped — each probe round-trip
             // then tests a genuinely new domain.
+            // lint:allow(wall-clock) elapsed time feeds only the report-only deep_secs field
             let t0 = Instant::now();
             let candidates = case1_candidates(ds, r1, &a1.label, cfg);
             let mut accepted_domains: Vec<&Vec<String>> = Vec::new();
@@ -285,7 +311,7 @@ fn process_attribute(ctx: &AcquireCtx<'_>, r1: AttrRef, a1: &Attribute) -> ItemO
                 if tried >= 12 {
                     break;
                 }
-                let inst = &ds.attribute(cand).expect("candidate exists").instances;
+                let inst = &ds.attribute(cand).ok_or_else(|| dangling(cand))?.instances;
                 let take_all = |got: &mut Vec<String>| {
                     for v in inst {
                         if !contains_ci(got, v) {
@@ -295,14 +321,19 @@ fn process_attribute(ctx: &AcquireCtx<'_>, r1: AttrRef, a1: &Attribute) -> ItemO
                 };
                 // Same domain as an already-validated one → borrow
                 // without re-probing; same as a failed one → skip.
-                if accepted_domains.iter().any(|p| domsim::dom_sim(p, inst) > 0.5) {
+                if accepted_domains
+                    .iter()
+                    .any(|p| domsim::dom_sim(p, inst) > 0.5)
+                {
                     take_all(&mut got);
-                } else if failed_domains.iter().any(|p| domsim::dom_sim(p, inst) > 0.5) {
+                } else if failed_domains
+                    .iter()
+                    .any(|p| domsim::dom_sim(p, inst) > 0.5)
+                {
                     continue;
                 } else {
                     tried += 1;
-                    let outcome =
-                        attr_deep::validate_borrowed(&sources[r1.0], &a1.name, inst, cfg);
+                    let outcome = attr_deep::validate_borrowed(&sources[r1.0], &a1.name, inst, cfg);
                     if outcome.accepted {
                         accepted_domains.push(inst);
                         take_all(&mut got);
@@ -317,24 +348,25 @@ fn process_attribute(ctx: &AcquireCtx<'_>, r1: AttrRef, a1: &Attribute) -> ItemO
             deep_secs = t0.elapsed().as_secs_f64();
             surface_deep_success = got.len() >= cfg.k;
         }
-        ItemOutcome::NoInst {
+        Ok(ItemOutcome::NoInst {
             got,
             surface_success,
             surface_deep_success,
             surface_secs,
             surface_queries,
             deep_secs,
-        }
+        })
     } else if components.attr_surface {
         // Step 2: borrow for a pre-defined attribute, validate via the
         // Surface Web (the Deep Web cannot be probed with values outside
         // the pre-defined list).
         let before = thread_issued_queries();
+        // lint:allow(wall-clock) elapsed time feeds only the report-only secs field
         let t0 = Instant::now();
         let candidates = case2_candidates(ds, r1, &a1.instances, cfg);
         let mut pool: Vec<String> = Vec::new();
         for cand in candidates.into_iter().take(8) {
-            for v in &ds.attribute(cand).expect("candidate exists").instances {
+            for v in &ds.attribute(cand).ok_or_else(|| dangling(cand))?.instances {
                 if !contains_ci(&a1.instances, v) && !contains_ci(&pool, v) {
                     pool.push(v.clone());
                 }
@@ -359,13 +391,13 @@ fn process_attribute(ctx: &AcquireCtx<'_>, r1: AttrRef, a1: &Attribute) -> ItemO
                 cfg,
             );
         }
-        ItemOutcome::Predefined {
+        Ok(ItemOutcome::Predefined {
             accepted,
             secs: t0.elapsed().as_secs_f64(),
             queries: thread_issued_queries() - before,
-        }
+        })
     } else {
-        ItemOutcome::Skipped
+        Ok(ItemOutcome::Skipped)
     }
 }
 
@@ -379,6 +411,12 @@ fn process_attribute(ctx: &AcquireCtx<'_>, r1: AttrRef, a1: &Attribute) -> ItemO
 /// `WEBIQ_THREADS` env var). Outcomes are merged in attribute order, so
 /// the acquired-instance maps and every report counter except the
 /// wall-clock `secs` fields are byte-identical to a single-threaded run.
+///
+/// # Errors
+///
+/// Returns [`WebIqError::MissingAttribute`] if a borrow candidate no
+/// longer resolves in the dataset, and [`WebIqError::WorkerFailed`] if an
+/// acquisition worker terminates abnormally.
 pub fn acquire(
     ds: &Dataset,
     def: &DomainDef,
@@ -386,44 +424,61 @@ pub fn acquire(
     sources: &[DeepSource],
     components: Components,
     cfg: &WebIQConfig,
-) -> Acquisition {
+) -> Result<Acquisition, WebIqError> {
     let info = DomainInfo {
         object: def.object.to_string(),
-        domain_terms: def.domain_terms.iter().map(|s| s.to_string()).collect(),
+        domain_terms: def.domain_terms.iter().map(|s| (*s).to_string()).collect(),
         sibling_terms: Vec::new(), // filled per attribute in process_attribute
     };
     let probes_before: u64 = sources.iter().map(DeepSource::probe_count).sum();
 
-    let ctx = AcquireCtx { ds, info: &info, engine, sources, components, cfg };
+    let ctx = AcquireCtx {
+        ds,
+        info: &info,
+        engine,
+        sources,
+        components,
+        cfg,
+    };
     let items: Vec<(AttrRef, &Attribute)> = ds.attributes().collect();
     let workers = cfg.resolved_threads().min(items.len().max(1));
     let outcomes: Vec<ItemOutcome> = if workers <= 1 {
-        items.iter().map(|&(r1, a1)| process_attribute(&ctx, r1, a1)).collect()
+        items
+            .iter()
+            .map(|&(r1, a1)| process_attribute(&ctx, r1, a1))
+            .collect::<Result<_, _>>()?
     } else {
         // Work-stealing by atomic index: each worker pulls the next
         // unclaimed attribute, tags its outcome with the item index, and
         // the merge below re-establishes attribute order.
         let next = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, ItemOutcome)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let (items, ctx, next) = (&items, &ctx, &next);
-                    scope.spawn(move || {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&(r1, a1)) = items.get(i) else { break };
-                            local.push((i, process_attribute(ctx, r1, a1)));
-                        }
-                        local
+        let mut indexed: Vec<(usize, ItemOutcome)> =
+            std::thread::scope(|scope| -> Result<Vec<(usize, ItemOutcome)>, WebIqError> {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let (items, ctx, next) = (&items, &ctx, &next);
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&(r1, a1)) = items.get(i) else { break };
+                                local.push((i, process_attribute(ctx, r1, a1)));
+                            }
+                            local
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("acquisition worker panicked"))
-                .collect()
-        });
+                    .collect();
+                let mut indexed = Vec::with_capacity(items.len());
+                for h in handles {
+                    let local = h.join().map_err(|_| WebIqError::WorkerFailed {
+                        stage: "acquisition",
+                    })?;
+                    for (i, res) in local {
+                        indexed.push((i, res?));
+                    }
+                }
+                Ok(indexed)
+            })?;
         indexed.sort_unstable_by_key(|&(i, _)| i);
         indexed.into_iter().map(|(_, o)| o).collect()
     };
@@ -449,7 +504,11 @@ pub fn acquire(
                     acq.acquired.insert(r1, got);
                 }
             }
-            ItemOutcome::Predefined { accepted, secs, queries } => {
+            ItemOutcome::Predefined {
+                accepted,
+                secs,
+                queries,
+            } => {
                 acq.report.attr_surface_cost.secs += secs;
                 acq.report.attr_surface_cost.engine_queries += queries;
                 if !accepted.is_empty() {
@@ -463,7 +522,7 @@ pub fn acquire(
 
     let probes_after: u64 = sources.iter().map(DeepSource::probe_count).sum();
     acq.report.attr_deep_cost.probes = probes_after - probes_before;
-    acq
+    Ok(acq)
 }
 
 #[cfg(test)]
@@ -476,7 +535,7 @@ mod candidate_tests {
             name: name.into(),
             label: label.into(),
             concept: concept.into(),
-            instances: instances.iter().map(|s| s.to_string()).collect(),
+            instances: instances.iter().map(|s| (*s).to_string()).collect(),
             default: None,
         }
     }
@@ -493,17 +552,39 @@ mod candidate_tests {
         Dataset {
             domain: "airfare".into(),
             interfaces: vec![
-                mk(0, vec![
-                    attr("from", "From city", "from_city", &[]),
-                    attr("dep", "Departure date", "depart_date", &["Jan", "Feb", "Mar", "Apr"]),
-                ]),
-                mk(1, vec![
-                    attr("from", "Departure city", "from_city", &["Boston", "Chicago", "Denver"]),
-                    attr("dep", "Departure on", "depart_date", &["May", "Jun", "Jul"]),
-                ]),
-                mk(2, vec![
-                    attr("city", "From city", "from_city", &["Miami", "Austin", "Tampa"]),
-                ]),
+                mk(
+                    0,
+                    vec![
+                        attr("from", "From city", "from_city", &[]),
+                        attr(
+                            "dep",
+                            "Departure date",
+                            "depart_date",
+                            &["Jan", "Feb", "Mar", "Apr"],
+                        ),
+                    ],
+                ),
+                mk(
+                    1,
+                    vec![
+                        attr(
+                            "from",
+                            "Departure city",
+                            "from_city",
+                            &["Boston", "Chicago", "Denver"],
+                        ),
+                        attr("dep", "Departure on", "depart_date", &["May", "Jun", "Jul"]),
+                    ],
+                ),
+                mk(
+                    2,
+                    vec![attr(
+                        "city",
+                        "From city",
+                        "from_city",
+                        &["Miami", "Austin", "Tampa"],
+                    )],
+                ),
             ],
         }
     }
@@ -521,7 +602,10 @@ mod candidate_tests {
             !candidates.contains(&(1, 1)),
             "month attr clashes with the month sibling: {candidates:?}"
         );
-        assert!(!candidates.iter().any(|r| r.0 == 0), "own interface excluded");
+        assert!(
+            !candidates.iter().any(|r| r.0 == 0),
+            "own interface excluded"
+        );
     }
 
     #[test]
@@ -537,7 +621,10 @@ mod candidate_tests {
     #[test]
     fn case1_without_prefilter_returns_everything_foreign() {
         let ds = dataset();
-        let cfg = WebIQConfig { borrow_prefilter: false, ..WebIQConfig::default() };
+        let cfg = WebIQConfig {
+            borrow_prefilter: false,
+            ..WebIQConfig::default()
+        };
         let candidates = case1_candidates(&ds, (0, 0), "From city", &cfg);
         assert_eq!(candidates.len(), 3); // (1,0), (1,1), (2,0)
     }
@@ -548,12 +635,15 @@ mod candidate_tests {
         let cfg = WebIQConfig::default();
         // X1 = the month select on interface 0 (Jan..Apr); candidate months
         // on interface 1 are May..Jul — no similar value → not a candidate.
-        let own: Vec<String> = ["Jan", "Feb", "Mar", "Apr"].iter().map(|s| s.to_string()).collect();
+        let own: Vec<String> = ["Jan", "Feb", "Mar", "Apr"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
         let candidates = case2_candidates(&ds, (0, 1), &own, &cfg);
         assert!(candidates.is_empty(), "{candidates:?}");
 
         // sharing one value (case-insensitively) admits the candidate
-        let own: Vec<String> = ["jun", "Dec"].iter().map(|s| s.to_string()).collect();
+        let own: Vec<String> = ["jun", "Dec"].iter().map(|s| (*s).to_string()).collect();
         let candidates = case2_candidates(&ds, (0, 1), &own, &cfg);
         assert!(candidates.contains(&(1, 1)), "{candidates:?}");
     }
@@ -578,7 +668,11 @@ mod tests {
     fn setup(domain: &str) -> (Dataset, &'static DomainDef, SearchEngine, Vec<DeepSource>) {
         let def = kb::domain(domain).expect("domain");
         let ds = generate_domain(def, &GenOptions::default());
-        let engine = SearchEngine::new(gen::generate(&corpus::concept_specs(def), &GenConfig::default()));
+        let engine = SearchEngine::new(gen::generate(
+            &corpus::concept_specs(def),
+            &GenConfig::default(),
+        ))
+        .expect("engine");
         let sources = ds
             .interfaces
             .iter()
@@ -591,7 +685,8 @@ mod tests {
     fn acquisition_gathers_instances_for_no_inst_attrs() {
         let (ds, def, engine, sources) = setup("book");
         let cfg = WebIQConfig::default();
-        let acq = acquire(&ds, def, &engine, &sources, Components::SURFACE_DEEP, &cfg);
+        let acq =
+            acquire(&ds, def, &engine, &sources, Components::SURFACE_DEEP, &cfg).expect("acquire");
         assert!(acq.report.no_inst_attrs > 0);
         assert!(
             acq.report.surface_success > 0,
@@ -606,8 +701,10 @@ mod tests {
     fn deep_validation_improves_on_surface_alone() {
         let (ds, def, engine, sources) = setup("airfare");
         let cfg = WebIQConfig::default();
-        let surface_only = acquire(&ds, def, &engine, &sources, Components::SURFACE, &cfg);
-        let with_deep = acquire(&ds, def, &engine, &sources, Components::SURFACE_DEEP, &cfg);
+        let surface_only =
+            acquire(&ds, def, &engine, &sources, Components::SURFACE, &cfg).expect("acquire");
+        let with_deep =
+            acquire(&ds, def, &engine, &sources, Components::SURFACE_DEEP, &cfg).expect("acquire");
         assert!(
             with_deep.report.surface_deep_success_rate()
                 >= surface_only.report.surface_success_rate(),
@@ -622,7 +719,7 @@ mod tests {
     fn none_components_acquire_nothing() {
         let (ds, def, engine, sources) = setup("auto");
         let cfg = WebIQConfig::default();
-        let acq = acquire(&ds, def, &engine, &sources, Components::NONE, &cfg);
+        let acq = acquire(&ds, def, &engine, &sources, Components::NONE, &cfg).expect("acquire");
         assert!(acq.acquired.is_empty());
         assert_eq!(acq.report.surface_success, 0);
     }
@@ -631,7 +728,7 @@ mod tests {
     fn attr_surface_enriches_predefined_attributes() {
         let (ds, def, engine, sources) = setup("airfare");
         let cfg = WebIQConfig::default();
-        let acq = acquire(&ds, def, &engine, &sources, Components::ALL, &cfg);
+        let acq = acquire(&ds, def, &engine, &sources, Components::ALL, &cfg).expect("acquire");
         assert!(
             acq.report.attr_surface_enriched > 0,
             "Attr-Surface enriched nothing: {:?}",
@@ -643,7 +740,7 @@ mod tests {
     fn acquired_values_do_not_duplicate_predefined_ones() {
         let (ds, def, engine, sources) = setup("airfare");
         let cfg = WebIQConfig::default();
-        let acq = acquire(&ds, def, &engine, &sources, Components::ALL, &cfg);
+        let acq = acquire(&ds, def, &engine, &sources, Components::ALL, &cfg).expect("acquire");
         for (r, acquired) in &acq.acquired {
             let a = ds.attribute(*r).expect("attr");
             for v in acquired {
@@ -659,7 +756,8 @@ mod tests {
     fn success_rates_are_percentages() {
         let (ds, def, engine, sources) = setup("job");
         let cfg = WebIQConfig::default();
-        let acq = acquire(&ds, def, &engine, &sources, Components::SURFACE_DEEP, &cfg);
+        let acq =
+            acquire(&ds, def, &engine, &sources, Components::SURFACE_DEEP, &cfg).expect("acquire");
         let s = acq.report.surface_success_rate();
         let sd = acq.report.surface_deep_success_rate();
         assert!((0.0..=100.0).contains(&s));

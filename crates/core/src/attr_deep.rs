@@ -35,7 +35,11 @@ pub fn validate_borrowed(
 ) -> ProbeOutcome {
     let to_probe: Vec<&String> = instances.iter().take(cfg.probe_limit.max(1)).collect();
     if to_probe.is_empty() {
-        return ProbeOutcome { probed: 0, successes: 0, accepted: false };
+        return ProbeOutcome {
+            probed: 0,
+            successes: 0,
+            accepted: false,
+        };
     }
     let mut successes = 0;
     for instance in &to_probe {
@@ -47,7 +51,11 @@ pub fn validate_borrowed(
         }
     }
     let ratio = successes as f64 / to_probe.len() as f64;
-    ProbeOutcome { probed: to_probe.len(), successes, accepted: ratio >= cfg.probe_accept_ratio }
+    ProbeOutcome {
+        probed: to_probe.len(),
+        successes,
+        accepted: ratio >= cfg.probe_accept_ratio,
+    }
 }
 
 #[cfg(test)]
@@ -67,15 +75,23 @@ mod tests {
         DeepSource::new(
             "AcmeAir",
             vec![
-                SourceParam { name: "from".into(), domain: ParamDomain::Free, required: false },
-                SourceParam { name: "to".into(), domain: ParamDomain::Free, required: false },
+                SourceParam {
+                    name: "from".into(),
+                    domain: ParamDomain::Free,
+                    required: false,
+                },
+                SourceParam {
+                    name: "to".into(),
+                    domain: ParamDomain::Free,
+                    required: false,
+                },
             ],
             store,
         )
     }
 
     fn strings(v: &[&str]) -> Vec<String> {
-        v.iter().map(|s| s.to_string()).collect()
+        v.iter().map(|s| (*s).to_string()).collect()
     }
 
     #[test]
@@ -84,7 +100,12 @@ mod tests {
         // from=January does not.
         let src = flight_source();
         let cfg = WebIQConfig::default();
-        let cities = validate_borrowed(&src, "from", &strings(&["Chicago", "Boston", "Seattle"]), &cfg);
+        let cities = validate_borrowed(
+            &src,
+            "from",
+            &strings(&["Chicago", "Boston", "Seattle"]),
+            &cfg,
+        );
         assert!(cities.accepted, "{cities:?}");
         assert_eq!(cities.successes, 3);
 
@@ -101,14 +122,22 @@ mod tests {
         let mixed = validate_borrowed(&src, "from", &strings(&["Chicago", "Jan", "Feb"]), &cfg);
         assert!(mixed.accepted, "{mixed:?}");
         // 1 of 4 valid → ratio 1/4 < 1/3 → rejected
-        let weak = validate_borrowed(&src, "from", &strings(&["Chicago", "Jan", "Feb", "Mar"]), &cfg);
+        let weak = validate_borrowed(
+            &src,
+            "from",
+            &strings(&["Chicago", "Jan", "Feb", "Mar"]),
+            &cfg,
+        );
         assert!(!weak.accepted, "{weak:?}");
     }
 
     #[test]
     fn probe_limit_bounds_traffic() {
         let src = flight_source();
-        let cfg = WebIQConfig { probe_limit: 2, ..WebIQConfig::default() };
+        let cfg = WebIQConfig {
+            probe_limit: 2,
+            ..WebIQConfig::default()
+        };
         let many = strings(&["Chicago", "Boston", "Seattle", "Denver", "Atlanta"]);
         let out = validate_borrowed(&src, "from", &many, &cfg);
         assert_eq!(out.probed, 2);

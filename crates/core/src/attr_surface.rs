@@ -32,6 +32,8 @@ pub enum TrainFailure {
     TooFewPositives,
     /// No negative examples (no sibling attribute has instances).
     NoNegatives,
+    /// The Naive-Bayes estimator rejected the binarized training set.
+    Degenerate,
 }
 
 impl ValidationClassifier {
@@ -80,8 +82,7 @@ impl ValidationClassifier {
                     entropy::best_threshold(&examples)
                 } else {
                     // ablation: midpoint of the observed score range
-                    let all: Vec<f64> =
-                        p1.iter().chain(n1.iter()).map(|v| v[i]).collect();
+                    let all: Vec<f64> = p1.iter().chain(n1.iter()).map(|v| v[i]).collect();
                     let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
                     let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                     (lo + hi) / 2.0
@@ -90,16 +91,19 @@ impl ValidationClassifier {
             .collect();
 
         // Step 3: binarize T₂ and estimate the probabilities.
-        let binarize = |v: &Vec<f64>| -> Vec<bool> {
-            v.iter().zip(&thresholds).map(|(m, t)| m > t).collect()
-        };
+        let binarize =
+            |v: &Vec<f64>| -> Vec<bool> { v.iter().zip(&thresholds).map(|(m, t)| m > t).collect() };
         let examples: Vec<(Vec<bool>, bool)> = p2
             .iter()
             .map(|v| (binarize(v), true))
             .chain(n2.iter().map(|v| (binarize(v), false)))
             .collect();
-        let nb = NaiveBayes::train(&examples).expect("T2 is non-empty by construction");
-        Ok(ValidationClassifier { phrases, thresholds, nb })
+        let nb = NaiveBayes::train(&examples).map_err(|_| TrainFailure::Degenerate)?;
+        Ok(ValidationClassifier {
+            phrases,
+            thresholds,
+            nb,
+        })
     }
 
     /// Per-feature thresholds (exposed for inspection/tests).
@@ -111,8 +115,7 @@ impl ValidationClassifier {
     /// attribute.
     pub fn posterior(&self, engine: &SearchEngine, candidate: &str, cfg: &WebIQConfig) -> f64 {
         let v = verify::validation_vector(engine, &self.phrases, candidate, cfg.use_pmi);
-        let features: Vec<bool> =
-            v.iter().zip(&self.thresholds).map(|(m, t)| m > t).collect();
+        let features: Vec<bool> = v.iter().zip(&self.thresholds).map(|(m, t)| m > t).collect();
         self.nb.posterior_pos(&features)
     }
 
@@ -152,11 +155,11 @@ mod tests {
     fn airfare_engine() -> SearchEngine {
         let def = kb::domain("airfare").expect("domain");
         let specs = corpus::concept_specs(def);
-        SearchEngine::new(gen::generate(&specs, &GenConfig::default()))
+        SearchEngine::new(gen::generate(&specs, &GenConfig::default())).expect("engine")
     }
 
     fn strings(v: &[&str]) -> Vec<String> {
-        v.iter().map(|s| s.to_string()).collect()
+        v.iter().map(|s| (*s).to_string()).collect()
     }
 
     #[test]
@@ -170,9 +173,18 @@ mod tests {
         let negatives = strings(&["Economy", "First Class", "Jan", "1"]);
         let borrowed = strings(&["Aer Lingus", "Lufthansa", "Economy", "Jan"]);
         let accepted = verify_borrowed(&engine, "Airline", &positives, &negatives, &borrowed, &cfg);
-        assert!(accepted.contains(&"Aer Lingus".to_string()), "accepted: {accepted:?}");
-        assert!(!accepted.contains(&"Economy".to_string()), "accepted: {accepted:?}");
-        assert!(!accepted.contains(&"Jan".to_string()), "accepted: {accepted:?}");
+        assert!(
+            accepted.contains(&"Aer Lingus".to_string()),
+            "accepted: {accepted:?}"
+        );
+        assert!(
+            !accepted.contains(&"Economy".to_string()),
+            "accepted: {accepted:?}"
+        );
+        assert!(
+            !accepted.contains(&"Jan".to_string()),
+            "accepted: {accepted:?}"
+        );
     }
 
     #[test]
@@ -191,7 +203,9 @@ mod tests {
         // airlines can be too rare on the simulated Web to clear every
         // feature threshold.
         let avg = |xs: &[&str]| {
-            xs.iter().map(|x| classifier.posterior(&engine, x, &cfg)).sum::<f64>()
+            xs.iter()
+                .map(|x| classifier.posterior(&engine, x, &cfg))
+                .sum::<f64>()
                 / xs.len() as f64
         };
         let p_airline = avg(&["Northwest", "Southwest", "Continental"]);
@@ -249,7 +263,10 @@ mod tests {
     #[test]
     fn midpoint_ablation_still_trains() {
         let engine = airfare_engine();
-        let cfg = WebIQConfig { info_gain_thresholds: false, ..WebIQConfig::default() };
+        let cfg = WebIQConfig {
+            info_gain_thresholds: false,
+            ..WebIQConfig::default()
+        };
         let accepted = verify_borrowed(
             &engine,
             "Airline",

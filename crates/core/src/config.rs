@@ -69,7 +69,7 @@ impl WebIQConfig {
         {
             return n;
         }
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
     }
 }
 
@@ -108,16 +108,29 @@ pub struct Components {
 
 impl Components {
     /// Baseline: no acquisition at all.
-    pub const NONE: Components =
-        Components { surface: false, attr_deep: false, attr_surface: false };
+    pub const NONE: Components = Components {
+        surface: false,
+        attr_deep: false,
+        attr_surface: false,
+    };
     /// Surface only.
-    pub const SURFACE: Components =
-        Components { surface: true, attr_deep: false, attr_surface: false };
+    pub const SURFACE: Components = Components {
+        surface: true,
+        attr_deep: false,
+        attr_surface: false,
+    };
     /// Surface + Attr-Deep.
-    pub const SURFACE_DEEP: Components =
-        Components { surface: true, attr_deep: true, attr_surface: false };
+    pub const SURFACE_DEEP: Components = Components {
+        surface: true,
+        attr_deep: true,
+        attr_surface: false,
+    };
     /// All three components (full WebIQ).
-    pub const ALL: Components = Components { surface: true, attr_deep: true, attr_surface: true };
+    pub const ALL: Components = Components {
+        surface: true,
+        attr_deep: true,
+        attr_surface: true,
+    };
 }
 
 #[cfg(test)]
@@ -136,8 +149,22 @@ mod tests {
     #[test]
     fn threads_resolution() {
         // explicit override wins and is floored at 1
-        assert_eq!(WebIQConfig { threads: Some(4), ..WebIQConfig::default() }.resolved_threads(), 4);
-        assert_eq!(WebIQConfig { threads: Some(0), ..WebIQConfig::default() }.resolved_threads(), 1);
+        assert_eq!(
+            WebIQConfig {
+                threads: Some(4),
+                ..WebIQConfig::default()
+            }
+            .resolved_threads(),
+            4
+        );
+        assert_eq!(
+            WebIQConfig {
+                threads: Some(0),
+                ..WebIQConfig::default()
+            }
+            .resolved_threads(),
+            1
+        );
         // unset: env var or machine parallelism, but never 0
         assert!(WebIQConfig::default().resolved_threads() >= 1);
     }

@@ -100,14 +100,15 @@ fn span_text(tagged: &[Tagged], span: (usize, usize)) -> String {
 /// phrase, then parse the NP list on the completion side.
 pub fn completions(snippet: &str, pattern: &MaterializedPattern) -> Vec<String> {
     let lower = snippet.to_lowercase();
-    let Some(pos_byte) = lower.find(&pattern.cue) else { return Vec::new() };
+    let Some(pos_byte) = lower.find(&pattern.cue) else {
+        return Vec::new();
+    };
     match pattern.side {
         CompletionSide::After => {
             let after = &snippet[pos_byte + pattern.cue.len()..];
             let tagged = pos::tag(after);
             let spans = chunk::parse_np_list_spans(&tagged);
-            let texts: Vec<String> =
-                spans.iter().map(|s| span_text(&tagged, *s)).collect();
+            let texts: Vec<String> = spans.iter().map(|s| span_text(&tagged, *s)).collect();
             match pattern.kind {
                 PatternKind::Set => texts,
                 PatternKind::Singleton => texts.into_iter().take(1).collect(),
@@ -117,8 +118,7 @@ pub fn completions(snippet: &str, pattern: &MaterializedPattern) -> Vec<String> 
             let before = &snippet[..pos_byte];
             let tagged = pos::tag(before);
             let spans = trailing_np_list(&tagged);
-            let texts: Vec<String> =
-                spans.iter().map(|s| span_text(&tagged, *s)).collect();
+            let texts: Vec<String> = spans.iter().map(|s| span_text(&tagged, *s)).collect();
             match pattern.kind {
                 PatternKind::Set => texts,
                 PatternKind::Singleton => texts.into_iter().rev().take(1).collect(),
@@ -133,11 +133,12 @@ pub fn completions(snippet: &str, pattern: &MaterializedPattern) -> Vec<String> 
 fn trailing_np_list(tagged: &[Tagged]) -> Vec<(usize, usize)> {
     let mut end = tagged.len();
     // tolerate one trailing "," separator
-    while end > 0
-        && tagged[end - 1].tag == webiq_nlp::Tag::SYM
-        && tagged[end - 1].token.text == ","
-    {
-        end -= 1;
+    while let Some(prev) = end.checked_sub(1).and_then(|i| tagged.get(i)) {
+        if prev.tag == webiq_nlp::Tag::SYM && prev.token.text == "," {
+            end -= 1;
+        } else {
+            break;
+        }
     }
     let slice = &tagged[..end];
     // longest suffix that parses as an NP list consuming the whole suffix
@@ -206,7 +207,10 @@ pub fn extract_candidates(
             }
         }
     }
-    ExtractionOutcome { candidates, queries }
+    ExtractionOutcome {
+        candidates,
+        queries,
+    }
 }
 
 #[cfg(test)]
@@ -219,7 +223,11 @@ mod tests {
     }
 
     fn info() -> DomainInfo {
-        DomainInfo { object: "flight".into(), domain_terms: vec!["travel".into()], sibling_terms: Vec::new() }
+        DomainInfo {
+            object: "flight".into(),
+            domain_terms: vec!["travel".into()],
+            sibling_terms: Vec::new(),
+        }
     }
 
     #[test]
@@ -239,7 +247,10 @@ mod tests {
     fn multiword_completions_keep_casing() {
         let np = primary_noun_phrase("Airline").expect("np");
         let pattern = &extraction_patterns(&np, "flight")[0];
-        let got = completions("airlines such as Air Canada and Aer Lingus fly here", pattern);
+        let got = completions(
+            "airlines such as Air Canada and Aer Lingus fly here",
+            pattern,
+        );
         assert_eq!(got, vec!["Air Canada", "Aer Lingus"]);
     }
 
@@ -288,7 +299,11 @@ mod tests {
     fn query_formatting_matches_google_syntax() {
         let np = primary_noun_phrase("Author").expect("np");
         let pattern = &extraction_patterns(&np, "book")[0];
-        let info = DomainInfo { object: "book".into(), domain_terms: vec!["book".into()], sibling_terms: Vec::new() };
+        let info = DomainInfo {
+            object: "book".into(),
+            domain_terms: vec!["book".into()],
+            sibling_terms: Vec::new(),
+        };
         let q = build_query(pattern, &info, &cfg());
         assert_eq!(q, "\"authors such as\" +book");
     }
@@ -302,7 +317,10 @@ mod tests {
             domain_terms: vec!["book".into()],
             sibling_terms: vec!["title".into(), "isbn".into(), "publisher".into()],
         };
-        let cfg = WebIQConfig { sibling_keywords: 2, ..WebIQConfig::default() };
+        let cfg = WebIQConfig {
+            sibling_keywords: 2,
+            ..WebIQConfig::default()
+        };
         let q = build_query(pattern, &info, &cfg);
         // the paper's example query, exactly
         assert_eq!(q, "\"authors such as\" +book +title +isbn");
@@ -317,8 +335,11 @@ mod tests {
     fn multiword_domain_terms_are_quoted() {
         let np = primary_noun_phrase("City").expect("np");
         let pattern = &extraction_patterns(&np, "home")[0];
-        let info =
-            DomainInfo { object: "home".into(), domain_terms: vec!["real estate".into()], sibling_terms: Vec::new() };
+        let info = DomainInfo {
+            object: "home".into(),
+            domain_terms: vec!["real estate".into()],
+            sibling_terms: Vec::new(),
+        };
         let q = build_query(pattern, &info, &cfg());
         assert_eq!(q, "\"cities such as\" \"real estate\"");
     }
@@ -339,7 +360,7 @@ mod tests {
             "Popular departure cities such as Boston, Chicago, and Denver are listed. This page is about travel.",
             "We feature such departure cities as Seattle and Atlanta. This page is about travel.",
             "This page is about gardening.",
-        ]));
+        ])).expect("engine");
         let outcome = extract_candidates(&engine, "Departure city", &info(), &cfg());
         let texts: Vec<&str> = outcome.candidates.iter().map(|c| c.text.as_str()).collect();
         assert!(texts.contains(&"Boston"), "{texts:?}");
@@ -349,7 +370,7 @@ mod tests {
 
     #[test]
     fn label_without_np_yields_nothing() {
-        let engine = SearchEngine::new(Corpus::from_texts(["anything"]));
+        let engine = SearchEngine::new(Corpus::from_texts(["anything"])).expect("engine");
         let outcome = extract_candidates(&engine, "From", &info(), &cfg());
         assert!(outcome.candidates.is_empty());
         assert_eq!(outcome.queries, 0);
@@ -360,7 +381,8 @@ mod tests {
         let engine = SearchEngine::new(Corpus::from_texts([
             "cities such as Boston and Chicago. This page is about travel.",
             "more cities such as Boston and Denver here. This page is about travel.",
-        ]));
+        ]))
+        .expect("engine");
         let outcome = extract_candidates(&engine, "City", &info(), &cfg());
         let boston = outcome
             .candidates
@@ -375,7 +397,8 @@ mod tests {
         let engine = SearchEngine::new(Corpus::from_texts([
             "first names such as Alice and Bob. This page is about travel.",
             "last names such as Smith and Jones. This page is about travel.",
-        ]));
+        ]))
+        .expect("engine");
         let outcome = extract_candidates(&engine, "First name or last name", &info(), &cfg());
         let texts: Vec<&str> = outcome.candidates.iter().map(|c| c.text.as_str()).collect();
         assert!(texts.contains(&"Alice"), "{texts:?}");

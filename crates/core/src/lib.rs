@@ -33,7 +33,8 @@
 //! let web = SearchEngine::new(gen::generate(
 //!     &corpus::concept_specs(def),
 //!     &GenConfig::default(),
-//! ));
+//! ))
+//! .expect("index build succeeds");
 //! let sources: Vec<_> = ds
 //!     .interfaces
 //!     .iter()
@@ -41,14 +42,17 @@
 //!     .collect();
 //! let acq = acquire::acquire(
 //!     &ds, def, &web, &sources, Components::ALL, &WebIQConfig::default(),
-//! );
+//! )
+//! .expect("acquisition succeeds");
 //! assert!(acq.report.no_inst_attrs > 0);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod acquire;
 pub mod attr_deep;
 pub mod attr_surface;
 pub mod config;
+pub mod error;
 pub mod extract;
 pub mod patterns;
 pub mod surface;
@@ -56,5 +60,6 @@ pub mod verify;
 
 pub use acquire::{Acquisition, AcquisitionReport, ComponentCost};
 pub use config::{Components, WebIQConfig};
+pub use error::WebIqError;
 pub use extract::DomainInfo;
 pub use surface::SurfaceResult;

@@ -161,8 +161,16 @@ mod tests {
     fn sides_and_kinds() {
         let np = np_of("make");
         let pats = extraction_patterns(&np, "car");
-        assert_eq!(pats.iter().filter(|p| p.kind == PatternKind::Set).count(), 4);
-        assert_eq!(pats.iter().filter(|p| p.side == CompletionSide::Before).count(), 3);
+        assert_eq!(
+            pats.iter().filter(|p| p.kind == PatternKind::Set).count(),
+            4
+        );
+        assert_eq!(
+            pats.iter()
+                .filter(|p| p.side == CompletionSide::Before)
+                .count(),
+            3
+        );
     }
 
     #[test]

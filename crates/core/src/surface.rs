@@ -74,11 +74,15 @@ mod tests {
         let def = kb::domain("airfare").expect("domain");
         let specs = corpus::concept_specs(def);
         let corpus = gen::generate(&specs, &GenConfig::default());
-        SearchEngine::new(corpus)
+        SearchEngine::new(corpus).expect("engine")
     }
 
     fn airfare_info() -> DomainInfo {
-        DomainInfo { object: "flight".into(), domain_terms: vec!["airfare".into()], sibling_terms: Vec::new() }
+        DomainInfo {
+            object: "flight".into(),
+            domain_terms: vec!["airfare".into()],
+            sibling_terms: Vec::new(),
+        }
     }
 
     #[test]
@@ -95,7 +99,9 @@ mod tests {
         // all results are real cities from the pool
         for inst in result.texts() {
             assert!(
-                kb::pools::CITIES.iter().any(|c| c.eq_ignore_ascii_case(&inst)),
+                kb::pools::CITIES
+                    .iter()
+                    .any(|c| c.eq_ignore_ascii_case(&inst)),
                 "{inst} is not a city"
             );
         }
@@ -124,21 +130,35 @@ mod tests {
         let result = discover(&engine, "Airline", &airfare_info(), &cfg);
         assert!(result.successful(cfg.k), "got {:?}", result.texts());
         let texts = result.texts();
-        let has = |pool: &[&str]| texts.iter().any(|t| pool.iter().any(|p| p.eq_ignore_ascii_case(t)));
+        let has = |pool: &[&str]| {
+            texts
+                .iter()
+                .any(|t| pool.iter().any(|p| p.eq_ignore_ascii_case(t)))
+        };
         assert!(has(kb::pools::AIRLINES_NA) || has(kb::pools::AIRLINES_EU));
     }
 
     #[test]
     fn unknown_concept_finds_nothing() {
         let engine = airfare_engine();
-        let result = discover(&engine, "Spacecraft registry", &airfare_info(), &WebIQConfig::default());
+        let result = discover(
+            &engine,
+            "Spacecraft registry",
+            &airfare_info(),
+            &WebIQConfig::default(),
+        );
         assert!(result.instances.is_empty());
     }
 
     #[test]
     fn empty_web_finds_nothing() {
-        let engine = SearchEngine::new(Corpus::default());
-        let result = discover(&engine, "Departure city", &airfare_info(), &WebIQConfig::default());
+        let engine = SearchEngine::new(Corpus::default()).expect("engine");
+        let result = discover(
+            &engine,
+            "Departure city",
+            &airfare_info(),
+            &WebIQConfig::default(),
+        );
         assert!(result.instances.is_empty());
         assert!(result.extraction_queries > 0);
     }

@@ -59,7 +59,12 @@ pub fn validation_vector(
 }
 
 /// Average validation score (the paper's confidence score).
-pub fn confidence(engine: &SearchEngine, phrases: &[String], candidate: &str, use_pmi: bool) -> f64 {
+pub fn confidence(
+    engine: &SearchEngine,
+    phrases: &[String],
+    candidate: &str,
+    use_pmi: bool,
+) -> f64 {
     let scores = validation_vector(engine, phrases, candidate, use_pmi);
     pmi::average(&scores)
 }
@@ -77,7 +82,13 @@ pub fn verify_candidates(
         let r = outlier::remove_outliers_with(candidates, cfg.discordancy);
         (r.kept, r.removed.len())
     } else {
-        (candidates.iter().map(|c| c.to_string()).collect(), 0)
+        (
+            candidates
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
+            0,
+        )
     };
 
     let mut scored: Vec<ValidatedInstance> = kept
@@ -93,12 +104,15 @@ pub fn verify_candidates(
 
     scored.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .expect("scores are finite")
+            .total_cmp(&a.score)
             .then_with(|| a.text.cmp(&b.text))
     });
     scored.truncate(cfg.k);
-    VerificationOutcome { instances: scored, outliers_removed, validation_removed }
+    VerificationOutcome {
+        instances: scored,
+        outliers_removed,
+        validation_removed,
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +132,7 @@ mod tests {
             "economy news economy report economy",
             "the economy grows",
         ]))
+        .expect("engine")
     }
 
     fn phrases() -> Vec<String> {
@@ -140,16 +155,29 @@ mod tests {
         let e = SearchEngine::new(Corpus::from_texts([
             "makes such as Honda",
             "makes such as Star every day",
-            "Star here", "Star there", "Star again", "Star a lot", "Star star",
-            "Star news", "Star reviews", "Star ratings",
-        ]));
+            "Star here",
+            "Star there",
+            "Star again",
+            "Star a lot",
+            "Star star",
+            "Star news",
+            "Star reviews",
+            "Star ratings",
+        ]))
+        .expect("engine");
         let p = vec!["makes such as".to_string()];
         let honda_pmi = confidence(&e, &p, "Honda", true);
         let star_pmi = confidence(&e, &p, "Star", true);
-        assert!(honda_pmi > star_pmi, "pmi: honda={honda_pmi} star={star_pmi}");
+        assert!(
+            honda_pmi > star_pmi,
+            "pmi: honda={honda_pmi} star={star_pmi}"
+        );
         let honda_raw = confidence(&e, &p, "Honda", false);
         let star_raw = confidence(&e, &p, "Star", false);
-        assert!(honda_raw <= star_raw, "raw: honda={honda_raw} star={star_raw}");
+        assert!(
+            honda_raw <= star_raw,
+            "raw: honda={honda_raw} star={star_raw}"
+        );
     }
 
     #[test]
@@ -157,7 +185,7 @@ mod tests {
         let e = engine();
         let candidates: Vec<String> = ["Honda", "Toyota", "Economy"]
             .iter()
-            .map(|s| s.to_string())
+            .map(|s| (*s).to_string())
             .collect();
         let out = verify_candidates(&e, &phrases(), &candidates, &WebIQConfig::default());
         let texts: Vec<&str> = out.instances.iter().map(|i| i.text.as_str()).collect();
@@ -171,7 +199,10 @@ mod tests {
     fn top_k_is_respected() {
         let e = engine();
         let candidates: Vec<String> = vec!["Honda".into(), "Toyota".into()];
-        let cfg = WebIQConfig { k: 1, ..WebIQConfig::default() };
+        let cfg = WebIQConfig {
+            k: 1,
+            ..WebIQConfig::default()
+        };
         let out = verify_candidates(&e, &phrases(), &candidates, &cfg);
         assert_eq!(out.instances.len(), 1);
     }
@@ -180,11 +211,11 @@ mod tests {
     fn outlier_phase_removes_overlong_junk() {
         let e = engine();
         let mut candidates: Vec<String> = [
-            "Honda", "Toyota", "Nissan", "Mazda", "Subaru", "Lexus", "Acura", "Jeep",
-            "Dodge", "Buick", "Chevy", "Saturn",
+            "Honda", "Toyota", "Nissan", "Mazda", "Subaru", "Lexus", "Acura", "Jeep", "Dodge",
+            "Buick", "Chevy", "Saturn",
         ]
         .iter()
-        .map(|s| s.to_string())
+        .map(|s| (*s).to_string())
         .collect();
         candidates.push("a very long extraction artifact that is clearly not a car make".into());
         let out = verify_candidates(&e, &phrases(), &candidates, &WebIQConfig::default());
@@ -192,7 +223,10 @@ mod tests {
 
         // ablation: with the outlier phase off, the junk reaches (and is
         // rejected by) Web validation instead — costing validation queries
-        let cfg = WebIQConfig { outlier_phase: false, ..WebIQConfig::default() };
+        let cfg = WebIQConfig {
+            outlier_phase: false,
+            ..WebIQConfig::default()
+        };
         let out2 = verify_candidates(&e, &phrases(), &candidates, &cfg);
         assert_eq!(out2.outliers_removed, 0);
         assert!(out2.validation_removed >= 1);
@@ -205,11 +239,14 @@ mod tests {
         // n = 6: the 3σ rule cannot fire, Grubbs can
         let candidates: Vec<String> = ["Honda", "Toyota", "Nissan", "Mazda", "Subaru"]
             .iter()
-            .map(|s| s.to_string())
+            .map(|s| (*s).to_string())
             .chain(["an extremely long extraction artifact that is not a make".to_string()])
             .collect();
         let sigma = verify_candidates(&e, &phrases(), &candidates, &WebIQConfig::default());
-        let cfg = WebIQConfig { discordancy: DiscordancyTest::Grubbs, ..WebIQConfig::default() };
+        let cfg = WebIQConfig {
+            discordancy: DiscordancyTest::Grubbs,
+            ..WebIQConfig::default()
+        };
         let grubbs = verify_candidates(&e, &phrases(), &candidates, &cfg);
         assert_eq!(sigma.outliers_removed, 0);
         assert_eq!(grubbs.outliers_removed, 1);

@@ -13,15 +13,21 @@ use webiq_web::{gen, GenConfig, SearchEngine};
 fn run(domain_idx: usize, threads: usize) -> Acquisition {
     let def = kb::all_domains()[domain_idx];
     let ds = generate_domain(def, &GenOptions::default());
-    let engine =
-        SearchEngine::new(gen::generate(&corpus::concept_specs(def), &GenConfig::default()));
+    let engine = SearchEngine::new(gen::generate(
+        &corpus::concept_specs(def),
+        &GenConfig::default(),
+    ))
+    .expect("engine");
     let sources: Vec<_> = ds
         .interfaces
         .iter()
         .map(|i| build_deep_source(def, i, &RecordOptions::default()))
         .collect();
-    let cfg = WebIQConfig { threads: Some(threads), ..WebIQConfig::default() };
-    acquire::acquire(&ds, def, &engine, &sources, Components::ALL, &cfg)
+    let cfg = WebIQConfig {
+        threads: Some(threads),
+        ..WebIQConfig::default()
+    };
+    acquire::acquire(&ds, def, &engine, &sources, Components::ALL, &cfg).expect("acquisition")
 }
 
 /// Strip the wall-clock fields, which legitimately vary run to run.

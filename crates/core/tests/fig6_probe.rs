@@ -10,12 +10,28 @@ use webiq_web::{gen, GenConfig, SearchEngine};
 fn fig6_shape() {
     for def in kb::all_domains() {
         let ds = generate_domain(def, &GenOptions::default());
-        let engine = SearchEngine::new(gen::generate(&corpus::concept_specs(def), &GenConfig::default()));
-        let sources: Vec<_> = ds.interfaces.iter().map(|i| build_deep_source(def, i, &RecordOptions::default())).collect();
+        let engine = SearchEngine::new(gen::generate(
+            &corpus::concept_specs(def),
+            &GenConfig::default(),
+        ))
+        .expect("engine");
+        let sources: Vec<_> = ds
+            .interfaces
+            .iter()
+            .map(|i| build_deep_source(def, i, &RecordOptions::default()))
+            .collect();
 
         let base = match_attributes(&attributes_of(&ds), &MatchConfig::default()).evaluate(&ds);
 
-        let acq = acquire::acquire(&ds, def, &engine, &sources, Components::ALL, &WebIQConfig::default());
+        let acq = acquire::acquire(
+            &ds,
+            def,
+            &engine,
+            &sources,
+            Components::ALL,
+            &WebIQConfig::default(),
+        )
+        .expect("acquisition");
         let mut attrs = attributes_of(&ds);
         for a in &mut attrs {
             a.values.extend(acq.instances_for(a.r).iter().cloned());

@@ -13,6 +13,7 @@ fn small_engine() -> SearchEngine {
         "The author of the book is Mark Twain.",
         "random noise page about gardening",
     ]))
+    .expect("engine")
 }
 
 /// Label analysis and query formulation never panic on arbitrary
@@ -55,7 +56,10 @@ fn surface_respects_k_and_ordering() {
             domain_terms: vec!["travel".into()],
             sibling_terms: Vec::new(),
         };
-        let cfg = WebIQConfig { k, ..WebIQConfig::default() };
+        let cfg = WebIQConfig {
+            k,
+            ..WebIQConfig::default()
+        };
         let result = surface::discover(&engine, "Departure city", &info, &cfg);
         assert!(result.instances.len() <= k);
         for w in result.instances.windows(2) {
@@ -101,7 +105,10 @@ fn verification_accounts_for_every_candidate() {
             return; // case-insensitive duplicates merge; skip
         }
         let engine = small_engine();
-        let cfg = WebIQConfig { k: usize::MAX, ..WebIQConfig::default() };
+        let cfg = WebIQConfig {
+            k: usize::MAX,
+            ..WebIQConfig::default()
+        };
         let phrases = vec!["city".to_string()];
         let out = verify::verify_candidates(&engine, &phrases, &candidates, &cfg);
         assert_eq!(

@@ -21,7 +21,7 @@ pub fn lexicalizations(concept: &ConceptDef) -> Vec<String> {
             // the Web talks about the NP inside a prepositional label
             LabelForm::PrepPhrase { np: Some(np), .. } => Some(np.text()),
             LabelForm::VerbPhrase { np: Some(np), .. } => Some(np.text()),
-            LabelForm::Conjunction(nps) => nps.first().map(|np| np.text()),
+            LabelForm::Conjunction(nps) => nps.first().map(webiq_nlp::NounPhrase::text),
             _ => None,
         };
         if let Some(t) = np_text {
@@ -61,9 +61,9 @@ pub fn concept_spec(def: &DomainDef, concept: &ConceptDef) -> Option<ConceptSpec
         key: format!("{}/{}", def.key, concept.key),
         lexicalizations,
         object: def.object.to_string(),
-        domain_terms: def.domain_terms.iter().map(|s| s.to_string()).collect(),
+        domain_terms: def.domain_terms.iter().map(|s| (*s).to_string()).collect(),
         instances,
-        confusers: concept.confusers.iter().map(|s| s.to_string()).collect(),
+        confusers: concept.confusers.iter().map(|s| (*s).to_string()).collect(),
         richness: concept.web_richness,
     })
 }
@@ -71,7 +71,10 @@ pub fn concept_spec(def: &DomainDef, concept: &ConceptDef) -> Option<ConceptSpec
 /// Corpus specs for every concept of a domain (skipping Web-invisible
 /// concepts).
 pub fn concept_specs(def: &DomainDef) -> Vec<ConceptSpec> {
-    def.concepts.iter().filter_map(|c| concept_spec(def, c)).collect()
+    def.concepts
+        .iter()
+        .filter_map(|c| concept_spec(def, c))
+        .collect()
 }
 
 /// Corpus specs across all five domains — the full simulated Web.

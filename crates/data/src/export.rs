@@ -58,7 +58,13 @@ impl std::error::Error for ExportError {
 /// A filesystem-safe slug of a site name.
 fn slug(site: &str) -> String {
     site.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -117,8 +123,7 @@ pub fn import(dir: &Path) -> Result<Dataset, ExportError> {
     let mut interfaces = Vec::new();
     for (n, line) in lines.enumerate() {
         let mut parts = line.split('\t');
-        let (Some(id), Some(site), Some(file)) = (parts.next(), parts.next(), parts.next())
-        else {
+        let (Some(id), Some(site), Some(file)) = (parts.next(), parts.next(), parts.next()) else {
             return Err(ExportError::Malformed(format!("manifest line {}", n + 2)));
         };
         let id: usize = id
@@ -150,10 +155,7 @@ mod tests {
     use crate::kb;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "webiq-export-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("webiq-export-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

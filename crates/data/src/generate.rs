@@ -45,13 +45,13 @@ fn front_biased<'a>(rng: &mut StdRng, items: &[&'a str]) -> &'a str {
     let weights: Vec<f64> = (0..items.len()).map(|i| 1.0 / (i as f64 + 1.0)).collect();
     let total: f64 = weights.iter().sum();
     let mut roll = rng.gen_range(0.0..total);
-    for (i, w) in weights.iter().enumerate() {
+    for (item, w) in items.iter().zip(&weights) {
         if roll < *w {
-            return items[i];
+            return item;
         }
         roll -= w;
     }
-    items[items.len() - 1]
+    items.last().copied().unwrap_or("")
 }
 
 /// Which instance pool does site `site_idx` use for `concept`?
@@ -74,7 +74,12 @@ fn generate_attribute(
     all_select: bool,
     opts: &GenOptions,
 ) -> Attribute {
-    let name = concept.control_names.choose(rng).expect("control names nonempty").to_string();
+    let name = concept
+        .control_names
+        .choose(rng)
+        .copied()
+        .unwrap_or(concept.key)
+        .to_string();
     let pool = site_pool(concept, site_idx);
     let selectable = !pool.is_empty();
     let is_select = selectable && (all_select || rng.gen_bool(concept.select_prob));
@@ -88,8 +93,10 @@ fn generate_attribute(
     let hard_start = concept.hard_from.min(concept.labels.len());
     let (normal, hard) = concept.labels.split_at(hard_start);
     let uses_alt_pool = !concept.instances_alt.is_empty() && site_idx % 2 == 1;
-    let label = if !hard.is_empty() && (uses_alt_pool || (!is_select && rng.gen_bool(opts.hard_label_rate))) {
-        *hard.choose(rng).expect("hard labels nonempty")
+    let label = if !hard.is_empty()
+        && (uses_alt_pool || (!is_select && rng.gen_bool(opts.hard_label_rate)))
+    {
+        hard.choose(rng).copied().unwrap_or(concept.key)
     } else if normal.is_empty() {
         front_biased(rng, concept.labels)
     } else {
@@ -99,16 +106,24 @@ fn generate_attribute(
     let mut instances = Vec::new();
     let mut default = None;
     if is_select {
-        let n = rng.gen_range(opts.select_min..=opts.select_max).min(pool.len());
+        let n = rng
+            .gen_range(opts.select_min..=opts.select_max)
+            .min(pool.len());
         let mut chosen: Vec<&str> = pool.choose_multiple(rng, n).copied().collect();
         // keep the pool's canonical order for determinism of display
         chosen.sort_by_key(|v| pool.iter().position(|p| p == v));
-        instances = chosen.iter().map(|s| s.to_string()).collect();
+        instances = chosen.iter().map(|s| (*s).to_string()).collect();
         if rng.gen_bool(0.3) {
             default = instances.first().cloned();
         }
     }
-    Attribute { name, label, concept: concept.key.to_string(), instances, default }
+    Attribute {
+        name,
+        label,
+        concept: concept.key.to_string(),
+        instances,
+        default,
+    }
 }
 
 /// Generate the dataset for one domain.
@@ -126,21 +141,34 @@ pub fn generate_domain(def: &DomainDef, opts: &GenOptions) -> Dataset {
             attributes.push(generate_attribute(&mut rng, concept, i, all_select, opts));
         }
         // An interface needs at least two attributes to be a query form.
-        while attributes.len() < 2 {
-            let concept = def.concepts.choose(&mut rng).expect("concepts nonempty");
+        while attributes.len() < 2 && !def.concepts.is_empty() {
+            let Some(concept) = def.concepts.choose(&mut rng) else {
+                break;
+            };
             if attributes.iter().any(|a| a.concept == concept.key) {
                 continue;
             }
             attributes.push(generate_attribute(&mut rng, concept, i, all_select, opts));
         }
-        interfaces.push(Interface { id: i, domain: def.key.to_string(), site, attributes });
+        interfaces.push(Interface {
+            id: i,
+            domain: def.key.to_string(),
+            site,
+            attributes,
+        });
     }
-    Dataset { domain: def.key.to_string(), interfaces }
+    Dataset {
+        domain: def.key.to_string(),
+        interfaces,
+    }
 }
 
 /// Generate all five domains.
 pub fn generate_all(opts: &GenOptions) -> Vec<Dataset> {
-    crate::kb::all_domains().iter().map(|d| generate_domain(d, opts)).collect()
+    crate::kb::all_domains()
+        .iter()
+        .map(|d| generate_domain(d, opts))
+        .collect()
 }
 
 /// FNV-1a hash of a domain key, for seed derivation.
@@ -160,7 +188,10 @@ mod tests {
 
     #[test]
     fn generates_requested_interface_count() {
-        let ds = generate_domain(kb::domain("airfare").expect("domain"), &GenOptions::default());
+        let ds = generate_domain(
+            kb::domain("airfare").expect("domain"),
+            &GenOptions::default(),
+        );
         assert_eq!(ds.interfaces.len(), 20);
     }
 
@@ -175,8 +206,20 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let d = kb::domain("book").expect("domain");
-        let a = generate_domain(d, &GenOptions { seed: 1, ..GenOptions::default() });
-        let b = generate_domain(d, &GenOptions { seed: 2, ..GenOptions::default() });
+        let a = generate_domain(
+            d,
+            &GenOptions {
+                seed: 1,
+                ..GenOptions::default()
+            },
+        );
+        let b = generate_domain(
+            d,
+            &GenOptions {
+                seed: 2,
+                ..GenOptions::default()
+            },
+        );
         assert_ne!(a.interfaces, b.interfaces);
     }
 
@@ -195,7 +238,12 @@ mod tests {
         let ds = generate_domain(def, &GenOptions::default());
         for (_, a) in ds.attributes() {
             let c = def.concept(&a.concept).expect("gold concept exists in KB");
-            assert!(c.labels.contains(&a.label.as_str()), "{} not a label of {}", a.label, c.key);
+            assert!(
+                c.labels.contains(&a.label.as_str()),
+                "{} not a label of {}",
+                a.label,
+                c.key
+            );
         }
     }
 
@@ -224,10 +272,16 @@ mod tests {
             if a.concept == "airline" && a.has_instances() {
                 if r.0 % 2 == 0 {
                     saw_na = true;
-                    assert!(a.instances.iter().all(|i| kb::pools::AIRLINES_NA.contains(&i.as_str())));
+                    assert!(a
+                        .instances
+                        .iter()
+                        .all(|i| kb::pools::AIRLINES_NA.contains(&i.as_str())));
                 } else {
                     saw_eu = true;
-                    assert!(a.instances.iter().all(|i| kb::pools::AIRLINES_EU.contains(&i.as_str())));
+                    assert!(a
+                        .instances
+                        .iter()
+                        .all(|i| kb::pools::AIRLINES_EU.contains(&i.as_str())));
                 }
             }
         }

@@ -50,7 +50,10 @@ pub struct Interface {
 impl Interface {
     /// Number of attributes without pre-defined instances.
     pub fn attrs_without_instances(&self) -> usize {
-        self.attributes.iter().filter(|a| !a.has_instances()).count()
+        self.attributes
+            .iter()
+            .filter(|a| !a.has_instances())
+            .count()
     }
 
     /// Render the interface as an HTML form page.
@@ -137,13 +140,16 @@ pub struct Dataset {
 impl Dataset {
     /// All attributes as `(AttrRef, &Attribute)` in dataset order.
     pub fn attributes(&self) -> impl Iterator<Item = (AttrRef, &Attribute)> {
-        self.interfaces.iter().enumerate().flat_map(|(i, interface)| {
-            interface
-                .attributes
-                .iter()
-                .enumerate()
-                .map(move |(j, a)| ((i, j), a))
-        })
+        self.interfaces
+            .iter()
+            .enumerate()
+            .flat_map(|(i, interface)| {
+                interface
+                    .attributes
+                    .iter()
+                    .enumerate()
+                    .map(move |(j, a)| ((i, j), a))
+            })
     }
 
     /// Attribute by reference.
@@ -211,7 +217,10 @@ mod tests {
 
     #[test]
     fn dataset_iteration() {
-        let ds = Dataset { domain: "airfare".into(), interfaces: vec![sample(), sample()] };
+        let ds = Dataset {
+            domain: "airfare".into(),
+            interfaces: vec![sample(), sample()],
+        };
         assert_eq!(ds.attr_count(), 4);
         assert_eq!(ds.attributes().count(), 4);
         let ((i, j), a) = ds.attributes().nth(3).expect("4 attrs");

@@ -120,11 +120,26 @@ pub static CONCEPTS: &[ConceptDef] = &[
 
 /// Book site names.
 pub static SITES: &[&str] = &[
-    "PageTurner Books", "InkWell Shop", "Bindery Lane", "NovelIdea Store",
-    "ChapterHouse", "BookBarn Online", "ReadersNook", "SpineStreet",
-    "FolioFinder", "PaperbackPlaza", "TomeTraders", "LibrettoBooks",
-    "QuillQuarters", "VellumVault", "HardcoverHaven", "ProloguePress Shop",
-    "EpilogueEmporium", "MarginaliaMart", "DustJacketDepot", "Bibliotheca Plus",
+    "PageTurner Books",
+    "InkWell Shop",
+    "Bindery Lane",
+    "NovelIdea Store",
+    "ChapterHouse",
+    "BookBarn Online",
+    "ReadersNook",
+    "SpineStreet",
+    "FolioFinder",
+    "PaperbackPlaza",
+    "TomeTraders",
+    "LibrettoBooks",
+    "QuillQuarters",
+    "VellumVault",
+    "HardcoverHaven",
+    "ProloguePress Shop",
+    "EpilogueEmporium",
+    "MarginaliaMart",
+    "DustJacketDepot",
+    "Bibliotheca Plus",
 ];
 
 /// The book domain definition.

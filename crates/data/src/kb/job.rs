@@ -136,11 +136,26 @@ pub static CONCEPTS: &[ConceptDef] = &[
 
 /// Job site names.
 pub static SITES: &[&str] = &[
-    "CareerCompass", "JobJunction", "HireWire", "WorkWave", "TalentTrail",
-    "VocationVault", "EmployMe Now", "GigGateway", "ProfessionPort",
-    "LaborLink", "SkillSeeker", "ResumeRoad", "OccupationOasis",
-    "WorkforceWell", "CareerCurrent", "JobJetty", "PositionPilot",
-    "StaffingStream", "RecruitRiver", "OpportunityOutpost",
+    "CareerCompass",
+    "JobJunction",
+    "HireWire",
+    "WorkWave",
+    "TalentTrail",
+    "VocationVault",
+    "EmployMe Now",
+    "GigGateway",
+    "ProfessionPort",
+    "LaborLink",
+    "SkillSeeker",
+    "ResumeRoad",
+    "OccupationOasis",
+    "WorkforceWell",
+    "CareerCurrent",
+    "JobJetty",
+    "PositionPilot",
+    "StaffingStream",
+    "RecruitRiver",
+    "OpportunityOutpost",
 ];
 
 /// The job domain definition.

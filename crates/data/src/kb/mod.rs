@@ -186,7 +186,13 @@ mod tests {
     #[test]
     fn expected_attr_counts_match_table1() {
         // Table 1 column 2: avg attributes per interface.
-        let targets = [("airfare", 10.7), ("auto", 5.1), ("book", 5.4), ("job", 4.6), ("realestate", 6.5)];
+        let targets = [
+            ("airfare", 10.7),
+            ("auto", 5.1),
+            ("book", 5.4),
+            ("job", 4.6),
+            ("realestate", 6.5),
+        ];
         for (key, target) in targets {
             let d = domain(key).expect("domain");
             let expected: f64 = d.concepts.iter().map(|c| c.frequency).sum();
@@ -200,7 +206,12 @@ mod tests {
     #[test]
     fn twenty_site_names_each() {
         for d in extended_domains() {
-            assert!(d.site_names.len() >= 20, "{} has {}", d.key, d.site_names.len());
+            assert!(
+                d.site_names.len() >= 20,
+                "{} has {}",
+                d.key,
+                d.site_names.len()
+            );
         }
     }
 }

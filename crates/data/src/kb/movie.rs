@@ -14,24 +14,59 @@ use super::{ConceptDef, DomainDef};
 
 /// Movie titles.
 pub static MOVIE_TITLES: &[&str] = &[
-    "The Matrix", "Jurassic Park", "Casablanca", "Vertigo", "Jaws",
-    "Alien", "Amadeus", "Rocky", "Titanic", "Gladiator", "Memento",
-    "Fargo", "Heat", "Seven", "Chinatown", "Goodfellas", "Psycho",
-    "Rear Window", "The Sting", "Ben Hur",
+    "The Matrix",
+    "Jurassic Park",
+    "Casablanca",
+    "Vertigo",
+    "Jaws",
+    "Alien",
+    "Amadeus",
+    "Rocky",
+    "Titanic",
+    "Gladiator",
+    "Memento",
+    "Fargo",
+    "Heat",
+    "Seven",
+    "Chinatown",
+    "Goodfellas",
+    "Psycho",
+    "Rear Window",
+    "The Sting",
+    "Ben Hur",
 ];
 
 /// Film directors.
 pub static DIRECTORS: &[&str] = &[
-    "Steven Spielberg", "Alfred Hitchcock", "Stanley Kubrick",
-    "Martin Scorsese", "Ridley Scott", "Francis Ford Coppola",
-    "Sidney Lumet", "Billy Wilder", "Robert Altman", "John Huston",
-    "Orson Welles", "Akira Kurosawa", "David Lean", "Fritz Lang",
+    "Steven Spielberg",
+    "Alfred Hitchcock",
+    "Stanley Kubrick",
+    "Martin Scorsese",
+    "Ridley Scott",
+    "Francis Ford Coppola",
+    "Sidney Lumet",
+    "Billy Wilder",
+    "Robert Altman",
+    "John Huston",
+    "Orson Welles",
+    "Akira Kurosawa",
+    "David Lean",
+    "Fritz Lang",
 ];
 
 /// Genres.
 pub static GENRES: &[&str] = &[
-    "Action", "Comedy", "Drama", "Thriller", "Horror", "Western",
-    "Science Fiction", "Documentary", "Animation", "Musical", "Film Noir",
+    "Action",
+    "Comedy",
+    "Drama",
+    "Thriller",
+    "Horror",
+    "Western",
+    "Science Fiction",
+    "Documentary",
+    "Animation",
+    "Musical",
+    "Film Noir",
 ];
 
 /// MPAA-style ratings.
@@ -39,8 +74,7 @@ pub static RATINGS: &[&str] = &["G", "PG", "PG-13", "R", "NC-17"];
 
 /// Release years.
 pub static MOVIE_YEARS: &[&str] = &[
-    "1970", "1975", "1980", "1985", "1990", "1995", "1998", "2000",
-    "2002", "2004", "2005", "2006",
+    "1970", "1975", "1980", "1985", "1990", "1995", "1998", "2000", "2002", "2004", "2005", "2006",
 ];
 
 /// Movie concepts.
@@ -140,11 +174,26 @@ pub static CONCEPTS: &[ConceptDef] = &[
 
 /// Movie site names.
 pub static SITES: &[&str] = &[
-    "ReelFinder", "CineSearch", "FlickBase", "ScreenScout", "FilmFolio",
-    "MovieMill", "PopcornPicks", "SilverScreen Search", "ClapboardCat",
-    "MatineeMart", "TrailerTrove", "CelluloidCity", "ProjectorPal",
-    "BoxOfficeBay", "DirectorDex", "SceneSeeker", "FeatureFind",
-    "CreditRoll", "CastCatalog", "PremierePages",
+    "ReelFinder",
+    "CineSearch",
+    "FlickBase",
+    "ScreenScout",
+    "FilmFolio",
+    "MovieMill",
+    "PopcornPicks",
+    "SilverScreen Search",
+    "ClapboardCat",
+    "MatineeMart",
+    "TrailerTrove",
+    "CelluloidCity",
+    "ProjectorPal",
+    "BoxOfficeBay",
+    "DirectorDex",
+    "SceneSeeker",
+    "FeatureFind",
+    "CreditRoll",
+    "CastCatalog",
+    "PremierePages",
 ];
 
 /// The movie domain definition.

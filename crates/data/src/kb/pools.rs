@@ -9,37 +9,130 @@
 
 /// US cities (flight origins/destinations, job and real-estate locations).
 pub static CITIES: &[&str] = &[
-    "Boston", "Chicago", "Denver", "Seattle", "Atlanta", "Portland", "Houston",
-    "Phoenix", "Dallas", "Miami", "Austin", "Orlando", "Charlotte", "Detroit",
-    "Memphis", "Baltimore", "Milwaukee", "Sacramento", "Tucson", "Fresno",
-    "Omaha", "Raleigh", "Oakland", "Minneapolis", "Tulsa", "Cleveland",
-    "Wichita", "Arlington", "Tampa", "Honolulu", "Anaheim", "Pittsburgh",
-    "Cincinnati", "Toledo", "Greensboro", "Newark", "Buffalo", "Madison",
-    "Norfolk", "Lubbock", "Richmond", "Spokane", "Boise", "Reno", "Savannah",
+    "Boston",
+    "Chicago",
+    "Denver",
+    "Seattle",
+    "Atlanta",
+    "Portland",
+    "Houston",
+    "Phoenix",
+    "Dallas",
+    "Miami",
+    "Austin",
+    "Orlando",
+    "Charlotte",
+    "Detroit",
+    "Memphis",
+    "Baltimore",
+    "Milwaukee",
+    "Sacramento",
+    "Tucson",
+    "Fresno",
+    "Omaha",
+    "Raleigh",
+    "Oakland",
+    "Minneapolis",
+    "Tulsa",
+    "Cleveland",
+    "Wichita",
+    "Arlington",
+    "Tampa",
+    "Honolulu",
+    "Anaheim",
+    "Pittsburgh",
+    "Cincinnati",
+    "Toledo",
+    "Greensboro",
+    "Newark",
+    "Buffalo",
+    "Madison",
+    "Norfolk",
+    "Lubbock",
+    "Richmond",
+    "Spokane",
+    "Boise",
+    "Reno",
+    "Savannah",
 ];
-
 
 /// Flight-origin city pool: skews toward the major origin markets
 /// (overlaps [`DESTINATION_CITIES`] but is not identical — real origin and
 /// destination drop-downs list different market mixes, which is also the
 /// only instance-level signal separating `From city` from `To city`).
 pub static ORIGIN_CITIES: &[&str] = &[
-    "Boston", "Chicago", "Denver", "Seattle", "Atlanta", "Portland",
-    "Houston", "Phoenix", "Dallas", "Miami", "Austin", "Orlando",
-    "Charlotte", "Detroit", "Memphis", "Baltimore", "Milwaukee",
-    "Sacramento", "Tucson", "Fresno", "Omaha", "Raleigh", "Oakland",
-    "Minneapolis", "Tulsa", "Cleveland", "Wichita", "Arlington", "Tampa",
-    "Honolulu", "Anaheim", "Pittsburgh", "Cincinnati", "Toledo",
+    "Boston",
+    "Chicago",
+    "Denver",
+    "Seattle",
+    "Atlanta",
+    "Portland",
+    "Houston",
+    "Phoenix",
+    "Dallas",
+    "Miami",
+    "Austin",
+    "Orlando",
+    "Charlotte",
+    "Detroit",
+    "Memphis",
+    "Baltimore",
+    "Milwaukee",
+    "Sacramento",
+    "Tucson",
+    "Fresno",
+    "Omaha",
+    "Raleigh",
+    "Oakland",
+    "Minneapolis",
+    "Tulsa",
+    "Cleveland",
+    "Wichita",
+    "Arlington",
+    "Tampa",
+    "Honolulu",
+    "Anaheim",
+    "Pittsburgh",
+    "Cincinnati",
+    "Toledo",
 ];
 
 /// Flight-destination city pool (see [`ORIGIN_CITIES`]).
 pub static DESTINATION_CITIES: &[&str] = &[
-    "Orlando", "Charlotte", "Detroit", "Memphis", "Baltimore", "Milwaukee",
-    "Sacramento", "Tucson", "Fresno", "Omaha", "Raleigh", "Oakland",
-    "Minneapolis", "Tulsa", "Cleveland", "Wichita", "Arlington", "Tampa",
-    "Honolulu", "Anaheim", "Pittsburgh", "Cincinnati", "Toledo",
-    "Greensboro", "Newark", "Buffalo", "Madison", "Norfolk", "Lubbock",
-    "Richmond", "Spokane", "Boise", "Reno", "Savannah",
+    "Orlando",
+    "Charlotte",
+    "Detroit",
+    "Memphis",
+    "Baltimore",
+    "Milwaukee",
+    "Sacramento",
+    "Tucson",
+    "Fresno",
+    "Omaha",
+    "Raleigh",
+    "Oakland",
+    "Minneapolis",
+    "Tulsa",
+    "Cleveland",
+    "Wichita",
+    "Arlington",
+    "Tampa",
+    "Honolulu",
+    "Anaheim",
+    "Pittsburgh",
+    "Cincinnati",
+    "Toledo",
+    "Greensboro",
+    "Newark",
+    "Buffalo",
+    "Madison",
+    "Norfolk",
+    "Lubbock",
+    "Richmond",
+    "Spokane",
+    "Boise",
+    "Reno",
+    "Savannah",
 ];
 
 /// Airlines listed by North-American sites (pool A for `Airline`) —
@@ -51,29 +144,62 @@ pub static DESTINATION_CITIES: &[&str] = &[
 /// from each domain, which are very similar") admits borrowing, exactly
 /// the paper's scenario.
 pub static AIRLINES_NA: &[&str] = &[
-    "Air Canada", "American", "Delta", "United", "Continental", "Northwest",
-    "Southwest", "Alaska", "JetBlue", "America West", "Frontier", "Spirit",
-    "AirTran", "Midwest", "Hawaiian", "WestJet", "Sun Country", "ATA",
-    "Ryan Air", "Easy Jet",
+    "Air Canada",
+    "American",
+    "Delta",
+    "United",
+    "Continental",
+    "Northwest",
+    "Southwest",
+    "Alaska",
+    "JetBlue",
+    "America West",
+    "Frontier",
+    "Spirit",
+    "AirTran",
+    "Midwest",
+    "Hawaiian",
+    "WestJet",
+    "Sun Country",
+    "ATA",
+    "Ryan Air",
+    "Easy Jet",
 ];
 
 /// European airlines (pool B for `Carrier` — mostly disjoint from pool A).
 pub static AIRLINES_EU: &[&str] = &[
-    "Aer Lingus", "Lufthansa", "Alitalia", "Iberia", "Finnair", "Ryanair",
-    "EasyJet", "Swiss", "Austrian", "Olympic", "Sabena", "Virgin Atlantic",
-    "British Airways", "Air France", "KLM", "TAP Portugal", "LOT Polish",
+    "Aer Lingus",
+    "Lufthansa",
+    "Alitalia",
+    "Iberia",
+    "Finnair",
+    "Ryanair",
+    "EasyJet",
+    "Swiss",
+    "Austrian",
+    "Olympic",
+    "Sabena",
+    "Virgin Atlantic",
+    "British Airways",
+    "Air France",
+    "KLM",
+    "TAP Portugal",
+    "LOT Polish",
 ];
 
 /// Month abbreviations (date drop-downs, like instance `Jan` of
 /// `Departure date` in Fig. 1).
 pub static MONTHS: &[&str] = &[
-    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct",
-    "Nov", "Dec",
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
 ];
 
 /// Cabin classes (instances of `Class of service`).
 pub static CABIN_CLASSES: &[&str] = &[
-    "Economy", "Business", "First Class", "Premium Economy", "Coach",
+    "Economy",
+    "Business",
+    "First Class",
+    "Premium Economy",
+    "Coach",
 ];
 
 /// Trip types.
@@ -84,87 +210,180 @@ pub static PASSENGER_COUNTS: &[&str] = &["1", "2", "3", "4", "5", "6", "7", "8"]
 
 /// Car makes.
 pub static CAR_MAKES: &[&str] = &[
-    "Honda", "Toyota", "Ford", "Chevrolet", "Nissan", "Mazda", "Subaru",
-    "Volkswagen", "Dodge", "Jeep", "Buick", "Pontiac", "Saturn", "Acura",
-    "Lexus", "Infiniti", "Volvo", "Saab", "Audi", "Mercury", "Chrysler",
-    "Mitsubishi", "Hyundai", "Kia", "Suzuki", "Isuzu",
+    "Honda",
+    "Toyota",
+    "Ford",
+    "Chevrolet",
+    "Nissan",
+    "Mazda",
+    "Subaru",
+    "Volkswagen",
+    "Dodge",
+    "Jeep",
+    "Buick",
+    "Pontiac",
+    "Saturn",
+    "Acura",
+    "Lexus",
+    "Infiniti",
+    "Volvo",
+    "Saab",
+    "Audi",
+    "Mercury",
+    "Chrysler",
+    "Mitsubishi",
+    "Hyundai",
+    "Kia",
+    "Suzuki",
+    "Isuzu",
 ];
 
 /// Car models.
 pub static CAR_MODELS: &[&str] = &[
-    "Accord", "Civic", "Camry", "Corolla", "Mustang", "Taurus", "Explorer",
-    "Impala", "Malibu", "Altima", "Maxima", "Sentra", "Passat", "Jetta",
-    "Outback", "Forester", "Wrangler", "Cherokee", "Durango", "Caravan",
-    "Odyssey", "Pilot", "Sienna", "Tacoma", "Tundra", "Ranger",
+    "Accord", "Civic", "Camry", "Corolla", "Mustang", "Taurus", "Explorer", "Impala", "Malibu",
+    "Altima", "Maxima", "Sentra", "Passat", "Jetta", "Outback", "Forester", "Wrangler", "Cherokee",
+    "Durango", "Caravan", "Odyssey", "Pilot", "Sienna", "Tacoma", "Tundra", "Ranger",
 ];
 
 /// Car body styles.
 pub static BODY_STYLES: &[&str] = &[
-    "Sedan", "Coupe", "Convertible", "Wagon", "Hatchback", "Pickup", "Van",
-    "SUV", "Minivan",
+    "Sedan",
+    "Coupe",
+    "Convertible",
+    "Wagon",
+    "Hatchback",
+    "Pickup",
+    "Van",
+    "SUV",
+    "Minivan",
 ];
 
 /// Car colors.
 pub static CAR_COLORS: &[&str] = &[
-    "Black", "White", "Silver", "Red", "Blue", "Green", "Gray", "Gold",
-    "Beige", "Maroon",
+    "Black", "White", "Silver", "Red", "Blue", "Green", "Gray", "Gold", "Beige", "Maroon",
 ];
 
 /// Model years.
 pub static CAR_YEARS: &[&str] = &[
-    "1996", "1997", "1998", "1999", "2000", "2001", "2002", "2003", "2004",
-    "2005", "2006",
+    "1996", "1997", "1998", "1999", "2000", "2001", "2002", "2003", "2004", "2005", "2006",
 ];
 
 /// Mileage brackets.
 pub static MILEAGES: &[&str] = &[
-    "10000", "20000", "30000", "40000", "50000", "60000", "75000", "100000",
-    "125000", "150000",
+    "10000", "20000", "30000", "40000", "50000", "60000", "75000", "100000", "125000", "150000",
 ];
 
 /// Car prices (USD).
 pub static CAR_PRICES: &[&str] = &[
-    "$2,500", "$5,000", "$7,500", "$10,000", "$12,500", "$15,000", "$17,500",
-    "$20,000", "$25,000", "$30,000", "$40,000", "$50,000",
+    "$2,500", "$5,000", "$7,500", "$10,000", "$12,500", "$15,000", "$17,500", "$20,000", "$25,000",
+    "$30,000", "$40,000", "$50,000",
 ];
 
 /// Book authors.
 pub static AUTHORS: &[&str] = &[
-    "Stephen King", "John Grisham", "Tom Clancy", "Michael Crichton",
-    "Agatha Christie", "Isaac Asimov", "Ray Bradbury", "Toni Morrison",
-    "Ernest Hemingway", "Mark Twain", "Jane Austen", "Charles Dickens",
-    "George Orwell", "Kurt Vonnegut", "Anne Rice", "Danielle Steel",
-    "James Patterson", "Dean Koontz", "Nora Roberts", "Robert Ludlum",
-    "Umberto Eco", "Gabriel Garcia Marquez", "Salman Rushdie", "Ken Follett",
+    "Stephen King",
+    "John Grisham",
+    "Tom Clancy",
+    "Michael Crichton",
+    "Agatha Christie",
+    "Isaac Asimov",
+    "Ray Bradbury",
+    "Toni Morrison",
+    "Ernest Hemingway",
+    "Mark Twain",
+    "Jane Austen",
+    "Charles Dickens",
+    "George Orwell",
+    "Kurt Vonnegut",
+    "Anne Rice",
+    "Danielle Steel",
+    "James Patterson",
+    "Dean Koontz",
+    "Nora Roberts",
+    "Robert Ludlum",
+    "Umberto Eco",
+    "Gabriel Garcia Marquez",
+    "Salman Rushdie",
+    "Ken Follett",
 ];
 
 /// Book titles.
 pub static BOOK_TITLES: &[&str] = &[
-    "The Firm", "Jurassic Park", "The Shining", "Foundation", "Dune",
-    "Fahrenheit 451", "Beloved", "The Old Man and the Sea", "Emma",
-    "Great Expectations", "Animal Farm", "The Stand", "Misery",
-    "Pet Sematary", "The Client", "The Partner", "Airframe", "Congo",
-    "Timeline", "Sphere", "Hannibal", "Contact", "The Hobbit", "It",
+    "The Firm",
+    "Jurassic Park",
+    "The Shining",
+    "Foundation",
+    "Dune",
+    "Fahrenheit 451",
+    "Beloved",
+    "The Old Man and the Sea",
+    "Emma",
+    "Great Expectations",
+    "Animal Farm",
+    "The Stand",
+    "Misery",
+    "Pet Sematary",
+    "The Client",
+    "The Partner",
+    "Airframe",
+    "Congo",
+    "Timeline",
+    "Sphere",
+    "Hannibal",
+    "Contact",
+    "The Hobbit",
+    "It",
 ];
 
 /// Publishers.
 pub static PUBLISHERS: &[&str] = &[
-    "Random House", "Penguin", "HarperCollins", "Simon and Schuster",
-    "Macmillan", "Scholastic", "Houghton Mifflin", "McGraw-Hill", "Wiley",
-    "Addison-Wesley", "Prentice Hall", "Springer", "Oxford University Press",
-    "Cambridge University Press", "Bantam", "Doubleday", "Vintage", "Knopf",
+    "Random House",
+    "Penguin",
+    "HarperCollins",
+    "Simon and Schuster",
+    "Macmillan",
+    "Scholastic",
+    "Houghton Mifflin",
+    "McGraw-Hill",
+    "Wiley",
+    "Addison-Wesley",
+    "Prentice Hall",
+    "Springer",
+    "Oxford University Press",
+    "Cambridge University Press",
+    "Bantam",
+    "Doubleday",
+    "Vintage",
+    "Knopf",
 ];
 
 /// Book subjects / categories.
 pub static BOOK_SUBJECTS: &[&str] = &[
-    "Fiction", "Mystery", "Science Fiction", "Romance", "Biography",
-    "History", "Travel", "Cooking", "Computers", "Business", "Children",
-    "Poetry", "Reference", "Health", "Religion", "Science",
+    "Fiction",
+    "Mystery",
+    "Science Fiction",
+    "Romance",
+    "Biography",
+    "History",
+    "Travel",
+    "Cooking",
+    "Computers",
+    "Business",
+    "Children",
+    "Poetry",
+    "Reference",
+    "Health",
+    "Religion",
+    "Science",
 ];
 
 /// Book formats.
 pub static BOOK_FORMATS: &[&str] = &[
-    "Hardcover", "Paperback", "Audiobook", "Mass Market Paperback", "Library Binding",
+    "Hardcover",
+    "Paperback",
+    "Audiobook",
+    "Mass Market Paperback",
+    "Library Binding",
 ];
 
 /// Book prices.
@@ -174,65 +393,165 @@ pub static BOOK_PRICES: &[&str] = &[
 
 /// Job titles.
 pub static JOB_TITLES: &[&str] = &[
-    "Software Engineer", "Accountant", "Registered Nurse", "Sales Manager",
-    "Administrative Assistant", "Project Manager", "Graphic Designer",
-    "Financial Analyst", "Marketing Director", "Civil Engineer", "Teacher",
-    "Pharmacist", "Electrician", "Web Developer", "Database Administrator",
-    "Technical Writer", "Paralegal", "Recruiter", "Systems Analyst",
-    "Customer Service Representative", "Operations Manager", "Architect",
+    "Software Engineer",
+    "Accountant",
+    "Registered Nurse",
+    "Sales Manager",
+    "Administrative Assistant",
+    "Project Manager",
+    "Graphic Designer",
+    "Financial Analyst",
+    "Marketing Director",
+    "Civil Engineer",
+    "Teacher",
+    "Pharmacist",
+    "Electrician",
+    "Web Developer",
+    "Database Administrator",
+    "Technical Writer",
+    "Paralegal",
+    "Recruiter",
+    "Systems Analyst",
+    "Customer Service Representative",
+    "Operations Manager",
+    "Architect",
 ];
 
 /// Job categories / industries.
 pub static JOB_CATEGORIES: &[&str] = &[
-    "Accounting", "Engineering", "Healthcare", "Education", "Marketing",
-    "Sales", "Information Technology", "Finance", "Manufacturing", "Retail",
-    "Construction", "Legal", "Hospitality", "Transportation", "Insurance",
-    "Telecommunications", "Government", "Nonprofit",
+    "Accounting",
+    "Engineering",
+    "Healthcare",
+    "Education",
+    "Marketing",
+    "Sales",
+    "Information Technology",
+    "Finance",
+    "Manufacturing",
+    "Retail",
+    "Construction",
+    "Legal",
+    "Hospitality",
+    "Transportation",
+    "Insurance",
+    "Telecommunications",
+    "Government",
+    "Nonprofit",
 ];
 
 /// Company names.
 pub static COMPANIES: &[&str] = &[
-    "Acme Corporation", "Globex", "Initech", "Umbrella Corp", "Stark Industries",
-    "Wayne Enterprises", "Cyberdyne Systems", "Tyrell Corporation", "Wonka Industries",
-    "Duff Brewing", "Sirius Cybernetics", "Monsters Inc", "Gringotts Bank",
-    "Oceanic Airlines", "Hooli", "Pied Piper", "Vandelay Industries",
-    "Dunder Mifflin", "Sterling Cooper", "Bluth Company",
+    "Acme Corporation",
+    "Globex",
+    "Initech",
+    "Umbrella Corp",
+    "Stark Industries",
+    "Wayne Enterprises",
+    "Cyberdyne Systems",
+    "Tyrell Corporation",
+    "Wonka Industries",
+    "Duff Brewing",
+    "Sirius Cybernetics",
+    "Monsters Inc",
+    "Gringotts Bank",
+    "Oceanic Airlines",
+    "Hooli",
+    "Pied Piper",
+    "Vandelay Industries",
+    "Dunder Mifflin",
+    "Sterling Cooper",
+    "Bluth Company",
 ];
 
 /// Annual salaries.
 pub static SALARIES: &[&str] = &[
-    "$25,000", "$30,000", "$35,000", "$40,000", "$50,000", "$60,000",
-    "$70,000", "$80,000", "$90,000", "$100,000", "$120,000", "$150,000",
+    "$25,000", "$30,000", "$35,000", "$40,000", "$50,000", "$60,000", "$70,000", "$80,000",
+    "$90,000", "$100,000", "$120,000", "$150,000",
 ];
 
 /// Experience levels.
 pub static EXPERIENCE_LEVELS: &[&str] = &[
-    "Entry Level", "Mid Level", "Senior Level", "Executive", "Internship",
+    "Entry Level",
+    "Mid Level",
+    "Senior Level",
+    "Executive",
+    "Internship",
 ];
 
 /// Employment types.
 pub static JOB_TYPES: &[&str] = &[
-    "Full Time", "Part Time", "Contract", "Temporary", "Internship",
+    "Full Time",
+    "Part Time",
+    "Contract",
+    "Temporary",
+    "Internship",
 ];
 
 /// US state names.
 pub static STATES: &[&str] = &[
-    "Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
-    "Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
-    "Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
-    "Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
-    "Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
-    "New Hampshire", "New Jersey", "New Mexico", "New York",
-    "North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
-    "Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
-    "Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
-    "West Virginia", "Wisconsin", "Wyoming",
+    "Alabama",
+    "Alaska",
+    "Arizona",
+    "Arkansas",
+    "California",
+    "Colorado",
+    "Connecticut",
+    "Delaware",
+    "Florida",
+    "Georgia",
+    "Hawaii",
+    "Idaho",
+    "Illinois",
+    "Indiana",
+    "Iowa",
+    "Kansas",
+    "Kentucky",
+    "Louisiana",
+    "Maine",
+    "Maryland",
+    "Massachusetts",
+    "Michigan",
+    "Minnesota",
+    "Mississippi",
+    "Missouri",
+    "Montana",
+    "Nebraska",
+    "Nevada",
+    "New Hampshire",
+    "New Jersey",
+    "New Mexico",
+    "New York",
+    "North Carolina",
+    "North Dakota",
+    "Ohio",
+    "Oklahoma",
+    "Oregon",
+    "Pennsylvania",
+    "Rhode Island",
+    "South Carolina",
+    "South Dakota",
+    "Tennessee",
+    "Texas",
+    "Utah",
+    "Vermont",
+    "Virginia",
+    "Washington",
+    "West Virginia",
+    "Wisconsin",
+    "Wyoming",
 ];
 
 /// Property types.
 pub static PROPERTY_TYPES: &[&str] = &[
-    "Single Family Home", "Condo", "Townhouse", "Multi Family", "Land",
-    "Mobile Home", "Farm", "Duplex", "Apartment",
+    "Single Family Home",
+    "Condo",
+    "Townhouse",
+    "Multi Family",
+    "Land",
+    "Mobile Home",
+    "Farm",
+    "Duplex",
+    "Apartment",
 ];
 
 /// Bedroom counts.
@@ -243,8 +562,18 @@ pub static BATHROOMS: &[&str] = &["1", "1.5", "2", "2.5", "3", "4"];
 
 /// Home prices.
 pub static HOME_PRICES: &[&str] = &[
-    "$50,000", "$75,000", "$100,000", "$125,000", "$150,000", "$200,000",
-    "$250,000", "$300,000", "$400,000", "$500,000", "$750,000", "$1,000,000",
+    "$50,000",
+    "$75,000",
+    "$100,000",
+    "$125,000",
+    "$150,000",
+    "$200,000",
+    "$250,000",
+    "$300,000",
+    "$400,000",
+    "$500,000",
+    "$750,000",
+    "$1,000,000",
 ];
 
 /// Square-footage brackets.
@@ -253,26 +582,22 @@ pub static SQUARE_FEET: &[&str] = &[
 ];
 
 /// Acreage brackets.
-pub static ACREAGES: &[&str] = &[
-    "0.25", "0.5", "1", "2", "5", "10", "20", "40",
-];
+pub static ACREAGES: &[&str] = &["0.25", "0.5", "1", "2", "5", "10", "20", "40"];
 
 /// ZIP codes.
 pub static ZIP_CODES: &[&str] = &[
-    "60601", "02108", "98101", "30301", "80202", "97201", "77002", "85001",
-    "75201", "33101", "73301", "32801", "28201", "48201", "38101", "21201",
+    "60601", "02108", "98101", "30301", "80202", "97201", "77002", "85001", "75201", "33101",
+    "73301", "32801", "28201", "48201", "38101", "21201",
 ];
 
 /// Departure time windows.
-pub static TIME_WINDOWS: &[&str] = &[
-    "Morning", "Afternoon", "Evening", "Night", "Anytime",
-];
+pub static TIME_WINDOWS: &[&str] = &["Morning", "Afternoon", "Evening", "Night", "Anytime"];
 
 /// Airport codes (distinct from city names so the airport concept clusters
 /// separately from the city concepts).
 pub static AIRPORTS: &[&str] = &[
-    "ORD", "BOS", "SEA", "ATL", "DEN", "PDX", "IAH", "PHX", "DFW", "MIA",
-    "AUS", "MCO", "CLT", "DTW", "MEM", "BWI", "LAX", "JFK", "SFO", "EWR",
+    "ORD", "BOS", "SEA", "ATL", "DEN", "PDX", "IAH", "PHX", "DFW", "MIA", "AUS", "MCO", "CLT",
+    "DTW", "MEM", "BWI", "LAX", "JFK", "SFO", "EWR",
 ];
 
 /// Number-of-stops options.
@@ -287,12 +612,20 @@ mod tests {
         // No exact value is shared (baseline clustering must not bridge the
         // pools), but near-duplicate spelling variants exist ("Ryan Air" /
         // "Ryanair") so the case-2 borrow pre-filter can fire.
-        let overlap = AIRLINES_NA.iter().filter(|a| AIRLINES_EU.contains(a)).count();
-        assert_eq!(overlap, 0, "no exact overlap allowed");
-        let has_variant = AIRLINES_NA
+        let overlap = AIRLINES_NA
             .iter()
-            .any(|a| AIRLINES_EU.iter().any(|b| a.replace(' ', "").eq_ignore_ascii_case(b)));
-        assert!(has_variant, "spelling-variant pairs must exist for case-2 borrowing");
+            .filter(|a| AIRLINES_EU.contains(a))
+            .count();
+        assert_eq!(overlap, 0, "no exact overlap allowed");
+        let has_variant = AIRLINES_NA.iter().any(|a| {
+            AIRLINES_EU
+                .iter()
+                .any(|b| a.replace(' ', "").eq_ignore_ascii_case(b))
+        });
+        assert!(
+            has_variant,
+            "spelling-variant pairs must exist for case-2 borrowing"
+        );
     }
 
     #[test]
@@ -308,7 +641,15 @@ mod tests {
 
     #[test]
     fn no_duplicates_within_pools() {
-        for pool in [CITIES, AIRLINES_NA, AIRLINES_EU, CAR_MAKES, AUTHORS, PUBLISHERS, STATES] {
+        for pool in [
+            CITIES,
+            AIRLINES_NA,
+            AIRLINES_EU,
+            CAR_MAKES,
+            AUTHORS,
+            PUBLISHERS,
+            STATES,
+        ] {
             let mut v = pool.to_vec();
             v.sort_unstable();
             v.dedup();

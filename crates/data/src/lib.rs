@@ -21,6 +21,7 @@
 //!   generator's concept specifications;
 //! - [`export`] — persist a generated benchmark as on-disk HTML pages +
 //!   gold file, and re-import it through the real extraction path.
+#![forbid(unsafe_code)]
 
 pub mod corpus;
 pub mod export;

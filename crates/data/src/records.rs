@@ -28,7 +28,11 @@ pub struct RecordOptions {
 
 impl Default for RecordOptions {
     fn default() -> Self {
-        RecordOptions { records: 150, seed: 0xdeeb, failure_rate: 0.0 }
+        RecordOptions {
+            records: 150,
+            seed: 0xdeeb,
+            failure_rate: 0.0,
+        }
     }
 }
 
@@ -48,10 +52,12 @@ fn attribute_pool<'a>(def: &'a DomainDef, iface: &'a Interface, attr_idx: usize)
 
 /// Build the simulated Deep-Web source behind `iface`.
 pub fn build_deep_source(def: &DomainDef, iface: &Interface, opts: &RecordOptions) -> DeepSource {
-    let mut rng = StdRng::seed_from_u64(opts.seed ^ (iface.id as u64).wrapping_mul(0x9e3779b97f4a7c15));
+    let mut rng =
+        StdRng::seed_from_u64(opts.seed ^ (iface.id as u64).wrapping_mul(0x9e3779b97f4a7c15));
 
-    let pools: Vec<Vec<&str>> =
-        (0..iface.attributes.len()).map(|i| attribute_pool(def, iface, i)).collect();
+    let pools: Vec<Vec<&str>> = (0..iface.attributes.len())
+        .map(|i| attribute_pool(def, iface, i))
+        .collect();
 
     let mut store = RecordStore::default();
     for _ in 0..opts.records {
@@ -97,11 +103,16 @@ mod tests {
             .interfaces
             .iter()
             .find(|i| {
-                i.attributes.iter().any(|a| a.concept == "from_city" && !a.has_instances())
+                i.attributes
+                    .iter()
+                    .any(|a| a.concept == "from_city" && !a.has_instances())
             })
             .expect("some interface has a text from_city")
             .clone();
-        (build_deep_source(def, &iface, &RecordOptions::default()), iface)
+        (
+            build_deep_source(def, &iface, &RecordOptions::default()),
+            iface,
+        )
     }
 
     fn probe(src: &DeepSource, name: &str, value: &str) -> webiq_deep::SubmissionOutcome {
@@ -142,7 +153,11 @@ mod tests {
         let iface = ds
             .interfaces
             .iter()
-            .find(|i| i.attributes.iter().any(|a| a.concept == "airline" && a.has_instances()))
+            .find(|i| {
+                i.attributes
+                    .iter()
+                    .any(|a| a.concept == "airline" && a.has_instances())
+            })
             .expect("select airline exists")
             .clone();
         let src = build_deep_source(def, &iface, &RecordOptions::default());

@@ -60,7 +60,12 @@ pub fn characteristics(ds: &Dataset, def: &DomainDef) -> Characteristics {
         100.0 * noinst_expected as f64 / noinst_total as f64
     };
 
-    Characteristics { avg_attrs, pct_interfaces_no_inst, pct_attrs_no_inst, pct_expected_on_web }
+    Characteristics {
+        avg_attrs,
+        pct_interfaces_no_inst,
+        pct_attrs_no_inst,
+        pct_expected_on_web,
+    }
 }
 
 #[cfg(test)]
@@ -87,26 +92,33 @@ mod tests {
             let c = characteristics(&ds, def);
             assert!(
                 (c.avg_attrs - avg).abs() <= 1.5,
-                "{key}: avg_attrs {:.1} vs {avg}", c.avg_attrs
+                "{key}: avg_attrs {:.1} vs {avg}",
+                c.avg_attrs
             );
             assert!(
                 (c.pct_interfaces_no_inst - int_ni).abs() <= 16.0,
-                "{key}: IntNoInst {:.1} vs {int_ni}", c.pct_interfaces_no_inst
+                "{key}: IntNoInst {:.1} vs {int_ni}",
+                c.pct_interfaces_no_inst
             );
             assert!(
                 (c.pct_attrs_no_inst - attr_ni).abs() <= 12.0,
-                "{key}: AttrNoInst {:.1} vs {attr_ni}", c.pct_attrs_no_inst
+                "{key}: AttrNoInst {:.1} vs {attr_ni}",
+                c.pct_attrs_no_inst
             );
             assert!(
                 (c.pct_expected_on_web - exp).abs() <= 15.0,
-                "{key}: ExpInst {:.1} vs {exp}", c.pct_expected_on_web
+                "{key}: ExpInst {:.1} vs {exp}",
+                c.pct_expected_on_web
             );
         }
     }
 
     #[test]
     fn empty_dataset_is_safe() {
-        let ds = Dataset { domain: "airfare".into(), interfaces: vec![] };
+        let ds = Dataset {
+            domain: "airfare".into(),
+            interfaces: vec![],
+        };
         let def = kb::domain("airfare").expect("domain");
         let c = characteristics(&ds, def);
         assert_eq!(c.avg_attrs, 0.0);

@@ -46,8 +46,18 @@ fn instance_pools_have_no_blank_values() {
     for def in kb::extended_domains() {
         for concept in def.concepts {
             for v in concept.instances.iter().chain(concept.instances_alt) {
-                assert!(!v.trim().is_empty(), "{}/{} has a blank instance", def.key, concept.key);
-                assert!(v.len() < 60, "{}/{}: instance {v:?} overlong", def.key, concept.key);
+                assert!(
+                    !v.trim().is_empty(),
+                    "{}/{} has a blank instance",
+                    def.key,
+                    concept.key
+                );
+                assert!(
+                    v.len() < 60,
+                    "{}/{}: instance {v:?} overlong",
+                    def.key,
+                    concept.key
+                );
             }
         }
     }

@@ -10,7 +10,13 @@ fn any_seed_valid() {
     prop::cases(24, |rng| {
         let seed = rng.next_u64();
         for def in kb::all_domains() {
-            let ds = generate_domain(def, &GenOptions { seed, ..GenOptions::default() });
+            let ds = generate_domain(
+                def,
+                &GenOptions {
+                    seed,
+                    ..GenOptions::default()
+                },
+            );
             assert_eq!(ds.interfaces.len(), 20);
             for i in &ds.interfaces {
                 assert!(i.attributes.len() >= 2);
@@ -30,12 +36,19 @@ fn html_roundtrip_any_seed() {
     prop::cases(24, |rng| {
         let seed = rng.next_u64();
         let def = kb::domain("airfare").expect("domain");
-        let ds = generate_domain(def, &GenOptions { seed, ..GenOptions::default() });
+        let ds = generate_domain(
+            def,
+            &GenOptions {
+                seed,
+                ..GenOptions::default()
+            },
+        );
         for iface in &ds.interfaces {
             let html = iface.to_html();
             let forms = extract_forms(&html);
             assert_eq!(forms.len(), 1);
-            let mut parsed = Interface::from_extracted(iface.id, &iface.domain, &iface.site, &forms[0]);
+            let mut parsed =
+                Interface::from_extracted(iface.id, &iface.domain, &iface.site, &forms[0]);
             parsed.adopt_concepts_from(iface);
             assert_eq!(parsed.attributes.len(), iface.attributes.len());
             for (p, o) in parsed.attributes.iter().zip(&iface.attributes) {
@@ -54,7 +67,13 @@ fn gold_partitions() {
     prop::cases(24, |rng| {
         let seed = rng.next_u64();
         let def = kb::domain("job").expect("domain");
-        let ds = generate_domain(def, &GenOptions { seed, ..GenOptions::default() });
+        let ds = generate_domain(
+            def,
+            &GenOptions {
+                seed,
+                ..GenOptions::default()
+            },
+        );
         let clusters = gold::gold_clusters(&ds);
         let total: usize = clusters.iter().map(Vec::len).sum();
         assert_eq!(total, ds.attr_count());

@@ -87,16 +87,22 @@ pub fn analyze_response(html: &str) -> SubmissionOutcome {
         })
         .count();
     if result_rows > 0 {
-        return SubmissionOutcome::Success { results: result_rows };
+        return SubmissionOutcome::Success {
+            results: result_rows,
+        };
     }
     if rows.len() > 1 {
         // header + data rows
-        return SubmissionOutcome::Success { results: rows.len() - 1 };
+        return SubmissionOutcome::Success {
+            results: rows.len() - 1,
+        };
     }
     let mut items = Vec::new();
     doc.find_all("li", &mut items);
     if !items.is_empty() {
-        return SubmissionOutcome::Success { results: items.len() };
+        return SubmissionOutcome::Success {
+            results: items.len(),
+        };
     }
 
     // "found N matching" style summaries
@@ -140,7 +146,10 @@ mod tests {
     fn classifies_results_page() {
         let r = Record::new([("from", "Chicago")]);
         let page = render::results_page("X", &[&r]);
-        assert_eq!(analyze_response(&page), SubmissionOutcome::Success { results: 1 });
+        assert_eq!(
+            analyze_response(&page),
+            SubmissionOutcome::Success { results: 1 }
+        );
     }
 
     #[test]
@@ -157,7 +166,10 @@ mod tests {
 
     #[test]
     fn classifies_server_error() {
-        assert_eq!(analyze_response(&render::server_error_page()), SubmissionOutcome::Error);
+        assert_eq!(
+            analyze_response(&render::server_error_page()),
+            SubmissionOutcome::Error
+        );
     }
 
     #[test]
@@ -166,7 +178,10 @@ mod tests {
         let r2 = Record::new([("a", "2")]);
         let r3 = Record::new([("a", "3")]);
         let page = render::results_page("X", &[&r1, &r2, &r3]);
-        assert_eq!(analyze_response(&page), SubmissionOutcome::Success { results: 3 });
+        assert_eq!(
+            analyze_response(&page),
+            SubmissionOutcome::Success { results: 3 }
+        );
     }
 
     #[test]
@@ -178,12 +193,18 @@ mod tests {
     #[test]
     fn list_based_results() {
         let html = "<html><body><ul><li>Item A</li><li>Item B</li></ul></body></html>";
-        assert_eq!(analyze_response(html), SubmissionOutcome::Success { results: 2 });
+        assert_eq!(
+            analyze_response(html),
+            SubmissionOutcome::Success { results: 2 }
+        );
     }
 
     #[test]
     fn short_uninformative_page_is_no_results() {
-        assert_eq!(analyze_response("<html><body>ok</body></html>"), SubmissionOutcome::NoResults);
+        assert_eq!(
+            analyze_response("<html><body>ok</body></html>"),
+            SubmissionOutcome::NoResults
+        );
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Error type for the Deep-Web source simulator.
+//!
+//! [`DeepError`] is the structured counterpart of the HTML error pages a
+//! real CGI endpoint would serve. `DeepSource::try_submit` returns it so
+//! programmatic callers (the probing loop in `webiq-core`) can branch on
+//! the failure kind without sniffing response markup; `DeepSource::submit`
+//! renders it back into the page a browser would have shown.
+
+use std::fmt;
+
+/// A failed form submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeepError {
+    /// The (injected) backend failure: a 500 page.
+    ServerError,
+    /// A required form field was left empty.
+    MissingRequired {
+        /// Name of the missing field.
+        field: String,
+    },
+    /// A value outside an enumerated (`<select>`-backed) domain.
+    InvalidValue {
+        /// Name of the rejected field.
+        field: String,
+    },
+}
+
+impl fmt::Display for DeepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeepError::ServerError => write!(f, "the source answered with a server error"),
+            DeepError::MissingRequired { field } => {
+                write!(f, "required field '{field}' was left empty")
+            }
+            DeepError::InvalidValue { field } => {
+                write!(
+                    f,
+                    "value rejected by the pre-defined domain of field '{field}'"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeepError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(
+            DeepError::ServerError.to_string(),
+            "the source answered with a server error"
+        );
+        assert_eq!(
+            DeepError::MissingRequired { field: "q".into() }.to_string(),
+            "required field 'q' was left empty"
+        );
+    }
+}

@@ -12,12 +12,15 @@
 //! - [`render`] — HTML result / no-results / error pages;
 //! - [`analyze`] — the Raghavan–Garcia-Molina-style submission-success
 //!   heuristics WebIQ runs over the returned page.
+#![forbid(unsafe_code)]
 
 pub mod analyze;
+pub mod error;
 pub mod record;
 pub mod render;
 pub mod source;
 
 pub use analyze::{analyze_response, SubmissionOutcome};
+pub use error::DeepError;
 pub use record::{Record, RecordStore};
 pub use source::{DeepSource, ParamDomain, SourceParam};

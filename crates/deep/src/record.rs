@@ -22,7 +22,10 @@ impl Record {
         V: Into<String>,
     {
         Record {
-            fields: fields.into_iter().map(|(k, v)| (k.into(), v.into())).collect(),
+            fields: fields
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
         }
     }
 
@@ -124,7 +127,10 @@ mod tests {
     }
 
     fn constraints(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect()
     }
 
     #[test]
@@ -151,7 +157,10 @@ mod tests {
     #[test]
     fn empty_values_are_unconstrained() {
         let s = flights();
-        assert_eq!(s.query(&constraints(&[("from", ""), ("to", "  ")])).len(), 3);
+        assert_eq!(
+            s.query(&constraints(&[("from", ""), ("to", "  ")])).len(),
+            3
+        );
         assert_eq!(s.query(&constraints(&[])).len(), 3);
     }
 
@@ -163,7 +172,10 @@ mod tests {
 
     #[test]
     fn substring_containment_for_text() {
-        let s = RecordStore::new(vec![Record::new([("title", "The Art of Computer Programming")])]);
+        let s = RecordStore::new(vec![Record::new([(
+            "title",
+            "The Art of Computer Programming",
+        )])]);
         assert_eq!(s.query(&constraints(&[("title", "computer")])).len(), 1);
         assert_eq!(s.query(&constraints(&[("title", "biology")])).len(), 0);
     }

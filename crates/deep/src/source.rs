@@ -15,7 +15,8 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::record::RecordStore;
+use crate::error::DeepError;
+use crate::record::{Record, RecordStore};
 use crate::render;
 
 /// Constraint a source places on one of its parameters.
@@ -87,35 +88,37 @@ impl DeepSource {
     }
 
     /// Submit the form with `values` (name → value; empty string = leave
-    /// unspecified). Returns the HTML response page.
-    pub fn submit(&self, values: &BTreeMap<String, String>) -> String {
+    /// unspecified). Returns the matching records, or a structured
+    /// [`DeepError`] describing why the source rejected the submission.
+    pub fn try_submit(&self, values: &BTreeMap<String, String>) -> Result<Vec<&Record>, DeepError> {
         self.probes.fetch_add(1, Ordering::Relaxed);
 
         if self.failure_rate > 0.0 {
             let h = param_hash(values);
             if (h % 10_000) as f64 / 10_000.0 < self.failure_rate {
-                return render::server_error_page();
+                return Err(DeepError::ServerError);
             }
         }
 
         // Validate against parameter domains.
         for p in &self.params {
-            let supplied = values.get(&p.name).map(String::as_str).unwrap_or("");
+            let supplied = values.get(&p.name).map_or("", String::as_str);
             if supplied.trim().is_empty() {
                 if p.required {
-                    return render::error_page(
-                        &self.name,
-                        &format!("field '{}' is required", p.name),
-                    );
+                    return Err(DeepError::MissingRequired {
+                        field: p.name.clone(),
+                    });
                 }
                 continue;
             }
             if let ParamDomain::Enumerated(allowed) = &p.domain {
-                if !allowed.iter().any(|a| a.eq_ignore_ascii_case(supplied.trim())) {
-                    return render::error_page(
-                        &self.name,
-                        &format!("invalid value for field '{}'", p.name),
-                    );
+                if !allowed
+                    .iter()
+                    .any(|a| a.eq_ignore_ascii_case(supplied.trim()))
+                {
+                    return Err(DeepError::InvalidValue {
+                        field: p.name.clone(),
+                    });
                 }
             }
         }
@@ -128,11 +131,23 @@ impl DeepSource {
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
 
-        let matches = self.store.query(&known);
-        if matches.is_empty() {
-            render::no_results_page(&self.name)
-        } else {
-            render::results_page(&self.name, &matches)
+        Ok(self.store.query(&known))
+    }
+
+    /// [`DeepSource::try_submit`] rendered the way a browser would see
+    /// it: the HTML response page, with every [`DeepError`] mapped to the
+    /// corresponding error page.
+    pub fn submit(&self, values: &BTreeMap<String, String>) -> String {
+        match self.try_submit(values) {
+            Ok(matches) if matches.is_empty() => render::no_results_page(&self.name),
+            Ok(matches) => render::results_page(&self.name, &matches),
+            Err(DeepError::ServerError) => render::server_error_page(),
+            Err(DeepError::MissingRequired { field }) => {
+                render::error_page(&self.name, &format!("field '{field}' is required"))
+            }
+            Err(DeepError::InvalidValue { field }) => {
+                render::error_page(&self.name, &format!("invalid value for field '{field}'"))
+            }
         }
     }
 }
@@ -163,8 +178,16 @@ mod tests {
         DeepSource::new(
             "AcmeAir",
             vec![
-                SourceParam { name: "from".into(), domain: ParamDomain::Free, required: false },
-                SourceParam { name: "to".into(), domain: ParamDomain::Free, required: false },
+                SourceParam {
+                    name: "from".into(),
+                    domain: ParamDomain::Free,
+                    required: false,
+                },
+                SourceParam {
+                    name: "to".into(),
+                    domain: ParamDomain::Free,
+                    required: false,
+                },
                 SourceParam {
                     name: "airline".into(),
                     domain: ParamDomain::Enumerated(vec![
@@ -180,7 +203,10 @@ mod tests {
     }
 
     fn params(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect()
     }
 
     #[test]
@@ -223,7 +249,11 @@ mod tests {
         let store = RecordStore::new(vec![Record::new([("q", "x")])]);
         let s = DeepSource::new(
             "Req",
-            vec![SourceParam { name: "q".into(), domain: ParamDomain::Free, required: true }],
+            vec![SourceParam {
+                name: "q".into(),
+                domain: ParamDomain::Free,
+                required: true,
+            }],
             store,
         );
         let page = s.submit(&params(&[]));

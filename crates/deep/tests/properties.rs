@@ -3,8 +3,7 @@
 use std::collections::BTreeMap;
 
 use webiq_deep::{
-    analyze_response, DeepSource, ParamDomain, Record, RecordStore, SourceParam,
-    SubmissionOutcome,
+    analyze_response, DeepSource, ParamDomain, Record, RecordStore, SourceParam, SubmissionOutcome,
 };
 use webiq_rng::prop;
 
@@ -15,7 +14,11 @@ fn source(values: &[String]) -> DeepSource {
     }
     DeepSource::new(
         "PropSource",
-        vec![SourceParam { name: "field".into(), domain: ParamDomain::Free, required: false }],
+        vec![SourceParam {
+            name: "field".into(),
+            domain: ParamDomain::Free,
+            required: false,
+        }],
         store,
     )
 }
@@ -27,7 +30,11 @@ fn submit_total() {
     prop::cases(prop::CASES, |rng| {
         let values = prop::string_vec(rng, prop::alnum_space(), 1, 9, 1, 12);
         let key = rng.gen_string(prop::lower(), 1, 8);
-        let value = rng.gen_string(prop::charset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789<>&\" "), 0, 20);
+        let value = rng.gen_string(
+            prop::charset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789<>&\" "),
+            0,
+            20,
+        );
         let src = source(&values);
         let mut params = BTreeMap::new();
         params.insert(key, value);
@@ -53,7 +60,10 @@ fn store_membership_decides_outcome() {
         // "0" can never appear in an alphabetic store
         let mut params = BTreeMap::new();
         params.insert("field".to_string(), "0".to_string());
-        assert_eq!(analyze_response(&src.submit(&params)), SubmissionOutcome::NoResults);
+        assert_eq!(
+            analyze_response(&src.submit(&params)),
+            SubmissionOutcome::NoResults
+        );
     });
 }
 

@@ -100,8 +100,19 @@ pub fn normalize_ws(s: &str) -> String {
 fn is_void(name: &str) -> bool {
     matches!(
         name,
-        "input" | "br" | "hr" | "img" | "meta" | "link" | "area" | "base" | "col" | "embed"
-            | "source" | "track" | "wbr"
+        "input"
+            | "br"
+            | "hr"
+            | "img"
+            | "meta"
+            | "link"
+            | "area"
+            | "base"
+            | "col"
+            | "embed"
+            | "source"
+            | "track"
+            | "wbr"
     )
 }
 
@@ -141,8 +152,11 @@ pub fn parse(html: &str) -> Vec<Node> {
 
     fn close_one(stack: &mut Vec<Open>, roots: &mut Vec<Node>) {
         if let Some(open) = stack.pop() {
-            let node =
-                Node::Element { name: open.name, attrs: open.attrs, children: open.children };
+            let node = Node::Element {
+                name: open.name,
+                attrs: open.attrs,
+                children: open.children,
+            };
             push_node(stack, roots, node);
         }
     }
@@ -155,7 +169,11 @@ pub fn parse(html: &str) -> Vec<Node> {
                 }
             }
             HtmlToken::Comment(_) | HtmlToken::Doctype(_) => {}
-            HtmlToken::StartTag { name, attrs, self_closing } => {
+            HtmlToken::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
                 while stack
                     .last()
                     .is_some_and(|open| implicitly_closes(&open.name, &name))
@@ -166,10 +184,18 @@ pub fn parse(html: &str) -> Vec<Node> {
                     push_node(
                         &mut stack,
                         &mut roots,
-                        Node::Element { name, attrs, children: Vec::new() },
+                        Node::Element {
+                            name,
+                            attrs,
+                            children: Vec::new(),
+                        },
                     );
                 } else {
-                    stack.push(Open { name, attrs, children: Vec::new() });
+                    stack.push(Open {
+                        name,
+                        attrs,
+                        children: Vec::new(),
+                    });
                 }
             }
             HtmlToken::EndTag { name } => {
@@ -220,7 +246,8 @@ mod tests {
 
     #[test]
     fn options_without_close_tags() {
-        let html = "<select name=airline><option>Delta<option>United<option selected>American</select>";
+        let html =
+            "<select name=airline><option>Delta<option>United<option selected>American</select>";
         let doc = parse_document(html);
         let mut options = Vec::new();
         doc.find_all("option", &mut options);

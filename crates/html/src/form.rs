@@ -100,7 +100,10 @@ fn label_for_map(form: &Node) -> Vec<(String, String)> {
 
 /// Trim trailing separators commonly stuck to label text.
 fn clean_label(s: &str) -> String {
-    s.trim().trim_end_matches([':', '*', '?']).trim().to_string()
+    s.trim()
+        .trim_end_matches([':', '*', '?'])
+        .trim()
+        .to_string()
 }
 
 /// Options (and default) of a `<select>` node.
@@ -111,7 +114,7 @@ fn select_options(select: &Node) -> (Vec<String>, Option<String>) {
     let mut default = None;
     for o in nodes {
         let text = o.text();
-        let value = o.attr("value").map(str::to_string).unwrap_or_else(|| text.clone());
+        let value = o.attr("value").map_or_else(|| text.clone(), str::to_string);
         // skip placeholder entries like "-- select --", "any", ""
         let is_placeholder = {
             let t = text.to_ascii_lowercase();
@@ -161,8 +164,7 @@ pub fn extract_form(form: &Node) -> ExtractedForm {
                 pending_text = Some(t.clone());
             }
             Event::Control(node) => {
-                let Some(field) =
-                    build_field(node, &for_labels, &mut pending_text, &mut fields)
+                let Some(field) = build_field(node, &for_labels, &mut pending_text, &mut fields)
                 else {
                     continue;
                 };
@@ -170,7 +172,11 @@ pub fn extract_form(form: &Node) -> ExtractedForm {
             }
         }
     }
-    ExtractedForm { action, method, fields }
+    ExtractedForm {
+        action,
+        method,
+        fields,
+    }
 }
 
 /// Build a field from a control node; radio buttons merge into an existing
@@ -181,7 +187,7 @@ fn build_field(
     pending_text: &mut Option<String>,
     fields: &mut [FormField],
 ) -> Option<FormField> {
-    let tag = node.name().expect("control is an element");
+    let tag = node.name()?;
     let name = node.attr("name").unwrap_or("").to_string();
     if name.is_empty() {
         return None;
@@ -203,11 +209,23 @@ fn build_field(
         "select" => {
             let (options, default) = select_options(node);
             let label = take_label(pending_text);
-            Some(FormField { name, label, kind: FieldKind::Select, options, default })
+            Some(FormField {
+                name,
+                label,
+                kind: FieldKind::Select,
+                options,
+                default,
+            })
         }
         "textarea" => {
             let label = take_label(pending_text);
-            Some(FormField { name, label, kind: FieldKind::Text, options: Vec::new(), default: None })
+            Some(FormField {
+                name,
+                label,
+                kind: FieldKind::Text,
+                options: Vec::new(),
+                default: None,
+            })
         }
         "input" => {
             let ty = node.attr("type").unwrap_or("text").to_ascii_lowercase();
@@ -353,7 +371,8 @@ mod tests {
 
     #[test]
     fn submit_buttons_skipped() {
-        let html = r#"<form><input type=text name=q><input type=submit name=go value=Search></form>"#;
+        let html =
+            r#"<form><input type=text name=q><input type=submit name=go value=Search></form>"#;
         let forms = extract_forms(html);
         assert_eq!(forms[0].fields.len(), 1);
         assert_eq!(forms[0].fields[0].name, "q");

@@ -93,7 +93,7 @@ pub fn tokenize(html: &str) -> Vec<HtmlToken> {
         if i + 1 < b.len() && (b[i + 1] == b'!' || b[i + 1] == b'?') {
             // doctype or processing instruction
             flush(&mut out, i, text_start);
-            let end = html[i..].find('>').map(|p| i + p).unwrap_or(b.len());
+            let end = html[i..].find('>').map_or(b.len(), |p| i + p);
             out.push(HtmlToken::Doctype(html[i + 2..end].trim().to_string()));
             i = (end + 1).min(b.len());
             text_start = i;
@@ -167,11 +167,25 @@ fn lex_tag(html: &str, start: usize) -> Option<(HtmlToken, usize)> {
             i += 1;
         }
         if i >= b.len() {
-            return Some((HtmlToken::StartTag { name, attrs, self_closing }, i));
+            return Some((
+                HtmlToken::StartTag {
+                    name,
+                    attrs,
+                    self_closing,
+                },
+                i,
+            ));
         }
         match b[i] {
             b'>' => {
-                return Some((HtmlToken::StartTag { name, attrs, self_closing }, i + 1));
+                return Some((
+                    HtmlToken::StartTag {
+                        name,
+                        attrs,
+                        self_closing,
+                    },
+                    i + 1,
+                ));
             }
             b'/' => {
                 self_closing = true;
@@ -209,10 +223,7 @@ fn lex_tag(html: &str, start: usize) -> Option<(HtmlToken, usize)> {
                         i = (i + 1).min(b.len());
                     } else {
                         let v_start = i;
-                        while i < b.len()
-                            && !b[i].is_ascii_whitespace()
-                            && b[i] != b'>'
-                        {
+                        while i < b.len() && !b[i].is_ascii_whitespace() && b[i] != b'>' {
                             i += 1;
                         }
                         value = entities::decode(&html[v_start..i]);
@@ -243,7 +254,12 @@ mod tests {
         assert_eq!(toks.len(), 5);
         assert_eq!(start(&toks[0]).0, "html");
         assert_eq!(toks[2], HtmlToken::Text("Hi".into()));
-        assert_eq!(toks[4], HtmlToken::EndTag { name: "html".into() });
+        assert_eq!(
+            toks[4],
+            HtmlToken::EndTag {
+                name: "html".into()
+            }
+        );
     }
 
     #[test]
@@ -252,10 +268,34 @@ mod tests {
         let (name, attrs) = start(&toks[0]);
         assert_eq!(name, "input");
         assert_eq!(attrs.len(), 4);
-        assert_eq!(attrs[0], Attr { name: "type".into(), value: "text".into() });
-        assert_eq!(attrs[1], Attr { name: "name".into(), value: "city".into() });
-        assert_eq!(attrs[2], Attr { name: "value".into(), value: "Boston".into() });
-        assert_eq!(attrs[3], Attr { name: "disabled".into(), value: "".into() });
+        assert_eq!(
+            attrs[0],
+            Attr {
+                name: "type".into(),
+                value: "text".into()
+            }
+        );
+        assert_eq!(
+            attrs[1],
+            Attr {
+                name: "name".into(),
+                value: "city".into()
+            }
+        );
+        assert_eq!(
+            attrs[2],
+            Attr {
+                name: "value".into(),
+                value: "Boston".into()
+            }
+        );
+        assert_eq!(
+            attrs[3],
+            Attr {
+                name: "disabled".into(),
+                value: "".into()
+            }
+        );
     }
 
     #[test]
@@ -266,7 +306,11 @@ mod tests {
             other => panic!("{other:?}"),
         }
         match &toks[1] {
-            HtmlToken::StartTag { name, self_closing, attrs } => {
+            HtmlToken::StartTag {
+                name,
+                self_closing,
+                attrs,
+            } => {
                 assert_eq!(name, "input");
                 assert!(self_closing);
                 assert_eq!(attrs.len(), 1);
@@ -280,7 +324,12 @@ mod tests {
         let toks = tokenize("<SELECT NAME=airline><OPTION>Delta</OPTION></SELECT>");
         assert_eq!(start(&toks[0]).0, "select");
         assert_eq!(start(&toks[0]).1[0].name, "name");
-        assert_eq!(toks.last(), Some(&HtmlToken::EndTag { name: "select".into() }));
+        assert_eq!(
+            toks.last(),
+            Some(&HtmlToken::EndTag {
+                name: "select".into()
+            })
+        );
     }
 
     #[test]
@@ -316,7 +365,12 @@ mod tests {
         let toks = tokenize("<script>if (a<b) {}</script><p>after</p>");
         assert_eq!(start(&toks[0]).0, "script");
         assert_eq!(toks[1], HtmlToken::Text("if (a<b) {}".into()));
-        assert_eq!(toks[2], HtmlToken::EndTag { name: "script".into() });
+        assert_eq!(
+            toks[2],
+            HtmlToken::EndTag {
+                name: "script".into()
+            }
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! - [`form`] — query-interface extraction: controls, labels (via
 //!   `label[for]`, wrapping labels, or preceding text), `<select>`
 //!   options as pre-defined instances, radio-group merging.
+#![forbid(unsafe_code)]
 
 pub mod dom;
 pub mod entities;

@@ -81,7 +81,7 @@ fn generated_form_roundtrip() {
         let forms = form::extract_forms(&html);
         assert_eq!(forms.len(), 1);
         let got: Vec<&str> = forms[0].fields.iter().map(|f| f.name.as_str()).collect();
-        let want: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let want: Vec<&str> = names.iter().map(std::string::String::as_str).collect();
         assert_eq!(got, want);
     });
 }

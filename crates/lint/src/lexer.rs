@@ -1,0 +1,561 @@
+//! A lightweight Rust token lexer — just enough lexical structure for the
+//! workspace lint rules, in the spirit of `crates/html/src/lexer.rs`.
+//!
+//! Produces identifiers, numbers, string/char literals, lifetimes,
+//! comments, and single-character punctuation, each tagged with its
+//! 1-based line and column. It deliberately does *not* build multi-char
+//! operators: rules that need `::` or `..` match adjacent punctuation
+//! tokens instead, which keeps the lexer small and obviously correct.
+//!
+//! Handled Rust surface syntax: nested block comments, doc comments
+//! (`///`, `//!`, `/** */`, `/*! */`), raw strings (`r"…"`, `r#"…"#`),
+//! byte and C strings (`b"…"`, `c"…"`, `br#"…"#`), byte chars (`b'x'`),
+//! raw identifiers (`r#match`), char literals vs. lifetimes, and float
+//! exponents (`1.0e-3` lexes as one number, so a rule never mistakes the
+//! exponent sign for a binary minus).
+
+/// What kind of lexeme a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`).
+    Ident,
+    /// Numeric literal, including any suffix (`42`, `0xFF`, `1.0e-3`).
+    Number,
+    /// String literal of any flavour (regular, raw, byte, C).
+    Str,
+    /// Character or byte-character literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'static`) — including the leading quote.
+    Lifetime,
+    /// `//` comment; `text` is everything after the `//`.
+    LineComment,
+    /// `/* */` comment; `text` is everything between the delimiters.
+    BlockComment,
+    /// Single punctuation character (`.`, `[`, `:`, `-`, …).
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// Token text. For comments, the delimiters are stripped; for
+    /// punctuation this is the single character.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in chars).
+    pub col: u32,
+}
+
+impl Tok {
+    /// Is this punctuation token exactly `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.starts_with(c)
+    }
+
+    /// Is this an identifier token with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// Character cursor with line/column tracking. All access is through
+/// `peek`/`bump`, so the lexer never indexes or slices.
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Character `off` positions ahead of the cursor, if any.
+    fn peek(&self, off: usize) -> Option<char> {
+        self.chars.get(self.i.saturating_add(off)).copied()
+    }
+
+    /// Consume and return the next character, updating line/col.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.i = self.i.saturating_add(1);
+        if c == '\n' {
+            self.line = self.line.saturating_add(1);
+            self.col = 1;
+        } else {
+            self.col = self.col.saturating_add(1);
+        }
+        Some(c)
+    }
+
+    /// Consume `n` characters (or fewer at end of input).
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.bump().is_none() {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize Rust source. Never fails: unterminated literals simply run to
+/// end of input, which is good enough for linting (the compiler will
+/// reject such files anyway).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('/') {
+            cur.bump_n(2);
+            let mut text = String::new();
+            while let Some(n) = cur.peek(0) {
+                if n == '\n' {
+                    break;
+                }
+                text.push(n);
+                cur.bump();
+            }
+            out.push(Tok {
+                kind: TokKind::LineComment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump_n(2);
+            let mut text = String::new();
+            let mut depth = 1u32;
+            while let Some(n) = cur.peek(0) {
+                if n == '/' && cur.peek(1) == Some('*') {
+                    depth = depth.saturating_add(1);
+                    text.push_str("/*");
+                    cur.bump_n(2);
+                } else if n == '*' && cur.peek(1) == Some('/') {
+                    depth = depth.saturating_sub(1);
+                    cur.bump_n(2);
+                    if depth == 0 {
+                        break;
+                    }
+                    text.push_str("*/");
+                } else {
+                    text.push(n);
+                    cur.bump();
+                }
+            }
+            out.push(Tok {
+                kind: TokKind::BlockComment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Raw strings, byte/C strings, byte chars, raw identifiers — all
+        // start with what would otherwise be an identifier character.
+        if matches!(c, 'r' | 'b' | 'c') {
+            if let Some(tok) = lex_prefixed_literal(&mut cur, line, col) {
+                out.push(tok);
+                continue;
+            }
+        }
+        if is_ident_start(c) {
+            out.push(lex_ident(&mut cur, line, col));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.push(lex_number(&mut cur, line, col));
+            continue;
+        }
+        if c == '"' {
+            cur.bump();
+            out.push(Tok {
+                kind: TokKind::Str,
+                text: lex_quoted(&mut cur, '"'),
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '\'' {
+            out.push(lex_quote(&mut cur, line, col));
+            continue;
+        }
+        cur.bump();
+        out.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Try to lex a literal introduced by `r`, `b`, or `c`: raw strings
+/// (`r"…"`/`r#"…"#` and the `br`/`cr` variants), byte or C strings
+/// (`b"…"`, `c"…"`), byte chars (`b'x'`), and raw identifiers
+/// (`r#match`). Returns `None` when the cursor is on a plain identifier.
+fn lex_prefixed_literal(cur: &mut Cursor, line: u32, col: u32) -> Option<Tok> {
+    let c0 = cur.peek(0)?;
+    // b'x' — byte char
+    if c0 == 'b' && cur.peek(1) == Some('\'') {
+        cur.bump_n(2);
+        let text = lex_quoted(cur, '\'');
+        return Some(Tok {
+            kind: TokKind::Char,
+            text,
+            line,
+            col,
+        });
+    }
+    // b"…" / c"…"
+    if matches!(c0, 'b' | 'c') && cur.peek(1) == Some('"') {
+        cur.bump_n(2);
+        let text = lex_quoted(cur, '"');
+        return Some(Tok {
+            kind: TokKind::Str,
+            text,
+            line,
+            col,
+        });
+    }
+    // br / cr raw strings
+    if matches!(c0, 'b' | 'c') && cur.peek(1) == Some('r') {
+        let mut hashes = 0usize;
+        while cur.peek(2usize.saturating_add(hashes)) == Some('#') {
+            hashes = hashes.saturating_add(1);
+        }
+        if cur.peek(2usize.saturating_add(hashes)) == Some('"') {
+            cur.bump_n(2);
+            return Some(lex_raw_string(cur, line, col));
+        }
+        return None;
+    }
+    if c0 == 'r' {
+        let mut hashes = 0usize;
+        while cur.peek(1usize.saturating_add(hashes)) == Some('#') {
+            hashes = hashes.saturating_add(1);
+        }
+        let after = cur.peek(1usize.saturating_add(hashes));
+        if after == Some('"') {
+            cur.bump();
+            return Some(lex_raw_string(cur, line, col));
+        }
+        // r#ident — raw identifier (exactly one hash, then ident start)
+        if hashes == 1 && after.is_some_and(is_ident_start) {
+            cur.bump_n(2);
+            return Some(lex_ident(cur, line, col));
+        }
+    }
+    None
+}
+
+/// Lex `#*"…"#*` with the cursor on the first `#` or `"`.
+fn lex_raw_string(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes = hashes.saturating_add(1);
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    let mut text = String::new();
+    'scan: while let Some(c) = cur.peek(0) {
+        if c == '"' {
+            // candidate close: `"` followed by `hashes` hash marks
+            for k in 0..hashes {
+                if cur.peek(1usize.saturating_add(k)) != Some('#') {
+                    text.push(c);
+                    cur.bump();
+                    continue 'scan;
+                }
+            }
+            cur.bump_n(1usize.saturating_add(hashes));
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Lex the body of a quoted literal (cursor just past the opening quote),
+/// honouring backslash escapes, through the closing `quote`.
+fn lex_quoted(cur: &mut Cursor, quote: char) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            text.push(c);
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        cur.bump();
+        if c == quote {
+            break;
+        }
+        text.push(c);
+    }
+    text
+}
+
+/// Lex a `'`-introduced token: lifetime (`'a`, `'static`) when an
+/// identifier follows without a closing quote, char literal otherwise.
+fn lex_quote(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let next = cur.peek(1);
+    let after = cur.peek(2);
+    if next.is_some_and(is_ident_start) && after != Some('\'') {
+        cur.bump(); // the quote
+        let mut text = String::from("'");
+        while let Some(c) = cur.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            cur.bump();
+        }
+        return Tok {
+            kind: TokKind::Lifetime,
+            text,
+            line,
+            col,
+        };
+    }
+    cur.bump();
+    Tok {
+        kind: TokKind::Char,
+        text: lex_quoted(cur, '\''),
+        line,
+        col,
+    }
+}
+
+fn lex_ident(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Tok {
+        kind: TokKind::Ident,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Lex a numeric literal: digits, `_`, suffix letters, at most the usual
+/// float shape. A `.` is consumed only when a digit follows (so `0..10`
+/// stays two punctuation dots) and an `e`/`E` exponent may consume one
+/// sign character (so `1.0e-3` is a single token and its `-` can never be
+/// mistaken for a binary minus by the slice rule).
+fn lex_number(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    let mut seen_dot = false;
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+            // exponent sign: `e`/`E` directly followed by `+`/`-` then digit
+            if matches!(c, 'e' | 'E')
+                && matches!(cur.peek(0), Some('+') | Some('-'))
+                && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !text.starts_with("0x")
+                && !text.starts_with("0b")
+                && !text.starts_with("0o")
+            {
+                if let Some(sign) = cur.bump() {
+                    text.push(sign);
+                }
+            }
+            continue;
+        }
+        if c == '.' && !seen_dot && cur.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+            seen_dot = true;
+            text.push(c);
+            cur.bump();
+            continue;
+        }
+        break;
+    }
+    Tok {
+        kind: TokKind::Number,
+        text,
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.unwrap();");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Ident, "a".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Ident, "unwrap".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Punct, ")".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  bb");
+        let a = toks.first().expect("a");
+        assert_eq!((a.line, a.col), (1, 1));
+        let b = toks.get(1).expect("bb");
+        assert_eq!((b.line, b.col), (2, 3));
+    }
+
+    #[test]
+    fn comments_capture_text() {
+        let toks = kinds("//! doc\n// plain\n/* block */");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::LineComment, "! doc".into()),
+                (TokKind::LineComment, " plain".into()),
+                (TokKind::BlockComment, " block ".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks.first().map(|t| t.0), Some(TokKind::BlockComment));
+        assert_eq!(toks.get(1), Some(&(TokKind::Ident, "x".to_string())));
+    }
+
+    #[test]
+    fn string_flavours() {
+        let toks = kinds(r####""s" r"raw" r#"ra"w"# b"bytes" br#"b"# c"c" "####);
+        let texts: Vec<String> = toks
+            .into_iter()
+            .map(|(k, t)| {
+                assert_eq!(k, TokKind::Str);
+                t
+            })
+            .collect();
+        assert_eq!(texts, vec!["s", "raw", "ra\"w", "bytes", "b", "c"]);
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_literal() {
+        let toks = kinds(r#""a\"b" x"#);
+        assert_eq!(toks.first(), Some(&(TokKind::Str, "a\\\"b".to_string())));
+        assert_eq!(toks.get(1), Some(&(TokKind::Ident, "x".to_string())));
+    }
+
+    #[test]
+    fn strings_hide_rule_triggers() {
+        // `.unwrap()` inside a string must not produce Ident("unwrap")
+        let toks = lex(r#"let m = "x.unwrap() and panic!";"#);
+        assert!(!toks
+            .iter()
+            .any(|t| t.is_ident("unwrap") || t.is_ident("panic")));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("'a 'static 'x' '\\n' b'z'");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Lifetime, "'a".into()),
+                (TokKind::Lifetime, "'static".into()),
+                (TokKind::Char, "x".into()),
+                (TokKind::Char, "\\n".into()),
+                (TokKind::Char, "z".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = kinds("r#match");
+        assert_eq!(toks, vec![(TokKind::Ident, "match".into())]);
+    }
+
+    #[test]
+    fn number_shapes() {
+        assert_eq!(
+            kinds("42 1_000 0xFFu8"),
+            vec![
+                (TokKind::Number, "42".into()),
+                (TokKind::Number, "1_000".into()),
+                (TokKind::Number, "0xFFu8".into()),
+            ]
+        );
+        // range dots stay punctuation
+        assert_eq!(
+            kinds("0..10"),
+            vec![
+                (TokKind::Number, "0".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Number, "10".into()),
+            ]
+        );
+        // exponent minus is part of the number
+        assert_eq!(kinds("1.0e-3"), vec![(TokKind::Number, "1.0e-3".into())]);
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof() {
+        assert_eq!(kinds("\"open"), vec![(TokKind::Str, "open".into())]);
+        assert_eq!(
+            kinds("/* open"),
+            vec![(TokKind::BlockComment, " open".into())]
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! `webiq-lint` — the workspace's own static-analysis pass.
+//!
+//! A deterministic, dependency-free lint over every Rust source file in
+//! the workspace, built on a lightweight token lexer (no full parser).
+//! It enforces the three invariant families WebIQ's reproduction
+//! guarantees rest on:
+//!
+//! * **panic-freedom** — library code in the pipeline crates must not
+//!   `unwrap`/`expect`/`panic!` or do underflow-prone index arithmetic;
+//! * **determinism** — no wall-clock reads outside bench/timing code, no
+//!   environment reads outside the config plumbing, and no unordered
+//!   `HashMap`/`HashSet` iteration in modules tagged
+//!   `// lint:deterministic`;
+//! * **hygiene** — every crate root carries `#![forbid(unsafe_code)]`
+//!   and a crate-level doc comment.
+//!
+//! Violations render as `file:line:col rule-id message`, sorted, so the
+//! report is byte-identical across runs. `// lint:allow(rule-id) reason`
+//! suppresses a finding on its own or the following line; the reason is
+//! mandatory and every honoured suppression is counted in the summary.
+//!
+//! Run with `cargo run -p webiq-lint`; see DESIGN.md §10 for the rule
+//! catalogue.
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use std::io;
+use std::path::Path;
+
+pub use report::{LintReport, Violation};
+pub use rules::{Scope, SourceFile, RULES};
+
+/// Lint every workspace source file under `root` with the default
+/// [`Scope`]. The returned report is finished (sorted) and ready to
+/// render.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let files = walk::workspace_sources(root)?;
+    Ok(lint_files(&files, &Scope::default()))
+}
+
+/// Lint an explicit set of classified files.
+pub fn lint_files(files: &[SourceFile], scope: &Scope) -> LintReport {
+    let mut report = LintReport::default();
+    for f in files {
+        let outcome = rules::lint_source(f, scope);
+        report.absorb(outcome.violations, outcome.suppressed);
+    }
+    report.finish();
+    report
+}

@@ -1,0 +1,55 @@
+//! Command-line entry point for `webiq-lint`.
+//!
+//! With no arguments, finds the workspace root (the nearest ancestor
+//! with a `[workspace]` manifest) and lints every workspace source
+//! file. `--rules` lists the rule catalogue. Exits 0 on a clean
+//! workspace and 1 when violations remain.
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use webiq_lint::{lint_workspace, walk, RULES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--rules") {
+        for (id, desc) in RULES {
+            println!("{id:14} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let start = match args.first() {
+        Some(p) => PathBuf::from(p),
+        None => match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("webiq-lint: cannot determine working directory: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let Some(root) = walk::find_workspace_root(&start) else {
+        eprintln!(
+            "webiq-lint: no [workspace] Cargo.toml found above {}",
+            start.display()
+        );
+        return ExitCode::FAILURE;
+    };
+
+    match lint_workspace(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("webiq-lint: io error while walking workspace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

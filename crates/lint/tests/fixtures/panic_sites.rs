@@ -1,0 +1,16 @@
+//! Fixture: panic-freedom violations in non-test library code.
+//! Expected: no-unwrap x1, no-expect x1, no-panic x2, slice-arith x1.
+
+pub fn bad(xs: &[u32]) -> u32 {
+    let first = xs.first().unwrap();
+    let second = xs.get(1).expect("second element");
+    if *first > *second {
+        panic!("out of order");
+    }
+    let n = xs.len();
+    xs[n - 1]
+}
+
+pub fn worse() -> u32 {
+    unreachable!()
+}

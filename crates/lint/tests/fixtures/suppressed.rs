@@ -1,0 +1,13 @@
+//! Fixture: violations silenced by well-formed `lint:allow` directives.
+//! Expected: clean, with two honoured suppressions.
+
+pub fn timed() -> f64 {
+    // lint:allow(wall-clock) fixture models a report-only timing read
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn last(xs: &[u32]) -> u32 {
+    // lint:allow(slice-arith) caller guarantees xs is non-empty
+    xs[xs.len() - 1]
+}

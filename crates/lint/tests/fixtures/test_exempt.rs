@@ -1,0 +1,20 @@
+//! Fixture: `#[cfg(test)]` code may panic freely.
+//! Expected: clean.
+
+pub fn fine(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panics_are_fine_here() {
+        let v = vec![1u32, 2];
+        assert_eq!(*v.first().unwrap(), 1);
+        assert_eq!(*v.get(1).expect("present"), 2);
+        assert_eq!(fine(&v), 1);
+        assert_eq!(v[v.len() - 1], 2);
+    }
+}

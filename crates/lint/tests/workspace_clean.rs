@@ -1,0 +1,80 @@
+//! The tier-1 gate: the workspace itself must lint clean, the report must
+//! be byte-identical across runs, and the binary must exit non-zero on a
+//! workspace with violations.
+
+use std::path::Path;
+use std::process::Command;
+
+use webiq_lint::{lint_workspace, walk};
+
+fn workspace_root() -> std::path::PathBuf {
+    walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint")
+}
+
+#[test]
+fn workspace_is_clean() {
+    let report = lint_workspace(&workspace_root()).expect("walk workspace");
+    assert!(
+        report.is_clean(),
+        "workspace must lint clean:\n{}",
+        report.render()
+    );
+    assert!(
+        report.files_checked >= 80,
+        "walker found suspiciously few files: {}",
+        report.files_checked
+    );
+    assert!(report.suppressed >= 1, "the audited allows must be counted");
+}
+
+#[test]
+fn report_is_byte_identical_across_runs() {
+    let root = workspace_root();
+    let a = lint_workspace(&root).expect("first run");
+    let b = lint_workspace(&root).expect("second run");
+    assert_eq!(a.render(), b.render());
+}
+
+#[test]
+fn binary_exits_nonzero_on_dirty_workspace() {
+    // Assemble a minimal fake workspace whose one library file violates
+    // the panic-freedom rules, then run the real binary against it.
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("webiq-lint-dirty");
+    let src = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src).expect("create fake workspace");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+    std::fs::write(
+        src.join("lib.rs"),
+        "//! Fake crate.\n#![forbid(unsafe_code)]\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .expect("dirty source");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_webiq-lint"))
+        .arg(&dir)
+        .output()
+        .expect("run webiq-lint");
+    assert!(!out.status.success(), "dirty workspace must fail the lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("no-unwrap"),
+        "report names the rule:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/core/src/lib.rs:3:"),
+        "report names the site:\n{stdout}"
+    );
+}
+
+#[test]
+fn binary_lists_rules() {
+    let out = Command::new(env!("CARGO_BIN_EXE_webiq-lint"))
+        .arg("--rules")
+        .output()
+        .expect("run webiq-lint --rules");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in ["no-unwrap", "hash-iter", "forbid-unsafe", "bad-allow"] {
+        assert!(stdout.contains(rule), "missing {rule}:\n{stdout}");
+    }
+}

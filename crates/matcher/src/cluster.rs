@@ -67,7 +67,11 @@ pub fn cluster_logged<I: Copy>(
         }
         let Some((score, a, b)) = best else { break };
         let (ra, rb) = representative_pair(&clusters[a], &clusters[b], sim);
-        log.push(MergeEvent { score, a: items[ra].id, b: items[rb].id });
+        log.push(MergeEvent {
+            score,
+            a: items[ra].id,
+            b: items[rb].id,
+        });
         let merged = clusters.swap_remove(b);
         clusters[a].extend(merged);
     }
@@ -128,7 +132,11 @@ mod tests {
     use super::*;
 
     fn items(interfaces: &[usize]) -> Vec<Item<usize>> {
-        interfaces.iter().enumerate().map(|(id, &interface)| Item { id, interface }).collect()
+        interfaces
+            .iter()
+            .enumerate()
+            .map(|(id, &interface)| Item { id, interface })
+            .collect()
     }
 
     /// Similarity matrix from explicit entries.

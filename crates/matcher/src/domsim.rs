@@ -41,14 +41,19 @@ pub fn majority_type<S: AsRef<str>>(values: &[S]) -> ValueType {
     counts
         .iter()
         .max_by_key(|(t, n)| (*n, matches!(t, ValueType::Text) as usize))
-        .map(|(t, _)| *t)
-        .expect("counts is non-empty")
+        .map_or(ValueType::Text, |(t, _)| *t)
 }
 
 /// Jaccard overlap of lowercase value sets.
 fn value_jaccard<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
-    let sa: BTreeSet<String> = a.iter().map(|v| v.as_ref().trim().to_ascii_lowercase()).collect();
-    let sb: BTreeSet<String> = b.iter().map(|v| v.as_ref().trim().to_ascii_lowercase()).collect();
+    let sa: BTreeSet<String> = a
+        .iter()
+        .map(|v| v.as_ref().trim().to_ascii_lowercase())
+        .collect();
+    let sb: BTreeSet<String> = b
+        .iter()
+        .map(|v| v.as_ref().trim().to_ascii_lowercase())
+        .collect();
     if sa.is_empty() || sb.is_empty() {
         return 0.0;
     }
@@ -63,8 +68,14 @@ fn value_jaccard<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
 /// more relative to the smaller set than relative to the union, so
 /// containment is the right measure for enriched domains.
 fn value_containment<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
-    let sa: BTreeSet<String> = a.iter().map(|v| v.as_ref().trim().to_ascii_lowercase()).collect();
-    let sb: BTreeSet<String> = b.iter().map(|v| v.as_ref().trim().to_ascii_lowercase()).collect();
+    let sa: BTreeSet<String> = a
+        .iter()
+        .map(|v| v.as_ref().trim().to_ascii_lowercase())
+        .collect();
+    let sb: BTreeSet<String> = b
+        .iter()
+        .map(|v| v.as_ref().trim().to_ascii_lowercase())
+        .collect();
     let min = sa.len().min(sb.len());
     if min == 0 {
         return 0.0;
@@ -75,7 +86,10 @@ fn value_containment<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
 /// Overlap ratio of the numeric ranges spanned by two value sets.
 fn range_overlap<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
     let range = |vals: &[S]| -> Option<(f64, f64)> {
-        let nums: Vec<f64> = vals.iter().filter_map(|v| numeric_value(v.as_ref())).collect();
+        let nums: Vec<f64> = vals
+            .iter()
+            .filter_map(|v| numeric_value(v.as_ref()))
+            .collect();
         if nums.is_empty() {
             return None;
         }
@@ -90,7 +104,11 @@ fn range_overlap<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
     let union = ahi.max(bhi) - alo.min(blo);
     if union <= 0.0 {
         // both ranges are single identical points
-        return if (alo - blo).abs() < f64::EPSILON { 1.0 } else { 0.0 };
+        return if (alo - blo).abs() < f64::EPSILON {
+            1.0
+        } else {
+            0.0
+        };
     }
     inter / union
 }
@@ -240,7 +258,7 @@ mod tests {
         let b = ["Stephen King", "Tom Clancy"];
         let s = dom_sim(&a, &b);
         assert!(s > 0.2, "s = {s}"); // one of two shared → containment 0.5
-        // word-level overlap alone must NOT create similarity
+                                     // word-level overlap alone must NOT create similarity
         let c = ["Air Canada", "American"];
         let d = ["Air France", "Aer Lingus"];
         assert_eq!(dom_sim(&c, &d), 0.0);

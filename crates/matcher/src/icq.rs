@@ -28,14 +28,21 @@ pub struct MatchConfig {
 
 impl Default for MatchConfig {
     fn default() -> Self {
-        MatchConfig { alpha: 0.6, beta: 0.4, threshold: 0.0 }
+        MatchConfig {
+            alpha: 0.6,
+            beta: 0.4,
+            threshold: 0.0,
+        }
     }
 }
 
 impl MatchConfig {
     /// The paper's thresholded configuration (τ = 0.1).
     pub fn with_threshold(threshold: f64) -> Self {
-        MatchConfig { threshold, ..MatchConfig::default() }
+        MatchConfig {
+            threshold,
+            ..MatchConfig::default()
+        }
     }
 }
 
@@ -55,7 +62,11 @@ pub struct MatchAttribute {
 /// baseline IceQ configuration).
 pub fn attributes_of(ds: &Dataset) -> Vec<MatchAttribute> {
     ds.attributes()
-        .map(|(r, a)| MatchAttribute { r, label: a.label.clone(), values: a.instances.clone() })
+        .map(|(r, a)| MatchAttribute {
+            r,
+            label: a.label.clone(),
+            values: a.instances.clone(),
+        })
         .collect()
 }
 
@@ -87,8 +98,13 @@ impl MatchResult {
 
 /// Run the matcher over a set of attributes.
 pub fn match_attributes(attrs: &[MatchAttribute], cfg: &MatchConfig) -> MatchResult {
-    let items: Vec<Item<AttrRef>> =
-        attrs.iter().map(|a| Item { id: a.r, interface: a.r.0 }).collect();
+    let items: Vec<Item<AttrRef>> = attrs
+        .iter()
+        .map(|a| Item {
+            id: a.r,
+            interface: a.r.0,
+        })
+        .collect();
     let sim = cluster::similarity_matrix(&items, |i, j| similarity(&attrs[i], &attrs[j], cfg));
     let clusters = cluster::cluster(&items, &sim, cfg.threshold);
     MatchResult {
@@ -112,8 +128,16 @@ mod tests {
     #[test]
     fn identical_attributes_cluster() {
         let attrs = vec![
-            MatchAttribute { r: (0, 0), label: "Airline".into(), values: vec!["Delta".into()] },
-            MatchAttribute { r: (1, 0), label: "Airline".into(), values: vec!["Delta".into()] },
+            MatchAttribute {
+                r: (0, 0),
+                label: "Airline".into(),
+                values: vec!["Delta".into()],
+            },
+            MatchAttribute {
+                r: (1, 0),
+                label: "Airline".into(),
+                values: vec!["Delta".into()],
+            },
         ];
         let result = match_attributes(&attrs, &MatchConfig::default());
         assert_eq!(result.clusters.len(), 1);
@@ -123,8 +147,16 @@ mod tests {
     fn label_only_synonyms_do_not_cluster_without_instances() {
         // Airline vs Carrier with no instances: Sim = 0 → separate.
         let attrs = vec![
-            MatchAttribute { r: (0, 0), label: "Airline".into(), values: vec![] },
-            MatchAttribute { r: (1, 0), label: "Carrier".into(), values: vec![] },
+            MatchAttribute {
+                r: (0, 0),
+                label: "Airline".into(),
+                values: vec![],
+            },
+            MatchAttribute {
+                r: (1, 0),
+                label: "Carrier".into(),
+                values: vec![],
+            },
         ];
         let result = match_attributes(&attrs, &MatchConfig::default());
         assert_eq!(result.clusters.len(), 2);
@@ -133,11 +165,21 @@ mod tests {
     #[test]
     fn instances_bridge_synonym_labels() {
         // With overlapping acquired instances, Airline and Carrier merge.
-        let vals: Vec<String> =
-            ["Delta", "United", "Aer Lingus"].iter().map(|s| s.to_string()).collect();
+        let vals: Vec<String> = ["Delta", "United", "Aer Lingus"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
         let attrs = vec![
-            MatchAttribute { r: (0, 0), label: "Airline".into(), values: vals.clone() },
-            MatchAttribute { r: (1, 0), label: "Carrier".into(), values: vals },
+            MatchAttribute {
+                r: (0, 0),
+                label: "Airline".into(),
+                values: vals.clone(),
+            },
+            MatchAttribute {
+                r: (1, 0),
+                label: "Carrier".into(),
+                values: vals,
+            },
         ];
         let result = match_attributes(&attrs, &MatchConfig::default());
         assert_eq!(result.clusters.len(), 1);
@@ -147,12 +189,27 @@ mod tests {
     fn ambiguous_labels_resolved_by_instances() {
         // B1 = Departure city must match A1 = From city, not A2 = Departure
         // date, once instances disambiguate.
-        let cities: Vec<String> = ["Boston", "Chicago"].iter().map(|s| s.to_string()).collect();
-        let months: Vec<String> = ["Jan", "Feb"].iter().map(|s| s.to_string()).collect();
+        let cities: Vec<String> = ["Boston", "Chicago"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        let months: Vec<String> = ["Jan", "Feb"].iter().map(|s| (*s).to_string()).collect();
         let attrs = vec![
-            MatchAttribute { r: (0, 0), label: "From city".into(), values: cities.clone() },
-            MatchAttribute { r: (0, 1), label: "Departure date".into(), values: months },
-            MatchAttribute { r: (1, 0), label: "Departure city".into(), values: cities },
+            MatchAttribute {
+                r: (0, 0),
+                label: "From city".into(),
+                values: cities.clone(),
+            },
+            MatchAttribute {
+                r: (0, 1),
+                label: "Departure date".into(),
+                values: months,
+            },
+            MatchAttribute {
+                r: (1, 0),
+                label: "Departure city".into(),
+                values: cities,
+            },
         ];
         let result = match_attributes(&attrs, &MatchConfig::with_threshold(0.1));
         let cluster_of = |r: AttrRef| {
@@ -175,7 +232,10 @@ mod tests {
         let result = match_dataset(&ds, &MatchConfig::default());
         let m = result.evaluate(&ds);
         assert!(m.f1 > 0.6, "baseline book F1 = {:.3}", m.f1);
-        assert!(m.f1 < 1.0, "baseline must not be perfect (or WebIQ has nothing to add)");
+        assert!(
+            m.f1 < 1.0,
+            "baseline must not be perfect (or WebIQ has nothing to add)"
+        );
     }
 
     #[test]
@@ -184,8 +244,12 @@ mod tests {
         let ds = generate_domain(def, &GenOptions::default());
         let loose = match_dataset(&ds, &MatchConfig::default()).evaluate(&ds);
         let tight = match_dataset(&ds, &MatchConfig::with_threshold(0.1)).evaluate(&ds);
-        assert!(tight.precision >= loose.precision - 1e-9,
-            "precision {:.3} -> {:.3}", loose.precision, tight.precision);
+        assert!(
+            tight.precision >= loose.precision - 1e-9,
+            "precision {:.3} -> {:.3}",
+            loose.precision,
+            tight.precision
+        );
     }
 
     #[test]
@@ -193,7 +257,9 @@ mod tests {
         let def = kb::domain("job").expect("domain");
         let ds = generate_domain(def, &GenOptions::default());
         let gold_clusters = webiq_data::gold::gold_clusters(&ds);
-        let result = MatchResult { clusters: gold_clusters };
+        let result = MatchResult {
+            clusters: gold_clusters,
+        };
         let m = result.evaluate(&ds);
         assert_eq!(m.f1, 1.0);
     }

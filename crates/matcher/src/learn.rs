@@ -84,32 +84,54 @@ pub fn learn_threshold<O: MatchOracle>(
     oracle: &mut O,
     budget: usize,
 ) -> LearnedThreshold {
-    let items: Vec<cluster::Item<AttrRef>> =
-        attrs.iter().map(|a| cluster::Item { id: a.r, interface: a.r.0 }).collect();
+    let items: Vec<cluster::Item<AttrRef>> = attrs
+        .iter()
+        .map(|a| cluster::Item {
+            id: a.r,
+            interface: a.r.0,
+        })
+        .collect();
     let sim = cluster::similarity_matrix(&items, |i, j| similarity(&attrs[i], &attrs[j], cfg));
     let (_, log) = cluster::cluster_logged(&items, &sim, 0.0);
     if log.is_empty() || budget == 0 {
-        return LearnedThreshold { threshold: 0.0, questions: 0, sample: Vec::new() };
+        return LearnedThreshold {
+            threshold: 0.0,
+            questions: 0,
+            sample: Vec::new(),
+        };
     }
     // Stratify by *score value*, not rank: unthresholded clustering
     // produces a long tail of near-zero merges that would otherwise hog
     // the budget and bias the estimate toward over-pruning.
     let mut by_score = log.clone();
-    by_score.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
-    let (lo, hi) = (by_score[0].score, by_score[by_score.len() - 1].score);
+    by_score.sort_by(|a, b| a.score.total_cmp(&b.score));
+    let (Some(first), Some(last)) = (by_score.first(), by_score.last()) else {
+        return LearnedThreshold {
+            threshold: 0.0,
+            questions: 0,
+            sample: Vec::new(),
+        };
+    };
+    let (lo, hi) = (first.score, last.score);
     let n = budget.min(by_score.len());
     let mut used = vec![false; by_score.len()];
     let mut sample = Vec::with_capacity(n);
     for k in 0..n {
-        let target = if n == 1 { hi } else { lo + (hi - lo) * k as f64 / (n - 1) as f64 };
+        let target = if n == 1 {
+            hi
+        } else {
+            lo + (hi - lo) * k as f64 / (n - 1) as f64
+        };
         // nearest unused event by score
-        let pick = (0..by_score.len())
-            .filter(|&i| !used[i])
-            .min_by(|&a, &b| {
-                let da = (by_score[a].score - target).abs();
-                let db = (by_score[b].score - target).abs();
-                da.partial_cmp(&db).expect("finite")
-            });
+        let pick = (0..by_score.len()).filter(|&i| !used[i]).min_by(|&a, &b| {
+            let da = by_score
+                .get(a)
+                .map_or(f64::INFINITY, |e| (e.score - target).abs());
+            let db = by_score
+                .get(b)
+                .map_or(f64::INFINITY, |e| (e.score - target).abs());
+            da.total_cmp(&db)
+        });
         let Some(i) = pick else { break };
         used[i] = true;
         let event = by_score[i];
@@ -134,7 +156,11 @@ pub fn learn_threshold<O: MatchOracle>(
         })
         .collect();
     let threshold = weighted_min_error_threshold(&sample, &weights);
-    LearnedThreshold { threshold, questions: sample.len(), sample }
+    LearnedThreshold {
+        threshold,
+        questions: sample.len(),
+        sample,
+    }
 }
 
 /// Choose the threshold minimising the *weighted* misclassification of the
@@ -159,7 +185,7 @@ fn weighted_min_error_threshold(sample: &[(f64, bool)], weights: &[f64]) -> f64 
             .sum()
     };
     let mut scores: Vec<f64> = sample.iter().map(|(s, _)| *s).collect();
-    scores.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    scores.sort_by(f64::total_cmp);
     scores.dedup();
     let mut candidates = vec![0.0];
     candidates.extend(scores.windows(2).map(|w| (w[0] + w[1]) / 2.0));
@@ -181,7 +207,7 @@ mod tests {
         MatchAttribute {
             r,
             label: label.into(),
-            values: values.iter().map(|s| s.to_string()).collect(),
+            values: values.iter().map(|s| (*s).to_string()).collect(),
         }
     }
 
@@ -247,7 +273,10 @@ mod tests {
             learned.threshold
         );
         // the learned τ must prune the wrong merge when applied
-        assert!(learned.sample.iter().any(|(s, m)| !*m && *s < learned.threshold));
+        assert!(learned
+            .sample
+            .iter()
+            .any(|(s, m)| !*m && *s < learned.threshold));
     }
 
     #[test]

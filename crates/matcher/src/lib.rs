@@ -14,6 +14,7 @@
 //! - [`learn`] — the interactive threshold learning the paper's IceQ ran
 //!   in manual mode (τ = 0.1 was "about the average of the thresholds
 //!   learned for the five domains").
+#![forbid(unsafe_code)]
 
 pub mod cluster;
 pub mod domsim;

@@ -21,14 +21,26 @@ impl PrF1 {
     /// Compute from predicted and gold pair sets.
     pub fn from_pairs<T: Ord>(predicted: &BTreeSet<T>, gold: &BTreeSet<T>) -> PrF1 {
         let correct = predicted.intersection(gold).count() as f64;
-        let precision = if predicted.is_empty() { 0.0 } else { correct / predicted.len() as f64 };
-        let recall = if gold.is_empty() { 0.0 } else { correct / gold.len() as f64 };
+        let precision = if predicted.is_empty() {
+            0.0
+        } else {
+            correct / predicted.len() as f64
+        };
+        let recall = if gold.is_empty() {
+            0.0
+        } else {
+            correct / gold.len() as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        PrF1 { precision, recall, f1 }
+        PrF1 {
+            precision,
+            recall,
+            f1,
+        }
     }
 
     /// Percentage view of the F-1 (as the paper reports).

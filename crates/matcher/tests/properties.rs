@@ -97,8 +97,16 @@ fn similarity_symmetric_bounded() {
         let va = prop::string_vec(rng, prop::alnum_space(), 0, 5, 1, 10);
         let vb = prop::string_vec(rng, prop::alnum_space(), 0, 5, 1, 10);
         let cfg = MatchConfig::default();
-        let a = MatchAttribute { r: (0, 0), label: la, values: va };
-        let b = MatchAttribute { r: (1, 0), label: lb, values: vb };
+        let a = MatchAttribute {
+            r: (0, 0),
+            label: la,
+            values: va,
+        };
+        let b = MatchAttribute {
+            r: (1, 0),
+            label: lb,
+            values: vb,
+        };
         let sab = similarity(&a, &b, &cfg);
         let sba = similarity(&b, &a, &cfg);
         assert!((sab - sba).abs() < 1e-12);

@@ -30,9 +30,16 @@ impl NounPhrase {
     /// Build a post-modifier-free NP from lowercase words; the last word is
     /// the head.
     pub fn simple(words: Vec<String>) -> Self {
-        assert!(!words.is_empty(), "a noun phrase needs at least a head noun");
+        assert!(
+            !words.is_empty(),
+            "a noun phrase needs at least a head noun"
+        );
         let head = words.len() - 1;
-        NounPhrase { words, head, post_modifier: None }
+        NounPhrase {
+            words,
+            head,
+            post_modifier: None,
+        }
     }
 
     /// The head noun.
@@ -158,10 +165,20 @@ fn parse_core_np_span(tagged: &[Tagged], mut i: usize) -> Option<(usize, usize, 
 /// Returns the NP (without post-modifier) and the next index.
 fn parse_core_np(tagged: &[Tagged], i: usize) -> Option<(NounPhrase, usize)> {
     let (start, end, next) = parse_core_np_span(tagged, i)?;
-    let words: Vec<String> = tagged[start..end].iter().map(|t| t.lower()).collect();
+    let words: Vec<String> = tagged[start..end]
+        .iter()
+        .map(super::pos::Tagged::lower)
+        .collect();
     debug_assert!(!words.is_empty());
     let head = words.len() - 1;
-    Some((NounPhrase { words, head, post_modifier: None }, next))
+    Some((
+        NounPhrase {
+            words,
+            head,
+            post_modifier: None,
+        },
+        next,
+    ))
 }
 
 /// Parse an NP with an optional prepositional post-modifier starting at `i`.
@@ -220,12 +237,18 @@ pub fn classify_label(label: &str) -> LabelForm {
     // Prepositional label: `From city`, bare `From`, `To`, `Within`.
     if first.tag == Tag::IN || first.tag == Tag::TO {
         let np = find_first_np(&tagged[1..]);
-        return LabelForm::PrepPhrase { prep: first.lower(), np };
+        return LabelForm::PrepPhrase {
+            prep: first.lower(),
+            np,
+        };
     }
     // Verb-initial label: `Depart from`, `Select departure city`.
     if first.tag.is_verb() {
         let np = find_first_np(&tagged[1..]);
-        return LabelForm::VerbPhrase { verb: first.lower(), np };
+        return LabelForm::VerbPhrase {
+            verb: first.lower(),
+            np,
+        };
     }
     // NP conjunction: NP (CC NP)+
     if let Some((head_np, mut next)) = parse_np(&tagged, 0) {
@@ -239,10 +262,12 @@ pub fn classify_label(label: &str) -> LabelForm {
                 None => break,
             }
         }
-        if nps.len() > 1 {
-            return LabelForm::Conjunction(nps);
-        }
-        return LabelForm::NounPhrase(nps.into_iter().next().expect("one NP parsed"));
+        let mut it = nps.into_iter();
+        return match (it.next(), it.next()) {
+            (Some(a), Some(b)) => LabelForm::Conjunction([a, b].into_iter().chain(it).collect()),
+            (Some(only), None) => LabelForm::NounPhrase(only),
+            (None, _) => LabelForm::Other,
+        };
     }
     // No NP at the start; look anywhere (e.g. "cheapest available fare" with
     // an unknown leading adverb).
@@ -313,7 +338,7 @@ mod tests {
     use super::*;
 
     fn np(words: &[&str]) -> NounPhrase {
-        NounPhrase::simple(words.iter().map(|s| s.to_string()).collect())
+        NounPhrase::simple(words.iter().map(|s| (*s).to_string()).collect())
     }
 
     #[test]

@@ -32,8 +32,16 @@ static IRREGULAR: &[(&str, &str)] = &[
 
 /// Words identical in singular and plural.
 static INVARIANT: &[&str] = &[
-    "series", "species", "aircraft", "luggage", "information", "news", "equipment",
-    "furniture", "real estate", "software",
+    "series",
+    "species",
+    "aircraft",
+    "luggage",
+    "information",
+    "news",
+    "equipment",
+    "furniture",
+    "real estate",
+    "software",
 ];
 
 fn is_vowel(c: u8) -> bool {
@@ -67,19 +75,27 @@ pub fn pluralize(word: &str) -> String {
     if IRREGULAR.iter().any(|(_, p)| *p == w) || (w.ends_with('s') && is_plural(&w)) {
         return w;
     }
-    let b = w.as_bytes();
-    let n = b.len();
-    if w.ends_with("ch") || w.ends_with("sh") || w.ends_with('x') || w.ends_with('s')
+    if w.ends_with("ch")
+        || w.ends_with("sh")
+        || w.ends_with('x')
+        || w.ends_with('s')
         || w.ends_with('z')
     {
         return format!("{w}es");
     }
-    if n >= 2 && b[n - 1] == b'y' && !is_vowel(b[n - 2]) {
-        return format!("{}ies", &w[..n - 1]);
+    if let Some(stem) = w.strip_suffix('y') {
+        if stem.as_bytes().last().is_some_and(|&c| !is_vowel(c)) {
+            return format!("{stem}ies");
+        }
     }
-    if n >= 2 && b[n - 1] == b'o' && !is_vowel(b[n - 2]) {
+    if w.strip_suffix('o')
+        .is_some_and(|stem| stem.as_bytes().last().is_some_and(|&c| !is_vowel(c)))
+    {
         // tomato → tomatoes; but many -o words take plain s (photos, autos).
-        if matches!(w.as_str(), "tomato" | "potato" | "hero" | "echo" | "veto" | "cargo") {
+        if matches!(
+            w.as_str(),
+            "tomato" | "potato" | "hero" | "echo" | "veto" | "cargo"
+        ) {
             return format!("{w}es");
         }
         return format!("{w}s");
@@ -98,27 +114,31 @@ pub fn singularize(word: &str) -> String {
         return (*singular).to_string();
     }
     let n = w.len();
-    if n > 3 && w.ends_with("ies") {
-        // cities → city, but movies → movie (vowel before the -ies).
-        let b = w.as_bytes();
-        if n >= 4 && !is_vowel(b[n - 4]) {
-            return format!("{}y", &w[..n - 3]);
+    if n > 3 {
+        if let Some(stem) = w.strip_suffix("ies") {
+            // cities → city, but movies → movie (vowel before the -ies).
+            if stem.as_bytes().last().is_some_and(|&c| !is_vowel(c)) {
+                return format!("{stem}y");
+            }
+            return format!("{stem}ie");
         }
-        return w[..n - 1].to_string();
     }
-    if n > 4
-        && w.ends_with("es")
-        && (w[..n - 2].ends_with("ch")
-            || w[..n - 2].ends_with("sh")
-            || w[..n - 2].ends_with('x')
-            || w[..n - 2].ends_with('s')
-            || w[..n - 2].ends_with('z'))
-    {
-        return w[..n - 2].to_string();
+    if n > 4 {
+        if let Some(stem) = w.strip_suffix("es") {
+            if stem.ends_with("ch")
+                || stem.ends_with("sh")
+                || stem.ends_with('x')
+                || stem.ends_with('s')
+                || stem.ends_with('z')
+            {
+                return stem.to_string();
+            }
+        }
     }
-    if n > 3 && w.ends_with('s') && !w.ends_with("ss") && !w.ends_with("us") && !w.ends_with("is")
-    {
-        return w[..n - 1].to_string();
+    if n > 3 && !w.ends_with("ss") && !w.ends_with("us") && !w.ends_with("is") {
+        if let Some(stem) = w.strip_suffix('s') {
+            return stem.to_string();
+        }
     }
     w
 }

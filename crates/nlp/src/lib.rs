@@ -16,6 +16,7 @@
 //! - [`stopwords`] — the stopword filter for label vectors.
 //!
 //! Everything is deterministic, allocation-light, and dependency-free.
+#![forbid(unsafe_code)]
 
 pub mod chunk;
 pub mod inflect;

@@ -53,7 +53,10 @@ pub enum Tag {
 impl Tag {
     /// True for tags that may occur inside the body of a noun phrase.
     pub fn is_np_modifier(self) -> bool {
-        matches!(self, Tag::JJ | Tag::NN | Tag::NNP | Tag::CD | Tag::VBG | Tag::VBN)
+        matches!(
+            self,
+            Tag::JJ | Tag::NN | Tag::NNP | Tag::CD | Tag::VBG | Tag::VBN
+        )
     }
 
     /// True for noun tags eligible to head a noun phrase.
@@ -353,7 +356,9 @@ fn suffix_tag(lower: &str) -> Tag {
     if n > 3 && lower.ends_with("ly") {
         return Tag::RB;
     }
-    for adj_suffix in ["able", "ible", "ous", "ive", "ful", "less", "ic", "al", "est"] {
+    for adj_suffix in [
+        "able", "ible", "ous", "ive", "ful", "less", "ic", "al", "est",
+    ] {
         if n > adj_suffix.len() + 2 && lower.ends_with(adj_suffix) {
             return Tag::JJ;
         }
@@ -390,19 +395,51 @@ struct Rule {
 /// whole sequence (the standard Brill application regime).
 static RULES: &[Rule] = &[
     // "to depart": base verb after TO.
-    Rule { from: Tag::NN, to: Tag::VB, cond: Cond::PrevTag(Tag::TO) },
+    Rule {
+        from: Tag::NN,
+        to: Tag::VB,
+        cond: Cond::PrevTag(Tag::TO),
+    },
     // "must enter": base verb after a modal.
-    Rule { from: Tag::NN, to: Tag::VB, cond: Cond::PrevTag(Tag::MD) },
+    Rule {
+        from: Tag::NN,
+        to: Tag::VB,
+        cond: Cond::PrevTag(Tag::MD),
+    },
     // "the make", "a return": noun reading after a determiner.
-    Rule { from: Tag::VB, to: Tag::NN, cond: Cond::PrevTag(Tag::DT) },
-    Rule { from: Tag::VBG, to: Tag::NN, cond: Cond::PrevTag(Tag::DT) },
+    Rule {
+        from: Tag::VB,
+        to: Tag::NN,
+        cond: Cond::PrevTag(Tag::DT),
+    },
+    Rule {
+        from: Tag::VBG,
+        to: Tag::NN,
+        cond: Cond::PrevTag(Tag::DT),
+    },
     // "used cars": participle directly before a noun acts as a modifier; we
     // retag to JJ so NP chunking treats it uniformly.
-    Rule { from: Tag::VBN, to: Tag::JJ, cond: Cond::NextTag(Tag::NN) },
-    Rule { from: Tag::VBN, to: Tag::JJ, cond: Cond::NextTag(Tag::NNS) },
+    Rule {
+        from: Tag::VBN,
+        to: Tag::JJ,
+        cond: Cond::NextTag(Tag::NN),
+    },
+    Rule {
+        from: Tag::VBN,
+        to: Tag::JJ,
+        cond: Cond::NextTag(Tag::NNS),
+    },
     // "departing city", "arriving airport": gerund before noun is a modifier.
-    Rule { from: Tag::VBG, to: Tag::JJ, cond: Cond::NextTag(Tag::NN) },
-    Rule { from: Tag::VBG, to: Tag::JJ, cond: Cond::NextTag(Tag::NNS) },
+    Rule {
+        from: Tag::VBG,
+        to: Tag::JJ,
+        cond: Cond::NextTag(Tag::NN),
+    },
+    Rule {
+        from: Tag::VBG,
+        to: Tag::JJ,
+        cond: Cond::NextTag(Tag::NNS),
+    },
     // Sentence-initial imperative verbs in labels: "Depart from", "Fly to".
     // An unknown first word tagged NN followed by a preposition or TO is
     // usually an imperative verb in interface labels — but only if the word
@@ -428,7 +465,10 @@ static RULES: &[Rule] = &[
 /// Does `cond` hold for position `i` in `tagged`?
 fn cond_holds(tagged: &[Tagged], i: usize, cond: Cond) -> bool {
     match cond {
-        Cond::PrevTag(t) => i > 0 && tagged[i - 1].tag == t,
+        Cond::PrevTag(t) => i
+            .checked_sub(1)
+            .and_then(|p| tagged.get(p))
+            .is_some_and(|p| p.tag == t),
         Cond::NextTag(t) => i + 1 < tagged.len() && tagged[i + 1].tag == t,
     }
 }
@@ -441,7 +481,10 @@ pub fn tag_tokens(tokens: &[Token]) -> Vec<Tagged> {
     let mut tagged: Vec<Tagged> = tokens
         .iter()
         .enumerate()
-        .map(|(i, t)| Tagged { token: t.clone(), tag: initial_tag(t, i == 0) })
+        .map(|(i, t)| Tagged {
+            token: t.clone(),
+            tag: initial_tag(t, i == 0),
+        })
         .collect();
     for rule in RULES {
         for i in 0..tagged.len() {

@@ -28,7 +28,8 @@ pub fn stem(word: &str) -> String {
     step4(&mut b);
     step5a(&mut b);
     step5b(&mut b);
-    String::from_utf8(b).expect("ascii input stays ascii")
+    // ASCII in, ASCII out; lossy conversion is the panic-free identity here.
+    String::from_utf8_lossy(&b).into_owned()
 }
 
 /// Is `b[i]` a consonant (in the Porter sense, where `y` is contextual)?
@@ -74,7 +75,7 @@ fn has_vowel(b: &[u8], len: usize) -> bool {
 
 /// Does `b[..len]` end with a double consonant?
 fn double_cons(b: &[u8], len: usize) -> bool {
-    len >= 2 && b[len - 1] == b[len - 2] && is_cons(b, len - 1)
+    matches!(b.get(..len), Some([.., x, y]) if x == y) && is_cons(b, len - 1)
 }
 
 /// Does `b[..len]` end consonant-vowel-consonant, where the final consonant
@@ -84,11 +85,11 @@ fn cvc(b: &[u8], len: usize) -> bool {
         && is_cons(b, len - 3)
         && !is_cons(b, len - 2)
         && is_cons(b, len - 1)
-        && !matches!(b[len - 1], b'w' | b'x' | b'y')
+        && !matches!(b.get(..len), Some([.., b'w' | b'x' | b'y']))
 }
 
 fn ends_with(b: &[u8], suffix: &str) -> bool {
-    b.len() >= suffix.len() && &b[b.len() - suffix.len()..] == suffix.as_bytes()
+    b.ends_with(suffix.as_bytes())
 }
 
 /// Replace the trailing `suffix` with `to` if the stem before it has
@@ -136,7 +137,7 @@ fn step1b(b: &mut Vec<u8>) {
     if trimmed {
         if ends_with(b, "at") || ends_with(b, "bl") || ends_with(b, "iz") {
             b.push(b'e');
-        } else if double_cons(b, b.len()) && !matches!(b[b.len() - 1], b'l' | b's' | b'z') {
+        } else if double_cons(b, b.len()) && !matches!(b.last(), Some(b'l' | b's' | b'z')) {
             b.truncate(b.len() - 1);
         } else if measure(b, b.len()) == 1 && cvc(b, b.len()) {
             b.push(b'e');
@@ -146,8 +147,10 @@ fn step1b(b: &mut Vec<u8>) {
 
 fn step1c(b: &mut [u8]) {
     let n = b.len();
-    if n >= 2 && b[n - 1] == b'y' && has_vowel(b, n - 1) {
-        b[n - 1] = b'i';
+    if n >= 2 && b.ends_with(b"y") && has_vowel(b, n - 1) {
+        if let Some(last) = b.last_mut() {
+            *last = b'i';
+        }
     }
 }
 
@@ -200,8 +203,8 @@ fn step3(b: &mut Vec<u8>) {
 
 fn step4(b: &mut Vec<u8>) {
     static SUFFIXES: &[&str] = &[
-        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
-        "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+        "ism", "ate", "iti", "ous", "ive", "ize",
     ];
     for suffix in SUFFIXES {
         if ends_with(b, suffix) {
@@ -215,10 +218,7 @@ fn step4(b: &mut Vec<u8>) {
     // special case: -ion preceded by s or t
     if ends_with(b, "ion") {
         let stem_len = b.len() - 3;
-        if stem_len > 0
-            && matches!(b[stem_len - 1], b's' | b't')
-            && measure(b, stem_len) > 1
-        {
+        if matches!(b.get(..stem_len), Some([.., b's' | b't'])) && measure(b, stem_len) > 1 {
             b.truncate(stem_len);
         }
     }
@@ -236,7 +236,7 @@ fn step5a(b: &mut Vec<u8>) {
 
 fn step5b(b: &mut Vec<u8>) {
     let n = b.len();
-    if n >= 2 && b[n - 1] == b'l' && b[n - 2] == b'l' && measure(b, n) > 1 {
+    if b.ends_with(b"ll") && measure(b, n) > 1 {
         b.truncate(n - 1);
     }
 }

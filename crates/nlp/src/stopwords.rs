@@ -9,15 +9,14 @@
 
 /// Alphabetically sorted stopword list (lowercase).
 static STOPWORDS: &[&str] = &[
-    "a", "about", "after", "all", "an", "and", "any", "are", "as", "at", "be", "been",
-    "before", "between", "but", "by", "can", "do", "does", "each", "enter", "every",
-    "for", "had", "has", "have", "here", "how", "i", "if", "in", "into", "is",
-    "it", "its", "may", "more", "most", "must", "my", "near", "no", "nor", "not", "now",
-    "of", "on", "only", "or", "other", "our", "over", "per", "please", "select",
-    "shall", "should", "since", "some", "such", "than", "that", "the", "their", "then",
-    "there", "these", "they", "this", "those", "through", "under", "until", "up",
-    "very", "via", "was", "we", "were", "what", "when", "where", "which", "will",
-    "with", "within", "without", "would", "you", "your",
+    "a", "about", "after", "all", "an", "and", "any", "are", "as", "at", "be", "been", "before",
+    "between", "but", "by", "can", "do", "does", "each", "enter", "every", "for", "had", "has",
+    "have", "here", "how", "i", "if", "in", "into", "is", "it", "its", "may", "more", "most",
+    "must", "my", "near", "no", "nor", "not", "now", "of", "on", "only", "or", "other", "our",
+    "over", "per", "please", "select", "shall", "should", "since", "some", "such", "than", "that",
+    "the", "their", "then", "there", "these", "they", "this", "those", "through", "under", "until",
+    "up", "very", "via", "was", "we", "were", "what", "when", "where", "which", "will", "with",
+    "within", "without", "would", "you", "your",
 ];
 
 /// Is `word` (any case) a stopword?

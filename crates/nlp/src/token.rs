@@ -31,7 +31,10 @@ pub struct Token {
 impl Token {
     /// Convenience constructor used heavily in tests.
     pub fn new(text: impl Into<String>, kind: TokenKind) -> Self {
-        Token { text: text.into(), kind }
+        Token {
+            text: text.into(),
+            kind,
+        }
     }
 
     /// The token text lowercased (ASCII).
@@ -51,7 +54,10 @@ impl Token {
 
     /// True if the first character is an ASCII uppercase letter.
     pub fn is_capitalized(&self) -> bool {
-        self.text.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+        self.text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_uppercase())
     }
 }
 
@@ -88,14 +94,20 @@ pub fn tokenize(text: &str) -> Vec<Token> {
                     break;
                 }
             }
-            out.push(Token::new(chars[start..i].iter().collect::<String>(), TokenKind::Word));
+            out.push(Token::new(
+                chars[start..i].iter().collect::<String>(),
+                TokenKind::Word,
+            ));
         } else if c.is_ascii_digit() || (c == '$' && peek_digit(&chars, i + 1)) {
             let start = i;
             if c == '$' {
                 i += 1;
             }
             i = consume_number(&chars, i);
-            out.push(Token::new(chars[start..i].iter().collect::<String>(), TokenKind::Number));
+            out.push(Token::new(
+                chars[start..i].iter().collect::<String>(),
+                TokenKind::Number,
+            ));
         } else {
             out.push(Token::new(c.to_string(), TokenKind::Punct));
             i += 1;
@@ -105,7 +117,7 @@ pub fn tokenize(text: &str) -> Vec<Token> {
 }
 
 fn peek_digit(chars: &[char], i: usize) -> bool {
-    chars.get(i).is_some_and(|c| c.is_ascii_digit())
+    chars.get(i).is_some_and(char::is_ascii_digit)
 }
 
 /// Consume a digit run starting at `i`, allowing `,`-grouping and one `.`
@@ -153,9 +165,13 @@ pub fn sentences(text: &str) -> Vec<&str> {
             let next_ws = !at_end && bytes[i + 1].is_ascii_whitespace();
             // "U.S." style: previous char is a single capital letter.
             let abbrev = b == b'.'
-                && i >= 1
-                && bytes[i - 1].is_ascii_uppercase()
-                && (i < 2 || !bytes[i - 2].is_ascii_alphabetic());
+                && i.checked_sub(1)
+                    .and_then(|p| bytes.get(p))
+                    .is_some_and(u8::is_ascii_uppercase)
+                && !i
+                    .checked_sub(2)
+                    .and_then(|p| bytes.get(p))
+                    .is_some_and(u8::is_ascii_alphabetic);
             if (at_end || next_ws) && !abbrev {
                 let s = text[start..=i].trim();
                 if !s.is_empty() {
@@ -178,7 +194,10 @@ mod tests {
     use super::*;
 
     fn kinds(text: &str) -> Vec<(String, TokenKind)> {
-        tokenize(text).into_iter().map(|t| (t.text, t.kind)).collect()
+        tokenize(text)
+            .into_iter()
+            .map(|t| (t.text, t.kind))
+            .collect()
     }
 
     #[test]
@@ -229,7 +248,10 @@ mod tests {
 
     #[test]
     fn monetary_values_are_single_number_tokens() {
-        assert_eq!(kinds("$15,200"), vec![("$15,200".into(), TokenKind::Number)]);
+        assert_eq!(
+            kinds("$15,200"),
+            vec![("$15,200".into(), TokenKind::Number)]
+        );
         // Bare '$' with no digit stays punctuation.
         assert_eq!(
             kinds("$ 15"),

@@ -65,7 +65,10 @@ fn plural_roundtrip() {
         }
         // sibilant+e endings collide with sibilant -es plurals (axe/axes vs.
         // box/boxes), another genuine English ambiguity.
-        if ["xe", "se", "ze", "che", "she"].iter().any(|s| w.ends_with(s)) {
+        if ["xe", "se", "ze", "che", "she"]
+            .iter()
+            .any(|s| w.ends_with(s))
+        {
             return;
         }
         let p = inflect::pluralize(&w);
@@ -121,8 +124,16 @@ fn classify_total() {
 /// headed by that noun.
 #[test]
 fn single_noun_is_np() {
-    let nouns =
-        ["city", "airline", "author", "price", "company", "publisher", "salary", "mileage"];
+    let nouns = [
+        "city",
+        "airline",
+        "author",
+        "price",
+        "company",
+        "publisher",
+        "salary",
+        "mileage",
+    ];
     for w in nouns {
         match chunk::classify_label(w) {
             chunk::LabelForm::NounPhrase(np) => assert_eq!(np.head_word(), w),

@@ -12,6 +12,7 @@
 //! parallel-acquisition determinism guarantee (DESIGN.md) builds on that.
 //! The generator is fully specified here and will never change behaviour
 //! underneath a seed.
+#![forbid(unsafe_code)]
 
 pub mod prop;
 
@@ -89,7 +90,9 @@ impl StdRng {
     pub fn gen_string(&mut self, charset: &[char], min: usize, max: usize) -> String {
         debug_assert!(!charset.is_empty() && min <= max);
         let len = self.gen_range(min..=max);
-        (0..len).map(|_| charset[self.gen_range(0..charset.len())]).collect()
+        (0..len)
+            .map(|_| charset[self.gen_range(0..charset.len())])
+            .collect()
     }
 }
 
@@ -165,11 +168,7 @@ impl<T> SliceRandom for [T] {
         }
     }
 
-    fn choose_multiple<'a>(
-        &'a self,
-        rng: &mut StdRng,
-        amount: usize,
-    ) -> std::vec::IntoIter<&'a T> {
+    fn choose_multiple<'a>(&'a self, rng: &mut StdRng, amount: usize) -> std::vec::IntoIter<&'a T> {
         let amount = amount.min(self.len());
         // partial Fisher–Yates over an index vector
         let mut idx: Vec<usize> = (0..self.len()).collect();
@@ -177,7 +176,11 @@ impl<T> SliceRandom for [T] {
             let j = rng.gen_range(i..idx.len());
             idx.swap(i, j);
         }
-        idx[..amount].iter().map(|&i| &self[i]).collect::<Vec<_>>().into_iter()
+        idx[..amount]
+            .iter()
+            .map(|&i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
     }
 
     fn shuffle(&mut self, rng: &mut StdRng) {
@@ -258,8 +261,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         let items: Vec<usize> = (0..20).collect();
         for _ in 0..100 {
-            let picked: Vec<usize> =
-                items.choose_multiple(&mut rng, 8).copied().collect();
+            let picked: Vec<usize> = items.choose_multiple(&mut rng, 8).copied().collect();
             assert_eq!(picked.len(), 8);
             let mut sorted = picked.clone();
             sorted.sort_unstable();

@@ -48,7 +48,9 @@ pub fn any_char() -> &'static [char] {
     CS.get_or_init(|| {
         let mut v: Vec<char> = (' '..='~').collect();
         v.extend(['\t', '\n', '\r', '\u{0}', '\u{7f}']);
-        v.extend(['é', 'ü', 'ß', 'ñ', 'Ω', '中', '文', 'δ', '¥', '€', '🚀', '\u{200b}']);
+        v.extend([
+            'é', 'ü', 'ß', 'ñ', 'Ω', '中', '文', 'δ', '¥', '€', '🚀', '\u{200b}',
+        ]);
         v
     })
 }
@@ -72,7 +74,9 @@ pub fn charset(chars: &str) -> &'static [char] {
 /// seeded as a pure function of `i`, so a failing case replays by itself.
 pub fn cases(n: usize, mut property: impl FnMut(&mut StdRng)) {
     for i in 0..n {
-        let mut rng = StdRng::seed_from_u64(0xC0FF_EE00_0000_0000 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(
+            0xC0FF_EE00_0000_0000 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         property(&mut rng);
     }
 }
@@ -117,7 +121,13 @@ mod tests {
 
     #[test]
     fn charsets_nonempty() {
-        for cs in [lower(), lower_space(), alpha_space(), alnum_space(), any_char()] {
+        for cs in [
+            lower(),
+            lower_space(),
+            alpha_space(),
+            alnum_space(),
+            any_char(),
+        ] {
             assert!(!cs.is_empty());
         }
         assert_eq!(charset("xyz"), charset("xyz"));

@@ -39,7 +39,10 @@ impl std::fmt::Display for TrainError {
         match self {
             TrainError::Empty => write!(f, "cannot train on an empty example set"),
             TrainError::RaggedFeatures { expected, got } => {
-                write!(f, "inconsistent feature vector lengths: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "inconsistent feature vector lengths: expected {expected}, got {got}"
+                )
             }
         }
     }
@@ -77,7 +80,11 @@ impl NaiveBayes {
                 .map(|i| (true_count[c][i] as f64 + 1.0) / (class_count[c] as f64 + 2.0))
                 .collect()
         });
-        Ok(NaiveBayes { n_features, prior_pos, p_true })
+        Ok(NaiveBayes {
+            n_features,
+            prior_pos,
+            p_true,
+        })
     }
 
     /// Number of features the classifier was trained with.
@@ -109,8 +116,16 @@ impl NaiveBayes {
         let mut log_pos = self.prior_pos.ln();
         let mut log_neg = (1.0 - self.prior_pos).ln();
         for (i, &f) in features.iter().enumerate() {
-            let pp = if f { self.p_true[1][i] } else { 1.0 - self.p_true[1][i] };
-            let pn = if f { self.p_true[0][i] } else { 1.0 - self.p_true[0][i] };
+            let pp = if f {
+                self.p_true[1][i]
+            } else {
+                1.0 - self.p_true[1][i]
+            };
+            let pn = if f {
+                self.p_true[0][i]
+            } else {
+                1.0 - self.p_true[0][i]
+            };
             log_pos += pp.ln();
             log_neg += pn.ln();
         }
@@ -131,10 +146,10 @@ mod tests {
     /// The training set T₂′ of Figure 5.g and probabilities of Figure 5.h.
     fn paper_t2() -> Vec<(Vec<bool>, bool)> {
         vec![
-            (vec![true, true], true),   // Delta
-            (vec![true, true], true),   // United
+            (vec![true, true], true),    // Delta
+            (vec![true, true], true),    // United
             (vec![false, false], false), // Jan
-            (vec![false, true], false), // 1
+            (vec![false, true], false),  // 1
         ]
     }
 
@@ -177,7 +192,10 @@ mod tests {
         let ex = vec![(vec![true], true), (vec![true, false], false)];
         assert_eq!(
             NaiveBayes::train(&ex),
-            Err(TrainError::RaggedFeatures { expected: 1, got: 2 })
+            Err(TrainError::RaggedFeatures {
+                expected: 1,
+                got: 2
+            })
         );
     }
 

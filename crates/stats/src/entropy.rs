@@ -59,7 +59,7 @@ pub fn best_threshold(examples: &[(f64, bool)]) -> f64 {
         return 0.0;
     }
     let mut scores: Vec<f64> = examples.iter().map(|(s, _)| *s).collect();
-    scores.sort_by(|a, b| a.partial_cmp(b).expect("scores must not be NaN"));
+    scores.sort_by(f64::total_cmp);
     scores.dedup();
     if scores.len() == 1 {
         return scores[0];

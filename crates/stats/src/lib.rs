@@ -11,6 +11,7 @@
 //! - [`entropy`] — entropy and information-gain threshold estimation for
 //!   the validation-based classifier (§3.2);
 //! - [`bayes`] — Laplace-smoothed binary naive Bayes (Formula 1).
+#![forbid(unsafe_code)]
 
 pub mod bayes;
 pub mod entropy;
@@ -20,6 +21,8 @@ pub mod types;
 
 pub use bayes::{NaiveBayes, TrainError};
 pub use entropy::{best_threshold, binary_entropy, information_gain};
-pub use outlier::{remove_outliers, remove_outliers_with, DiscordancyTest, OutlierResult, SIGMA_CUTOFF};
+pub use outlier::{
+    remove_outliers, remove_outliers_with, DiscordancyTest, OutlierResult, SIGMA_CUTOFF,
+};
 pub use pmi::pmi;
 pub use types::{domain_type, infer_type, numeric_value, DomainType, ValueType};

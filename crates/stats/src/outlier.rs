@@ -70,7 +70,7 @@ fn grubbs_critical(n: usize) -> f64 {
         }
         prev = (size, crit);
     }
-    TABLE[TABLE.len() - 1].1
+    TABLE.last().map_or(0.0, |&(_, c)| c)
 }
 
 /// Indices discordant under Grubbs' test (iterative, two-sided, α = 0.05).
@@ -86,12 +86,14 @@ fn grubbs_indices(stats: &[f64]) -> Vec<usize> {
         if std == 0.0 {
             break;
         }
-        let (pos, g) = active
+        let Some((pos, g)) = active
             .iter()
             .enumerate()
-            .map(|(k, &i)| (k, (stats[i] - mean).abs() / std))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-            .expect("active is non-empty");
+            .filter_map(|(k, &i)| stats.get(i).map(|v| (k, (v - mean).abs() / std)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+        else {
+            break;
+        };
         if g > grubbs_critical(active.len()) {
             removed.push(active.swap_remove(pos));
         } else {
@@ -129,11 +131,20 @@ pub struct StringStats {
 /// Compute the string test statistics for a candidate.
 pub fn string_stats(s: &str) -> StringStats {
     let words = s.split_whitespace().count() as f64;
-    let capitals = s.chars().filter(|c| c.is_ascii_uppercase()).count() as f64;
+    let capitals = s.chars().filter(char::is_ascii_uppercase).count() as f64;
     let total = s.chars().count();
-    let digits = s.chars().filter(|c| c.is_ascii_digit()).count();
-    let numeric_pct = if total == 0 { 0.0 } else { 100.0 * digits as f64 / total as f64 };
-    StringStats { words, capitals, length: total as f64, numeric_pct }
+    let digits = s.chars().filter(char::is_ascii_digit).count();
+    let numeric_pct = if total == 0 {
+        0.0
+    } else {
+        100.0 * digits as f64 / total as f64
+    };
+    StringStats {
+        words,
+        capitals,
+        length: total as f64,
+        numeric_pct,
+    }
 }
 
 /// Outcome of outlier detection: retained candidates and removed outliers,
@@ -222,8 +233,10 @@ pub fn remove_outliers_with<S: AsRef<str>>(
             }
         }
         DomainType::Textual => {
-            let all: Vec<StringStats> =
-                candidates.iter().map(|c| string_stats(c.as_ref())).collect();
+            let all: Vec<StringStats> = candidates
+                .iter()
+                .map(|c| string_stats(c.as_ref()))
+                .collect();
             let columns: [Vec<f64>; 4] = [
                 all.iter().map(|s| s.words).collect(),
                 all.iter().map(|s| s.capitals).collect(),
@@ -246,7 +259,11 @@ pub fn remove_outliers_with<S: AsRef<str>>(
             }
         }
     }
-    OutlierResult { kept, removed, domain }
+    OutlierResult {
+        kept,
+        removed,
+        domain,
+    }
 }
 
 #[cfg(test)]
@@ -270,12 +287,15 @@ mod tests {
         // book prices with one absurd value; $10,000 for a book is the
         // paper's own example of a numeric outlier.
         let candidates = [
-            "$12", "$15", "$9", "$14", "$11", "$13", "$10", "$12", "$15", "$14", "$11",
-            "$10,000",
+            "$12", "$15", "$9", "$14", "$11", "$13", "$10", "$12", "$15", "$14", "$11", "$10,000",
         ];
         let r = remove_outliers(&candidates);
         assert_eq!(r.domain, DomainType::Numeric);
-        assert!(r.removed.contains(&"$10,000".to_string()), "removed: {:?}", r.removed);
+        assert!(
+            r.removed.contains(&"$10,000".to_string()),
+            "removed: {:?}",
+            r.removed
+        );
         assert_eq!(r.kept.len(), candidates.len() - 1);
     }
 
@@ -292,25 +312,33 @@ mod tests {
         // city names plus one sentence-length snippet artifact
         let long = "the following is a list of destinations served from this airport hub";
         let mut candidates: Vec<&str> = vec![
-            "Boston", "Chicago", "Denver", "Seattle", "Atlanta", "Portland", "Houston",
-            "Phoenix", "Dallas", "Miami", "Austin", "Boise",
+            "Boston", "Chicago", "Denver", "Seattle", "Atlanta", "Portland", "Houston", "Phoenix",
+            "Dallas", "Miami", "Austin", "Boise",
         ];
         candidates.push(long);
         let r = remove_outliers(&candidates);
         assert_eq!(r.domain, DomainType::Textual);
-        assert!(r.removed.contains(&long.to_string()), "removed: {:?}", r.removed);
+        assert!(
+            r.removed.contains(&long.to_string()),
+            "removed: {:?}",
+            r.removed
+        );
         assert!(r.kept.len() >= 11);
     }
 
     #[test]
     fn string_domain_removes_digit_heavy_value() {
         let mut candidates: Vec<&str> = vec![
-            "Honda", "Toyota", "Nissan", "Mazda", "Subaru", "Lexus", "Acura", "Jeep",
-            "Dodge", "Buick", "Chevy", "Saturn",
+            "Honda", "Toyota", "Nissan", "Mazda", "Subaru", "Lexus", "Acura", "Jeep", "Dodge",
+            "Buick", "Chevy", "Saturn",
         ];
         candidates.push("0471975444"); // an ISBN among car makes
         let r = remove_outliers(&candidates);
-        assert!(r.removed.contains(&"0471975444".to_string()), "removed: {:?}", r.removed);
+        assert!(
+            r.removed.contains(&"0471975444".to_string()),
+            "removed: {:?}",
+            r.removed
+        );
     }
 
     #[test]
@@ -361,8 +389,16 @@ mod tests {
             "10", "12", "11", "13", "12", "11", "10", "13", "12", "11", "900", "1000",
         ];
         let grubbs = remove_outliers_with(&candidates, DiscordancyTest::Grubbs);
-        assert!(grubbs.removed.contains(&"900".to_string()), "{:?}", grubbs.removed);
-        assert!(grubbs.removed.contains(&"1000".to_string()), "{:?}", grubbs.removed);
+        assert!(
+            grubbs.removed.contains(&"900".to_string()),
+            "{:?}",
+            grubbs.removed
+        );
+        assert!(
+            grubbs.removed.contains(&"1000".to_string()),
+            "{:?}",
+            grubbs.removed
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub enum ValueType {
 impl ValueType {
     /// True for the types the paper's pre-processing step calls "numeric".
     pub fn is_numeric(self) -> bool {
-        matches!(self, ValueType::Integer | ValueType::Real | ValueType::Monetary)
+        matches!(
+            self,
+            ValueType::Integer | ValueType::Real | ValueType::Monetary
+        )
     }
 }
 
@@ -43,9 +46,30 @@ pub enum DomainType {
 }
 
 static MONTHS: &[&str] = &[
-    "january", "february", "march", "april", "may", "june", "july", "august",
-    "september", "october", "november", "december", "jan", "feb", "mar", "apr",
-    "jun", "jul", "aug", "sep", "sept", "oct", "nov", "dec",
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
+    "jan",
+    "feb",
+    "mar",
+    "apr",
+    "jun",
+    "jul",
+    "aug",
+    "sep",
+    "sept",
+    "oct",
+    "nov",
+    "dec",
 ];
 
 /// Scan a digit run with optional `,` thousands grouping; returns byte index
@@ -80,9 +104,8 @@ pub fn is_real(s: &str) -> bool {
     let Some(dot) = t.find('.') else { return false };
     let (int_part, frac_part) = (&t[..dot], &t[dot + 1..]);
     let frac_ok = !frac_part.is_empty() && frac_part.bytes().all(|c| c.is_ascii_digit());
-    let int_ok = int_part.is_empty()
-        || is_integer(int_part)
-        || (int_part == "-" || int_part == "+");
+    let int_ok =
+        int_part.is_empty() || is_integer(int_part) || (int_part == "-" || int_part == "+");
     frac_ok && int_ok
 }
 
@@ -127,7 +150,9 @@ pub fn is_date(s: &str) -> bool {
     if words.is_empty() || words.len() > 3 {
         return false;
     }
-    let (first, rest) = words.split_first().expect("non-empty");
+    let Some((first, rest)) = words.split_first() else {
+        return false;
+    };
     let first = first.trim_end_matches(['.', ',']);
     if !MONTHS.contains(&first) {
         return false;
@@ -164,7 +189,10 @@ pub fn domain_type<S: AsRef<str>>(values: &[S], majority: f64) -> DomainType {
     if values.is_empty() {
         return DomainType::Textual;
     }
-    let numeric = values.iter().filter(|v| infer_type(v.as_ref()).is_numeric()).count();
+    let numeric = values
+        .iter()
+        .filter(|v| infer_type(v.as_ref()).is_numeric())
+        .count();
     if (numeric as f64) / (values.len() as f64) >= majority {
         DomainType::Numeric
     } else {

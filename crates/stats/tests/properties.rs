@@ -17,7 +17,9 @@ fn entropy_bounded() {
 
 fn score_examples(rng: &mut webiq_rng::StdRng, max_len: usize) -> Vec<(f64, bool)> {
     let n = rng.gen_range(1..=max_len);
-    (0..n).map(|_| (rng.gen_range(0.0f64..1.0), rng.gen_bool(0.5))).collect()
+    (0..n)
+        .map(|_| (rng.gen_range(0.0f64..1.0), rng.gen_bool(0.5)))
+        .collect()
 }
 
 /// Information gain is non-negative and at most the parent entropy.
@@ -40,9 +42,18 @@ fn threshold_in_range() {
     prop::cases(prop::CASES, |rng| {
         let examples = score_examples(rng, 39);
         let t = entropy::best_threshold(&examples);
-        let lo = examples.iter().map(|(s, _)| *s).fold(f64::INFINITY, f64::min);
-        let hi = examples.iter().map(|(s, _)| *s).fold(f64::NEG_INFINITY, f64::max);
-        assert!(t >= lo - 1e-12 && t <= hi + 1e-12, "t = {t} not in [{lo}, {hi}]");
+        let lo = examples
+            .iter()
+            .map(|(s, _)| *s)
+            .fold(f64::INFINITY, f64::min);
+        let hi = examples
+            .iter()
+            .map(|(s, _)| *s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            t >= lo - 1e-12 && t <= hi + 1e-12,
+            "t = {t} not in [{lo}, {hi}]"
+        );
     });
 }
 
@@ -72,7 +83,10 @@ fn nb_posterior_valid() {
         let n = rng.gen_range(1usize..30);
         let ex: Vec<(Vec<bool>, bool)> = (0..n)
             .map(|_| {
-                ((0..3).map(|_| rng.gen_bool(0.5)).collect(), rng.gen_bool(0.5))
+                (
+                    (0..3).map(|_| rng.gen_bool(0.5)).collect(),
+                    rng.gen_bool(0.5),
+                )
             })
             .collect();
         let probe: Vec<bool> = (0..3).map(|_| rng.gen_bool(0.5)).collect();

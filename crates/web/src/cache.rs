@@ -12,9 +12,19 @@
 //! - [`ShardedLru`] — N [`LruCache`] shards behind their own locks; the
 //!   per-shard capacity is `total / N`.
 
+// lint:deterministic
+
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock a cache shard, recovering from poisoning. Every cached value is
+/// a pure function of its key, so a shard left by a panicking thread is
+/// still internally consistent: at worst an in-flight insert is missing
+/// and gets recomputed.
+fn lock_shard<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Number of shards used by the engine's caches. A power of two well above
 /// typical worker counts keeps the collision probability per lookup low.
@@ -38,7 +48,9 @@ pub struct ShardedMap<V> {
 impl<V: Clone> ShardedMap<V> {
     /// An empty map with [`SHARDS`] shards.
     pub fn new() -> Self {
-        ShardedMap { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+        ShardedMap {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
     }
 
     fn shard(&self, key: &str) -> &Mutex<HashMap<String, V>> {
@@ -47,18 +59,18 @@ impl<V: Clone> ShardedMap<V> {
 
     /// Cloned value for `key`, if present.
     pub fn get(&self, key: &str) -> Option<V> {
-        self.shard(key).lock().expect("cache shard lock").get(key).cloned()
+        lock_shard(self.shard(key)).get(key).cloned()
     }
 
     /// Insert (last writer wins; racing writers insert equal values here,
     /// since every cached computation is a pure function of the key).
     pub fn insert(&self, key: String, value: V) {
-        self.shard(&key).lock().expect("cache shard lock").insert(key, value);
+        lock_shard(self.shard(&key)).insert(key, value);
     }
 
     /// Total entries across shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache shard lock").len()).sum()
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
     }
 
     /// True when no shard holds an entry.
@@ -153,7 +165,12 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         }
         if self.entries.len() < self.cap {
             let i = self.entries.len();
-            self.entries.push(Entry { key: key.clone(), val, prev: NIL, next: NIL });
+            self.entries.push(Entry {
+                key: key.clone(),
+                val,
+                prev: NIL,
+                next: NIL,
+            });
             self.map.insert(key, i);
             self.push_front(i);
         } else {
@@ -189,23 +206,21 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
     /// A cache of `total_cap` entries split over [`SHARDS`] shards.
     pub fn new(total_cap: usize) -> Self {
         let per = (total_cap / SHARDS).max(1);
-        ShardedLru { shards: (0..SHARDS).map(|_| Mutex::new(LruCache::new(per))).collect() }
+        ShardedLru {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(LruCache::new(per)))
+                .collect(),
+        }
     }
 
     /// Cloned value under the shard selected by `shard_key`.
     pub fn get(&self, shard_key: &str, key: &K) -> Option<V> {
-        self.shards[(shard_hash(shard_key) as usize) % SHARDS]
-            .lock()
-            .expect("lru shard lock")
-            .get(key)
+        lock_shard(&self.shards[(shard_hash(shard_key) as usize) % SHARDS]).get(key)
     }
 
     /// Insert under the shard selected by `shard_key`.
     pub fn insert(&self, shard_key: &str, key: K, val: V) {
-        self.shards[(shard_hash(shard_key) as usize) % SHARDS]
-            .lock()
-            .expect("lru shard lock")
-            .insert(key, val);
+        lock_shard(&self.shards[(shard_hash(shard_key) as usize) % SHARDS]).insert(key, val);
     }
 }
 

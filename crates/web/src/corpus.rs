@@ -25,7 +25,10 @@ impl Corpus {
         let docs = texts
             .into_iter()
             .enumerate()
-            .map(|(i, t)| Document { id: i as u32, text: t.into() })
+            .map(|(i, t)| Document {
+                id: i as u32,
+                text: t.into(),
+            })
             .collect();
         Corpus { docs }
     }
@@ -58,7 +61,10 @@ impl Corpus {
     /// Append a document, returning its id.
     pub fn push(&mut self, text: impl Into<String>) -> u32 {
         let id = self.docs.len() as u32;
-        self.docs.push(Document { id, text: text.into() });
+        self.docs.push(Document {
+            id,
+            text: text.into(),
+        });
         id
     }
 }

@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use crate::cache::{ShardedLru, ShardedMap};
 use crate::corpus::Corpus;
+use crate::error::WebError;
 use crate::index::InvertedIndex;
 use crate::query::{self, Query};
 
@@ -116,7 +117,7 @@ thread_local! {
 /// deterministic measure of that component's query traffic — identical
 /// whatever the thread count, cache state, or scheduling.
 pub fn thread_issued_queries() -> u64 {
-    ISSUED.with(|c| c.get())
+    ISSUED.with(std::cell::Cell::get)
 }
 
 fn bump_thread_issued() {
@@ -135,7 +136,7 @@ const PARSE_CACHE_CAP: usize = 8192;
 /// let engine = SearchEngine::new(Corpus::from_texts([
 ///     "airlines such as Delta and United fly from Boston",
 ///     "a page about gardening",
-/// ]));
+/// ])).expect("corpus is non-empty");
 /// assert_eq!(engine.num_hits("\"airlines such as\""), 1);
 /// assert_eq!(engine.num_hits("boston -gardening"), 1);
 /// let snippets = engine.search("\"airlines such as\"", 10);
@@ -154,10 +155,12 @@ pub struct SearchEngine {
 }
 
 impl SearchEngine {
-    /// Index `corpus` and stand up the engine.
-    pub fn new(corpus: Corpus) -> Self {
-        let index = InvertedIndex::build(&corpus);
-        SearchEngine {
+    /// Index `corpus` and stand up the engine. An empty corpus is valid
+    /// (every query answers zero hits); the only failure is an abnormal
+    /// index-build worker termination, propagated as [`WebError`].
+    pub fn new(corpus: Corpus) -> Result<Self, WebError> {
+        let index = InvertedIndex::build(&corpus)?;
+        Ok(SearchEngine {
             corpus,
             index,
             stats: EngineStats::default(),
@@ -165,7 +168,7 @@ impl SearchEngine {
             search_cache: ShardedLru::new(SEARCH_CACHE_CAP),
             parse_cache: ShardedLru::new(PARSE_CACHE_CAP),
             latency_us: AtomicU64::new(0),
-        }
+        })
     }
 
     /// Charge every cache-missing query a simulated network round-trip of
@@ -203,7 +206,8 @@ impl SearchEngine {
             return q;
         }
         let q = Arc::new(query::parse(query));
-        self.parse_cache.insert(query, query.to_string(), Arc::clone(&q));
+        self.parse_cache
+            .insert(query, query.to_string(), Arc::clone(&q));
         q
     }
 
@@ -227,7 +231,11 @@ impl SearchEngine {
             None => {
                 // keyword-only query: seed with the first keyword's docs
                 let first = &q.keywords[0];
-                self.index.term_docs(first).into_iter().map(|d| (d, 0)).collect()
+                self.index
+                    .term_docs(first)
+                    .into_iter()
+                    .map(|d| (d, 0))
+                    .collect()
             }
         };
         for kw in &q.keywords {
@@ -284,12 +292,18 @@ impl SearchEngine {
             .matching_docs(&q)
             .into_iter()
             .take(k)
-            .map(|(doc_id, pos)| {
-                let doc = self.corpus.get(doc_id).expect("doc ids come from the index");
-                Snippet { doc_id, text: make_snippet(&doc.text, pos) }
+            .filter_map(|(doc_id, pos)| {
+                // Doc ids come from the index; a miss means index/corpus
+                // drift and the snippet is dropped rather than panicking.
+                let doc = self.corpus.get(doc_id)?;
+                Some(Snippet {
+                    doc_id,
+                    text: make_snippet(&doc.text, pos),
+                })
             })
             .collect();
-        self.search_cache.insert(query, key, Arc::new(snippets.clone()));
+        self.search_cache
+            .insert(query, key, Arc::new(snippets.clone()));
         snippets
     }
 }
@@ -329,11 +343,14 @@ fn make_snippet(text: &str, pos: u32) -> String {
             (true, None) => start = Some(i),
             (false, Some(s))
                 if (!matches!(c, '\'' | '-' | '.' | ',')
-                    || !text[i + c.len_utf8()..].chars().next().is_some_and(char::is_alphanumeric))
-                => {
-                    spans.push((s, i));
-                    start = None;
-                }
+                    || !text[i + c.len_utf8()..]
+                        .chars()
+                        .next()
+                        .is_some_and(char::is_alphanumeric)) =>
+            {
+                spans.push((s, i));
+                start = None;
+            }
             _ => {}
         }
     }
@@ -343,9 +360,12 @@ fn make_snippet(text: &str, pos: u32) -> String {
     if spans.is_empty() {
         return text.to_string();
     }
-    let pos = (pos as usize).min(spans.len() - 1);
-    let from = spans[pos.saturating_sub(LEFT)].0;
-    let to = spans[(pos + RIGHT).min(spans.len() - 1)].1;
+    let last = spans.len() - 1;
+    let pos = (pos as usize).min(last);
+    let from = spans.get(pos.saturating_sub(LEFT)).map_or(0, |s| s.0);
+    let to = spans
+        .get((pos + RIGHT).min(last))
+        .map_or_else(|| text.len(), |s| s.1);
     // extend to end of sentence punctuation if adjacent
     let mut end = to;
     let bytes = text.as_bytes();
@@ -367,6 +387,7 @@ mod tests {
             "cities such as Boston and Chicago host many flights",
             "random page about gardening and tomatoes",
         ]))
+        .expect("engine")
     }
 
     #[test]
@@ -387,8 +408,13 @@ mod tests {
         let e = engine();
         let snippets = e.search(r#""departure cities such as""#, 5);
         assert_eq!(snippets.len(), 1);
-        assert!(snippets[0].text.contains("departure cities such as Boston, Chicago, and LAX"),
-            "snippet: {}", snippets[0].text);
+        assert!(
+            snippets[0]
+                .text
+                .contains("departure cities such as Boston, Chicago, and LAX"),
+            "snippet: {}",
+            snippets[0].text
+        );
     }
 
     #[test]
@@ -484,7 +510,7 @@ mod tests {
 
     #[test]
     fn empty_corpus() {
-        let e = SearchEngine::new(Corpus::default());
+        let e = SearchEngine::new(Corpus::default()).expect("empty corpus is valid");
         assert_eq!(e.num_hits("anything"), 0);
         assert!(e.search("anything", 5).is_empty());
     }

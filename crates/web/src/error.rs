@@ -1,0 +1,40 @@
+//! Error type for the Surface-Web simulator.
+//!
+//! Fallible entry points of this crate (`SearchEngine::new`,
+//! `InvertedIndex::build*`) return [`WebError`] instead of panicking, so
+//! callers — ultimately `webiq-core`'s `WebIqError` — can surface
+//! construction failures as data rather than crashes.
+
+use std::fmt;
+
+/// Failure raised while building the Surface-Web simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WebError {
+    /// A parallel index-build worker terminated abnormally.
+    IndexWorkerFailed,
+}
+
+impl fmt::Display for WebError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WebError::IndexWorkerFailed => {
+                write!(f, "a parallel index-build worker terminated abnormally")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WebError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(
+            WebError::IndexWorkerFailed.to_string(),
+            "a parallel index-build worker terminated abnormally"
+        );
+    }
+}

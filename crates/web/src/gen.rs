@@ -97,8 +97,9 @@ fn pick_instance<'a>(rng: &mut StdRng, instances: &'a [String], power: f64) -> O
     if instances.is_empty() {
         return None;
     }
-    let weights: Vec<f64> =
-        (0..instances.len()).map(|i| 1.0 / (i as f64 + 1.0).powf(power)).collect();
+    let weights: Vec<f64> = (0..instances.len())
+        .map(|i| 1.0 / (i as f64 + 1.0).powf(power))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut roll = rng.gen_range(0.0..total);
     for (i, w) in weights.iter().enumerate() {
@@ -128,14 +129,14 @@ fn pick_distinct<'a>(rng: &mut StdRng, instances: &'a [String], n: usize) -> Vec
 
 /// Render a comma list with Oxford `and`.
 fn comma_list(items: &[&str]) -> String {
-    match items.len() {
-        0 => String::new(),
-        1 => items[0].to_string(),
-        2 => format!("{} and {}", items[0], items[1]),
-        _ => {
-            let head = items[..items.len() - 1].join(", ");
-            format!("{head}, and {}", items[items.len() - 1])
-        }
+    match items {
+        [] => String::new(),
+        [only] => (*only).to_string(),
+        [a, b] => format!("{a} and {b}"),
+        _ => match items.split_last() {
+            Some((last, head)) => format!("{}, and {last}", head.join(", ")),
+            None => String::new(),
+        },
     }
 }
 
@@ -150,7 +151,9 @@ fn concept_sentences(
     siblings: &[&ConceptSpec],
     confuser_rate: f64,
 ) -> Vec<String> {
-    let lex = c.lexicalizations.choose(rng).expect("concept has a lexicalization").as_str();
+    let Some(lex) = c.lexicalizations.choose(rng).map(String::as_str) else {
+        return Vec::new();
+    };
     let plural = ConceptSpec::plural_of(lex);
     let mut sentences = Vec::new();
     // Template mix: Hearst set patterns dominate (they are what the real
@@ -159,7 +162,7 @@ fn concept_sentences(
     static TEMPLATES: &[u8] = &[0, 0, 0, 1, 1, 2, 2, 3, 4, 5, 6, 7, 8, 8, 8, 9];
     let n_sent = rng.gen_range(2..=4);
     for _ in 0..n_sent {
-        let template = *TEMPLATES.choose(rng).expect("nonempty");
+        let template = TEMPLATES.choose(rng).copied().unwrap_or(0);
         let list_len = rng.gen_range(2..=4usize);
         let mut items: Vec<&str> = pick_distinct(rng, &c.instances, list_len);
         if items.is_empty() {
@@ -167,13 +170,17 @@ fn concept_sentences(
         }
         // Occasionally poison a list with a confuser (false completion).
         if !c.confusers.is_empty() && rng.gen_bool(confuser_rate) {
-            let confuser = c.confusers.choose(rng).expect("nonempty").as_str();
-            items.push(confuser);
+            if let Some(confuser) = c.confusers.choose(rng) {
+                items.push(confuser.as_str());
+            }
         }
-        let x = items[0];
+        let Some(&x) = items.first() else { continue };
         let s = match template {
             // Hearst set patterns s1–s4
-            0 => format!("Popular {plural} such as {} are listed on this page.", comma_list(&items)),
+            0 => format!(
+                "Popular {plural} such as {} are listed on this page.",
+                comma_list(&items)
+            ),
             1 => format!("We feature such {plural} as {}.", comma_list(&items)),
             2 => format!("{plural} including {} are available.", comma_list(&items)),
             3 => format!("{}, and other {plural}.", comma_list(&items)),
@@ -193,10 +200,13 @@ fn concept_sentences(
     if !siblings.is_empty() && rng.gen_bool(0.5) {
         let n = rng.gen_range(1..=2usize.min(siblings.len()));
         for _ in 0..n {
-            let sib = siblings.choose(rng).expect("nonempty");
-            let (Some(lex), Some(x)) =
-                (sib.lexicalizations.first(), pick_instance(rng, &sib.instances, 0.5))
-            else {
+            let Some(sib) = siblings.choose(rng) else {
+                continue;
+            };
+            let (Some(lex), Some(x)) = (
+                sib.lexicalizations.first(),
+                pick_instance(rng, &sib.instances, 0.5),
+            ) else {
                 continue;
             };
             sentences.push(format!("{}: {x}.", capitalize(lex)));
@@ -204,7 +214,10 @@ fn concept_sentences(
     }
     // domain scatter so `+domain` keyword restrictions match
     if !c.domain_terms.is_empty() && rng.gen_bool(0.8) {
-        sentences.push(format!("This page is about {}.", c.domain_terms.join(" and ")));
+        sentences.push(format!(
+            "This page is about {}.",
+            c.domain_terms.join(" and ")
+        ));
     }
     sentences
 }
@@ -219,9 +232,9 @@ fn capitalize(s: &str) -> String {
 
 /// Filler vocabulary for noise pages.
 static NOISE_WORDS: &[&str] = &[
-    "garden", "weather", "recipe", "soccer", "news", "music", "forum", "photo",
-    "holiday", "museum", "review", "tutorial", "history", "concert", "festival",
-    "market", "gallery", "village", "bridge", "mountain", "river", "cooking",
+    "garden", "weather", "recipe", "soccer", "news", "music", "forum", "photo", "holiday",
+    "museum", "review", "tutorial", "history", "concert", "festival", "market", "gallery",
+    "village", "bridge", "mountain", "river", "cooking",
 ];
 
 /// Generate the full corpus for a set of concepts.
@@ -252,7 +265,7 @@ pub fn generate(concepts: &[ConceptSpec], config: &GenConfig) -> Corpus {
         for (rank, instance) in c.instances.iter().enumerate() {
             let docs = (config.popularity_docs as f64 / (rank as f64 + 1.0)).ceil() as usize;
             for _ in 0..docs {
-                let filler = NOISE_WORDS.choose(&mut rng).expect("nonempty");
+                let filler = NOISE_WORDS.choose(&mut rng).copied().unwrap_or("article");
                 corpus.push(format!(
                     "{instance} appears in this {filler} article. Read more about {instance}."
                 ));
@@ -264,7 +277,7 @@ pub fn generate(concepts: &[ConceptSpec], config: &GenConfig) -> Corpus {
     for _ in 0..config.noise_docs {
         let n = rng.gen_range(6..=14);
         let words: Vec<&str> = (0..n)
-            .map(|_| *NOISE_WORDS.choose(&mut rng).expect("nonempty"))
+            .filter_map(|_| NOISE_WORDS.choose(&mut rng).copied())
             .collect();
         corpus.push(format!("{}.", words.join(" ")));
     }
@@ -310,8 +323,20 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let c = [city_concept()];
-        let a = generate(&c, &GenConfig { seed: 1, ..GenConfig::default() });
-        let b = generate(&c, &GenConfig { seed: 2, ..GenConfig::default() });
+        let a = generate(
+            &c,
+            &GenConfig {
+                seed: 1,
+                ..GenConfig::default()
+            },
+        );
+        let b = generate(
+            &c,
+            &GenConfig {
+                seed: 2,
+                ..GenConfig::default()
+            },
+        );
         let same = a.iter().zip(b.iter()).all(|(x, y)| x.text == y.text);
         assert!(!same);
     }
@@ -320,7 +345,7 @@ mod tests {
     fn hearst_patterns_are_searchable() {
         let c = [city_concept()];
         let corpus = generate(&c, &GenConfig::default());
-        let engine = SearchEngine::new(corpus);
+        let engine = SearchEngine::new(corpus).expect("engine");
         // At least one of the cue phrases must be present and completed by
         // instances.
         let hits = engine.num_hits(r#""departure cities such as""#)
@@ -334,7 +359,7 @@ mod tests {
     fn popular_instances_have_more_hits() {
         let c = [city_concept()];
         let corpus = generate(&c, &GenConfig::default());
-        let engine = SearchEngine::new(corpus);
+        let engine = SearchEngine::new(corpus).expect("engine");
         let boston = engine.num_hits("boston");
         let portland = engine.num_hits("portland");
         assert!(
@@ -347,13 +372,19 @@ mod tests {
     fn domain_terms_present() {
         let c = [city_concept()];
         let corpus = generate(&c, &GenConfig::default());
-        let engine = SearchEngine::new(corpus);
+        let engine = SearchEngine::new(corpus).expect("engine");
         assert!(engine.num_hits("airfare") > 0);
     }
 
     #[test]
     fn noise_docs_generated() {
-        let corpus = generate(&[], &GenConfig { noise_docs: 10, ..GenConfig::default() });
+        let corpus = generate(
+            &[],
+            &GenConfig {
+                noise_docs: 10,
+                ..GenConfig::default()
+            },
+        );
         assert_eq!(corpus.len(), 10);
     }
 
@@ -375,7 +406,13 @@ mod tests {
     fn empty_instance_list_yields_no_concept_pages() {
         let mut c = city_concept();
         c.instances.clear();
-        let corpus = generate(&[c], &GenConfig { noise_docs: 0, ..GenConfig::default() });
+        let corpus = generate(
+            &[c],
+            &GenConfig {
+                noise_docs: 0,
+                ..GenConfig::default()
+            },
+        );
         // only the domain-scatter sentences may appear; concept pages with
         // no instances produce either nothing or domain-only pages
         for d in corpus.iter() {

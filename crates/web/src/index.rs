@@ -4,9 +4,12 @@
 //! both boolean keyword matching and exact phrase matching by position
 //! intersection, the two operations Google's 2006 query subset needs.
 
+// lint:deterministic
+
 use std::collections::HashMap;
 
 use crate::corpus::Corpus;
+use crate::error::WebError;
 use crate::query::webiq_nlp_like_tokens;
 
 /// Postings for one term: documents and in-document token positions,
@@ -42,7 +45,9 @@ fn build_threads() -> usize {
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
 }
 
 /// Tokenize a contiguous run of documents into a partial term map.
@@ -68,36 +73,52 @@ impl InvertedIndex {
     /// indexed on a scoped worker pool; the partial term maps are merged
     /// in chunk order, so postings stay ascending and the result is
     /// byte-identical to a sequential build regardless of thread count.
-    pub fn build(corpus: &Corpus) -> Self {
+    ///
+    /// Fails with [`WebError::IndexWorkerFailed`] if a build worker
+    /// terminates abnormally.
+    pub fn build(corpus: &Corpus) -> Result<Self, WebError> {
         Self::build_with_threads(corpus, build_threads())
     }
 
     /// [`InvertedIndex::build`] with an explicit worker count.
-    pub fn build_with_threads(corpus: &Corpus, threads: usize) -> Self {
+    pub fn build_with_threads(corpus: &Corpus, threads: usize) -> Result<Self, WebError> {
         let docs = corpus.docs();
         let threads = threads.max(1);
         if threads == 1 || docs.len() < PARALLEL_BUILD_MIN_DOCS {
-            return InvertedIndex { terms: index_chunk(docs), doc_count: corpus.len() };
+            return Ok(InvertedIndex {
+                terms: index_chunk(docs),
+                doc_count: corpus.len(),
+            });
         }
         let chunk_size = docs.len().div_ceil(threads);
         let chunks: Vec<&[crate::corpus::Document]> = docs.chunks(chunk_size).collect();
-        let mut partials: Vec<HashMap<String, Postings>> = Vec::with_capacity(chunks.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                chunks.iter().map(|chunk| scope.spawn(move || index_chunk(chunk))).collect();
+        let mut terms: HashMap<String, Postings> = HashMap::new();
+        std::thread::scope(|scope| -> Result<(), WebError> {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| scope.spawn(move || index_chunk(chunk)))
+                .collect();
+            // Merge joined chunks in spawn order: chunk i covers strictly
+            // smaller doc ids than chunk i+1, so appending keeps every
+            // posting list ascending.
             for h in handles {
-                partials.push(h.join().expect("index worker panicked"));
+                let partial: HashMap<String, Postings> =
+                    h.join().map_err(|_| WebError::IndexWorkerFailed)?;
+                // lint:allow(hash-iter) per-term appends commute; term order never reaches output
+                for (term, mut postings) in partial {
+                    terms
+                        .entry(term)
+                        .or_default()
+                        .docs
+                        .append(&mut postings.docs);
+                }
             }
-        });
-        // Merge in chunk order: chunk i covers strictly smaller doc ids
-        // than chunk i+1, so appending keeps every posting list ascending.
-        let mut terms: HashMap<String, Postings> = partials.remove(0);
-        for partial in partials {
-            for (term, mut postings) in partial {
-                terms.entry(term).or_default().docs.append(&mut postings.docs);
-            }
-        }
-        InvertedIndex { terms, doc_count: corpus.len() }
+            Ok(())
+        })?;
+        Ok(InvertedIndex {
+            terms,
+            doc_count: corpus.len(),
+        })
     }
 
     /// Total number of indexed documents.
@@ -121,28 +142,37 @@ impl InvertedIndex {
     /// Documents containing the exact `phrase` (sequence of lowercase
     /// tokens), ascending, along with the first match position in each.
     pub fn phrase_docs(&self, phrase: &[String]) -> Vec<(u32, u32)> {
-        let Some(first) = phrase.first() else { return Vec::new() };
-        let Some(first_postings) = self.terms.get(first) else { return Vec::new() };
+        let Some(first) = phrase.first() else {
+            return Vec::new();
+        };
+        let Some(first_postings) = self.terms.get(first) else {
+            return Vec::new();
+        };
         if phrase.len() == 1 {
             return first_postings
                 .docs
                 .iter()
-                .map(|(d, ps)| (*d, ps[0]))
+                .filter_map(|(d, ps)| ps.first().map(|&p| (*d, p)))
                 .collect();
         }
         // For each doc containing the first term, check each start position.
-        let rest: Vec<Option<&Postings>> =
-            phrase[1..].iter().map(|t| self.terms.get(t)).collect();
-        if rest.iter().any(Option::is_none) {
-            return Vec::new();
+        let mut rest: Vec<&Postings> = Vec::with_capacity(phrase.len().saturating_sub(1));
+        for t in phrase.iter().skip(1) {
+            match self.terms.get(t) {
+                Some(p) => rest.push(p),
+                None => return Vec::new(),
+            }
         }
         let mut out = Vec::new();
         'docs: for (doc, starts) in &first_postings.docs {
             // positions of each subsequent term in this doc
             let mut positions: Vec<&[u32]> = Vec::with_capacity(rest.len());
             for p in &rest {
-                match p.expect("checked above").docs.binary_search_by_key(doc, |(d, _)| *d) {
-                    Ok(idx) => positions.push(&p.expect("checked").docs[idx].1),
+                match p.docs.binary_search_by_key(doc, |(d, _)| *d) {
+                    Ok(idx) => match p.docs.get(idx) {
+                        Some((_, ps)) => positions.push(ps.as_slice()),
+                        None => continue 'docs,
+                    },
                     Err(_) => continue 'docs,
                 }
             }
@@ -175,7 +205,7 @@ mod tests {
 
     #[test]
     fn term_lookup() {
-        let idx = InvertedIndex::build(&corpus());
+        let idx = InvertedIndex::build(&corpus()).expect("build");
         assert_eq!(idx.term_docs("delta"), vec![0, 1]);
         assert_eq!(idx.term_docs("boston"), vec![0, 2]);
         assert_eq!(idx.term_docs("zurich"), Vec::<u32>::new());
@@ -184,7 +214,7 @@ mod tests {
 
     #[test]
     fn positions_recorded() {
-        let idx = InvertedIndex::build(&corpus());
+        let idx = InvertedIndex::build(&corpus()).expect("build");
         let p = idx.postings("such").expect("postings");
         assert_eq!(p.doc_count(), 2);
         assert_eq!(p.docs[0], (0, vec![1]));
@@ -192,7 +222,7 @@ mod tests {
 
     #[test]
     fn phrase_match() {
-        let idx = InvertedIndex::build(&corpus());
+        let idx = InvertedIndex::build(&corpus()).expect("build");
         let phrase: Vec<String> = ["airlines", "such", "as"].map(String::from).to_vec();
         assert_eq!(idx.phrase_docs(&phrase), vec![(0, 0)]);
         let phrase: Vec<String> = ["such", "as"].map(String::from).to_vec();
@@ -201,35 +231,35 @@ mod tests {
 
     #[test]
     fn phrase_requires_adjacency() {
-        let idx = InvertedIndex::build(&corpus());
+        let idx = InvertedIndex::build(&corpus()).expect("build");
         let phrase: Vec<String> = ["delta", "united"].map(String::from).to_vec();
         assert!(idx.phrase_docs(&phrase).is_empty());
     }
 
     #[test]
     fn phrase_with_unknown_term() {
-        let idx = InvertedIndex::build(&corpus());
+        let idx = InvertedIndex::build(&corpus()).expect("build");
         let phrase: Vec<String> = ["such", "zebras"].map(String::from).to_vec();
         assert!(idx.phrase_docs(&phrase).is_empty());
     }
 
     #[test]
     fn single_word_phrase() {
-        let idx = InvertedIndex::build(&corpus());
+        let idx = InvertedIndex::build(&corpus()).expect("build");
         let phrase = vec!["boston".to_string()];
         assert_eq!(idx.phrase_docs(&phrase).len(), 2);
     }
 
     #[test]
     fn empty_phrase() {
-        let idx = InvertedIndex::build(&corpus());
+        let idx = InvertedIndex::build(&corpus()).expect("build");
         assert!(idx.phrase_docs(&[]).is_empty());
     }
 
     #[test]
     fn repeated_term_in_doc() {
         let c = Corpus::from_texts(["boston boston boston"]);
-        let idx = InvertedIndex::build(&c);
+        let idx = InvertedIndex::build(&c).expect("build");
         assert_eq!(idx.postings("boston").expect("p").docs[0].1, vec![0, 1, 2]);
     }
 
@@ -248,9 +278,9 @@ mod tests {
             })
             .collect();
         let c = Corpus::from_texts(texts);
-        let seq = InvertedIndex::build_with_threads(&c, 1);
+        let seq = InvertedIndex::build_with_threads(&c, 1).expect("build");
         for threads in [2, 3, 4, 8] {
-            let par = InvertedIndex::build_with_threads(&c, threads);
+            let par = InvertedIndex::build_with_threads(&c, threads).expect("build");
             assert_eq!(par, seq, "threads={threads}");
         }
     }
@@ -258,7 +288,7 @@ mod tests {
     #[test]
     fn build_with_more_threads_than_docs() {
         let c = Corpus::from_texts(["one doc"]);
-        let idx = InvertedIndex::build_with_threads(&c, 64);
+        let idx = InvertedIndex::build_with_threads(&c, 64).expect("build");
         assert_eq!(idx.term_docs("doc"), vec![0]);
     }
 }

@@ -15,15 +15,18 @@
 //! [`gen`] corpus generator, which reproduces the statistical structure the
 //! paper relied on: Hearst-pattern sentences, proximity co-occurrences,
 //! Zipf popularity skew, false completions, and noise.
+#![forbid(unsafe_code)]
 
 pub mod cache;
 pub mod corpus;
 pub mod engine;
+pub mod error;
 pub mod gen;
 pub mod index;
 pub mod query;
 
 pub use corpus::{Corpus, Document};
 pub use engine::{thread_issued_queries, EngineStats, SearchEngine, Snippet};
+pub use error::WebError;
 pub use gen::{generate, ConceptSpec, GenConfig};
 pub use query::Query;

@@ -45,8 +45,7 @@ pub(crate) fn webiq_nlp_like_tokens(s: &str) -> Vec<String> {
     let mut i = 0;
     while i < chars.len() {
         let c = chars[i];
-        if c.is_alphanumeric() || c == '$' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
-        {
+        if c.is_alphanumeric() || c == '$' && chars.get(i + 1).is_some_and(char::is_ascii_digit) {
             let start = i;
             i += 1;
             while i < chars.len() {
@@ -105,7 +104,11 @@ pub fn parse(query: &str) -> Query {
             }
         }
     }
-    Query { phrases, keywords, excluded }
+    Query {
+        phrases,
+        keywords,
+        excluded,
+    }
 }
 
 #[cfg(test)]
@@ -174,7 +177,10 @@ mod tests {
 
     #[test]
     fn tokens_keep_hyphens_and_apostrophes() {
-        assert_eq!(webiq_nlp_like_tokens("O'Hare first-class"), vec!["o'hare", "first-class"]);
+        assert_eq!(
+            webiq_nlp_like_tokens("O'Hare first-class"),
+            vec!["o'hare", "first-class"]
+        );
         assert_eq!(webiq_nlp_like_tokens("$15,200"), vec!["$15,200"]);
         assert_eq!(webiq_nlp_like_tokens("3.14"), vec!["3.14"]);
     }

@@ -31,7 +31,7 @@ fn build_engine() -> SearchEngine {
             richness: 1.0,
         },
     ];
-    SearchEngine::new(gen::generate(&concepts, &gen::GenConfig::default()))
+    SearchEngine::new(gen::generate(&concepts, &gen::GenConfig::default())).expect("engine")
 }
 
 /// 8 threads issue interleaved hit-count and snippet queries; every thread
@@ -67,8 +67,11 @@ fn concurrent_queries_match_sequential_answers() {
                     // each thread walks the query list at a different phase
                     let i = (t + round) % queries.len();
                     assert_eq!(engine.num_hits(&queries[i]), expected_hits[i], "query {i}");
-                    let got: Vec<String> =
-                        engine.search(&queries[i], 5).into_iter().map(|s| s.text).collect();
+                    let got: Vec<String> = engine
+                        .search(&queries[i], 5)
+                        .into_iter()
+                        .map(|s| s.text)
+                        .collect();
                     assert_eq!(got, expected_snippets[i], "query {i}");
                 }
             });
@@ -127,5 +130,9 @@ fn global_stats_sane_under_contention() {
         "misses {} exceed worst-case racing bound",
         stats.hit_queries()
     );
-    assert!(stats.cache_hit_rate() > 0.5, "hit rate {}", stats.cache_hit_rate());
+    assert!(
+        stats.cache_hit_rate() > 0.5,
+        "hit rate {}",
+        stats.cache_hit_rate()
+    );
 }

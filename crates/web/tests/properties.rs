@@ -18,7 +18,7 @@ fn hits_bounded() {
     prop::cases(prop::CASES, |rng| {
         let texts = prop::string_vec(rng, prop::lower_space(), 0, 11, 0, 60);
         let q = rng.gen_string(prop::charset("abcdefghijklmnopqrstuvwxyz +\""), 0, 40);
-        let engine = SearchEngine::new(Corpus::from_texts(texts.clone()));
+        let engine = SearchEngine::new(Corpus::from_texts(texts.clone())).expect("engine");
         assert!(engine.num_hits(&q) <= texts.len() as u64);
     });
 }
@@ -31,7 +31,7 @@ fn conjunction_monotone() {
         let texts = prop::string_vec(rng, prop::charset("abc "), 0, 11, 0, 40);
         let base = rng.gen_string(prop::charset("abc"), 1, 3);
         let extra = rng.gen_string(prop::charset("abc"), 1, 3);
-        let engine = SearchEngine::new(Corpus::from_texts(texts));
+        let engine = SearchEngine::new(Corpus::from_texts(texts)).expect("engine");
         let h1 = engine.num_hits(&base);
         let h2 = engine.num_hits(&format!("{base} +{extra}"));
         assert!(h2 <= h1, "h1={h1} h2={h2}");
@@ -47,7 +47,7 @@ fn snippets_contain_phrase() {
         let phrase = words.join(" ");
         let mut all = texts;
         all.push(format!("prefix words then {phrase} and a suffix"));
-        let engine = SearchEngine::new(Corpus::from_texts(all));
+        let engine = SearchEngine::new(Corpus::from_texts(all)).expect("engine");
         let q = format!("\"{phrase}\"");
         let snippets = engine.search(&q, 10);
         assert!(!snippets.is_empty());
@@ -68,7 +68,7 @@ fn self_phrase_match() {
     prop::cases(prop::CASES, |rng| {
         let words = prop::string_vec(rng, prop::lower(), 1, 5, 2, 6);
         let text = words.join(" ");
-        let engine = SearchEngine::new(Corpus::from_texts([text.clone()]));
+        let engine = SearchEngine::new(Corpus::from_texts([text.clone()])).expect("engine");
         let q = format!("\"{text}\"");
         assert!(engine.num_hits(&q) >= 1);
     });
@@ -88,7 +88,12 @@ fn generation_deterministic() {
             confusers: vec![],
             richness: 1.0,
         };
-        let cfg = gen::GenConfig { seed, docs_per_concept: 5, noise_docs: 5, ..gen::GenConfig::default() };
+        let cfg = gen::GenConfig {
+            seed,
+            docs_per_concept: 5,
+            noise_docs: 5,
+            ..gen::GenConfig::default()
+        };
         let a = gen::generate(std::slice::from_ref(&concept), &cfg);
         let b = gen::generate(std::slice::from_ref(&concept), &cfg);
         assert_eq!(a.len(), b.len());

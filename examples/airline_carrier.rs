@@ -22,13 +22,16 @@ use webiq::matcher::{match_attributes, MatchAttribute, MatchConfig};
 use webiq::web::{gen, GenConfig, SearchEngine};
 
 fn strings(v: &[&str]) -> Vec<String> {
-    v.iter().map(|s| s.to_string()).collect()
+    v.iter().map(|s| (*s).to_string()).collect()
 }
 
 fn main() {
     let def = kb::domain("airfare").expect("airfare is a known domain");
-    let engine =
-        SearchEngine::new(gen::generate(&corpus::concept_specs(def), &GenConfig::default()));
+    let engine = SearchEngine::new(gen::generate(
+        &corpus::concept_specs(def),
+        &GenConfig::default(),
+    ))
+    .expect("engine");
     let cfg = WebIQConfig::default();
 
     // ── the two attributes of Fig. 1
@@ -37,8 +40,16 @@ fn main() {
 
     let baseline = match_attributes(
         &[
-            MatchAttribute { r: (0, 0), label: "Airline".into(), values: airline_values.clone() },
-            MatchAttribute { r: (1, 0), label: "Carrier".into(), values: carrier_values.clone() },
+            MatchAttribute {
+                r: (0, 0),
+                label: "Airline".into(),
+                values: airline_values.clone(),
+            },
+            MatchAttribute {
+                r: (1, 0),
+                label: "Carrier".into(),
+                values: carrier_values.clone(),
+            },
         ],
         &MatchConfig::default(),
     );
@@ -59,12 +70,19 @@ fn main() {
         &cfg,
     )
     .expect("training succeeds with 4 positives and 4 negatives");
-    println!("validation-based classifier trained; thresholds: {:?}", classifier.thresholds());
+    println!(
+        "validation-based classifier trained; thresholds: {:?}",
+        classifier.thresholds()
+    );
 
     let mut accepted = Vec::new();
     for candidate in carrier_values.iter().chain(negatives.iter()) {
         let p = classifier.posterior(&engine, candidate, &cfg);
-        let verdict = if p > 0.5 { "instance" } else { "not an instance" };
+        let verdict = if p > 0.5 {
+            "instance"
+        } else {
+            "not an instance"
+        };
         println!("   P(airline | {candidate:12}) = {p:.3} → {verdict}");
         if p > 0.5 {
             accepted.push(candidate.clone());
@@ -76,15 +94,27 @@ fn main() {
     enriched_airline.extend(accepted);
     let enriched = match_attributes(
         &[
-            MatchAttribute { r: (0, 0), label: "Airline".into(), values: enriched_airline },
-            MatchAttribute { r: (1, 0), label: "Carrier".into(), values: carrier_values },
+            MatchAttribute {
+                r: (0, 0),
+                label: "Airline".into(),
+                values: enriched_airline,
+            },
+            MatchAttribute {
+                r: (1, 0),
+                label: "Carrier".into(),
+                values: carrier_values,
+            },
         ],
         &MatchConfig::default(),
     );
     println!(
         "after Attr-Surface borrowing: {} cluster(s) — Airline ≡ Carrier {}",
         enriched.clusters.len(),
-        if enriched.clusters.len() == 1 { "✓" } else { "✗" }
+        if enriched.clusters.len() == 1 {
+            "✓"
+        } else {
+            "✗"
+        }
     );
 
     // ── Attr-Deep: the `from = Chicago` vs `from = January` probe (§4).
@@ -101,8 +131,12 @@ fn main() {
     let months_ok = attr_deep::validate_borrowed(&source, "from", &months, &cfg);
     println!(
         "Attr-Deep verdicts: cities accepted={} ({}/{} probes ok), months accepted={} ({}/{})",
-        cities_ok.accepted, cities_ok.successes, cities_ok.probed,
-        months_ok.accepted, months_ok.successes, months_ok.probed,
+        cities_ok.accepted,
+        cities_ok.successes,
+        cities_ok.probed,
+        months_ok.accepted,
+        months_ok.successes,
+        months_ok.probed,
     );
 }
 
@@ -120,8 +154,16 @@ fn airfare_source() -> DeepSource {
     DeepSource::new(
         "SkyQuest Travel",
         vec![
-            SourceParam { name: "from".into(), domain: ParamDomain::Free, required: false },
-            SourceParam { name: "to".into(), domain: ParamDomain::Free, required: false },
+            SourceParam {
+                name: "from".into(),
+                domain: ParamDomain::Free,
+                required: false,
+            },
+            SourceParam {
+                name: "to".into(),
+                domain: ParamDomain::Free,
+                required: false,
+            },
         ],
         store,
     )

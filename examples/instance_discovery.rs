@@ -15,14 +15,25 @@ use webiq::web::{gen, GenConfig, SearchEngine};
 
 fn main() {
     let def = kb::domain("airfare").expect("airfare is a known domain");
-    let engine =
-        SearchEngine::new(gen::generate(&corpus::concept_specs(def), &GenConfig::default()));
+    let engine = SearchEngine::new(gen::generate(
+        &corpus::concept_specs(def),
+        &GenConfig::default(),
+    ))
+    .expect("engine");
     let info = DomainInfo {
         object: def.object.to_string(),
-        domain_terms: def.domain_terms.iter().map(|s| s.to_string()).collect(), sibling_terms: Vec::new() };
+        domain_terms: def.domain_terms.iter().map(|s| (*s).to_string()).collect(),
+        sibling_terms: Vec::new(),
+    };
     let cfg = WebIQConfig::default();
 
-    for label in ["Departure city", "From city", "From", "Depart from", "Class of service"] {
+    for label in [
+        "Departure city",
+        "From city",
+        "From",
+        "Depart from",
+        "Class of service",
+    ] {
         println!("── label: {label:?}");
 
         // 1. shallow syntactic analysis (§2.1)
@@ -43,7 +54,11 @@ fn main() {
 
         // 2. extraction queries from the Fig. 4 patterns
         let np = &nps[0];
-        println!("   noun phrase: {:?} (plural: {:?})", np.text(), np.plural_text());
+        println!(
+            "   noun phrase: {:?} (plural: {:?})",
+            np.text(),
+            np.plural_text()
+        );
         for pattern in extract_patterns_preview(np, &info, &cfg) {
             println!("   query: {pattern}");
         }

@@ -17,7 +17,11 @@ fn main() {
     // Render one interface and show the markup round trip.
     let sample = &ds.interfaces[0];
     let html = sample.to_html();
-    println!("── {} renders to {} bytes of HTML; first lines:", sample.site, html.len());
+    println!(
+        "── {} renders to {} bytes of HTML; first lines:",
+        sample.site,
+        html.len()
+    );
     for line in html.lines().take(6) {
         println!("   {line}");
     }
@@ -30,13 +34,20 @@ fn main() {
         assert_eq!(forms.len(), 1, "each page carries exactly one search form");
         let mut parsed = Interface::from_extracted(iface.id, &iface.domain, &iface.site, &forms[0]);
         parsed.adopt_concepts_from(iface); // restore gold keys for evaluation
-        assert_eq!(parsed.attributes.len(), iface.attributes.len(), "lossless round trip");
+        assert_eq!(
+            parsed.attributes.len(),
+            iface.attributes.len(),
+            "lossless round trip"
+        );
         parsed_interfaces.push(parsed);
     }
     println!(
         "── re-extracted {} interfaces / {} attributes from HTML",
         parsed_interfaces.len(),
-        parsed_interfaces.iter().map(|i| i.attributes.len()).sum::<usize>()
+        parsed_interfaces
+            .iter()
+            .map(|i| i.attributes.len())
+            .sum::<usize>()
     );
 
     // Match the re-extracted schemas (baseline IceQ).
@@ -44,11 +55,15 @@ fn main() {
         .iter()
         .enumerate()
         .flat_map(|(i, iface)| {
-            iface.attributes.iter().enumerate().map(move |(j, a)| MatchAttribute {
-                r: (i, j),
-                label: a.label.clone(),
-                values: a.instances.clone(),
-            })
+            iface
+                .attributes
+                .iter()
+                .enumerate()
+                .map(move |(j, a)| MatchAttribute {
+                    r: (i, j),
+                    label: a.label.clone(),
+                    values: a.instances.clone(),
+                })
         })
         .collect();
     let result = match_attributes(&attrs, &MatchConfig::default());

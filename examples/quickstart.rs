@@ -19,10 +19,13 @@ fn main() {
             .dataset
             .interfaces
             .iter()
-            .map(|i| i.attrs_without_instances())
+            .map(webiq::data::Interface::attrs_without_instances)
             .sum::<usize>(),
     );
-    println!("simulated Surface Web: {} pages", pipeline.engine.doc_count());
+    println!(
+        "simulated Surface Web: {} pages",
+        pipeline.engine.doc_count()
+    );
 
     // Baseline: IceQ on labels + pre-defined instances only.
     let baseline = pipeline.baseline_f1();
@@ -35,7 +38,9 @@ fn main() {
 
     // Full WebIQ: Surface discovery + Deep-validated and Surface-validated
     // borrowing, then matching over the enriched attributes.
-    let acq = pipeline.acquire(Components::ALL, &WebIQConfig::default());
+    let acq = pipeline
+        .acquire(Components::ALL, &WebIQConfig::default())
+        .expect("acquisition");
     println!(
         "acquisition: {}/{} instance-less attributes reached k=10 \
          (Surface alone: {}), {} pre-defined attributes enriched",
@@ -47,8 +52,7 @@ fn main() {
 
     let attrs = pipeline.enriched_attributes(&acq);
     let (_, webiq) = pipeline.match_and_evaluate(&attrs, &MatchConfig::default());
-    let (_, webiq_t) =
-        pipeline.match_and_evaluate(&attrs, &MatchConfig::with_threshold(THRESHOLD));
+    let (_, webiq_t) = pipeline.match_and_evaluate(&attrs, &MatchConfig::with_threshold(THRESHOLD));
     println!(
         "IceQ + WebIQ:         P={:.3} R={:.3} F1={:.1}%",
         webiq.precision,

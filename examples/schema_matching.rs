@@ -20,24 +20,48 @@ struct Column {
 
 fn schema_a() -> Vec<Column> {
     vec![
-        Column { name: "title", samples: strings(&["The Firm", "Dune", "Emma"]) },
-        Column { name: "writer", samples: vec![] }, // no data sampled
-        Column { name: "publisher", samples: strings(&["Penguin", "Vintage"]) },
-        Column { name: "price_usd", samples: strings(&["$10", "$25"]) },
+        Column {
+            name: "title",
+            samples: strings(&["The Firm", "Dune", "Emma"]),
+        },
+        Column {
+            name: "writer",
+            samples: vec![],
+        }, // no data sampled
+        Column {
+            name: "publisher",
+            samples: strings(&["Penguin", "Vintage"]),
+        },
+        Column {
+            name: "price_usd",
+            samples: strings(&["$10", "$25"]),
+        },
     ]
 }
 
 fn schema_b() -> Vec<Column> {
     vec![
-        Column { name: "book_name", samples: strings(&["Dune", "Congo", "It"]) },
-        Column { name: "author", samples: strings(&["Stephen King", "John Grisham"]) },
-        Column { name: "publishing_house", samples: vec![] }, // no data sampled
-        Column { name: "cost", samples: strings(&["$12", "$30"]) },
+        Column {
+            name: "book_name",
+            samples: strings(&["Dune", "Congo", "It"]),
+        },
+        Column {
+            name: "author",
+            samples: strings(&["Stephen King", "John Grisham"]),
+        },
+        Column {
+            name: "publishing_house",
+            samples: vec![],
+        }, // no data sampled
+        Column {
+            name: "cost",
+            samples: strings(&["$12", "$30"]),
+        },
     ]
 }
 
 fn strings(v: &[&str]) -> Vec<String> {
-    v.iter().map(|s| s.to_string()).collect()
+    v.iter().map(|s| (*s).to_string()).collect()
 }
 
 /// A tiny "Surface Web" about books.
@@ -52,12 +76,20 @@ fn book_web() -> SearchEngine {
         "Publishing house: Penguin.",
         "A noise page about gardening and recipes.",
     ]))
+    .expect("engine")
 }
 
 fn main() {
     let engine = book_web();
-    let info = DomainInfo { object: "book".into(), domain_terms: vec!["books".into()], sibling_terms: Vec::new() };
-    let cfg = WebIQConfig { k: 4, ..WebIQConfig::default() };
+    let info = DomainInfo {
+        object: "book".into(),
+        domain_terms: vec!["books".into()],
+        sibling_terms: Vec::new(),
+    };
+    let cfg = WebIQConfig {
+        k: 4,
+        ..WebIQConfig::default()
+    };
 
     // Enrich the empty columns from the (simulated) Web, exactly as WebIQ
     // enriches instance-less interface attributes.
@@ -91,14 +123,27 @@ fn main() {
         }
         let names: Vec<&str> = cluster
             .iter()
-            .map(|r| attrs.iter().find(|a| a.r == *r).expect("attr exists").label.as_str())
+            .map(|r| {
+                attrs
+                    .iter()
+                    .find(|a| a.r == *r)
+                    .expect("attr exists")
+                    .label
+                    .as_str()
+            })
             .collect();
         println!("   {} ≡ {}", names[0], names[1..].join(" ≡ "));
     }
 
     // The pair the labels alone could never connect:
-    let writer = attrs.iter().position(|a| a.label == "writer").expect("writer");
-    let author = attrs.iter().position(|a| a.label == "author").expect("author");
+    let writer = attrs
+        .iter()
+        .position(|a| a.label == "writer")
+        .expect("writer");
+    let author = attrs
+        .iter()
+        .position(|a| a.label == "author")
+        .expect("author");
     let same_cluster = result
         .clusters
         .iter()

@@ -9,6 +9,7 @@
 //!
 //! All subcommands accept `--seed N` (default 0x1ce0) and are
 //! deterministic in it.
+#![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -69,12 +70,22 @@ fn seed_of(rest: &[String]) -> Result<u64, String> {
 fn cmd_domains() -> Result<(), String> {
     println!("paper domains:");
     for d in kb::all_domains() {
-        println!("  {:<12} ({} concepts, object: {})", d.key, d.concepts.len(), d.object);
+        println!(
+            "  {:<12} ({} concepts, object: {})",
+            d.key,
+            d.concepts.len(),
+            d.object
+        );
     }
     println!("extension domains:");
     for d in kb::extended_domains() {
         if !kb::all_domains().iter().any(|p| p.key == d.key) {
-            println!("  {:<12} ({} concepts, object: {})", d.key, d.concepts.len(), d.object);
+            println!(
+                "  {:<12} ({} concepts, object: {})",
+                d.key,
+                d.concepts.len(),
+                d.object
+            );
         }
     }
     Ok(())
@@ -87,7 +98,10 @@ fn cmd_generate(rest: &[String]) -> Result<(), String> {
     let def = kb::domain(&domain).ok_or_else(|| format!("unknown domain {domain:?}"))?;
     let ds = webiq::data::generate_domain(
         def,
-        &webiq::data::GenOptions { seed, ..webiq::data::GenOptions::default() },
+        &webiq::data::GenOptions {
+            seed,
+            ..webiq::data::GenOptions::default()
+        },
     );
     export::export(&ds, &out).map_err(|e| e.to_string())?;
     println!(
@@ -103,7 +117,9 @@ fn cmd_match(rest: &[String]) -> Result<(), String> {
     let dir = PathBuf::from(flag(rest, "--dataset").ok_or("--dataset is required")?);
     let threshold: f64 = match flag(rest, "--threshold") {
         None => 0.0,
-        Some(v) => v.parse().map_err(|_| format!("invalid --threshold {v:?}"))?,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid --threshold {v:?}"))?,
     };
     let ds = export::import(&dir).map_err(|e| e.to_string())?;
     let attrs: Vec<MatchAttribute> = webiq::matcher::attributes_of(&ds);
@@ -147,9 +163,10 @@ fn cmd_acquire(rest: &[String]) -> Result<(), String> {
         Some("surface-deep") => Components::SURFACE_DEEP,
         Some(other) => return Err(format!("unknown --components {other:?}")),
     };
-    let pipeline =
-        DomainPipeline::build(&domain, seed).ok_or_else(|| format!("unknown domain {domain:?}"))?;
-    let acq = pipeline.acquire(components, &WebIQConfig::default());
+    let pipeline = DomainPipeline::build(&domain, seed).map_err(|e| e.to_string())?;
+    let acq = pipeline
+        .acquire(components, &WebIQConfig::default())
+        .map_err(|e| e.to_string())?;
     println!(
         "{}: {} instance-less attributes; Surface success {:.1}%, Surface+Deep {:.1}%, \
          {} pre-defined attributes enriched",
@@ -160,10 +177,17 @@ fn cmd_acquire(rest: &[String]) -> Result<(), String> {
         acq.report.attr_surface_enriched,
     );
     for (r, values) in &acq.acquired {
-        let a = pipeline.dataset.attribute(*r).expect("acquired refs are valid");
+        let a = pipeline
+            .dataset
+            .attribute(*r)
+            .expect("acquired refs are valid");
         let preview: Vec<&str> = values.iter().take(6).map(String::as_str).collect();
         let more = values.len().saturating_sub(6);
-        let suffix = if more > 0 { format!(" … +{more}") } else { String::new() };
+        let suffix = if more > 0 {
+            format!(" … +{more}")
+        } else {
+            String::new()
+        };
         println!(
             "  {}:{:<22} += [{}{suffix}]",
             pipeline.dataset.interfaces[r.0].site,

@@ -17,6 +17,7 @@
 //!
 //! The [`pipeline`] module wires everything together for one domain; see
 //! `examples/quickstart.rs` for the three-line version.
+#![forbid(unsafe_code)]
 
 pub use webiq_core as core;
 pub use webiq_data as data;
@@ -31,9 +32,10 @@ pub mod pipeline {
     //! End-to-end assembly: dataset + simulated Web + simulated sources +
     //! acquisition + matching for one domain.
 
+    pub use webiq_core::WebIqError;
     use webiq_core::{acquire, Acquisition, Components, WebIQConfig};
     use webiq_data::records::{build_deep_source, RecordOptions};
-    use webiq_data::{corpus, generate_domain, DomainDef, Dataset, GenOptions};
+    use webiq_data::{corpus, generate_domain, Dataset, DomainDef, GenOptions};
     use webiq_deep::DeepSource;
     use webiq_match::{
         attributes_of, match_attributes, MatchAttribute, MatchConfig, MatchResult, PrF1,
@@ -61,18 +63,39 @@ pub mod pipeline {
     impl DomainPipeline {
         /// Build the pipeline for `domain` (one of `airfare`, `auto`,
         /// `book`, `job`, `realestate`) with the given seed.
-        pub fn build(domain: &str, seed: u64) -> Option<Self> {
-            let def = webiq_data::kb::domain(domain)?;
-            Some(Self::from_def(def, seed))
+        ///
+        /// # Errors
+        ///
+        /// Returns [`WebIqError::UnknownDomain`] when `domain` is not in
+        /// the knowledge base, or any error of [`Self::from_def`].
+        pub fn build(domain: &str, seed: u64) -> Result<Self, WebIqError> {
+            let def = webiq_data::kb::domain(domain).ok_or_else(|| WebIqError::UnknownDomain {
+                name: domain.to_string(),
+            })?;
+            Self::from_def(def, seed)
         }
 
         /// Build from a domain definition.
-        pub fn from_def(def: &'static DomainDef, seed: u64) -> Self {
-            let dataset = generate_domain(def, &GenOptions { seed, ..GenOptions::default() });
+        ///
+        /// # Errors
+        ///
+        /// Propagates the Surface-Web simulator's construction failure.
+        pub fn from_def(def: &'static DomainDef, seed: u64) -> Result<Self, WebIqError> {
+            let dataset = generate_domain(
+                def,
+                &GenOptions {
+                    seed,
+                    ..GenOptions::default()
+                },
+            );
             let engine = SearchEngine::new(gen::generate(
                 &corpus::concept_specs(def),
-                &GenConfig { seed: seed ^ 0xc0ffee, confuser_rate: 0.25, ..GenConfig::default() },
-            ));
+                &GenConfig {
+                    seed: seed ^ 0xc0ffee,
+                    confuser_rate: 0.25,
+                    ..GenConfig::default()
+                },
+            ))?;
             // Live 2006 sources were flaky; a twentieth of probes fail
             // with a server error, as they would against the real Deep Web.
             let sources = dataset
@@ -82,16 +105,40 @@ pub mod pipeline {
                     build_deep_source(
                         def,
                         i,
-                        &RecordOptions { seed, failure_rate: 0.05, ..RecordOptions::default() },
+                        &RecordOptions {
+                            seed,
+                            failure_rate: 0.05,
+                            ..RecordOptions::default()
+                        },
                     )
                 })
                 .collect();
-            DomainPipeline { def, dataset, engine, sources }
+            Ok(DomainPipeline {
+                def,
+                dataset,
+                engine,
+                sources,
+            })
         }
 
         /// Run instance acquisition with the chosen components.
-        pub fn acquire(&self, components: Components, cfg: &WebIQConfig) -> Acquisition {
-            acquire::acquire(&self.dataset, self.def, &self.engine, &self.sources, components, cfg)
+        ///
+        /// # Errors
+        ///
+        /// Propagates any [`WebIqError`] raised by the acquisition run.
+        pub fn acquire(
+            &self,
+            components: Components,
+            cfg: &WebIQConfig,
+        ) -> Result<Acquisition, WebIqError> {
+            acquire::acquire(
+                &self.dataset,
+                self.def,
+                &self.engine,
+                &self.sources,
+                components,
+                cfg,
+            )
         }
 
         /// Matcher inputs from the raw dataset (no acquisition).
@@ -121,14 +168,21 @@ pub mod pipeline {
 
         /// Baseline IceQ F-1 (no acquisition, τ = 0).
         pub fn baseline_f1(&self) -> PrF1 {
-            self.match_and_evaluate(&self.baseline_attributes(), &MatchConfig::default()).1
+            self.match_and_evaluate(&self.baseline_attributes(), &MatchConfig::default())
+                .1
         }
 
         /// IceQ + WebIQ F-1 for a component selection.
-        pub fn webiq_f1(&self, components: Components, threshold: f64) -> PrF1 {
-            let acq = self.acquire(components, &WebIQConfig::default());
+        ///
+        /// # Errors
+        ///
+        /// Propagates any [`WebIqError`] raised by the acquisition run.
+        pub fn webiq_f1(&self, components: Components, threshold: f64) -> Result<PrF1, WebIqError> {
+            let acq = self.acquire(components, &WebIQConfig::default())?;
             let attrs = self.enriched_attributes(&acq);
-            self.match_and_evaluate(&attrs, &MatchConfig::with_threshold(threshold)).1
+            Ok(self
+                .match_and_evaluate(&attrs, &MatchConfig::with_threshold(threshold))
+                .1)
         }
     }
 }

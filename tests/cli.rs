@@ -48,7 +48,9 @@ fn generate_then_match_roundtrip() {
     let _ = std::fs::remove_dir_all(&dir);
     let dir_s = dir.to_str().expect("utf-8 temp path");
 
-    let out = webiq(&["generate", "--domain", "book", "--out", dir_s, "--seed", "7"]);
+    let out = webiq(&[
+        "generate", "--domain", "book", "--out", dir_s, "--seed", "7",
+    ]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("exported 20 interfaces"));
 

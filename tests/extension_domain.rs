@@ -11,7 +11,7 @@ fn movie_domain_runs_end_to_end() {
     let p = DomainPipeline::build("movie", 0x1ce0).expect("movie is registered");
     assert_eq!(p.dataset.interfaces.len(), 20);
     let base = p.baseline_f1();
-    let webiq = p.webiq_f1(Components::ALL, 0.0);
+    let webiq = p.webiq_f1(Components::ALL, 0.0).expect("acquisition");
     assert!(base.f1 > 0.5, "baseline sane: {:.3}", base.f1);
     assert!(
         webiq.f1 >= base.f1 - 0.02,
@@ -33,11 +33,16 @@ fn movie_surface_acquisition_finds_directors() {
     use webiq::web::{gen, GenConfig, SearchEngine};
 
     let def = kb::domain("movie").expect("movie");
-    let engine =
-        SearchEngine::new(gen::generate(&corpus::concept_specs(def), &GenConfig::default()));
+    let engine = SearchEngine::new(gen::generate(
+        &corpus::concept_specs(def),
+        &GenConfig::default(),
+    ))
+    .expect("engine");
     let info = DomainInfo {
         object: def.object.to_string(),
-        domain_terms: def.domain_terms.iter().map(|s| s.to_string()).collect(), sibling_terms: Vec::new() };
+        domain_terms: def.domain_terms.iter().map(|s| (*s).to_string()).collect(),
+        sibling_terms: Vec::new(),
+    };
     let found = surface::discover(&engine, "Director", &info, &WebIQConfig::default());
     assert!(
         !found.instances.is_empty(),
@@ -45,7 +50,9 @@ fn movie_surface_acquisition_finds_directors() {
     );
     for inst in found.texts() {
         assert!(
-            kb::movie::DIRECTORS.iter().any(|d| d.eq_ignore_ascii_case(&inst)),
+            kb::movie::DIRECTORS
+                .iter()
+                .any(|d| d.eq_ignore_ascii_case(&inst)),
             "{inst} is not a director"
         );
     }

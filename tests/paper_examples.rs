@@ -39,12 +39,30 @@ fn section21_pluralized_cue_phrases() {
 /// §2.1: labels of the forms the paper names analyze correctly.
 #[test]
 fn section21_label_forms() {
-    assert!(matches!(classify_label("Departure city"), LabelForm::NounPhrase(_)));
-    assert!(matches!(classify_label("Type of job"), LabelForm::NounPhrase(_)));
-    assert!(matches!(classify_label("From"), LabelForm::PrepPhrase { .. }));
-    assert!(matches!(classify_label("From city"), LabelForm::PrepPhrase { .. }));
-    assert!(matches!(classify_label("Depart from"), LabelForm::VerbPhrase { .. }));
-    assert!(matches!(classify_label("First name or last name"), LabelForm::Conjunction(_)));
+    assert!(matches!(
+        classify_label("Departure city"),
+        LabelForm::NounPhrase(_)
+    ));
+    assert!(matches!(
+        classify_label("Type of job"),
+        LabelForm::NounPhrase(_)
+    ));
+    assert!(matches!(
+        classify_label("From"),
+        LabelForm::PrepPhrase { .. }
+    ));
+    assert!(matches!(
+        classify_label("From city"),
+        LabelForm::PrepPhrase { .. }
+    ));
+    assert!(matches!(
+        classify_label("Depart from"),
+        LabelForm::VerbPhrase { .. }
+    ));
+    assert!(matches!(
+        classify_label("First name or last name"),
+        LabelForm::Conjunction(_)
+    ));
 }
 
 /// §2.2: the validation query for label `make` and candidate `Honda` is
@@ -92,7 +110,11 @@ fn section21_google_query_format() {
     use webiq::core::{DomainInfo, WebIQConfig};
     let np = extract::primary_noun_phrase("author").expect("np");
     let pattern = &extraction_patterns(&np, "book")[0];
-    let info = DomainInfo { object: "book".into(), domain_terms: vec!["book".into()], sibling_terms: Vec::new() };
+    let info = DomainInfo {
+        object: "book".into(),
+        domain_terms: vec!["book".into()],
+        sibling_terms: Vec::new(),
+    };
     let q = extract::build_query(pattern, &info, &WebIQConfig::default());
     assert_eq!(q, "\"authors such as\" +book");
 }

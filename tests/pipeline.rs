@@ -15,9 +15,9 @@ fn webiq_improves_average_f1_across_domains() {
     let mut base_sum = 0.0;
     let mut webiq_sum = 0.0;
     for def in kb::all_domains() {
-        let p = DomainPipeline::from_def(def, 0x1ce0);
+        let p = DomainPipeline::from_def(def, 0x1ce0).expect("pipeline");
         let base = p.baseline_f1();
-        let webiq = p.webiq_f1(Components::ALL, 0.0);
+        let webiq = p.webiq_f1(Components::ALL, 0.0).expect("acquisition");
         assert!(
             webiq.f1 >= base.f1 - 0.02,
             "{}: WebIQ must not materially hurt ({:.3} -> {:.3})",
@@ -34,8 +34,14 @@ fn webiq_improves_average_f1_across_domains() {
         webiq_avg > base_avg + 0.04,
         "average F1 must improve by several points: {base_avg:.3} -> {webiq_avg:.3}"
     );
-    assert!(base_avg > 0.80 && base_avg < 0.95, "baseline in paper's regime: {base_avg:.3}");
-    assert!(webiq_avg > 0.93, "WebIQ average in paper's regime: {webiq_avg:.3}");
+    assert!(
+        base_avg > 0.80 && base_avg < 0.95,
+        "baseline in paper's regime: {base_avg:.3}"
+    );
+    assert!(
+        webiq_avg > 0.93,
+        "WebIQ average in paper's regime: {webiq_avg:.3}"
+    );
 }
 
 /// Figure 7's shape: adding components never hurts and each contributes
@@ -52,11 +58,11 @@ fn component_contributions_are_monotone_on_average() {
     for components in configs {
         let mut sum = 0.0;
         for def in kb::all_domains() {
-            let p = DomainPipeline::from_def(def, 0x1ce0);
+            let p = DomainPipeline::from_def(def, 0x1ce0).expect("pipeline");
             sum += if components == Components::NONE {
                 p.baseline_f1().f1
             } else {
-                p.webiq_f1(components, 0.0).f1
+                p.webiq_f1(components, 0.0).expect("acquisition").f1
             };
         }
         avgs.push(sum / 5.0);
@@ -65,7 +71,10 @@ fn component_contributions_are_monotone_on_average() {
         avgs.windows(2).all(|w| w[1] >= w[0] - 0.015),
         "per-stage averages must be (weakly) increasing: {avgs:?}"
     );
-    assert!(avgs[3] > avgs[0] + 0.04, "full WebIQ clearly beats baseline: {avgs:?}");
+    assert!(
+        avgs[3] > avgs[0] + 0.04,
+        "full WebIQ clearly beats baseline: {avgs:?}"
+    );
 }
 
 /// The full pipeline is deterministic in the seed.
@@ -73,11 +82,19 @@ fn component_contributions_are_monotone_on_average() {
 fn pipeline_is_deterministic() {
     let a = DomainPipeline::build("auto", 42).expect("domain");
     let b = DomainPipeline::build("auto", 42).expect("domain");
-    let acq_a = a.acquire(Components::ALL, &WebIQConfig::default());
-    let acq_b = b.acquire(Components::ALL, &WebIQConfig::default());
+    let acq_a = a
+        .acquire(Components::ALL, &WebIQConfig::default())
+        .expect("acquisition");
+    let acq_b = b
+        .acquire(Components::ALL, &WebIQConfig::default())
+        .expect("acquisition");
     assert_eq!(acq_a.acquired, acq_b.acquired);
-    let f1_a = a.match_and_evaluate(&a.enriched_attributes(&acq_a), &MatchConfig::default()).1;
-    let f1_b = b.match_and_evaluate(&b.enriched_attributes(&acq_b), &MatchConfig::default()).1;
+    let f1_a = a
+        .match_and_evaluate(&a.enriched_attributes(&acq_a), &MatchConfig::default())
+        .1;
+    let f1_b = b
+        .match_and_evaluate(&b.enriched_attributes(&acq_b), &MatchConfig::default())
+        .1;
     assert_eq!(f1_a.f1, f1_b.f1);
 }
 
@@ -89,9 +106,9 @@ fn improvement_is_seed_robust() {
         let mut base_sum = 0.0;
         let mut webiq_sum = 0.0;
         for def in kb::all_domains() {
-            let p = DomainPipeline::from_def(def, seed);
+            let p = DomainPipeline::from_def(def, seed).expect("pipeline");
             base_sum += p.baseline_f1().f1;
-            webiq_sum += p.webiq_f1(Components::ALL, 0.0).f1;
+            webiq_sum += p.webiq_f1(Components::ALL, 0.0).expect("acquisition").f1;
         }
         assert!(
             webiq_sum > base_sum + 0.10,
@@ -104,9 +121,9 @@ fn improvement_is_seed_robust() {
 #[test]
 fn thresholding_stays_in_regime() {
     for def in kb::all_domains() {
-        let p = DomainPipeline::from_def(def, 0x1ce0);
-        let webiq = p.webiq_f1(Components::ALL, 0.0);
-        let webiq_t = p.webiq_f1(Components::ALL, THRESHOLD);
+        let p = DomainPipeline::from_def(def, 0x1ce0).expect("pipeline");
+        let webiq = p.webiq_f1(Components::ALL, 0.0).expect("acquisition");
+        let webiq_t = p.webiq_f1(Components::ALL, THRESHOLD).expect("acquisition");
         assert!(
             webiq_t.f1 >= webiq.f1 - 0.03,
             "{}: τ must stay within a hair of unthresholded ({:.3} vs {:.3})",
@@ -128,8 +145,8 @@ fn thresholding_stays_in_regime() {
 fn job_gains_most_from_webiq() {
     let mut gains = Vec::new();
     for def in kb::all_domains() {
-        let p = DomainPipeline::from_def(def, 0x1ce0);
-        let gain = p.webiq_f1(Components::ALL, 0.0).f1 - p.baseline_f1().f1;
+        let p = DomainPipeline::from_def(def, 0x1ce0).expect("pipeline");
+        let gain = p.webiq_f1(Components::ALL, 0.0).expect("acquisition").f1 - p.baseline_f1().f1;
         gains.push((def.key, gain));
     }
     let max = gains

@@ -9,11 +9,18 @@ use webiq::web::{gen, Corpus, GenConfig, SearchEngine};
 
 fn dataset_and_engine(
     domain: &str,
-) -> (&'static webiq::data::DomainDef, webiq::data::Dataset, SearchEngine) {
+) -> (
+    &'static webiq::data::DomainDef,
+    webiq::data::Dataset,
+    SearchEngine,
+) {
     let def = kb::domain(domain).expect("domain");
     let ds = generate_domain(def, &GenOptions::default());
-    let engine =
-        SearchEngine::new(gen::generate(&corpus::concept_specs(def), &GenConfig::default()));
+    let engine = SearchEngine::new(gen::generate(
+        &corpus::concept_specs(def),
+        &GenConfig::default(),
+    ))
+    .expect("engine");
     (def, ds, engine)
 }
 
@@ -28,7 +35,10 @@ fn sources_with_failure(
             build_deep_source(
                 def,
                 i,
-                &RecordOptions { failure_rate: rate, ..RecordOptions::default() },
+                &RecordOptions {
+                    failure_rate: rate,
+                    ..RecordOptions::default()
+                },
             )
         })
         .collect()
@@ -43,13 +53,23 @@ fn failure_injection_degrades_gracefully() {
     let cfg = WebIQConfig::default();
 
     let healthy = acquire::acquire(
-        &ds, def, &engine, &sources_with_failure(def, &ds, 0.0),
-        Components::SURFACE_DEEP, &cfg,
-    );
+        &ds,
+        def,
+        &engine,
+        &sources_with_failure(def, &ds, 0.0),
+        Components::SURFACE_DEEP,
+        &cfg,
+    )
+    .expect("acquisition");
     let broken = acquire::acquire(
-        &ds, def, &engine, &sources_with_failure(def, &ds, 1.0),
-        Components::SURFACE_DEEP, &cfg,
-    );
+        &ds,
+        def,
+        &engine,
+        &sources_with_failure(def, &ds, 1.0),
+        Components::SURFACE_DEEP,
+        &cfg,
+    )
+    .expect("acquisition");
     assert!(
         healthy.report.surface_deep_success_rate() > broken.report.surface_deep_success_rate(),
         "healthy {:.1}% vs broken {:.1}%",
@@ -57,7 +77,10 @@ fn failure_injection_degrades_gracefully() {
         broken.report.surface_deep_success_rate()
     );
     // with every probe failing, deep adds nothing over surface
-    assert_eq!(broken.report.surface_deep_success, broken.report.surface_success);
+    assert_eq!(
+        broken.report.surface_deep_success,
+        broken.report.surface_success
+    );
 }
 
 /// An empty Surface Web yields zero Surface acquisitions but the pipeline
@@ -67,11 +90,21 @@ fn failure_injection_degrades_gracefully() {
 fn empty_web_only_deep_borrowing_works() {
     let def = kb::domain("airfare").expect("domain");
     let ds = generate_domain(def, &GenOptions::default());
-    let engine = SearchEngine::new(Corpus::default());
+    let engine = SearchEngine::new(Corpus::default()).expect("engine");
     let sources = sources_with_failure(def, &ds, 0.0);
-    let acq =
-        acquire::acquire(&ds, def, &engine, &sources, Components::SURFACE_DEEP, &WebIQConfig::default());
-    assert_eq!(acq.report.surface_success, 0, "no Web, no Surface successes");
+    let acq = acquire::acquire(
+        &ds,
+        def,
+        &engine,
+        &sources,
+        Components::SURFACE_DEEP,
+        &WebIQConfig::default(),
+    )
+    .expect("acquisition");
+    assert_eq!(
+        acq.report.surface_success, 0,
+        "no Web, no Surface successes"
+    );
     assert!(
         acq.report.surface_deep_success > 0,
         "Deep borrowing must still function: {:?}",
@@ -85,8 +118,12 @@ fn success_is_monotone_in_k() {
     let (def, ds, engine) = dataset_and_engine("book");
     let sources = sources_with_failure(def, &ds, 0.0);
     let rate = |k: usize| {
-        let cfg = WebIQConfig { k, ..WebIQConfig::default() };
+        let cfg = WebIQConfig {
+            k,
+            ..WebIQConfig::default()
+        };
         acquire::acquire(&ds, def, &engine, &sources, Components::SURFACE, &cfg)
+            .expect("acquisition")
             .report
             .surface_success_rate()
     };
@@ -101,7 +138,15 @@ fn success_is_monotone_in_k() {
 #[test]
 fn no_sources_disables_attr_deep() {
     let (def, ds, engine) = dataset_and_engine("auto");
-    let acq = acquire::acquire(&ds, def, &engine, &[], Components::SURFACE_DEEP, &WebIQConfig::default());
+    let acq = acquire::acquire(
+        &ds,
+        def,
+        &engine,
+        &[],
+        Components::SURFACE_DEEP,
+        &WebIQConfig::default(),
+    )
+    .expect("acquisition");
     assert_eq!(acq.report.attr_deep_cost.probes, 0);
 }
 
@@ -111,8 +156,15 @@ fn no_sources_disables_attr_deep() {
 fn acquired_instances_are_clean() {
     let (def, ds, engine) = dataset_and_engine("realestate");
     let sources = sources_with_failure(def, &ds, 0.0);
-    let acq =
-        acquire::acquire(&ds, def, &engine, &sources, Components::ALL, &WebIQConfig::default());
+    let acq = acquire::acquire(
+        &ds,
+        def,
+        &engine,
+        &sources,
+        Components::ALL,
+        &WebIQConfig::default(),
+    )
+    .expect("acquisition");
     for (r, values) in &acq.acquired {
         for v in values {
             assert!(!v.trim().is_empty(), "empty instance for {r:?}");
