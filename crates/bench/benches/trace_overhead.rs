@@ -1,0 +1,200 @@
+//! Tracing overhead on the fig-6 workload: full-domain acquisition (all
+//! three WebIQ components) under the three tracer modes —
+//!
+//!   * `disabled` — the default [`WebIQConfig`]: spans are never
+//!     buffered, only the always-on thread-local counters run. This is
+//!     the path every non-traced caller pays.
+//!   * `noop`     — tracer enabled, events buffered and merged, then
+//!     discarded by the sink. Isolates the span-buffering cost.
+//!   * `jsonl`    — tracer enabled with the JSONL sink writing to
+//!     `std::io::sink()`. Adds serialization but no real I/O.
+//!
+//! Each (domain, mode) pair is measured [`REPS`] times on a freshly
+//! built pipeline (cold engine caches, like `scaling_threads`) with a
+//! single worker thread — scheduler jitter from the parallel executor
+//! would otherwise drown the sub-percent effect being measured — and
+//! the median is kept. Emits `BENCH_trace_overhead.json` next to the
+//! workspace root.
+//!
+//! End-to-end timing at this workload size carries a few percent of
+//! run-to-run jitter, so the headline "<1% when disabled" claim is
+//! pinned by an analytic bound instead: the per-op cost of the
+//! disabled-path primitives (`span` + counter `incr`) is measured in a
+//! tight loop, multiplied by an over-count of the instrumentation ops a
+//! real run executes (every counter increment plus every span event),
+//! and expressed as a share of the measured run time. That bound is
+//! reported as `instrumentation_bound_pct` and is well under 1%.
+
+use webiq::core::{Components, WebIQConfig};
+use webiq::pipeline::DomainPipeline;
+use webiq::trace::Tracer;
+use webiq_bench::experiments::SEED;
+use webiq_bench::json::{obj, Json};
+use webiq_bench::timing::{fmt_time, time_once};
+
+const OUT_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../BENCH_trace_overhead.json"
+);
+const REPS: usize = 5;
+const KEYS: [&str; 5] = ["airfare", "auto", "book", "job", "realestate"];
+const MODES: [&str; 3] = ["disabled", "noop", "jsonl"];
+
+fn tracer_for(mode: &str) -> Tracer {
+    match mode {
+        "noop" => Tracer::noop(),
+        "jsonl" => Tracer::jsonl(Box::new(std::io::sink())),
+        _ => Tracer::disabled(),
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Median wall-clock of a full acquisition for one (domain, mode) pair.
+fn run_mode(key: &'static str, mode: &str) -> f64 {
+    let mut times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        // fresh pipeline per rep: cold engine caches, so every rep and
+        // every mode pays the identical workload
+        let p = DomainPipeline::build(key, SEED).expect("domain");
+        let cfg = WebIQConfig {
+            tracer: tracer_for(mode),
+            threads: Some(1),
+            ..WebIQConfig::default()
+        };
+        let (_, secs) = time_once(|| p.acquire(Components::ALL, &cfg).expect("acquisition"));
+        cfg.tracer.flush();
+        times.push(secs);
+    }
+    median(times)
+}
+
+const OP_REPS: u64 = 1_000_000;
+
+/// Per-op cost (ns) of an always-on counter increment.
+fn incr_ns() -> f64 {
+    let (_, secs) = time_once(|| {
+        for _ in 0..OP_REPS {
+            webiq::trace::incr(webiq::trace::Counter::AttrsTotal);
+        }
+        webiq::trace::snapshot()
+    });
+    secs * 1e9 / OP_REPS as f64
+}
+
+/// Per-op cost (ns) of an ambient span guard on the disabled path (no
+/// item buffer active, so open and close both short-circuit).
+fn span_ns() -> f64 {
+    let (_, secs) = time_once(|| {
+        let mut n = 0u64;
+        for _ in 0..OP_REPS {
+            let _s = webiq::trace::span("bench");
+            n = n.wrapping_add(1);
+        }
+        n
+    });
+    secs * 1e9 / OP_REPS as f64
+}
+
+/// Over-count of the instrumentation ops one acquisition executes:
+/// every counter unit (bulk `add`s over-count as one op per unit) and
+/// every emitted span event (two per guard, each charged a full guard).
+fn ops_per_run(key: &'static str) -> (u64, u64) {
+    let p = DomainPipeline::build(key, SEED).expect("domain");
+    let (tracer, handle) = Tracer::memory();
+    let cfg = WebIQConfig {
+        tracer: tracer.clone(),
+        threads: Some(1),
+        ..WebIQConfig::default()
+    };
+    p.acquire(Components::ALL, &cfg).expect("acquisition");
+    let counter_units: u64 = tracer
+        .totals()
+        .counters
+        .nonzero()
+        .iter()
+        .map(|(_, v)| v)
+        .sum();
+    (counter_units, handle.events().len() as u64)
+}
+
+fn main() {
+    let mut domain_objs = Vec::new();
+    let mut totals = [0.0f64; 3];
+
+    let (incr, span) = (incr_ns(), span_ns());
+    let mut bound_pct_max = 0.0f64;
+    println!(
+        "trace_overhead: disabled-path op costs — counter incr {incr:.1} ns, span guard {span:.1} ns"
+    );
+
+    for key in KEYS {
+        let mut secs = [0.0f64; 3];
+        for (i, mode) in MODES.iter().enumerate() {
+            secs[i] = run_mode(key, mode);
+            totals[i] += secs[i];
+        }
+        let rel = |i: usize| 100.0 * (secs[i] - secs[0]) / secs[0];
+        let (counter_units, span_events) = ops_per_run(key);
+        let bound_pct =
+            100.0 * (counter_units as f64 * incr + span_events as f64 * span) / (secs[0] * 1e9);
+        bound_pct_max = bound_pct_max.max(bound_pct);
+        println!(
+            "trace_overhead/{key:<11} disabled {:>10}   noop {:>10} ({:>+6.2}%)   jsonl {:>10} ({:>+6.2}%)   \
+             {counter_units} incrs + {span_events} span events -> bound {bound_pct:.3}%",
+            fmt_time(secs[0]),
+            fmt_time(secs[1]),
+            rel(1),
+            fmt_time(secs[2]),
+            rel(2),
+        );
+        domain_objs.push(obj([
+            ("key", key.into()),
+            ("disabled_secs", secs[0].into()),
+            ("noop_secs", secs[1].into()),
+            ("jsonl_secs", secs[2].into()),
+            ("noop_overhead_pct", rel(1).into()),
+            ("jsonl_overhead_pct", rel(2).into()),
+            ("counter_units", counter_units.into()),
+            ("span_events", span_events.into()),
+            ("instrumentation_bound_pct", bound_pct.into()),
+        ]));
+    }
+
+    let noop_pct = 100.0 * (totals[1] - totals[0]) / totals[0];
+    let jsonl_pct = 100.0 * (totals[2] - totals[0]) / totals[0];
+    let report = obj([
+        ("seed", SEED.into()),
+        ("reps", REPS.into()),
+        (
+            "workload",
+            "full acquisition, all components, five domains".into(),
+        ),
+        ("domains", Json::Arr(domain_objs)),
+        (
+            "summary",
+            obj([
+                ("disabled_secs", totals[0].into()),
+                ("noop_secs", totals[1].into()),
+                ("jsonl_secs", totals[2].into()),
+                ("noop_overhead_pct", noop_pct.into()),
+                ("jsonl_overhead_pct", jsonl_pct.into()),
+                ("incr_ns", incr.into()),
+                ("span_ns", span.into()),
+                ("instrumentation_bound_pct_max", bound_pct_max.into()),
+                ("disabled_overhead_under_1pct", (bound_pct_max < 1.0).into()),
+            ]),
+        ),
+    ]);
+    std::fs::write(OUT_PATH, report.pretty() + "\n").expect("write BENCH_trace_overhead.json");
+    println!(
+        "total: disabled {} | noop {} ({noop_pct:+.2}%) | jsonl {} ({jsonl_pct:+.2}%)\n\
+         disabled-tracer instrumentation bound: {bound_pct_max:.3}% worst domain (<1% target); wrote {OUT_PATH}",
+        fmt_time(totals[0]),
+        fmt_time(totals[1]),
+        fmt_time(totals[2]),
+    );
+}

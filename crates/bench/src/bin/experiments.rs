@@ -30,7 +30,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--seed N] [--json] \
-                     [table1|fig6|fig7|fig8|ablations|learned|weights]..."
+                     [table1|fig6|fig7|fig8|ablations|learned|weights|trace]..."
                 );
                 return;
             }
@@ -66,6 +66,9 @@ fn main() {
         if want("weights") {
             out.push(("weights".into(), rows(&experiments::weights(seed))));
         }
+        if want("trace") {
+            out.push(("trace".into(), rows(&experiments::trace_summary(seed))));
+        }
         println!("{}", Json::Obj(out).pretty());
         return;
     }
@@ -94,5 +97,8 @@ fn main() {
     }
     if want("weights") {
         println!("{}", render::weights(&experiments::weights(seed)));
+    }
+    if want("trace") {
+        println!("{}", render::trace(&experiments::trace_summary(seed)));
     }
 }

@@ -20,14 +20,15 @@
 
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 use webiq_data::interface::{AttrRef, Attribute, Dataset};
 use webiq_data::DomainDef;
 use webiq_deep::DeepSource;
 use webiq_match::domsim;
 use webiq_match::labelsim;
-use webiq_web::{thread_issued_queries, SearchEngine};
+use webiq_trace::timing::Stopwatch;
+use webiq_trace::{Counter, Gauge, HistKey, ItemBuf, MetricSet};
+use webiq_web::SearchEngine;
 
 use crate::attr_deep;
 use crate::attr_surface;
@@ -70,6 +71,33 @@ pub struct AcquisitionReport {
 }
 
 impl AcquisitionReport {
+    /// Derive the report's deterministic fields from a set of trace
+    /// counters (the merged per-item deltas of one acquisition run). The
+    /// wall-clock `secs` fields are *not* counters — they stay zero here
+    /// and are filled in by [`acquire`] from its stopwatches — so the
+    /// report is the counters' aggregate by construction: there is one
+    /// source of truth for every number shared between the two views.
+    pub fn from_metrics(m: &MetricSet) -> Self {
+        AcquisitionReport {
+            no_inst_attrs: m.get(Counter::AttrsNoInstance) as usize,
+            surface_success: m.get(Counter::SurfaceSuccess) as usize,
+            surface_deep_success: m.get(Counter::SurfaceDeepSuccess) as usize,
+            attr_surface_enriched: m.get(Counter::AttrSurfaceEnriched) as usize,
+            surface_cost: ComponentCost {
+                engine_queries: m.get(Counter::SurfaceQueries),
+                ..ComponentCost::default()
+            },
+            attr_surface_cost: ComponentCost {
+                engine_queries: m.get(Counter::AttrSurfaceQueries),
+                ..ComponentCost::default()
+            },
+            attr_deep_cost: ComponentCost {
+                probes: m.get(Counter::AttrDeepProbes),
+                ..ComponentCost::default()
+            },
+        }
+    }
+
     /// Surface-only success rate over instance-less attributes (%).
     pub fn surface_success_rate(&self) -> f64 {
         percent(self.surface_success, self.no_inst_attrs)
@@ -217,23 +245,18 @@ pub fn case2_candidates(
 /// What processing one attribute produced. Work items are independent, so
 /// a pool of workers can compute these in any order; the merge back into
 /// [`Acquisition`] happens sequentially in attribute order, making the
-/// parallel result identical to the sequential one.
+/// parallel result identical to the sequential one. Success flags and
+/// query counts live in the item's trace counters (its [`ItemBuf`]); only
+/// the acquired instances and the report-only wall-clock secs ride here.
 enum ItemOutcome {
     /// An instance-less attribute (§5 case 1).
     NoInst {
         got: Vec<String>,
-        surface_success: bool,
-        surface_deep_success: bool,
         surface_secs: f64,
-        surface_queries: u64,
         deep_secs: f64,
     },
     /// A pre-defined attribute run through Attr-Surface (§5 case 2).
-    Predefined {
-        accepted: Vec<String>,
-        secs: f64,
-        queries: u64,
-    },
+    Predefined { accepted: Vec<String>, secs: f64 },
     /// A pre-defined attribute with Attr-Surface disabled.
     Skipped,
 }
@@ -257,11 +280,33 @@ fn dangling(cand: AttrRef) -> WebIqError {
     }
 }
 
-/// Process one attribute — the §5 strategy body. Reads shared state only
-/// (`engine` and `sources` are internally synchronised); query accounting
-/// uses the calling thread's issued-query counter, so the numbers are
-/// deterministic whatever the cache state or worker count.
+/// Search-engine traffic (search + hit-count calls) recorded in a
+/// counter delta — the per-section query accounting of Fig. 8.
+fn engine_queries(delta: &MetricSet) -> u64 {
+    delta.get(Counter::EngineSearchIssued) + delta.get(Counter::EngineHitIssued)
+}
+
+/// Process one attribute — the work-item wrapper. Opens the item's trace
+/// (an `attribute` root span plus a counter baseline) and returns the
+/// detached buffer alongside the outcome; the merge loop submits buffers
+/// in attribute order, which is what keeps the event stream and the
+/// derived report byte-identical for any worker count.
 fn process_attribute(
+    ctx: &AcquireCtx<'_>,
+    r1: AttrRef,
+    a1: &Attribute,
+) -> Result<(ItemOutcome, ItemBuf), WebIqError> {
+    let item = ctx.cfg.tracer.item("attribute", &a1.label);
+    webiq_trace::incr(Counter::AttrsTotal);
+    let outcome = attribute_body(ctx, r1, a1)?;
+    Ok((outcome, item.finish()))
+}
+
+/// The §5 strategy body for one attribute. Reads shared state only
+/// (`engine` and `sources` are internally synchronised); query accounting
+/// uses the calling thread's trace counters, so the numbers are
+/// deterministic whatever the cache state or worker count.
+fn attribute_body(
     ctx: &AcquireCtx<'_>,
     r1: AttrRef,
     a1: &Attribute,
@@ -275,34 +320,39 @@ fn process_attribute(
         cfg,
     } = ctx;
     if !a1.has_instances() {
+        webiq_trace::incr(Counter::AttrsNoInstance);
         let mut got: Vec<String> = Vec::new();
         let mut surface_secs = 0.0;
-        let mut surface_queries = 0;
         let mut deep_secs = 0.0;
 
         // Step 1.a: discover from the Surface Web, scoping queries with
         // the domain terms and (when configured) keywords from the
         // sibling attributes' labels (§2.1).
         if components.surface {
-            let before = thread_issued_queries();
-            // lint:allow(wall-clock) elapsed time feeds only the report-only surface_secs field
-            let t0 = Instant::now();
+            let _span = webiq_trace::span("surface");
+            let before = webiq_trace::snapshot();
+            let sw = Stopwatch::start();
             let mut attr_info = info.clone();
             attr_info.sibling_terms = sibling_terms(ds, r1);
             let result = surface::discover(engine, &a1.label, &attr_info, cfg);
-            surface_secs = t0.elapsed().as_secs_f64();
-            surface_queries = thread_issued_queries() - before;
+            surface_secs = sw.elapsed_secs();
+            let delta = webiq_trace::snapshot().diff(&before);
+            webiq_trace::add(Counter::SurfaceQueries, engine_queries(&delta));
             got = result.texts();
         }
         let surface_success = got.len() >= cfg.k;
+        if surface_success {
+            webiq_trace::incr(Counter::SurfaceSuccess);
+        }
         let mut surface_deep_success = surface_success;
         if !surface_success && components.attr_deep && !sources.is_empty() {
             // Step 1.b: borrow and validate via the Deep Web. Probing is
             // expensive, so candidates whose domain resembles one already
             // probed (either way) are skipped — each probe round-trip
             // then tests a genuinely new domain.
-            // lint:allow(wall-clock) elapsed time feeds only the report-only deep_secs field
-            let t0 = Instant::now();
+            let _span = webiq_trace::span("attr_deep");
+            let before = webiq_trace::snapshot();
+            let sw = Stopwatch::start();
             let candidates = case1_candidates(ds, r1, &a1.label, cfg);
             let mut accepted_domains: Vec<&Vec<String>> = Vec::new();
             let mut failed_domains: Vec<&Vec<String>> = Vec::new();
@@ -311,6 +361,7 @@ fn process_attribute(
                 if tried >= 12 {
                     break;
                 }
+                webiq_trace::incr(Counter::BorrowCandidates);
                 let inst = &ds.attribute(cand).ok_or_else(|| dangling(cand))?.instances;
                 let take_all = |got: &mut Vec<String>| {
                     for v in inst {
@@ -325,19 +376,24 @@ fn process_attribute(
                     .iter()
                     .any(|p| domsim::dom_sim(p, inst) > 0.5)
                 {
+                    webiq_trace::incr(Counter::BorrowReused);
                     take_all(&mut got);
                 } else if failed_domains
                     .iter()
                     .any(|p| domsim::dom_sim(p, inst) > 0.5)
                 {
+                    webiq_trace::incr(Counter::BorrowSkipped);
                     continue;
                 } else {
                     tried += 1;
+                    webiq_trace::incr(Counter::BorrowProbed);
                     let outcome = attr_deep::validate_borrowed(&sources[r1.0], &a1.name, inst, cfg);
                     if outcome.accepted {
+                        webiq_trace::incr(Counter::BorrowAccepted);
                         accepted_domains.push(inst);
                         take_all(&mut got);
                     } else {
+                        webiq_trace::incr(Counter::BorrowRejected);
                         failed_domains.push(inst);
                     }
                 }
@@ -345,24 +401,30 @@ fn process_attribute(
                     break;
                 }
             }
-            deep_secs = t0.elapsed().as_secs_f64();
+            deep_secs = sw.elapsed_secs();
+            let probes = webiq_trace::snapshot()
+                .diff(&before)
+                .get(Counter::ProbesIssued);
+            webiq_trace::add(Counter::AttrDeepProbes, probes);
+            webiq_trace::observe(HistKey::ProbesPerAttr, probes);
             surface_deep_success = got.len() >= cfg.k;
+        }
+        if surface_deep_success {
+            webiq_trace::incr(Counter::SurfaceDeepSuccess);
         }
         Ok(ItemOutcome::NoInst {
             got,
-            surface_success,
-            surface_deep_success,
             surface_secs,
-            surface_queries,
             deep_secs,
         })
     } else if components.attr_surface {
         // Step 2: borrow for a pre-defined attribute, validate via the
         // Surface Web (the Deep Web cannot be probed with values outside
         // the pre-defined list).
-        let before = thread_issued_queries();
-        // lint:allow(wall-clock) elapsed time feeds only the report-only secs field
-        let t0 = Instant::now();
+        webiq_trace::incr(Counter::AttrsPredefined);
+        let _span = webiq_trace::span("attr_surface");
+        let before = webiq_trace::snapshot();
+        let sw = Stopwatch::start();
         let candidates = case2_candidates(ds, r1, &a1.instances, cfg);
         let mut pool: Vec<String> = Vec::new();
         for cand in candidates.into_iter().take(8) {
@@ -391,12 +453,17 @@ fn process_attribute(
                 cfg,
             );
         }
+        let delta = webiq_trace::snapshot().diff(&before);
+        webiq_trace::add(Counter::AttrSurfaceQueries, engine_queries(&delta));
+        if !accepted.is_empty() {
+            webiq_trace::incr(Counter::AttrSurfaceEnriched);
+        }
         Ok(ItemOutcome::Predefined {
             accepted,
-            secs: t0.elapsed().as_secs_f64(),
-            queries: thread_issued_queries() - before,
+            secs: sw.elapsed_secs(),
         })
     } else {
+        webiq_trace::incr(Counter::AttrsSkipped);
         Ok(ItemOutcome::Skipped)
     }
 }
@@ -408,9 +475,13 @@ fn process_attribute(
 ///
 /// Attributes are independent work items dispatched over a scoped worker
 /// pool ([`WebIQConfig::resolved_threads`] workers; see also the
-/// `WEBIQ_THREADS` env var). Outcomes are merged in attribute order, so
-/// the acquired-instance maps and every report counter except the
-/// wall-clock `secs` fields are byte-identical to a single-threaded run.
+/// `WEBIQ_THREADS` env var). Outcomes — including each item's trace
+/// buffer — are merged in attribute order, so the acquired-instance maps,
+/// every report counter except the wall-clock `secs` fields, and the
+/// emitted trace-event stream are byte-identical to a single-threaded
+/// run. The report itself is [`AcquisitionReport::from_metrics`] over the
+/// merged per-item counter deltas, so it always equals the trace
+/// aggregate.
 ///
 /// # Errors
 ///
@@ -430,7 +501,6 @@ pub fn acquire(
         domain_terms: def.domain_terms.iter().map(|s| (*s).to_string()).collect(),
         sibling_terms: Vec::new(), // filled per attribute in process_attribute
     };
-    let probes_before: u64 = sources.iter().map(DeepSource::probe_count).sum();
 
     let ctx = AcquireCtx {
         ds,
@@ -441,8 +511,15 @@ pub fn acquire(
         cfg,
     };
     let items: Vec<(AttrRef, &Attribute)> = ds.attributes().collect();
+    cfg.tracer
+        .gauge(Gauge::Interfaces, ds.interfaces.len() as u64);
+    cfg.tracer.gauge(Gauge::Attributes, items.len() as u64);
+    cfg.tracer
+        .gauge(Gauge::CorpusDocs, engine.doc_count() as u64);
+    let scope = cfg.tracer.scope("acquire", &ds.domain);
     let workers = cfg.resolved_threads().min(items.len().max(1));
-    let outcomes: Vec<ItemOutcome> = if workers <= 1 {
+    type Item = (ItemOutcome, ItemBuf);
+    let outcomes: Vec<Item> = if workers <= 1 {
         items
             .iter()
             .map(|&(r1, a1)| process_attribute(&ctx, r1, a1))
@@ -452,8 +529,8 @@ pub fn acquire(
         // unclaimed attribute, tags its outcome with the item index, and
         // the merge below re-establishes attribute order.
         let next = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, ItemOutcome)> =
-            std::thread::scope(|scope| -> Result<Vec<(usize, ItemOutcome)>, WebIqError> {
+        let mut indexed: Vec<(usize, Item)> =
+            std::thread::scope(|scope| -> Result<Vec<(usize, Item)>, WebIqError> {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         let (items, ctx, next) = (&items, &ctx, &next);
@@ -483,45 +560,41 @@ pub fn acquire(
         indexed.into_iter().map(|(_, o)| o).collect()
     };
 
+    // The deterministic merge: fold item buffers into the run totals and
+    // the tracer (assigning the logical clock here, in attribute order),
+    // and collect the acquired instances and wall-clock costs.
     let mut acq = Acquisition::default();
-    for (&(r1, _), outcome) in items.iter().zip(outcomes) {
+    let mut total = MetricSet::new();
+    let (mut surface_secs, mut attr_surface_secs, mut attr_deep_secs) = (0.0, 0.0, 0.0);
+    for (&(r1, _), (outcome, buf)) in items.iter().zip(outcomes) {
+        total.merge(buf.totals());
+        cfg.tracer.submit(buf);
         match outcome {
             ItemOutcome::NoInst {
                 got,
-                surface_success,
-                surface_deep_success,
-                surface_secs,
-                surface_queries,
-                deep_secs,
+                surface_secs: s,
+                deep_secs: d,
             } => {
-                acq.report.no_inst_attrs += 1;
-                acq.report.surface_success += surface_success as usize;
-                acq.report.surface_deep_success += surface_deep_success as usize;
-                acq.report.surface_cost.secs += surface_secs;
-                acq.report.surface_cost.engine_queries += surface_queries;
-                acq.report.attr_deep_cost.secs += deep_secs;
+                surface_secs += s;
+                attr_deep_secs += d;
                 if !got.is_empty() {
                     acq.acquired.insert(r1, got);
                 }
             }
-            ItemOutcome::Predefined {
-                accepted,
-                secs,
-                queries,
-            } => {
-                acq.report.attr_surface_cost.secs += secs;
-                acq.report.attr_surface_cost.engine_queries += queries;
+            ItemOutcome::Predefined { accepted, secs } => {
+                attr_surface_secs += secs;
                 if !accepted.is_empty() {
-                    acq.report.attr_surface_enriched += 1;
                     acq.acquired.insert(r1, accepted);
                 }
             }
             ItemOutcome::Skipped => {}
         }
     }
-
-    let probes_after: u64 = sources.iter().map(DeepSource::probe_count).sum();
-    acq.report.attr_deep_cost.probes = probes_after - probes_before;
+    acq.report = AcquisitionReport::from_metrics(&total);
+    acq.report.surface_cost.secs = surface_secs;
+    acq.report.attr_surface_cost.secs = attr_surface_secs;
+    acq.report.attr_deep_cost.secs = attr_deep_secs;
+    drop(scope);
     Ok(acq)
 }
 

@@ -10,6 +10,7 @@
 
 use webiq_stats::bayes::NaiveBayes;
 use webiq_stats::entropy;
+use webiq_trace::Counter;
 use webiq_web::SearchEngine;
 
 use crate::config::WebIQConfig;
@@ -126,7 +127,10 @@ impl ValidationClassifier {
 }
 
 /// Verify borrowed instances for an attribute via the Surface Web: train
-/// the classifier, then keep the accepted candidates.
+/// the classifier, then keep the accepted candidates. Traced as a
+/// `bayes_verify` span; training failures and per-candidate verdicts are
+/// tallied under [`Counter::BayesTrainFailed`],
+/// [`Counter::BayesAccepted`], and [`Counter::BayesRejected`].
 pub fn verify_borrowed(
     engine: &SearchEngine,
     label: &str,
@@ -135,13 +139,23 @@ pub fn verify_borrowed(
     borrowed: &[String],
     cfg: &WebIQConfig,
 ) -> Vec<String> {
+    let _span = webiq_trace::span("bayes_verify");
     let Ok(classifier) = ValidationClassifier::train(engine, label, positives, negatives, cfg)
     else {
+        webiq_trace::incr(Counter::BayesTrainFailed);
         return Vec::new();
     };
     borrowed
         .iter()
-        .filter(|b| classifier.accepts(engine, b, cfg))
+        .filter(|b| {
+            let accepted = classifier.accepts(engine, b, cfg);
+            webiq_trace::incr(if accepted {
+                Counter::BayesAccepted
+            } else {
+                Counter::BayesRejected
+            });
+            accepted
+        })
         .cloned()
         .collect()
 }

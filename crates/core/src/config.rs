@@ -1,6 +1,7 @@
 //! Configuration for the WebIQ pipeline.
 
 use webiq_stats::DiscordancyTest;
+use webiq_trace::Tracer;
 
 /// Tunables for the Surface component and the validation machinery.
 #[derive(Debug, Clone)]
@@ -53,6 +54,11 @@ pub struct WebIQConfig {
     /// available parallelism. Any thread count produces byte-identical
     /// acquisition output (see DESIGN.md).
     pub threads: Option<usize>,
+    /// Trace collector for the run. Disabled by default — recording and
+    /// event emission then cost nothing — and cheap to clone (an `Arc`).
+    /// With an enabled tracer, acquisition emits one deterministic span
+    /// stream per run (byte-identical across worker counts).
+    pub tracer: Tracer,
 }
 
 impl WebIQConfig {
@@ -91,6 +97,7 @@ impl Default for WebIQConfig {
             borrow_prefilter: true,
             info_gain_thresholds: true,
             threads: None,
+            tracer: Tracer::disabled(),
         }
     }
 }

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 
 use webiq_nlp::chunk::{self, LabelForm, NounPhrase};
 use webiq_nlp::pos::{self, Tagged};
+use webiq_trace::Counter;
 use webiq_web::SearchEngine;
 
 use crate::config::WebIQConfig;
@@ -170,13 +171,16 @@ fn plausible(text: &str, label_lower: &str) -> bool {
     true
 }
 
-/// Run the full extraction phase for one attribute label.
+/// Run the full extraction phase for one attribute label. Traced as an
+/// `extract` span; poses one [`Counter::ExtractQueries`] per query and
+/// tallies raw yields under [`Counter::CandidatesExtracted`].
 pub fn extract_candidates(
     engine: &SearchEngine,
     label: &str,
     info: &DomainInfo,
     cfg: &WebIQConfig,
 ) -> ExtractionOutcome {
+    let _span = webiq_trace::span("extract");
     let nps = label_noun_phrases(label);
     if nps.is_empty() {
         return ExtractionOutcome::default();
@@ -190,6 +194,7 @@ pub fn extract_candidates(
         for pattern in extraction_patterns(np, &info.object) {
             let query = build_query(&pattern, info, cfg);
             queries += 1;
+            webiq_trace::incr(Counter::ExtractQueries);
             for snippet in engine.search(&query, cfg.snippets_per_query) {
                 for text in completions(&snippet.text, &pattern) {
                     if !plausible(&text, &label_lower) {
@@ -207,6 +212,7 @@ pub fn extract_candidates(
             }
         }
     }
+    webiq_trace::add(Counter::CandidatesExtracted, candidates.len() as u64);
     ExtractionOutcome {
         candidates,
         queries,

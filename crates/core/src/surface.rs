@@ -2,6 +2,7 @@
 //! attribute from the (simulated) Surface Web — extraction phase followed
 //! by verification phase.
 
+use webiq_trace::HistKey;
 use webiq_web::SearchEngine;
 
 use crate::config::WebIQConfig;
@@ -37,7 +38,10 @@ impl SurfaceResult {
     }
 }
 
-/// Run the Surface component for `label`.
+/// Run the Surface component for `label`. Observes the per-attribute
+/// candidate yield in the `candidates_per_attr` trace histogram; the
+/// nested extraction and verification phases record their own spans and
+/// counters.
 pub fn discover(
     engine: &SearchEngine,
     label: &str,
@@ -45,6 +49,7 @@ pub fn discover(
     cfg: &WebIQConfig,
 ) -> SurfaceResult {
     let outcome = extract::extract_candidates(engine, label, info, cfg);
+    webiq_trace::observe(HistKey::CandidatesPerAttr, outcome.candidates.len() as u64);
     if outcome.candidates.is_empty() {
         return SurfaceResult {
             extraction_queries: outcome.queries,

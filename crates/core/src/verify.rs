@@ -2,6 +2,7 @@
 //! followed by Web validation with PMI-scored validation queries.
 
 use webiq_stats::{outlier, pmi};
+use webiq_trace::Counter;
 use webiq_web::SearchEngine;
 
 use crate::config::WebIQConfig;
@@ -71,13 +72,16 @@ pub fn confidence(
 
 /// Run the verification phase over extraction candidates: outlier
 /// detection (when enabled), then Web validation, returning the top `k`
-/// by confidence.
+/// by confidence. Traced as a `verify` span; removals and survivors are
+/// tallied under [`Counter::OutliersRemoved`],
+/// [`Counter::ValidationRejected`], and [`Counter::ValidationAccepted`].
 pub fn verify_candidates(
     engine: &SearchEngine,
     phrases: &[String],
     candidates: &[String],
     cfg: &WebIQConfig,
 ) -> VerificationOutcome {
+    let _span = webiq_trace::span("verify");
     let (kept, outliers_removed) = if cfg.outlier_phase {
         let r = outlier::remove_outliers_with(candidates, cfg.discordancy);
         (r.kept, r.removed.len())
@@ -108,6 +112,9 @@ pub fn verify_candidates(
             .then_with(|| a.text.cmp(&b.text))
     });
     scored.truncate(cfg.k);
+    webiq_trace::add(Counter::OutliersRemoved, outliers_removed as u64);
+    webiq_trace::add(Counter::ValidationRejected, validation_removed as u64);
+    webiq_trace::add(Counter::ValidationAccepted, scored.len() as u64);
     VerificationOutcome {
         instances: scored,
         outliers_removed,

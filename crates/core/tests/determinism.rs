@@ -1,16 +1,19 @@
 //! The parallel acquisition executor must produce output byte-identical
-//! to the sequential path: same acquired-instance maps and same report
-//! counters for any worker count. Only the wall-clock `secs` fields are
-//! allowed to differ — they are zeroed before comparison here.
+//! to the sequential path: same acquired-instance maps, same report
+//! counters, and — with an enabled tracer — the same JSONL event stream,
+//! for any worker count. Only the wall-clock `secs` fields are allowed
+//! to differ — they are zeroed before comparison here.
 
 use webiq_core::{acquire, Acquisition, Components, WebIQConfig};
 use webiq_data::records::{build_deep_source, RecordOptions};
 use webiq_data::{corpus, generate_domain, kb, GenOptions};
+use webiq_trace::{SharedBuf, Tracer};
 use webiq_web::{gen, GenConfig, SearchEngine};
 
 /// Run full acquisition over one seeded synthetic domain with the given
-/// worker count, on freshly built (deterministic) engine and sources.
-fn run(domain_idx: usize, threads: usize) -> Acquisition {
+/// worker count and tracer, on freshly built (deterministic) engine and
+/// sources.
+fn run_with(domain_idx: usize, threads: usize, tracer: Tracer) -> Acquisition {
     let def = kb::all_domains()[domain_idx];
     let ds = generate_domain(def, &GenOptions::default());
     let engine = SearchEngine::new(gen::generate(
@@ -25,9 +28,23 @@ fn run(domain_idx: usize, threads: usize) -> Acquisition {
         .collect();
     let cfg = WebIQConfig {
         threads: Some(threads),
+        tracer,
         ..WebIQConfig::default()
     };
     acquire::acquire(&ds, def, &engine, &sources, Components::ALL, &cfg).expect("acquisition")
+}
+
+fn run(domain_idx: usize, threads: usize) -> Acquisition {
+    run_with(domain_idx, threads, Tracer::disabled())
+}
+
+/// Acquisition with a JSONL tracer; returns the emitted event stream.
+fn run_traced(domain_idx: usize, threads: usize) -> (Acquisition, String) {
+    let buf = SharedBuf::new();
+    let tracer = Tracer::jsonl(Box::new(buf.clone()));
+    let acq = run_with(domain_idx, threads, tracer.clone());
+    tracer.flush();
+    (acq, buf.contents_string())
 }
 
 /// Strip the wall-clock fields, which legitimately vary run to run.
@@ -55,6 +72,30 @@ fn parallel_acquisition_matches_sequential() {
             );
         }
     }
+}
+
+#[test]
+fn trace_stream_is_byte_identical_across_worker_counts() {
+    // The tentpole guarantee: the JSONL event stream — logical clock,
+    // span ids, counter deltas, everything — is byte-identical whether
+    // acquisition ran on one worker or four.
+    let (seq_acq, seq_trace) = run_traced(0, 1);
+    let (par_acq, par_trace) = run_traced(0, 4);
+    assert!(!seq_trace.is_empty(), "tracer emitted nothing");
+    assert_eq!(seq_trace, par_trace, "trace streams differ across workers");
+    let mut a = seq_acq;
+    let mut b = par_acq;
+    zero_secs(&mut a);
+    zero_secs(&mut b);
+    assert_eq!(a.acquired, b.acquired);
+    assert_eq!(a.report, b.report);
+}
+
+#[test]
+fn trace_stream_rerun_is_byte_identical() {
+    let (_, first) = run_traced(1, 2);
+    let (_, second) = run_traced(1, 2);
+    assert_eq!(first, second, "trace streams differ across reruns");
 }
 
 #[test]

@@ -15,6 +15,8 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use webiq_trace::Counter;
+
 use crate::error::DeepError;
 use crate::record::{Record, RecordStore};
 use crate::render;
@@ -90,9 +92,27 @@ impl DeepSource {
     /// Submit the form with `values` (name → value; empty string = leave
     /// unspecified). Returns the matching records, or a structured
     /// [`DeepError`] describing why the source rejected the submission.
+    ///
+    /// Every submission bumps the thread-local trace counters: one
+    /// [`Counter::ProbesIssued`] plus exactly one outcome-class counter.
+    /// Failure injection is a pure function of the parameters, so these
+    /// tallies are deterministic and safe for the trace event stream.
     pub fn try_submit(&self, values: &BTreeMap<String, String>) -> Result<Vec<&Record>, DeepError> {
         self.probes.fetch_add(1, Ordering::Relaxed);
+        webiq_trace::incr(Counter::ProbesIssued);
+        let result = self.serve(values);
+        webiq_trace::incr(match &result {
+            Ok(matches) if matches.is_empty() => Counter::ProbeEmpty,
+            Ok(_) => Counter::ProbeMatched,
+            Err(DeepError::ServerError) => Counter::ProbeServerError,
+            Err(_) => Counter::ProbeRejected,
+        });
+        result
+    }
 
+    /// The form handler behind [`DeepSource::try_submit`]: validation,
+    /// failure injection, and the backend query.
+    fn serve(&self, values: &BTreeMap<String, String>) -> Result<Vec<&Record>, DeepError> {
         if self.failure_rate > 0.0 {
             let h = param_hash(values);
             if (h % 10_000) as f64 / 10_000.0 < self.failure_rate {
@@ -265,6 +285,23 @@ mod tests {
         let s = source();
         let page = s.submit(&params(&[("bogus", "value")]));
         assert!(page.contains("Found 3 matching results"), "{page}");
+    }
+
+    #[test]
+    fn probe_outcome_counters_classify_responses() {
+        let before = webiq_trace::snapshot();
+        let s = source();
+        let _ = s.try_submit(&params(&[("from", "Chicago")])); // matched
+        let _ = s.try_submit(&params(&[("from", "January")])); // empty
+        let _ = s.try_submit(&params(&[("airline", "Aer Lingus")])); // rejected
+        let f = source().with_failure_rate(1.0);
+        let _ = f.try_submit(&params(&[("from", "Chicago")])); // server error
+        let d = webiq_trace::snapshot().diff(&before);
+        assert_eq!(d.get(Counter::ProbesIssued), 4);
+        assert_eq!(d.get(Counter::ProbeMatched), 1);
+        assert_eq!(d.get(Counter::ProbeEmpty), 1);
+        assert_eq!(d.get(Counter::ProbeRejected), 1);
+        assert_eq!(d.get(Counter::ProbeServerError), 1);
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub const RULES: &[(&str, &str)] = &[
         "unordered HashMap/HashSet iteration in a `lint:deterministic` module",
     ),
     (
+        "trace-hygiene",
+        "discarded span guard (`let _ = span(…)`) or wall-clock type in webiq-trace outside timing.rs",
+    ),
+    (
         "forbid-unsafe",
         "crate root missing `#![forbid(unsafe_code)]`",
     ),
@@ -98,11 +102,13 @@ impl Default for Scope {
     fn default() -> Self {
         let v = |xs: &[&str]| xs.iter().map(|s| (*s).to_string()).collect();
         Scope {
-            // The eight library crates of the paper pipeline, the root
-            // facade, and the linter itself (it holds itself to its own
-            // standard). `rng` (test harness) and `bench` are exempt.
+            // The library crates of the paper pipeline, the tracing
+            // substrate, the root facade, and the linter itself (it holds
+            // itself to its own standard). `rng` (test harness) and
+            // `bench` are exempt.
             panic_crates: v(&[
-                "core", "data", "deep", "html", "lint", "matcher", "nlp", "stats", "web", "webiq",
+                "core", "data", "deep", "html", "lint", "matcher", "nlp", "stats", "trace", "web",
+                "webiq",
             ]),
             wallclock_exempt_crates: v(&["bench"]),
             wallclock_exempt_files: v(&["timing.rs"]),
@@ -169,6 +175,11 @@ pub fn lint_source(file: &SourceFile, scope: &Scope) -> FileOutcome {
     let wallclock_scope = !scope.wallclock_exempt_crates.contains(&file.crate_name)
         && !scope.wallclock_exempt_files.contains(&file.file_name);
     let env_scope = !scope.env_exempt_files.contains(&file.file_name);
+    // `webiq-trace` promises byte-identical traces, so wall-clock types
+    // may not even be *named* there outside the sanctioned timing module
+    // (the plain wall-clock rule only catches `::now()` call sites).
+    let trace_clock_scope =
+        file.crate_name == "trace" && !scope.wallclock_exempt_files.contains(&file.file_name);
 
     let hash_names = if deterministic {
         collect_hash_names(&sig)
@@ -211,6 +222,27 @@ pub fn lint_source(file: &SourceFile, scope: &Scope) -> FileOutcome {
                 t,
                 "env-read",
                 "`env::var` outside config.rs/index.rs makes behaviour environment-dependent"
+                    .into(),
+            );
+        }
+        if trace_clock_scope && (t.is_ident("Instant") || t.is_ident("SystemTime")) {
+            push(
+                file,
+                t,
+                "trace-hygiene",
+                format!(
+                    "`{}` in webiq-trace outside timing.rs; wall-clock stays in the timing module",
+                    t.text
+                ),
+            );
+        }
+        if discarded_guard_at(&sig, i) {
+            push(
+                file,
+                t,
+                "trace-hygiene",
+                "`let _ = span…` drops the RAII guard at once, closing the span immediately; \
+                 bind it (`let _span = …`) for the region it should cover"
                     .into(),
             );
         }
@@ -490,6 +522,53 @@ fn env_read_at(sig: &[Tok], i: usize) -> bool {
         && sig
             .get(i.saturating_add(3))
             .is_some_and(|n| n.is_ident("var") || n.is_ident("var_os"))
+}
+
+/// Functions returning a `#[must_use]` RAII guard whose immediate drop
+/// is almost certainly a bug (`span` → `SpanGuard`, `scope` →
+/// `TraceScope`). `let _ = …` silences the must-use warning while still
+/// dropping — exactly the case the compiler cannot catch.
+const GUARD_FNS: [&str; 3] = ["span", "span_attr", "scope"];
+
+/// `trace-hygiene`: a `let _ = …;` statement whose right-hand side calls
+/// a span-guard constructor, discarding the guard immediately.
+fn discarded_guard_at(sig: &[Tok], i: usize) -> bool {
+    let Some(t) = sig.get(i) else { return false };
+    if !t.is_ident("let")
+        || !sig
+            .get(i.saturating_add(1))
+            .is_some_and(|u| u.is_ident("_"))
+        || !sig
+            .get(i.saturating_add(2))
+            .is_some_and(|e| e.is_punct('='))
+    {
+        return false;
+    }
+    let mut depth = 0i64;
+    let mut j = i.saturating_add(3);
+    let mut budget = 200usize;
+    while let Some(x) = sig.get(j) {
+        budget = budget.saturating_sub(1);
+        if budget == 0 {
+            return false;
+        }
+        if x.is_punct('(') || x.is_punct('[') || x.is_punct('{') {
+            depth = depth.saturating_add(1);
+        } else if x.is_punct(')') || x.is_punct(']') || x.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && x.is_punct(';') {
+            return false;
+        } else if x.kind == TokKind::Ident
+            && GUARD_FNS.iter().any(|g| x.is_ident(g))
+            && sig
+                .get(j.saturating_add(1))
+                .is_some_and(|p| p.is_punct('('))
+        {
+            return true;
+        }
+        j = j.saturating_add(1);
+    }
+    false
 }
 
 /// Are tokens `i`, `i+1` the two colons of a `::` path separator?
@@ -834,6 +913,44 @@ mod tests {
         let vec_loop = "// lint:deterministic\n\
                         fn f(v: Vec<u32>) { for x in &v { use_it(x); } }";
         assert!(rules_hit(vec_loop).is_empty());
+    }
+
+    #[test]
+    fn discarded_span_guard_flagged() {
+        assert_eq!(
+            rules_hit("fn f() { let _ = webiq_trace::span(\"x\"); work(); }"),
+            vec!["trace-hygiene"]
+        );
+        assert_eq!(
+            rules_hit("fn f(t: &Tracer) { let _ = t.scope(\"run\", \"book\"); }"),
+            vec!["trace-hygiene"]
+        );
+        // a *named* binding holds the guard for the region — fine
+        assert!(rules_hit("fn f() { let _span = webiq_trace::span(\"x\"); work(); }").is_empty());
+        // `let _ = …` of something unrelated is fine
+        assert!(rules_hit("fn f() { let _ = compute(); }").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_types_confined_to_trace_timing_module() {
+        let src = "use std::time::Instant;\nfn f() {}\n";
+        let mut f = lib_file(src);
+        f.rel = "crates/trace/src/tracer.rs".into();
+        f.crate_name = "trace".into();
+        f.file_name = "tracer.rs".into();
+        let rules: Vec<_> = lint_source(&f, &Scope::default())
+            .violations
+            .iter()
+            .map(|v| v.rule)
+            .collect();
+        assert_eq!(rules, vec!["trace-hygiene"]);
+        // the sanctioned timing module may name Instant freely
+        f.rel = "crates/trace/src/timing.rs".into();
+        f.file_name = "timing.rs".into();
+        assert!(lint_source(&f, &Scope::default()).violations.is_empty());
+        // other crates are covered by the plain wall-clock rule only
+        let g = lib_file(src);
+        assert!(lint_source(&g, &Scope::default()).violations.is_empty());
     }
 
     #[test]

@@ -1,0 +1,20 @@
+// Fixture for the trace-hygiene rule: discarded span guards. Never
+// compiled — only lexed by the linter.
+
+fn discarded() {
+    let _ = webiq_trace::span("surface"); // closes immediately: flagged
+    expensive_work();
+}
+
+fn discarded_scope(tracer: &Tracer) {
+    let _ = tracer.scope("acquire", "book"); // flagged
+}
+
+fn held() {
+    let _span = webiq_trace::span_attr("attribute", "Title"); // fine
+    expensive_work();
+}
+
+fn unrelated_discard() {
+    let _ = compute_and_log(); // fine: not a guard constructor
+}

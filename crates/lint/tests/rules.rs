@@ -102,6 +102,33 @@ fn determinism_rules_fire_in_tagged_module() {
 }
 
 #[test]
+fn trace_hygiene_flags_discarded_guards() {
+    let f = lib_file(
+        "trace_hygiene.rs",
+        include_str!("fixtures/trace_hygiene.rs"),
+    );
+    let r = lint_one(&f);
+    assert_eq!(count(&r, "trace-hygiene"), 2, "\n{}", r.render());
+    assert_eq!(r.violations.len(), 2, "\n{}", r.render());
+}
+
+#[test]
+fn trace_hygiene_confines_wall_clock_types_to_timing() {
+    let text = "use std::time::{Instant, SystemTime};\nfn f() {}\n";
+    let mut f = lib_file("sink.rs", text);
+    f.rel = "crates/trace/src/sink.rs".into();
+    f.crate_name = "trace".into();
+    let r = lint_one(&f);
+    assert_eq!(count(&r, "trace-hygiene"), 2, "\n{}", r.render());
+
+    let mut timing = lib_file("timing.rs", text);
+    timing.rel = "crates/trace/src/timing.rs".into();
+    timing.crate_name = "trace".into();
+    let r = lint_one(&timing);
+    assert!(r.is_clean(), "timing.rs is sanctioned:\n{}", r.render());
+}
+
+#[test]
 fn hygiene_rules_fire_only_on_crate_roots() {
     let text = include_str!("fixtures/bare_root.rs");
     let as_module = lib_file("bare_root.rs", text);

@@ -8,6 +8,8 @@
 //! the highest average inter-cluster similarity and stops when no
 //! admissible pair exceeds the threshold τ.
 
+use webiq_trace::Counter;
+
 /// An item to cluster: an opaque id plus the interface it belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Item<I> {
@@ -42,6 +44,11 @@ pub fn cluster<I: Copy>(items: &[Item<I>], sim: &[Vec<f64>], threshold: f64) -> 
 /// Like [`cluster`], additionally returning the log of merge events in the
 /// order they happened (descending score). The log is what interactive
 /// threshold learning samples from.
+///
+/// Each pass over the candidate pairs bumps the thread-local
+/// [`Counter::ClusterIterations`] trace counter and each merge performed
+/// bumps [`Counter::ClusterMerges`], so a traced run can report the
+/// matcher's convergence behaviour.
 pub fn cluster_logged<I: Copy>(
     items: &[Item<I>],
     sim: &[Vec<f64>],
@@ -52,6 +59,7 @@ pub fn cluster_logged<I: Copy>(
     let mut log = Vec::new();
 
     loop {
+        webiq_trace::incr(Counter::ClusterIterations);
         // Find the best admissible merge.
         let mut best: Option<(f64, usize, usize)> = None;
         for a in 0..clusters.len() {
@@ -66,6 +74,7 @@ pub fn cluster_logged<I: Copy>(
             }
         }
         let Some((score, a, b)) = best else { break };
+        webiq_trace::incr(Counter::ClusterMerges);
         let (ra, rb) = representative_pair(&clusters[a], &clusters[b], sim);
         log.push(MergeEvent {
             score,
@@ -218,6 +227,19 @@ mod tests {
         let clusters = cluster(&its, &m, 0.5);
         // {0,1} merges; then avg({0,1},{2}) = (0 + .8)/2 = .4 < .5 → stop
         assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn trace_counters_track_iterations_and_merges() {
+        let its = items(&[0, 1, 2]);
+        let m = matrix(3, &[(0, 1, 0.9), (0, 2, 0.8), (1, 2, 0.8)]);
+        let before = webiq_trace::snapshot();
+        let clusters = cluster(&its, &m, 0.1);
+        let d = webiq_trace::snapshot().diff(&before);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(d.get(Counter::ClusterMerges), 2);
+        // merges + the final pass that finds nothing admissible
+        assert_eq!(d.get(Counter::ClusterIterations), 3);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! `webiq-report` — render JSONL traces into per-stage funnel summaries.
+//!
+//! Usage: `webiq-report TRACE.jsonl [MORE.jsonl ...]`
+//!
+//! Each file is parsed as one event stream; the report prints one funnel
+//! per root span (one per traced acquisition run, labelled by domain)
+//! plus an overall aggregate when there is more than one root.
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use webiq_trace::event::Event;
+use webiq_trace::report;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() || paths.iter().any(|p| p == "--help" || p == "-h") {
+        eprintln!("usage: webiq-report TRACE.jsonl [MORE.jsonl ...]");
+        eprintln!("renders a JSONL trace into per-domain funnel summaries");
+        return if paths.is_empty() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("webiq-report: {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let mut events = Vec::new();
+        let mut bad_lines = 0usize;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Event::parse(line) {
+                Some(e) => events.push(e),
+                None => bad_lines += 1,
+            }
+        }
+        if bad_lines > 0 {
+            eprintln!("webiq-report: {path}: skipped {bad_lines} unparseable line(s)");
+        }
+        let groups = report::aggregate_by_root(&events);
+        if groups.is_empty() {
+            println!("{path}: no root spans found ({} events)", events.len());
+            continue;
+        }
+        println!("== {path} ==");
+        for (label, m) in &groups {
+            print!("{}", report::render_funnel(label, m));
+        }
+        if groups.len() > 1 {
+            print!(
+                "{}",
+                report::render_funnel("all runs", &report::aggregate(&events))
+            );
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,399 @@
+//! Trace events and their JSONL wire format.
+//!
+//! An event stream is a sequence of span opens and closes keyed by a
+//! *logical clock*: `seq` is the global event index assigned at merge
+//! time, never a wall-clock reading, so the stream is byte-identical
+//! across runs and worker counts. A close event carries the non-zero
+//! counter deltas observed inside the span (see
+//! [`crate::metrics::MetricSet::diff`]).
+//!
+//! The wire format is one flat JSON object per line, emitted by
+//! [`Event::to_jsonl`] and parsed back by [`Event::parse`]:
+//!
+//! ```text
+//! {"ev":"open","seq":0,"id":0,"name":"acquire","attr":"book"}
+//! {"ev":"open","seq":1,"id":1,"parent":0,"name":"attribute","attr":"0/0 Title"}
+//! {"ev":"close","seq":2,"id":1,"m":{"engine_hit_issued":42,"attrs_total":1}}
+//! {"ev":"close","seq":3,"id":0,"m":{"engine_hit_issued":42,"attrs_total":1}}
+//! ```
+//!
+//! The encoder writes keys in a fixed order and omits absent optional
+//! fields, so equality of two streams is byte equality. The parser
+//! accepts exactly this shape (it is a reader for traces this module
+//! wrote, not a general JSON parser); unknown counter names inside `"m"`
+//! are skipped so old reports can read newer traces.
+
+use crate::metrics::Counter;
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A span opened.
+    Open {
+        /// Logical-clock position (global event index).
+        seq: u64,
+        /// Span id, unique within the trace.
+        id: u64,
+        /// Enclosing span id, if any.
+        parent: Option<u64>,
+        /// The span's stage name (e.g. `"surface"`).
+        name: String,
+        /// Free-form subject (attribute label, domain name).
+        attr: Option<String>,
+    },
+    /// A span closed.
+    Close {
+        /// Logical-clock position (global event index).
+        seq: u64,
+        /// Id of the span being closed.
+        id: u64,
+        /// Non-zero counter deltas observed inside the span.
+        metrics: Vec<(Counter, u64)>,
+    },
+}
+
+impl Event {
+    /// The event's logical-clock position.
+    pub fn seq(&self) -> u64 {
+        match self {
+            Event::Open { seq, .. } | Event::Close { seq, .. } => *seq,
+        }
+    }
+
+    /// The event's span id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Event::Open { id, .. } | Event::Close { id, .. } => *id,
+        }
+    }
+
+    /// Serialize to one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        match self {
+            Event::Open {
+                seq,
+                id,
+                parent,
+                name,
+                attr,
+            } => {
+                let mut s = format!("{{\"ev\":\"open\",\"seq\":{seq},\"id\":{id}");
+                if let Some(p) = parent {
+                    s.push_str(",\"parent\":");
+                    s.push_str(&p.to_string());
+                }
+                s.push_str(",\"name\":\"");
+                push_escaped(&mut s, name);
+                s.push('"');
+                if let Some(a) = attr {
+                    s.push_str(",\"attr\":\"");
+                    push_escaped(&mut s, a);
+                    s.push('"');
+                }
+                s.push('}');
+                s
+            }
+            Event::Close { seq, id, metrics } => {
+                let mut s = format!("{{\"ev\":\"close\",\"seq\":{seq},\"id\":{id},\"m\":{{");
+                for (i, (c, v)) in metrics.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push('"');
+                    s.push_str(c.name());
+                    s.push_str("\":");
+                    s.push_str(&v.to_string());
+                }
+                s.push_str("}}");
+                s
+            }
+        }
+    }
+
+    /// Parse one JSONL line produced by [`Event::to_jsonl`]. Returns
+    /// `None` on any malformed input instead of panicking.
+    pub fn parse(line: &str) -> Option<Event> {
+        let mut cur = Cur::new(line.trim());
+        cur.eat(b'{')?;
+        let mut ev: Option<String> = None;
+        let mut seq: Option<u64> = None;
+        let mut id: Option<u64> = None;
+        let mut parent: Option<u64> = None;
+        let mut name: Option<String> = None;
+        let mut attr: Option<String> = None;
+        let mut metrics: Vec<(Counter, u64)> = Vec::new();
+        loop {
+            let key = cur.string()?;
+            cur.eat(b':')?;
+            match key.as_str() {
+                "ev" => ev = Some(cur.string()?),
+                "seq" => seq = Some(cur.number()?),
+                "id" => id = Some(cur.number()?),
+                "parent" => parent = Some(cur.number()?),
+                "name" => name = Some(cur.string()?),
+                "attr" => attr = Some(cur.string()?),
+                "m" => {
+                    cur.eat(b'{')?;
+                    if !cur.try_eat(b'}') {
+                        loop {
+                            let ck = cur.string()?;
+                            cur.eat(b':')?;
+                            let v = cur.number()?;
+                            if let Some(c) = Counter::from_name(&ck) {
+                                metrics.push((c, v));
+                            }
+                            if cur.try_eat(b'}') {
+                                break;
+                            }
+                            cur.eat(b',')?;
+                        }
+                    }
+                }
+                _ => return None,
+            }
+            if cur.try_eat(b'}') {
+                break;
+            }
+            cur.eat(b',')?;
+        }
+        if !cur.at_end() {
+            return None;
+        }
+        match ev?.as_str() {
+            "open" => Some(Event::Open {
+                seq: seq?,
+                id: id?,
+                parent,
+                name: name?,
+                attr,
+            }),
+            "close" => Some(Event::Close {
+                seq: seq?,
+                id: id?,
+                metrics,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Append `s` with JSON string escaping (quotes, backslashes, control
+/// characters).
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let v = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let d = (v >> shift) & 0xf;
+                    out.push(char::from_digit(d, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A tiny byte cursor over one line.
+struct Cur<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(s: &'a str) -> Self {
+        Cur {
+            b: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        Some(c)
+    }
+
+    fn eat(&mut self, c: u8) -> Option<()> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn try_eat(&mut self, c: u8) -> bool {
+        self.eat(c).is_some()
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.b.len()
+    }
+
+    /// A quoted JSON string with basic escapes (`\" \\ \/ \n \t \r \uXXXX`).
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.i;
+            match self.bump()? {
+                b'"' => return Some(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let mut v: u32 = 0;
+                        for _ in 0..4 {
+                            let d = (self.bump()? as char).to_digit(16)?;
+                            v = v * 16 + d;
+                        }
+                        out.push(char::from_u32(v)?);
+                    }
+                    _ => return None,
+                },
+                c if c < 0x80 => out.push(c as char),
+                c => {
+                    // Re-assemble a multi-byte UTF-8 sequence from the
+                    // source slice (the input is a &str, so it is valid).
+                    let len = match c {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.b.len());
+                    out.push_str(std::str::from_utf8(self.b.get(start..end)?).ok()?);
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    /// An unsigned decimal integer.
+    fn number(&mut self) -> Option<u64> {
+        let mut v: u64 = 0;
+        let mut any = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                v = v.checked_mul(10)?.checked_add(u64::from(c - b'0'))?;
+                any = true;
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        any.then_some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_roundtrip() {
+        let e = Event::Open {
+            seq: 7,
+            id: 3,
+            parent: Some(1),
+            name: "surface".into(),
+            attr: Some("0/2 From \"city\"".into()),
+        };
+        let line = e.to_jsonl();
+        assert_eq!(Event::parse(&line), Some(e));
+    }
+
+    #[test]
+    fn open_without_optionals_roundtrip() {
+        let e = Event::Open {
+            seq: 0,
+            id: 0,
+            parent: None,
+            name: "acquire".into(),
+            attr: None,
+        };
+        let line = e.to_jsonl();
+        assert!(!line.contains("parent"));
+        assert!(!line.contains("attr"));
+        assert_eq!(Event::parse(&line), Some(e));
+    }
+
+    #[test]
+    fn close_roundtrip() {
+        let e = Event::Close {
+            seq: 9,
+            id: 3,
+            metrics: vec![
+                (Counter::EngineHitIssued, 42),
+                (Counter::CandidatesExtracted, 7),
+            ],
+        };
+        let line = e.to_jsonl();
+        assert_eq!(Event::parse(&line), Some(e));
+    }
+
+    #[test]
+    fn close_with_empty_metrics_roundtrip() {
+        let e = Event::Close {
+            seq: 1,
+            id: 0,
+            metrics: vec![],
+        };
+        assert_eq!(Event::parse(&e.to_jsonl()), Some(e));
+    }
+
+    #[test]
+    fn escaping_of_special_and_unicode_chars() {
+        let e = Event::Open {
+            seq: 1,
+            id: 1,
+            parent: None,
+            name: "n".into(),
+            attr: Some("a\\b\"c\nd\té—\u{1}".into()),
+        };
+        assert_eq!(Event::parse(&e.to_jsonl()), Some(e));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            "not json",
+            r#"{"ev":"open","seq":1}"#,         // missing id
+            r#"{"ev":"weird","seq":1,"id":2}"#, // unknown ev
+            r#"{"ev":"open","seq":1,"id":2,"name":"x"} trailing"#,
+            r#"{"unknown":1}"#,
+        ] {
+            assert_eq!(Event::parse(bad), None, "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn unknown_counter_names_are_skipped() {
+        let line = r#"{"ev":"close","seq":1,"id":0,"m":{"future_counter":3,"probes_issued":2}}"#;
+        assert_eq!(
+            Event::parse(line),
+            Some(Event::Close {
+                seq: 1,
+                id: 0,
+                metrics: vec![(Counter::ProbesIssued, 2)],
+            })
+        );
+    }
+}

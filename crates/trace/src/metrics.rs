@@ -1,0 +1,576 @@
+//! Typed counters, gauges, and histograms with deterministic merge.
+//!
+//! Every metric in the pipeline is named by a closed enum rather than a
+//! string, so recording is an array index (no hashing, no allocation) and
+//! the serialized order is fixed by the enum declaration — a prerequisite
+//! for byte-identical traces. Three metric kinds exist:
+//!
+//! - [`Counter`]: monotonic event tallies in a [`MetricSet`]. Merging adds,
+//!   and the *delta* of a thread-local set around a work item is a
+//!   deterministic measure of that item's activity, independent of cache
+//!   state, scheduling, or worker count.
+//! - [`Gauge`]: last-known magnitudes (dataset sizes). Merging takes the
+//!   maximum, which is order-independent and therefore deterministic.
+//! - [`HistKey`]: power-of-two bucketed histograms in a [`HistSet`].
+//!   Merging adds bucket-wise.
+//!
+//! [`SharedMetrics`] is the atomic variant used for per-instance state
+//! shared across threads (e.g. a search engine's cache hit/miss tallies).
+//! Those tallies depend on scheduling (racing threads may both count a
+//! miss on the same fresh query), which is exactly why the deterministic
+//! trace-event stream is built from thread-local [`MetricSet`] deltas and
+//! never from [`SharedMetrics`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of [`Counter`] variants (the fixed size of a [`MetricSet`]).
+pub const NUM_COUNTERS: usize = 37;
+
+/// Every counter the pipeline records, in serialization order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Counter {
+    /// `search` calls issued (cache hits and misses alike).
+    EngineSearchIssued,
+    /// `num_hits` calls issued (cache hits and misses alike).
+    EngineHitIssued,
+    /// Snippet-cache lookups served from the LRU (per-engine only).
+    SearchCacheHit,
+    /// Snippet-cache lookups that missed (per-engine only).
+    SearchCacheMiss,
+    /// Hit-count-cache lookups served from the sharded map (per-engine only).
+    HitCacheHit,
+    /// Hit-count-cache lookups that missed (per-engine only).
+    HitCacheMiss,
+    /// Attributes visited by the acquisition strategy.
+    AttrsTotal,
+    /// Attributes with no pre-defined instances (§5 case 1).
+    AttrsNoInstance,
+    /// Attributes with pre-defined instances run through Attr-Surface.
+    AttrsPredefined,
+    /// Pre-defined attributes skipped because Attr-Surface was disabled.
+    AttrsSkipped,
+    /// Instance-less attributes that reached k with Surface alone.
+    SurfaceSuccess,
+    /// Instance-less attributes that reached k after Surface + Attr-Deep.
+    SurfaceDeepSuccess,
+    /// Pre-defined attributes that gained borrowed instances.
+    AttrSurfaceEnriched,
+    /// Engine queries attributed to the Surface component.
+    SurfaceQueries,
+    /// Engine queries attributed to the Attr-Surface component.
+    AttrSurfaceQueries,
+    /// Deep-Web probes attributed to the Attr-Deep component.
+    AttrDeepProbes,
+    /// Extraction queries sent by the Surface component.
+    ExtractQueries,
+    /// Candidate instances extracted from snippets.
+    CandidatesExtracted,
+    /// Candidates removed by the statistical outlier phase (§2.2).
+    OutliersRemoved,
+    /// Candidates accepted by PMI Web validation.
+    ValidationAccepted,
+    /// Candidates rejected by PMI Web validation.
+    ValidationRejected,
+    /// Case-1 borrow candidates considered.
+    BorrowCandidates,
+    /// Case-1 candidates borrowed without re-probing (domain already validated).
+    BorrowReused,
+    /// Case-1 candidates skipped (domain already failed probing).
+    BorrowSkipped,
+    /// Case-1 candidate domains actually probed.
+    BorrowProbed,
+    /// Case-1 probed domains accepted.
+    BorrowAccepted,
+    /// Case-1 probed domains rejected.
+    BorrowRejected,
+    /// Attr-Surface validation classifiers that failed to train.
+    BayesTrainFailed,
+    /// Borrowed values accepted by the naive-Bayes classifier (§3).
+    BayesAccepted,
+    /// Borrowed values rejected by the naive-Bayes classifier (§3).
+    BayesRejected,
+    /// Deep-Web probe submissions issued.
+    ProbesIssued,
+    /// Probes whose response page contained result records.
+    ProbeMatched,
+    /// Probes that came back with zero records.
+    ProbeEmpty,
+    /// Probes rejected by the source (missing/invalid parameter).
+    ProbeRejected,
+    /// Probes that failed with a simulated server error.
+    ProbeServerError,
+    /// Agglomerative clustering iterations run by the matcher.
+    ClusterIterations,
+    /// Cluster merges performed by the matcher.
+    ClusterMerges,
+}
+
+impl Counter {
+    /// All counters, in serialization order.
+    pub const ALL: [Counter; NUM_COUNTERS] = [
+        Counter::EngineSearchIssued,
+        Counter::EngineHitIssued,
+        Counter::SearchCacheHit,
+        Counter::SearchCacheMiss,
+        Counter::HitCacheHit,
+        Counter::HitCacheMiss,
+        Counter::AttrsTotal,
+        Counter::AttrsNoInstance,
+        Counter::AttrsPredefined,
+        Counter::AttrsSkipped,
+        Counter::SurfaceSuccess,
+        Counter::SurfaceDeepSuccess,
+        Counter::AttrSurfaceEnriched,
+        Counter::SurfaceQueries,
+        Counter::AttrSurfaceQueries,
+        Counter::AttrDeepProbes,
+        Counter::ExtractQueries,
+        Counter::CandidatesExtracted,
+        Counter::OutliersRemoved,
+        Counter::ValidationAccepted,
+        Counter::ValidationRejected,
+        Counter::BorrowCandidates,
+        Counter::BorrowReused,
+        Counter::BorrowSkipped,
+        Counter::BorrowProbed,
+        Counter::BorrowAccepted,
+        Counter::BorrowRejected,
+        Counter::BayesTrainFailed,
+        Counter::BayesAccepted,
+        Counter::BayesRejected,
+        Counter::ProbesIssued,
+        Counter::ProbeMatched,
+        Counter::ProbeEmpty,
+        Counter::ProbeRejected,
+        Counter::ProbeServerError,
+        Counter::ClusterIterations,
+        Counter::ClusterMerges,
+    ];
+
+    /// The counter's stable snake_case name (the JSONL key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::EngineSearchIssued => "engine_search_issued",
+            Counter::EngineHitIssued => "engine_hit_issued",
+            Counter::SearchCacheHit => "search_cache_hit",
+            Counter::SearchCacheMiss => "search_cache_miss",
+            Counter::HitCacheHit => "hit_cache_hit",
+            Counter::HitCacheMiss => "hit_cache_miss",
+            Counter::AttrsTotal => "attrs_total",
+            Counter::AttrsNoInstance => "attrs_no_instance",
+            Counter::AttrsPredefined => "attrs_predefined",
+            Counter::AttrsSkipped => "attrs_skipped",
+            Counter::SurfaceSuccess => "surface_success",
+            Counter::SurfaceDeepSuccess => "surface_deep_success",
+            Counter::AttrSurfaceEnriched => "attr_surface_enriched",
+            Counter::SurfaceQueries => "surface_queries",
+            Counter::AttrSurfaceQueries => "attr_surface_queries",
+            Counter::AttrDeepProbes => "attr_deep_probes",
+            Counter::ExtractQueries => "extract_queries",
+            Counter::CandidatesExtracted => "candidates_extracted",
+            Counter::OutliersRemoved => "outliers_removed",
+            Counter::ValidationAccepted => "validation_accepted",
+            Counter::ValidationRejected => "validation_rejected",
+            Counter::BorrowCandidates => "borrow_candidates",
+            Counter::BorrowReused => "borrow_reused",
+            Counter::BorrowSkipped => "borrow_skipped",
+            Counter::BorrowProbed => "borrow_probed",
+            Counter::BorrowAccepted => "borrow_accepted",
+            Counter::BorrowRejected => "borrow_rejected",
+            Counter::BayesTrainFailed => "bayes_train_failed",
+            Counter::BayesAccepted => "bayes_accepted",
+            Counter::BayesRejected => "bayes_rejected",
+            Counter::ProbesIssued => "probes_issued",
+            Counter::ProbeMatched => "probe_matched",
+            Counter::ProbeEmpty => "probe_empty",
+            Counter::ProbeRejected => "probe_rejected",
+            Counter::ProbeServerError => "probe_server_error",
+            Counter::ClusterIterations => "cluster_iterations",
+            Counter::ClusterMerges => "cluster_merges",
+        }
+    }
+
+    /// Inverse of [`Counter::name`].
+    pub fn from_name(name: &str) -> Option<Counter> {
+        Counter::ALL.iter().copied().find(|c| c.name() == name)
+    }
+
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// A fixed-size, copyable set of counter values. The unit of deterministic
+/// aggregation: thread-local sets are snapshotted around each work item
+/// and the deltas merged in item order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricSet {
+    counts: [u64; NUM_COUNTERS],
+}
+
+impl Default for MetricSet {
+    fn default() -> Self {
+        MetricSet::new()
+    }
+}
+
+impl MetricSet {
+    /// An all-zero set.
+    pub const fn new() -> Self {
+        MetricSet {
+            counts: [0; NUM_COUNTERS],
+        }
+    }
+
+    /// Current value of `c`.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counts[c.idx()]
+    }
+
+    /// Add `n` to `c` (saturating).
+    pub fn add(&mut self, c: Counter, n: u64) {
+        self.counts[c.idx()] = self.counts[c.idx()].saturating_add(n);
+    }
+
+    /// Element-wise add of `other` into `self`.
+    pub fn merge(&mut self, other: &MetricSet) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(*b);
+        }
+    }
+
+    /// Element-wise `self - earlier` (saturating). With a monotonic
+    /// thread-local set, this is the activity between two snapshots.
+    pub fn diff(&self, earlier: &MetricSet) -> MetricSet {
+        let mut out = MetricSet::new();
+        for (o, (a, b)) in out
+            .counts
+            .iter_mut()
+            .zip(self.counts.iter().zip(earlier.counts.iter()))
+        {
+            *o = a.saturating_sub(*b);
+        }
+        out
+    }
+
+    /// The non-zero entries, in declaration order.
+    pub fn nonzero(&self) -> Vec<(Counter, u64)> {
+        Counter::ALL
+            .iter()
+            .filter_map(|&c| {
+                let v = self.get(c);
+                (v > 0).then_some((c, v))
+            })
+            .collect()
+    }
+
+    /// True when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&v| v == 0)
+    }
+}
+
+/// Atomic counter array for state shared across threads (per-engine cache
+/// statistics). Values here may depend on scheduling; they feed run
+/// summaries, never the deterministic event stream.
+#[derive(Debug)]
+pub struct SharedMetrics {
+    counts: [AtomicU64; NUM_COUNTERS],
+}
+
+impl Default for SharedMetrics {
+    fn default() -> Self {
+        SharedMetrics {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl SharedMetrics {
+    /// An all-zero set.
+    pub fn new() -> Self {
+        SharedMetrics::default()
+    }
+
+    /// Add `n` to `c`.
+    pub fn add(&self, c: Counter, n: u64) {
+        self.counts[c.idx()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of `c`.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counts[c.idx()].load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricSet {
+        let mut out = MetricSet::new();
+        for &c in &Counter::ALL {
+            out.add(c, self.get(c));
+        }
+        out
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        for a in &self.counts {
+            a.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Number of [`Gauge`] variants.
+pub const NUM_GAUGES: usize = 3;
+
+/// Last-known magnitudes of the run's inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gauge {
+    /// Query interfaces in the dataset.
+    Interfaces,
+    /// Attributes across all interfaces.
+    Attributes,
+    /// Documents in the simulated Surface-Web corpus.
+    CorpusDocs,
+}
+
+impl Gauge {
+    /// All gauges, in serialization order.
+    pub const ALL: [Gauge; NUM_GAUGES] = [Gauge::Interfaces, Gauge::Attributes, Gauge::CorpusDocs];
+
+    /// The gauge's stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::Interfaces => "interfaces",
+            Gauge::Attributes => "attributes",
+            Gauge::CorpusDocs => "corpus_docs",
+        }
+    }
+
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// A fixed-size set of gauge values; merging takes the element-wise
+/// maximum (order-independent, hence deterministic at scope-join).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GaugeSet {
+    values: [u64; NUM_GAUGES],
+}
+
+impl GaugeSet {
+    /// An all-zero set.
+    pub const fn new() -> Self {
+        GaugeSet {
+            values: [0; NUM_GAUGES],
+        }
+    }
+
+    /// Record `v` for `g`, keeping the maximum seen.
+    pub fn set(&mut self, g: Gauge, v: u64) {
+        self.values[g.idx()] = self.values[g.idx()].max(v);
+    }
+
+    /// Current value of `g`.
+    pub fn get(&self, g: Gauge) -> u64 {
+        self.values[g.idx()]
+    }
+
+    /// Element-wise maximum of `other` into `self`.
+    pub fn merge(&mut self, other: &GaugeSet) {
+        for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+}
+
+/// Number of [`HistKey`] variants.
+pub const NUM_HISTS: usize = 2;
+
+/// Number of buckets per histogram.
+pub const NUM_BUCKETS: usize = 8;
+
+/// Human-readable bucket bounds: value `v` lands in bucket
+/// `bit_length(v)` capped at the last bucket.
+pub const BUCKET_LABELS: [&str; NUM_BUCKETS] =
+    ["0", "1", "2-3", "4-7", "8-15", "16-31", "32-63", "64+"];
+
+/// Bucketed distributions of per-item magnitudes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HistKey {
+    /// Candidate instances extracted per instance-less attribute.
+    CandidatesPerAttr,
+    /// Deep-Web probes issued per instance-less attribute.
+    ProbesPerAttr,
+}
+
+impl HistKey {
+    /// All histograms, in serialization order.
+    pub const ALL: [HistKey; NUM_HISTS] = [HistKey::CandidatesPerAttr, HistKey::ProbesPerAttr];
+
+    /// The histogram's stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HistKey::CandidatesPerAttr => "candidates_per_attr",
+            HistKey::ProbesPerAttr => "probes_per_attr",
+        }
+    }
+
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// Which bucket a value lands in: 0, then one bucket per power of two.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// A fixed-size set of power-of-two-bucketed histograms; merging adds
+/// bucket-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSet {
+    buckets: [[u64; NUM_BUCKETS]; NUM_HISTS],
+}
+
+impl Default for HistSet {
+    fn default() -> Self {
+        HistSet::new()
+    }
+}
+
+impl HistSet {
+    /// An all-zero set.
+    pub const fn new() -> Self {
+        HistSet {
+            buckets: [[0; NUM_BUCKETS]; NUM_HISTS],
+        }
+    }
+
+    /// Record one observation of `v` under `h`.
+    pub fn observe(&mut self, h: HistKey, v: u64) {
+        let b = bucket_index(v);
+        self.buckets[h.idx()][b] = self.buckets[h.idx()][b].saturating_add(1);
+    }
+
+    /// The count in bucket `b` of `h` (0 for an out-of-range bucket).
+    pub fn bucket(&self, h: HistKey, b: usize) -> u64 {
+        self.buckets[h.idx()].get(b).copied().unwrap_or(0)
+    }
+
+    /// Total observations recorded under `h`.
+    pub fn count(&self, h: HistKey) -> u64 {
+        self.buckets[h.idx()].iter().sum()
+    }
+
+    /// Bucket-wise add of `other` into `self`.
+    pub fn merge(&mut self, other: &HistSet) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            for (a, b) in mine.iter_mut().zip(theirs.iter()) {
+                *a = a.saturating_add(*b);
+            }
+        }
+    }
+
+    /// Bucket-wise `self - earlier` (saturating).
+    pub fn diff(&self, earlier: &HistSet) -> HistSet {
+        let mut out = HistSet::new();
+        for (o, (a, b)) in out
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(earlier.buckets.iter()))
+        {
+            for (ov, (av, bv)) in o.iter_mut().zip(a.iter().zip(b.iter())) {
+                *ov = av.saturating_sub(*bv);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_roundtrip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &c in &Counter::ALL {
+            assert!(seen.insert(c.name()), "duplicate name {}", c.name());
+            assert_eq!(Counter::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Counter::ALL.len(), NUM_COUNTERS);
+        assert_eq!(Counter::from_name("nope"), None);
+    }
+
+    #[test]
+    fn metric_set_add_merge_diff() {
+        let mut a = MetricSet::new();
+        a.add(Counter::EngineHitIssued, 3);
+        a.add(Counter::ProbesIssued, 1);
+        let mut b = MetricSet::new();
+        b.add(Counter::EngineHitIssued, 2);
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.get(Counter::EngineHitIssued), 5);
+        assert_eq!(m.get(Counter::ProbesIssued), 1);
+        let d = m.diff(&b);
+        assert_eq!(d.get(Counter::EngineHitIssued), 3);
+        assert_eq!(
+            d.nonzero(),
+            vec![(Counter::EngineHitIssued, 3), (Counter::ProbesIssued, 1)]
+        );
+        assert!(!d.is_zero());
+        assert!(MetricSet::new().is_zero());
+    }
+
+    #[test]
+    fn shared_metrics_snapshot() {
+        let s = SharedMetrics::new();
+        s.add(Counter::SearchCacheHit, 4);
+        assert_eq!(s.get(Counter::SearchCacheHit), 4);
+        assert_eq!(s.snapshot().get(Counter::SearchCacheHit), 4);
+        s.reset();
+        assert!(s.snapshot().is_zero());
+    }
+
+    #[test]
+    fn gauges_merge_by_max() {
+        let mut a = GaugeSet::new();
+        a.set(Gauge::Interfaces, 20);
+        a.set(Gauge::Interfaces, 5); // keeps max
+        let mut b = GaugeSet::new();
+        b.set(Gauge::Interfaces, 12);
+        b.set(Gauge::Attributes, 80);
+        a.merge(&b);
+        assert_eq!(a.get(Gauge::Interfaces), 20);
+        assert_eq!(a.get(Gauge::Attributes), 80);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(63), 6);
+        assert_eq!(bucket_index(64), 7);
+        assert_eq!(bucket_index(u64::MAX), 7);
+        let mut h = HistSet::new();
+        h.observe(HistKey::CandidatesPerAttr, 0);
+        h.observe(HistKey::CandidatesPerAttr, 5);
+        h.observe(HistKey::ProbesPerAttr, 100);
+        assert_eq!(h.count(HistKey::CandidatesPerAttr), 2);
+        assert_eq!(h.bucket(HistKey::CandidatesPerAttr, 3), 1);
+        let mut m = HistSet::new();
+        m.merge(&h);
+        m.merge(&h);
+        assert_eq!(m.count(HistKey::CandidatesPerAttr), 4);
+        assert_eq!(m.diff(&h), h);
+    }
+}

@@ -1,0 +1,342 @@
+//! `webiq-report`: turn a trace into a per-domain, per-stage funnel.
+//!
+//! The funnel follows an attribute through the acquisition pipeline —
+//! attrs in → candidates → verified → borrowed → probed → matched — and
+//! its totals are, by construction, the same counters
+//! `AcquisitionReport` is derived from (asserted by
+//! `crates/core/tests/trace_report.rs`).
+//!
+//! Aggregation works from close events of *root* spans only (spans with
+//! no parent): a span's close delta already includes everything nested
+//! inside it, so summing every close would double-count.
+
+use std::collections::HashMap;
+
+use crate::event::Event;
+use crate::metrics::{Counter, Gauge, HistKey, MetricSet, BUCKET_LABELS};
+use crate::tracer::Totals;
+
+/// The per-stage funnel totals extracted from a counter set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Funnel {
+    /// Attributes entering the strategy.
+    pub attrs_total: u64,
+    /// Of those, instance-less (§5 case 1).
+    pub no_instance: u64,
+    /// Of those, pre-defined and run through Attr-Surface (§5 case 2).
+    pub predefined: u64,
+    /// Candidate instances extracted from snippets.
+    pub candidates: u64,
+    /// Candidates surviving outlier removal + PMI validation.
+    pub verified: u64,
+    /// Borrowings accepted (case-1 probed domains + case-2 Bayes values).
+    pub borrowed: u64,
+    /// Deep-Web probes issued.
+    pub probed: u64,
+    /// Cluster merges performed by the matcher.
+    pub matched: u64,
+    /// Instance-less attributes that reached k with Surface alone.
+    pub surface_success: u64,
+    /// Instance-less attributes that reached k after Surface + Deep.
+    pub surface_deep_success: u64,
+    /// Pre-defined attributes enriched by Attr-Surface.
+    pub attr_surface_enriched: u64,
+    /// Engine queries attributed to the Surface component.
+    pub surface_queries: u64,
+    /// Engine queries attributed to the Attr-Surface component.
+    pub attr_surface_queries: u64,
+    /// Probes attributed to the Attr-Deep component.
+    pub attr_deep_probes: u64,
+}
+
+/// Extract the funnel stages from a counter set.
+pub fn funnel(m: &MetricSet) -> Funnel {
+    Funnel {
+        attrs_total: m.get(Counter::AttrsTotal),
+        no_instance: m.get(Counter::AttrsNoInstance),
+        predefined: m.get(Counter::AttrsPredefined),
+        candidates: m.get(Counter::CandidatesExtracted),
+        verified: m.get(Counter::ValidationAccepted),
+        borrowed: m.get(Counter::BorrowAccepted) + m.get(Counter::BayesAccepted),
+        probed: m.get(Counter::ProbesIssued),
+        matched: m.get(Counter::ClusterMerges),
+        surface_success: m.get(Counter::SurfaceSuccess),
+        surface_deep_success: m.get(Counter::SurfaceDeepSuccess),
+        attr_surface_enriched: m.get(Counter::AttrSurfaceEnriched),
+        surface_queries: m.get(Counter::SurfaceQueries),
+        attr_surface_queries: m.get(Counter::AttrSurfaceQueries),
+        attr_deep_probes: m.get(Counter::AttrDeepProbes),
+    }
+}
+
+/// Sum the counter deltas of all root spans (parent-less) in an event
+/// stream. This equals the merged totals of everything the trace saw.
+pub fn aggregate(events: &[Event]) -> MetricSet {
+    let mut roots: HashMap<u64, bool> = HashMap::new();
+    for e in events {
+        if let Event::Open { id, parent, .. } = e {
+            roots.insert(*id, parent.is_none());
+        }
+    }
+    let mut out = MetricSet::new();
+    for e in events {
+        if let Event::Close { id, metrics, .. } = e {
+            if roots.get(id).copied().unwrap_or(false) {
+                for &(c, v) in metrics {
+                    out.add(c, v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Group an event stream by its root spans, in stream order: one
+/// `(label, counters)` entry per parent-less span, labelled
+/// `name · attr`. A multi-domain run produces one entry per domain.
+pub fn aggregate_by_root(events: &[Event]) -> Vec<(String, MetricSet)> {
+    let mut order: Vec<u64> = Vec::new();
+    let mut labels: HashMap<u64, String> = HashMap::new();
+    for e in events {
+        if let Event::Open {
+            id,
+            parent: None,
+            name,
+            attr,
+            ..
+        } = e
+        {
+            order.push(*id);
+            let label = match attr {
+                Some(a) => format!("{name} · {a}"),
+                None => name.clone(),
+            };
+            labels.insert(*id, label);
+        }
+    }
+    let mut sums: HashMap<u64, MetricSet> = HashMap::new();
+    for e in events {
+        if let Event::Close { id, metrics, .. } = e {
+            if labels.contains_key(id) {
+                let m = sums.entry(*id).or_default();
+                for &(c, v) in metrics {
+                    m.add(c, v);
+                }
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|id| {
+            (
+                labels.remove(&id).unwrap_or_default(),
+                sums.remove(&id).unwrap_or_default(),
+            )
+        })
+        .collect()
+}
+
+/// Render one labelled funnel as aligned text.
+pub fn render_funnel(label: &str, m: &MetricSet) -> String {
+    let f = funnel(m);
+    let mut out = String::new();
+    out.push_str(&format!("acquisition funnel — {label}\n"));
+    out.push_str(&format!(
+        "  attrs in      {:>8}   ({} instance-less, {} pre-defined)\n",
+        f.attrs_total, f.no_instance, f.predefined
+    ));
+    out.push_str(&format!(
+        "  candidates    {:>8}   (extraction queries {})\n",
+        f.candidates,
+        m.get(Counter::ExtractQueries)
+    ));
+    out.push_str(&format!(
+        "  verified      {:>8}   (outliers removed {}, validation rejected {})\n",
+        f.verified,
+        m.get(Counter::OutliersRemoved),
+        m.get(Counter::ValidationRejected)
+    ));
+    out.push_str(&format!(
+        "  borrowed      {:>8}   (case-1 domains {}, bayes values {}; rejected {} + {})\n",
+        f.borrowed,
+        m.get(Counter::BorrowAccepted),
+        m.get(Counter::BayesAccepted),
+        m.get(Counter::BorrowRejected),
+        m.get(Counter::BayesRejected)
+    ));
+    out.push_str(&format!(
+        "  probed        {:>8}   (matched {}, empty {}, rejected {}, server errors {})\n",
+        f.probed,
+        m.get(Counter::ProbeMatched),
+        m.get(Counter::ProbeEmpty),
+        m.get(Counter::ProbeRejected),
+        m.get(Counter::ProbeServerError)
+    ));
+    out.push_str(&format!(
+        "  matched       {:>8}   (cluster merges)\n",
+        f.matched
+    ));
+    out.push_str(&format!(
+        "  success: surface {}/{}, surface+deep {}/{}, attr-surface enriched {}\n",
+        f.surface_success,
+        f.no_instance,
+        f.surface_deep_success,
+        f.no_instance,
+        f.attr_surface_enriched
+    ));
+    out.push_str(&format!(
+        "  cost: engine queries {} (surface {}, attr-surface {}), probes {}\n",
+        f.surface_queries + f.attr_surface_queries,
+        f.surface_queries,
+        f.attr_surface_queries,
+        f.attr_deep_probes
+    ));
+    out
+}
+
+/// Render a full run summary: funnel, gauges, and histograms.
+pub fn render(totals: &Totals) -> String {
+    let mut out = render_funnel("run totals", &totals.counters);
+    let gauges: Vec<String> = Gauge::ALL
+        .iter()
+        .filter(|&&g| totals.gauges.get(g) > 0)
+        .map(|&g| format!("{} {}", g.name(), totals.gauges.get(g)))
+        .collect();
+    if !gauges.is_empty() {
+        out.push_str(&format!("  gauges: {}\n", gauges.join(", ")));
+    }
+    for &h in &HistKey::ALL {
+        if totals.hists.count(h) == 0 {
+            continue;
+        }
+        out.push_str(&format!("  {} (n={}):", h.name(), totals.hists.count(h)));
+        for (b, label) in BUCKET_LABELS.iter().enumerate() {
+            let n = totals.hists.bucket(h, b);
+            if n > 0 {
+                out.push_str(&format!(" [{label}]={n}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistSet;
+
+    fn counters(entries: &[(Counter, u64)]) -> MetricSet {
+        let mut m = MetricSet::new();
+        for &(c, v) in entries {
+            m.add(c, v);
+        }
+        m
+    }
+
+    #[test]
+    fn funnel_maps_counters_to_stages() {
+        let m = counters(&[
+            (Counter::AttrsTotal, 10),
+            (Counter::AttrsNoInstance, 6),
+            (Counter::AttrsPredefined, 4),
+            (Counter::CandidatesExtracted, 120),
+            (Counter::ValidationAccepted, 50),
+            (Counter::BorrowAccepted, 3),
+            (Counter::BayesAccepted, 14),
+            (Counter::ProbesIssued, 40),
+            (Counter::ClusterMerges, 9),
+        ]);
+        let f = funnel(&m);
+        assert_eq!(f.attrs_total, 10);
+        assert_eq!(f.candidates, 120);
+        assert_eq!(f.verified, 50);
+        assert_eq!(f.borrowed, 17);
+        assert_eq!(f.probed, 40);
+        assert_eq!(f.matched, 9);
+    }
+
+    #[test]
+    fn aggregate_counts_root_closes_only() {
+        let events = vec![
+            Event::Open {
+                seq: 0,
+                id: 0,
+                parent: None,
+                name: "acquire".into(),
+                attr: Some("book".into()),
+            },
+            Event::Open {
+                seq: 1,
+                id: 1,
+                parent: Some(0),
+                name: "attribute".into(),
+                attr: None,
+            },
+            // nested close: must NOT be double-counted
+            Event::Close {
+                seq: 2,
+                id: 1,
+                metrics: vec![(Counter::ProbesIssued, 5)],
+            },
+            Event::Close {
+                seq: 3,
+                id: 0,
+                metrics: vec![(Counter::ProbesIssued, 5)],
+            },
+        ];
+        let m = aggregate(&events);
+        assert_eq!(m.get(Counter::ProbesIssued), 5);
+    }
+
+    #[test]
+    fn aggregate_by_root_groups_per_domain() {
+        let mk = |seq, id, attr: &str| Event::Open {
+            seq,
+            id,
+            parent: None,
+            name: "acquire".into(),
+            attr: Some(attr.into()),
+        };
+        let close = |seq, id, v| Event::Close {
+            seq,
+            id,
+            metrics: vec![(Counter::AttrsTotal, v)],
+        };
+        let events = vec![
+            mk(0, 0, "book"),
+            close(1, 0, 3),
+            mk(2, 1, "auto"),
+            close(3, 1, 7),
+        ];
+        let groups = aggregate_by_root(&events);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, "acquire · book");
+        assert_eq!(groups[0].1.get(Counter::AttrsTotal), 3);
+        assert_eq!(groups[1].0, "acquire · auto");
+        assert_eq!(groups[1].1.get(Counter::AttrsTotal), 7);
+    }
+
+    #[test]
+    fn render_includes_all_stages() {
+        let mut totals = Totals::default();
+        totals.counters.add(Counter::AttrsTotal, 5);
+        totals.gauges.set(crate::metrics::Gauge::Interfaces, 20);
+        let mut h = HistSet::new();
+        h.observe(HistKey::CandidatesPerAttr, 12);
+        totals.hists.merge(&h);
+        let text = render(&totals);
+        for needle in [
+            "attrs in",
+            "candidates",
+            "verified",
+            "borrowed",
+            "probed",
+            "matched",
+            "gauges: interfaces 20",
+            "candidates_per_attr (n=1)",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The sanctioned wall-clock module.
+//!
+//! Everything else in `webiq-trace` — and in the `// lint:deterministic`
+//! pipeline modules that use it — runs on the logical clock, so traces
+//! are byte-identical across runs. Real durations are still wanted in
+//! two places: the report-only `secs` fields of `ComponentCost` and the
+//! benches. Both go through [`Stopwatch`], and `webiq-lint` confines
+//! `Instant`/`SystemTime` to this file (the `wall-clock` and
+//! `trace-hygiene` rules), so a wall-clock reading can never leak into
+//! the deterministic event stream by accident.
+
+use std::time::Instant;
+
+/// Measures elapsed wall-clock time. Report-only: never feed this into
+/// trace events or anything compared across runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start measuring now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic_nonnegative() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_secs();
+        let b = sw.elapsed_secs();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+}

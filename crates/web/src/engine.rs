@@ -15,15 +15,19 @@
 //! - search results and parsed queries sit behind bounded LRU caches
 //!   storing `Arc`s, so repeated extraction queries are served without
 //!   re-matching or re-parsing;
-//! - in addition to the global (cache-miss-based) [`EngineStats`], a
-//!   thread-local *issued-query* counter lets a worker measure exactly
-//!   the queries its own work item issued, independent of cache state or
+//! - every issued query additionally bumps the `webiq-trace`
+//!   *thread-local* counters ([`Counter::EngineSearchIssued`] /
+//!   [`Counter::EngineHitIssued`]), so a worker can measure exactly the
+//!   queries its own work item issued, independent of cache state or
 //!   scheduling — the basis of the deterministic per-component cost
-//!   accounting in `webiq-core`.
+//!   accounting in `webiq-core`. Cache hit/miss tallies, which *do*
+//!   depend on scheduling, live only in the per-engine [`EngineStats`]
+//!   and never enter the deterministic trace stream.
 
-use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use webiq_trace::{Counter, MetricSet, SharedMetrics};
 
 use crate::cache::{ShardedLru, ShardedMap};
 use crate::corpus::Corpus;
@@ -42,29 +46,27 @@ pub struct Snippet {
 
 /// Counters for engine traffic, used by the overhead analysis.
 ///
-/// Both counters count *cache misses* — actual round-trips to the engine
-/// core. Repeated queries (phrase and candidate marginals recur constantly
+/// Backed by a `webiq-trace` [`SharedMetrics`] array: miss counters count
+/// actual round-trips to the engine core; issued counters count every
+/// call. Repeated queries (phrase and candidate marginals recur constantly
 /// during classifier training) would be served from a client-side cache in
 /// any real deployment and cost no search-engine round-trip. For
-/// per-call-site accounting that is independent of cache state, use
-/// [`thread_issued_queries`].
+/// per-call-site accounting that is independent of cache state, diff the
+/// thread-local counters via [`webiq_trace::snapshot`].
 #[derive(Debug, Default)]
 pub struct EngineStats {
-    search_queries: AtomicU64,
-    hit_queries: AtomicU64,
-    search_issued: AtomicU64,
-    hit_issued: AtomicU64,
+    metrics: SharedMetrics,
 }
 
 impl EngineStats {
     /// Number of `search` calls that missed the cache.
     pub fn search_queries(&self) -> u64 {
-        self.search_queries.load(Ordering::Relaxed)
+        self.metrics.get(Counter::SearchCacheMiss)
     }
 
     /// Number of `num_hits` calls that missed the cache.
     pub fn hit_queries(&self) -> u64 {
-        self.hit_queries.load(Ordering::Relaxed)
+        self.metrics.get(Counter::HitCacheMiss)
     }
 
     /// Total cache-missing queries of both kinds.
@@ -73,18 +75,26 @@ impl EngineStats {
     }
 
     /// Number of `search` calls issued (hits and misses alike).
+    #[deprecated(
+        since = "0.1.0",
+        note = "read Counter::EngineSearchIssued from EngineStats::metrics instead"
+    )]
     pub fn search_issued(&self) -> u64 {
-        self.search_issued.load(Ordering::Relaxed)
+        self.metrics.get(Counter::EngineSearchIssued)
     }
 
     /// Number of `num_hits` calls issued (hits and misses alike).
+    #[deprecated(
+        since = "0.1.0",
+        note = "read Counter::EngineHitIssued from EngineStats::metrics instead"
+    )]
     pub fn hit_issued(&self) -> u64 {
-        self.hit_issued.load(Ordering::Relaxed)
+        self.metrics.get(Counter::EngineHitIssued)
     }
 
     /// Total issued queries of both kinds.
     pub fn total_issued(&self) -> u64 {
-        self.search_issued() + self.hit_issued()
+        self.metrics.get(Counter::EngineSearchIssued) + self.metrics.get(Counter::EngineHitIssued)
     }
 
     /// Fraction of issued queries served from cache, in `[0, 1]`.
@@ -96,17 +106,20 @@ impl EngineStats {
         1.0 - self.total() as f64 / issued as f64
     }
 
+    /// A point-in-time copy of every engine counter (issued, cache hit,
+    /// and cache miss), for run summaries.
+    pub fn metrics(&self) -> MetricSet {
+        self.metrics.snapshot()
+    }
+
     /// Reset all counters to zero.
     pub fn reset(&self) {
-        self.search_queries.store(0, Ordering::Relaxed);
-        self.hit_queries.store(0, Ordering::Relaxed);
-        self.search_issued.store(0, Ordering::Relaxed);
-        self.hit_issued.store(0, Ordering::Relaxed);
+        self.metrics.reset();
     }
-}
 
-thread_local! {
-    static ISSUED: Cell<u64> = const { Cell::new(0) };
+    fn bump(&self, c: Counter) {
+        self.metrics.add(c, 1);
+    }
 }
 
 /// Queries issued *by the calling thread* across all engines, counting
@@ -116,12 +129,14 @@ thread_local! {
 /// thread, the delta of this counter around a component call is a
 /// deterministic measure of that component's query traffic — identical
 /// whatever the thread count, cache state, or scheduling.
+#[deprecated(
+    since = "0.1.0",
+    note = "diff webiq_trace::snapshot() around the call instead; this shim \
+            sums its EngineSearchIssued and EngineHitIssued counters"
+)]
 pub fn thread_issued_queries() -> u64 {
-    ISSUED.with(std::cell::Cell::get)
-}
-
-fn bump_thread_issued() {
-    ISSUED.with(|c| c.set(c.get() + 1));
+    let s = webiq_trace::snapshot();
+    s.get(Counter::EngineSearchIssued) + s.get(Counter::EngineHitIssued)
 }
 
 /// Bounded capacity of the search (snippet) result cache.
@@ -261,12 +276,13 @@ impl SearchEngine {
     /// query may each count a miss; the cached value itself is a pure
     /// function of the query, so results are unaffected.
     pub fn num_hits(&self, query: &str) -> u64 {
-        bump_thread_issued();
-        self.stats.hit_issued.fetch_add(1, Ordering::Relaxed);
+        webiq_trace::incr(Counter::EngineHitIssued);
+        self.stats.bump(Counter::EngineHitIssued);
         if let Some(hits) = self.hit_cache.get(query) {
+            self.stats.bump(Counter::HitCacheHit);
             return hits;
         }
-        self.stats.hit_queries.fetch_add(1, Ordering::Relaxed);
+        self.stats.bump(Counter::HitCacheMiss);
         self.simulate_round_trip();
         let q = self.parse_cached(query);
         let hits = self.matching_docs(&q).len() as u64;
@@ -279,13 +295,14 @@ impl SearchEngine {
     /// per `(query, k)` in a bounded LRU; [`EngineStats`] counts cache
     /// misses only.
     pub fn search(&self, query: &str, k: usize) -> Vec<Snippet> {
-        bump_thread_issued();
-        self.stats.search_issued.fetch_add(1, Ordering::Relaxed);
+        webiq_trace::incr(Counter::EngineSearchIssued);
+        self.stats.bump(Counter::EngineSearchIssued);
         let key = (query.to_string(), k);
         if let Some(hit) = self.search_cache.get(query, &key) {
+            self.stats.bump(Counter::SearchCacheHit);
             return hit.as_ref().clone();
         }
-        self.stats.search_queries.fetch_add(1, Ordering::Relaxed);
+        self.stats.bump(Counter::SearchCacheMiss);
         self.simulate_round_trip();
         let q = self.parse_cached(query);
         let snippets: Vec<Snippet> = self
@@ -472,6 +489,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the shim must keep its historical semantics
     fn thread_issued_counter_advances() {
         let e = engine();
         let before = thread_issued_queries();
@@ -479,6 +497,23 @@ mod tests {
         let _ = e.num_hits("boston"); // cached, still issued
         let _ = e.search("delta", 4);
         assert_eq!(thread_issued_queries() - before, 3);
+    }
+
+    #[test]
+    fn trace_counters_mirror_engine_traffic() {
+        let e = engine();
+        let before = webiq_trace::snapshot();
+        let _ = e.num_hits("seattle");
+        let _ = e.num_hits("seattle"); // cached, still issued
+        let _ = e.search("atlanta", 4);
+        let d = webiq_trace::snapshot().diff(&before);
+        assert_eq!(d.get(Counter::EngineHitIssued), 2);
+        assert_eq!(d.get(Counter::EngineSearchIssued), 1);
+        // cache hit/miss tallies are per-engine only, never thread-local
+        assert_eq!(d.get(Counter::HitCacheHit), 0);
+        assert_eq!(d.get(Counter::HitCacheMiss), 0);
+        assert_eq!(e.stats().metrics().get(Counter::HitCacheHit), 1);
+        assert_eq!(e.stats().metrics().get(Counter::HitCacheMiss), 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | [`deep`] | the Deep-Web source simulator (record stores, probing, response analysis) |
 //! | [`data`] | five-domain knowledge bases and the ICQ-profile dataset generator |
 //! | [`matcher`] | the IceQ-style interface matcher (label/domain similarity + clustering) |
+//! | [`trace`] | deterministic structured tracing, pipeline metrics, run reports |
 //! | [`core`] | **WebIQ itself**: Surface, Attr-Surface, Attr-Deep, and the §5 strategy |
 //!
 //! The [`pipeline`] module wires everything together for one domain; see
@@ -26,6 +27,7 @@ pub use webiq_html as html;
 pub use webiq_match as matcher;
 pub use webiq_nlp as nlp;
 pub use webiq_stats as stats;
+pub use webiq_trace as trace;
 pub use webiq_web as web;
 
 pub mod pipeline {
@@ -139,6 +141,29 @@ pub mod pipeline {
                 components,
                 cfg,
             )
+        }
+
+        /// Run instance acquisition with the chosen components and a
+        /// trace collector: `WebIQConfig::default()` with `tracer`
+        /// installed. The tracer sees one deterministic `acquire` scope;
+        /// read the funnel with [`webiq_trace::report::funnel`] or render
+        /// the events with the `webiq-report` binary.
+        ///
+        /// # Errors
+        ///
+        /// Propagates any [`WebIqError`] raised by the acquisition run.
+        pub fn acquire_traced(
+            &self,
+            components: Components,
+            tracer: webiq_trace::Tracer,
+        ) -> Result<Acquisition, WebIqError> {
+            let cfg = WebIQConfig {
+                tracer,
+                ..WebIQConfig::default()
+            };
+            let acq = self.acquire(components, &cfg)?;
+            cfg.tracer.flush();
+            Ok(acq)
         }
 
         /// Matcher inputs from the raw dataset (no acquisition).
