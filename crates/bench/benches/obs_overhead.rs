@@ -1,0 +1,154 @@
+//! Observability-publish overhead on the fig-6 workload: full-domain
+//! acquisition (all three WebIQ components) with and without a
+//! [`webiq::obs::LiveRegistry`] installed in `WebIQConfig.obs`.
+//!
+//! The publish path runs once per work item in the deterministic merge
+//! loop — far off the per-query hot path — so its cost should be
+//! invisible. End-to-end timing at this workload size carries a few
+//! percent of run-to-run jitter, so as in `trace_overhead` the headline
+//! "<1%" claim is pinned by an analytic bound: the per-op cost of
+//! `publish_item` (counter fold + histogram merge) is measured in a
+//! tight loop, multiplied by the number of items a real run publishes
+//! (plus one `end_epoch` and the three gauges), and expressed as a share
+//! of the measured unobserved run time. Emits `BENCH_obs_overhead.json`
+//! next to the workspace root.
+
+use std::sync::Arc;
+
+use webiq::core::{Components, WebIQConfig};
+use webiq::obs::LiveRegistry;
+use webiq::pipeline::DomainPipeline;
+use webiq::trace::{Counter, HistKey, HistSet, MetricSet};
+use webiq_bench::experiments::SEED;
+use webiq_bench::json::{obj, Json};
+use webiq_bench::timing::{fmt_time, time_once};
+
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs_overhead.json");
+const REPS: usize = 5;
+const KEYS: [&str; 5] = ["airfare", "auto", "book", "job", "realestate"];
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Median wall-clock of a full acquisition, optionally publishing into a
+/// live registry.
+fn run_mode(key: &'static str, observed: bool) -> f64 {
+    let mut times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        // fresh pipeline per rep: cold engine caches, so both modes pay
+        // the identical workload
+        let p = DomainPipeline::build(key, SEED).expect("domain");
+        let cfg = WebIQConfig {
+            obs: observed.then(|| Arc::new(LiveRegistry::new())),
+            threads: Some(1),
+            ..WebIQConfig::default()
+        };
+        let (_, secs) = time_once(|| p.acquire(Components::ALL, &cfg).expect("acquisition"));
+        times.push(secs);
+    }
+    median(times)
+}
+
+const OP_REPS: u64 = 200_000;
+
+/// Per-op cost (ns) of `publish_item` with a representative payload: a
+/// handful of nonzero counters plus one histogram observation, like a
+/// real per-attribute delta.
+fn publish_ns() -> f64 {
+    let reg = LiveRegistry::new();
+    let mut m = MetricSet::new();
+    m.add(Counter::AttrsTotal, 1);
+    m.add(Counter::ExtractQueries, 12);
+    m.add(Counter::CandidatesExtracted, 30);
+    m.add(Counter::ValidationAccepted, 9);
+    m.add(Counter::ProbesIssued, 6);
+    let mut h = HistSet::new();
+    h.observe(HistKey::CandidatesPerAttr, 30);
+    h.observe(HistKey::ProbesPerAttr, 6);
+    let (_, secs) = time_once(|| {
+        for _ in 0..OP_REPS {
+            reg.publish_item(&m, &h);
+        }
+        reg.items()
+    });
+    secs * 1e9 / OP_REPS as f64
+}
+
+/// Items one acquisition publishes (= attributes in the dataset).
+fn items_per_run(key: &'static str) -> u64 {
+    let p = DomainPipeline::build(key, SEED).expect("domain");
+    let reg = Arc::new(LiveRegistry::new());
+    let cfg = WebIQConfig {
+        obs: Some(Arc::clone(&reg)),
+        threads: Some(1),
+        ..WebIQConfig::default()
+    };
+    p.acquire(Components::ALL, &cfg).expect("acquisition");
+    reg.items()
+}
+
+fn main() {
+    let publish = publish_ns();
+    println!("obs_overhead: publish_item cost {publish:.1} ns/item");
+
+    let mut domain_objs = Vec::new();
+    let mut totals = [0.0f64; 2];
+    let mut bound_pct_max = 0.0f64;
+
+    for key in KEYS {
+        let off = run_mode(key, false);
+        let on = run_mode(key, true);
+        totals[0] += off;
+        totals[1] += on;
+        let rel = 100.0 * (on - off) / off;
+        let items = items_per_run(key);
+        // +4: one end_epoch and three gauge sets, each charged a full
+        // publish even though they are cheaper.
+        let bound_pct = 100.0 * ((items + 4) as f64 * publish) / (off * 1e9);
+        bound_pct_max = bound_pct_max.max(bound_pct);
+        println!(
+            "obs_overhead/{key:<11} off {:>10}   on {:>10} ({rel:>+6.2}%)   {items} publishes -> bound {bound_pct:.4}%",
+            fmt_time(off),
+            fmt_time(on),
+        );
+        domain_objs.push(obj([
+            ("key", key.into()),
+            ("unobserved_secs", off.into()),
+            ("observed_secs", on.into()),
+            ("observed_overhead_pct", rel.into()),
+            ("items_published", items.into()),
+            ("publish_bound_pct", bound_pct.into()),
+        ]));
+    }
+
+    let rel_total = 100.0 * (totals[1] - totals[0]) / totals[0];
+    let report = obj([
+        ("seed", SEED.into()),
+        ("reps", REPS.into()),
+        (
+            "workload",
+            "full acquisition, all components, five domains".into(),
+        ),
+        ("publish_ns", publish.into()),
+        ("domains", Json::Arr(domain_objs)),
+        (
+            "summary",
+            obj([
+                ("unobserved_secs", totals[0].into()),
+                ("observed_secs", totals[1].into()),
+                ("observed_overhead_pct", rel_total.into()),
+                ("publish_bound_pct_max", bound_pct_max.into()),
+                ("publish_overhead_under_1pct", (bound_pct_max < 1.0).into()),
+            ]),
+        ),
+    ]);
+    std::fs::write(OUT_PATH, report.pretty() + "\n").expect("write BENCH_obs_overhead.json");
+    println!(
+        "total: off {} | on {} ({rel_total:+.2}%)\n\
+         publish-path bound: {bound_pct_max:.4}% worst domain (<1% target); wrote {OUT_PATH}",
+        fmt_time(totals[0]),
+        fmt_time(totals[1]),
+    );
+}

@@ -7,12 +7,26 @@
 //! cargo run --release -p webiq-bench --bin experiments fig6 fig7
 //! cargo run --release -p webiq-bench --bin experiments -- --seed 7 fig6
 //! ```
+//!
+//! The `monitor` subcommand runs one fully-observed acquisition (JSONL
+//! trace + live `/metrics` endpoint + summary) and writes the artifacts
+//! the trace-regression CI gate compares against:
+//!
+//! ```sh
+//! cargo run --release -p webiq-bench --bin experiments -- monitor \
+//!     --out trace.jsonl --summary-out summary.json
+//! ```
 #![forbid(unsafe_code)]
 
 use webiq_bench::json::{rows, Json};
-use webiq_bench::{experiments, render};
+use webiq_bench::{experiments, monitor, render};
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("monitor") {
+        run_monitor(&argv[1..]);
+        return;
+    }
     let mut seed = experiments::SEED;
     let mut json = false;
     let mut wanted: Vec<String> = Vec::new();
@@ -101,4 +115,74 @@ fn main() {
     if want("trace") {
         println!("{}", render::trace(&experiments::trace_summary(seed)));
     }
+}
+
+/// `experiments monitor`: one observed acquisition run; writes the
+/// artifacts the trace-regression gate consumes.
+fn run_monitor(args: &[String]) {
+    let mut seed = experiments::SEED;
+    let mut domain = "book".to_string();
+    let mut trace_out: Option<String> = None;
+    let mut summary_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut it = args.iter();
+    let usage = "usage: experiments monitor [--seed N] [--domain NAME] \
+                 [--out TRACE.jsonl] [--summary-out FILE.json] [--metrics-out FILE.txt]";
+    while let Some(arg) = it.next() {
+        let mut path_flag = |slot: &mut Option<String>| match it.next() {
+            Some(v) => *slot = Some(v.clone()),
+            None => {
+                eprintln!("{arg} needs a path argument\n{usage}");
+                std::process::exit(2);
+            }
+        };
+        match arg.as_str() {
+            "--seed" => {
+                let v = it.next().cloned().unwrap_or_default();
+                seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --seed value {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--domain" => match it.next() {
+                Some(v) => domain = v.clone(),
+                None => {
+                    eprintln!("--domain needs a name argument\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => path_flag(&mut trace_out),
+            "--summary-out" => path_flag(&mut summary_out),
+            "--metrics-out" => path_flag(&mut metrics_out),
+            "--help" | "-h" => {
+                eprintln!("{usage}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let outcome = monitor::run(&domain, seed).unwrap_or_else(|e| {
+        eprintln!("monitor: {e}");
+        std::process::exit(1);
+    });
+    let write = |path: &str, contents: &str| {
+        if let Err(e) = std::fs::write(path, contents) {
+            eprintln!("monitor: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(path) = &trace_out {
+        write(path, &outcome.trace_jsonl);
+    }
+    if let Some(path) = &summary_out {
+        write(path, &format!("{}\n", outcome.summary.pretty()));
+    }
+    if let Some(path) = &metrics_out {
+        write(path, &outcome.metrics_text);
+    }
+    println!("{}", outcome.summary.pretty());
 }

@@ -9,5 +9,6 @@
 
 pub mod experiments;
 pub mod json;
+pub mod monitor;
 pub mod render;
 pub mod timing;

@@ -1,0 +1,155 @@
+//! The `monitor` experiment: one fully-observed acquisition run.
+//!
+//! Runs a single domain's acquisition with every component enabled,
+//! wired to the whole observability stack at once:
+//!
+//! - a JSONL [`webiq::trace::Tracer`] producing the deterministic trace
+//!   (this is what `OBS_BASELINE.jsonl` is, and what CI diffs against it
+//!   with `webiq-report diff`);
+//! - a [`webiq::obs::LiveRegistry`] the pipeline publishes into, served
+//!   over HTTP by a [`webiq::obs::MetricsServer`] on an ephemeral
+//!   localhost port and scraped once after the run (`/metrics` and
+//!   `/healthz`);
+//! - a summary object (`OBS_BASELINE.json`) recording the funnel plus
+//!   the scrape's health, written via the crate's [`crate::json`] model.
+//!
+//! Everything observable here is deterministic in the seed: the trace
+//! bytes, the post-run `/metrics` body, and the summary are identical
+//! run over run and at any worker count.
+
+use std::sync::Arc;
+
+use webiq::core::{Components, WebIQConfig};
+use webiq::obs::server::http_get;
+use webiq::obs::{LiveRegistry, MetricsServer};
+use webiq::pipeline::DomainPipeline;
+use webiq::trace::report::{aggregate_run, funnel};
+use webiq::trace::{Event, SharedBuf, Tracer};
+
+use crate::json::{obj, Json};
+
+/// Everything one monitored run produced.
+#[derive(Debug)]
+pub struct MonitorOutcome {
+    /// The deterministic JSONL trace.
+    pub trace_jsonl: String,
+    /// The post-run `/metrics` body (scraped over HTTP when the
+    /// listener could bind, rendered directly otherwise).
+    pub metrics_text: String,
+    /// Whether the HTTP endpoint actually served the scrape (false when
+    /// the sandbox forbids binding localhost).
+    pub served_over_http: bool,
+    /// The `/healthz` body when served over HTTP.
+    pub healthz: String,
+    /// The run summary (what `OBS_BASELINE.json` holds).
+    pub summary: Json,
+}
+
+/// Run one monitored acquisition of `domain` at `seed`.
+///
+/// # Errors
+///
+/// Returns the pipeline's error string when the domain is unknown or
+/// acquisition fails.
+pub fn run(domain: &str, seed: u64) -> Result<MonitorOutcome, String> {
+    let p = DomainPipeline::build(domain, seed).map_err(|e| e.to_string())?;
+
+    let registry = Arc::new(LiveRegistry::new());
+    let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&registry)).ok();
+
+    let buf = SharedBuf::new();
+    let tracer = Tracer::jsonl(Box::new(buf.clone()));
+    let cfg = WebIQConfig {
+        tracer: tracer.clone(),
+        obs: Some(Arc::clone(&registry)),
+        ..WebIQConfig::default()
+    };
+    p.acquire(Components::ALL, &cfg)
+        .map_err(|e| e.to_string())?;
+    tracer.flush();
+    let trace_jsonl = buf.contents_string();
+
+    // Scrape the live endpoint; fall back to a direct render when the
+    // environment refused the bind (the bodies are identical either way
+    // — the server serves exactly `registry.render()`).
+    let (metrics_text, healthz, served_over_http) = match &server {
+        Some(s) => {
+            let m = http_get(s.local_addr(), "/metrics").map(|(_, body)| body);
+            let h = http_get(s.local_addr(), "/healthz").map(|(_, body)| body);
+            match (m, h) {
+                (Ok(m), Ok(h)) => (m, h, true),
+                _ => (registry.render(), String::new(), false),
+            }
+        }
+        None => (registry.render(), String::new(), false),
+    };
+    if let Some(s) = server {
+        s.shutdown();
+    }
+
+    let snap = registry.snapshot();
+    let events: Vec<Event> = trace_jsonl.lines().filter_map(Event::parse).collect();
+    let totals = aggregate_run(&events);
+    let f = funnel(&totals.counters);
+
+    // The registry is fed from the same deterministic merge loop the
+    // tracer is, so the scrape must agree with the trace.
+    let consistent = snap.counters == totals.counters;
+
+    let summary = obj([
+        ("domain", Json::from(domain)),
+        ("seed", Json::from(seed)),
+        ("items", Json::from(snap.items)),
+        ("epochs", Json::from(snap.epochs)),
+        ("trace_events", Json::from(events.len())),
+        ("metrics_consistent_with_trace", Json::from(consistent)),
+        ("served_over_http", Json::from(served_over_http)),
+        (
+            "funnel",
+            obj([
+                ("attrs_total", Json::from(f.attrs_total)),
+                ("no_instance", Json::from(f.no_instance)),
+                ("candidates", Json::from(f.candidates)),
+                ("verified", Json::from(f.verified)),
+                ("borrowed", Json::from(f.borrowed)),
+                ("probed", Json::from(f.probed)),
+                ("surface_success", Json::from(f.surface_success)),
+            ]),
+        ),
+    ]);
+
+    Ok(MonitorOutcome {
+        trace_jsonl,
+        metrics_text,
+        served_over_http,
+        healthz,
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitor_run_is_deterministic_and_consistent() {
+        let a = run("book", 0x1ce0).expect("monitor run");
+        let b = run("book", 0x1ce0).expect("monitor run");
+        assert_eq!(a.trace_jsonl, b.trace_jsonl);
+        assert_eq!(a.metrics_text, b.metrics_text);
+        assert_eq!(a.summary, b.summary);
+        assert!(!a.trace_jsonl.is_empty());
+        assert!(a.metrics_text.contains("webiq_attrs_total_total"));
+        if a.served_over_http {
+            assert_eq!(a.healthz, "ok\n");
+        }
+        match &a.summary {
+            Json::Obj(pairs) => {
+                let get = |k: &str| pairs.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+                assert_eq!(get("metrics_consistent_with_trace"), Some(Json::Bool(true)));
+                assert_eq!(get("epochs"), Some(Json::Int(1)));
+            }
+            other => panic!("summary is not an object: {other:?}"),
+        }
+    }
+}

@@ -516,6 +516,11 @@ pub fn acquire(
     cfg.tracer.gauge(Gauge::Attributes, items.len() as u64);
     cfg.tracer
         .gauge(Gauge::CorpusDocs, engine.doc_count() as u64);
+    if let Some(obs) = &cfg.obs {
+        obs.gauge(Gauge::Interfaces, ds.interfaces.len() as u64);
+        obs.gauge(Gauge::Attributes, items.len() as u64);
+        obs.gauge(Gauge::CorpusDocs, engine.doc_count() as u64);
+    }
     let scope = cfg.tracer.scope("acquire", &ds.domain);
     let workers = cfg.resolved_threads().min(items.len().max(1));
     type Item = (ItemOutcome, ItemBuf);
@@ -568,6 +573,12 @@ pub fn acquire(
     let (mut surface_secs, mut attr_surface_secs, mut attr_deep_secs) = (0.0, 0.0, 0.0);
     for (&(r1, _), (outcome, buf)) in items.iter().zip(outcomes) {
         total.merge(buf.totals());
+        // Publish the same deterministic per-item deltas the tracer
+        // receives, so a post-run /metrics scrape matches the trace at
+        // any worker count.
+        if let Some(obs) = &cfg.obs {
+            obs.publish_item(buf.totals(), buf.hists());
+        }
         cfg.tracer.submit(buf);
         match outcome {
             ItemOutcome::NoInst {
@@ -594,6 +605,9 @@ pub fn acquire(
     acq.report.surface_cost.secs = surface_secs;
     acq.report.attr_surface_cost.secs = attr_surface_secs;
     acq.report.attr_deep_cost.secs = attr_deep_secs;
+    if let Some(obs) = &cfg.obs {
+        obs.end_epoch();
+    }
     drop(scope);
     Ok(acq)
 }

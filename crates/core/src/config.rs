@@ -1,5 +1,8 @@
 //! Configuration for the WebIQ pipeline.
 
+use std::sync::Arc;
+
+use webiq_obs::LiveRegistry;
 use webiq_stats::DiscordancyTest;
 use webiq_trace::Tracer;
 
@@ -59,6 +62,11 @@ pub struct WebIQConfig {
     /// With an enabled tracer, acquisition emits one deterministic span
     /// stream per run (byte-identical across worker counts).
     pub tracer: Tracer,
+    /// Live metrics registry for `/metrics` exposition. `None` (the
+    /// default) publishes nothing. Like the tracer, the registry is fed
+    /// from the deterministic merge loop only, so a post-run scrape is
+    /// byte-identical at any worker count.
+    pub obs: Option<Arc<LiveRegistry>>,
 }
 
 impl WebIQConfig {
@@ -98,6 +106,7 @@ impl Default for WebIQConfig {
             info_gain_thresholds: true,
             threads: None,
             tracer: Tracer::disabled(),
+            obs: None,
         }
     }
 }

@@ -10,6 +10,7 @@
 use std::fmt;
 
 use webiq_deep::DeepError;
+use webiq_obs::ObsError;
 use webiq_web::WebError;
 
 /// Any failure the WebIQ pipeline can report instead of panicking.
@@ -38,6 +39,9 @@ pub enum WebIqError {
         /// Which stage's pool lost the worker.
         stage: &'static str,
     },
+    /// The observability layer failed (trace parsing, threshold config,
+    /// or the metrics endpoint).
+    Obs(ObsError),
 }
 
 impl fmt::Display for WebIqError {
@@ -60,6 +64,7 @@ impl fmt::Display for WebIqError {
             WebIqError::WorkerFailed { stage } => {
                 write!(f, "a parallel {stage} worker terminated abnormally")
             }
+            WebIqError::Obs(e) => write!(f, "observability: {e}"),
         }
     }
 }
@@ -69,6 +74,7 @@ impl std::error::Error for WebIqError {
         match self {
             WebIqError::Web(e) => Some(e),
             WebIqError::Deep(e) => Some(e),
+            WebIqError::Obs(e) => Some(e),
             _ => None,
         }
     }
@@ -83,6 +89,12 @@ impl From<WebError> for WebIqError {
 impl From<DeepError> for WebIqError {
     fn from(e: DeepError) -> Self {
         WebIqError::Deep(e)
+    }
+}
+
+impl From<ObsError> for WebIqError {
+    fn from(e: ObsError) -> Self {
+        WebIqError::Obs(e)
     }
 }
 
@@ -127,5 +139,16 @@ mod tests {
             e.to_string(),
             "deep web: the source answered with a server error"
         );
+
+        let e: WebIqError = ObsError::MalformedTrace {
+            path: "run.jsonl".into(),
+            line: 3,
+        }
+        .into();
+        assert_eq!(
+            e.to_string(),
+            "observability: run.jsonl:3: not a valid trace event"
+        );
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

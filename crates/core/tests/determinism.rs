@@ -4,9 +4,12 @@
 //! for any worker count. Only the wall-clock `secs` fields are allowed
 //! to differ — they are zeroed before comparison here.
 
+use std::sync::Arc;
+
 use webiq_core::{acquire, Acquisition, Components, WebIQConfig};
 use webiq_data::records::{build_deep_source, RecordOptions};
 use webiq_data::{corpus, generate_domain, kb, GenOptions};
+use webiq_obs::LiveRegistry;
 use webiq_trace::{SharedBuf, Tracer};
 use webiq_web::{gen, GenConfig, SearchEngine};
 
@@ -14,6 +17,17 @@ use webiq_web::{gen, GenConfig, SearchEngine};
 /// worker count and tracer, on freshly built (deterministic) engine and
 /// sources.
 fn run_with(domain_idx: usize, threads: usize, tracer: Tracer) -> Acquisition {
+    run_cfg(
+        domain_idx,
+        WebIQConfig {
+            threads: Some(threads),
+            tracer,
+            ..WebIQConfig::default()
+        },
+    )
+}
+
+fn run_cfg(domain_idx: usize, cfg: WebIQConfig) -> Acquisition {
     let def = kb::all_domains()[domain_idx];
     let ds = generate_domain(def, &GenOptions::default());
     let engine = SearchEngine::new(gen::generate(
@@ -26,11 +40,6 @@ fn run_with(domain_idx: usize, threads: usize, tracer: Tracer) -> Acquisition {
         .iter()
         .map(|i| build_deep_source(def, i, &RecordOptions::default()))
         .collect();
-    let cfg = WebIQConfig {
-        threads: Some(threads),
-        tracer,
-        ..WebIQConfig::default()
-    };
     acquire::acquire(&ds, def, &engine, &sources, Components::ALL, &cfg).expect("acquisition")
 }
 
@@ -96,6 +105,38 @@ fn trace_stream_rerun_is_byte_identical() {
     let (_, first) = run_traced(1, 2);
     let (_, second) = run_traced(1, 2);
     assert_eq!(first, second, "trace streams differ across reruns");
+}
+
+/// Acquisition with a live metrics registry installed; returns its
+/// Prometheus rendering after the run.
+fn run_observed(domain_idx: usize, threads: usize) -> String {
+    let reg = Arc::new(LiveRegistry::new());
+    run_cfg(
+        domain_idx,
+        WebIQConfig {
+            threads: Some(threads),
+            obs: Some(Arc::clone(&reg)),
+            ..WebIQConfig::default()
+        },
+    );
+    reg.render()
+}
+
+#[test]
+fn metrics_exposition_is_byte_identical_across_worker_counts() {
+    // The registry is fed from the deterministic merge loop, not from
+    // worker-local state, so a post-run `/metrics` scrape is the same
+    // byte stream at any thread count — and across reruns.
+    let seq = run_observed(0, 1);
+    assert!(
+        seq.contains("webiq_attrs_total_total"),
+        "rendering is missing counters:\n{seq}"
+    );
+    for threads in [2, 4] {
+        let par = run_observed(0, threads);
+        assert_eq!(seq, par, "/metrics differs at {threads} threads");
+    }
+    assert_eq!(seq, run_observed(0, 1), "/metrics differs across reruns");
 }
 
 #[test]

@@ -107,8 +107,8 @@ impl Default for Scope {
             // itself to its own standard). `rng` (test harness) and
             // `bench` are exempt.
             panic_crates: v(&[
-                "core", "data", "deep", "html", "lint", "matcher", "nlp", "stats", "trace", "web",
-                "webiq",
+                "core", "data", "deep", "html", "lint", "matcher", "nlp", "obs", "stats", "trace",
+                "web", "webiq",
             ]),
             wallclock_exempt_crates: v(&["bench"]),
             wallclock_exempt_files: v(&["timing.rs"]),

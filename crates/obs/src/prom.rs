@@ -1,0 +1,146 @@
+//! Prometheus text exposition rendering.
+//!
+//! [`render`] turns a [`RegistrySnapshot`] into the Prometheus text
+//! format (version 0.0.4): one `# TYPE` header per family, counters
+//! suffixed `_total`, histograms as cumulative `_bucket{le="…"}` series
+//! derived from the trace layer's power-of-two buckets, and quantile
+//! gauges computed by [`webiq_trace::HistSet::quantile`]. Every family
+//! is emitted in a fixed order and zero-valued series are not skipped,
+//! so two snapshots with equal contents render byte-identically — the
+//! property the `/metrics` determinism test pins.
+
+use std::fmt::Write as _;
+
+use webiq_trace::metrics::{bucket_bounds, NUM_BUCKETS};
+use webiq_trace::{Counter, Gauge, HistKey};
+
+use crate::live::RegistrySnapshot;
+
+/// Metric-name prefix for every exported family.
+const PREFIX: &str = "webiq";
+
+/// Quantiles exported per histogram.
+const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")];
+
+/// Render a snapshot in Prometheus text exposition format.
+pub fn render(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+
+    // Pipeline counters, cumulative since process start.
+    for c in Counter::ALL {
+        let name = c.name();
+        let _ = writeln!(out, "# TYPE {PREFIX}_{name}_total counter");
+        let _ = writeln!(out, "{PREFIX}_{name}_total {}", snap.counters.get(c));
+    }
+
+    // Dataset-shape gauges.
+    for g in Gauge::ALL {
+        let name = g.name();
+        let _ = writeln!(out, "# TYPE {PREFIX}_{name} gauge");
+        let _ = writeln!(out, "{PREFIX}_{name} {}", snap.gauges.get(g));
+    }
+
+    // Progress meta-counters.
+    let _ = writeln!(out, "# TYPE {PREFIX}_items_total counter");
+    let _ = writeln!(out, "{PREFIX}_items_total {}", snap.items);
+    let _ = writeln!(out, "# TYPE {PREFIX}_epochs_total counter");
+    let _ = writeln!(out, "{PREFIX}_epochs_total {}", snap.epochs);
+
+    // Sliding-window deltas (counters accumulated across the last N
+    // epochs) — gauges, since they can fall as the window slides.
+    let _ = writeln!(out, "# TYPE {PREFIX}_window_epochs gauge");
+    let _ = writeln!(out, "{PREFIX}_window_epochs {}", snap.window_epochs);
+    for c in Counter::ALL {
+        let name = c.name();
+        let _ = writeln!(out, "# TYPE {PREFIX}_window_{name} gauge");
+        let _ = writeln!(out, "{PREFIX}_window_{name} {}", snap.window_delta.get(c));
+    }
+
+    // Histograms: cumulative le-buckets from the power-of-two layout,
+    // plus nearest-rank quantile gauges (skipped while empty — there is
+    // no meaningful quantile of nothing).
+    for h in HistKey::ALL {
+        let name = h.name();
+        let _ = writeln!(out, "# TYPE {PREFIX}_{name} histogram");
+        let mut cum = 0u64;
+        for b in 0..NUM_BUCKETS {
+            cum = cum.saturating_add(snap.hists.bucket(h, b));
+            let le = match bucket_bounds(b).1 {
+                Some(hi) => hi.to_string(),
+                None => "+Inf".to_string(),
+            };
+            let _ = writeln!(out, "{PREFIX}_{name}_bucket{{le=\"{le}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{PREFIX}_{name}_count {}", snap.hists.count(h));
+        if snap.hists.count(h) > 0 {
+            for (p, label) in QUANTILES {
+                if let Some(q) = snap.hists.quantile(h, p) {
+                    let _ = writeln!(out, "{PREFIX}_{name}_quantile{{q=\"{label}\"}} {q}");
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webiq_trace::{GaugeSet, HistSet, MetricSet};
+
+    fn snap() -> RegistrySnapshot {
+        let mut counters = MetricSet::new();
+        counters.add(Counter::ProbesIssued, 12);
+        let mut gauges = GaugeSet::new();
+        gauges.set(Gauge::Interfaces, 3);
+        let mut hists = HistSet::new();
+        for v in 1..=10 {
+            hists.observe(HistKey::ProbesPerAttr, v);
+        }
+        RegistrySnapshot {
+            counters,
+            gauges,
+            hists,
+            window_delta: MetricSet::new(),
+            window_epochs: 0,
+            epochs: 1,
+            items: 4,
+        }
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_meta() {
+        let text = render(&snap());
+        assert!(text.contains("# TYPE webiq_probes_issued_total counter\n"));
+        assert!(text.contains("webiq_probes_issued_total 12\n"));
+        // Zero-valued families are present, not skipped.
+        assert!(text.contains("webiq_cluster_merges_total 0\n"));
+        assert!(text.contains("webiq_interfaces 3\n"));
+        assert!(text.contains("webiq_items_total 4\n"));
+        assert!(text.contains("webiq_epochs_total 1\n"));
+    }
+
+    #[test]
+    fn renders_cumulative_buckets_and_quantiles() {
+        let text = render(&snap());
+        // Values 1..=10 land in buckets 1..=4; le-series are cumulative.
+        assert!(text.contains("webiq_probes_per_attr_bucket{le=\"0\"} 0\n"));
+        assert!(text.contains("webiq_probes_per_attr_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("webiq_probes_per_attr_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("webiq_probes_per_attr_bucket{le=\"7\"} 7\n"));
+        assert!(text.contains("webiq_probes_per_attr_bucket{le=\"15\"} 10\n"));
+        assert!(text.contains("webiq_probes_per_attr_bucket{le=\"+Inf\"} 10\n"));
+        assert!(text.contains("webiq_probes_per_attr_count 10\n"));
+        assert!(text.contains("webiq_probes_per_attr_quantile{q=\"0.5\"} 7\n"));
+        assert!(text.contains("webiq_probes_per_attr_quantile{q=\"0.99\"} 15\n"));
+        // The empty histogram exports buckets but no quantiles.
+        assert!(text.contains("webiq_candidates_per_attr_count 0\n"));
+        assert!(!text.contains("webiq_candidates_per_attr_quantile"));
+    }
+
+    #[test]
+    fn equal_snapshots_render_identically() {
+        assert_eq!(render(&snap()), render(&snap()));
+    }
+}

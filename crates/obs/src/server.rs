@@ -1,0 +1,255 @@
+//! The `/metrics` HTTP endpoint.
+//!
+//! [`MetricsServer`] is a deliberately tiny HTTP/1.1 server on a plain
+//! [`std::net::TcpListener`] — the workspace is dependency-free, and
+//! serving two fixed read-only paths does not need more. One background
+//! thread accepts connections serially:
+//!
+//! - `GET /metrics` → the owning [`LiveRegistry`] rendered in
+//!   Prometheus text format ([`crate::prom::render`]);
+//! - `GET /healthz` → `ok` (liveness probe);
+//! - anything else → `404`.
+//!
+//! Shutdown is cooperative: [`MetricsServer::shutdown`] (also run on
+//! drop) raises a stop flag and then connects to the listener itself so
+//! the blocking `accept` wakes up and observes the flag. [`http_get`] is
+//! the matching one-shot client used by tests and the bench monitor.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::error::ObsError;
+use crate::live::LiveRegistry;
+
+/// Per-connection socket timeout: a stalled scraper must not wedge the
+/// serve loop.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Serves a [`LiveRegistry`] over HTTP until shut down or dropped.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving `registry` on a background thread.
+    pub fn start(addr: &str, registry: Arc<LiveRegistry>) -> Result<MetricsServer, ObsError> {
+        let bind_err = |detail: std::io::Error| ObsError::Bind {
+            addr: addr.to_string(),
+            detail: detail.to_string(),
+        };
+        let listener = TcpListener::bind(addr).map_err(bind_err)?;
+        let local = listener.local_addr().map_err(bind_err)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let serve_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("webiq-metrics".into())
+            .spawn(move || serve(&listener, &registry, &serve_stop))
+            .map_err(bind_err)?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the serve loop and join its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept; the loop re-checks the flag before
+        // serving.
+        if let Ok(s) = TcpStream::connect(self.addr) {
+            drop(s);
+        }
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Accept-and-respond loop; one connection at a time.
+fn serve(listener: &TcpListener, registry: &LiveRegistry, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            continue;
+        };
+        handle_conn(stream, registry);
+    }
+}
+
+/// Read one request line, write one response, close.
+fn handle_conn(mut stream: TcpStream, registry: &LiveRegistry) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let Some(path) = read_request_path(&mut stream) else {
+        let _ = write_response(
+            &mut stream,
+            400,
+            "text/plain; charset=utf-8",
+            "bad request\n",
+        );
+        return;
+    };
+    match path.as_str() {
+        "/metrics" => {
+            let body = registry.render();
+            let _ = write_response(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/healthz" => {
+            let _ = write_response(&mut stream, 200, "text/plain; charset=utf-8", "ok\n");
+        }
+        _ => {
+            let _ = write_response(&mut stream, 404, "text/plain; charset=utf-8", "not found\n");
+        }
+    }
+}
+
+/// Parse `GET <path> …` from the request head. Returns `None` for
+/// anything that is not a well-formed GET.
+///
+/// The whole head (request line *and* headers, up to the blank line) is
+/// drained before returning: closing a socket with unread bytes in its
+/// receive buffer sends an RST, and the client would see "connection
+/// reset" instead of the response.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while head.len() < 8192 && !head.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(1) => head.push(byte[0]),
+            _ => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut parts = head.lines().next()?.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Some(path.to_string()),
+        _ => None,
+    }
+}
+
+/// Write a minimal HTTP/1.1 response.
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        _ => "Not Found",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Fetch `path` from `addr` with a one-shot HTTP/1.1 GET; returns
+/// `(status, body)`. The client half of [`MetricsServer`], used by tests
+/// and the bench monitor.
+pub fn http_get(addr: SocketAddr, path: &str) -> Result<(u16, String), ObsError> {
+    let io_err = |detail: std::io::Error| ObsError::Io {
+        path: format!("http://{addr}{path}"),
+        detail: detail.to_string(),
+    };
+    let mut stream = TcpStream::connect(addr).map_err(io_err)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT)).map_err(io_err)?;
+    stream.set_write_timeout(Some(IO_TIMEOUT)).map_err(io_err)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(io_err)?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(io_err)?;
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .unwrap_or(0);
+    let body = match raw.split_once("\r\n\r\n") {
+        Some((_, b)) => b.to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webiq_trace::{Counter, HistSet, MetricSet};
+
+    #[test]
+    fn serves_metrics_healthz_and_404() {
+        let reg = Arc::new(LiveRegistry::new());
+        let mut m = MetricSet::new();
+        m.add(Counter::ProbesIssued, 9);
+        reg.publish_item(&m, &HistSet::new());
+        let Ok(server) = MetricsServer::start("127.0.0.1:0", Arc::clone(&reg)) else {
+            return; // sandboxed environments may forbid binding
+        };
+        let addr = server.local_addr();
+
+        let (status, body) = http_get(addr, "/metrics").expect("scrape /metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("webiq_probes_issued_total 9\n"));
+        assert_eq!(body, reg.render());
+
+        let (status, body) = http_get(addr, "/healthz").expect("scrape /healthz");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+
+        let (status, _) = http_get(addr, "/nope").expect("scrape unknown path");
+        assert_eq!(status, 404);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let reg = Arc::new(LiveRegistry::new());
+        let Ok(server) = MetricsServer::start("127.0.0.1:0", reg) else {
+            return;
+        };
+        let addr = server.local_addr();
+        server.shutdown();
+        // The listener is gone: a fresh connect either fails or is never
+        // served. Binding the port again must succeed.
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+}

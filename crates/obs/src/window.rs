@@ -1,0 +1,133 @@
+//! Sliding-window metric aggregation.
+//!
+//! [`WindowedMetrics`] keeps a bounded ring of *cumulative* counter
+//! snapshots, one per pipeline epoch, and answers "what changed across
+//! the last N epochs" via [`MetricSet::diff`]. The pipeline pushes a
+//! snapshot at each epoch boundary (an epoch is one domain's
+//! acquisition); the window delta is simply `newest.diff(oldest)`, so
+//! the structure stores no per-epoch deltas and never loses counts to
+//! rounding.
+
+use std::collections::VecDeque;
+
+use webiq_trace::MetricSet;
+
+/// A ring of cumulative counter snapshots covering the last `capacity`
+/// epochs.
+///
+/// The ring holds `capacity + 1` snapshots — the extra slot is the
+/// baseline the oldest in-window epoch is diffed against. A fresh window
+/// is seeded with a zero snapshot so the first epoch's delta is its full
+/// cumulative value.
+#[derive(Debug, Clone)]
+pub struct WindowedMetrics {
+    /// Oldest at the front, newest at the back; cumulative values.
+    snaps: VecDeque<MetricSet>,
+    /// Number of epochs the window spans.
+    capacity: usize,
+    /// Epochs pushed over the window's lifetime (not bounded by
+    /// `capacity`).
+    epochs: u64,
+}
+
+impl WindowedMetrics {
+    /// A window spanning `capacity` epochs (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let mut snaps = VecDeque::with_capacity(capacity + 1);
+        snaps.push_back(MetricSet::new());
+        WindowedMetrics {
+            snaps,
+            capacity,
+            epochs: 0,
+        }
+    }
+
+    /// Record the cumulative counter state at an epoch boundary.
+    pub fn push(&mut self, cumulative: MetricSet) {
+        self.snaps.push_back(cumulative);
+        while self.snaps.len() > self.capacity + 1 {
+            self.snaps.pop_front();
+        }
+        self.epochs = self.epochs.saturating_add(1);
+    }
+
+    /// Counter deltas accumulated across the window (newest minus
+    /// oldest baseline). Zero for a freshly created window.
+    pub fn delta(&self) -> MetricSet {
+        match (self.snaps.back(), self.snaps.front()) {
+            (Some(newest), Some(oldest)) => newest.diff(oldest),
+            _ => MetricSet::new(),
+        }
+    }
+
+    /// Epochs currently covered by the window (saturates at the
+    /// configured capacity).
+    pub fn len(&self) -> usize {
+        self.snaps.len().saturating_sub(1)
+    }
+
+    /// True until the first epoch is pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Epochs pushed over the window's lifetime.
+    pub fn total_epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The window's configured span in epochs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webiq_trace::Counter;
+
+    fn cum(v: u64) -> MetricSet {
+        let mut m = MetricSet::new();
+        m.add(Counter::ProbesIssued, v);
+        m
+    }
+
+    #[test]
+    fn empty_window_has_zero_delta() {
+        let w = WindowedMetrics::new(4);
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert!(w.delta().is_zero());
+    }
+
+    #[test]
+    fn first_epoch_delta_is_full_value() {
+        let mut w = WindowedMetrics::new(4);
+        w.push(cum(10));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.delta().get(Counter::ProbesIssued), 10);
+    }
+
+    #[test]
+    fn window_evicts_old_epochs() {
+        let mut w = WindowedMetrics::new(2);
+        w.push(cum(10));
+        w.push(cum(25));
+        w.push(cum(27));
+        // Window covers the last two epochs: 27 - 10 = 17.
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.delta().get(Counter::ProbesIssued), 17);
+        assert_eq!(w.total_epochs(), 3);
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let mut w = WindowedMetrics::new(0);
+        assert_eq!(w.capacity(), 1);
+        w.push(cum(5));
+        w.push(cum(9));
+        assert_eq!(w.delta().get(Counter::ProbesIssued), 4);
+    }
+}

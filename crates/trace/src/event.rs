@@ -14,16 +14,23 @@
 //! {"ev":"open","seq":0,"id":0,"name":"acquire","attr":"book"}
 //! {"ev":"open","seq":1,"id":1,"parent":0,"name":"attribute","attr":"0/0 Title"}
 //! {"ev":"close","seq":2,"id":1,"m":{"engine_hit_issued":42,"attrs_total":1}}
-//! {"ev":"close","seq":3,"id":0,"m":{"engine_hit_issued":42,"attrs_total":1}}
+//! {"ev":"close","seq":3,"id":0,"m":{"engine_hit_issued":42,"attrs_total":1},"h":{"probes_per_attr":[0,0,0,1,0,0,0,0]}}
 //! ```
+//!
+//! Work-item root closes and scope closes additionally carry the
+//! histogram deltas observed inside them (`"h"`: bucket-count arrays per
+//! [`HistKey`]), so a trace file is sufficient to rebuild the run's
+//! latency/size distributions — the basis of `webiq-report diff`'s
+//! quantile comparison.
 //!
 //! The encoder writes keys in a fixed order and omits absent optional
 //! fields, so equality of two streams is byte equality. The parser
 //! accepts exactly this shape (it is a reader for traces this module
-//! wrote, not a general JSON parser); unknown counter names inside `"m"`
-//! are skipped so old reports can read newer traces.
+//! wrote, not a general JSON parser); unknown counter and histogram
+//! names inside `"m"`/`"h"` are skipped so old reports can read newer
+//! traces.
 
-use crate::metrics::Counter;
+use crate::metrics::{Counter, HistKey, NUM_BUCKETS};
 
 /// One trace event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +56,10 @@ pub enum Event {
         id: u64,
         /// Non-zero counter deltas observed inside the span.
         metrics: Vec<(Counter, u64)>,
+        /// Histogram deltas observed inside the span (bucket counts per
+        /// key; empty for spans that carry none — only work-item roots
+        /// and tracer scopes do).
+        hists: Vec<(HistKey, [u64; NUM_BUCKETS])>,
     },
 }
 
@@ -93,7 +104,12 @@ impl Event {
                 s.push('}');
                 s
             }
-            Event::Close { seq, id, metrics } => {
+            Event::Close {
+                seq,
+                id,
+                metrics,
+                hists,
+            } => {
                 let mut s = format!("{{\"ev\":\"close\",\"seq\":{seq},\"id\":{id},\"m\":{{");
                 for (i, (c, v)) in metrics.iter().enumerate() {
                     if i > 0 {
@@ -104,7 +120,27 @@ impl Event {
                     s.push_str("\":");
                     s.push_str(&v.to_string());
                 }
-                s.push_str("}}");
+                s.push('}');
+                if !hists.is_empty() {
+                    s.push_str(",\"h\":{");
+                    for (i, (h, buckets)) in hists.iter().enumerate() {
+                        if i > 0 {
+                            s.push(',');
+                        }
+                        s.push('"');
+                        s.push_str(h.name());
+                        s.push_str("\":[");
+                        for (b, n) in buckets.iter().enumerate() {
+                            if b > 0 {
+                                s.push(',');
+                            }
+                            s.push_str(&n.to_string());
+                        }
+                        s.push(']');
+                    }
+                    s.push('}');
+                }
+                s.push('}');
                 s
             }
         }
@@ -122,6 +158,7 @@ impl Event {
         let mut name: Option<String> = None;
         let mut attr: Option<String> = None;
         let mut metrics: Vec<(Counter, u64)> = Vec::new();
+        let mut hists: Vec<(HistKey, [u64; NUM_BUCKETS])> = Vec::new();
         loop {
             let key = cur.string()?;
             cur.eat(b':')?;
@@ -141,6 +178,43 @@ impl Event {
                             let v = cur.number()?;
                             if let Some(c) = Counter::from_name(&ck) {
                                 metrics.push((c, v));
+                            }
+                            if cur.try_eat(b'}') {
+                                break;
+                            }
+                            cur.eat(b',')?;
+                        }
+                    }
+                }
+                "h" => {
+                    cur.eat(b'{')?;
+                    if !cur.try_eat(b'}') {
+                        loop {
+                            let hk = cur.string()?;
+                            cur.eat(b':')?;
+                            cur.eat(b'[')?;
+                            let mut buckets = [0u64; NUM_BUCKETS];
+                            let mut count = 0usize;
+                            if !cur.try_eat(b']') {
+                                loop {
+                                    let v = cur.number()?;
+                                    if let Some(slot) = buckets.get_mut(count) {
+                                        *slot = v;
+                                    } else {
+                                        return None; // too many buckets
+                                    }
+                                    count += 1;
+                                    if cur.try_eat(b']') {
+                                        break;
+                                    }
+                                    cur.eat(b',')?;
+                                }
+                            }
+                            if count != NUM_BUCKETS {
+                                return None;
+                            }
+                            if let Some(h) = HistKey::from_name(&hk) {
+                                hists.push((h, buckets));
                             }
                             if cur.try_eat(b'}') {
                                 break;
@@ -171,6 +245,7 @@ impl Event {
                 seq: seq?,
                 id: id?,
                 metrics,
+                hists,
             }),
             _ => None,
         }
@@ -341,9 +416,49 @@ mod tests {
                 (Counter::EngineHitIssued, 42),
                 (Counter::CandidatesExtracted, 7),
             ],
+            hists: vec![],
         };
         let line = e.to_jsonl();
         assert_eq!(Event::parse(&line), Some(e));
+    }
+
+    #[test]
+    fn close_with_hists_roundtrip() {
+        let e = Event::Close {
+            seq: 4,
+            id: 0,
+            metrics: vec![(Counter::ProbesIssued, 6)],
+            hists: vec![
+                (HistKey::CandidatesPerAttr, [0, 1, 2, 0, 0, 0, 0, 3]),
+                (HistKey::ProbesPerAttr, [1, 0, 0, 0, 0, 0, 0, 0]),
+            ],
+        };
+        let line = e.to_jsonl();
+        assert!(line.contains(r#""h":{"candidates_per_attr":[0,1,2,0,0,0,0,3]"#));
+        assert_eq!(Event::parse(&line), Some(e));
+    }
+
+    #[test]
+    fn hists_with_wrong_bucket_count_are_rejected() {
+        let short = r#"{"ev":"close","seq":1,"id":0,"m":{},"h":{"probes_per_attr":[1,2,3]}}"#;
+        assert_eq!(Event::parse(short), None);
+        let long =
+            r#"{"ev":"close","seq":1,"id":0,"m":{},"h":{"probes_per_attr":[1,2,3,4,5,6,7,8,9]}}"#;
+        assert_eq!(Event::parse(long), None);
+    }
+
+    #[test]
+    fn unknown_hist_names_are_skipped() {
+        let line = r#"{"ev":"close","seq":1,"id":0,"m":{},"h":{"future_hist":[1,0,0,0,0,0,0,0]}}"#;
+        assert_eq!(
+            Event::parse(line),
+            Some(Event::Close {
+                seq: 1,
+                id: 0,
+                metrics: vec![],
+                hists: vec![],
+            })
+        );
     }
 
     #[test]
@@ -352,6 +467,7 @@ mod tests {
             seq: 1,
             id: 0,
             metrics: vec![],
+            hists: vec![],
         };
         assert_eq!(Event::parse(&e.to_jsonl()), Some(e));
     }
@@ -393,6 +509,7 @@ mod tests {
                 seq: 1,
                 id: 0,
                 metrics: vec![(Counter::ProbesIssued, 2)],
+                hists: vec![],
             })
         );
     }

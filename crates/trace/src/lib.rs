@@ -17,7 +17,7 @@
 //!   and [`JsonlSink`] for durable traces ([`sink`]);
 //! - [`report`] renders a trace into the per-domain funnel summary
 //!   (attrs in → candidates → verified → borrowed → probed → matched),
-//!   also available as the `webiq-report` binary;
+//!   also available via the workspace's `webiq-report` binary;
 //! - wall-clock readings exist only in the sanctioned [`timing`] module,
 //!   for report-only durations and benches (enforced by `webiq-lint`'s
 //!   `wall-clock` and `trace-hygiene` rules).

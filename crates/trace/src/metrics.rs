@@ -311,6 +311,18 @@ impl SharedMetrics {
         out
     }
 
+    /// Bulk-add a deterministic delta set into the shared counters — the
+    /// publish hook a live metrics registry uses to fold per-item
+    /// [`MetricSet`] deltas in as work items complete.
+    pub fn merge(&self, delta: &MetricSet) {
+        for &c in &Counter::ALL {
+            let v = delta.get(c);
+            if v > 0 {
+                self.add(c, v);
+            }
+        }
+    }
+
     /// Reset every counter to zero.
     pub fn reset(&self) {
         for a in &self.counts {
@@ -416,6 +428,11 @@ impl HistKey {
         }
     }
 
+    /// Inverse of [`HistKey::name`].
+    pub fn from_name(name: &str) -> Option<HistKey> {
+        HistKey::ALL.iter().copied().find(|h| h.name() == name)
+    }
+
     fn idx(self) -> usize {
         self as usize
     }
@@ -427,6 +444,17 @@ fn bucket_index(v: u64) -> usize {
         0
     } else {
         (64 - v.leading_zeros() as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// The inclusive value range of bucket `b`: `(lower, Some(upper))`, or
+/// `(lower, None)` for the open-ended last bucket. Out-of-range buckets
+/// report the last bucket's bounds.
+pub fn bucket_bounds(b: usize) -> (u64, Option<u64>) {
+    match b {
+        0 => (0, Some(0)),
+        1..=6 => (1 << (b - 1), Some((1 << b) - 1)),
+        _ => (64, None),
     }
 }
 
@@ -490,6 +518,57 @@ impl HistSet {
         }
         out
     }
+
+    /// Add `n` observations directly into bucket `b` of `h` (saturating);
+    /// out-of-range buckets are ignored. The deserialization hook for
+    /// histogram deltas read back from a trace stream.
+    pub fn add_bucket(&mut self, h: HistKey, b: usize, n: u64) {
+        if let Some(slot) = self.buckets[h.idx()].get_mut(b) {
+            *slot = slot.saturating_add(n);
+        }
+    }
+
+    /// The raw bucket counts of `h`, in bucket order.
+    pub fn buckets_of(&self, h: HistKey) -> [u64; NUM_BUCKETS] {
+        self.buckets[h.idx()]
+    }
+
+    /// The histograms with at least one observation, as
+    /// `(key, bucket counts)` pairs in declaration order.
+    pub fn nonzero(&self) -> Vec<(HistKey, [u64; NUM_BUCKETS])> {
+        HistKey::ALL
+            .iter()
+            .filter(|&&h| self.count(h) > 0)
+            .map(|&h| (h, self.buckets_of(h)))
+            .collect()
+    }
+
+    /// Estimate the `p`-quantile of `h` from its power-of-two buckets.
+    ///
+    /// Uses the nearest-rank method at bucket resolution: the estimate is
+    /// the inclusive *upper bound* of the bucket containing the rank
+    /// `ceil(p·n)` observation (clamped to `[1, n]`, so `p = 0` selects
+    /// the first observation and `p = 1` the last). The open-ended last
+    /// bucket reports its lower bound, 64. `p` outside `[0, 1]` (or NaN)
+    /// is clamped. Returns `None` for an empty histogram.
+    pub fn quantile(&self, h: HistKey, p: f64) -> Option<f64> {
+        let n = self.count(h);
+        if n == 0 {
+            return None;
+        }
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        // f64 -> u64 `as` casts saturate, so huge products stay safe.
+        let rank = ((p * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (b, &count) in self.buckets[h.idx()].iter().enumerate() {
+            cum = cum.saturating_add(count);
+            if cum >= rank {
+                let (lo, hi) = bucket_bounds(b);
+                return Some(hi.unwrap_or(lo) as f64);
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -529,6 +608,24 @@ mod tests {
     }
 
     #[test]
+    fn metric_set_diff_saturates_on_underflow() {
+        // `diff` promises `self - earlier` saturating at zero: a counter
+        // that is *smaller* in `self` (only possible when the operands are
+        // not snapshots of one monotonic set) must clamp, not wrap.
+        let mut small = MetricSet::new();
+        small.add(Counter::ProbesIssued, 2);
+        let mut big = MetricSet::new();
+        big.add(Counter::ProbesIssued, 7);
+        big.add(Counter::AttrsTotal, 1);
+        let d = small.diff(&big);
+        assert_eq!(d.get(Counter::ProbesIssued), 0);
+        assert_eq!(d.get(Counter::AttrsTotal), 0);
+        assert!(d.is_zero());
+        // and the well-ordered direction still subtracts exactly
+        assert_eq!(big.diff(&small).get(Counter::ProbesIssued), 5);
+    }
+
+    #[test]
     fn shared_metrics_snapshot() {
         let s = SharedMetrics::new();
         s.add(Counter::SearchCacheHit, 4);
@@ -536,6 +633,19 @@ mod tests {
         assert_eq!(s.snapshot().get(Counter::SearchCacheHit), 4);
         s.reset();
         assert!(s.snapshot().is_zero());
+    }
+
+    #[test]
+    fn shared_metrics_merge_folds_deltas() {
+        let s = SharedMetrics::new();
+        let mut d = MetricSet::new();
+        d.add(Counter::ProbesIssued, 3);
+        d.add(Counter::AttrsTotal, 1);
+        s.merge(&d);
+        s.merge(&d);
+        assert_eq!(s.get(Counter::ProbesIssued), 6);
+        assert_eq!(s.get(Counter::AttrsTotal), 2);
+        assert_eq!(s.get(Counter::EngineHitIssued), 0);
     }
 
     #[test]
@@ -572,5 +682,81 @@ mod tests {
         m.merge(&h);
         assert_eq!(m.count(HistKey::CandidatesPerAttr), 4);
         assert_eq!(m.diff(&h), h);
+    }
+
+    #[test]
+    fn hist_key_names_roundtrip() {
+        for &h in &HistKey::ALL {
+            assert_eq!(HistKey::from_name(h.name()), Some(h));
+        }
+        assert_eq!(HistKey::from_name("nope"), None);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_range() {
+        assert_eq!(bucket_bounds(0), (0, Some(0)));
+        assert_eq!(bucket_bounds(1), (1, Some(1)));
+        assert_eq!(bucket_bounds(2), (2, Some(3)));
+        assert_eq!(bucket_bounds(6), (32, Some(63)));
+        assert_eq!(bucket_bounds(7), (64, None));
+        // every value's bucket contains it
+        for v in [0u64, 1, 2, 3, 4, 63, 64, 1000] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v, "{v}");
+            assert!(hi.is_none_or(|h| v <= h), "{v}");
+        }
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_none() {
+        let h = HistSet::new();
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(HistKey::ProbesPerAttr, p), None);
+        }
+    }
+
+    #[test]
+    fn quantile_at_pinned_ranks() {
+        // Values 1..=10 land in buckets: [1]=1, [2-3]=2, [4-7]=4, [8-15]=3.
+        let mut h = HistSet::new();
+        for v in 1..=10 {
+            h.observe(HistKey::CandidatesPerAttr, v);
+        }
+        let q = |p| h.quantile(HistKey::CandidatesPerAttr, p);
+        assert_eq!(q(0.0), Some(1.0)); // rank 1 -> bucket [1]
+        assert_eq!(q(0.5), Some(7.0)); // rank 5 -> bucket [4-7]
+        assert_eq!(q(0.99), Some(15.0)); // rank 10 -> bucket [8-15]
+        assert_eq!(q(1.0), Some(15.0)); // rank 10, same bucket
+                                        // out-of-range and NaN p are clamped, not panicking
+        assert_eq!(q(-3.0), Some(1.0));
+        assert_eq!(q(7.0), Some(15.0));
+        assert_eq!(q(f64::NAN), Some(1.0));
+    }
+
+    #[test]
+    fn quantile_open_last_bucket_reports_lower_bound() {
+        let mut h = HistSet::new();
+        h.observe(HistKey::ProbesPerAttr, 100);
+        h.observe(HistKey::ProbesPerAttr, 5000);
+        assert_eq!(h.quantile(HistKey::ProbesPerAttr, 0.5), Some(64.0));
+        assert_eq!(h.quantile(HistKey::ProbesPerAttr, 1.0), Some(64.0));
+    }
+
+    #[test]
+    fn hist_nonzero_and_add_bucket_roundtrip() {
+        let mut h = HistSet::new();
+        h.observe(HistKey::ProbesPerAttr, 6);
+        h.observe(HistKey::ProbesPerAttr, 6);
+        let nz = h.nonzero();
+        assert_eq!(nz.len(), 1);
+        let (key, buckets) = nz[0];
+        assert_eq!(key, HistKey::ProbesPerAttr);
+        let mut rebuilt = HistSet::new();
+        for (b, &n) in buckets.iter().enumerate() {
+            rebuilt.add_bucket(key, b, n);
+        }
+        assert_eq!(rebuilt, h);
+        rebuilt.add_bucket(key, NUM_BUCKETS + 5, 9); // out of range: ignored
+        assert_eq!(rebuilt, h);
     }
 }

@@ -72,18 +72,34 @@ pub fn funnel(m: &MetricSet) -> Funnel {
 /// Sum the counter deltas of all root spans (parent-less) in an event
 /// stream. This equals the merged totals of everything the trace saw.
 pub fn aggregate(events: &[Event]) -> MetricSet {
+    aggregate_run(events).counters
+}
+
+/// Aggregate a full event stream into run [`Totals`]: the counter *and*
+/// histogram deltas of all root spans (parent-less). Gauges are not part
+/// of the wire format and stay zero. This is what `webiq-report diff`
+/// compares two runs by.
+pub fn aggregate_run(events: &[Event]) -> Totals {
     let mut roots: HashMap<u64, bool> = HashMap::new();
     for e in events {
         if let Event::Open { id, parent, .. } = e {
             roots.insert(*id, parent.is_none());
         }
     }
-    let mut out = MetricSet::new();
+    let mut out = Totals::default();
     for e in events {
-        if let Event::Close { id, metrics, .. } = e {
+        if let Event::Close {
+            id, metrics, hists, ..
+        } = e
+        {
             if roots.get(id).copied().unwrap_or(false) {
                 for &(c, v) in metrics {
-                    out.add(c, v);
+                    out.counters.add(c, v);
+                }
+                for &(h, buckets) in hists {
+                    for (b, &n) in buckets.iter().enumerate() {
+                        out.hists.add_bucket(h, b, n);
+                    }
                 }
             }
         }
@@ -278,15 +294,55 @@ mod tests {
                 seq: 2,
                 id: 1,
                 metrics: vec![(Counter::ProbesIssued, 5)],
+                hists: vec![],
             },
             Event::Close {
                 seq: 3,
                 id: 0,
                 metrics: vec![(Counter::ProbesIssued, 5)],
+                hists: vec![],
             },
         ];
         let m = aggregate(&events);
         assert_eq!(m.get(Counter::ProbesIssued), 5);
+    }
+
+    #[test]
+    fn aggregate_run_sums_root_hists_only() {
+        let events = vec![
+            Event::Open {
+                seq: 0,
+                id: 0,
+                parent: None,
+                name: "acquire".into(),
+                attr: Some("book".into()),
+            },
+            Event::Open {
+                seq: 1,
+                id: 1,
+                parent: Some(0),
+                name: "attribute".into(),
+                attr: None,
+            },
+            // nested close with hists: must NOT be double-counted
+            Event::Close {
+                seq: 2,
+                id: 1,
+                metrics: vec![(Counter::ProbesIssued, 5)],
+                hists: vec![(HistKey::ProbesPerAttr, [0, 0, 0, 1, 0, 0, 0, 0])],
+            },
+            Event::Close {
+                seq: 3,
+                id: 0,
+                metrics: vec![(Counter::ProbesIssued, 5)],
+                hists: vec![(HistKey::ProbesPerAttr, [0, 0, 0, 1, 0, 0, 0, 0])],
+            },
+        ];
+        let t = aggregate_run(&events);
+        assert_eq!(t.counters.get(Counter::ProbesIssued), 5);
+        assert_eq!(t.hists.count(HistKey::ProbesPerAttr), 1);
+        assert_eq!(t.hists.bucket(HistKey::ProbesPerAttr, 3), 1);
+        assert_eq!(t.hists.quantile(HistKey::ProbesPerAttr, 0.5), Some(7.0));
     }
 
     #[test]
@@ -302,6 +358,7 @@ mod tests {
             seq,
             id,
             metrics: vec![(Counter::AttrsTotal, v)],
+            hists: vec![],
         };
         let events = vec![
             mk(0, 0, "book"),

@@ -187,6 +187,7 @@ mod tests {
             seq: 1,
             id: 0,
             metrics: vec![],
+            hists: vec![],
         });
         let got = h.events();
         assert_eq!(got.len(), 2);

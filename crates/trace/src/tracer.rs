@@ -300,9 +300,10 @@ struct TracerState {
     sink: Box<dyn TraceSink>,
     next_seq: u64,
     next_id: u64,
-    /// Open tracer-level scopes: global id plus the counters accumulated
-    /// from items submitted while the scope was open.
-    open: Vec<(u64, MetricSet)>,
+    /// Open tracer-level scopes: global id plus the counters and
+    /// histograms accumulated from items submitted while the scope was
+    /// open.
+    open: Vec<(u64, MetricSet, HistSet)>,
     totals: Totals,
 }
 
@@ -382,7 +383,7 @@ impl Tracer {
         let id = self.with_state(|s| {
             let id = s.next_id;
             s.next_id += 1;
-            let parent = s.open.last().map(|&(p, _)| p);
+            let parent = s.open.last().map(|&(p, ..)| p);
             let seq = s.next_seq;
             s.next_seq += 1;
             s.sink.event(&Event::Open {
@@ -392,7 +393,7 @@ impl Tracer {
                 name: name.to_string(),
                 attr: Some(attr),
             });
-            s.open.push((id, MetricSet::new()));
+            s.open.push((id, MetricSet::new(), HistSet::new()));
             id
         });
         TraceScope {
@@ -448,13 +449,14 @@ impl Tracer {
             s.totals.hists.merge(&buf.hists);
             if let Some(top) = s.open.last_mut() {
                 top.1.merge(&buf.totals);
+                top.2.merge(&buf.hists);
             }
             if buf.events.is_empty() {
                 return;
             }
             let base = s.next_id;
             s.next_id += u64::from(buf.next_id.max(1));
-            let scope_parent = s.open.last().map(|&(p, _)| p);
+            let scope_parent = s.open.last().map(|&(p, ..)| p);
             for ev in &buf.events {
                 let seq = s.next_seq;
                 s.next_seq += 1;
@@ -471,10 +473,17 @@ impl Tracer {
                         name: (*name).to_string(),
                         attr: attr.clone(),
                     },
+                    // the item root (local id 0) carries the item's
+                    // histogram deltas; nested spans carry none
                     LocalEvent::Close { id, delta } => Event::Close {
                         seq,
                         id: base + u64::from(*id),
                         metrics: delta.clone(),
+                        hists: if *id == 0 {
+                            buf.hists.nonzero()
+                        } else {
+                            Vec::new()
+                        },
                     },
                 };
                 s.sink.event(&e);
@@ -506,16 +515,18 @@ impl Drop for TraceScope {
     fn drop(&mut self) {
         let Some(id) = self.id.take() else { return };
         let _ = self.tracer.with_state(|s| {
-            while let Some((top, acc)) = s.open.pop() {
+            while let Some((top, acc, acc_h)) = s.open.pop() {
                 let seq = s.next_seq;
                 s.next_seq += 1;
                 s.sink.event(&Event::Close {
                     seq,
                     id: top,
                     metrics: acc.nonzero(),
+                    hists: acc_h.nonzero(),
                 });
                 if let Some(parent) = s.open.last_mut() {
                     parent.1.merge(&acc);
+                    parent.2.merge(&acc_h);
                 }
                 if top == id {
                     break;

@@ -74,24 +74,6 @@ impl EngineStats {
         self.search_queries() + self.hit_queries()
     }
 
-    /// Number of `search` calls issued (hits and misses alike).
-    #[deprecated(
-        since = "0.1.0",
-        note = "read Counter::EngineSearchIssued from EngineStats::metrics instead"
-    )]
-    pub fn search_issued(&self) -> u64 {
-        self.metrics.get(Counter::EngineSearchIssued)
-    }
-
-    /// Number of `num_hits` calls issued (hits and misses alike).
-    #[deprecated(
-        since = "0.1.0",
-        note = "read Counter::EngineHitIssued from EngineStats::metrics instead"
-    )]
-    pub fn hit_issued(&self) -> u64 {
-        self.metrics.get(Counter::EngineHitIssued)
-    }
-
     /// Total issued queries of both kinds.
     pub fn total_issued(&self) -> u64 {
         self.metrics.get(Counter::EngineSearchIssued) + self.metrics.get(Counter::EngineHitIssued)
@@ -120,23 +102,6 @@ impl EngineStats {
     fn bump(&self, c: Counter) {
         self.metrics.add(c, 1);
     }
-}
-
-/// Queries issued *by the calling thread* across all engines, counting
-/// cache hits and misses alike.
-///
-/// Because a parallel acquisition work item runs entirely on one worker
-/// thread, the delta of this counter around a component call is a
-/// deterministic measure of that component's query traffic — identical
-/// whatever the thread count, cache state, or scheduling.
-#[deprecated(
-    since = "0.1.0",
-    note = "diff webiq_trace::snapshot() around the call instead; this shim \
-            sums its EngineSearchIssued and EngineHitIssued counters"
-)]
-pub fn thread_issued_queries() -> u64 {
-    let s = webiq_trace::snapshot();
-    s.get(Counter::EngineSearchIssued) + s.get(Counter::EngineHitIssued)
 }
 
 /// Bounded capacity of the search (snippet) result cache.
@@ -489,14 +454,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the shim must keep its historical semantics
-    fn thread_issued_counter_advances() {
+    fn thread_issued_counters_advance() {
         let e = engine();
-        let before = thread_issued_queries();
+        let before = webiq_trace::snapshot();
         let _ = e.num_hits("boston");
         let _ = e.num_hits("boston"); // cached, still issued
         let _ = e.search("delta", 4);
-        assert_eq!(thread_issued_queries() - before, 3);
+        let d = webiq_trace::snapshot().diff(&before);
+        assert_eq!(
+            d.get(Counter::EngineHitIssued) + d.get(Counter::EngineSearchIssued),
+            3
+        );
     }
 
     #[test]

@@ -26,8 +26,6 @@ pub mod index;
 pub mod query;
 
 pub use corpus::{Corpus, Document};
-#[allow(deprecated)] // re-exported so downstream callers can migrate gradually
-pub use engine::thread_issued_queries;
 pub use engine::{EngineStats, SearchEngine, Snippet};
 pub use error::WebError;
 pub use gen::{generate, ConceptSpec, GenConfig};

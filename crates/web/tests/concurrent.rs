@@ -80,11 +80,10 @@ fn concurrent_queries_match_sequential_answers() {
 }
 
 /// Thread-local issued-query counters attribute traffic to the thread that
-/// issued it, independent of what other threads do. Exercises the
-/// deprecated shim deliberately: it must keep its historical semantics
-/// now that it reads the webiq-trace thread-local counters.
+/// issued it, independent of what other threads do: diffing
+/// `webiq_trace::snapshot()` around a call sequence measures exactly that
+/// thread's traffic.
 #[test]
-#[allow(deprecated)]
 fn thread_issued_counters_are_per_thread() {
     let engine = build_engine();
     std::thread::scope(|scope| {
@@ -92,11 +91,13 @@ fn thread_issued_counters_are_per_thread() {
             .map(|t| {
                 let engine = &engine;
                 scope.spawn(move || {
-                    let before = webiq_web::thread_issued_queries();
+                    let before = webiq_trace::snapshot();
                     for i in 0..(t + 1) * 3 {
                         let _ = engine.num_hits(&format!("boston chicago {}", i % 4));
                     }
-                    webiq_web::thread_issued_queries() - before
+                    webiq_trace::snapshot()
+                        .diff(&before)
+                        .get(webiq_trace::Counter::EngineHitIssued)
                 })
             })
             .collect();
@@ -111,7 +112,6 @@ fn thread_issued_counters_are_per_thread() {
 /// bounded by the distinct query set (racing duplicate misses allowed) and
 /// at least the distinct-set size.
 #[test]
-#[allow(deprecated)] // hit_issued() is a shim over the trace counters now
 fn global_stats_sane_under_contention() {
     let engine = build_engine();
     const THREADS: u64 = 8;
@@ -127,7 +127,10 @@ fn global_stats_sane_under_contention() {
         }
     });
     let stats = engine.stats();
-    assert_eq!(stats.hit_issued(), THREADS * PER_THREAD);
+    assert_eq!(
+        stats.metrics().get(webiq_trace::Counter::EngineHitIssued),
+        THREADS * PER_THREAD
+    );
     assert!(stats.hit_queries() >= 10, "misses {}", stats.hit_queries());
     assert!(
         stats.hit_queries() <= 10 * THREADS,

@@ -1,0 +1,163 @@
+//! `webiq-report` — render JSONL traces and gate on trace diffs.
+//!
+//! Two modes:
+//!
+//! ```text
+//! webiq-report TRACE.jsonl [MORE.jsonl ...]
+//! webiq-report diff BASELINE.jsonl CANDIDATE.jsonl [--config obs.toml] [--json]
+//! ```
+//!
+//! The render mode prints one per-stage funnel per root span (one per
+//! traced acquisition, labelled by domain). `-` reads a trace from
+//! stdin. A malformed trace line is a hard error naming the file and
+//! line — a gate must not quietly skip the very evidence it gates on.
+//!
+//! The diff mode aggregates both runs and compares counters, funnel
+//! stage rates, and histogram quantiles against the thresholds in
+//! `--config` (defaults when absent; see `webiq_obs::DiffThresholds`).
+//! Exit codes: `0` no regression, `1` regression detected, `2` usage or
+//! I/O error — so CI can gate on the exit status alone.
+#![forbid(unsafe_code)]
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use webiq::core::WebIqError;
+use webiq::obs::{diff_events, parse_jsonl, DiffThresholds, ObsError};
+use webiq::trace::report;
+use webiq::trace::Event;
+
+const USAGE: &str = "usage: webiq-report TRACE.jsonl [MORE.jsonl ...]
+       webiq-report diff BASELINE.jsonl CANDIDATE.jsonl [--config FILE] [--json]
+`-` reads a trace from stdin (at most one input may be `-`)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match args.split_first() {
+        Some((first, rest)) if first == "diff" => run_diff(rest),
+        _ => run_render(&args),
+    }
+}
+
+/// Read one input: a file path, or stdin for `-`.
+fn read_input(path: &str) -> Result<String, ObsError> {
+    let io_err = |e: std::io::Error| ObsError::Io {
+        path: path.to_string(),
+        detail: e.to_string(),
+    };
+    if path == "-" {
+        let mut text = String::new();
+        std::io::stdin().read_to_string(&mut text).map_err(io_err)?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(path).map_err(io_err)
+    }
+}
+
+/// Read and strictly parse one trace input.
+fn load_trace(path: &str) -> Result<Vec<Event>, WebIqError> {
+    let text = read_input(path)?;
+    Ok(parse_jsonl(path, &text)?)
+}
+
+fn run_render(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in paths {
+        let events = match load_trace(path) {
+            Ok(events) => events,
+            Err(e) => {
+                eprintln!("webiq-report: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let groups = report::aggregate_by_root(&events);
+        if groups.is_empty() {
+            println!("{path}: no root spans found ({} events)", events.len());
+            continue;
+        }
+        println!("== {path} ==");
+        for (label, m) in &groups {
+            print!("{}", report::render_funnel(label, m));
+        }
+        if groups.len() > 1 {
+            print!(
+                "{}",
+                report::render_funnel("all runs", &report::aggregate(&events))
+            );
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_diff(args: &[String]) -> ExitCode {
+    let mut inputs: Vec<&String> = Vec::new();
+    let mut config: Option<&String> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--config" => {
+                let Some(path) = it.next() else {
+                    eprintln!("webiq-report: --config needs a file argument\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                config = Some(path);
+            }
+            other if other.starts_with("--") => {
+                eprintln!("webiq-report: unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            _ => inputs.push(a),
+        }
+    }
+    let [baseline, candidate] = inputs.as_slice() else {
+        eprintln!("webiq-report: diff needs exactly two traces\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    if baseline.as_str() == "-" && candidate.as_str() == "-" {
+        eprintln!("webiq-report: at most one input may be `-`\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let thresholds = match config {
+        Some(path) => match DiffThresholds::from_file(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("webiq-report: {}", WebIqError::from(e));
+                return ExitCode::from(2);
+            }
+        },
+        None => DiffThresholds::default(),
+    };
+    let (base, cand) = match (load_trace(baseline), load_trace(candidate)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("webiq-report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let r = diff_events(baseline, &base, candidate, &cand, &thresholds);
+    if json {
+        println!("{}", r.to_json());
+    } else {
+        print!("{}", r.render_text());
+    }
+    if r.regressed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`data`] | five-domain knowledge bases and the ICQ-profile dataset generator |
 //! | [`matcher`] | the IceQ-style interface matcher (label/domain similarity + clustering) |
 //! | [`trace`] | deterministic structured tracing, pipeline metrics, run reports |
+//! | [`obs`] | live `/metrics` exposition, windowed aggregation, trace-diff regression gating |
 //! | [`core`] | **WebIQ itself**: Surface, Attr-Surface, Attr-Deep, and the §5 strategy |
 //!
 //! The [`pipeline`] module wires everything together for one domain; see
@@ -26,6 +27,7 @@ pub use webiq_deep as deep;
 pub use webiq_html as html;
 pub use webiq_match as matcher;
 pub use webiq_nlp as nlp;
+pub use webiq_obs as obs;
 pub use webiq_stats as stats;
 pub use webiq_trace as trace;
 pub use webiq_web as web;
