@@ -16,15 +16,27 @@
 //! cargo run --release -p webiq-bench --bin experiments -- monitor \
 //!     --out trace.jsonl --summary-out summary.json
 //! ```
+//!
+//! The `chaos` subcommand sweeps transient-fault rates × worker counts
+//! and emits a pass/fail resilience verdict (exit 1 on FAIL):
+//!
+//! ```sh
+//! cargo run --release -p webiq-bench --bin experiments -- chaos \
+//!     --quick --json --out chaos_verdict.json
+//! ```
 #![forbid(unsafe_code)]
 
 use webiq_bench::json::{rows, Json};
-use webiq_bench::{experiments, monitor, render};
+use webiq_bench::{chaos, experiments, monitor, render};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("monitor") {
         run_monitor(&argv[1..]);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("chaos") {
+        run_chaos(&argv[1..]);
         return;
     }
     let mut seed = experiments::SEED;
@@ -114,6 +126,82 @@ fn main() {
     }
     if want("trace") {
         println!("{}", render::trace(&experiments::trace_summary(seed)));
+    }
+}
+
+/// `experiments chaos`: the fault-rate × worker-count resilience sweep;
+/// prints the verdict and exits 1 when any rate fails the contract.
+fn run_chaos(args: &[String]) {
+    let mut seed = experiments::SEED;
+    let mut fault_seed = 42u64;
+    let mut domain = "book".to_string();
+    let mut quick = false;
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    let usage = "usage: experiments chaos [--seed N] [--fault-seed N] [--domain NAME] \
+                 [--quick] [--json] [--out FILE.json]";
+    let parse_u64 = |flag: &str, v: Option<&String>| -> u64 {
+        let v = v.cloned().unwrap_or_default();
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid {flag} value {v:?}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => seed = parse_u64("--seed", it.next()),
+            "--fault-seed" => fault_seed = parse_u64("--fault-seed", it.next()),
+            "--domain" => match it.next() {
+                Some(v) => domain = v.clone(),
+                None => {
+                    eprintln!("--domain needs a name argument\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--out" => match it.next() {
+                Some(v) => out_path = Some(v.clone()),
+                None => {
+                    eprintln!("--out needs a path argument\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("{usage}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (rates, threads): (&[f64], &[usize]) = if quick {
+        (&chaos::QUICK_RATES, &chaos::QUICK_THREADS)
+    } else {
+        (&chaos::FULL_RATES, &chaos::FULL_THREADS)
+    };
+    let outcome = chaos::sweep(&domain, seed, fault_seed, rates, threads).unwrap_or_else(|e| {
+        eprintln!("chaos: {e}");
+        std::process::exit(1);
+    });
+    let verdict = format!("{}\n", outcome.to_json().pretty());
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &verdict) {
+            eprintln!("chaos: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if json {
+        print!("{verdict}");
+    } else {
+        print!("{}", outcome.render_text());
+    }
+    if !outcome.pass {
+        std::process::exit(1);
     }
 }
 

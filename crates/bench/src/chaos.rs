@@ -1,0 +1,214 @@
+//! The `chaos` experiment: a fault-rate × worker-count resilience sweep.
+//!
+//! For each transient-fault rate the sweep runs one full acquisition per
+//! worker count, with the same [`webiq::fault::FaultConfig`] threaded
+//! through both injection boundaries (the sources run the attempt-aware
+//! plan via [`DomainPipeline::build_with_faults`], the retry layer runs
+//! it via [`WebIQConfig::fault`]), and checks the resilience contract:
+//!
+//! - the JSONL trace stream, acquired-instance map, and degraded set are
+//!   byte-identical at every worker count (determinism under chaos);
+//! - every run completes the domain — faults degrade attributes, never
+//!   abort the run.
+//!
+//! The verdict object (`experiments chaos --json`) is what CI uploads:
+//! `pass` is true only when every rate held both properties.
+
+use webiq::core::{Acquisition, Components, WebIQConfig};
+use webiq::fault::FaultConfig;
+use webiq::pipeline::DomainPipeline;
+use webiq::trace::{SharedBuf, Tracer};
+
+use crate::json::{obj, Json};
+
+/// One fault rate's sweep result.
+#[derive(Debug, Clone)]
+pub struct ChaosRow {
+    /// Transient-fault probability per call attempt.
+    pub rate: f64,
+    /// Worker counts checked against the single-worker reference.
+    pub threads: Vec<usize>,
+    /// Trace stream, acquired map, and degraded set identical at every
+    /// worker count.
+    pub deterministic: bool,
+    /// Faults injected during the reference run.
+    pub faults_injected: u64,
+    /// Retry attempts spent during the reference run.
+    pub retries: u64,
+    /// Attributes that exhausted their retry budget and degraded.
+    pub degraded_attrs: usize,
+    /// Total instances acquired (sum over attributes).
+    pub instances: usize,
+}
+
+/// The whole sweep: per-rate rows plus the overall verdict.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Domain swept.
+    pub domain: String,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Fault-schedule seed.
+    pub fault_seed: u64,
+    /// One row per rate.
+    pub rows: Vec<ChaosRow>,
+    /// True when every rate was deterministic and completed.
+    pub pass: bool,
+}
+
+impl ChaosOutcome {
+    /// The verdict object CI uploads as an artifact.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                obj([
+                    ("rate", Json::from(r.rate)),
+                    (
+                        "threads",
+                        Json::Arr(r.threads.iter().map(|&t| Json::from(t)).collect()),
+                    ),
+                    ("deterministic", Json::from(r.deterministic)),
+                    ("faults_injected", Json::from(r.faults_injected)),
+                    ("retries", Json::from(r.retries)),
+                    ("degraded_attrs", Json::from(r.degraded_attrs)),
+                    ("instances", Json::from(r.instances)),
+                ])
+            })
+            .collect();
+        obj([
+            ("domain", Json::from(self.domain.as_str())),
+            ("seed", Json::from(self.seed)),
+            ("fault_seed", Json::from(self.fault_seed)),
+            ("rates", Json::Arr(rows)),
+            ("pass", Json::from(self.pass)),
+        ])
+    }
+
+    /// Deterministic one-screen text rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "chaos sweep: domain {} (seed {:#x}, fault seed {})\n\
+             rate    det  faults  retries  degraded  instances\n",
+            self.domain, self.seed, self.fault_seed
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<7.2} {:<4} {:<7} {:<8} {:<9} {}\n",
+                r.rate,
+                if r.deterministic { "yes" } else { "NO" },
+                r.faults_injected,
+                r.retries,
+                r.degraded_attrs,
+                r.instances
+            ));
+        }
+        out.push_str(&format!(
+            "verdict: {}\n",
+            if self.pass { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+}
+
+/// One traced acquisition run under `fault` with `threads` workers.
+fn run_once(
+    domain: &str,
+    seed: u64,
+    fault: &FaultConfig,
+    threads: usize,
+) -> Result<(Acquisition, String), String> {
+    let p = DomainPipeline::build_with_faults(domain, seed, fault).map_err(|e| e.to_string())?;
+    let buf = SharedBuf::new();
+    let tracer = Tracer::jsonl(Box::new(buf.clone()));
+    let cfg = WebIQConfig {
+        threads: Some(threads),
+        tracer: tracer.clone(),
+        fault: fault.clone(),
+        ..WebIQConfig::default()
+    };
+    let acq = p
+        .acquire(Components::ALL, &cfg)
+        .map_err(|e| e.to_string())?;
+    tracer.flush();
+    Ok((acq, buf.contents_string()))
+}
+
+/// Sweep `domain` over `rates` × `threads`. The first worker count is
+/// the reference every other count is compared against.
+///
+/// # Errors
+///
+/// Returns the pipeline's error string when the domain is unknown or any
+/// acquisition fails outright (which the resilience layer is supposed to
+/// prevent — a hard error here is itself a chaos failure).
+pub fn sweep(
+    domain: &str,
+    seed: u64,
+    fault_seed: u64,
+    rates: &[f64],
+    threads: &[usize],
+) -> Result<ChaosOutcome, String> {
+    let mut rows = Vec::new();
+    for &rate in rates {
+        let fault = FaultConfig::chaos(fault_seed, rate);
+        let (first, _) = threads.split_first().ok_or("no worker counts given")?;
+        let (ref_acq, ref_trace) = run_once(domain, seed, &fault, *first)?;
+        let mut deterministic = true;
+        for &t in &threads[1..] {
+            let (acq, trace) = run_once(domain, seed, &fault, t)?;
+            deterministic = deterministic
+                && trace == ref_trace
+                && acq.acquired == ref_acq.acquired
+                && acq.degraded == ref_acq.degraded;
+        }
+        rows.push(ChaosRow {
+            rate,
+            threads: threads.to_vec(),
+            deterministic,
+            faults_injected: ref_acq.report.faults_injected,
+            retries: ref_acq.report.retries,
+            degraded_attrs: ref_acq.report.degraded_attrs,
+            instances: ref_acq.acquired.values().map(Vec::len).sum(),
+        });
+    }
+    let pass = rows.iter().all(|r| r.deterministic);
+    Ok(ChaosOutcome {
+        domain: domain.to_string(),
+        seed,
+        fault_seed,
+        rows,
+        pass,
+    })
+}
+
+/// The full sweep CI's scheduled job runs.
+pub const FULL_RATES: [f64; 4] = [0.0, 0.05, 0.1, 0.2];
+/// Worker counts for the full sweep.
+pub const FULL_THREADS: [usize; 3] = [1, 2, 4];
+/// The `--quick` sweep for per-PR CI.
+pub const QUICK_RATES: [f64; 2] = [0.0, 0.1];
+/// Worker counts for the `--quick` sweep.
+pub const QUICK_THREADS: [usize; 2] = [1, 2];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_passes_and_serialises() {
+        let out = sweep("book", 0x1ce0, 42, &QUICK_RATES, &QUICK_THREADS).expect("sweep");
+        assert!(out.pass, "{}", out.render_text());
+        assert_eq!(out.rows.len(), QUICK_RATES.len());
+        assert_eq!(out.rows[0].faults_injected, 0, "0% rate injects nothing");
+        assert!(
+            out.rows[1].faults_injected > 0,
+            "10% rate injected nothing:\n{}",
+            out.render_text()
+        );
+        let json = out.to_json().pretty();
+        assert!(json.contains("\"pass\": true"), "{json}");
+        assert_eq!(json, out.to_json().pretty(), "rendering is deterministic");
+    }
+}

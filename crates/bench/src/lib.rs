@@ -7,6 +7,7 @@
 //! the underlying pipelines with the dependency-free [`timing`] harness.
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod json;
 pub mod monitor;

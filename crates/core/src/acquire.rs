@@ -18,23 +18,25 @@
 
 // lint:deterministic
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use webiq_data::interface::{AttrRef, Attribute, Dataset};
 use webiq_data::DomainDef;
 use webiq_deep::DeepSource;
+use webiq_fault::{FaultConfig, QuotaTracker};
 use webiq_match::domsim;
 use webiq_match::labelsim;
 use webiq_trace::timing::Stopwatch;
 use webiq_trace::{Counter, Gauge, HistKey, ItemBuf, MetricSet};
-use webiq_web::SearchEngine;
+use webiq_web::{QueryEngine, SearchEngine};
 
 use crate::attr_deep;
 use crate::attr_surface;
 use crate::config::{Components, WebIQConfig};
 use crate::error::WebIqError;
 use crate::extract::DomainInfo;
+use crate::resilience::{Resilience, ResilientEngine, ResilientSource};
 use crate::surface;
 
 /// Per-component accounting for the overhead analysis (Fig. 8).
@@ -68,6 +70,14 @@ pub struct AcquisitionReport {
     pub attr_surface_cost: ComponentCost,
     /// Cost of the Attr-Deep component.
     pub attr_deep_cost: ComponentCost,
+    /// Attributes whose processing hit a resilience fallback (retry
+    /// exhaustion, open breaker, or quota denial) and kept only partial
+    /// results. Zero whenever fault injection is disabled.
+    pub degraded_attrs: usize,
+    /// Retry attempts spent across the run (virtual-time backoff).
+    pub retries: u64,
+    /// Faults injected across the run (all kinds, both boundaries).
+    pub faults_injected: u64,
 }
 
 impl AcquisitionReport {
@@ -95,6 +105,9 @@ impl AcquisitionReport {
                 probes: m.get(Counter::AttrDeepProbes),
                 ..ComponentCost::default()
             },
+            degraded_attrs: m.get(Counter::FaultAttrsDegraded) as usize,
+            retries: m.get(Counter::FaultRetryAttempt),
+            faults_injected: m.get(Counter::FaultInjected),
         }
     }
 
@@ -122,6 +135,11 @@ fn percent(n: usize, of: usize) -> f64 {
 pub struct Acquisition {
     /// Instances acquired per attribute (beyond its pre-defined ones).
     pub acquired: BTreeMap<AttrRef, Vec<String>>,
+    /// Attributes marked degraded: some stage exhausted its retry
+    /// budget, tripped a breaker, or was denied by the quota, and the
+    /// attribute kept whatever partial instances it had instead of
+    /// aborting the run. Empty whenever fault injection is disabled.
+    pub degraded: BTreeSet<AttrRef>,
     /// Statistics and per-component costs.
     pub report: AcquisitionReport,
 }
@@ -269,6 +287,11 @@ struct AcquireCtx<'a> {
     sources: &'a [DeepSource],
     components: Components,
     cfg: &'a WebIQConfig,
+    /// The resolved fault configuration (env knobs applied once).
+    fault: &'a FaultConfig,
+    /// The run-wide query meter — the one shared piece of resilience
+    /// state (one run, one API key).
+    quota: &'a QuotaTracker,
 }
 
 /// A candidate reference that no longer resolves in the dataset — an
@@ -295,29 +318,44 @@ fn process_attribute(
     ctx: &AcquireCtx<'_>,
     r1: AttrRef,
     a1: &Attribute,
-) -> Result<(ItemOutcome, ItemBuf), WebIqError> {
+) -> Result<(ItemOutcome, bool, ItemBuf), WebIqError> {
     let item = ctx.cfg.tracer.item("attribute", &a1.label);
     webiq_trace::incr(Counter::AttrsTotal);
-    let outcome = attribute_body(ctx, r1, a1)?;
-    Ok((outcome, item.finish()))
+    let (outcome, degraded) = if ctx.fault.enabled() {
+        // A fresh per-item resilience bundle: the clock, budget, and
+        // breakers evolve single-threadedly inside this item, keeping
+        // the outcome independent of the worker count.
+        let res = Resilience::new(ctx.fault, ctx.quota);
+        let engine = ResilientEngine::new(ctx.engine, &res);
+        let outcome = attribute_body(ctx, r1, a1, &engine, Some(&res))?;
+        if res.degraded() {
+            webiq_trace::incr(Counter::FaultAttrsDegraded);
+        }
+        (outcome, res.degraded())
+    } else {
+        (attribute_body(ctx, r1, a1, ctx.engine, None)?, false)
+    };
+    Ok((outcome, degraded, item.finish()))
 }
 
 /// The §5 strategy body for one attribute. Reads shared state only
 /// (`engine` and `sources` are internally synchronised); query accounting
 /// uses the calling thread's trace counters, so the numbers are
 /// deterministic whatever the cache state or worker count.
-fn attribute_body(
+fn attribute_body<E: QueryEngine>(
     ctx: &AcquireCtx<'_>,
     r1: AttrRef,
     a1: &Attribute,
+    engine: &E,
+    res: Option<&Resilience<'_>>,
 ) -> Result<ItemOutcome, WebIqError> {
     let &AcquireCtx {
         ds,
         info,
-        engine,
         sources,
         components,
         cfg,
+        ..
     } = ctx;
     if !a1.has_instances() {
         webiq_trace::incr(Counter::AttrsNoInstance);
@@ -387,7 +425,15 @@ fn attribute_body(
                 } else {
                     tried += 1;
                     webiq_trace::incr(Counter::BorrowProbed);
-                    let outcome = attr_deep::validate_borrowed(&sources[r1.0], &a1.name, inst, cfg);
+                    let outcome = match res {
+                        Some(res) => attr_deep::validate_borrowed(
+                            &ResilientSource::new(&sources[r1.0], res),
+                            &a1.name,
+                            inst,
+                            cfg,
+                        ),
+                        None => attr_deep::validate_borrowed(&sources[r1.0], &a1.name, inst, cfg),
+                    };
                     if outcome.accepted {
                         webiq_trace::incr(Counter::BorrowAccepted);
                         accepted_domains.push(inst);
@@ -502,6 +548,8 @@ pub fn acquire(
         sibling_terms: Vec::new(), // filled per attribute in process_attribute
     };
 
+    let fault = cfg.resolved_fault();
+    let quota = QuotaTracker::new(fault.daily_quota);
     let ctx = AcquireCtx {
         ds,
         info: &info,
@@ -509,6 +557,8 @@ pub fn acquire(
         sources,
         components,
         cfg,
+        fault: &fault,
+        quota: &quota,
     };
     let items: Vec<(AttrRef, &Attribute)> = ds.attributes().collect();
     cfg.tracer
@@ -523,7 +573,7 @@ pub fn acquire(
     }
     let scope = cfg.tracer.scope("acquire", &ds.domain);
     let workers = cfg.resolved_threads().min(items.len().max(1));
-    type Item = (ItemOutcome, ItemBuf);
+    type Item = (ItemOutcome, bool, ItemBuf);
     let outcomes: Vec<Item> = if workers <= 1 {
         items
             .iter()
@@ -571,7 +621,10 @@ pub fn acquire(
     let mut acq = Acquisition::default();
     let mut total = MetricSet::new();
     let (mut surface_secs, mut attr_surface_secs, mut attr_deep_secs) = (0.0, 0.0, 0.0);
-    for (&(r1, _), (outcome, buf)) in items.iter().zip(outcomes) {
+    for (&(r1, _), (outcome, degraded, buf)) in items.iter().zip(outcomes) {
+        if degraded {
+            acq.degraded.insert(r1);
+        }
         total.merge(buf.totals());
         // Publish the same deterministic per-item deltas the tracer
         // receives, so a post-run /metrics scrape matches the trace at

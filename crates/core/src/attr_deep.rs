@@ -13,6 +13,23 @@ use webiq_deep::{analyze_response, DeepSource};
 
 use crate::config::WebIQConfig;
 
+/// Something a probe submission can be posed to. The plain
+/// [`DeepSource`] submits once and classifies the response page; the
+/// resilience wrapper ([`crate::resilience::ResilientSource`]) retries
+/// server errors with backoff before answering.
+pub trait ProbeTarget {
+    /// Submit the form once (with whatever internal resilience the
+    /// target has) and report whether the response page indicated a
+    /// successful, non-empty result.
+    fn probe(&self, values: &BTreeMap<String, String>) -> bool;
+}
+
+impl ProbeTarget for DeepSource {
+    fn probe(&self, values: &BTreeMap<String, String>) -> bool {
+        analyze_response(&self.submit(values)).is_success()
+    }
+}
+
 /// Result of probing one borrowed attribute's instances.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProbeOutcome {
@@ -27,8 +44,8 @@ pub struct ProbeOutcome {
 /// Probe `source` with `target_param` set to each of (up to `probe_limit`
 /// of) `instances`; accept all when the success ratio reaches
 /// `probe_accept_ratio`.
-pub fn validate_borrowed(
-    source: &DeepSource,
+pub fn validate_borrowed<S: ProbeTarget>(
+    source: &S,
     target_param: &str,
     instances: &[String],
     cfg: &WebIQConfig,
@@ -45,8 +62,7 @@ pub fn validate_borrowed(
     for instance in &to_probe {
         let mut params = BTreeMap::new();
         params.insert(target_param.to_string(), (*instance).clone());
-        let page = source.submit(&params);
-        if analyze_response(&page).is_success() {
+        if source.probe(&params) {
             successes += 1;
         }
     }
@@ -158,5 +174,62 @@ mod tests {
         let cfg = WebIQConfig::default();
         let out = validate_borrowed(&src, "from", &strings(&["Chicago", "Boston"]), &cfg);
         assert!(!out.accepted, "{out:?}");
+    }
+
+    #[test]
+    fn transient_faults_clear_through_the_resilient_wrapper() {
+        use crate::resilience::{Resilience, ResilientSource};
+        use webiq_fault::{FaultConfig, FaultPlan, QuotaTracker};
+
+        // Even above a 0.3 transient rate, retries recover every verdict
+        // the fault-free source would have produced.
+        for rate in [0.35, 0.5] {
+            let cfg = WebIQConfig::default();
+            let fault = FaultConfig {
+                max_attempts: 12,
+                retry_budget: 10_000,
+                ..FaultConfig::chaos(11, rate)
+            };
+            let src = flight_source().with_fault_plan(FaultPlan::from_config(&fault));
+            let quota = QuotaTracker::new(0);
+            let res = Resilience::new(&fault, &quota);
+            let wrapped = ResilientSource::new(&src, &res);
+            let cities = validate_borrowed(
+                &wrapped,
+                "from",
+                &strings(&["Chicago", "Boston", "Seattle"]),
+                &cfg,
+            );
+            assert!(cities.accepted, "rate {rate}: {cities:?}");
+            assert_eq!(cities.successes, 3, "rate {rate}");
+            let months = validate_borrowed(&wrapped, "from", &strings(&["Jan", "Feb"]), &cfg);
+            assert!(!months.accepted, "rate {rate}: {months:?}");
+        }
+    }
+
+    #[test]
+    fn transient_faults_without_retries_lose_verdicts() {
+        use crate::resilience::{Resilience, ResilientSource};
+        use webiq_fault::{FaultConfig, FaultPlan, QuotaTracker};
+
+        // the control for the test above: retries disabled, same plan —
+        // some probes now fail outright and the item degrades
+        let fault = FaultConfig {
+            max_attempts: 1,
+            ..FaultConfig::chaos(11, 0.9)
+        };
+        let src = flight_source().with_fault_plan(FaultPlan::from_config(&fault));
+        let quota = QuotaTracker::new(0);
+        let res = Resilience::new(&fault, &quota);
+        let wrapped = ResilientSource::new(&src, &res);
+        let cfg = WebIQConfig::default();
+        let out = validate_borrowed(
+            &wrapped,
+            "from",
+            &strings(&["Chicago", "Boston", "Seattle", "Denver", "Atlanta", "Miami"]),
+            &cfg,
+        );
+        assert!(out.successes < 6, "{out:?}");
+        assert!(res.degraded());
     }
 }

@@ -11,7 +11,7 @@
 use webiq_stats::bayes::NaiveBayes;
 use webiq_stats::entropy;
 use webiq_trace::Counter;
-use webiq_web::SearchEngine;
+use webiq_web::QueryEngine;
 
 use crate::config::WebIQConfig;
 use crate::extract;
@@ -40,8 +40,8 @@ pub enum TrainFailure {
 impl ValidationClassifier {
     /// Train for attribute `label` from its own instances (positives) and
     /// sibling-attribute instances (negatives).
-    pub fn train(
-        engine: &SearchEngine,
+    pub fn train<E: QueryEngine>(
+        engine: &E,
         label: &str,
         positives: &[String],
         negatives: &[String],
@@ -114,14 +114,14 @@ impl ValidationClassifier {
 
     /// Posterior probability that `candidate` is an instance of the
     /// attribute.
-    pub fn posterior(&self, engine: &SearchEngine, candidate: &str, cfg: &WebIQConfig) -> f64 {
+    pub fn posterior<E: QueryEngine>(&self, engine: &E, candidate: &str, cfg: &WebIQConfig) -> f64 {
         let v = verify::validation_vector(engine, &self.phrases, candidate, cfg.use_pmi);
         let features: Vec<bool> = v.iter().zip(&self.thresholds).map(|(m, t)| m > t).collect();
         self.nb.posterior_pos(&features)
     }
 
     /// Classify `candidate` (posterior > ½).
-    pub fn accepts(&self, engine: &SearchEngine, candidate: &str, cfg: &WebIQConfig) -> bool {
+    pub fn accepts<E: QueryEngine>(&self, engine: &E, candidate: &str, cfg: &WebIQConfig) -> bool {
         self.posterior(engine, candidate, cfg) > 0.5
     }
 }
@@ -131,8 +131,8 @@ impl ValidationClassifier {
 /// `bayes_verify` span; training failures and per-candidate verdicts are
 /// tallied under [`Counter::BayesTrainFailed`],
 /// [`Counter::BayesAccepted`], and [`Counter::BayesRejected`].
-pub fn verify_borrowed(
-    engine: &SearchEngine,
+pub fn verify_borrowed<E: QueryEngine>(
+    engine: &E,
     label: &str,
     positives: &[String],
     negatives: &[String],

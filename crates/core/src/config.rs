@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use webiq_fault::FaultConfig;
 use webiq_obs::LiveRegistry;
 use webiq_stats::DiscordancyTest;
 use webiq_trace::Tracer;
@@ -67,6 +68,13 @@ pub struct WebIQConfig {
     /// from the deterministic merge loop only, so a post-run scrape is
     /// byte-identical at any worker count.
     pub obs: Option<Arc<LiveRegistry>>,
+    /// Fault-injection and resilience knobs (seeded fault plan, retry
+    /// policy, circuit breakers, daily quota). Fully disabled by default;
+    /// the wrappers then never engage and the run is byte-identical to a
+    /// fault-free build. See also the `WEBIQ_FAULT_SEED` and
+    /// `WEBIQ_FAULT_RATE` environment variables
+    /// ([`WebIQConfig::resolved_fault`]).
+    pub fault: FaultConfig,
 }
 
 impl WebIQConfig {
@@ -84,6 +92,34 @@ impl WebIQConfig {
             return n;
         }
         std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    }
+
+    /// The fault configuration the run actually uses: the explicit
+    /// `fault` field, with the `WEBIQ_FAULT_SEED` and `WEBIQ_FAULT_RATE`
+    /// environment variables supplying the seed and transient rate *only
+    /// when the corresponding field is still at its default* — the same
+    /// fallback semantics as `WEBIQ_THREADS`, so programmatic settings
+    /// always win over ambient ones.
+    pub fn resolved_fault(&self) -> FaultConfig {
+        let mut fault = self.fault.clone();
+        let default = FaultConfig::default();
+        if fault.seed == default.seed {
+            if let Some(seed) = std::env::var("WEBIQ_FAULT_SEED")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+            {
+                fault.seed = seed;
+            }
+        }
+        if fault.transient_rate == default.transient_rate {
+            if let Some(rate) = std::env::var("WEBIQ_FAULT_RATE")
+                .ok()
+                .and_then(|v| v.trim().parse::<f64>().ok())
+            {
+                fault.transient_rate = rate.clamp(0.0, 1.0);
+            }
+        }
+        fault
     }
 }
 
@@ -107,6 +143,7 @@ impl Default for WebIQConfig {
             threads: None,
             tracer: Tracer::disabled(),
             obs: None,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -183,6 +220,20 @@ mod tests {
         );
         // unset: env var or machine parallelism, but never 0
         assert!(WebIQConfig::default().resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn fault_machinery_is_off_by_default() {
+        let c = WebIQConfig::default();
+        assert!(!c.fault.enabled());
+        // explicit settings always survive resolution
+        let chaos = WebIQConfig {
+            fault: FaultConfig::chaos(42, 0.2),
+            ..WebIQConfig::default()
+        };
+        let resolved = chaos.resolved_fault();
+        assert_eq!(resolved.seed, 42);
+        assert!((resolved.transient_rate - 0.2).abs() < 1e-12);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use webiq_nlp::chunk::{self, LabelForm, NounPhrase};
 use webiq_nlp::pos::{self, Tagged};
 use webiq_trace::Counter;
-use webiq_web::SearchEngine;
+use webiq_web::QueryEngine;
 
 use crate::config::WebIQConfig;
 use crate::patterns::{extraction_patterns, CompletionSide, MaterializedPattern, PatternKind};
@@ -174,8 +174,8 @@ fn plausible(text: &str, label_lower: &str) -> bool {
 /// Run the full extraction phase for one attribute label. Traced as an
 /// `extract` span; poses one [`Counter::ExtractQueries`] per query and
 /// tallies raw yields under [`Counter::CandidatesExtracted`].
-pub fn extract_candidates(
-    engine: &SearchEngine,
+pub fn extract_candidates<E: QueryEngine>(
+    engine: &E,
     label: &str,
     info: &DomainInfo,
     cfg: &WebIQConfig,
@@ -222,7 +222,7 @@ pub fn extract_candidates(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use webiq_web::Corpus;
+    use webiq_web::{Corpus, SearchEngine};
 
     fn cfg() -> WebIQConfig {
         WebIQConfig::default()

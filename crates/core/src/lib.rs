@@ -18,7 +18,10 @@
 //!   analysis;
 //! - [`config`] — tunables (k = 10, the one-third probe rule, ablation
 //!   switches for the outlier phase, PMI, info-gain thresholds, and the
-//!   borrow pre-filters).
+//!   borrow pre-filters);
+//! - [`resilience`] — deterministic fault handling around the engine and
+//!   source boundaries: retry with virtual-time backoff, circuit
+//!   breaking, and quota-aware graceful degradation (DESIGN.md §13).
 //!
 //! ## Quickstart
 //!
@@ -55,6 +58,7 @@ pub mod config;
 pub mod error;
 pub mod extract;
 pub mod patterns;
+pub mod resilience;
 pub mod surface;
 pub mod verify;
 
@@ -62,4 +66,5 @@ pub use acquire::{Acquisition, AcquisitionReport, ComponentCost};
 pub use config::{Components, WebIQConfig};
 pub use error::WebIqError;
 pub use extract::DomainInfo;
+pub use resilience::{Resilience, ResilientEngine, ResilientSource};
 pub use surface::SurfaceResult;

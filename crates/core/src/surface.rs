@@ -3,7 +3,7 @@
 //! by verification phase.
 
 use webiq_trace::HistKey;
-use webiq_web::SearchEngine;
+use webiq_web::QueryEngine;
 
 use crate::config::WebIQConfig;
 use crate::extract::{self, DomainInfo};
@@ -42,8 +42,8 @@ impl SurfaceResult {
 /// candidate yield in the `candidates_per_attr` trace histogram; the
 /// nested extraction and verification phases record their own spans and
 /// counters.
-pub fn discover(
-    engine: &SearchEngine,
+pub fn discover<E: QueryEngine>(
+    engine: &E,
     label: &str,
     info: &DomainInfo,
     cfg: &WebIQConfig,
@@ -73,7 +73,7 @@ pub fn discover(
 mod tests {
     use super::*;
     use webiq_data::{corpus, kb};
-    use webiq_web::{gen, Corpus, GenConfig};
+    use webiq_web::{gen, Corpus, GenConfig, SearchEngine};
 
     fn airfare_engine() -> SearchEngine {
         let def = kb::domain("airfare").expect("domain");

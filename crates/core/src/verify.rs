@@ -3,7 +3,7 @@
 
 use webiq_stats::{outlier, pmi};
 use webiq_trace::Counter;
-use webiq_web::SearchEngine;
+use webiq_web::QueryEngine;
 
 use crate::config::WebIQConfig;
 
@@ -31,8 +31,8 @@ pub struct VerificationOutcome {
 /// phrase (§2.2): `PMI(V, x) = NumHits(V + x) / (NumHits(V) · NumHits(x))`,
 /// or the raw joint hit count when `use_pmi` is off (the ablation that
 /// exhibits popularity bias).
-pub fn validation_score(
-    engine: &SearchEngine,
+pub fn validation_score<E: QueryEngine>(
+    engine: &E,
     phrase: &str,
     candidate: &str,
     use_pmi: bool,
@@ -47,8 +47,8 @@ pub fn validation_score(
 }
 
 /// The full validation vector of a candidate across all phrases.
-pub fn validation_vector(
-    engine: &SearchEngine,
+pub fn validation_vector<E: QueryEngine>(
+    engine: &E,
     phrases: &[String],
     candidate: &str,
     use_pmi: bool,
@@ -60,8 +60,8 @@ pub fn validation_vector(
 }
 
 /// Average validation score (the paper's confidence score).
-pub fn confidence(
-    engine: &SearchEngine,
+pub fn confidence<E: QueryEngine>(
+    engine: &E,
     phrases: &[String],
     candidate: &str,
     use_pmi: bool,
@@ -75,8 +75,16 @@ pub fn confidence(
 /// by confidence. Traced as a `verify` span; removals and survivors are
 /// tallied under [`Counter::OutliersRemoved`],
 /// [`Counter::ValidationRejected`], and [`Counter::ValidationAccepted`].
-pub fn verify_candidates(
-    engine: &SearchEngine,
+///
+/// When the engine reports that hit-count evidence is no longer
+/// trustworthy ([`QueryEngine::validation_available`] — e.g. the daily
+/// quota is exhausted), Web validation degrades to **statistics-only**
+/// filtering: the outlier phase still runs, but survivors are kept
+/// unscored rather than burning queries that would be denied anyway.
+/// The validation counters are left untouched in that mode — the stage
+/// genuinely did not run.
+pub fn verify_candidates<E: QueryEngine>(
+    engine: &E,
     phrases: &[String],
     candidates: &[String],
     cfg: &WebIQConfig,
@@ -94,6 +102,21 @@ pub fn verify_candidates(
             0,
         )
     };
+
+    if !engine.validation_available() {
+        let mut instances: Vec<ValidatedInstance> = kept
+            .into_iter()
+            .map(|text| ValidatedInstance { text, score: 0.0 })
+            .collect();
+        instances.sort_by(|a, b| a.text.cmp(&b.text));
+        instances.truncate(cfg.k);
+        webiq_trace::add(Counter::OutliersRemoved, outliers_removed as u64);
+        return VerificationOutcome {
+            instances,
+            outliers_removed,
+            validation_removed: 0,
+        };
+    }
 
     let mut scored: Vec<ValidatedInstance> = kept
         .into_iter()
@@ -125,7 +148,7 @@ pub fn verify_candidates(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use webiq_web::Corpus;
+    use webiq_web::{Corpus, SearchEngine};
 
     fn engine() -> SearchEngine {
         SearchEngine::new(Corpus::from_texts([

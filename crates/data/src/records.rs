@@ -8,6 +8,7 @@
 //! the exact discrimination Attr-Deep (§4) relies on.
 
 use webiq_deep::{DeepSource, ParamDomain, Record, RecordStore, SourceParam};
+use webiq_fault::FaultPlan;
 use webiq_rng::{SliceRandom, StdRng};
 
 use crate::generate::site_pool;
@@ -23,7 +24,12 @@ pub struct RecordOptions {
     pub seed: u64,
     /// Fraction of probe submissions answered with a server error
     /// (deterministic failure injection; live 2006 sources were flaky).
+    /// These failures are permanent: the draw is attempt-blind, so
+    /// retrying never helps. Ignored when `fault_plan` is set.
     pub failure_rate: f64,
+    /// Attempt-aware fault plan for the source. Takes precedence over
+    /// `failure_rate` and enables transient faults that clear on retry.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RecordOptions {
@@ -32,6 +38,7 @@ impl Default for RecordOptions {
             records: 150,
             seed: 0xdeeb,
             failure_rate: 0.0,
+            fault_plan: None,
         }
     }
 }
@@ -84,7 +91,11 @@ pub fn build_deep_source(def: &DomainDef, iface: &Interface, opts: &RecordOption
         })
         .collect();
 
-    DeepSource::new(iface.site.clone(), params, store).with_failure_rate(opts.failure_rate)
+    let source = DeepSource::new(iface.site.clone(), params, store);
+    match &opts.fault_plan {
+        Some(plan) => source.with_fault_plan(plan.clone()),
+        None => source.with_failure_rate(opts.failure_rate),
+    }
 }
 
 #[cfg(test)]

@@ -15,11 +15,29 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use webiq_fault::FaultPlan;
 use webiq_trace::Counter;
 
 use crate::error::DeepError;
 use crate::record::{Record, RecordStore};
 use crate::render;
+
+/// How (and whether) the source injects failures.
+#[derive(Debug, Clone, Default)]
+enum Injection {
+    /// No injection: every valid submission reaches the backend.
+    #[default]
+    None,
+    /// Legacy attempt-blind injection: a fixed fraction of submissions
+    /// (chosen purely by a hash of the parameters) always fail — retrying
+    /// can never succeed. Kept byte-identical to the historical behaviour
+    /// and bumps no fault counters.
+    LegacyRate(f64),
+    /// Attempt-aware injection driven by a [`FaultPlan`]: transient faults
+    /// can clear on a later attempt, permanent ones never do. Injections
+    /// are tallied under [`Counter::FaultInjected`].
+    Plan(FaultPlan),
+}
 
 /// Constraint a source places on one of its parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,8 +67,7 @@ pub struct DeepSource {
     pub name: String,
     params: Vec<SourceParam>,
     store: RecordStore,
-    /// Fraction of probes answered with a 500 page, in [0, 1].
-    failure_rate: f64,
+    injection: Injection,
     probes: AtomicU64,
 }
 
@@ -61,16 +78,28 @@ impl DeepSource {
             name: name.into(),
             params,
             store,
-            failure_rate: 0.0,
+            injection: Injection::None,
             probes: AtomicU64::new(0),
         }
     }
 
     /// Enable deterministic failure injection: a `rate` fraction of
     /// submissions (chosen by a hash of the parameters) return a server
-    /// error page.
+    /// error page. These failures are *permanent* — the draw ignores the
+    /// attempt number, so a failing submission fails on every retry. Use
+    /// [`DeepSource::with_fault_plan`] for transient, attempt-aware faults.
     pub fn with_failure_rate(mut self, rate: f64) -> Self {
-        self.failure_rate = rate.clamp(0.0, 1.0);
+        self.injection = Injection::LegacyRate(rate.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Enable attempt-aware failure injection driven by `plan`. The fault
+    /// drawn for a submission is a pure function of the source name, the
+    /// parameter hash, and the attempt number, so transient faults can
+    /// clear on retry while permanent ones never do. Every injected fault
+    /// bumps [`Counter::FaultInjected`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.injection = Injection::Plan(plan);
         self
     }
 
@@ -98,9 +127,21 @@ impl DeepSource {
     /// Failure injection is a pure function of the parameters, so these
     /// tallies are deterministic and safe for the trace event stream.
     pub fn try_submit(&self, values: &BTreeMap<String, String>) -> Result<Vec<&Record>, DeepError> {
+        self.try_submit_attempt(values, 0)
+    }
+
+    /// [`DeepSource::try_submit`] with an explicit attempt number. Under a
+    /// [`FaultPlan`] the injected fault is a pure function of
+    /// `(source name, parameter hash, attempt)`, so a retry layer can pass
+    /// increasing attempt numbers and see transient faults clear.
+    pub fn try_submit_attempt(
+        &self,
+        values: &BTreeMap<String, String>,
+        attempt: u32,
+    ) -> Result<Vec<&Record>, DeepError> {
         self.probes.fetch_add(1, Ordering::Relaxed);
         webiq_trace::incr(Counter::ProbesIssued);
-        let result = self.serve(values);
+        let result = self.serve(values, attempt);
         webiq_trace::incr(match &result {
             Ok(matches) if matches.is_empty() => Counter::ProbeEmpty,
             Ok(_) => Counter::ProbeMatched,
@@ -112,11 +153,31 @@ impl DeepSource {
 
     /// The form handler behind [`DeepSource::try_submit`]: validation,
     /// failure injection, and the backend query.
-    fn serve(&self, values: &BTreeMap<String, String>) -> Result<Vec<&Record>, DeepError> {
-        if self.failure_rate > 0.0 {
-            let h = param_hash(values);
-            if (h % 10_000) as f64 / 10_000.0 < self.failure_rate {
-                return Err(DeepError::ServerError);
+    fn serve(
+        &self,
+        values: &BTreeMap<String, String>,
+        attempt: u32,
+    ) -> Result<Vec<&Record>, DeepError> {
+        match &self.injection {
+            Injection::None => {}
+            Injection::LegacyRate(rate) => {
+                if *rate > 0.0 {
+                    let h = param_hash(values);
+                    if (h % 10_000) as f64 / 10_000.0 < *rate {
+                        return Err(DeepError::ServerError);
+                    }
+                }
+            }
+            Injection::Plan(plan) => {
+                // DeepError carries no timeout/rate-limit variants: an HTML
+                // endpoint surfaces every injected fault as a 500 page.
+                if plan
+                    .decide(&self.name, param_hash(values), attempt)
+                    .is_some()
+                {
+                    webiq_trace::incr(Counter::FaultInjected);
+                    return Err(DeepError::ServerError);
+                }
             }
         }
 
@@ -158,7 +219,13 @@ impl DeepSource {
     /// it: the HTML response page, with every [`DeepError`] mapped to the
     /// corresponding error page.
     pub fn submit(&self, values: &BTreeMap<String, String>) -> String {
-        match self.try_submit(values) {
+        self.submit_attempt(values, 0)
+    }
+
+    /// [`DeepSource::submit`] with an explicit attempt number (see
+    /// [`DeepSource::try_submit_attempt`]).
+    pub fn submit_attempt(&self, values: &BTreeMap<String, String>, attempt: u32) -> String {
+        match self.try_submit_attempt(values, attempt) {
             Ok(matches) if matches.is_empty() => render::no_results_page(&self.name),
             Ok(matches) => render::results_page(&self.name, &matches),
             Err(DeepError::ServerError) => render::server_error_page(),
@@ -333,5 +400,60 @@ mod tests {
             }
         }
         assert!(failures > 5 && failures < 35, "failures = {failures}");
+    }
+
+    #[test]
+    fn transient_plan_faults_clear_on_a_later_attempt() {
+        let s = source().with_fault_plan(FaultPlan::transient_only(7, 0.6));
+        let vals = (0..50).map(|i| params(&[("from", &format!("city{i}"))]));
+        let mut cleared = 0;
+        for v in vals {
+            if s.try_submit_attempt(&v, 0).is_err() {
+                // a transient fault must eventually succeed on some retry
+                let ok = (1..8).any(|a| s.try_submit_attempt(&v, a).is_ok());
+                assert!(ok, "transient fault never cleared for {v:?}");
+                cleared += 1;
+            }
+        }
+        assert!(cleared > 5, "rate 0.6 injected only {cleared}/50");
+    }
+
+    #[test]
+    fn permanent_plan_faults_never_clear() {
+        let s = source().with_fault_plan(FaultPlan::permanent_only(1.0));
+        let v = params(&[("from", "Chicago")]);
+        for a in 0..5 {
+            assert!(s.try_submit_attempt(&v, a).is_err(), "attempt {a}");
+        }
+    }
+
+    #[test]
+    fn permanent_plan_matches_legacy_rate_draw() {
+        // with_failure_rate and permanent_only(rate) must fail the exact
+        // same submissions — the legacy draw is a property of the request
+        let legacy = source().with_failure_rate(0.5);
+        let plan = source().with_fault_plan(FaultPlan::permanent_only(0.5));
+        for i in 0..40 {
+            let v = params(&[("from", &format!("city{i}"))]);
+            assert_eq!(
+                legacy.try_submit(&v).is_err(),
+                plan.try_submit(&v).is_err(),
+                "probe {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_injection_bumps_fault_counter_but_legacy_does_not() {
+        let before = webiq_trace::snapshot();
+        let legacy = source().with_failure_rate(1.0);
+        let _ = legacy.try_submit(&params(&[("from", "Chicago")]));
+        let mid = webiq_trace::snapshot();
+        assert_eq!(mid.diff(&before).get(Counter::FaultInjected), 0);
+        let plan = source().with_fault_plan(FaultPlan::permanent_only(1.0));
+        let _ = plan.try_submit(&params(&[("from", "Chicago")]));
+        let d = webiq_trace::snapshot().diff(&mid);
+        assert_eq!(d.get(Counter::FaultInjected), 1);
+        assert_eq!(d.get(Counter::ProbeServerError), 1);
     }
 }

@@ -1,0 +1,158 @@
+//! Per-endpoint circuit breaker on virtual time.
+//!
+//! The classic three-state machine: **closed** (calls flow; consecutive
+//! failures are counted), **open** (calls fast-fail until a cooldown on
+//! the [`crate::VirtualClock`] elapses), **half-open** (one trial call
+//! is let through; success closes the breaker, failure re-opens it).
+//! All state lives in `Cell`s — a breaker belongs to one work item, so
+//! its evolution is single-threaded and deterministic.
+
+use std::cell::Cell;
+
+use crate::clock::VirtualClock;
+use crate::config::FaultConfig;
+
+/// The breaker's observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally.
+    Closed,
+    /// Calls fast-fail until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: one trial call decides.
+    HalfOpen,
+}
+
+/// A closed/open/half-open circuit breaker.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown_ms: u64,
+    state: Cell<BreakerState>,
+    consecutive_failures: Cell<u32>,
+    opened_at_ms: Cell<u64>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker opening after `threshold` consecutive failures
+    /// and half-opening `cooldown_ms` (virtual) later.
+    pub fn new(threshold: u32, cooldown_ms: u64) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown_ms,
+            state: Cell::new(BreakerState::Closed),
+            consecutive_failures: Cell::new(0),
+            opened_at_ms: Cell::new(0),
+        }
+    }
+
+    /// The breaker a [`FaultConfig`] describes.
+    pub fn from_config(cfg: &FaultConfig) -> Self {
+        CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown_ms)
+    }
+
+    /// Current state, transitioning open → half-open when the cooldown
+    /// has elapsed on `clock`.
+    pub fn state(&self, clock: &VirtualClock) -> BreakerState {
+        if self.state.get() == BreakerState::Open
+            && clock.now_ms().saturating_sub(self.opened_at_ms.get()) >= self.cooldown_ms
+        {
+            self.state.set(BreakerState::HalfOpen);
+        }
+        self.state.get()
+    }
+
+    /// May a call proceed right now?
+    pub fn allow(&self, clock: &VirtualClock) -> bool {
+        self.state(clock) != BreakerState::Open
+    }
+
+    /// Record a successful call: closes a half-open breaker and resets
+    /// the failure streak.
+    pub fn record_success(&self) {
+        self.consecutive_failures.set(0);
+        self.state.set(BreakerState::Closed);
+    }
+
+    /// Record a failed call: re-opens a half-open breaker immediately,
+    /// opens a closed one once the streak reaches the threshold.
+    pub fn record_failure(&self, clock: &VirtualClock) {
+        let now = clock.now_ms();
+        if self.state(clock) == BreakerState::HalfOpen {
+            self.state.set(BreakerState::Open);
+            self.opened_at_ms.set(now);
+            return;
+        }
+        let streak = self.consecutive_failures.get().saturating_add(1);
+        self.consecutive_failures.set(streak);
+        if streak >= self.threshold && self.state.get() == BreakerState::Closed {
+            self.state.set(BreakerState::Open);
+            self.opened_at_ms.set(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let clock = VirtualClock::new();
+        let b = CircuitBreaker::new(3, 500);
+        b.record_failure(&clock);
+        b.record_failure(&clock);
+        assert_eq!(b.state(&clock), BreakerState::Closed);
+        b.record_failure(&clock);
+        assert_eq!(b.state(&clock), BreakerState::Open);
+        assert!(!b.allow(&clock));
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let clock = VirtualClock::new();
+        let b = CircuitBreaker::new(2, 500);
+        b.record_failure(&clock);
+        b.record_success();
+        b.record_failure(&clock);
+        assert_eq!(b.state(&clock), BreakerState::Closed);
+    }
+
+    #[test]
+    fn full_recovery_cycle_open_half_open_closed() {
+        let clock = VirtualClock::new();
+        let b = CircuitBreaker::new(1, 500);
+        b.record_failure(&clock);
+        assert_eq!(b.state(&clock), BreakerState::Open);
+        clock.advance_ms(499);
+        assert!(!b.allow(&clock));
+        clock.advance_ms(1);
+        assert_eq!(b.state(&clock), BreakerState::HalfOpen);
+        assert!(b.allow(&clock));
+        b.record_success();
+        assert_eq!(b.state(&clock), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_failure_reopens_with_fresh_cooldown() {
+        let clock = VirtualClock::new();
+        let b = CircuitBreaker::new(1, 500);
+        b.record_failure(&clock);
+        clock.advance_ms(500);
+        assert_eq!(b.state(&clock), BreakerState::HalfOpen);
+        b.record_failure(&clock);
+        assert_eq!(b.state(&clock), BreakerState::Open);
+        clock.advance_ms(499);
+        assert!(!b.allow(&clock));
+        clock.advance_ms(1);
+        assert_eq!(b.state(&clock), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped_to_one() {
+        let clock = VirtualClock::new();
+        let b = CircuitBreaker::new(0, 100);
+        b.record_failure(&clock);
+        assert_eq!(b.state(&clock), BreakerState::Open);
+    }
+}

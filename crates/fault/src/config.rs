@@ -1,0 +1,110 @@
+//! End-to-end fault/retry configuration.
+//!
+//! [`FaultConfig`] is what `WebIQConfig.fault` carries: the injection
+//! rates a [`crate::FaultPlan`] draws from plus the knobs of the retry,
+//! breaker, budget, and quota machinery. The default is fully disabled —
+//! every rate zero, quota unlimited — and the resilience wrappers
+//! short-circuit to plain delegation in that state, so an unconfigured
+//! run is byte-identical to one built before this crate existed.
+
+/// Configuration for the whole resilience stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the fault schedule (transient draws only; permanent
+    /// faults are seed-independent by design — see [`crate::FaultPlan`]).
+    pub seed: u64,
+    /// Fraction of calls answered with a retryable server error.
+    pub transient_rate: f64,
+    /// Fraction of query keys that fail permanently (legacy draw).
+    pub permanent_rate: f64,
+    /// Fraction of calls that time out (retryable).
+    pub timeout_rate: f64,
+    /// Fraction of calls throttled by the dependency (retryable).
+    pub rate_limit_rate: f64,
+    /// Attempts per call including the first; 1 disables retries.
+    pub max_attempts: u32,
+    /// First backoff delay (virtual milliseconds).
+    pub base_backoff_ms: u64,
+    /// Backoff cap (virtual milliseconds).
+    pub max_backoff_ms: u64,
+    /// Consecutive failures that open a breaker.
+    pub breaker_threshold: u32,
+    /// Virtual milliseconds an open breaker waits before half-opening.
+    pub breaker_cooldown_ms: u64,
+    /// Retries one work item (attribute) may spend across all its calls
+    /// — the Fig. 8-style query-cost budget.
+    pub retry_budget: u64,
+    /// Engine calls allowed per run (the 2006 Google API's daily limit);
+    /// 0 = unlimited. When exhausted, Web validation degrades to
+    /// statistics-only checks.
+    pub daily_quota: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            transient_rate: 0.0,
+            permanent_rate: 0.0,
+            timeout_rate: 0.0,
+            rate_limit_rate: 0.0,
+            max_attempts: 3,
+            base_backoff_ms: 100,
+            max_backoff_ms: 2_000,
+            breaker_threshold: 5,
+            breaker_cooldown_ms: 1_000,
+            retry_budget: 32,
+            daily_quota: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// True when any machinery can observably engage: a nonzero
+    /// injection rate or a finite quota.
+    pub fn enabled(&self) -> bool {
+        self.transient_rate > 0.0
+            || self.permanent_rate > 0.0
+            || self.timeout_rate > 0.0
+            || self.rate_limit_rate > 0.0
+            || self.daily_quota > 0
+    }
+
+    /// Convenience: a config injecting transient faults at `rate` under
+    /// `seed`, everything else default.
+    pub fn chaos(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            transient_rate: rate,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        let cfg = FaultConfig::default();
+        assert!(!cfg.enabled());
+        assert_eq!(cfg.max_attempts, 3);
+        assert_eq!(cfg.daily_quota, 0);
+    }
+
+    #[test]
+    fn any_rate_or_quota_enables() {
+        assert!(FaultConfig::chaos(1, 0.1).enabled());
+        let quota_only = FaultConfig {
+            daily_quota: 100,
+            ..FaultConfig::default()
+        };
+        assert!(quota_only.enabled());
+        let timeouts = FaultConfig {
+            timeout_rate: 0.2,
+            ..FaultConfig::default()
+        };
+        assert!(timeouts.enabled());
+    }
+}

@@ -1,0 +1,107 @@
+//! Daily-quota tracking.
+//!
+//! The 2006 Google Web API allowed roughly [`GOOGLE_2006_DAILY_QUOTA`]
+//! queries a day. A [`QuotaTracker`] meters a run against such a limit;
+//! when it is exhausted the acquisition stack degrades Web validation
+//! from PMI-based hit-count checks to statistics-only filtering instead
+//! of aborting.
+//!
+//! The tracker is shared by every work item (one run, one API key), so
+//! it is the single piece of resilience state that is *not* per-item:
+//! with a finite quota and multiple workers, *which* item first observes
+//! exhaustion depends on scheduling. Quota-exhaustion experiments
+//! therefore run single-threaded; with the default unlimited quota the
+//! tracker never denies and determinism is unaffected at any width.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The 2006 Google Web API's daily query allowance.
+pub const GOOGLE_2006_DAILY_QUOTA: u64 = 1_000;
+
+/// A run-wide query meter. `limit == 0` means unlimited.
+#[derive(Debug)]
+pub struct QuotaTracker {
+    limit: u64,
+    used: AtomicU64,
+}
+
+impl QuotaTracker {
+    /// A tracker allowing `limit` queries (0 = unlimited).
+    pub fn new(limit: u64) -> Self {
+        QuotaTracker {
+            limit,
+            used: AtomicU64::new(0),
+        }
+    }
+
+    /// Charge `n` queries; false when the allowance is spent (the
+    /// charge is not applied in that case).
+    pub fn try_consume(&self, n: u64) -> bool {
+        if self.limit == 0 {
+            self.used.fetch_add(n, Ordering::Relaxed);
+            return true;
+        }
+        self.used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+                let next = used.saturating_add(n);
+                (next <= self.limit).then_some(next)
+            })
+            .is_ok()
+    }
+
+    /// True once a finite allowance is fully spent.
+    pub fn exhausted(&self) -> bool {
+        self.limit > 0 && self.used.load(Ordering::Relaxed) >= self.limit
+    }
+
+    /// Queries charged so far.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// The configured allowance (0 = unlimited).
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_denies_but_still_counts() {
+        let q = QuotaTracker::new(0);
+        for _ in 0..100 {
+            assert!(q.try_consume(5));
+        }
+        assert_eq!(q.used(), 500);
+        assert!(!q.exhausted());
+    }
+
+    #[test]
+    fn finite_quota_denies_at_the_limit() {
+        let q = QuotaTracker::new(3);
+        assert!(q.try_consume(1));
+        assert!(q.try_consume(2));
+        assert!(q.exhausted());
+        assert!(!q.try_consume(1));
+        assert_eq!(q.used(), 3, "denied charges must not be applied");
+    }
+
+    #[test]
+    fn oversized_charge_is_denied_whole() {
+        let q = QuotaTracker::new(10);
+        assert!(!q.try_consume(11));
+        assert_eq!(q.used(), 0);
+        assert!(q.try_consume(10));
+        assert!(q.exhausted());
+    }
+
+    #[test]
+    fn the_historic_limit_is_what_the_paper_era_had() {
+        assert_eq!(GOOGLE_2006_DAILY_QUOTA, 1_000);
+        let q = QuotaTracker::new(GOOGLE_2006_DAILY_QUOTA);
+        assert_eq!(q.limit(), 1_000);
+    }
+}

@@ -1,0 +1,179 @@
+//! Retry policy: capped exponential backoff with deterministic jitter,
+//! plus per-work-item retry budgets.
+//!
+//! Delays are *virtual* (see [`crate::VirtualClock`]) and the jitter is
+//! a pure function of `(jitter seed, query key, attempt)`, so two runs —
+//! or two worker counts — retry identically. The budget mirrors the
+//! paper's Fig. 8 accounting: queries cost real quota, so one stubborn
+//! attribute must not be allowed to spend the whole run's allowance.
+
+use std::cell::Cell;
+
+use crate::config::FaultConfig;
+use crate::plan::mix;
+
+/// When and how long to back off between attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per call including the first; 1 disables retries.
+    pub max_attempts: u32,
+    /// First backoff delay (virtual ms) — also the jitter span.
+    pub base_backoff_ms: u64,
+    /// Cap on the exponential portion (virtual ms).
+    pub max_backoff_ms: u64,
+    /// Seed of the deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// The policy a [`FaultConfig`] describes (jitter seeded from the
+    /// fault seed so one knob steers the whole schedule).
+    pub fn from_config(cfg: &FaultConfig) -> Self {
+        RetryPolicy {
+            max_attempts: cfg.max_attempts.max(1),
+            base_backoff_ms: cfg.base_backoff_ms,
+            max_backoff_ms: cfg.max_backoff_ms.max(cfg.base_backoff_ms),
+            jitter_seed: cfg.seed,
+        }
+    }
+
+    /// May a call proceed to `attempt` (0-based)? Attempt 0 is always
+    /// allowed; retries stop once `max_attempts` have run.
+    pub fn allows(&self, attempt: u32) -> bool {
+        attempt < self.max_attempts
+    }
+
+    /// Backoff before `attempt` (the attempt about to run, 1-based in
+    /// effect): `base * 2^(attempt-1)` capped at `max`, plus a
+    /// deterministic jitter in `[0, base)` drawn from
+    /// `(jitter_seed, key, attempt)`.
+    pub fn backoff_ms(&self, key: u64, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        let shift = u32::min(attempt - 1, 20);
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff_ms);
+        let jitter = if self.base_backoff_ms > 0 {
+            mix(&[self.jitter_seed, key, u64::from(attempt), 0x6a17]) % self.base_backoff_ms
+        } else {
+            0
+        };
+        exp.saturating_add(jitter)
+    }
+}
+
+/// How many retries one work item may still spend.
+///
+/// Single-threaded by design (one budget per work item), like the rest
+/// of the per-item resilience state.
+#[derive(Debug)]
+pub struct RetryBudget {
+    remaining: Cell<u64>,
+}
+
+impl RetryBudget {
+    /// A budget of `n` retries.
+    pub fn new(n: u64) -> Self {
+        RetryBudget {
+            remaining: Cell::new(n),
+        }
+    }
+
+    /// Spend one retry; false when the budget is exhausted.
+    pub fn try_take(&self) -> bool {
+        let left = self.remaining.get();
+        if left == 0 {
+            return false;
+        }
+        self.remaining.set(left - 1);
+        true
+    }
+
+    /// Retries left.
+    pub fn remaining(&self) -> u64 {
+        self.remaining.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 100,
+            max_backoff_ms: 1_000,
+            jitter_seed: 9,
+        }
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let p = policy();
+        assert!(p.allows(0));
+        assert!(p.allows(3));
+        assert!(!p.allows(4));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = policy();
+        assert_eq!(p.backoff_ms(1, 0), 0);
+        let b1 = p.backoff_ms(1, 1);
+        let b2 = p.backoff_ms(1, 2);
+        let b3 = p.backoff_ms(1, 3);
+        assert!((100..200).contains(&b1), "b1 = {b1}");
+        assert!((200..300).contains(&b2), "b2 = {b2}");
+        assert!((400..500).contains(&b3), "b3 = {b3}");
+        // Deep attempts hit the cap (plus jitter below base).
+        let b9 = p.backoff_ms(1, 9);
+        assert!((1_000..1_100).contains(&b9), "b9 = {b9}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_but_key_dependent() {
+        let p = policy();
+        assert_eq!(p.backoff_ms(42, 2), p.backoff_ms(42, 2));
+        let spread = (0..100u64)
+            .map(|k| p.backoff_ms(k, 1))
+            .collect::<std::collections::BTreeSet<_>>();
+        assert!(spread.len() > 10, "jitter is degenerate: {}", spread.len());
+    }
+
+    #[test]
+    fn zero_base_means_no_jitter() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+            jitter_seed: 1,
+        };
+        assert_eq!(p.backoff_ms(5, 1), 0);
+        assert_eq!(p.backoff_ms(5, 2), 0);
+    }
+
+    #[test]
+    fn budget_depletes_exactly() {
+        let b = RetryBudget::new(2);
+        assert!(b.try_take());
+        assert!(b.try_take());
+        assert!(!b.try_take());
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn from_config_clamps_degenerate_knobs() {
+        let p = RetryPolicy::from_config(&FaultConfig {
+            max_attempts: 0,
+            base_backoff_ms: 500,
+            max_backoff_ms: 10,
+            ..FaultConfig::default()
+        });
+        assert_eq!(p.max_attempts, 1);
+        assert!(p.max_backoff_ms >= p.base_backoff_ms);
+    }
+}

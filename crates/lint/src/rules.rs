@@ -43,6 +43,10 @@ pub const RULES: &[(&str, &str)] = &[
         "unordered HashMap/HashSet iteration in a `lint:deterministic` module",
     ),
     (
+        "no-sleep",
+        "`thread::sleep` or timeout-based blocking outside the virtual-clock/bench code",
+    ),
+    (
         "trace-hygiene",
         "discarded span guard (`let _ = span(…)`) or wall-clock type in webiq-trace outside timing.rs",
     ),
@@ -96,6 +100,11 @@ pub struct Scope {
     pub wallclock_exempt_files: Vec<String>,
     /// File names allowed to read `env::var` (thread-count plumbing).
     pub env_exempt_files: Vec<String>,
+    /// File names allowed to block on real time (`thread::sleep`,
+    /// `*_timeout` waits): the virtual-clock module and the trace timing
+    /// module. Bench crates are exempt via
+    /// [`Scope::wallclock_exempt_crates`].
+    pub sleep_exempt_files: Vec<String>,
 }
 
 impl Default for Scope {
@@ -107,12 +116,13 @@ impl Default for Scope {
             // itself to its own standard). `rng` (test harness) and
             // `bench` are exempt.
             panic_crates: v(&[
-                "core", "data", "deep", "html", "lint", "matcher", "nlp", "obs", "stats", "trace",
-                "web", "webiq",
+                "core", "data", "deep", "fault", "html", "lint", "matcher", "nlp", "obs", "stats",
+                "trace", "web", "webiq",
             ]),
             wallclock_exempt_crates: v(&["bench"]),
             wallclock_exempt_files: v(&["timing.rs"]),
             env_exempt_files: v(&["config.rs", "index.rs"]),
+            sleep_exempt_files: v(&["clock.rs", "timing.rs"]),
         }
     }
 }
@@ -175,6 +185,12 @@ pub fn lint_source(file: &SourceFile, scope: &Scope) -> FileOutcome {
     let wallclock_scope = !scope.wallclock_exempt_crates.contains(&file.crate_name)
         && !scope.wallclock_exempt_files.contains(&file.file_name);
     let env_scope = !scope.env_exempt_files.contains(&file.file_name);
+    // Library code waits on the virtual clock, never on real time; the
+    // bench crates (which measure real time by design) and the sanctioned
+    // clock/timing modules are the only places allowed to block.
+    let sleep_scope = !scope.wallclock_exempt_crates.contains(&file.crate_name)
+        && !scope.sleep_exempt_files.contains(&file.file_name)
+        && !file.is_bin;
     // `webiq-trace` promises byte-identical traces, so wall-clock types
     // may not even be *named* there outside the sanctioned timing module
     // (the plain wall-clock rule only catches `::now()` call sites).
@@ -215,6 +231,11 @@ pub fn lint_source(file: &SourceFile, scope: &Scope) -> FileOutcome {
                     t.text
                 ),
             );
+        }
+        if sleep_scope {
+            if let Some(msg) = sleep_at(&sig, i) {
+                push(file, t, "no-sleep", msg);
+            }
         }
         if env_scope && env_read_at(&sig, i) {
             push(
@@ -512,6 +533,38 @@ fn wall_clock_at(sig: &[Tok], i: usize) -> bool {
         && sig
             .get(i.saturating_add(3))
             .is_some_and(|n| n.is_ident("now"))
+}
+
+/// Blocking methods that wait out a real `Duration` (thread parking,
+/// channel receives, condvar waits).
+const TIMEOUT_WAITS: [&str; 3] = ["park_timeout", "recv_timeout", "wait_timeout"];
+
+/// `no-sleep`: `thread::sleep(…)` or a called `*_timeout` wait — real-time
+/// blocking that belongs behind the virtual clock in library code.
+fn sleep_at(sig: &[Tok], i: usize) -> Option<String> {
+    let t = sig.get(i)?;
+    if t.is_ident("thread")
+        && path_sep(sig, i.saturating_add(1))
+        && sig
+            .get(i.saturating_add(3))
+            .is_some_and(|n| n.is_ident("sleep"))
+    {
+        return Some(
+            "`thread::sleep` in library code; back off on the virtual clock instead".into(),
+        );
+    }
+    if t.kind == TokKind::Ident
+        && TIMEOUT_WAITS.iter().any(|w| t.is_ident(w))
+        && sig
+            .get(i.saturating_add(1))
+            .is_some_and(|n| n.is_punct('('))
+    {
+        return Some(format!(
+            "`{}` blocks on real time in library code; wait on the virtual clock instead",
+            t.text
+        ));
+    }
+    None
 }
 
 /// `env-read`: `env::var` / `env::var_os`.
@@ -883,6 +936,54 @@ mod tests {
         let mut f = lib_file("fn f() { let v = std::env::var(\"X\"); }");
         f.file_name = "config.rs".into();
         assert!(lint_source(&f, &Scope::default()).violations.is_empty());
+    }
+
+    #[test]
+    fn sleep_and_timeout_waits_flagged() {
+        assert_eq!(
+            rules_hit("fn f() { std::thread::sleep(d); }"),
+            vec!["no-sleep"]
+        );
+        assert_eq!(rules_hit("fn f() { thread::sleep(d); }"), vec!["no-sleep"]);
+        assert_eq!(
+            rules_hit("fn f(rx: &Receiver<u32>) { let _v = rx.recv_timeout(d); }"),
+            vec!["no-sleep"]
+        );
+        assert_eq!(
+            rules_hit("fn f() { std::thread::park_timeout(d); }"),
+            vec!["no-sleep"]
+        );
+        // virtual-clock advancement and non-blocking calls pass
+        assert!(rules_hit("fn f(c: &VirtualClock) { c.advance_ms(100); }").is_empty());
+        assert!(rules_hit("fn f(rx: &Receiver<u32>) { let _v = rx.recv(); }").is_empty());
+    }
+
+    #[test]
+    fn sleep_exemptions_cover_clock_timing_and_bench() {
+        let src = "fn f() { std::thread::sleep(d); }";
+        let mut clock = lib_file(src);
+        clock.rel = "crates/fault/src/clock.rs".into();
+        clock.crate_name = "fault".into();
+        clock.file_name = "clock.rs".into();
+        assert!(lint_source(&clock, &Scope::default()).violations.is_empty());
+        let mut bench = lib_file(src);
+        bench.rel = "crates/bench/src/run.rs".into();
+        bench.crate_name = "bench".into();
+        bench.file_name = "run.rs".into();
+        assert!(lint_source(&bench, &Scope::default()).violations.is_empty());
+    }
+
+    #[test]
+    fn fault_crate_is_in_panic_scope() {
+        let mut f = lib_file("fn f() { x.unwrap(); }");
+        f.rel = "crates/fault/src/x.rs".into();
+        f.crate_name = "fault".into();
+        let rules: Vec<_> = lint_source(&f, &Scope::default())
+            .violations
+            .iter()
+            .map(|v| v.rule)
+            .collect();
+        assert_eq!(rules, vec!["no-unwrap"]);
     }
 
     #[test]

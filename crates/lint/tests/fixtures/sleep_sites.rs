@@ -1,0 +1,23 @@
+//! Fixture: the no-sleep rule — real-time blocking in library code.
+//! Expected: no-sleep x3, one honoured suppression, nothing else.
+
+pub fn nap(d: std::time::Duration) {
+    std::thread::sleep(d);
+}
+
+pub fn drain(rx: &std::sync::mpsc::Receiver<u32>, d: std::time::Duration) -> Option<u32> {
+    rx.recv_timeout(d).ok()
+}
+
+pub fn park(d: std::time::Duration) {
+    std::thread::park_timeout(d);
+}
+
+pub fn sanctioned(d: std::time::Duration) {
+    // lint:allow(no-sleep) opt-in latency simulation: models the network itself
+    std::thread::sleep(d);
+}
+
+pub fn virtual_wait(clock: &VirtualClock, ms: u64) {
+    clock.advance_ms(ms);
+}

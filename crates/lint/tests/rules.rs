@@ -102,6 +102,37 @@ fn determinism_rules_fire_in_tagged_module() {
 }
 
 #[test]
+fn no_sleep_flags_real_time_blocking_in_library_code() {
+    let f = lib_file("sleep_sites.rs", include_str!("fixtures/sleep_sites.rs"));
+    let r = lint_one(&f);
+    assert_eq!(count(&r, "no-sleep"), 3, "\n{}", r.render());
+    assert_eq!(r.violations.len(), 3, "\n{}", r.render());
+    assert_eq!(r.suppressed, 1, "the allowed sleep is suppressed");
+}
+
+#[test]
+fn no_sleep_exempts_virtual_clock_timing_and_bench() {
+    let text = include_str!("fixtures/sleep_sites.rs");
+    let mut clock = lib_file("clock.rs", text);
+    clock.rel = "crates/fault/src/clock.rs".into();
+    clock.crate_name = "fault".into();
+    let r = lint_one(&clock);
+    assert!(r.is_clean(), "the clock module may sleep:\n{}", r.render());
+
+    let mut timing = lib_file("timing.rs", text);
+    timing.rel = "crates/trace/src/timing.rs".into();
+    timing.crate_name = "trace".into();
+    let r = lint_one(&timing);
+    assert!(r.is_clean(), "timing.rs may sleep:\n{}", r.render());
+
+    let mut bench = lib_file("harness.rs", text);
+    bench.rel = "crates/bench/src/harness.rs".into();
+    bench.crate_name = "bench".into();
+    let r = lint_one(&bench);
+    assert!(r.is_clean(), "bench crates may sleep:\n{}", r.render());
+}
+
+#[test]
 fn trace_hygiene_flags_discarded_guards() {
     let f = lib_file(
         "trace_hygiene.rs",

@@ -24,7 +24,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of [`Counter`] variants (the fixed size of a [`MetricSet`]).
-pub const NUM_COUNTERS: usize = 37;
+pub const NUM_COUNTERS: usize = 43;
 
 /// Every counter the pipeline records, in serialization order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -103,6 +103,18 @@ pub enum Counter {
     ClusterIterations,
     /// Cluster merges performed by the matcher.
     ClusterMerges,
+    /// Faults injected by the seeded fault plan (all kinds).
+    FaultInjected,
+    /// Retries attempted after an injected fault.
+    FaultRetryAttempt,
+    /// Calls abandoned after the retry policy/budget ran out.
+    FaultRetryExhausted,
+    /// Calls fast-failed by an open circuit breaker.
+    FaultBreakerOpen,
+    /// Engine calls denied by the daily-quota tracker.
+    FaultQuotaDenied,
+    /// Attributes that finished in a degraded state (partial results).
+    FaultAttrsDegraded,
 }
 
 impl Counter {
@@ -145,6 +157,12 @@ impl Counter {
         Counter::ProbeServerError,
         Counter::ClusterIterations,
         Counter::ClusterMerges,
+        Counter::FaultInjected,
+        Counter::FaultRetryAttempt,
+        Counter::FaultRetryExhausted,
+        Counter::FaultBreakerOpen,
+        Counter::FaultQuotaDenied,
+        Counter::FaultAttrsDegraded,
     ];
 
     /// The counter's stable snake_case name (the JSONL key).
@@ -187,6 +205,12 @@ impl Counter {
             Counter::ProbeServerError => "probe_server_error",
             Counter::ClusterIterations => "cluster_iterations",
             Counter::ClusterMerges => "cluster_merges",
+            Counter::FaultInjected => "fault_injected",
+            Counter::FaultRetryAttempt => "fault_retry_attempt",
+            Counter::FaultRetryExhausted => "fault_retry_exhausted",
+            Counter::FaultBreakerOpen => "fault_breaker_open",
+            Counter::FaultQuotaDenied => "fault_quota_denied",
+            Counter::FaultAttrsDegraded => "fault_attrs_degraded",
         }
     }
 

@@ -44,6 +44,37 @@ pub struct Snippet {
     pub text: String,
 }
 
+/// The two query primitives WebIQ's components program against — the
+/// surface the paper used via Google's Web API. [`SearchEngine`]
+/// implements it directly; resilience wrappers (fault injection, retry,
+/// quota — see `webiq-core`'s `resilience` module) implement it by
+/// delegation, so every extraction/validation routine is generic over
+/// whether it talks to the raw engine or a guarded one.
+pub trait QueryEngine {
+    /// Top-`k` result snippets for `query` (extraction queries).
+    fn search(&self, query: &str, k: usize) -> Vec<Snippet>;
+
+    /// Number of pages matching `query` (validation queries).
+    fn num_hits(&self, query: &str) -> u64;
+
+    /// True while hit-count evidence is trustworthy. A quota-exhausted
+    /// wrapper returns false, telling validation to degrade from
+    /// PMI-based Web checks to statistics-only filtering.
+    fn validation_available(&self) -> bool {
+        true
+    }
+}
+
+impl QueryEngine for SearchEngine {
+    fn search(&self, query: &str, k: usize) -> Vec<Snippet> {
+        SearchEngine::search(self, query, k)
+    }
+
+    fn num_hits(&self, query: &str) -> u64 {
+        SearchEngine::num_hits(self, query)
+    }
+}
+
 /// Counters for engine traffic, used by the overhead analysis.
 ///
 /// Backed by a `webiq-trace` [`SharedMetrics`] array: miss counters count
@@ -165,6 +196,7 @@ impl SearchEngine {
     fn simulate_round_trip(&self) {
         let us = self.latency_us.load(Ordering::Relaxed);
         if us > 0 {
+            // lint:allow(no-sleep) opt-in latency simulation: this models the network itself, not client-side waiting
             std::thread::sleep(std::time::Duration::from_micros(us));
         }
     }

@@ -15,6 +15,7 @@
 //! | [`matcher`] | the IceQ-style interface matcher (label/domain similarity + clustering) |
 //! | [`trace`] | deterministic structured tracing, pipeline metrics, run reports |
 //! | [`obs`] | live `/metrics` exposition, windowed aggregation, trace-diff regression gating |
+//! | [`fault`] | deterministic fault injection, virtual-time retry/backoff, circuit breaking, quota tracking |
 //! | [`core`] | **WebIQ itself**: Surface, Attr-Surface, Attr-Deep, and the §5 strategy |
 //!
 //! The [`pipeline`] module wires everything together for one domain; see
@@ -24,6 +25,7 @@
 pub use webiq_core as core;
 pub use webiq_data as data;
 pub use webiq_deep as deep;
+pub use webiq_fault as fault;
 pub use webiq_html as html;
 pub use webiq_match as matcher;
 pub use webiq_nlp as nlp;
@@ -41,6 +43,7 @@ pub mod pipeline {
     use webiq_data::records::{build_deep_source, RecordOptions};
     use webiq_data::{corpus, generate_domain, Dataset, DomainDef, GenOptions};
     use webiq_deep::DeepSource;
+    use webiq_fault::{FaultConfig, FaultPlan};
     use webiq_match::{
         attributes_of, match_attributes, MatchAttribute, MatchConfig, MatchResult, PrF1,
     };
@@ -77,6 +80,48 @@ pub mod pipeline {
                 name: domain.to_string(),
             })?;
             Self::from_def(def, seed)
+        }
+
+        /// [`Self::build`], with the Deep-Web sources running the
+        /// attempt-aware fault plan `fault` describes (when it is
+        /// enabled) instead of the legacy attempt-blind 5% failure rate.
+        /// Pass the same `fault` via [`WebIQConfig::fault`] to the
+        /// acquisition call so the retry layer and the sources draw from
+        /// one schedule — the `experiments chaos` harness does exactly
+        /// this.
+        ///
+        /// # Errors
+        ///
+        /// Same as [`Self::build`].
+        pub fn build_with_faults(
+            domain: &str,
+            seed: u64,
+            fault: &FaultConfig,
+        ) -> Result<Self, WebIqError> {
+            let def = webiq_data::kb::domain(domain).ok_or_else(|| WebIqError::UnknownDomain {
+                name: domain.to_string(),
+            })?;
+            let mut pipeline = Self::from_def(def, seed)?;
+            if fault.enabled() {
+                let plan = FaultPlan::from_config(fault);
+                pipeline.sources = pipeline
+                    .dataset
+                    .interfaces
+                    .iter()
+                    .map(|i| {
+                        build_deep_source(
+                            def,
+                            i,
+                            &RecordOptions {
+                                seed,
+                                fault_plan: Some(plan.clone()),
+                                ..RecordOptions::default()
+                            },
+                        )
+                    })
+                    .collect();
+            }
+            Ok(pipeline)
         }
 
         /// Build from a domain definition.
