@@ -23,7 +23,10 @@
 //! catalogue.
 #![forbid(unsafe_code)]
 
+pub mod flow;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod walk;
@@ -31,6 +34,7 @@ pub mod walk;
 use std::io;
 use std::path::Path;
 
+pub use flow::{flow_workspace, FlowReport};
 pub use report::{LintReport, Violation};
 pub use rules::{Scope, SourceFile, RULES};
 

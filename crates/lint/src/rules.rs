@@ -62,6 +62,18 @@ pub const RULES: &[(&str, &str)] = &[
         "bad-allow",
         "`lint:allow` without a reason or naming an unknown rule",
     ),
+    (
+        "flow-panic",
+        "a public API of a certified crate transitively reaches a panic site (call-graph pass)",
+    ),
+    (
+        "flow-lock",
+        "nested or inconsistently-ordered Mutex acquisition that could deadlock (call-graph pass)",
+    ),
+    (
+        "flow-taint",
+        "a nondeterministic source may flow into trace/obs emission (call-graph pass)",
+    ),
 ];
 
 /// Is `rule` a known rule id?
@@ -148,13 +160,16 @@ struct Allow {
 /// An inclusive line range exempt from the code rules (a `#[cfg(test)]`
 /// item, typically the test module at the bottom of a file).
 #[derive(Debug, Clone, Copy)]
-struct LineRange {
-    start: u32,
-    end: u32,
+pub struct LineRange {
+    /// First exempt line (1-based, inclusive).
+    pub start: u32,
+    /// Last exempt line (1-based, inclusive).
+    pub end: u32,
 }
 
 impl LineRange {
-    fn contains(&self, line: u32) -> bool {
+    /// Is `line` inside this range?
+    pub fn contains(&self, line: u32) -> bool {
         self.start <= line && line <= self.end
     }
 }
@@ -372,7 +387,7 @@ fn apply_allows(file: &SourceFile, raw: Vec<Violation>, allows: &[Allow]) -> Fil
 
 /// Inclusive line ranges of `#[cfg(test)]` items (attribute through the
 /// end of the item's brace block or terminating semicolon).
-fn cfg_test_ranges(sig: &[Tok]) -> Vec<LineRange> {
+pub fn cfg_test_ranges(sig: &[Tok]) -> Vec<LineRange> {
     let mut out = Vec::new();
     let mut i = 0usize;
     while let Some(t) = sig.get(i) {
@@ -486,7 +501,7 @@ fn panic_rule_at(sig: &[Tok], i: usize) -> Option<(&'static str, String)> {
 /// `slice-arith`: an index expression (`x[…]` following a value) whose
 /// bracket contents contain a binary `-` — the underflow-prone pattern
 /// (`w[..n - 1]`, `v[v.len() - 1]`).
-fn slice_arith_at(sig: &[Tok], i: usize) -> bool {
+pub fn slice_arith_at(sig: &[Tok], i: usize) -> bool {
     let Some(t) = sig.get(i) else { return false };
     if !t.is_punct('[') {
         return false;
@@ -635,7 +650,7 @@ fn path_sep(sig: &[Tok], i: usize) -> bool {
 const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
 
 /// Iterator-producing methods whose order is the hasher's.
-const ITER_METHODS: [&str; 7] = [
+pub const ITER_METHODS: [&str; 7] = [
     "iter",
     "iter_mut",
     "into_iter",
@@ -671,7 +686,7 @@ const SANCTIONED: [&str; 16] = [
 /// `name = HashMap::new()`-style bindings. A documented heuristic: it sees
 /// only in-file declarations, so tag-file authors keep hash-typed locals
 /// locally annotated (the workspace style does anyway).
-fn collect_hash_names(sig: &[Tok]) -> Vec<String> {
+pub fn collect_hash_names(sig: &[Tok]) -> Vec<String> {
     let mut out: Vec<String> = Vec::new();
     for (i, t) in sig.iter().enumerate() {
         if t.kind != TokKind::Ident {
@@ -792,7 +807,7 @@ fn hash_iter_at<'a>(sig: &'a [Tok], i: usize, hash_names: &[String]) -> Option<(
 /// Does the statement containing the call at `open_paren` later re-sort
 /// or reduce the stream (a [`SANCTIONED`] ident before the statement
 /// ends)?
-fn statement_sanctioned(sig: &[Tok], open_paren: usize) -> bool {
+pub fn statement_sanctioned(sig: &[Tok], open_paren: usize) -> bool {
     let mut depth = 0i64;
     let mut j = open_paren;
     let mut budget = 400usize;

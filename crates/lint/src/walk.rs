@@ -1,10 +1,14 @@
 //! Deterministic workspace walker.
 //!
 //! Finds every Rust source file the lint pass covers — `src/**/*.rs` of
-//! the root crate and of each `crates/*` member — and classifies it into
-//! a [`SourceFile`] (owning crate, crate-root / bin status). Directory
-//! entries are sorted before recursion so the file order, and therefore
-//! every downstream report, is byte-identical across runs and platforms.
+//! the root crate and of each `crates/*` member, plus the workspace-root
+//! `tests/` and `examples/` trees — and classifies it into a
+//! [`SourceFile`] (owning crate, crate-root / bin status). Integration
+//! tests and examples are their own bin-like targets, so they classify
+//! as bins: they stay visible to hygiene rules but exempt from the
+//! library panic scope. Directory entries are sorted before recursion so
+//! the file order, and therefore every downstream report, is
+//! byte-identical across runs and platforms.
 
 use std::fs;
 use std::io;
@@ -19,10 +23,13 @@ use crate::rules::SourceFile;
 pub fn workspace_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
     let mut files = Vec::new();
 
-    // Root crate: src/**/*.rs, crate `webiq`.
-    let root_src = root.join("src");
-    if root_src.is_dir() {
-        collect(&root_src, &mut files)?;
+    // Root crate: src/**/*.rs plus its tests/ and examples/ targets,
+    // all crate `webiq`.
+    for tree in ["src", "tests", "examples"] {
+        let dir = root.join(tree);
+        if dir.is_dir() {
+            collect(&dir, &mut files)?;
+        }
     }
 
     // Workspace members: crates/<name>/src/**/*.rs.
@@ -85,12 +92,15 @@ fn classify(root: &Path, path: &Path) -> io::Result<Option<SourceFile>> {
     let rel = components_to_slash(rel_path);
     let parts: Vec<&str> = rel.split('/').collect();
 
-    // `src/…` → root crate `webiq`; `crates/<name>/src/…` → member crate.
-    let (crate_name, in_crate): (String, &[&str]) = match parts.split_first() {
-        Some((&"src", rest)) => ("webiq".to_string(), rest),
+    // `src/…` → root crate `webiq`; `crates/<name>/src/…` → member
+    // crate; `tests/…` and `examples/…` → root-crate targets that are
+    // bins for scoping purposes (each file is its own target root).
+    let (crate_name, in_crate, is_target): (String, &[&str], bool) = match parts.split_first() {
+        Some((&"src", rest)) => ("webiq".to_string(), rest, false),
+        Some((&"tests" | &"examples", rest)) => ("webiq".to_string(), rest, true),
         Some((&"crates", rest)) => match rest.split_first() {
             Some((name, tail)) => match tail.split_first() {
-                Some((&"src", inner)) => ((*name).to_string(), inner),
+                Some((&"src", inner)) => ((*name).to_string(), inner, false),
                 _ => return Ok(None),
             },
             None => return Ok(None),
@@ -109,7 +119,7 @@ fn classify(root: &Path, path: &Path) -> io::Result<Option<SourceFile>> {
         crate_name,
         file_name,
         is_crate_root: is_lib_root || is_main || is_named_bin,
-        is_bin: is_main || is_named_bin,
+        is_bin: is_main || is_named_bin || is_target,
         text,
     }))
 }

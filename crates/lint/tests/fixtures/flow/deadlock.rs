@@ -1,0 +1,29 @@
+//! Fixture: lock-order hazards the flow pass must detect — an ABBA
+//! inversion between two lock classes and a same-class nested
+//! acquisition. Never compiled into the crate; parsed by tests/flow.rs.
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u32 {
+        let ga = self.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let gb = self.b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *ga + *gb
+    }
+
+    pub fn ba(&self) -> u32 {
+        let gb = self.b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let ga = self.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *ga + *gb
+    }
+
+    pub fn nested(&self) -> u32 {
+        let g1 = self.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let g2 = self.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *g1 + *g2
+    }
+}

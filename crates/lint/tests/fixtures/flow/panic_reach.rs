@@ -1,0 +1,14 @@
+//! Fixture: a public API that reaches a panic site only transitively,
+//! through two private helpers — invisible to the lexical no-unwrap
+//! rule's caller, but provable on the call graph.
+pub fn entry(x: Option<u32>) -> u32 {
+    middle(x)
+}
+
+fn middle(x: Option<u32>) -> u32 {
+    inner(x)
+}
+
+fn inner(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,17 @@
+//! Fixture: a nondeterministic source (unsorted HashMap iteration)
+//! hidden inside a private helper, whose tainted caller emits through a
+//! trace sink. The taint must propagate through the helper boundary.
+use std::collections::HashMap;
+
+pub fn emit(t: &Tracer, m: &HashMap<String, u32>) {
+    let keys = unstable_keys(m);
+    t.add("keys", keys.len() as u64);
+}
+
+fn unstable_keys(m: &HashMap<String, u32>) -> Vec<String> {
+    let mut out = Vec::new();
+    for k in m.keys() {
+        out.push(k.clone());
+    }
+    out
+}

@@ -1,0 +1,9 @@
+//! Fixture: a stand-in trace emission sink for the taint fixture
+//! (classified as crate `trace` by the test harness).
+pub struct Tracer;
+
+impl Tracer {
+    pub fn add(&self, name: &str, v: u64) {
+        let _ = (name, v);
+    }
+}

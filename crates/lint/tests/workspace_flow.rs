@@ -1,0 +1,165 @@
+//! The tier-1 flow gate: the workspace's own call graph must certify
+//! every library crate panic-free with zero unsuppressed flow
+//! violations, the JSON report must be byte-identical across runs and
+//! match the committed `FLOW_BASELINE.json`, and the baseline
+//! comparison must catch injected regressions.
+
+use std::path::Path;
+use std::process::Command;
+
+use webiq_lint::flow::{self, CERTIFIED_CRATES};
+use webiq_lint::walk;
+
+fn workspace_root() -> std::path::PathBuf {
+    walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint")
+}
+
+#[test]
+fn workspace_flow_is_clean() {
+    let report = flow::flow_workspace(&workspace_root()).expect("flow analysis");
+    assert!(
+        report.violations.is_empty(),
+        "zero unsuppressed flow violations expected:\n{}",
+        report.render_text()
+    );
+    assert_eq!(
+        report.certificates.len(),
+        CERTIFIED_CRATES.len(),
+        "one certificate per certified crate"
+    );
+    for c in &report.certificates {
+        assert!(
+            c.panic_free,
+            "crate `{}` lost its panic certificate",
+            c.krate
+        );
+        assert!(
+            c.public_apis > 0,
+            "crate `{}` has no public APIs — roots are not being found",
+            c.krate
+        );
+    }
+    // the graph is real: over a thousand fns and thousands of edges
+    assert!(report.stats.functions > 1000, "{:?}", report.stats);
+    assert!(report.stats.edges > 1000, "{:?}", report.stats);
+}
+
+#[test]
+fn flow_report_is_byte_identical_and_matches_baseline() {
+    let root = workspace_root();
+    let a = flow::flow_workspace(&root).expect("first run");
+    let b = flow::flow_workspace(&root).expect("second run");
+    assert_eq!(
+        a.render_json(),
+        b.render_json(),
+        "reruns must be byte-identical"
+    );
+
+    let baseline =
+        std::fs::read_to_string(root.join("FLOW_BASELINE.json")).expect("committed baseline");
+    let regressions = flow::compare_baseline(&baseline, &a);
+    assert!(
+        regressions.is_empty(),
+        "report regressed against FLOW_BASELINE.json: {regressions:?}\n\
+         (re-generate with `cargo run -p webiq-lint -- --flow --flow-json FLOW_BASELINE.json`)"
+    );
+}
+
+#[test]
+fn baseline_comparison_catches_injected_regressions() {
+    let root = workspace_root();
+    let baseline =
+        std::fs::read_to_string(root.join("FLOW_BASELINE.json")).expect("committed baseline");
+    let mut doctored = flow::flow_workspace(&root).expect("flow analysis");
+
+    // inject a violation and flip a certificate, as a bad PR would
+    doctored.violations.push(flow::FlowViolation {
+        file: "crates/core/src/lib.rs".into(),
+        line: 1,
+        col: 1,
+        rule: "flow-panic",
+        msg: "injected regression".into(),
+    });
+    if let Some(c) = doctored.certificates.first_mut() {
+        c.panic_free = false;
+    }
+
+    let regressions = flow::compare_baseline(&baseline, &doctored);
+    assert!(
+        regressions.iter().any(|r| r.starts_with("new violation")),
+        "injected violation must be caught: {regressions:?}"
+    );
+    assert!(
+        regressions
+            .iter()
+            .any(|r| r.starts_with("certificate regression")),
+        "injected certificate flip must be caught: {regressions:?}"
+    );
+}
+
+#[test]
+fn binary_flow_gate_fails_on_regressed_workspace() {
+    // A fake workspace whose one certified-crate API transitively
+    // panics, checked against a baseline that claims it is clean: the
+    // --flow-baseline gate must exit non-zero and name the regression.
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("webiq-flow-dirty");
+    let src = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src).expect("create fake workspace");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+    std::fs::write(
+        src.join("lib.rs"),
+        "//! Fake crate.\npub fn f(x: Option<u32>) -> u32 { g(x) }\nfn g(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .expect("dirty source");
+    let clean_baseline = "{\n  \"certificates\": [\n    {\"crate\": \"core\", \"publicApis\": 1, \"panicFree\": true}\n  ],\n  \"results\": [\n  ]\n}\n";
+    let baseline_path = dir.join("FLOW_BASELINE.json");
+    std::fs::write(&baseline_path, clean_baseline).expect("baseline");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_webiq-lint"))
+        .arg("--flow")
+        .arg("--flow-baseline")
+        .arg(&baseline_path)
+        .arg(&dir)
+        .output()
+        .expect("run webiq-lint --flow");
+    assert!(
+        !out.status.success(),
+        "regressed workspace must fail the gate"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("flow regression"),
+        "gate names the regression:\n{stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("flow-panic"),
+        "report names the rule:\n{stdout}"
+    );
+
+    // and the same workspace passes against a matching baseline
+    let report_path = dir.join("report.json");
+    let gen = Command::new(env!("CARGO_BIN_EXE_webiq-lint"))
+        .arg("--flow")
+        .arg("--flow-json")
+        .arg(&report_path)
+        .arg(&dir)
+        .output()
+        .expect("generate report");
+    assert!(!gen.status.success(), "violations still exit non-zero");
+    let regen = std::fs::read_to_string(&report_path).expect("report written");
+    std::fs::write(&baseline_path, regen).expect("refresh baseline");
+    let ok = Command::new(env!("CARGO_BIN_EXE_webiq-lint"))
+        .arg("--flow")
+        .arg("--flow-baseline")
+        .arg(&baseline_path)
+        .arg(&dir)
+        .output()
+        .expect("run against refreshed baseline");
+    assert!(
+        ok.status.success(),
+        "matching baseline must pass: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+}

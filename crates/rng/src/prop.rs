@@ -61,7 +61,11 @@ pub fn charset(chars: &str) -> &'static [char] {
     use std::sync::Mutex;
     static INTERNED: OnceLock<Mutex<HashMap<String, &'static [char]>>> = OnceLock::new();
     let map = INTERNED.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut map = map.lock().expect("charset intern lock");
+    // Recover from poisoning: the intern table only grows with pure
+    // insertions, so a panicking holder cannot leave it inconsistent.
+    let mut map = map
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(cs) = map.get(chars) {
         return cs;
     }

@@ -196,7 +196,10 @@ impl SearchEngine {
     fn simulate_round_trip(&self) {
         let us = self.latency_us.load(Ordering::Relaxed);
         if us > 0 {
-            // lint:allow(no-sleep) opt-in latency simulation: this models the network itself, not client-side waiting
+            // Opt-in latency simulation: models the network's own round-trip
+            // (off by default, enabled only by chaos/latency experiments); no
+            // deterministic output depends on when this thread wakes.
+            // lint:allow(no-sleep) simulated network round-trip; output never depends on wake time
             std::thread::sleep(std::time::Duration::from_micros(us));
         }
     }

@@ -104,7 +104,10 @@ impl InvertedIndex {
             for h in handles {
                 let partial: HashMap<String, Postings> =
                     h.join().map_err(|_| WebError::IndexWorkerFailed)?;
-                // lint:allow(hash-iter) per-term appends commute; term order never reaches output
+                // Audited re-sort: per-term appends commute, and every read path
+                // (postings, term dumps) sorts before emission, so this iteration
+                // order is unobservable. The flow-taint pass keys off this allow.
+                // lint:allow(hash-iter) audited re-sort; order unobservable past the read paths
                 for (term, mut postings) in partial {
                     terms
                         .entry(term)
