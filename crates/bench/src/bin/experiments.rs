@@ -24,10 +24,20 @@
 //! cargo run --release -p webiq-bench --bin experiments -- chaos \
 //!     --quick --json --out chaos_verdict.json
 //! ```
+//!
+//! The `profile` subcommand runs the thread-count profiling sweep,
+//! prints the stage-tree attribution + scaling diagnosis, and writes
+//! `PROF_BASELINE.json` (exit 1 if the trace was not byte-identical
+//! across thread counts):
+//!
+//! ```sh
+//! cargo run --release -p webiq-bench --bin experiments -- profile \
+//!     --quick --out PROF_BASELINE.json
+//! ```
 #![forbid(unsafe_code)]
 
 use webiq_bench::json::{rows, Json};
-use webiq_bench::{chaos, experiments, monitor, render};
+use webiq_bench::{chaos, experiments, monitor, profile, render};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +47,10 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("chaos") {
         run_chaos(&argv[1..]);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("profile") {
+        run_profile(&argv[1..]);
         return;
     }
     let mut seed = experiments::SEED;
@@ -201,6 +215,72 @@ fn run_chaos(args: &[String]) {
         print!("{}", outcome.render_text());
     }
     if !outcome.pass {
+        std::process::exit(1);
+    }
+}
+
+/// `experiments profile`: the thread-count profiling sweep; prints the
+/// attribution + scaling report and exits 1 when the trace bytes were
+/// not identical across thread counts.
+fn run_profile(args: &[String]) {
+    let mut seed = experiments::SEED;
+    let mut quick = false;
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    let usage = "usage: experiments profile [--seed N] [--quick] [--json] \
+                 [--out PROF_BASELINE.json]";
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = it.next().cloned().unwrap_or_default();
+                seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --seed value {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--out" => match it.next() {
+                Some(v) => out_path = Some(v.clone()),
+                None => {
+                    eprintln!("--out needs a path argument\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("{usage}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (domains, threads): (&[&str], &[usize]) = if quick {
+        (&profile::QUICK_DOMAINS, &profile::QUICK_THREADS)
+    } else {
+        (&profile::DOMAINS, &profile::FULL_THREADS)
+    };
+    let outcome = profile::sweep(domains, seed, threads).unwrap_or_else(|e| {
+        eprintln!("profile: {e}");
+        std::process::exit(1);
+    });
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &outcome.baseline_json) {
+            eprintln!("profile: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if json {
+        print!("{}", outcome.baseline_json);
+    } else {
+        print!("{}", outcome.report);
+    }
+    if !outcome.deterministic {
+        eprintln!("profile: trace bytes differ across thread counts — determinism violated");
         std::process::exit(1);
     }
 }

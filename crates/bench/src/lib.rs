@@ -11,5 +11,6 @@ pub mod chaos;
 pub mod experiments;
 pub mod json;
 pub mod monitor;
+pub mod profile;
 pub mod render;
 pub mod timing;

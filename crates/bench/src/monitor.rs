@@ -70,14 +70,18 @@ pub fn run(domain: &str, seed: u64) -> Result<MonitorOutcome, String> {
     let trace_jsonl = buf.contents_string();
 
     // Scrape the live endpoint; fall back to a direct render when the
-    // environment refused the bind (the bodies are identical either way
-    // — the server serves exactly `registry.render()`).
+    // environment refused the bind. The server serves
+    // `registry.render_live()` — the deterministic render plus the
+    // scheduling-dependent `webiq_prof_*` appendix — so the appendix is
+    // stripped here: this artifact is compared byte-for-byte across
+    // runs and worker counts, and after the strip both paths yield
+    // exactly `registry.render()`.
     let (metrics_text, healthz, served_over_http) = match &server {
         Some(s) => {
             let m = http_get(s.local_addr(), "/metrics").map(|(_, body)| body);
             let h = http_get(s.local_addr(), "/healthz").map(|(_, body)| body);
             match (m, h) {
-                (Ok(m), Ok(h)) => (m, h, true),
+                (Ok(m), Ok(h)) => (strip_prof(&m), h, true),
                 _ => (registry.render(), String::new(), false),
             }
         }
@@ -127,6 +131,16 @@ pub fn run(domain: &str, seed: u64) -> Result<MonitorOutcome, String> {
     })
 }
 
+/// Drop the `webiq_prof_*` families (values and `# TYPE` headers) from a
+/// `/metrics` scrape, leaving the deterministic exposition.
+fn strip_prof(scrape: &str) -> String {
+    scrape
+        .lines()
+        .filter(|l| !l.contains("webiq_prof_"))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +154,10 @@ mod tests {
         assert_eq!(a.summary, b.summary);
         assert!(!a.trace_jsonl.is_empty());
         assert!(a.metrics_text.contains("webiq_attrs_total_total"));
+        assert!(
+            !a.metrics_text.contains("webiq_prof_"),
+            "the scheduling-dependent prof appendix must be stripped"
+        );
         if a.served_over_http {
             assert_eq!(a.healthz, "ok\n");
         }

@@ -27,6 +27,7 @@ use webiq_deep::DeepSource;
 use webiq_fault::{FaultConfig, QuotaTracker};
 use webiq_match::domsim;
 use webiq_match::labelsim;
+use webiq_prof::Stage;
 use webiq_trace::timing::Stopwatch;
 use webiq_trace::{Counter, Gauge, HistKey, ItemBuf, MetricSet};
 use webiq_web::{QueryEngine, SearchEngine};
@@ -372,7 +373,9 @@ fn attribute_body<E: QueryEngine>(
             let sw = Stopwatch::start();
             let mut attr_info = info.clone();
             attr_info.sibling_terms = sibling_terms(ds, r1);
-            let result = surface::discover(engine, &a1.label, &attr_info, cfg);
+            let result = webiq_prof::time(Stage::Extract, || {
+                surface::discover(engine, &a1.label, &attr_info, cfg)
+            });
             surface_secs = sw.elapsed_secs();
             let delta = webiq_trace::snapshot().diff(&before);
             webiq_trace::add(Counter::SurfaceQueries, engine_queries(&delta));
@@ -425,7 +428,7 @@ fn attribute_body<E: QueryEngine>(
                 } else {
                     tried += 1;
                     webiq_trace::incr(Counter::BorrowProbed);
-                    let outcome = match res {
+                    let outcome = webiq_prof::time(Stage::Borrow, || match res {
                         Some(res) => attr_deep::validate_borrowed(
                             &ResilientSource::new(&sources[r1.0], res),
                             &a1.name,
@@ -433,7 +436,7 @@ fn attribute_body<E: QueryEngine>(
                             cfg,
                         ),
                         None => attr_deep::validate_borrowed(&sources[r1.0], &a1.name, inst, cfg),
-                    };
+                    });
                     if outcome.accepted {
                         webiq_trace::incr(Counter::BorrowAccepted);
                         accepted_domains.push(inst);
@@ -490,14 +493,16 @@ fn attribute_body<E: QueryEngine>(
                 .filter(|(j, a)| *j != r1.1 && a.has_instances())
                 .flat_map(|(_, a)| a.instances.iter().take(2).cloned())
                 .collect();
-            accepted = attr_surface::verify_borrowed(
-                engine,
-                &a1.label,
-                &a1.instances,
-                &negatives,
-                &pool,
-                cfg,
-            );
+            accepted = webiq_prof::time(Stage::Bayes, || {
+                attr_surface::verify_borrowed(
+                    engine,
+                    &a1.label,
+                    &a1.instances,
+                    &negatives,
+                    &pool,
+                    cfg,
+                )
+            });
         }
         let delta = webiq_trace::snapshot().diff(&before);
         webiq_trace::add(Counter::AttrSurfaceQueries, engine_queries(&delta));
@@ -575,10 +580,14 @@ pub fn acquire(
     let workers = cfg.resolved_threads().min(items.len().max(1));
     type Item = (ItemOutcome, bool, ItemBuf);
     let outcomes: Vec<Item> = if workers <= 1 {
-        items
+        let before = webiq_trace::snapshot();
+        let out = items
             .iter()
             .map(|&(r1, a1)| process_attribute(&ctx, r1, a1))
-            .collect::<Result<_, _>>()?
+            .collect::<Result<_, _>>()?;
+        let delta = webiq_trace::snapshot().diff(&before);
+        webiq_prof::record_worker(items.len() as u64, engine_queries(&delta));
+        out
     } else {
         // Work-stealing by atomic index: each worker pulls the next
         // unclaimed attribute, tags its outcome with the item index, and
@@ -590,12 +599,18 @@ pub fn acquire(
                     .map(|_| {
                         let (items, ctx, next) = (&items, &ctx, &next);
                         scope.spawn(move || {
+                            let before = webiq_trace::snapshot();
                             let mut local = Vec::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(&(r1, a1)) = items.get(i) else { break };
                                 local.push((i, process_attribute(ctx, r1, a1)));
                             }
+                            // Per-worker load accounting: items claimed and
+                            // engine traffic issued feed the imbalance
+                            // telemetry behind `webiq_prof_worker_*`.
+                            let delta = webiq_trace::snapshot().diff(&before);
+                            webiq_prof::record_worker(local.len() as u64, engine_queries(&delta));
                             local
                         })
                     })

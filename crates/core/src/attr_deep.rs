@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use webiq_deep::{analyze_response, DeepSource};
+use webiq_prof::Stage;
 
 use crate::config::WebIQConfig;
 
@@ -62,7 +63,7 @@ pub fn validate_borrowed<S: ProbeTarget>(
     for instance in &to_probe {
         let mut params = BTreeMap::new();
         params.insert(target_param.to_string(), (*instance).clone());
-        if source.probe(&params) {
+        if webiq_prof::time(Stage::Probe, || source.probe(&params)) {
             successes += 1;
         }
     }

@@ -1,6 +1,7 @@
 //! The instance-verification phase (§2.2): statistical outlier removal
 //! followed by Web validation with PMI-scored validation queries.
 
+use webiq_prof::Stage;
 use webiq_stats::{outlier, pmi};
 use webiq_trace::Counter;
 use webiq_web::QueryEngine;
@@ -84,6 +85,19 @@ pub fn confidence<E: QueryEngine>(
 /// The validation counters are left untouched in that mode — the stage
 /// genuinely did not run.
 pub fn verify_candidates<E: QueryEngine>(
+    engine: &E,
+    phrases: &[String],
+    candidates: &[String],
+    cfg: &WebIQConfig,
+) -> VerificationOutcome {
+    webiq_prof::time(Stage::Verify, || {
+        verify_candidates_inner(engine, phrases, candidates, cfg)
+    })
+}
+
+/// [`verify_candidates`] minus the profiling wrapper, so the wall-clock
+/// stage timer brackets exactly one verification pass.
+fn verify_candidates_inner<E: QueryEngine>(
     engine: &E,
     phrases: &[String],
     candidates: &[String],

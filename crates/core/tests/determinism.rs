@@ -107,6 +107,34 @@ fn trace_stream_rerun_is_byte_identical() {
     assert_eq!(first, second, "trace streams differ across reruns");
 }
 
+#[test]
+fn profiled_trace_is_byte_identical_across_the_full_thread_sweep() {
+    // The webiq-prof registry is always on — lock wrappers, cache
+    // telemetry, worker accounting, and stage timers all record during
+    // these runs. None of that may leak into the deterministic plane:
+    // the JSONL stream must stay byte-identical across the whole
+    // 1/2/4/8 sweep `experiments profile` performs.
+    webiq_prof::reset();
+    let (_, reference) = run_traced(0, 1);
+    assert!(!reference.is_empty(), "tracer emitted nothing");
+    let profiled = webiq_prof::snapshot();
+    assert!(
+        profiled.get(webiq_prof::ProfCounter::WorkerItems) > 0,
+        "profiling was not active during the run"
+    );
+    assert!(
+        profiled.stage_calls(webiq_prof::Stage::Extract) > 0,
+        "stage timers were not active during the run"
+    );
+    for threads in [2, 4, 8] {
+        let (_, trace) = run_traced(0, threads);
+        assert_eq!(
+            reference, trace,
+            "profiled trace differs at {threads} threads"
+        );
+    }
+}
+
 /// Acquisition with a live metrics registry installed; returns its
 /// Prometheus rendering after the run.
 fn run_observed(domain_idx: usize, threads: usize) -> String {

@@ -128,8 +128,8 @@ impl Default for Scope {
             // itself to its own standard). `rng` (test harness) and
             // `bench` are exempt.
             panic_crates: v(&[
-                "core", "data", "deep", "fault", "html", "lint", "matcher", "nlp", "obs", "stats",
-                "trace", "web", "webiq",
+                "core", "data", "deep", "fault", "html", "lint", "matcher", "nlp", "obs", "prof",
+                "stats", "trace", "web", "webiq",
             ]),
             wallclock_exempt_crates: v(&["bench"]),
             wallclock_exempt_files: v(&["timing.rs"]),

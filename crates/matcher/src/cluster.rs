@@ -8,6 +8,7 @@
 //! the highest average inter-cluster similarity and stops when no
 //! admissible pair exceeds the threshold τ.
 
+use webiq_prof::Stage;
 use webiq_trace::Counter;
 
 /// An item to cluster: an opaque id plus the interface it belongs to.
@@ -48,8 +49,19 @@ pub fn cluster<I: Copy>(items: &[Item<I>], sim: &[Vec<f64>], threshold: f64) -> 
 /// Each pass over the candidate pairs bumps the thread-local
 /// [`Counter::ClusterIterations`] trace counter and each merge performed
 /// bumps [`Counter::ClusterMerges`], so a traced run can report the
-/// matcher's convergence behaviour.
+/// matcher's convergence behaviour. Wall-clock spent clustering is
+/// attributed to the profiling registry's `cluster_merge` stage.
 pub fn cluster_logged<I: Copy>(
+    items: &[Item<I>],
+    sim: &[Vec<f64>],
+    threshold: f64,
+) -> (Vec<Vec<usize>>, Vec<MergeEvent<I>>) {
+    webiq_prof::time(Stage::ClusterMerge, || {
+        cluster_logged_inner(items, sim, threshold)
+    })
+}
+
+fn cluster_logged_inner<I: Copy>(
     items: &[Item<I>],
     sim: &[Vec<f64>],
     threshold: f64,

@@ -14,6 +14,8 @@
 //! counter_floor = 20
 //! rate_drop = 0.05
 //! quantile_shift = 0.0
+//! prof_counter_rise_pct = 50.0
+//! prof_contention_rise = 0.05
 //! ```
 //!
 //! The parser is hand-rolled (the workspace is dependency-free) and
@@ -41,6 +43,15 @@ pub struct DiffThresholds {
     /// Flag a histogram quantile that rose by more than this absolute
     /// amount. Zero means any upward shift at bucket resolution flags.
     pub quantile_shift: f64,
+    /// Flag a `webiq_prof_*` counter that *rose* by more than this
+    /// percentage of its baseline value (lock traffic and cache misses
+    /// creeping up is a scalability regression). Drops never flag, and
+    /// `counter_floor` exempts tiny baselines here too.
+    pub prof_counter_rise_pct: f64,
+    /// Flag the shard-lock contention ratio rising by more than this
+    /// absolute amount (e.g. 0.05 = five percentage points of
+    /// acquisitions newly finding the lock held).
+    pub prof_contention_rise: f64,
 }
 
 impl Default for DiffThresholds {
@@ -51,6 +62,8 @@ impl Default for DiffThresholds {
             counter_floor: 20,
             rate_drop: 0.05,
             quantile_shift: 0.0,
+            prof_counter_rise_pct: 50.0,
+            prof_contention_rise: 0.05,
         }
     }
 }
@@ -112,6 +125,12 @@ impl DiffThresholds {
                 "quantile_shift" => {
                     t.quantile_shift = parse_pct(value).ok_or_else(|| bad("number"))?;
                 }
+                "prof_counter_rise_pct" => {
+                    t.prof_counter_rise_pct = parse_pct(value).ok_or_else(|| bad("percentage"))?;
+                }
+                "prof_contention_rise" => {
+                    t.prof_contention_rise = parse_pct(value).ok_or_else(|| bad("number"))?;
+                }
                 _ => {
                     return Err(ObsError::Config {
                         line: lineno,
@@ -166,6 +185,8 @@ counter_rise_pct = 80
 counter_floor = 5
 rate_drop = 0.1
 quantile_shift = 2.0
+prof_counter_rise_pct = 120
+prof_contention_rise = 0.2
 ";
         let t = match DiffThresholds::parse(text) {
             Ok(t) => t,
@@ -176,6 +197,8 @@ quantile_shift = 2.0
         assert_eq!(t.counter_floor, 5);
         assert_eq!(t.rate_drop, 0.1);
         assert_eq!(t.quantile_shift, 2.0);
+        assert_eq!(t.prof_counter_rise_pct, 120.0);
+        assert_eq!(t.prof_contention_rise, 0.2);
     }
 
     #[test]

@@ -39,6 +39,13 @@ pub enum ObsError {
         /// The underlying error, stringified.
         detail: String,
     },
+    /// A profile baseline file could not be parsed.
+    Profile {
+        /// The offending path (`-` for stdin).
+        path: String,
+        /// What was wrong with it.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ObsError {
@@ -53,6 +60,9 @@ impl fmt::Display for ObsError {
             }
             ObsError::Bind { addr, detail } => {
                 write!(f, "cannot bind metrics listener on {addr}: {detail}")
+            }
+            ObsError::Profile { path, detail } => {
+                write!(f, "cannot parse profile baseline {path}: {detail}")
             }
         }
     }
@@ -91,6 +101,14 @@ mod tests {
         assert_eq!(
             e.to_string(),
             "cannot bind metrics listener on 127.0.0.1:9: permission denied"
+        );
+        let e = ObsError::Profile {
+            path: "PROF_BASELINE.json".into(),
+            detail: "missing `sweep` array".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "cannot parse profile baseline PROF_BASELINE.json: missing `sweep` array"
         );
     }
 }

@@ -21,9 +21,16 @@
 //! - **Regression gating** ([`diff`], [`config`]): [`diff::diff`]
 //!   aggregates two JSONL traces ([`webiq_trace::report::aggregate_run`])
 //!   and compares funnel-stage rates, counter deltas, and histogram
-//!   quantile shifts against configurable [`DiffThresholds`]. The
-//!   `webiq-report diff` subcommand turns the verdict into an exit code
-//!   CI can gate merges on.
+//!   quantile shifts against configurable [`DiffThresholds`] —
+//!   optionally also two `webiq_prof_*` snapshots
+//!   ([`DiffReport::with_prof`]), so lock-contention creep gates too.
+//!   The `webiq-report diff` subcommand turns the verdict into an exit
+//!   code CI can gate merges on.
+//! - **Profiling attribution** ([`profile`]): the read side of the
+//!   `experiments profile` sweep — parse `PROF_BASELINE.json`, fit the
+//!   speedup curve with Amdahl's law and the USL ([`ScalingFit`]), and
+//!   render the deterministic stage-tree attribution report naming the
+//!   dominant scaling limiter ([`profile::render_profile`]).
 //!
 //! Like every library crate in the workspace the crate is
 //! dependency-free and panic-free: no `unwrap`/`expect`/`panic!`, errors
@@ -34,13 +41,15 @@ pub mod config;
 pub mod diff;
 pub mod error;
 pub mod live;
+pub mod profile;
 pub mod prom;
 pub mod server;
 pub mod window;
 
 pub use config::DiffThresholds;
-pub use diff::{diff, diff_events, parse_jsonl, DiffReport};
+pub use diff::{diff, diff_events, diff_prof, parse_jsonl, DiffReport};
 pub use error::ObsError;
 pub use live::{LiveRegistry, RegistrySnapshot};
+pub use profile::{ProfBaseline, ScalingFit, SweepPoint};
 pub use server::MetricsServer;
 pub use window::WindowedMetrics;

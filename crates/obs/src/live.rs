@@ -129,8 +129,27 @@ impl LiveRegistry {
     }
 
     /// The registry rendered in Prometheus text exposition format.
+    ///
+    /// This render is a pure function of the published deltas — it is
+    /// what deterministic artifacts (baselines, trace-diff inputs) must
+    /// be built from.
     pub fn render(&self) -> String {
         prom::render(&self.snapshot())
+    }
+
+    /// [`render`](LiveRegistry::render) plus the process-wide profiling
+    /// appendix (`webiq_prof_*` families from [`webiq_prof::snapshot`]).
+    ///
+    /// The appendix reports scheduling-dependent facts — lock
+    /// contention, cache traffic, per-stage wall-clock — so this render
+    /// is **not** deterministic across runs or thread counts. It is what
+    /// the live `/metrics` endpoint serves; anything that needs
+    /// byte-stable output must use [`render`](LiveRegistry::render) or
+    /// strip the `webiq_prof_` families from a scrape.
+    pub fn render_live(&self) -> String {
+        let mut out = self.render();
+        out.push_str(&webiq_prof::snapshot().render_prom());
+        out
     }
 }
 

@@ -26,6 +26,16 @@ const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")]
 pub fn render(snap: &RegistrySnapshot) -> String {
     let mut out = String::new();
 
+    // Build identity, info-style: a constant `1` whose labels carry the
+    // facts (here the crate version), so dashboards can join any series
+    // against the version that produced it.
+    let _ = writeln!(out, "# TYPE {PREFIX}_build_info gauge");
+    let _ = writeln!(
+        out,
+        "{PREFIX}_build_info{{version=\"{}\"}} 1",
+        env!("CARGO_PKG_VERSION")
+    );
+
     // Pipeline counters, cumulative since process start.
     for c in Counter::ALL {
         let name = c.name();
@@ -107,6 +117,16 @@ mod tests {
             epochs: 1,
             items: 4,
         }
+    }
+
+    #[test]
+    fn build_info_carries_the_crate_version() {
+        let text = render(&snap());
+        assert!(text.starts_with("# TYPE webiq_build_info gauge\n"));
+        assert!(text.contains(&format!(
+            "webiq_build_info{{version=\"{}\"}} 1\n",
+            env!("CARGO_PKG_VERSION")
+        )));
     }
 
     #[test]

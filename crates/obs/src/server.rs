@@ -6,7 +6,9 @@
 //! thread accepts connections serially:
 //!
 //! - `GET /metrics` → the owning [`LiveRegistry`] rendered in
-//!   Prometheus text format ([`crate::prom::render`]);
+//!   Prometheus text format ([`LiveRegistry::render_live`]: the
+//!   deterministic pipeline families plus the `webiq_prof_*` profiling
+//!   appendix);
 //! - `GET /healthz` → `ok` (liveness probe);
 //! - anything else → `404`.
 //!
@@ -118,7 +120,7 @@ fn handle_conn(mut stream: TcpStream, registry: &LiveRegistry) {
     };
     match path.as_str() {
         "/metrics" => {
-            let body = registry.render();
+            let body = registry.render_live();
             let _ = write_response(
                 &mut stream,
                 200,
@@ -228,7 +230,10 @@ mod tests {
         let (status, body) = http_get(addr, "/metrics").expect("scrape /metrics");
         assert_eq!(status, 200);
         assert!(body.contains("webiq_probes_issued_total 9\n"));
-        assert_eq!(body, reg.render());
+        // The scrape is the deterministic render plus the profiling
+        // appendix (whose values depend on what else ran in-process).
+        assert!(body.starts_with(&reg.render()));
+        assert!(body.contains("# TYPE webiq_prof_lock_shard_acquire_total counter\n"));
 
         let (status, body) = http_get(addr, "/healthz").expect("scrape /healthz");
         assert_eq!(status, 200);
@@ -237,6 +242,33 @@ mod tests {
         let (status, _) = http_get(addr, "/nope").expect("scrape unknown path");
         assert_eq!(status, 404);
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_content_type_declares_exposition_version_and_charset() {
+        let reg = Arc::new(LiveRegistry::new());
+        let Ok(server) = MetricsServer::start("127.0.0.1:0", reg) else {
+            return; // sandboxed environments may forbid binding
+        };
+        let addr = server.local_addr();
+        // Raw socket: http_get strips headers, and the Content-Type is
+        // exactly what scrapers content-negotiate on.
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            return;
+        };
+        write!(
+            stream,
+            "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+        )
+        .expect("send request");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        let head = raw.split("\r\n\r\n").next().unwrap_or("");
+        assert!(
+            head.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"),
+            "head: {head:?}"
+        );
         server.shutdown();
     }
 

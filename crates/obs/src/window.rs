@@ -123,6 +123,26 @@ mod tests {
     }
 
     #[test]
+    fn zero_item_epoch_still_rolls_the_window() {
+        // An epoch that published nothing pushes an unchanged cumulative
+        // snapshot. It must still advance the ring — occupying a window
+        // slot and eventually evicting older epochs — while contributing
+        // zero to the delta.
+        let mut w = WindowedMetrics::new(2);
+        w.push(cum(10));
+        w.push(cum(10)); // zero-item epoch: cumulative unchanged
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.total_epochs(), 2);
+        assert_eq!(w.delta().get(Counter::ProbesIssued), 10);
+        // A second idle epoch evicts the productive one: the window now
+        // spans only the two idle epochs and the delta collapses to zero.
+        w.push(cum(10));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.total_epochs(), 3);
+        assert!(w.delta().is_zero());
+    }
+
+    #[test]
     fn capacity_zero_is_clamped_to_one() {
         let mut w = WindowedMetrics::new(0);
         assert_eq!(w.capacity(), 1);

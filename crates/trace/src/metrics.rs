@@ -758,6 +758,31 @@ mod tests {
     }
 
     #[test]
+    fn quantile_single_bucket_collapses_every_p() {
+        // All mass in one bucket: every quantile is that bucket's upper
+        // bound, regardless of p.
+        let mut h = HistSet::new();
+        for _ in 0..7 {
+            h.observe(HistKey::CandidatesPerAttr, 5); // bucket [4-7]
+        }
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(HistKey::CandidatesPerAttr, p), Some(7.0), "{p}");
+        }
+    }
+
+    #[test]
+    fn quantile_p99_on_two_samples_selects_the_upper_one() {
+        // n = 2: rank ceil(0.99 * 2) = 2, so p99 is the larger sample's
+        // bucket — the tail sample must not be averaged away.
+        let mut h = HistSet::new();
+        h.observe(HistKey::ProbesPerAttr, 1); // bucket [1]
+        h.observe(HistKey::ProbesPerAttr, 40); // bucket [32-63]
+        assert_eq!(h.quantile(HistKey::ProbesPerAttr, 0.99), Some(63.0));
+        // ...while the median lands on the lower sample (rank 1).
+        assert_eq!(h.quantile(HistKey::ProbesPerAttr, 0.5), Some(1.0));
+    }
+
+    #[test]
     fn quantile_open_last_bucket_reports_lower_bound() {
         let mut h = HistSet::new();
         h.observe(HistKey::ProbesPerAttr, 100);

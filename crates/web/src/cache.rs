@@ -16,14 +16,29 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard, TryLockError};
+
+use webiq_prof::ProfCounter;
 
 /// Lock a cache shard, recovering from poisoning. Every cached value is
 /// a pure function of its key, so a shard left by a panicking thread is
 /// still internally consistent: at worst an in-flight insert is missing
 /// and gets recomputed.
+///
+/// Every acquisition bumps the process-wide profiling registry; an
+/// acquisition that finds the lock held additionally counts as
+/// *contended* before falling back to the blocking path — the
+/// shard-contention telemetry behind `webiq_prof_lock_shard_*`.
 fn lock_shard<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    webiq_prof::incr(ProfCounter::ShardLockAcquire);
+    match m.try_lock() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            webiq_prof::incr(ProfCounter::ShardLockContended);
+            m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+    }
 }
 
 /// Number of shards used by the engine's caches. A power of two well above
@@ -154,14 +169,16 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
     }
 
     /// Insert or refresh `key`, evicting the LRU entry at capacity.
-    pub fn insert(&mut self, key: K, val: V) {
+    /// Returns the evicted key, if any — the hook cache-eviction
+    /// telemetry attributes churn with.
+    pub fn insert(&mut self, key: K, val: V) -> Option<K> {
         if let Some(&i) = self.map.get(&key) {
             self.entries[i].val = val;
             if i != self.head {
                 self.detach(i);
                 self.push_front(i);
             }
-            return;
+            return None;
         }
         if self.entries.len() < self.cap {
             let i = self.entries.len();
@@ -173,15 +190,18 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             });
             self.map.insert(key, i);
             self.push_front(i);
+            None
         } else {
             // reuse the LRU slot
             let i = self.tail;
             self.detach(i);
-            self.map.remove(&self.entries[i].key);
+            let evicted = self.entries[i].key.clone();
+            self.map.remove(&evicted);
             self.entries[i].key = key.clone();
             self.entries[i].val = val;
             self.map.insert(key, i);
             self.push_front(i);
+            Some(evicted)
         }
     }
 
@@ -218,9 +238,10 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
         lock_shard(&self.shards[(shard_hash(shard_key) as usize) % SHARDS]).get(key)
     }
 
-    /// Insert under the shard selected by `shard_key`.
-    pub fn insert(&self, shard_key: &str, key: K, val: V) {
-        lock_shard(&self.shards[(shard_hash(shard_key) as usize) % SHARDS]).insert(key, val);
+    /// Insert under the shard selected by `shard_key`, returning the
+    /// evicted key (if the shard was at capacity).
+    pub fn insert(&self, shard_key: &str, key: K, val: V) -> Option<K> {
+        lock_shard(&self.shards[(shard_hash(shard_key) as usize) % SHARDS]).insert(key, val)
     }
 }
 
@@ -245,10 +266,10 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         let mut c: LruCache<String, u32> = LruCache::new(2);
-        c.insert("a".into(), 1);
-        c.insert("b".into(), 2);
+        assert_eq!(c.insert("a".into(), 1), None);
+        assert_eq!(c.insert("b".into(), 2), None);
         assert_eq!(c.get(&"a".into()), Some(1)); // refresh a
-        c.insert("c".into(), 3); // evicts b
+        assert_eq!(c.insert("c".into(), 3), Some("b".into())); // evicts b
         assert_eq!(c.get(&"b".into()), None);
         assert_eq!(c.get(&"a".into()), Some(1));
         assert_eq!(c.get(&"c".into()), Some(3));
@@ -260,8 +281,8 @@ mod tests {
         let mut c: LruCache<u32, u32> = LruCache::new(2);
         c.insert(1, 10);
         c.insert(2, 20);
-        c.insert(1, 11); // refresh + update
-        c.insert(3, 30); // evicts 2
+        assert_eq!(c.insert(1, 11), None); // refresh + update, no eviction
+        assert_eq!(c.insert(3, 30), Some(2)); // evicts 2
         assert_eq!(c.get(&1), Some(11));
         assert_eq!(c.get(&2), None);
         assert_eq!(c.get(&3), Some(30));
@@ -287,11 +308,12 @@ mod tests {
         for step in 0..5000u32 {
             let k = (rng.next_u64() % 24) as u8;
             if rng.gen_bool(0.5) {
-                // insert
+                // insert; the model's overflow entry is the LRU eviction
                 model.retain(|(mk, _)| *mk != k);
                 model.insert(0, (k, step));
+                let expect_evicted = model.get(8).map(|(mk, _)| *mk);
                 model.truncate(8);
-                c.insert(k, step);
+                assert_eq!(c.insert(k, step), expect_evicted, "step {step}");
             } else {
                 let want = model.iter().position(|(mk, _)| *mk == k);
                 let got = c.get(&k);

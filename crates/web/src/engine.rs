@@ -22,11 +22,14 @@
 //!   scheduling — the basis of the deterministic per-component cost
 //!   accounting in `webiq-core`. Cache hit/miss tallies, which *do*
 //!   depend on scheduling, live only in the per-engine [`EngineStats`]
-//!   and never enter the deterministic trace stream.
+//!   and the process-wide `webiq-prof` registry (which also attributes
+//!   evictions and times cache-missing queries) and never enter the
+//!   deterministic trace stream.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use webiq_prof::{ProfCounter, Stage};
 use webiq_trace::{Counter, MetricSet, SharedMetrics};
 
 use crate::cache::{ShardedLru, ShardedMap};
@@ -218,11 +221,18 @@ impl SearchEngine {
     /// query string.
     fn parse_cached(&self, query: &str) -> Arc<Query> {
         if let Some(q) = self.parse_cache.get(query, &query.to_string()) {
+            webiq_prof::incr(ProfCounter::ParseCacheHit);
             return q;
         }
+        webiq_prof::incr(ProfCounter::ParseCacheMiss);
         let q = Arc::new(query::parse(query));
-        self.parse_cache
-            .insert(query, query.to_string(), Arc::clone(&q));
+        if self
+            .parse_cache
+            .insert(query, query.to_string(), Arc::clone(&q))
+            .is_some()
+        {
+            webiq_prof::incr(ProfCounter::ParseCacheEvict);
+        }
         q
     }
 
@@ -280,14 +290,18 @@ impl SearchEngine {
         self.stats.bump(Counter::EngineHitIssued);
         if let Some(hits) = self.hit_cache.get(query) {
             self.stats.bump(Counter::HitCacheHit);
+            webiq_prof::incr(ProfCounter::HitCacheHit);
             return hits;
         }
         self.stats.bump(Counter::HitCacheMiss);
-        self.simulate_round_trip();
-        let q = self.parse_cached(query);
-        let hits = self.matching_docs(&q).len() as u64;
-        self.hit_cache.insert(query.to_string(), hits);
-        hits
+        webiq_prof::incr(ProfCounter::HitCacheMiss);
+        webiq_prof::time(Stage::EngineQuery, || {
+            self.simulate_round_trip();
+            let q = self.parse_cached(query);
+            let hits = self.matching_docs(&q).len() as u64;
+            self.hit_cache.insert(query.to_string(), hits);
+            hits
+        })
     }
 
     /// Top-`k` snippets for `query`, in ascending doc-id order (the
@@ -300,28 +314,37 @@ impl SearchEngine {
         let key = (query.to_string(), k);
         if let Some(hit) = self.search_cache.get(query, &key) {
             self.stats.bump(Counter::SearchCacheHit);
+            webiq_prof::incr(ProfCounter::SearchCacheHit);
             return hit.as_ref().clone();
         }
         self.stats.bump(Counter::SearchCacheMiss);
-        self.simulate_round_trip();
-        let q = self.parse_cached(query);
-        let snippets: Vec<Snippet> = self
-            .matching_docs(&q)
-            .into_iter()
-            .take(k)
-            .filter_map(|(doc_id, pos)| {
-                // Doc ids come from the index; a miss means index/corpus
-                // drift and the snippet is dropped rather than panicking.
-                let doc = self.corpus.get(doc_id)?;
-                Some(Snippet {
-                    doc_id,
-                    text: make_snippet(&doc.text, pos),
+        webiq_prof::incr(ProfCounter::SearchCacheMiss);
+        webiq_prof::time(Stage::EngineQuery, || {
+            self.simulate_round_trip();
+            let q = self.parse_cached(query);
+            let snippets: Vec<Snippet> = self
+                .matching_docs(&q)
+                .into_iter()
+                .take(k)
+                .filter_map(|(doc_id, pos)| {
+                    // Doc ids come from the index; a miss means index/corpus
+                    // drift and the snippet is dropped rather than panicking.
+                    let doc = self.corpus.get(doc_id)?;
+                    Some(Snippet {
+                        doc_id,
+                        text: make_snippet(&doc.text, pos),
+                    })
                 })
-            })
-            .collect();
-        self.search_cache
-            .insert(query, key, Arc::new(snippets.clone()));
-        snippets
+                .collect();
+            if self
+                .search_cache
+                .insert(query, key, Arc::new(snippets.clone()))
+                .is_some()
+            {
+                webiq_prof::incr(ProfCounter::SearchCacheEvict);
+            }
+            snippets
+        })
     }
 }
 
@@ -517,6 +540,24 @@ mod tests {
         assert_eq!(d.get(Counter::HitCacheMiss), 0);
         assert_eq!(e.stats().metrics().get(Counter::HitCacheHit), 1);
         assert_eq!(e.stats().metrics().get(Counter::HitCacheMiss), 1);
+    }
+
+    #[test]
+    fn prof_registry_attributes_cache_traffic() {
+        let e = engine();
+        let before = webiq_prof::snapshot();
+        let _ = e.num_hits("a quite unusual profiling query");
+        let _ = e.num_hits("a quite unusual profiling query"); // cache hit
+        let _ = e.search("another unusual profiling query", 3);
+        let d = webiq_prof::snapshot().diff(&before);
+        // The registry is process-global and tests run in parallel, so
+        // pin lower bounds on the delta, not exact values.
+        assert!(d.get(ProfCounter::HitCacheMiss) >= 1, "{d:?}");
+        assert!(d.get(ProfCounter::HitCacheHit) >= 1, "{d:?}");
+        assert!(d.get(ProfCounter::SearchCacheMiss) >= 1, "{d:?}");
+        assert!(d.get(ProfCounter::ParseCacheMiss) >= 1, "{d:?}");
+        assert!(d.get(ProfCounter::ShardLockAcquire) >= 1, "{d:?}");
+        assert!(d.stage_calls(Stage::EngineQuery) >= 2, "{d:?}");
     }
 
     #[test]

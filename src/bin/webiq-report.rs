@@ -1,10 +1,13 @@
-//! `webiq-report` — render JSONL traces and gate on trace diffs.
+//! `webiq-report` — render JSONL traces, gate on trace diffs, and
+//! render profile attribution reports.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! ```text
 //! webiq-report TRACE.jsonl [MORE.jsonl ...]
 //! webiq-report diff BASELINE.jsonl CANDIDATE.jsonl [--config obs.toml] [--json]
+//!                   [--prof-baseline FILE --prof-candidate FILE]
+//! webiq-report profile PROF_BASELINE.json
 //! ```
 //!
 //! The render mode prints one per-stage funnel per root span (one per
@@ -15,20 +18,31 @@
 //! The diff mode aggregates both runs and compares counters, funnel
 //! stage rates, and histogram quantiles against the thresholds in
 //! `--config` (defaults when absent; see `webiq_obs::DiffThresholds`).
+//! With `--prof-baseline`/`--prof-candidate` (Prometheus text files or
+//! `/metrics` scrapes) it also compares the `webiq_prof_*` counter
+//! families, so lock-contention creep gates alongside trace changes.
 //! Exit codes: `0` no regression, `1` regression detected, `2` usage or
 //! I/O error — so CI can gate on the exit status alone.
+//!
+//! The profile mode renders the stage-tree attribution table and
+//! Amdahl/USL scaling diagnosis from a `PROF_BASELINE.json` written by
+//! `experiments profile`. The report is a pure function of the file:
+//! byte-identical across reruns.
 #![forbid(unsafe_code)]
 
 use std::io::Read;
 use std::process::ExitCode;
 
 use webiq::core::WebIqError;
-use webiq::obs::{diff_events, parse_jsonl, DiffThresholds, ObsError};
+use webiq::obs::{diff_events, parse_jsonl, profile, DiffThresholds, ObsError};
+use webiq::prof::ProfSnapshot;
 use webiq::trace::report;
 use webiq::trace::Event;
 
 const USAGE: &str = "usage: webiq-report TRACE.jsonl [MORE.jsonl ...]
        webiq-report diff BASELINE.jsonl CANDIDATE.jsonl [--config FILE] [--json]
+                    [--prof-baseline FILE --prof-candidate FILE]
+       webiq-report profile PROF_BASELINE.json
 `-` reads a trace from stdin (at most one input may be `-`)";
 
 fn main() -> ExitCode {
@@ -39,6 +53,7 @@ fn main() -> ExitCode {
     }
     match args.split_first() {
         Some((first, rest)) if first == "diff" => run_diff(rest),
+        Some((first, rest)) if first == "profile" => run_profile(rest),
         _ => run_render(&args),
     }
 }
@@ -105,6 +120,8 @@ fn run_render(paths: &[String]) -> ExitCode {
 fn run_diff(args: &[String]) -> ExitCode {
     let mut inputs: Vec<&String> = Vec::new();
     let mut config: Option<&String> = None;
+    let mut prof_baseline: Option<&String> = None;
+    let mut prof_candidate: Option<&String> = None;
     let mut json = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -117,6 +134,20 @@ fn run_diff(args: &[String]) -> ExitCode {
                 };
                 config = Some(path);
             }
+            "--prof-baseline" => {
+                let Some(path) = it.next() else {
+                    eprintln!("webiq-report: --prof-baseline needs a file argument\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                prof_baseline = Some(path);
+            }
+            "--prof-candidate" => {
+                let Some(path) = it.next() else {
+                    eprintln!("webiq-report: --prof-candidate needs a file argument\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                prof_candidate = Some(path);
+            }
             other if other.starts_with("--") => {
                 eprintln!("webiq-report: unknown flag `{other}`\n{USAGE}");
                 return ExitCode::from(2);
@@ -124,6 +155,16 @@ fn run_diff(args: &[String]) -> ExitCode {
             _ => inputs.push(a),
         }
     }
+    let prof = match (prof_baseline, prof_candidate) {
+        (Some(b), Some(c)) => Some((b, c)),
+        (None, None) => None,
+        _ => {
+            eprintln!(
+                "webiq-report: --prof-baseline and --prof-candidate must be given together\n{USAGE}"
+            );
+            return ExitCode::from(2);
+        }
+    };
     let [baseline, candidate] = inputs.as_slice() else {
         eprintln!("webiq-report: diff needs exactly two traces\n{USAGE}");
         return ExitCode::from(2);
@@ -149,7 +190,23 @@ fn run_diff(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let r = diff_events(baseline, &base, candidate, &cand, &thresholds);
+    let mut r = diff_events(baseline, &base, candidate, &cand, &thresholds);
+    if let Some((pb, pc)) = prof {
+        // Prometheus text (a render_prom file or a /metrics scrape);
+        // absent series parse as zero.
+        let (pb_text, pc_text) = match (read_input(pb), read_input(pc)) {
+            (Ok(b), Ok(c)) => (b, c),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("webiq-report: {}", WebIqError::from(e));
+                return ExitCode::from(2);
+            }
+        };
+        r = r.with_prof(
+            &ProfSnapshot::from_prom_text(&pb_text),
+            &ProfSnapshot::from_prom_text(&pc_text),
+            &thresholds,
+        );
+    }
     if json {
         println!("{}", r.to_json());
     } else {
@@ -159,5 +216,30 @@ fn run_diff(args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Render the attribution + scaling report from a profile baseline.
+fn run_profile(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("webiq-report: profile needs exactly one PROF_BASELINE.json\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let text = match read_input(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("webiq-report: {}", WebIqError::from(e));
+            return ExitCode::from(2);
+        }
+    };
+    match profile::parse_baseline(path, &text) {
+        Ok(b) => {
+            print!("{}", profile::render_profile(&b));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("webiq-report: {}", WebIqError::from(e));
+            ExitCode::from(2)
+        }
     }
 }

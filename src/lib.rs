@@ -14,6 +14,7 @@
 //! | [`data`] | five-domain knowledge bases and the ICQ-profile dataset generator |
 //! | [`matcher`] | the IceQ-style interface matcher (label/domain similarity + clustering) |
 //! | [`trace`] | deterministic structured tracing, pipeline metrics, run reports |
+//! | [`prof`] | always-on performance attribution: lock/cache/worker counters, per-stage timers |
 //! | [`obs`] | live `/metrics` exposition, windowed aggregation, trace-diff regression gating |
 //! | [`fault`] | deterministic fault injection, virtual-time retry/backoff, circuit breaking, quota tracking |
 //! | [`core`] | **WebIQ itself**: Surface, Attr-Surface, Attr-Deep, and the §5 strategy |
@@ -30,6 +31,7 @@ pub use webiq_html as html;
 pub use webiq_match as matcher;
 pub use webiq_nlp as nlp;
 pub use webiq_obs as obs;
+pub use webiq_prof as prof;
 pub use webiq_stats as stats;
 pub use webiq_trace as trace;
 pub use webiq_web as web;
