@@ -34,15 +34,29 @@
 //! cargo run --release -p webiq-bench --bin experiments -- profile \
 //!     --quick --out PROF_BASELINE.json
 //! ```
+//!
+//! The `explain` subcommand runs one fully-traced acquisition +
+//! matching pass with decision provenance enabled and writes the
+//! decision-stream artifact the decision-level regression gate
+//! (`webiq-report diff --decisions`) compares against:
+//!
+//! ```sh
+//! cargo run --release -p webiq-bench --bin experiments -- explain \
+//!     --out WHY_BASELINE.jsonl --trace-out trace.jsonl
+//! ```
 #![forbid(unsafe_code)]
 
 use webiq_bench::json::{rows, Json};
-use webiq_bench::{chaos, experiments, monitor, profile, render};
+use webiq_bench::{chaos, experiments, explain, monitor, profile, render};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("monitor") {
         run_monitor(&argv[1..]);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("explain") {
+        run_explain(&argv[1..]);
         return;
     }
     if argv.first().map(String::as_str) == Some("chaos") {
@@ -283,6 +297,71 @@ fn run_profile(args: &[String]) {
         eprintln!("profile: trace bytes differ across thread counts — determinism violated");
         std::process::exit(1);
     }
+}
+
+/// `experiments explain`: one decision-traced acquisition + matching
+/// run; writes the artifacts the decision-level gate consumes.
+fn run_explain(args: &[String]) {
+    let mut seed = experiments::SEED;
+    let mut domain = "book".to_string();
+    let mut decisions_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut it = args.iter();
+    let usage = "usage: experiments explain [--seed N] [--domain NAME] \
+                 [--out WHY_BASELINE.jsonl] [--trace-out TRACE.jsonl]";
+    while let Some(arg) = it.next() {
+        let mut path_flag = |slot: &mut Option<String>| match it.next() {
+            Some(v) => *slot = Some(v.clone()),
+            None => {
+                eprintln!("{arg} needs a path argument\n{usage}");
+                std::process::exit(2);
+            }
+        };
+        match arg.as_str() {
+            "--seed" => {
+                let v = it.next().cloned().unwrap_or_default();
+                seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --seed value {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--domain" => match it.next() {
+                Some(v) => domain = v.clone(),
+                None => {
+                    eprintln!("--domain needs a name argument\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => path_flag(&mut decisions_out),
+            "--trace-out" => path_flag(&mut trace_out),
+            "--help" | "-h" => {
+                eprintln!("{usage}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let outcome = explain::run(&domain, seed).unwrap_or_else(|e| {
+        eprintln!("explain: {e}");
+        std::process::exit(1);
+    });
+    let write = |path: &str, contents: &str| {
+        if let Err(e) = std::fs::write(path, contents) {
+            eprintln!("explain: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(path) = &decisions_out {
+        write(path, &outcome.decisions_jsonl);
+    }
+    if let Some(path) = &trace_out {
+        write(path, &outcome.trace_jsonl);
+    }
+    println!("{}", outcome.summary.pretty());
 }
 
 /// `experiments monitor`: one observed acquisition run; writes the

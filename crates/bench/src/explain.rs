@@ -1,0 +1,135 @@
+//! The `explain` experiment: one fully-traced run with decision
+//! provenance, producing the decision-stream artifact the decision-level
+//! regression gate compares against.
+//!
+//! Runs a single domain's acquisition with every component enabled and a
+//! JSONL tracer installed, then matches the enriched attributes inside a
+//! traced `matching` item — so the trace carries every match-relevant
+//! decision: `instance_validate` (PMI evidence), `bayes_verify`
+//! (posterior + per-feature likelihoods), `probe_verify` (probe
+//! outcomes), `borrow_reuse` (domain-similarity reuse/skip), and
+//! `cluster_merge` (label/domain similarity components).
+//!
+//! Two artifacts come out:
+//!
+//! - the full trace (`webiq-report explain` renders evidence chains
+//!   from it), and
+//! - the decisions-only JSONL (`WHY_BASELINE.jsonl`; CI regenerates it
+//!   and gates with `webiq-report diff --decisions`).
+//!
+//! Decisions ride the merge-time logical clock, so both artifacts are
+//! byte-identical run over run and at any worker count.
+
+use webiq::core::{Components, WebIQConfig};
+use webiq::matcher::MatchConfig;
+use webiq::pipeline::{DomainPipeline, THRESHOLD};
+use webiq::trace::{SharedBuf, Tracer};
+
+use crate::json::{obj, Json};
+
+/// Everything one explain run produced.
+#[derive(Debug)]
+pub struct ExplainOutcome {
+    /// The full deterministic JSONL trace (spans + decisions).
+    pub trace_jsonl: String,
+    /// Only the decision lines (what `WHY_BASELINE.jsonl` holds).
+    pub decisions_jsonl: String,
+    /// The run summary (decision counts per kind, F-1).
+    pub summary: Json,
+}
+
+/// Run one fully-traced acquisition + matching pass of `domain` at
+/// `seed` and collect its decision stream.
+///
+/// # Errors
+///
+/// Returns the pipeline's error string when the domain is unknown or
+/// acquisition fails.
+pub fn run(domain: &str, seed: u64) -> Result<ExplainOutcome, String> {
+    let p = DomainPipeline::build(domain, seed).map_err(|e| e.to_string())?;
+
+    let buf = SharedBuf::new();
+    let tracer = Tracer::jsonl(Box::new(buf.clone()));
+    let cfg = WebIQConfig {
+        tracer: tracer.clone(),
+        ..WebIQConfig::default()
+    };
+    let acq = p
+        .acquire(Components::ALL, &cfg)
+        .map_err(|e| e.to_string())?;
+    let attrs = p.enriched_attributes(&acq);
+    let (_, metrics) =
+        p.match_and_evaluate_traced(&attrs, &MatchConfig::with_threshold(THRESHOLD), &tracer);
+    tracer.flush();
+    let trace_jsonl = buf.contents_string();
+
+    let decisions_jsonl: String = trace_jsonl
+        .lines()
+        .filter(|l| l.starts_with("{\"ev\":\"decision\""))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let count_kind = |kind: &str| {
+        let needle = format!("\"kind\":\"{kind}\"");
+        decisions_jsonl
+            .lines()
+            .filter(|l| l.contains(&needle))
+            .count()
+    };
+
+    let summary = obj([
+        ("domain", Json::from(domain)),
+        ("seed", Json::from(seed)),
+        ("decisions", Json::from(decisions_jsonl.lines().count())),
+        (
+            "by_kind",
+            obj([
+                (
+                    "instance_validate",
+                    Json::from(count_kind("instance_validate")),
+                ),
+                ("bayes_verify", Json::from(count_kind("bayes_verify"))),
+                ("probe_verify", Json::from(count_kind("probe_verify"))),
+                ("borrow_reuse", Json::from(count_kind("borrow_reuse"))),
+                ("cluster_merge", Json::from(count_kind("cluster_merge"))),
+            ]),
+        ),
+        ("f1", Json::from(metrics.f1)),
+    ]);
+
+    Ok(ExplainOutcome {
+        trace_jsonl,
+        decisions_jsonl,
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webiq::why::Provenance;
+
+    #[test]
+    fn explain_run_is_deterministic_and_carries_every_family() {
+        let a = run("book", 0x1ce0).expect("explain run");
+        let b = run("book", 0x1ce0).expect("explain run");
+        assert_eq!(a.trace_jsonl, b.trace_jsonl);
+        assert_eq!(a.decisions_jsonl, b.decisions_jsonl);
+        assert_eq!(a.summary, b.summary);
+        assert!(!a.decisions_jsonl.is_empty());
+        // The book run exercises surface validation and clustering at
+        // minimum; every recorded line must round-trip the parser.
+        let events: Vec<_> = a
+            .decisions_jsonl
+            .lines()
+            .map(|l| webiq::trace::Event::parse(l).expect("decision line parses"))
+            .collect();
+        let p = Provenance::from_events(&events);
+        assert_eq!(p.decisions().len(), a.decisions_jsonl.lines().count());
+        for kind in ["instance_validate", "cluster_merge"] {
+            assert!(
+                !p.matching(kind).is_empty(),
+                "no {kind} decisions in the book run"
+            );
+        }
+    }
+}

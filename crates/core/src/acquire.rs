@@ -403,7 +403,9 @@ fn attribute_body<E: QueryEngine>(
                     break;
                 }
                 webiq_trace::incr(Counter::BorrowCandidates);
-                let inst = &ds.attribute(cand).ok_or_else(|| dangling(cand))?.instances;
+                let lender = ds.attribute(cand).ok_or_else(|| dangling(cand))?;
+                let inst = &lender.instances;
+                let lender_ref = format!("{}/{} {}", cand.0, cand.1, lender.label);
                 let take_all = |got: &mut Vec<String>| {
                     for v in inst {
                         if !contains_ci(got, v) {
@@ -412,18 +414,32 @@ fn attribute_body<E: QueryEngine>(
                     }
                 };
                 // Same domain as an already-validated one → borrow
-                // without re-probing; same as a failed one → skip.
-                if accepted_domains
+                // without re-probing; same as a failed one → skip. The best
+                // similarity (not just the >0.5 test) is recorded as the
+                // decision's evidence.
+                let best_accepted = accepted_domains
                     .iter()
-                    .any(|p| domsim::dom_sim(p, inst) > 0.5)
-                {
+                    .map(|p| domsim::dom_sim(p, inst))
+                    .fold(0.0f64, f64::max);
+                let best_failed = failed_domains
+                    .iter()
+                    .map(|p| domsim::dom_sim(p, inst))
+                    .fold(0.0f64, f64::max);
+                if best_accepted > 0.5 {
                     webiq_trace::incr(Counter::BorrowReused);
+                    webiq_why::record::borrow_reuse(
+                        &lender_ref,
+                        true,
+                        &[("dom_sim", best_accepted), ("threshold", 0.5)],
+                    );
                     take_all(&mut got);
-                } else if failed_domains
-                    .iter()
-                    .any(|p| domsim::dom_sim(p, inst) > 0.5)
-                {
+                } else if best_failed > 0.5 {
                     webiq_trace::incr(Counter::BorrowSkipped);
+                    webiq_why::record::borrow_reuse(
+                        &lender_ref,
+                        false,
+                        &[("dom_sim", best_failed), ("threshold", 0.5)],
+                    );
                     continue;
                 } else {
                     tried += 1;
@@ -437,6 +453,19 @@ fn attribute_body<E: QueryEngine>(
                         ),
                         None => attr_deep::validate_borrowed(&sources[r1.0], &a1.name, inst, cfg),
                     });
+                    webiq_why::record::probe_verify(
+                        &lender_ref,
+                        outcome.accepted,
+                        &[
+                            ("probed", outcome.probed as f64),
+                            ("successes", outcome.successes as f64),
+                            (
+                                "ratio",
+                                outcome.successes as f64 / outcome.probed.max(1) as f64,
+                            ),
+                            ("accept_ratio", cfg.probe_accept_ratio),
+                        ],
+                    );
                     if outcome.accepted {
                         webiq_trace::incr(Counter::BorrowAccepted);
                         accepted_domains.push(inst);

@@ -124,6 +124,41 @@ impl ValidationClassifier {
     pub fn accepts<E: QueryEngine>(&self, engine: &E, candidate: &str, cfg: &WebIQConfig) -> bool {
         self.posterior(engine, candidate, cfg) > 0.5
     }
+
+    /// [`ValidationClassifier::posterior`] plus the evidence behind it:
+    /// the prior, and per feature its raw validation score, threshold,
+    /// on/off state, and smoothed class-conditional likelihoods — the
+    /// terms the provenance layer records for each accept/reject.
+    /// Issues the identical engine queries and computes the bit-equal
+    /// posterior, so it can replace `posterior` at a decision site
+    /// without perturbing the deterministic counter stream.
+    pub fn posterior_explained<E: QueryEngine>(
+        &self,
+        engine: &E,
+        candidate: &str,
+        cfg: &WebIQConfig,
+    ) -> (f64, Vec<(String, f64)>) {
+        let v = verify::validation_vector(engine, &self.phrases, candidate, cfg.use_pmi);
+        let features: Vec<bool> = v.iter().zip(&self.thresholds).map(|(m, t)| m > t).collect();
+        let mut terms = Vec::new();
+        let Some((posterior, evidence)) = self.nb.posterior_explained(&features) else {
+            // unreachable by construction (features has one entry per
+            // phrase); degrade to the plain posterior rather than panic
+            return (self.nb.posterior_pos(&features), terms);
+        };
+        terms.push(("posterior".to_string(), posterior));
+        terms.push(("prior_pos".to_string(), self.nb.prior_pos()));
+        for (i, e) in evidence.iter().enumerate() {
+            let score = v.get(i).copied().unwrap_or(0.0);
+            let thresh = self.thresholds.get(i).copied().unwrap_or(0.0);
+            terms.push((format!("f{i}_score"), score));
+            terms.push((format!("f{i}_thresh"), thresh));
+            terms.push((format!("f{i}_on"), f64::from(u8::from(e.on))));
+            terms.push((format!("f{i}_p_pos"), e.p_pos));
+            terms.push((format!("f{i}_p_neg"), e.p_neg));
+        }
+        (posterior, terms)
+    }
 }
 
 /// Verify borrowed instances for an attribute via the Surface Web: train
@@ -148,7 +183,10 @@ pub fn verify_borrowed<E: QueryEngine>(
     borrowed
         .iter()
         .filter(|b| {
-            let accepted = classifier.accepts(engine, b, cfg);
+            let (posterior, terms) = classifier.posterior_explained(engine, b, cfg);
+            let accepted = posterior > 0.5;
+            let refs: Vec<(&str, f64)> = terms.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            webiq_why::record::bayes_verify(b, accepted, &refs);
             webiq_trace::incr(if accepted {
                 Counter::BayesAccepted
             } else {

@@ -71,6 +71,39 @@ pub fn confidence<E: QueryEngine>(
     pmi::average(&scores)
 }
 
+/// [`confidence`] plus the per-phrase evidence behind it: the joint and
+/// marginal hit counts and the PMI score of every validation phrase, as
+/// decision terms (`joint_i`, `vhits_i`, `xhits_i`, `pmi_i`). Issues
+/// exactly the same engine queries in exactly the same order as
+/// [`confidence`], so swapping one for the other cannot perturb the
+/// deterministic counter stream.
+pub fn confidence_with_evidence<E: QueryEngine>(
+    engine: &E,
+    phrases: &[String],
+    candidate: &str,
+    use_pmi: bool,
+) -> (f64, Vec<(String, f64)>) {
+    let mut terms = Vec::new();
+    let mut scores = Vec::with_capacity(phrases.len());
+    for (i, phrase) in phrases.iter().enumerate() {
+        let joint = engine.num_hits(&format!("\"{phrase} {candidate}\""));
+        terms.push((format!("joint_{i}"), joint as f64));
+        let s = if use_pmi {
+            let v = engine.num_hits(&format!("\"{phrase}\""));
+            let x = engine.num_hits(&format!("\"{candidate}\""));
+            let p = pmi::pmi(joint, v, x);
+            terms.push((format!("vhits_{i}"), v as f64));
+            terms.push((format!("xhits_{i}"), x as f64));
+            terms.push((format!("pmi_{i}"), p));
+            p
+        } else {
+            joint as f64
+        };
+        scores.push(s);
+    }
+    (pmi::average(&scores), terms)
+}
+
 /// Run the verification phase over extraction candidates: outlier
 /// detection (when enabled), then Web validation, returning the top `k`
 /// by confidence. Traced as a `verify` span; removals and survivors are
@@ -94,6 +127,10 @@ pub fn verify_candidates<E: QueryEngine>(
         verify_candidates_inner(engine, phrases, candidates, cfg)
     })
 }
+
+/// One candidate's validation evidence: text, score, and the named
+/// terms behind the score, ready for an `instance_validate` record.
+type CandidateEvidence = (String, f64, Vec<(String, f64)>);
 
 /// [`verify_candidates`] minus the profiling wrapper, so the wall-clock
 /// stage timer brackets exactly one verification pass.
@@ -132,11 +169,20 @@ fn verify_candidates_inner<E: QueryEngine>(
         };
     }
 
-    let mut scored: Vec<ValidatedInstance> = kept
+    let evidence: Vec<CandidateEvidence> = kept
         .into_iter()
         .map(|text| {
-            let score = confidence(engine, phrases, &text, cfg.use_pmi);
-            ValidatedInstance { text, score }
+            let (score, mut terms) = confidence_with_evidence(engine, phrases, &text, cfg.use_pmi);
+            terms.push(("score".to_string(), score));
+            terms.push(("threshold".to_string(), cfg.min_validation_score));
+            (text, score, terms)
+        })
+        .collect();
+    let mut scored: Vec<ValidatedInstance> = evidence
+        .iter()
+        .map(|(text, score, _)| ValidatedInstance {
+            text: text.clone(),
+            score: *score,
         })
         .collect();
     let before = scored.len();
@@ -149,6 +195,14 @@ fn verify_candidates_inner<E: QueryEngine>(
             .then_with(|| a.text.cmp(&b.text))
     });
     scored.truncate(cfg.k);
+    // one provenance record per candidate, in extraction order; accept
+    // means "survived the threshold AND the top-k cut"
+    let accepted: std::collections::BTreeSet<&str> =
+        scored.iter().map(|v| v.text.as_str()).collect();
+    for (text, _, terms) in &evidence {
+        let refs: Vec<(&str, f64)> = terms.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        webiq_why::record::instance_validate(text, accepted.contains(text.as_str()), &refs);
+    }
     webiq_trace::add(Counter::OutliersRemoved, outliers_removed as u64);
     webiq_trace::add(Counter::ValidationRejected, validation_removed as u64);
     webiq_trace::add(Counter::ValidationAccepted, scored.len() as u64);

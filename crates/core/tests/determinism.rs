@@ -135,6 +135,47 @@ fn profiled_trace_is_byte_identical_across_the_full_thread_sweep() {
     }
 }
 
+/// The decision lines of a trace, verbatim.
+fn decision_lines(trace: &str) -> String {
+    trace
+        .lines()
+        .filter(|l| l.starts_with("{\"ev\":\"decision\""))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+#[test]
+fn decision_stream_is_byte_identical_across_the_full_thread_sweep() {
+    // Decision provenance rides the same merge-time logical clock as the
+    // span events, so the decision JSONL sub-stream — subjects, verdicts,
+    // every evidence term's float encoding — is byte-identical across
+    // the 1/2/4/8 sweep and across reruns.
+    let (_, reference) = run_traced(0, 1);
+    let decisions = decision_lines(&reference);
+    assert!(
+        !decisions.is_empty(),
+        "acquisition recorded no decisions — provenance instrumentation is dead"
+    );
+    assert!(
+        decisions.contains("\"kind\":\"instance_validate\""),
+        "no instance_validate decisions:\n{decisions}"
+    );
+    for threads in [2, 4, 8] {
+        let (_, trace) = run_traced(0, threads);
+        assert_eq!(
+            decisions,
+            decision_lines(&trace),
+            "decision stream differs at {threads} threads"
+        );
+    }
+    let (_, rerun) = run_traced(0, 1);
+    assert_eq!(
+        decisions,
+        decision_lines(&rerun),
+        "decision stream differs across reruns"
+    );
+}
+
 /// Acquisition with a live metrics registry installed; returns its
 /// Prometheus rendering after the run.
 fn run_observed(domain_idx: usize, threads: usize) -> String {

@@ -97,6 +97,12 @@ impl MatchResult {
 }
 
 /// Run the matcher over a set of attributes.
+///
+/// Every merge performed by the clustering loop is recorded as a
+/// `cluster_merge` decision (via [`webiq_why::record::cluster_merge`]) for
+/// the merge's representative pair, carrying the average-link score, the
+/// threshold τ, and the pair's pure label/domain similarity components.
+/// Recording is a no-op unless the caller runs inside a traced item.
 pub fn match_attributes(attrs: &[MatchAttribute], cfg: &MatchConfig) -> MatchResult {
     let items: Vec<Item<AttrRef>> = attrs
         .iter()
@@ -106,7 +112,29 @@ pub fn match_attributes(attrs: &[MatchAttribute], cfg: &MatchConfig) -> MatchRes
         })
         .collect();
     let sim = cluster::similarity_matrix(&items, |i, j| similarity(&attrs[i], &attrs[j], cfg));
-    let clusters = cluster::cluster(&items, &sim, cfg.threshold);
+    let (clusters, merges) = cluster::cluster_logged(&items, &sim, cfg.threshold);
+    for ev in &merges {
+        let (Some(a), Some(b)) = (
+            attrs.iter().find(|x| x.r == ev.a),
+            attrs.iter().find(|x| x.r == ev.b),
+        ) else {
+            continue;
+        };
+        // label_sim / dom_sim are pure: recomputing them for the
+        // representative pair adds evidence without perturbing any
+        // counter or engine-call sequence.
+        webiq_why::record::cluster_merge(
+            &format!("({}, {})", a.label, b.label),
+            &[
+                ("score", ev.score),
+                ("threshold", cfg.threshold),
+                ("label_sim", labelsim::label_sim(&a.label, &b.label)),
+                ("dom_sim", domsim::dom_sim(&a.values, &b.values)),
+                ("alpha", cfg.alpha),
+                ("beta", cfg.beta),
+            ],
+        );
+    }
     MatchResult {
         clusters: clusters
             .into_iter()

@@ -16,6 +16,7 @@
 //! quantile_shift = 0.0
 //! prof_counter_rise_pct = 50.0
 //! prof_contention_rise = 0.05
+//! decision_flips = 0
 //! ```
 //!
 //! The parser is hand-rolled (the workspace is dependency-free) and
@@ -52,6 +53,11 @@ pub struct DiffThresholds {
     /// absolute amount (e.g. 0.05 = five percentage points of
     /// acquisitions newly finding the lock held).
     pub prof_contention_rise: f64,
+    /// Flipped decisions tolerated by `webiq-report diff --decisions`
+    /// before the run counts as a regression. The pipeline is
+    /// deterministic, so the default is zero: any verdict flip between
+    /// baseline and candidate decision streams flags.
+    pub decision_flips: u64,
 }
 
 impl Default for DiffThresholds {
@@ -64,6 +70,7 @@ impl Default for DiffThresholds {
             quantile_shift: 0.0,
             prof_counter_rise_pct: 50.0,
             prof_contention_rise: 0.05,
+            decision_flips: 0,
         }
     }
 }
@@ -131,6 +138,9 @@ impl DiffThresholds {
                 "prof_contention_rise" => {
                     t.prof_contention_rise = parse_pct(value).ok_or_else(|| bad("number"))?;
                 }
+                "decision_flips" => {
+                    t.decision_flips = value.parse().map_err(|_| bad("integer"))?;
+                }
                 _ => {
                     return Err(ObsError::Config {
                         line: lineno,
@@ -187,6 +197,7 @@ rate_drop = 0.1
 quantile_shift = 2.0
 prof_counter_rise_pct = 120
 prof_contention_rise = 0.2
+decision_flips = 1
 ";
         let t = match DiffThresholds::parse(text) {
             Ok(t) => t,
@@ -199,6 +210,7 @@ prof_contention_rise = 0.2
         assert_eq!(t.quantile_shift, 2.0);
         assert_eq!(t.prof_counter_rise_pct, 120.0);
         assert_eq!(t.prof_contention_rise, 0.2);
+        assert_eq!(t.decision_flips, 1);
     }
 
     #[test]

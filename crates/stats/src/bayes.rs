@@ -20,6 +20,20 @@ pub struct NaiveBayes {
     p_true: [Vec<f64>; 2],
 }
 
+/// Per-feature likelihood evidence behind one posterior evaluation
+/// (see [`NaiveBayes::posterior_explained`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureEvidence {
+    /// Feature index.
+    pub index: usize,
+    /// Whether the feature was observed on.
+    pub on: bool,
+    /// Smoothed P(fᵢ = observed | +).
+    pub p_pos: f64,
+    /// Smoothed P(fᵢ = observed | −).
+    pub p_neg: f64,
+}
+
 /// Errors from training.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TrainError {
@@ -137,6 +151,39 @@ impl NaiveBayes {
     pub fn classify(&self, features: &[bool]) -> bool {
         self.posterior_pos(features) > 0.5
     }
+
+    /// [`NaiveBayes::posterior_pos`] plus the per-feature likelihoods
+    /// behind it — the evidence the provenance layer records for each
+    /// accept/reject. Panic-free: a feature vector of the wrong arity
+    /// returns `None` instead of panicking (explaining a decision must
+    /// never crash the run it explains). The posterior is computed with
+    /// the identical log-space operations in the identical order, so it
+    /// is bit-equal to [`NaiveBayes::posterior_pos`].
+    pub fn posterior_explained(&self, features: &[bool]) -> Option<(f64, Vec<FeatureEvidence>)> {
+        if features.len() != self.n_features {
+            return None;
+        }
+        let mut log_pos = self.prior_pos.ln();
+        let mut log_neg = (1.0 - self.prior_pos).ln();
+        let mut evidence = Vec::with_capacity(self.n_features);
+        for (i, &f) in features.iter().enumerate() {
+            let (Some(&pt_pos), Some(&pt_neg)) = (self.p_true[1].get(i), self.p_true[0].get(i))
+            else {
+                return None;
+            };
+            let pp = if f { pt_pos } else { 1.0 - pt_pos };
+            let pn = if f { pt_neg } else { 1.0 - pt_neg };
+            log_pos += pp.ln();
+            log_neg += pn.ln();
+            evidence.push(FeatureEvidence {
+                index: i,
+                on: f,
+                p_pos: pp,
+                p_neg: pn,
+            });
+        }
+        Some((1.0 / (1.0 + (log_neg - log_pos).exp()), evidence))
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +269,67 @@ mod tests {
     fn wrong_arity_panics() {
         let nb = NaiveBayes::train(&paper_t2()).expect("train");
         let _ = nb.posterior_pos(&[true]);
+    }
+
+    #[test]
+    fn posterior_explained_is_bit_equal_and_panic_free() {
+        let nb = NaiveBayes::train(&paper_t2()).expect("train");
+        for features in [[true, true], [true, false], [false, false]] {
+            let (p, ev) = nb.posterior_explained(&features).expect("explained");
+            assert_eq!(p.to_bits(), nb.posterior_pos(&features).to_bits());
+            assert_eq!(ev.len(), 2);
+            assert_eq!(ev[0].on, features[0]);
+        }
+        // per-feature likelihoods match the accessors for an observed-on
+        // feature, and their complements for an observed-off one
+        let (_, ev) = nb.posterior_explained(&[true, false]).expect("explained");
+        assert_eq!(ev[0].p_pos, nb.p_feature_true(0, true));
+        assert_eq!(ev[1].p_pos, 1.0 - nb.p_feature_true(1, true));
+        // wrong arity: None, not a panic
+        assert_eq!(nb.posterior_explained(&[true]), None);
+        assert_eq!(nb.posterior_explained(&[true, true, true]), None);
+    }
+
+    #[test]
+    fn zero_count_smoothing_keeps_likelihoods_off_the_floor() {
+        // f0 is never true in the negative class and always true in the
+        // positive class: Laplace smoothing must keep both conditionals
+        // strictly inside (0, 1) so the log-space posterior stays finite.
+        let ex = vec![
+            (vec![true], true),
+            (vec![true], true),
+            (vec![false], false),
+            (vec![false], false),
+        ];
+        let nb = NaiveBayes::train(&ex).expect("train");
+        // P(f0=1|−) = (0+1)/(2+2) = 1/4, P(f0=1|+) = (2+1)/(2+2) = 3/4
+        assert!((nb.p_feature_true(0, false) - 0.25).abs() < 1e-12);
+        assert!((nb.p_feature_true(0, true) - 0.75).abs() < 1e-12);
+        for f in [true, false] {
+            let p = nb.posterior_pos(&[f]);
+            assert!(p.is_finite() && p > 0.0 && p < 1.0, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn all_features_absent_posterior_is_finite_and_sensible() {
+        // An all-false vector exercises every 1−p complement branch; the
+        // posterior must stay finite and favour the class that was
+        // trained on all-false examples.
+        let n = 8;
+        let ex = vec![
+            (vec![true; n], true),
+            (vec![true; n], true),
+            (vec![false; n], false),
+            (vec![false; n], false),
+        ];
+        let nb = NaiveBayes::train(&ex).expect("train");
+        let p = nb.posterior_pos(&vec![false; n]);
+        assert!(p.is_finite(), "p = {p}");
+        assert!(p < 0.5, "all-absent vector should look negative: {p}");
+        let (pe, ev) = nb.posterior_explained(&vec![false; n]).expect("explained");
+        assert_eq!(pe.to_bits(), p.to_bits());
+        assert!(ev.iter().all(|e| !e.on && e.p_pos > 0.0 && e.p_neg > 0.0));
     }
 
     #[test]

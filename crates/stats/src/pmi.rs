@@ -48,6 +48,28 @@ mod tests {
     }
 
     #[test]
+    fn zero_denominator_with_nonzero_joint_is_never_infinite() {
+        // NumHits(V)·NumHits(x) = 0 while the joint query somehow hit —
+        // an engine inconsistency (cache skew, quota degradation) must
+        // score 0.0, not ±inf or NaN: the provenance layer forwards PMI
+        // terms onto the wire, which carries finite floats only.
+        for (joint, v, x) in [(u64::MAX, 0, 0), (1, 0, u64::MAX), (7, u64::MAX, 0)] {
+            let score = pmi(joint, v, x);
+            assert_eq!(score, 0.0, "pmi({joint}, {v}, {x})");
+            assert!(score.is_finite());
+        }
+    }
+
+    #[test]
+    fn huge_counts_stay_finite() {
+        // f64 products of u64::MAX-scale marginals must not overflow to
+        // inf and must stay usable as averaged confidence evidence.
+        let tiny = pmi(u64::MAX, u64::MAX, u64::MAX);
+        assert!(tiny.is_finite() && tiny > 0.0);
+        assert!(average(&[tiny, 0.0]).is_finite());
+    }
+
+    #[test]
     fn zero_joint_is_zero() {
         assert_eq!(pmi(0, 10, 10), 0.0);
     }

@@ -13,9 +13,18 @@
 //! ```text
 //! {"ev":"open","seq":0,"id":0,"name":"acquire","attr":"book"}
 //! {"ev":"open","seq":1,"id":1,"parent":0,"name":"attribute","attr":"0/0 Title"}
-//! {"ev":"close","seq":2,"id":1,"m":{"engine_hit_issued":42,"attrs_total":1}}
-//! {"ev":"close","seq":3,"id":0,"m":{"engine_hit_issued":42,"attrs_total":1},"h":{"probes_per_attr":[0,0,0,1,0,0,0,0]}}
+//! {"ev":"decision","seq":2,"id":1,"kind":"instance_validate","subject":"rome","verdict":"accept","t":{"pmi":0.0042,"threshold":0}}
+//! {"ev":"close","seq":3,"id":1,"m":{"engine_hit_issued":42,"attrs_total":1}}
+//! {"ev":"close","seq":4,"id":0,"m":{"engine_hit_issued":42,"attrs_total":1},"h":{"probes_per_attr":[0,0,0,1,0,0,0,0]}}
 //! ```
+//!
+//! A *decision* line records one match-relevant judgment — an instance
+//! validated, a borrowed lender probed, a cluster pair merged — with the
+//! evidence terms behind it (`"t"`: name → finite float, in recording
+//! order). Its `id` is the *enclosing span's* id, anchoring the decision
+//! in the provenance tree that `webiq-report explain` renders. Floats
+//! are written with Rust's shortest-roundtrip `Display`, so decision
+//! streams share the byte-identity guarantee of the rest of the trace.
 //!
 //! Work-item root closes and scope closes additionally carry the
 //! histogram deltas observed inside them (`"h"`: bucket-count arrays per
@@ -33,7 +42,7 @@
 use crate::metrics::{Counter, HistKey, NUM_BUCKETS};
 
 /// One trace event.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     /// A span opened.
     Open {
@@ -61,20 +70,37 @@ pub enum Event {
         /// and tracer scopes do).
         hists: Vec<(HistKey, [u64; NUM_BUCKETS])>,
     },
+    /// A match-relevant judgment and the evidence terms behind it.
+    Decision {
+        /// Logical-clock position (global event index).
+        seq: u64,
+        /// Id of the *enclosing span* — the decision's provenance anchor.
+        id: u64,
+        /// Decision family (e.g. `"instance_validate"`, `"cluster_merge"`).
+        kind: String,
+        /// What was decided about (an instance, a lender, an attribute pair).
+        subject: String,
+        /// The outcome (`"accept"`, `"reject"`, `"merge"`, ...).
+        verdict: String,
+        /// Evidence terms in recording order: name → finite value.
+        terms: Vec<(String, f64)>,
+    },
 }
 
 impl Event {
     /// The event's logical-clock position.
     pub fn seq(&self) -> u64 {
         match self {
-            Event::Open { seq, .. } | Event::Close { seq, .. } => *seq,
+            Event::Open { seq, .. } | Event::Close { seq, .. } | Event::Decision { seq, .. } => {
+                *seq
+            }
         }
     }
 
-    /// The event's span id.
+    /// The event's span id (for a decision, the enclosing span's id).
     pub fn id(&self) -> u64 {
         match self {
-            Event::Open { id, .. } | Event::Close { id, .. } => *id,
+            Event::Open { id, .. } | Event::Close { id, .. } | Event::Decision { id, .. } => *id,
         }
     }
 
@@ -143,6 +169,35 @@ impl Event {
                 s.push('}');
                 s
             }
+            Event::Decision {
+                seq,
+                id,
+                kind,
+                subject,
+                verdict,
+                terms,
+            } => {
+                let mut s = format!("{{\"ev\":\"decision\",\"seq\":{seq},\"id\":{id},\"kind\":\"");
+                push_escaped(&mut s, kind);
+                s.push_str("\",\"subject\":\"");
+                push_escaped(&mut s, subject);
+                s.push_str("\",\"verdict\":\"");
+                push_escaped(&mut s, verdict);
+                s.push_str("\",\"t\":{");
+                for (i, (k, v)) in terms.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push('"');
+                    push_escaped(&mut s, k);
+                    s.push_str("\":");
+                    // shortest-roundtrip Display: deterministic for a
+                    // given bit pattern, parses back exactly
+                    s.push_str(&v.to_string());
+                }
+                s.push_str("}}");
+                s
+            }
         }
     }
 
@@ -157,6 +212,10 @@ impl Event {
         let mut parent: Option<u64> = None;
         let mut name: Option<String> = None;
         let mut attr: Option<String> = None;
+        let mut kind: Option<String> = None;
+        let mut subject: Option<String> = None;
+        let mut verdict: Option<String> = None;
+        let mut terms: Vec<(String, f64)> = Vec::new();
         let mut metrics: Vec<(Counter, u64)> = Vec::new();
         let mut hists: Vec<(HistKey, [u64; NUM_BUCKETS])> = Vec::new();
         loop {
@@ -169,6 +228,24 @@ impl Event {
                 "parent" => parent = Some(cur.number()?),
                 "name" => name = Some(cur.string()?),
                 "attr" => attr = Some(cur.string()?),
+                "kind" => kind = Some(cur.string()?),
+                "subject" => subject = Some(cur.string()?),
+                "verdict" => verdict = Some(cur.string()?),
+                "t" => {
+                    cur.eat(b'{')?;
+                    if !cur.try_eat(b'}') {
+                        loop {
+                            let tk = cur.string()?;
+                            cur.eat(b':')?;
+                            let v = cur.float()?;
+                            terms.push((tk, v));
+                            if cur.try_eat(b'}') {
+                                break;
+                            }
+                            cur.eat(b',')?;
+                        }
+                    }
+                }
                 "m" => {
                     cur.eat(b'{')?;
                     if !cur.try_eat(b'}') {
@@ -246,6 +323,14 @@ impl Event {
                 id: id?,
                 metrics,
                 hists,
+            }),
+            "decision" => Some(Event::Decision {
+                seq: seq?,
+                id: id?,
+                kind: kind?,
+                subject: subject?,
+                verdict: verdict?,
+                terms,
             }),
             _ => None,
         }
@@ -373,6 +458,23 @@ impl<'a> Cur<'a> {
         }
         any.then_some(v)
     }
+
+    /// A finite JSON number (decision evidence terms). Scans the JSON
+    /// number alphabet and defers to `str::parse`, which round-trips the
+    /// shortest-roundtrip `Display` encoding exactly.
+    fn float(&mut self) -> Option<f64> {
+        let start = self.i;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(self.b.get(start..self.i)?).ok()?;
+        let v: f64 = text.parse().ok()?;
+        v.is_finite().then_some(v)
+    }
 }
 
 #[cfg(test)]
@@ -495,6 +597,72 @@ mod tests {
             r#"{"ev":"weird","seq":1,"id":2}"#, // unknown ev
             r#"{"ev":"open","seq":1,"id":2,"name":"x"} trailing"#,
             r#"{"unknown":1}"#,
+        ] {
+            assert_eq!(Event::parse(bad), None, "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn decision_roundtrip() {
+        let e = Event::Decision {
+            seq: 5,
+            id: 2,
+            kind: "instance_validate".into(),
+            subject: "rome".into(),
+            verdict: "accept".into(),
+            terms: vec![
+                ("pmi".into(), 0.004_2),
+                ("joint".into(), 17.0),
+                ("threshold".into(), 0.0),
+            ],
+        };
+        let line = e.to_jsonl();
+        assert!(line.starts_with(r#"{"ev":"decision","seq":5,"id":2,"kind":"instance_validate""#));
+        assert!(line.contains(r#""t":{"pmi":0.0042,"joint":17,"threshold":0}"#));
+        assert_eq!(Event::parse(&line), Some(e));
+    }
+
+    #[test]
+    fn decision_with_no_terms_roundtrip() {
+        let e = Event::Decision {
+            seq: 0,
+            id: 0,
+            kind: "borrow_reuse".into(),
+            subject: "(a, b)".into(),
+            verdict: "reuse".into(),
+            terms: vec![],
+        };
+        assert_eq!(Event::parse(&e.to_jsonl()), Some(e));
+    }
+
+    #[test]
+    fn decision_float_edge_values_roundtrip() {
+        for v in [-3.5, 1e-9, 123_456_789.25, f64::MIN_POSITIVE, -0.0] {
+            let e = Event::Decision {
+                seq: 1,
+                id: 1,
+                kind: "k".into(),
+                subject: "s".into(),
+                verdict: "v".into(),
+                terms: vec![("x".into(), v)],
+            };
+            let parsed = Event::parse(&e.to_jsonl());
+            let Some(Event::Decision { terms, .. }) = parsed else {
+                panic!("decision failed to parse for {v}");
+            };
+            assert_eq!(terms[0].1.to_bits(), v.to_bits(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn malformed_decisions_are_rejected() {
+        for bad in [
+            // missing verdict
+            r#"{"ev":"decision","seq":1,"id":0,"kind":"k","subject":"s","t":{}}"#,
+            // non-finite term
+            r#"{"ev":"decision","seq":1,"id":0,"kind":"k","subject":"s","verdict":"v","t":{"x":inf}}"#,
+            // unterminated terms map
+            r#"{"ev":"decision","seq":1,"id":0,"kind":"k","subject":"s","verdict":"v","t":{"x":1"#,
         ] {
             assert_eq!(Event::parse(bad), None, "accepted: {bad}");
         }

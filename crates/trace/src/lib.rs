@@ -38,6 +38,6 @@ pub use event::Event;
 pub use metrics::{Counter, Gauge, GaugeSet, HistKey, HistSet, MetricSet, SharedMetrics};
 pub use sink::{JsonlSink, MemoryHandle, MemorySink, NoopSink, SharedBuf, TraceSink};
 pub use tracer::{
-    add, hist_snapshot, incr, observe, snapshot, span, span_attr, ItemBuf, ItemTrace, SpanGuard,
-    Totals, TraceScope, Tracer,
+    add, decision, hist_snapshot, incr, observe, snapshot, span, span_attr, ItemBuf, ItemTrace,
+    SpanGuard, Totals, TraceScope, Tracer,
 };

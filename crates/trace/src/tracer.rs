@@ -62,6 +62,14 @@ pub(crate) enum LocalEvent {
         id: u32,
         delta: Vec<(Counter, u64)>,
     },
+    Decision {
+        /// Enclosing span's local id.
+        parent: u32,
+        kind: &'static str,
+        subject: String,
+        verdict: &'static str,
+        terms: Vec<(String, f64)>,
+    },
 }
 
 /// The ambient event buffer installed by [`Tracer::item`].
@@ -168,6 +176,36 @@ fn open_ambient(name: &'static str, attr: Option<String>) -> SpanGuard {
     })
     .flatten();
     SpanGuard { id }
+}
+
+/// Record a decision — a match-relevant judgment plus its evidence
+/// terms — into the ambient work-item buffer, anchored to the innermost
+/// open span. A no-op when no traced item is installed (tracer disabled
+/// or outside an item), so call sites cost one thread-local borrow when
+/// tracing is off. Non-finite terms are dropped at record time: the
+/// wire format carries finite floats only.
+pub fn decision(
+    kind: &'static str,
+    subject: impl Into<String>,
+    verdict: &'static str,
+    terms: &[(&str, f64)],
+) {
+    let _ = with_local(|s| {
+        if let Some(it) = s.item.as_mut() {
+            let parent = it.stack.last().map_or(0, |&(p, _)| p);
+            it.events.push(LocalEvent::Decision {
+                parent,
+                kind,
+                subject: subject.into(),
+                verdict,
+                terms: terms
+                    .iter()
+                    .filter(|(_, v)| v.is_finite())
+                    .map(|&(k, v)| (k.to_string(), v))
+                    .collect(),
+            });
+        }
+    });
 }
 
 impl Drop for SpanGuard {
@@ -484,6 +522,20 @@ impl Tracer {
                         } else {
                             Vec::new()
                         },
+                    },
+                    LocalEvent::Decision {
+                        parent,
+                        kind,
+                        subject,
+                        verdict,
+                        terms,
+                    } => Event::Decision {
+                        seq,
+                        id: base + u64::from(*parent),
+                        kind: (*kind).to_string(),
+                        subject: subject.clone(),
+                        verdict: (*verdict).to_string(),
+                        terms: terms.clone(),
                     },
                 };
                 s.sink.event(&e);

@@ -45,7 +45,7 @@ fn span_nesting_parents_are_correct() {
     );
     let parent_of = |i: usize| match &events[i] {
         Event::Open { parent, .. } => *parent,
-        Event::Close { .. } => panic!("expected open"),
+        _ => panic!("expected open"),
     };
     assert_eq!(parent_of(0), None, "scope is a root");
     assert_eq!(parent_of(1), Some(scope_id), "item nests under scope");
@@ -258,4 +258,62 @@ fn ambient_span_without_item_is_inert() {
         incr(Counter::ClusterMerges);
     }
     assert_eq!(snapshot().diff(&before).get(Counter::ClusterMerges), 1);
+}
+
+#[test]
+fn decisions_anchor_to_the_enclosing_span_and_remap_on_submit() {
+    let (tracer, handle) = Tracer::memory();
+    let scope = tracer.scope("acquire", "book");
+    let item = tracer.item("attribute", "0/0 Title");
+    {
+        let _verify = span("verify");
+        webiq_trace::decision(
+            "instance_validate",
+            "rome",
+            "accept",
+            &[("pmi", 0.25), ("joint", 17.0), ("bad", f64::NAN)],
+        );
+    }
+    tracer.submit(item.finish());
+    drop(scope);
+
+    let events = handle.events();
+    // scope open, item open, verify open, decision, verify close,
+    // item close, scope close
+    assert_eq!(events.len(), 7);
+    let verify_id = events[2].id();
+    let Event::Decision {
+        seq,
+        id,
+        kind,
+        subject,
+        verdict,
+        terms,
+    } = &events[3]
+    else {
+        panic!("expected decision, got {:?}", events[3]);
+    };
+    assert_eq!(*seq, 3);
+    assert_eq!(*id, verify_id, "decision anchors to the verify span");
+    assert_eq!(kind, "instance_validate");
+    assert_eq!(subject, "rome");
+    assert_eq!(verdict, "accept");
+    // the NaN term was dropped at record time
+    assert_eq!(
+        terms,
+        &vec![("pmi".to_string(), 0.25), ("joint".to_string(), 17.0)]
+    );
+}
+
+#[test]
+fn decisions_outside_a_traced_item_are_noops() {
+    // no tracer installed at all
+    webiq_trace::decision("instance_validate", "x", "accept", &[("pmi", 1.0)]);
+    // enabled tracer, but no item on this thread
+    let (tracer, handle) = Tracer::memory();
+    let scope = tracer.scope("acquire", "book");
+    webiq_trace::decision("instance_validate", "y", "reject", &[]);
+    drop(scope);
+    drop(tracer);
+    assert_eq!(handle.events().len(), 2, "only scope open/close emitted");
 }

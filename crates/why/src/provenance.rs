@@ -1,0 +1,337 @@
+//! The evidence-chain tree: decisions anchored in the span hierarchy.
+//!
+//! [`Provenance::from_events`] rebuilds, from a parsed JSONL trace, the
+//! span tree the tracer emitted and attaches every decision to its
+//! enclosing span. From there a decision's full lineage is available:
+//! the chain of spans above it (acquisition scope → attribute item →
+//! stage span), the *owning attribute* (the nearest ancestor span with
+//! a subject, used as the diff key), and the fault/degradation counters
+//! that were live around it — so an explain rendering can say not just
+//! "posterior 0.81 > 0.5" but also "while 2 faults were injected and
+//! the attribute degraded to statistics-only validation".
+//!
+//! [`Provenance::explain`] renders the tree for every decision whose
+//! subject, owning attribute, or kind matches a query string — the
+//! engine behind `webiq-report explain <pair|attr|cluster>`. Output is
+//! deterministic: decisions in logical-clock order, floats in the same
+//! shortest-roundtrip encoding the wire format uses.
+
+use std::collections::BTreeMap;
+
+use webiq_trace::{Counter, Event};
+
+/// One span reconstructed from the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Global span id.
+    pub id: u64,
+    /// Enclosing span id, if any.
+    pub parent: Option<u64>,
+    /// Stage name (`"acquire"`, `"attribute"`, `"verify"`, ...).
+    pub name: String,
+    /// Free-form subject (domain, attribute label), if any.
+    pub attr: Option<String>,
+    /// Counter deltas from the span's close event (empty until closed).
+    pub metrics: Vec<(Counter, u64)>,
+}
+
+/// One decision reconstructed from the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// Logical-clock position.
+    pub seq: u64,
+    /// Enclosing span id.
+    pub span: u64,
+    /// Decision family (see [`crate::record`]).
+    pub kind: String,
+    /// What was decided about.
+    pub subject: String,
+    /// The outcome.
+    pub verdict: String,
+    /// Evidence terms in recording order.
+    pub terms: Vec<(String, f64)>,
+}
+
+/// A trace rebuilt into spans plus the decisions recorded inside them.
+#[derive(Debug, Clone, Default)]
+pub struct Provenance {
+    spans: BTreeMap<u64, SpanNode>,
+    decisions: Vec<DecisionRecord>,
+}
+
+impl Provenance {
+    /// Rebuild the tree from a parsed event stream. Unknown span ids
+    /// (a truncated trace) degrade gracefully: decisions keep their
+    /// anchor id and simply have an empty chain.
+    pub fn from_events(events: &[Event]) -> Provenance {
+        let mut p = Provenance::default();
+        for e in events {
+            match e {
+                Event::Open {
+                    id,
+                    parent,
+                    name,
+                    attr,
+                    ..
+                } => {
+                    p.spans.insert(
+                        *id,
+                        SpanNode {
+                            id: *id,
+                            parent: *parent,
+                            name: name.clone(),
+                            attr: attr.clone(),
+                            metrics: Vec::new(),
+                        },
+                    );
+                }
+                Event::Close { id, metrics, .. } => {
+                    if let Some(s) = p.spans.get_mut(id) {
+                        s.metrics = metrics.clone();
+                    }
+                }
+                Event::Decision {
+                    seq,
+                    id,
+                    kind,
+                    subject,
+                    verdict,
+                    terms,
+                } => {
+                    p.decisions.push(DecisionRecord {
+                        seq: *seq,
+                        span: *id,
+                        kind: kind.clone(),
+                        subject: subject.clone(),
+                        verdict: verdict.clone(),
+                        terms: terms.clone(),
+                    });
+                }
+            }
+        }
+        p
+    }
+
+    /// All decisions, in logical-clock order.
+    pub fn decisions(&self) -> &[DecisionRecord] {
+        &self.decisions
+    }
+
+    /// Look up a span by id.
+    pub fn span(&self, id: u64) -> Option<&SpanNode> {
+        self.spans.get(&id)
+    }
+
+    /// The ancestor chain of `d`'s enclosing span, root-first (walks
+    /// parents; bounded by the span count so a malformed trace with a
+    /// parent cycle cannot loop).
+    pub fn chain(&self, d: &DecisionRecord) -> Vec<&SpanNode> {
+        let mut chain = Vec::new();
+        let mut cur = self.spans.get(&d.span);
+        let mut budget = self.spans.len();
+        while let Some(s) = cur {
+            chain.push(s);
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            cur = s.parent.and_then(|pid| self.spans.get(&pid));
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// The decision's owning attribute: the subject of the nearest
+    /// enclosing span that has one (the `attribute` item span in an
+    /// acquisition trace). Empty when no ancestor carries a subject.
+    pub fn owner_attr(&self, d: &DecisionRecord) -> String {
+        self.chain(d)
+            .iter()
+            .rev()
+            .find_map(|s| s.attr.clone())
+            .unwrap_or_default()
+    }
+
+    /// Fault/degradation counters live around the decision: every
+    /// `fault_*` counter from the closes of its ancestor chain, summed
+    /// by name and sorted for deterministic rendering.
+    pub fn fault_context(&self, d: &DecisionRecord) -> Vec<(&'static str, u64)> {
+        let mut acc: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for s in self.chain(d) {
+            for (c, v) in &s.metrics {
+                let name = c.name();
+                if name.starts_with("fault_") {
+                    *acc.entry(name).or_insert(0) += v;
+                }
+            }
+        }
+        acc.into_iter().collect()
+    }
+
+    /// Decisions whose subject, owning attribute, or kind contains
+    /// `query` (case-insensitive).
+    pub fn matching(&self, query: &str) -> Vec<&DecisionRecord> {
+        let q = query.to_ascii_lowercase();
+        self.decisions
+            .iter()
+            .filter(|d| {
+                q.is_empty()
+                    || d.subject.to_ascii_lowercase().contains(&q)
+                    || d.kind.to_ascii_lowercase().contains(&q)
+                    || self.owner_attr(d).to_ascii_lowercase().contains(&q)
+            })
+            .collect()
+    }
+
+    /// Render the evidence-chain tree for every decision matching
+    /// `query`. Deterministic text: logical-clock order, wire-format
+    /// float encoding.
+    pub fn explain(&self, query: &str) -> String {
+        let matches = self.matching(query);
+        let mut out = format!(
+            "explain \"{query}\" — {} matching decision{} (of {})\n",
+            matches.len(),
+            if matches.len() == 1 { "" } else { "s" },
+            self.decisions.len()
+        );
+        for d in matches {
+            out.push_str(&format!(
+                "\n[seq {}] {} \"{}\" -> {}\n",
+                d.seq, d.kind, d.subject, d.verdict
+            ));
+            let chain = self.chain(d);
+            if chain.is_empty() {
+                out.push_str("  at: (span missing from trace)\n");
+            } else {
+                let path: Vec<String> = chain
+                    .iter()
+                    .map(|s| match &s.attr {
+                        Some(a) => format!("{} \"{}\"", s.name, a),
+                        None => s.name.clone(),
+                    })
+                    .collect();
+                out.push_str(&format!("  at: {}\n", path.join(" > ")));
+            }
+            if d.terms.is_empty() {
+                out.push_str("  evidence: none recorded\n");
+            } else {
+                out.push_str("  evidence:\n");
+                for (k, v) in &d.terms {
+                    out.push_str(&format!("    {k:<20} {v}\n"));
+                }
+            }
+            let faults = self.fault_context(d);
+            if faults.is_empty() {
+                out.push_str("  faults: none\n");
+            } else {
+                let parts: Vec<String> = faults.iter().map(|(k, v)| format!("{k} {v}")).collect();
+                out.push_str(&format!("  faults: {}\n", parts.join(", ")));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> Vec<Event> {
+        vec![
+            Event::Open {
+                seq: 0,
+                id: 0,
+                parent: None,
+                name: "acquire".into(),
+                attr: Some("book".into()),
+            },
+            Event::Open {
+                seq: 1,
+                id: 1,
+                parent: Some(0),
+                name: "attribute".into(),
+                attr: Some("0/3 author".into()),
+            },
+            Event::Open {
+                seq: 2,
+                id: 2,
+                parent: Some(1),
+                name: "verify".into(),
+                attr: None,
+            },
+            Event::Decision {
+                seq: 3,
+                id: 2,
+                kind: "instance_validate".into(),
+                subject: "tolkien".into(),
+                verdict: "accept".into(),
+                terms: vec![("pmi".into(), 0.25), ("joint".into(), 17.0)],
+            },
+            Event::Close {
+                seq: 4,
+                id: 2,
+                metrics: vec![(Counter::ValidationAccepted, 1)],
+                hists: vec![],
+            },
+            Event::Close {
+                seq: 5,
+                id: 1,
+                metrics: vec![
+                    (Counter::ValidationAccepted, 1),
+                    (Counter::FaultInjected, 2),
+                ],
+                hists: vec![],
+            },
+            Event::Close {
+                seq: 6,
+                id: 0,
+                metrics: vec![(Counter::FaultInjected, 2)],
+                hists: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn chains_owner_and_faults_resolve() {
+        let p = Provenance::from_events(&fixture());
+        assert_eq!(p.decisions().len(), 1);
+        let d = &p.decisions()[0];
+        let chain: Vec<&str> = p.chain(d).iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(chain, vec!["acquire", "attribute", "verify"]);
+        assert_eq!(p.owner_attr(d), "0/3 author");
+        // fault_injected appears on two ancestor closes: summed
+        assert_eq!(p.fault_context(d), vec![("fault_injected", 4)]);
+    }
+
+    #[test]
+    fn explain_renders_matching_decisions_deterministically() {
+        let p = Provenance::from_events(&fixture());
+        let text = p.explain("author");
+        assert!(text.contains("1 matching decision (of 1)"), "{text}");
+        assert!(text.contains("instance_validate \"tolkien\" -> accept"));
+        assert!(text.contains("acquire \"book\" > attribute \"0/3 author\" > verify"));
+        assert!(text.contains("pmi"));
+        assert!(text.contains("0.25"));
+        assert!(text.contains("faults: fault_injected 4"));
+        assert_eq!(text, p.explain("author"), "rendering is deterministic");
+        // a query that matches nothing still renders a header
+        assert!(p.explain("nope").contains("0 matching decisions (of 1)"));
+    }
+
+    #[test]
+    fn orphan_decisions_degrade_gracefully() {
+        let events = vec![Event::Decision {
+            seq: 0,
+            id: 99,
+            kind: "cluster_merge".into(),
+            subject: "(a, b)".into(),
+            verdict: "merge".into(),
+            terms: vec![],
+        }];
+        let p = Provenance::from_events(&events);
+        let d = &p.decisions()[0];
+        assert!(p.chain(d).is_empty());
+        assert_eq!(p.owner_attr(d), "");
+        assert!(p.explain("").contains("span missing from trace"));
+    }
+}

@@ -1,12 +1,13 @@
-//! `webiq-report` — render JSONL traces, gate on trace diffs, and
-//! render profile attribution reports.
+//! `webiq-report` — render JSONL traces, gate on trace diffs, explain
+//! decisions, and render profile attribution reports.
 //!
-//! Three modes:
+//! Four modes:
 //!
 //! ```text
 //! webiq-report TRACE.jsonl [MORE.jsonl ...]
 //! webiq-report diff BASELINE.jsonl CANDIDATE.jsonl [--config obs.toml] [--json]
-//!                   [--prof-baseline FILE --prof-candidate FILE]
+//!                   [--decisions] [--prof-baseline FILE --prof-candidate FILE]
+//! webiq-report explain TRACE.jsonl [QUERY]
 //! webiq-report profile PROF_BASELINE.json
 //! ```
 //!
@@ -24,6 +25,21 @@
 //! Exit codes: `0` no regression, `1` regression detected, `2` usage or
 //! I/O error — so CI can gate on the exit status alone.
 //!
+//! With `--decisions` the diff mode gates on the decision streams
+//! instead: every recorded decision (instance validation, Bayes and
+//! probe verification, borrow reuse, cluster merges) is keyed by kind,
+//! owning attribute, and subject, and any *verdict flip* between
+//! baseline and candidate fails the gate, naming the pair and the
+//! largest evidence delta behind the flip. Evidence drift with the
+//! verdict held is reported but never gates. The flip allowance comes
+//! from `decision_flips` in `--config` (default 0).
+//!
+//! The explain mode renders a deterministic evidence-chain tree for
+//! every decision matching QUERY (case-insensitive substring of the
+//! decision subject, kind, or owning attribute; omitted = all):
+//! the span chain it happened under, each evidence term, and any
+//! fault/degradation counters observed on the enclosing spans.
+//!
 //! The profile mode renders the stage-tree attribution table and
 //! Amdahl/USL scaling diagnosis from a `PROF_BASELINE.json` written by
 //! `experiments profile`. The report is a pure function of the file:
@@ -38,10 +54,12 @@ use webiq::obs::{diff_events, parse_jsonl, profile, DiffThresholds, ObsError};
 use webiq::prof::ProfSnapshot;
 use webiq::trace::report;
 use webiq::trace::Event;
+use webiq::why::{diff_decisions, Provenance};
 
 const USAGE: &str = "usage: webiq-report TRACE.jsonl [MORE.jsonl ...]
        webiq-report diff BASELINE.jsonl CANDIDATE.jsonl [--config FILE] [--json]
-                    [--prof-baseline FILE --prof-candidate FILE]
+                    [--decisions] [--prof-baseline FILE --prof-candidate FILE]
+       webiq-report explain TRACE.jsonl [QUERY]
        webiq-report profile PROF_BASELINE.json
 `-` reads a trace from stdin (at most one input may be `-`)";
 
@@ -53,6 +71,7 @@ fn main() -> ExitCode {
     }
     match args.split_first() {
         Some((first, rest)) if first == "diff" => run_diff(rest),
+        Some((first, rest)) if first == "explain" => run_explain(rest),
         Some((first, rest)) if first == "profile" => run_profile(rest),
         _ => run_render(&args),
     }
@@ -123,10 +142,12 @@ fn run_diff(args: &[String]) -> ExitCode {
     let mut prof_baseline: Option<&String> = None;
     let mut prof_candidate: Option<&String> = None;
     let mut json = false;
+    let mut decisions = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--decisions" => decisions = true,
             "--config" => {
                 let Some(path) = it.next() else {
                     eprintln!("webiq-report: --config needs a file argument\n{USAGE}");
@@ -190,6 +211,23 @@ fn run_diff(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if decisions {
+        if prof.is_some() {
+            eprintln!("webiq-report: --decisions does not take profile inputs\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        let d = diff_decisions(baseline, &base, candidate, &cand, thresholds.decision_flips);
+        if json {
+            println!("{}", d.to_json());
+        } else {
+            print!("{}", d.render_text());
+        }
+        return if d.regressed() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
     let mut r = diff_events(baseline, &base, candidate, &cand, &thresholds);
     if let Some((pb, pc)) = prof {
         // Prometheus text (a render_prom file or a /metrics scrape);
@@ -217,6 +255,27 @@ fn run_diff(args: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Render evidence-chain trees for the decisions matching a query.
+fn run_explain(args: &[String]) -> ExitCode {
+    let (path, query) = match args {
+        [path] => (path, ""),
+        [path, query] => (path, query.as_str()),
+        _ => {
+            eprintln!("webiq-report: explain needs TRACE.jsonl and an optional QUERY\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let events = match load_trace(path) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("webiq-report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", Provenance::from_events(&events).explain(query));
+    ExitCode::SUCCESS
 }
 
 /// Render the attribution + scaling report from a profile baseline.

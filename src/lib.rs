@@ -14,6 +14,7 @@
 //! | [`data`] | five-domain knowledge bases and the ICQ-profile dataset generator |
 //! | [`matcher`] | the IceQ-style interface matcher (label/domain similarity + clustering) |
 //! | [`trace`] | deterministic structured tracing, pipeline metrics, run reports |
+//! | [`why`] | decision provenance: evidence records, explain trees, decision-level diffs |
 //! | [`prof`] | always-on performance attribution: lock/cache/worker counters, per-stage timers |
 //! | [`obs`] | live `/metrics` exposition, windowed aggregation, trace-diff regression gating |
 //! | [`fault`] | deterministic fault injection, virtual-time retry/backoff, circuit breaking, quota tracking |
@@ -35,6 +36,7 @@ pub use webiq_prof as prof;
 pub use webiq_stats as stats;
 pub use webiq_trace as trace;
 pub use webiq_web as web;
+pub use webiq_why as why;
 
 pub mod pipeline {
     //! End-to-end assembly: dataset + simulated Web + simulated sources +
@@ -236,6 +238,25 @@ pub mod pipeline {
             cfg: &MatchConfig,
         ) -> (MatchResult, PrF1) {
             let result = match_attributes(attrs, cfg);
+            let metrics = result.evaluate(&self.dataset);
+            (result, metrics)
+        }
+
+        /// [`Self::match_and_evaluate`], run inside a traced `matching`
+        /// item so every `cluster_merge` decision lands in the trace
+        /// through the merge-time logical clock. Matching is
+        /// single-threaded and runs after acquisition, so the item's
+        /// events are appended deterministically after the acquisition
+        /// items at any worker count.
+        pub fn match_and_evaluate_traced(
+            &self,
+            attrs: &[MatchAttribute],
+            cfg: &MatchConfig,
+            tracer: &webiq_trace::Tracer,
+        ) -> (MatchResult, PrF1) {
+            let item = tracer.item("matching", self.def.key);
+            let result = match_attributes(attrs, cfg);
+            tracer.submit(item.finish());
             let metrics = result.evaluate(&self.dataset);
             (result, metrics)
         }

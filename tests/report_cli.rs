@@ -75,6 +75,52 @@ fn trace_jsonl(accepted: u64, rejected: u64, probe_val: u64) -> String {
     })
 }
 
+/// A tiny decision-bearing trace: one acquire root, one attribute span,
+/// and a `bayes_verify` decision with the given verdict and posterior.
+fn decision_trace(verdict: &str, posterior: f64) -> String {
+    let events = [
+        Event::Open {
+            seq: 0,
+            id: 0,
+            parent: None,
+            name: "acquire".into(),
+            attr: Some("book".into()),
+        },
+        Event::Open {
+            seq: 1,
+            id: 1,
+            parent: Some(0),
+            name: "attribute".into(),
+            attr: Some("0/3 author".into()),
+        },
+        Event::Decision {
+            seq: 2,
+            id: 1,
+            kind: "bayes_verify".into(),
+            subject: "writer".into(),
+            verdict: verdict.into(),
+            terms: vec![("posterior".into(), posterior), ("prior_pos".into(), 0.5)],
+        },
+        Event::Close {
+            seq: 3,
+            id: 1,
+            metrics: vec![],
+            hists: vec![],
+        },
+        Event::Close {
+            seq: 4,
+            id: 0,
+            metrics: vec![],
+            hists: vec![],
+        },
+    ];
+    events.iter().fold(String::new(), |mut acc, e| {
+        acc.push_str(&e.to_jsonl());
+        acc.push('\n');
+        acc
+    })
+}
+
 /// Write `contents` into a unique temp file and return its path.
 fn temp_trace(tag: &str, contents: &str) -> PathBuf {
     let path =
@@ -179,6 +225,115 @@ fn malformed_trace_reports_file_and_line() {
     assert!(stderr(&out).contains(&expected), "{}", stderr(&out));
     std::fs::remove_file(&path).expect("cleanup");
     std::fs::remove_file(&ok).expect("cleanup");
+}
+
+#[test]
+fn decisions_diff_of_identical_streams_exits_0() {
+    let path = temp_trace("dident", &decision_trace("accept", 0.81));
+    let out = report(&["diff", "--decisions", path_str(&path), path_str(&path)]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("zero deltas: decision streams are identical"),
+        "{text}"
+    );
+    assert!(text.contains("verdict: OK"), "{text}");
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+#[test]
+fn injected_decision_flip_exits_1_naming_pair_and_dominant_delta() {
+    // The verdict flips accept -> reject after the posterior collapses;
+    // the gate must name the decision and the evidence term that moved
+    // most. This wording is what the CI decision gate surfaces.
+    let base = temp_trace("dbase", &decision_trace("accept", 0.81));
+    let cand = temp_trace("dcand", &decision_trace("reject", 0.43));
+    let out = report(&["diff", "--decisions", path_str(&base), path_str(&cand)]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("bayes_verify [0/3 author] \"writer\": accept -> reject"),
+        "{text}"
+    );
+    assert!(
+        text.contains("posterior 0.81 -> 0.43 (largest evidence delta)"),
+        "{text}"
+    );
+    assert!(
+        text.contains("verdict: REGRESSION (1 flipped decision)"),
+        "{text}"
+    );
+
+    // JSON output carries the same verdict for tooling.
+    let out = report(&[
+        "diff",
+        "--decisions",
+        "--json",
+        path_str(&base),
+        path_str(&cand),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stdout(&out).contains("\"regressed\":true"),
+        "{}",
+        stdout(&out)
+    );
+    std::fs::remove_file(&base).expect("cleanup");
+    std::fs::remove_file(&cand).expect("cleanup");
+}
+
+#[test]
+fn decisions_flip_allowance_comes_from_the_config() {
+    let base = temp_trace("dabase", &decision_trace("accept", 0.81));
+    let cand = temp_trace("dacand", &decision_trace("reject", 0.43));
+    let cfg = std::env::temp_dir().join(format!("webiq-report-{}-flips.toml", std::process::id()));
+    std::fs::write(&cfg, "[diff]\ndecision_flips = 1\n").expect("write config");
+    let out = report(&[
+        "diff",
+        "--decisions",
+        path_str(&base),
+        path_str(&cand),
+        "--config",
+        cfg.to_str().expect("utf-8 path"),
+    ]);
+    assert!(out.status.success(), "{}\n{}", stdout(&out), stderr(&out));
+    assert!(
+        stdout(&out).contains("verdict: OK (no decision flipped past the allowance)"),
+        "{}",
+        stdout(&out)
+    );
+    std::fs::remove_file(&base).expect("cleanup");
+    std::fs::remove_file(&cand).expect("cleanup");
+    std::fs::remove_file(&cfg).expect("cleanup");
+}
+
+#[test]
+fn explain_renders_the_evidence_chain() {
+    let path = temp_trace("explain", &decision_trace("accept", 0.81));
+    let out = report(&["explain", path_str(&path), "writer"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("bayes_verify \"writer\" -> accept"), "{text}");
+    assert!(text.contains("acquire \"book\""), "{text}");
+    assert!(text.contains("attribute \"0/3 author\""), "{text}");
+    assert!(text.contains("posterior"), "{text}");
+
+    // No query renders every decision; an unmatched query renders none.
+    let out = report(&["explain", path_str(&path)]);
+    assert!(out.status.success());
+    assert!(
+        stdout(&out).contains("1 matching decision (of 1)"),
+        "{}",
+        stdout(&out)
+    );
+    let out = report(&["explain", path_str(&path), "no-such-subject"]);
+    assert!(out.status.success());
+    assert!(
+        stdout(&out).contains("0 matching decisions (of 1)"),
+        "{}",
+        stdout(&out)
+    );
+    std::fs::remove_file(&path).expect("cleanup");
 }
 
 #[test]
