@@ -1,0 +1,217 @@
+//! Persistence overhead on the fig-6 workload: full-domain acquisition
+//! with no store (the default — a `None` check per run is the only
+//! added code) and with a cold store persisting every merged item
+//! through the fsync'd append log plus one final compaction.
+//!
+//! End-to-end timing at this workload size carries a few percent of
+//! run-to-run jitter, so as in `fault_overhead` the headline "<1%"
+//! claim is pinned by an analytic bound: the cost of everything the
+//! store adds to a cold run — the input fingerprint, one durable
+//! append per persisted fact, and the final compaction — is measured
+//! directly and expressed as a share of the measured store-less run
+//! time. The bench also checks the persisting run acquires
+//! byte-identical instances. Emits `BENCH_store_overhead.json` next to
+//! the workspace root.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use webiq::core::{persist, Acquisition, Components, WebIQConfig};
+use webiq::pipeline::DomainPipeline;
+use webiq::store::{BorrowRecord, Record, Store};
+use webiq_bench::experiments::SEED;
+use webiq_bench::json::{obj, Json};
+use webiq_bench::timing::{fmt_time, time_once};
+
+const OUT_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../BENCH_store_overhead.json"
+);
+const REPS: usize = 5;
+const KEYS: [&str; 5] = ["airfare", "auto", "book", "job", "realestate"];
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("webiq-store-bench-{tag}-{}", std::process::id()))
+}
+
+/// Median wall-clock of a full acquisition; with `persist`, each rep
+/// writes into a fresh store directory (a cold cache both ways).
+fn run_mode(key: &'static str, persist: bool) -> f64 {
+    let mut times = Vec::with_capacity(REPS);
+    for rep in 0..REPS {
+        let p = DomainPipeline::build(key, SEED).expect("domain");
+        let dir = scratch(&format!("{key}-{rep}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = persist.then(|| Arc::new(Store::open(&dir).expect("open")));
+        let cfg = WebIQConfig {
+            threads: Some(1),
+            store,
+            ..WebIQConfig::default()
+        };
+        let (_, secs) = time_once(|| p.acquire(Components::ALL, &cfg).expect("acquisition"));
+        times.push(secs);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    median(times)
+}
+
+/// One persisting acquisition's result plus the facts it stored.
+fn run_once(key: &'static str) -> (Acquisition, usize) {
+    let p = DomainPipeline::build(key, SEED).expect("domain");
+    let dir = scratch(key);
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(Store::open(&dir).expect("open"));
+    let handle = Arc::clone(&store);
+    let cfg = WebIQConfig {
+        threads: Some(1),
+        store: Some(store),
+        ..WebIQConfig::default()
+    };
+    let acq = p.acquire(Components::ALL, &cfg).expect("acquisition");
+    let facts = handle.state_snapshot().len();
+    let _ = std::fs::remove_dir_all(&dir);
+    (acq, facts)
+}
+
+const PUT_REPS: u64 = 2_000;
+
+/// Per-append cost (ns) of one durable `put`: frame + CRC + fsync'd
+/// append + in-memory apply — what every persisted fact costs a cold
+/// run. Measured against the real filesystem, fsync included.
+fn put_ns() -> f64 {
+    let dir = scratch("put");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).expect("open");
+    let (_, secs) = time_once(|| {
+        for i in 0..PUT_REPS {
+            store
+                .put(Record::Borrow(BorrowRecord {
+                    domain: "bench".to_string(),
+                    attr: format!("attr{i}"),
+                    lender: "lender".to_string(),
+                    accepted: i % 2 == 0,
+                }))
+                .expect("put");
+        }
+    });
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    secs * 1e9 / PUT_REPS as f64
+}
+
+/// One-off store costs of a cold run for `key`: the input fingerprint
+/// and the final compaction of its real fact set, in seconds.
+fn fixed_secs(key: &'static str) -> f64 {
+    let p = DomainPipeline::build(key, SEED).expect("domain");
+    let cfg = WebIQConfig::default();
+    let fault = cfg.resolved_fault();
+    let (_, fp_secs) = time_once(|| {
+        persist::run_fingerprint(
+            &p.dataset,
+            p.def,
+            Components::ALL,
+            &cfg,
+            &fault,
+            p.engine.doc_count() as u64,
+        )
+    });
+    // Compact the run's real fact set once, from a replayed store.
+    let dir = scratch(&format!("compact-{key}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(Store::open(&dir).expect("open"));
+    let handle = Arc::clone(&store);
+    let run_cfg = WebIQConfig {
+        threads: Some(1),
+        store: Some(store),
+        ..WebIQConfig::default()
+    };
+    p.acquire(Components::ALL, &run_cfg).expect("acquisition");
+    let (_, compact_secs) = time_once(|| handle.compact().expect("compact"));
+    let _ = std::fs::remove_dir_all(&dir);
+    fp_secs + compact_secs
+}
+
+fn main() {
+    let put = put_ns();
+    println!("store_overhead: durable append cost {put:.1} ns/record");
+
+    let mut domain_objs = Vec::new();
+    let mut totals = [0.0f64; 2];
+    let mut bound_pct_max = 0.0f64;
+    let mut outputs_identical = true;
+
+    for key in KEYS {
+        let off = run_mode(key, false);
+        let on = run_mode(key, true);
+        totals[0] += off;
+        totals[1] += on;
+        let rel = 100.0 * (on - off) / off;
+        let (acq_on, facts) = run_once(key);
+        let p = DomainPipeline::build(key, SEED).expect("domain");
+        let acq_off = p
+            .acquire(
+                Components::ALL,
+                &WebIQConfig {
+                    threads: Some(1),
+                    ..WebIQConfig::default()
+                },
+            )
+            .expect("acquisition");
+        let identical = acq_off.acquired == acq_on.acquired && acq_off.degraded == acq_on.degraded;
+        outputs_identical = outputs_identical && identical;
+        let fixed = fixed_secs(key);
+        let bound_pct = 100.0 * (facts as f64 * put / 1e9 + fixed) / off;
+        bound_pct_max = bound_pct_max.max(bound_pct);
+        println!(
+            "store_overhead/{key:<11} off {:>10}   store {:>10} ({rel:>+6.2}%)   {facts} facts -> bound {bound_pct:.4}%{}",
+            fmt_time(off),
+            fmt_time(on),
+            if identical { "" } else { "   OUTPUT DIVERGED" },
+        );
+        domain_objs.push(obj([
+            ("key", key.into()),
+            ("disabled_secs", off.into()),
+            ("store_secs", on.into()),
+            ("store_overhead_pct", rel.into()),
+            ("facts", facts.into()),
+            ("store_bound_pct", bound_pct.into()),
+            ("output_identical", identical.into()),
+        ]));
+    }
+
+    let rel_total = 100.0 * (totals[1] - totals[0]) / totals[0];
+    let report = obj([
+        ("seed", SEED.into()),
+        ("reps", REPS.into()),
+        (
+            "workload",
+            "full acquisition, all components, five domains".into(),
+        ),
+        ("put_ns", put.into()),
+        ("domains", Json::Arr(domain_objs)),
+        (
+            "summary",
+            obj([
+                ("disabled_secs", totals[0].into()),
+                ("store_secs", totals[1].into()),
+                ("store_overhead_pct", rel_total.into()),
+                ("store_bound_pct_max", bound_pct_max.into()),
+                ("store_overhead_under_1pct", (bound_pct_max < 1.0).into()),
+                ("outputs_identical", outputs_identical.into()),
+            ]),
+        ),
+    ]);
+    std::fs::write(OUT_PATH, report.pretty() + "\n").expect("write BENCH_store_overhead.json");
+    println!(
+        "total: disabled {} | store {} ({rel_total:+.2}%)\n\
+         store bound: {bound_pct_max:.4}% worst domain (<1% target); \
+         outputs identical: {outputs_identical}; wrote {OUT_PATH}",
+        fmt_time(totals[0]),
+        fmt_time(totals[1]),
+    );
+}

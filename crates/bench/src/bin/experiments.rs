@@ -44,10 +44,22 @@
 //! cargo run --release -p webiq-bench --bin experiments -- explain \
 //!     --out WHY_BASELINE.jsonl --trace-out trace.jsonl
 //! ```
+//!
+//! The `store` subcommand runs the persistence gate: one cold
+//! acquisition through a crash-safe store, a crash-point sweep over
+//! both persisted streams, a disk-fault append phase, and a warm run
+//! that must replay byte-identically with zero engine queries. The
+//! verdict is deterministic, so CI diffs it against the committed
+//! `STORE_BASELINE.json`:
+//!
+//! ```sh
+//! cargo run --release -p webiq-bench --bin experiments -- store \
+//!     --json --out store-verdict.json
+//! ```
 #![forbid(unsafe_code)]
 
 use webiq_bench::json::{rows, Json};
-use webiq_bench::{chaos, experiments, explain, monitor, profile, render};
+use webiq_bench::{chaos, experiments, explain, monitor, profile, render, store};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -65,6 +77,10 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("profile") {
         run_profile(&argv[1..]);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("store") {
+        run_store(&argv[1..]);
         return;
     }
     let mut seed = experiments::SEED;
@@ -220,6 +236,85 @@ fn run_chaos(args: &[String]) {
     if let Some(path) = &out_path {
         if let Err(e) = std::fs::write(path, &verdict) {
             eprintln!("chaos: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if json {
+        print!("{verdict}");
+    } else {
+        print!("{}", outcome.render_text());
+    }
+    if !outcome.pass {
+        std::process::exit(1);
+    }
+}
+
+/// `experiments store`: the persistence gate — cold run, crash-point
+/// sweep, disk-fault phase, warm run; prints the verdict and exits 1
+/// when any property failed.
+fn run_store(args: &[String]) {
+    let mut seed = experiments::SEED;
+    let mut fault_seed = 42u64;
+    let mut domain = "book".to_string();
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut keep_dir: Option<String> = None;
+    let mut it = args.iter();
+    let usage = "usage: experiments store [--seed N] [--fault-seed N] [--domain NAME] \
+                 [--json] [--out FILE.json] [--keep STORE_DIR]";
+    let parse_u64 = |flag: &str, v: Option<&String>| -> u64 {
+        let v = v.cloned().unwrap_or_default();
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid {flag} value {v:?}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => seed = parse_u64("--seed", it.next()),
+            "--fault-seed" => fault_seed = parse_u64("--fault-seed", it.next()),
+            "--domain" => match it.next() {
+                Some(v) => domain = v.clone(),
+                None => {
+                    eprintln!("--domain needs a name argument\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+            "--json" => json = true,
+            "--out" => match it.next() {
+                Some(v) => out_path = Some(v.clone()),
+                None => {
+                    eprintln!("--out needs a path argument\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+            "--keep" => match it.next() {
+                Some(v) => keep_dir = Some(v.clone()),
+                None => {
+                    eprintln!("--keep needs a directory argument\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("{usage}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let keep = keep_dir.as_ref().map(std::path::Path::new);
+    let outcome = store::run(&domain, seed, fault_seed, keep).unwrap_or_else(|e| {
+        eprintln!("store: {e}");
+        std::process::exit(1);
+    });
+    let verdict = format!("{}\n", outcome.to_json().pretty());
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &verdict) {
+            eprintln!("store: cannot write {path}: {e}");
             std::process::exit(1);
         }
     }

@@ -14,4 +14,5 @@ pub mod json;
 pub mod monitor;
 pub mod profile;
 pub mod render;
+pub mod store;
 pub mod timing;

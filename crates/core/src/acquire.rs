@@ -32,11 +32,14 @@ use webiq_trace::timing::Stopwatch;
 use webiq_trace::{Counter, Gauge, HistKey, ItemBuf, MetricSet};
 use webiq_web::{QueryEngine, SearchEngine};
 
+use webiq_store::{BorrowRecord, InstanceRecord, ModelRecord, Record, RunCompleteRecord};
+
 use crate::attr_deep;
 use crate::attr_surface;
 use crate::config::{Components, WebIQConfig};
 use crate::error::WebIqError;
 use crate::extract::DomainInfo;
+use crate::persist;
 use crate::resilience::{Resilience, ResilientEngine, ResilientSource};
 use crate::surface;
 
@@ -273,9 +276,19 @@ enum ItemOutcome {
         got: Vec<String>,
         surface_secs: f64,
         deep_secs: f64,
+        /// Deep-Web probe verdicts, `(lender reference, accepted)` in
+        /// probe order — the expensive facts the knowledge store keeps.
+        borrows: Vec<(String, bool)>,
     },
     /// A pre-defined attribute run through Attr-Surface (§5 case 2).
-    Predefined { accepted: Vec<String>, secs: f64 },
+    Predefined {
+        accepted: Vec<String>,
+        secs: f64,
+        /// The trained validation classifier's parameters, if training
+        /// succeeded — persisted so a later run can rebuild the model
+        /// without re-issuing its training queries.
+        model: Option<attr_surface::ModelParams>,
+    },
     /// A pre-defined attribute with Attr-Surface disabled.
     Skipped,
 }
@@ -363,6 +376,7 @@ fn attribute_body<E: QueryEngine>(
         let mut got: Vec<String> = Vec::new();
         let mut surface_secs = 0.0;
         let mut deep_secs = 0.0;
+        let mut borrows: Vec<(String, bool)> = Vec::new();
 
         // Step 1.a: discover from the Surface Web, scoping queries with
         // the domain terms and (when configured) keywords from the
@@ -453,6 +467,7 @@ fn attribute_body<E: QueryEngine>(
                         ),
                         None => attr_deep::validate_borrowed(&sources[r1.0], &a1.name, inst, cfg),
                     });
+                    borrows.push((lender_ref.clone(), outcome.accepted));
                     webiq_why::record::probe_verify(
                         &lender_ref,
                         outcome.accepted,
@@ -494,6 +509,7 @@ fn attribute_body<E: QueryEngine>(
             got,
             surface_secs,
             deep_secs,
+            borrows,
         })
     } else if components.attr_surface {
         // Step 2: borrow for a pre-defined attribute, validate via the
@@ -514,6 +530,7 @@ fn attribute_body<E: QueryEngine>(
         }
         pool.truncate(15);
         let mut accepted = Vec::new();
+        let mut model = None;
         if !pool.is_empty() {
             let negatives: Vec<String> = ds.interfaces[r1.0]
                 .attributes
@@ -522,8 +539,8 @@ fn attribute_body<E: QueryEngine>(
                 .filter(|(j, a)| *j != r1.1 && a.has_instances())
                 .flat_map(|(_, a)| a.instances.iter().take(2).cloned())
                 .collect();
-            accepted = webiq_prof::time(Stage::Bayes, || {
-                attr_surface::verify_borrowed(
+            (accepted, model) = webiq_prof::time(Stage::Bayes, || {
+                attr_surface::verify_borrowed_with_model(
                     engine,
                     &a1.label,
                     &a1.instances,
@@ -541,6 +558,7 @@ fn attribute_body<E: QueryEngine>(
         Ok(ItemOutcome::Predefined {
             accepted,
             secs: sw.elapsed_secs(),
+            model,
         })
     } else {
         webiq_trace::incr(Counter::AttrsSkipped);
@@ -583,6 +601,23 @@ pub fn acquire(
     };
 
     let fault = cfg.resolved_fault();
+
+    // Warm start: a completed run with an identical input fingerprint
+    // replays from the store — byte-identical acquired instances and
+    // report, no engine traffic. The fingerprint covers everything that
+    // determines the output (dataset, components, config knobs, fault
+    // plan, corpus size) except the worker count, which never changes
+    // the output (see DESIGN.md).
+    let fingerprint =
+        persist::run_fingerprint(ds, def, components, cfg, &fault, engine.doc_count() as u64);
+    if let Some(store) = &cfg.store {
+        if let Some(warm) = store.warm_run(&ds.domain, fingerprint) {
+            webiq_trace::incr(Counter::StoreWarmHit);
+            return Ok(persist::rebuild_acquisition(&warm));
+        }
+        webiq_trace::incr(Counter::StoreWarmMiss);
+    }
+
     let quota = QuotaTracker::new(fault.daily_quota);
     let ctx = AcquireCtx {
         ds,
@@ -665,7 +700,7 @@ pub fn acquire(
     let mut acq = Acquisition::default();
     let mut total = MetricSet::new();
     let (mut surface_secs, mut attr_surface_secs, mut attr_deep_secs) = (0.0, 0.0, 0.0);
-    for (&(r1, _), (outcome, degraded, buf)) in items.iter().zip(outcomes) {
+    for (&(r1, a1), (outcome, degraded, buf)) in items.iter().zip(outcomes) {
         if degraded {
             acq.degraded.insert(r1);
         }
@@ -677,11 +712,63 @@ pub fn acquire(
             obs.publish_item(buf.totals(), buf.hists());
         }
         cfg.tracer.submit(buf);
+        // Persist this item's facts through the store's fsync'd log.
+        // Writes happen only here, in the single-threaded merge loop,
+        // so the log's record order is attribute order at any worker
+        // count. A failed write aborts the run with the store's path
+        // and operation attached — the run-complete marker below is
+        // then never written, so a later run re-acquires cold instead
+        // of trusting a partial log.
+        let acquired_values = match (&outcome, &cfg.store) {
+            (ItemOutcome::NoInst { got, borrows, .. }, Some(store)) => {
+                for (lender, accepted) in borrows {
+                    store.put(Record::Borrow(BorrowRecord {
+                        domain: ds.domain.clone(),
+                        attr: a1.label.clone(),
+                        lender: lender.clone(),
+                        accepted: *accepted,
+                    }))?;
+                }
+                Some(got)
+            }
+            (
+                ItemOutcome::Predefined {
+                    accepted, model, ..
+                },
+                Some(store),
+            ) => {
+                if let Some(m) = model {
+                    store.put(Record::Model(ModelRecord {
+                        domain: ds.domain.clone(),
+                        attr: a1.label.clone(),
+                        n_features: m.n_features,
+                        prior_pos: m.prior_pos,
+                        p_true_pos: m.p_true_pos.clone(),
+                        p_true_neg: m.p_true_neg.clone(),
+                    }))?;
+                }
+                Some(accepted)
+            }
+            _ => None,
+        };
+        if let (Some(values), Some(store)) = (acquired_values, &cfg.store) {
+            if !values.is_empty() || degraded {
+                store.put(Record::Instances(InstanceRecord {
+                    domain: ds.domain.clone(),
+                    fingerprint,
+                    iface: r1.0 as u32,
+                    attr: r1.1 as u32,
+                    values: values.clone(),
+                    degraded,
+                }))?;
+            }
+        }
         match outcome {
             ItemOutcome::NoInst {
                 got,
                 surface_secs: s,
                 deep_secs: d,
+                ..
             } => {
                 surface_secs += s;
                 attr_deep_secs += d;
@@ -689,7 +776,7 @@ pub fn acquire(
                     acq.acquired.insert(r1, got);
                 }
             }
-            ItemOutcome::Predefined { accepted, secs } => {
+            ItemOutcome::Predefined { accepted, secs, .. } => {
                 attr_surface_secs += secs;
                 if !accepted.is_empty() {
                     acq.acquired.insert(r1, accepted);
@@ -702,6 +789,18 @@ pub fn acquire(
     acq.report.surface_cost.secs = surface_secs;
     acq.report.attr_surface_cost.secs = attr_surface_secs;
     acq.report.attr_deep_cost.secs = attr_deep_secs;
+    if let Some(store) = &cfg.store {
+        // The commit marker: its counters are both the warm-start
+        // report source and the proof the run persisted completely. It
+        // is the last record, so any crash before this point leaves no
+        // marker and the next run misses.
+        store.put(Record::RunComplete(RunCompleteRecord {
+            domain: ds.domain.clone(),
+            fingerprint,
+            counters: persist::counter_pairs(&total),
+        }))?;
+        store.compact()?;
+    }
     if let Some(obs) = &cfg.obs {
         obs.end_epoch();
     }

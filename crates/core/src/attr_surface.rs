@@ -26,6 +26,22 @@ pub struct ValidationClassifier {
     nb: NaiveBayes,
 }
 
+/// A trained classifier's persistable parameter set — what the
+/// knowledge store keeps so a later run can rebuild the model via
+/// [`webiq_stats::bayes::NaiveBayes::from_params`] without re-issuing
+/// a single training query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelParams {
+    /// Feature count (one per validation phrase).
+    pub n_features: u32,
+    /// The smoothed class prior P(+).
+    pub prior_pos: f64,
+    /// Smoothed P(fᵢ = 1 | +) per feature.
+    pub p_true_pos: Vec<f64>,
+    /// Smoothed P(fᵢ = 1 | −) per feature.
+    pub p_true_neg: Vec<f64>,
+}
+
 /// Why training could not proceed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TrainFailure {
@@ -112,6 +128,16 @@ impl ValidationClassifier {
         &self.thresholds
     }
 
+    /// The trained Bayes parameters, for persistence.
+    pub fn params(&self) -> ModelParams {
+        ModelParams {
+            n_features: self.nb.n_features() as u32,
+            prior_pos: self.nb.prior_pos(),
+            p_true_pos: self.nb.p_true(true).to_vec(),
+            p_true_neg: self.nb.p_true(false).to_vec(),
+        }
+    }
+
     /// Posterior probability that `candidate` is an instance of the
     /// attribute.
     pub fn posterior<E: QueryEngine>(&self, engine: &E, candidate: &str, cfg: &WebIQConfig) -> f64 {
@@ -174,13 +200,29 @@ pub fn verify_borrowed<E: QueryEngine>(
     borrowed: &[String],
     cfg: &WebIQConfig,
 ) -> Vec<String> {
+    verify_borrowed_with_model(engine, label, positives, negatives, borrowed, cfg).0
+}
+
+/// [`verify_borrowed`] plus the trained classifier's parameters (for the
+/// knowledge store; `None` when training failed). Issues the identical
+/// engine queries, records the identical provenance, and bumps the
+/// identical counters in the identical order — `verify_borrowed` is a
+/// thin wrapper over this, so the two can never diverge.
+pub fn verify_borrowed_with_model<E: QueryEngine>(
+    engine: &E,
+    label: &str,
+    positives: &[String],
+    negatives: &[String],
+    borrowed: &[String],
+    cfg: &WebIQConfig,
+) -> (Vec<String>, Option<ModelParams>) {
     let _span = webiq_trace::span("bayes_verify");
     let Ok(classifier) = ValidationClassifier::train(engine, label, positives, negatives, cfg)
     else {
         webiq_trace::incr(Counter::BayesTrainFailed);
-        return Vec::new();
+        return (Vec::new(), None);
     };
-    borrowed
+    let accepted = borrowed
         .iter()
         .filter(|b| {
             let (posterior, terms) = classifier.posterior_explained(engine, b, cfg);
@@ -195,7 +237,8 @@ pub fn verify_borrowed<E: QueryEngine>(
             accepted
         })
         .cloned()
-        .collect()
+        .collect();
+    (accepted, Some(classifier.params()))
 }
 
 #[cfg(test)]

@@ -75,6 +75,14 @@ pub struct WebIQConfig {
     /// `WEBIQ_FAULT_RATE` environment variables
     /// ([`WebIQConfig::resolved_fault`]).
     pub fault: FaultConfig,
+    /// Persistent knowledge store (crash-safe append log + snapshot;
+    /// see `webiq-store`). `None` — the default — persists nothing.
+    /// With a store, acquisition first checks for a completed run with
+    /// an identical input fingerprint and warm-starts from it
+    /// (byte-identical instances and report, near-zero engine traffic);
+    /// a cold run writes its instances, probe verdicts, and trained
+    /// Bayes models through the store's fsync'd log as it merges items.
+    pub store: Option<Arc<webiq_store::Store>>,
 }
 
 impl WebIQConfig {
@@ -144,6 +152,7 @@ impl Default for WebIQConfig {
             tracer: Tracer::disabled(),
             obs: None,
             fault: FaultConfig::default(),
+            store: None,
         }
     }
 }

@@ -11,6 +11,7 @@ use std::fmt;
 
 use webiq_deep::DeepError;
 use webiq_obs::ObsError;
+use webiq_store::StoreError;
 use webiq_web::WebError;
 
 /// Any failure the WebIQ pipeline can report instead of panicking.
@@ -42,6 +43,11 @@ pub enum WebIqError {
     /// The observability layer failed (trace parsing, threshold config,
     /// or the metrics endpoint).
     Obs(ObsError),
+    /// A persistent-store IO operation failed. The wrapped
+    /// [`StoreError`] carries the file path, the operation, and the
+    /// rendered `std::io::Error` (or injected-fault name), so a failed
+    /// append or snapshot is attributable from the error alone.
+    Io(StoreError),
 }
 
 impl fmt::Display for WebIqError {
@@ -65,6 +71,7 @@ impl fmt::Display for WebIqError {
                 write!(f, "a parallel {stage} worker terminated abnormally")
             }
             WebIqError::Obs(e) => write!(f, "observability: {e}"),
+            WebIqError::Io(e) => write!(f, "persistence: {e}"),
         }
     }
 }
@@ -75,6 +82,7 @@ impl std::error::Error for WebIqError {
             WebIqError::Web(e) => Some(e),
             WebIqError::Deep(e) => Some(e),
             WebIqError::Obs(e) => Some(e),
+            WebIqError::Io(e) => Some(e),
             _ => None,
         }
     }
@@ -95,6 +103,12 @@ impl From<DeepError> for WebIqError {
 impl From<ObsError> for WebIqError {
     fn from(e: ObsError) -> Self {
         WebIqError::Obs(e)
+    }
+}
+
+impl From<StoreError> for WebIqError {
+    fn from(e: StoreError) -> Self {
+        WebIqError::Io(e)
     }
 }
 
@@ -148,6 +162,18 @@ mod tests {
         assert_eq!(
             e.to_string(),
             "observability: run.jsonl:3: not a valid trace event"
+        );
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: WebIqError = StoreError {
+            path: "/tmp/s/wal.log".into(),
+            op: "append",
+            detail: "injected fault: torn_write".into(),
+        }
+        .into();
+        assert_eq!(
+            e.to_string(),
+            "persistence: store append on /tmp/s/wal.log: injected fault: torn_write"
         );
         assert!(std::error::Error::source(&e).is_some());
     }

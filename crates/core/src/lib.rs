@@ -58,6 +58,7 @@ pub mod config;
 pub mod error;
 pub mod extract;
 pub mod patterns;
+pub mod persist;
 pub mod resilience;
 pub mod surface;
 pub mod verify;

@@ -149,6 +149,33 @@ mod tests {
     }
 
     #[test]
+    fn half_open_reopens_on_a_single_failed_probe_despite_high_threshold() {
+        // Opening took three consecutive failures, but once half-open a
+        // SINGLE failed trial call re-opens — the streak counter does
+        // not apply to the probe.
+        let clock = VirtualClock::new();
+        let b = CircuitBreaker::new(3, 250);
+        b.record_failure(&clock);
+        b.record_failure(&clock);
+        b.record_failure(&clock);
+        assert_eq!(b.state(&clock), BreakerState::Open);
+        clock.advance_ms(250);
+        assert_eq!(b.state(&clock), BreakerState::HalfOpen);
+        b.record_failure(&clock);
+        assert_eq!(
+            b.state(&clock),
+            BreakerState::Open,
+            "half-open must not wait for a fresh failure streak"
+        );
+        assert!(!b.allow(&clock));
+        // And the cooldown restarted at the probe failure.
+        clock.advance_ms(249);
+        assert_eq!(b.state(&clock), BreakerState::Open);
+        clock.advance_ms(1);
+        assert_eq!(b.state(&clock), BreakerState::HalfOpen);
+    }
+
+    #[test]
     fn zero_threshold_is_clamped_to_one() {
         let clock = VirtualClock::new();
         let b = CircuitBreaker::new(0, 100);

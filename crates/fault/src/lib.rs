@@ -20,7 +20,11 @@
 //! - [`CircuitBreaker`] is a per-endpoint closed/open/half-open breaker
 //!   driven by the same virtual clock;
 //! - [`QuotaTracker`] models the daily API quota and tells callers when
-//!   to degrade PMI-based Web validation to statistics-only checks.
+//!   to degrade PMI-based Web validation to statistics-only checks;
+//! - [`DiskFaultPlan`] extends the same seeded-injection discipline to
+//!   the storage layer: torn writes, short reads, ENOSPC, and
+//!   rename/fsync failures, each a pure function of `(path, op,
+//!   attempt)`, consumed by the `webiq-store` IO shim.
 //!
 //! Everything is dependency-free (only `webiq-rng`) and panic-free.
 #![forbid(unsafe_code)]
@@ -28,6 +32,7 @@
 pub mod breaker;
 pub mod clock;
 pub mod config;
+pub mod disk;
 pub mod plan;
 pub mod quota;
 pub mod retry;
@@ -35,6 +40,7 @@ pub mod retry;
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use clock::VirtualClock;
 pub use config::FaultConfig;
+pub use disk::{DiskFaultKind, DiskFaultPlan, DiskOp};
 pub use plan::{query_key, FaultKind, FaultPlan};
 pub use quota::{QuotaTracker, GOOGLE_2006_DAILY_QUOTA};
 pub use retry::{RetryBudget, RetryPolicy};

@@ -15,14 +15,20 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::clock::VirtualClock;
+
 /// The 2006 Google Web API's daily query allowance.
 pub const GOOGLE_2006_DAILY_QUOTA: u64 = 1_000;
+
+/// Virtual milliseconds in one quota day.
+const DAY_MS: u64 = 86_400_000;
 
 /// A run-wide query meter. `limit == 0` means unlimited.
 #[derive(Debug)]
 pub struct QuotaTracker {
     limit: u64,
     used: AtomicU64,
+    day: AtomicU64,
 }
 
 impl QuotaTracker {
@@ -31,6 +37,7 @@ impl QuotaTracker {
         QuotaTracker {
             limit,
             used: AtomicU64::new(0),
+            day: AtomicU64::new(0),
         }
     }
 
@@ -62,6 +69,32 @@ impl QuotaTracker {
     /// The configured allowance (0 = unlimited).
     pub fn limit(&self) -> u64 {
         self.limit
+    }
+
+    /// Roll the meter across a day boundary on `clock`: when the
+    /// virtual day index (`now_ms / 86_400_000`) has advanced past the
+    /// day the meter last reset in, the allowance refreshes — the
+    /// real-world API grants a fresh quota at midnight. Returns true
+    /// when a rollover happened. Advancing any amount of time *within*
+    /// a day never resets; crossing several midnights at once still
+    /// resets only once (the quota is not banked).
+    pub fn rollover(&self, clock: &VirtualClock) -> bool {
+        let today = clock.now_ms() / DAY_MS;
+        let last = self.day.load(Ordering::Relaxed);
+        if today <= last {
+            return false;
+        }
+        if self
+            .day
+            .compare_exchange(last, today, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.used.store(0, Ordering::Relaxed);
+            return true;
+        }
+        // Another worker rolled the same boundary first; the meter is
+        // already fresh.
+        false
     }
 }
 
@@ -96,6 +129,43 @@ mod tests {
         assert_eq!(q.used(), 0);
         assert!(q.try_consume(10));
         assert!(q.exhausted());
+    }
+
+    #[test]
+    fn day_boundary_rollover_refreshes_an_exhausted_quota() {
+        let clock = VirtualClock::new();
+        let q = QuotaTracker::new(2);
+        assert!(q.try_consume(2));
+        assert!(q.exhausted());
+        // 23:59:59.999 — same day, no refresh.
+        clock.advance_ms(DAY_MS - 1);
+        assert!(!q.rollover(&clock), "rolled over before midnight");
+        assert!(q.exhausted());
+        // Midnight: the allowance is fresh.
+        clock.advance_ms(1);
+        assert!(q.rollover(&clock));
+        assert!(!q.exhausted());
+        assert_eq!(q.used(), 0);
+        assert!(q.try_consume(2));
+        assert!(q.exhausted());
+    }
+
+    #[test]
+    fn rollover_within_a_day_is_a_no_op_and_quota_is_not_banked() {
+        let clock = VirtualClock::new();
+        let q = QuotaTracker::new(5);
+        assert!(q.try_consume(3));
+        clock.advance_ms(DAY_MS / 2);
+        assert!(!q.rollover(&clock));
+        assert_eq!(q.used(), 3, "mid-day rollover must not touch the meter");
+        // Sleep through three midnights at once: one refresh, not three.
+        clock.advance_ms(3 * DAY_MS);
+        assert!(q.rollover(&clock));
+        assert!(
+            !q.rollover(&clock),
+            "a single boundary crossing rolled twice"
+        );
+        assert_eq!(q.used(), 0);
     }
 
     #[test]

@@ -43,9 +43,9 @@ use crate::rules::{Scope, SourceFile};
 /// Crates whose public APIs are certified panic-free (the paper pipeline
 /// plus the observability substrate; `lint`, `rng`, and `bench` are
 /// harness code and stay outside the certificate set).
-pub const CERTIFIED_CRATES: [&str; 13] = [
-    "core", "data", "deep", "fault", "html", "matcher", "nlp", "obs", "prof", "stats", "trace",
-    "web", "why",
+pub const CERTIFIED_CRATES: [&str; 14] = [
+    "core", "data", "deep", "fault", "html", "matcher", "nlp", "obs", "prof", "stats", "store",
+    "trace", "web", "why",
 ];
 
 /// Public trace/obs entry points that emit into the deterministic

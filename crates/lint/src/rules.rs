@@ -129,7 +129,7 @@ impl Default for Scope {
             // `bench` are exempt.
             panic_crates: v(&[
                 "core", "data", "deep", "fault", "html", "lint", "matcher", "nlp", "obs", "prof",
-                "stats", "trace", "web", "webiq", "why",
+                "stats", "store", "trace", "web", "webiq", "why",
             ]),
             wallclock_exempt_crates: v(&["bench"]),
             wallclock_exempt_files: v(&["timing.rs"]),

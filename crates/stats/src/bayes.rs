@@ -101,6 +101,36 @@ impl NaiveBayes {
         })
     }
 
+    /// Rebuild a classifier from previously extracted parameters — the
+    /// persistence path: a trained model round-trips through
+    /// `(prior_pos, p_true_neg, p_true_pos)` and classifies bit-equal to
+    /// the original. Returns `None` when the parameters cannot have come
+    /// from [`NaiveBayes::train`]: ragged likelihood vectors, or any
+    /// probability outside the open interval `(0, 1)` (Laplacean
+    /// smoothing never produces 0 or 1, and log-space evaluation needs
+    /// strictly interior values).
+    pub fn from_params(prior_pos: f64, p_true_neg: Vec<f64>, p_true_pos: Vec<f64>) -> Option<Self> {
+        let interior = |p: f64| p.is_finite() && p > 0.0 && p < 1.0;
+        if p_true_neg.len() != p_true_pos.len() || !interior(prior_pos) {
+            return None;
+        }
+        if !p_true_neg.iter().chain(&p_true_pos).all(|&p| interior(p)) {
+            return None;
+        }
+        Some(NaiveBayes {
+            n_features: p_true_pos.len(),
+            prior_pos,
+            p_true: [p_true_neg, p_true_pos],
+        })
+    }
+
+    /// The smoothed per-feature likelihood vector P(fᵢ = 1 | class),
+    /// `positive` selecting the class — with [`NaiveBayes::prior_pos`],
+    /// the classifier's complete parameter set.
+    pub fn p_true(&self, positive: bool) -> &[f64] {
+        &self.p_true[usize::from(positive)]
+    }
+
     /// Number of features the classifier was trained with.
     pub fn n_features(&self) -> usize {
         self.n_features
@@ -330,6 +360,42 @@ mod tests {
         let (pe, ev) = nb.posterior_explained(&vec![false; n]).expect("explained");
         assert_eq!(pe.to_bits(), p.to_bits());
         assert!(ev.iter().all(|e| !e.on && e.p_pos > 0.0 && e.p_neg > 0.0));
+    }
+
+    #[test]
+    fn from_params_roundtrips_bit_equal() {
+        let nb = NaiveBayes::train(&paper_t2()).expect("train");
+        let rebuilt = NaiveBayes::from_params(
+            nb.prior_pos(),
+            nb.p_true(false).to_vec(),
+            nb.p_true(true).to_vec(),
+        )
+        .expect("rebuild");
+        assert_eq!(rebuilt, nb);
+        for features in [[true, true], [true, false], [false, false]] {
+            assert_eq!(
+                rebuilt.posterior_pos(&features).to_bits(),
+                nb.posterior_pos(&features).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn from_params_rejects_impossible_parameters() {
+        // ragged likelihood vectors
+        assert_eq!(
+            NaiveBayes::from_params(0.5, vec![0.5], vec![0.5, 0.5]),
+            None
+        );
+        // probabilities on or outside the open interval (0, 1)
+        for bad in [0.0, 1.0, -0.1, 1.5, f64::NAN, f64::INFINITY] {
+            assert_eq!(NaiveBayes::from_params(bad, vec![0.5], vec![0.5]), None);
+            assert_eq!(NaiveBayes::from_params(0.5, vec![bad], vec![0.5]), None);
+            assert_eq!(NaiveBayes::from_params(0.5, vec![0.5], vec![bad]), None);
+        }
+        // zero features is a valid (prior-only) classifier
+        let nb = NaiveBayes::from_params(0.6, vec![], vec![]).expect("prior-only");
+        assert!(nb.classify(&[]));
     }
 
     #[test]

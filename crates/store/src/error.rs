@@ -1,0 +1,61 @@
+//! The store's error type: every disk failure keeps its origin.
+
+/// A failed store operation, carrying the file, the operation, and the
+/// underlying cause (a real `std::io::Error` rendered to text, or an
+/// injected fault's name). String-backed so it stays `Clone + Eq` —
+/// the workspace's `WebIqError` wraps it without losing comparability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError {
+    /// The file the operation targeted (store-relative or absolute).
+    pub path: String,
+    /// The operation that failed (`append`, `read`, `rename`, …).
+    pub op: &'static str,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl StoreError {
+    /// Wrap a real `std::io::Error`.
+    pub fn io(path: &std::path::Path, op: &'static str, e: &std::io::Error) -> Self {
+        StoreError {
+            path: path.display().to_string(),
+            op,
+            detail: e.to_string(),
+        }
+    }
+
+    /// An injected fault (from the deterministic disk-fault plan).
+    pub fn injected(path: &std::path::Path, op: &'static str, fault: &str) -> Self {
+        StoreError {
+            path: path.display().to_string(),
+            op,
+            detail: format!("injected fault: {fault}"),
+        }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "store {} on {}: {}", self.op, self.path, self.detail)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_path_op_and_cause() {
+        let e = StoreError {
+            path: "/tmp/s/wal.log".into(),
+            op: "append",
+            detail: "injected fault: torn_write".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "store append on /tmp/s/wal.log: injected fault: torn_write"
+        );
+    }
+}

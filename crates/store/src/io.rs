@@ -1,0 +1,303 @@
+//! The store-owned IO shim: every byte the store reads or writes goes
+//! through here, and here is where the deterministic disk-fault plan
+//! bites.
+//!
+//! The shim's injected failures are *physical*: a torn write really
+//! leaves the first `k` bytes in the file before returning an error, a
+//! short read really hands the caller a prefix, a failed rename really
+//! leaves the temporary behind. Recovery code therefore exercises the
+//! same paths a genuine crash would produce — the tests don't mock the
+//! damage, they inflict it.
+//!
+//! Attempt counting is per `(file name, operation)`: the first append to
+//! the log is attempt 0, its retry attempt 1, and so on, so a
+//! [`DiskFaultPlan`] decision replays exactly across runs while retries
+//! can genuinely clear transient faults.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::sync::PoisonError;
+
+use webiq_fault::{DiskFaultKind, DiskFaultPlan, DiskOp};
+
+use crate::error::StoreError;
+
+/// The fault-injecting filesystem facade.
+#[derive(Debug)]
+pub struct Shim {
+    plan: DiskFaultPlan,
+    attempts: Mutex<BTreeMap<(String, &'static str), u32>>,
+}
+
+impl Shim {
+    /// A shim driving real IO under `plan`.
+    pub fn new(plan: DiskFaultPlan) -> Self {
+        Shim {
+            plan,
+            attempts: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A shim injecting nothing.
+    pub fn real() -> Self {
+        Shim::new(DiskFaultPlan::disabled())
+    }
+
+    /// The decision key for `path` — its file name, so decisions are
+    /// stable across store directories (a sweep over temp dirs replays).
+    fn key(path: &Path) -> String {
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default()
+    }
+
+    /// Draw the injected fault for this `(path, op)` call, bumping the
+    /// attempt counter.
+    fn decide(&self, path: &Path, op: DiskOp, len: usize) -> Option<DiskFaultKind> {
+        if self.plan.is_disabled() {
+            return None;
+        }
+        let key = (Self::key(path), op.name());
+        let mut map = self.attempts.lock().unwrap_or_else(PoisonError::into_inner);
+        let attempt = map.entry(key).or_insert(0);
+        let n = *attempt;
+        *attempt = attempt.saturating_add(1);
+        drop(map);
+        self.plan.decide(&Self::key(path), op, n, len)
+    }
+
+    /// Read a whole file. A missing file is `Ok(None)` — recovery treats
+    /// it as an empty stream. An injected short read returns a prefix of
+    /// the real contents.
+    pub fn read(&self, path: &Path) -> Result<Option<Vec<u8>>, StoreError> {
+        let mut data = match std::fs::read(path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::io(path, "read", &e)),
+        };
+        if let Some(DiskFaultKind::ShortRead { at }) = self.decide(path, DiskOp::Read, data.len()) {
+            data.truncate(at);
+        }
+        Ok(Some(data))
+    }
+
+    /// Append `bytes` to `path`, creating it if absent; with `durable`
+    /// the append is fsync'd (group commit: ordinary records ride the
+    /// page cache and the run's commit marker pays the one fsync). An
+    /// injected torn write leaves a prefix of `bytes` in the file and
+    /// errors; ENOSPC leaves the file untouched and errors; a failed
+    /// fsync errors after the data was written (durability unknown).
+    pub fn append(&self, path: &Path, bytes: &[u8], durable: bool) -> Result<(), StoreError> {
+        let fault = self.decide(path, DiskOp::Append, bytes.len());
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| StoreError::io(path, "append", &e))?;
+        match fault {
+            Some(DiskFaultKind::TornWrite { at }) => {
+                let prefix = bytes.get(..at).unwrap_or(&[]);
+                let _ = f.write_all(prefix);
+                let _ = f.sync_data();
+                Err(StoreError::injected(path, "append", "torn_write"))
+            }
+            Some(DiskFaultKind::Enospc) => Err(StoreError::injected(path, "append", "enospc")),
+            Some(other) => Err(StoreError::injected(path, "append", other.name())),
+            None => {
+                f.write_all(bytes)
+                    .map_err(|e| StoreError::io(path, "append", &e))?;
+                if durable {
+                    self.sync(path, &f)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Write `bytes` to a fresh file at `path` (truncating any previous
+    /// contents), then fsync. Same torn-write/ENOSPC semantics as
+    /// [`Shim::append`].
+    pub fn write_file(&self, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+        let fault = self.decide(path, DiskOp::WriteFile, bytes.len());
+        if matches!(fault, Some(DiskFaultKind::Enospc)) {
+            return Err(StoreError::injected(path, "write_file", "enospc"));
+        }
+        let mut f = File::create(path).map_err(|e| StoreError::io(path, "write_file", &e))?;
+        match fault {
+            Some(DiskFaultKind::TornWrite { at }) => {
+                let prefix = bytes.get(..at).unwrap_or(&[]);
+                let _ = f.write_all(prefix);
+                let _ = f.sync_data();
+                Err(StoreError::injected(path, "write_file", "torn_write"))
+            }
+            Some(other) => Err(StoreError::injected(path, "write_file", other.name())),
+            None => {
+                f.write_all(bytes)
+                    .map_err(|e| StoreError::io(path, "write_file", &e))?;
+                self.sync(path, &f)
+            }
+        }
+    }
+
+    /// fsync an open file (fault-injectable).
+    fn sync(&self, path: &Path, f: &File) -> Result<(), StoreError> {
+        if matches!(
+            self.decide(path, DiskOp::Sync, 0),
+            Some(DiskFaultKind::SyncFailed)
+        ) {
+            return Err(StoreError::injected(path, "sync", "sync_failed"));
+        }
+        f.sync_data().map_err(|e| StoreError::io(path, "sync", &e))
+    }
+
+    /// Atomically rename `from` onto `to`. An injected failure leaves
+    /// both files exactly as they were.
+    pub fn rename(&self, from: &Path, to: &Path) -> Result<(), StoreError> {
+        if matches!(
+            self.decide(to, DiskOp::Rename, 0),
+            Some(DiskFaultKind::RenameFailed)
+        ) {
+            return Err(StoreError::injected(to, "rename", "rename_failed"));
+        }
+        std::fs::rename(from, to).map_err(|e| StoreError::io(to, "rename", &e))
+    }
+
+    /// Truncate `path` back to `len` bytes — the rollback after a torn
+    /// append, restoring the last committed prefix. Best-effort by
+    /// design: if it fails the log merely keeps a torn tail that the
+    /// next recovery truncates anyway.
+    pub fn truncate(&self, path: &Path, len: u64) -> Result<(), StoreError> {
+        let f = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| StoreError::io(path, "truncate", &e))?;
+        f.set_len(len)
+            .map_err(|e| StoreError::io(path, "truncate", &e))?;
+        f.sync_data()
+            .map_err(|e| StoreError::io(path, "truncate", &e))
+    }
+
+    /// Delete `path` if it exists (cleanup of abandoned temporaries).
+    pub fn remove(&self, path: &Path) -> Result<(), StoreError> {
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StoreError::io(path, "remove", &e)),
+        }
+    }
+
+    /// Current on-disk length of `path` (0 when absent).
+    pub fn file_len(&self, path: &Path) -> u64 {
+        std::fs::metadata(path).map_or(0, |m| m.len())
+    }
+}
+
+/// Read a whole file without fault injection — the fsck path, which
+/// inspects damage rather than simulating it.
+pub fn read_raw(path: &Path) -> Result<Option<Vec<u8>>, StoreError> {
+    let mut f = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StoreError::io(path, "read", &e)),
+    };
+    let mut data = Vec::new();
+    f.read_to_end(&mut data)
+        .map_err(|e| StoreError::io(path, "read", &e))?;
+    Ok(Some(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("webiq-store-io-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    #[test]
+    fn clean_shim_appends_and_reads_back() {
+        let d = tmp_dir("clean");
+        let shim = Shim::real();
+        let p = d.join("wal.log");
+        shim.append(&p, b"hello ", false).expect("append");
+        shim.append(&p, b"world", true).expect("append");
+        assert_eq!(shim.read(&p).expect("read"), Some(b"hello world".to_vec()));
+        assert_eq!(shim.file_len(&p), 11);
+        assert_eq!(shim.read(&d.join("missing")).expect("read"), None);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn torn_write_leaves_the_deterministic_prefix() {
+        let d = tmp_dir("torn");
+        // rate 1.0 → the first append tears at a plan-chosen point.
+        let shim = Shim::new(DiskFaultPlan::torn_only(11, 1.0));
+        let p = d.join("wal.log");
+        let payload = vec![0xABu8; 100];
+        let err = shim.append(&p, &payload, true).expect_err("must tear");
+        assert!(err.detail.contains("torn_write"), "{err}");
+        let on_disk = std::fs::read(&p).expect("read");
+        assert!(on_disk.len() < payload.len(), "tear left a full write");
+        assert_eq!(on_disk, payload.get(..on_disk.len()).expect("prefix"));
+        // a second shim with the same plan tears at the same byte
+        let d2 = tmp_dir("torn2");
+        let shim2 = Shim::new(DiskFaultPlan::torn_only(11, 1.0));
+        let p2 = d2.join("wal.log");
+        let _ = shim2.append(&p2, &payload, true);
+        assert_eq!(std::fs::read(&p2).expect("read"), on_disk);
+        let _ = std::fs::remove_dir_all(&d);
+        let _ = std::fs::remove_dir_all(&d2);
+    }
+
+    #[test]
+    fn rename_failure_leaves_both_files_untouched() {
+        let d = tmp_dir("rename");
+        let shim = Shim::new(DiskFaultPlan::chaos(5, 1.0));
+        let from = d.join("snapshot.tmp");
+        std::fs::write(&from, b"new").expect("write");
+        let to = d.join("snapshot.log");
+        std::fs::write(&to, b"old").expect("write");
+        let err = shim.rename(&from, &to).expect_err("must fail");
+        assert!(err.detail.contains("rename_failed"), "{err}");
+        assert_eq!(std::fs::read(&to).expect("read"), b"old");
+        assert_eq!(std::fs::read(&from).expect("read"), b"new");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn truncate_rolls_back_a_torn_tail() {
+        let d = tmp_dir("trunc");
+        let shim = Shim::real();
+        let p = d.join("wal.log");
+        shim.append(&p, b"committed", true).expect("append");
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&p)
+            .and_then(|mut f| f.write_all(b"TORN"))
+            .expect("tear");
+        shim.truncate(&p, 9).expect("truncate");
+        assert_eq!(std::fs::read(&p).expect("read"), b"committed");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn short_read_returns_a_prefix() {
+        let d = tmp_dir("short");
+        std::fs::write(d.join("snapshot.log"), vec![7u8; 64]).expect("write");
+        let shim = Shim::new(DiskFaultPlan::chaos(21, 1.0));
+        let got = shim
+            .read(&d.join("snapshot.log"))
+            .expect("read")
+            .expect("present");
+        assert!(got.len() < 64, "short read returned everything");
+        assert!(got.iter().all(|&b| b == 7));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

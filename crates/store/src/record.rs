@@ -1,0 +1,456 @@
+//! Typed store records and their binary codec.
+//!
+//! Every fact the store persists is one [`Record`], serialized with a
+//! tiny hand-rolled binary format (little-endian fixed-width integers,
+//! length-prefixed UTF-8 strings, `f64::to_bits` floats). The codec is
+//! total in both directions: encoding cannot fail, and decoding returns
+//! `None` — never panics — on any truncated, oversized, or malformed
+//! payload, which is exactly what log recovery needs to classify a torn
+//! tail as "not a committed record".
+//!
+//! Four record kinds cover the knowledge WebIQ accumulates:
+//!
+//! - [`InstanceRecord`] — the instances acquired for one attribute of
+//!   one run, keyed by `(domain, fingerprint, interface, attribute)`;
+//! - [`BorrowRecord`] — a Deep-Web probe verdict on one lender domain
+//!   (the §5 case-1 accept/reject memory);
+//! - [`ModelRecord`] — a trained validation naive-Bayes model (§3), the
+//!   per-attribute classifier a serving tier can reuse without
+//!   retraining;
+//! - [`RunCompleteRecord`] — the commit marker: a run's instances are
+//!   only served warm once this record (carrying the run's merged
+//!   counter totals) is durably in the stream.
+
+/// Upper bound on one record's payload; anything larger is corrupt by
+/// definition (the store holds instance lists, not blobs).
+pub const MAX_PAYLOAD: usize = 1 << 24;
+
+/// Instances acquired for one attribute in one fingerprinted run.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct InstanceRecord {
+    /// Domain name (`book`, `airfare`, …).
+    pub domain: String,
+    /// Run fingerprint: hash of the dataset, components, and config.
+    pub fingerprint: u64,
+    /// Interface index within the dataset.
+    pub iface: u32,
+    /// Attribute index within the interface.
+    pub attr: u32,
+    /// Acquired instances, in acquisition order.
+    pub values: Vec<String>,
+    /// Did this attribute finish degraded (partial results)?
+    pub degraded: bool,
+}
+
+/// A Deep-Web probe verdict on one borrow-candidate lender.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BorrowRecord {
+    /// Domain name the verdict belongs to.
+    pub domain: String,
+    /// The borrowing attribute (label or reference).
+    pub attr: String,
+    /// The lender attribute (reference + label).
+    pub lender: String,
+    /// Probing accepted the lender's domain.
+    pub accepted: bool,
+}
+
+/// A trained §3 validation naive-Bayes model for one attribute.
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
+pub struct ModelRecord {
+    /// Domain name the model belongs to.
+    pub domain: String,
+    /// The attribute the classifier validates borrowed values for.
+    pub attr: String,
+    /// Feature count.
+    pub n_features: u32,
+    /// P(positive) prior.
+    pub prior_pos: f64,
+    /// P(feature=true | positive), one per feature.
+    pub p_true_pos: Vec<f64>,
+    /// P(feature=true | negative), one per feature.
+    pub p_true_neg: Vec<f64>,
+}
+
+/// The commit marker for one fingerprinted run.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RunCompleteRecord {
+    /// Domain name.
+    pub domain: String,
+    /// Run fingerprint the marker commits.
+    pub fingerprint: u64,
+    /// The run's merged counter totals, `(name, value)` nonzero pairs in
+    /// declaration order — enough to rebuild the acquisition report.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// One persisted fact.
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
+pub enum Record {
+    /// Instances acquired for one attribute.
+    Instances(InstanceRecord),
+    /// A probe verdict on a lender domain.
+    Borrow(BorrowRecord),
+    /// A trained validation-Bayes model.
+    Model(ModelRecord),
+    /// A run's commit marker.
+    RunComplete(RunCompleteRecord),
+}
+
+const TAG_INSTANCES: u8 = 1;
+const TAG_BORROW: u8 = 2;
+const TAG_MODEL: u8 = 3;
+const TAG_RUN_COMPLETE: u8 = 4;
+
+impl Record {
+    /// Serialize to the binary payload (without framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Record::Instances(r) => {
+                out.push(TAG_INSTANCES);
+                put_str(&mut out, &r.domain);
+                put_u64(&mut out, r.fingerprint);
+                put_u32(&mut out, r.iface);
+                put_u32(&mut out, r.attr);
+                put_u32(&mut out, r.values.len() as u32);
+                for v in &r.values {
+                    put_str(&mut out, v);
+                }
+                out.push(u8::from(r.degraded));
+            }
+            Record::Borrow(r) => {
+                out.push(TAG_BORROW);
+                put_str(&mut out, &r.domain);
+                put_str(&mut out, &r.attr);
+                put_str(&mut out, &r.lender);
+                out.push(u8::from(r.accepted));
+            }
+            Record::Model(r) => {
+                out.push(TAG_MODEL);
+                put_str(&mut out, &r.domain);
+                put_str(&mut out, &r.attr);
+                put_u32(&mut out, r.n_features);
+                put_f64(&mut out, r.prior_pos);
+                put_u32(&mut out, r.p_true_pos.len() as u32);
+                for &p in &r.p_true_pos {
+                    put_f64(&mut out, p);
+                }
+                put_u32(&mut out, r.p_true_neg.len() as u32);
+                for &p in &r.p_true_neg {
+                    put_f64(&mut out, p);
+                }
+            }
+            Record::RunComplete(r) => {
+                out.push(TAG_RUN_COMPLETE);
+                put_str(&mut out, &r.domain);
+                put_u64(&mut out, r.fingerprint);
+                put_u32(&mut out, r.counters.len() as u32);
+                for (name, value) in &r.counters {
+                    put_str(&mut out, name);
+                    put_u64(&mut out, *value);
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserialize one payload; `None` on any malformation. Trailing
+    /// bytes after a well-formed record also fail: a committed frame is
+    /// exactly one record.
+    pub fn decode(payload: &[u8]) -> Option<Record> {
+        let mut r = Reader::new(payload);
+        let rec = match r.u8()? {
+            TAG_INSTANCES => {
+                let domain = r.string()?;
+                let fingerprint = r.u64()?;
+                let iface = r.u32()?;
+                let attr = r.u32()?;
+                let n = r.len()?;
+                let mut values = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    values.push(r.string()?);
+                }
+                let degraded = r.bool()?;
+                Record::Instances(InstanceRecord {
+                    domain,
+                    fingerprint,
+                    iface,
+                    attr,
+                    values,
+                    degraded,
+                })
+            }
+            TAG_BORROW => Record::Borrow(BorrowRecord {
+                domain: r.string()?,
+                attr: r.string()?,
+                lender: r.string()?,
+                accepted: r.bool()?,
+            }),
+            TAG_MODEL => {
+                let domain = r.string()?;
+                let attr = r.string()?;
+                let n_features = r.u32()?;
+                let prior_pos = r.f64()?;
+                let np = r.len()?;
+                let mut p_true_pos = Vec::with_capacity(np.min(1024));
+                for _ in 0..np {
+                    p_true_pos.push(r.f64()?);
+                }
+                let nn = r.len()?;
+                let mut p_true_neg = Vec::with_capacity(nn.min(1024));
+                for _ in 0..nn {
+                    p_true_neg.push(r.f64()?);
+                }
+                Record::Model(ModelRecord {
+                    domain,
+                    attr,
+                    n_features,
+                    prior_pos,
+                    p_true_pos,
+                    p_true_neg,
+                })
+            }
+            TAG_RUN_COMPLETE => {
+                let domain = r.string()?;
+                let fingerprint = r.u64()?;
+                let n = r.len()?;
+                let mut counters = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let name = r.string()?;
+                    let value = r.u64()?;
+                    counters.push((name, value));
+                }
+                Record::RunComplete(RunCompleteRecord {
+                    domain,
+                    fingerprint,
+                    counters,
+                })
+            }
+            _ => return None,
+        };
+        r.at_end().then_some(rec)
+    }
+
+    /// Short kind name (for fsck output).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Record::Instances(_) => "instances",
+            Record::Borrow(_) => "borrow",
+            Record::Model(_) => "model",
+            Record::RunComplete(_) => "run_complete",
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked, panic-free byte reader.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).and_then(|b| b.first().copied())
+    }
+
+    fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        Some(u32::from_le_bytes([
+            b.first().copied()?,
+            b.get(1).copied()?,
+            b.get(2).copied()?,
+            b.get(3).copied()?,
+        ]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let lo = self.u32()?;
+        let hi = self.u32()?;
+        Some(u64::from(lo) | (u64::from(hi) << 32))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    /// A collection length, sanity-bounded by the bytes actually left
+    /// (every element costs at least one byte).
+    fn len(&mut self) -> Option<usize> {
+        let n = self.u32()? as usize;
+        (n <= self.buf.len().saturating_sub(self.pos)).then_some(n)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        std::str::from_utf8(bytes).ok().map(str::to_string)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Record> {
+        vec![
+            Record::Instances(InstanceRecord {
+                domain: "book".into(),
+                fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+                iface: 3,
+                attr: 7,
+                values: vec!["Steinbeck".into(), "Hemingway".into(), "".into()],
+                degraded: false,
+            }),
+            Record::Borrow(BorrowRecord {
+                domain: "airfare".into(),
+                attr: "From city".into(),
+                lender: "1/0 Departure city".into(),
+                accepted: true,
+            }),
+            Record::Model(ModelRecord {
+                domain: "auto".into(),
+                attr: "Make".into(),
+                n_features: 3,
+                prior_pos: 0.625,
+                p_true_pos: vec![0.9, 0.1, 0.5],
+                p_true_neg: vec![0.2, 0.8, 0.5],
+            }),
+            Record::RunComplete(RunCompleteRecord {
+                domain: "book".into(),
+                fingerprint: 42,
+                counters: vec![("attrs_total".into(), 17), ("surface_success".into(), 9)],
+            }),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_kind() {
+        for rec in samples() {
+            let bytes = rec.encode();
+            assert_eq!(Record::decode(&bytes), Some(rec.clone()), "{}", rec.kind());
+        }
+    }
+
+    #[test]
+    fn every_truncation_fails_to_decode() {
+        for rec in samples() {
+            let bytes = rec.encode();
+            for cut in 0..bytes.len() {
+                assert_eq!(
+                    Record::decode(bytes.get(..cut).unwrap_or(&[])),
+                    None,
+                    "{} truncated to {cut} decoded",
+                    rec.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_fails_to_decode() {
+        for rec in samples() {
+            let mut bytes = rec.encode();
+            bytes.push(0);
+            assert_eq!(Record::decode(&bytes), None, "{}", rec.kind());
+        }
+    }
+
+    #[test]
+    fn unknown_tag_and_bad_bool_fail() {
+        assert_eq!(Record::decode(&[99, 0, 0, 0, 0]), None);
+        assert_eq!(Record::decode(&[]), None);
+        // a borrow record with a 2 where a bool belongs
+        let mut bytes = Record::Borrow(BorrowRecord {
+            domain: "d".into(),
+            attr: "a".into(),
+            lender: "l".into(),
+            accepted: true,
+        })
+        .encode();
+        if let Some(last) = bytes.last_mut() {
+            *last = 2;
+        }
+        assert_eq!(Record::decode(&bytes), None);
+    }
+
+    #[test]
+    fn absurd_length_prefix_fails_fast() {
+        // A string claiming 4 GiB in a 10-byte payload must fail without
+        // attempting the allocation.
+        let mut bytes = vec![TAG_BORROW];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0; 5]);
+        assert_eq!(Record::decode(&bytes), None);
+    }
+
+    #[test]
+    fn non_utf8_string_fails() {
+        let mut bytes = vec![TAG_BORROW];
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(Record::decode(&bytes), None);
+    }
+
+    #[test]
+    fn nan_model_probabilities_roundtrip_bitwise() {
+        let rec = Record::Model(ModelRecord {
+            domain: "d".into(),
+            attr: "a".into(),
+            n_features: 1,
+            prior_pos: f64::NAN,
+            p_true_pos: vec![f64::INFINITY],
+            p_true_neg: vec![-0.0],
+        });
+        let bytes = rec.encode();
+        let Some(Record::Model(back)) = Record::decode(&bytes) else {
+            panic!("model did not decode");
+        };
+        assert!(back.prior_pos.is_nan());
+        assert_eq!(back.p_true_pos, vec![f64::INFINITY]);
+        assert_eq!(
+            back.p_true_neg.first().map(|p| p.to_bits()),
+            Some((-0.0f64).to_bits())
+        );
+    }
+}

@@ -1,0 +1,475 @@
+//! The store proper: state, recovery, appends, compaction, and fsck.
+//!
+//! On disk a store is a directory with two record streams:
+//!
+//! - `snapshot.log` — the compacted state, replaced atomically
+//!   (write `snapshot.tmp` → fsync → rename);
+//! - `wal.log` — the append-only log of everything since the snapshot.
+//!
+//! Recovery replays the snapshot, then the log, truncating each stream
+//! at its first invalid frame. A torn log tail is physically rolled
+//! back (`set_len`) so subsequent appends extend a clean committed
+//! prefix. The invariant — checked exhaustively by the crash-point
+//! sweep — is *prefix consistency*: recovery from any byte-length
+//! truncation of a stream yields exactly the state of some committed
+//! record prefix, never a blend and never a half-applied record.
+//!
+//! All state lives behind one `Mutex` (a single lock class, so no lock
+//! ordering exists to get wrong); methods take `&self` and are safe to
+//! share across threads, though the deterministic pipeline only ever
+//! writes from its single-threaded merge loop.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::sync::PoisonError;
+
+use webiq_fault::DiskFaultPlan;
+use webiq_trace::Counter;
+
+use crate::error::StoreError;
+use crate::io::{read_raw, Shim};
+use crate::log::{frame_record, scan, Scan};
+use crate::record::{BorrowRecord, InstanceRecord, ModelRecord, Record, RunCompleteRecord};
+
+/// File name of the compacted snapshot stream.
+pub const SNAPSHOT_FILE: &str = "snapshot.log";
+/// File name of the snapshot's atomic-write temporary.
+pub const SNAPSHOT_TMP: &str = "snapshot.tmp";
+/// File name of the append log.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Key of an acquired-instances entry: `(domain, fingerprint, iface, attr)`.
+type InstanceKey = (String, u64, u32, u32);
+
+/// The in-memory image of a store: last-writer-wins maps per record
+/// kind, all `BTreeMap`s so every serialization is canonically ordered.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct State {
+    /// Instance key → acquired values + degraded flag.
+    instances: BTreeMap<InstanceKey, (Vec<String>, bool)>,
+    /// `(domain, attr, lender)` → probe verdict.
+    borrows: BTreeMap<(String, String, String), bool>,
+    /// `(domain, attr)` → trained model.
+    models: BTreeMap<(String, String), ModelRecord>,
+    /// `(domain, fingerprint)` → the completed run's counter totals.
+    complete: BTreeMap<(String, u64), Vec<(String, u64)>>,
+}
+
+impl State {
+    /// Fold one record in (last writer wins per key).
+    pub fn apply(&mut self, rec: Record) {
+        match rec {
+            Record::Instances(r) => {
+                self.instances.insert(
+                    (r.domain, r.fingerprint, r.iface, r.attr),
+                    (r.values, r.degraded),
+                );
+            }
+            Record::Borrow(r) => {
+                self.borrows
+                    .insert((r.domain, r.attr, r.lender), r.accepted);
+            }
+            Record::Model(r) => {
+                self.models.insert((r.domain.clone(), r.attr.clone()), r);
+            }
+            Record::RunComplete(r) => {
+                self.complete.insert((r.domain, r.fingerprint), r.counters);
+            }
+        }
+    }
+
+    /// The canonical record stream rebuilding this state — what a
+    /// snapshot contains. Deterministic: `BTreeMap` order per kind,
+    /// kinds in tag order.
+    pub fn to_records(&self) -> Vec<Record> {
+        let mut out = Vec::new();
+        for ((domain, fingerprint, iface, attr), (values, degraded)) in &self.instances {
+            out.push(Record::Instances(InstanceRecord {
+                domain: domain.clone(),
+                fingerprint: *fingerprint,
+                iface: *iface,
+                attr: *attr,
+                values: values.clone(),
+                degraded: *degraded,
+            }));
+        }
+        for ((domain, attr, lender), accepted) in &self.borrows {
+            out.push(Record::Borrow(BorrowRecord {
+                domain: domain.clone(),
+                attr: attr.clone(),
+                lender: lender.clone(),
+                accepted: *accepted,
+            }));
+        }
+        for model in self.models.values() {
+            out.push(Record::Model(model.clone()));
+        }
+        for ((domain, fingerprint), counters) in &self.complete {
+            out.push(Record::RunComplete(RunCompleteRecord {
+                domain: domain.clone(),
+                fingerprint: *fingerprint,
+                counters: counters.clone(),
+            }));
+        }
+        out
+    }
+
+    /// Total facts held (for reports).
+    pub fn len(&self) -> usize {
+        self.instances
+            .len()
+            .saturating_add(self.borrows.len())
+            .saturating_add(self.models.len())
+            .saturating_add(self.complete.len())
+    }
+
+    /// No facts at all?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What recovery found at open time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Records replayed from the snapshot stream.
+    pub snapshot_records: u64,
+    /// Records replayed from the append log.
+    pub wal_records: u64,
+    /// Streams whose tail was truncated at an invalid frame (0–2).
+    pub truncated_files: u64,
+    /// Torn-tail bytes discarded across both streams.
+    pub truncated_bytes: u64,
+    /// Committed bytes recovered across both streams.
+    pub recovered_bytes: u64,
+}
+
+/// A run's warm-start payload: everything needed to rebuild the
+/// acquisition result without touching an engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmRun {
+    /// `(iface, attr, values, degraded)` per acquired attribute, in
+    /// `(iface, attr)` order.
+    pub attrs: Vec<(u32, u32, Vec<String>, bool)>,
+    /// The cold run's merged counter totals (nonzero, by name).
+    pub counters: Vec<(String, u64)>,
+}
+
+struct Inner {
+    state: State,
+    /// Committed byte length of the append log.
+    wal_len: u64,
+}
+
+/// A crash-safe persistent knowledge store.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    shim: Shim,
+    inner: Mutex<Inner>,
+    recovery: RecoveryStats,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("facts", &self.state.len())
+            .field("wal_len", &self.wal_len)
+            .finish()
+    }
+}
+
+impl Store {
+    /// Open (or create) the store at `dir` with real, un-faulted IO.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        Store::open_with(dir, DiskFaultPlan::disabled())
+    }
+
+    /// Open (or create) the store at `dir`, with every filesystem
+    /// operation subject to `plan`'s injected faults.
+    pub fn open_with(dir: impl Into<PathBuf>, plan: DiskFaultPlan) -> Result<Store, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, "create_dir", &e))?;
+        let shim = Shim::new(plan);
+        // An abandoned snapshot temporary is a crash artefact of a
+        // previous compaction; the committed snapshot is authoritative.
+        shim.remove(&dir.join(SNAPSHOT_TMP))?;
+
+        let mut state = State::default();
+        let mut stats = RecoveryStats::default();
+
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        if let Some(bytes) = shim.read(&snap_path)? {
+            let s = scan(&bytes);
+            stats.snapshot_records = s.records.len() as u64;
+            stats.recovered_bytes = stats.recovered_bytes.saturating_add(s.committed_bytes);
+            stats.truncated_bytes = stats.truncated_bytes.saturating_add(s.truncated_bytes);
+            if !s.clean() {
+                stats.truncated_files = stats.truncated_files.saturating_add(1);
+            }
+            for rec in s.records {
+                state.apply(rec);
+            }
+        }
+
+        let wal_path = dir.join(WAL_FILE);
+        let mut wal_len = 0u64;
+        if let Some(bytes) = shim.read(&wal_path)? {
+            let s = scan(&bytes);
+            stats.wal_records = s.records.len() as u64;
+            stats.recovered_bytes = stats.recovered_bytes.saturating_add(s.committed_bytes);
+            stats.truncated_bytes = stats.truncated_bytes.saturating_add(s.truncated_bytes);
+            wal_len = s.committed_bytes;
+            if !s.clean() {
+                stats.truncated_files = stats.truncated_files.saturating_add(1);
+                // Physically roll the log back to its committed prefix so
+                // the next append extends clean bytes. Best effort: if the
+                // rollback itself fails, the next recovery truncates the
+                // same tail again.
+                let _ = shim.truncate(&wal_path, s.committed_bytes);
+            }
+            for rec in s.records {
+                state.apply(rec);
+            }
+        }
+
+        webiq_trace::add(Counter::StoreLogReplay, stats.wal_records);
+        webiq_trace::add(Counter::StoreTruncatedRecords, stats.truncated_files);
+        webiq_trace::add(Counter::StoreRecoveredBytes, stats.recovered_bytes);
+
+        Ok(Store {
+            dir,
+            shim,
+            inner: Mutex::new(Inner { state, wal_len }),
+            recovery: stats,
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// What recovery found when this handle was opened.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Append one record: framed, CRC'd, and applied to the in-memory
+    /// state only after the bytes are written. Durability is group
+    /// commit: ordinary records ride the OS page cache, and the
+    /// [`Record::RunComplete`] commit marker fsyncs the log — so a
+    /// completed run is durable as a unit, while a crash mid-run loses
+    /// at most unmarked records that recovery (which truncates to a
+    /// committed prefix, and whose warm lookup requires the marker)
+    /// would never have served anyway. On failure the log is rolled
+    /// back to its previous committed length (best effort) and the
+    /// state is untouched.
+    pub fn put(&self, rec: Record) -> Result<(), StoreError> {
+        let wal_path = self.dir.join(WAL_FILE);
+        let bytes = frame_record(&rec);
+        let durable = matches!(rec, Record::RunComplete(_));
+        let mut inner = self.lock();
+        match self.shim.append(&wal_path, &bytes, durable) {
+            Ok(()) => {
+                inner.wal_len = inner.wal_len.saturating_add(bytes.len() as u64);
+                inner.state.apply(rec);
+                webiq_trace::incr(Counter::StoreRecordsWritten);
+                Ok(())
+            }
+            Err(e) => {
+                let _ = self.shim.truncate(&wal_path, inner.wal_len);
+                Err(e)
+            }
+        }
+    }
+
+    /// Compact: write the whole state as a fresh snapshot (write-tmp +
+    /// fsync + rename) and reset the log. A crash or injected fault at
+    /// any point leaves either the old snapshot + old log or the new
+    /// snapshot — never a blend.
+    pub fn compact(&self) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        let mut bytes = Vec::new();
+        for rec in inner.state.to_records() {
+            bytes.extend_from_slice(&frame_record(&rec));
+        }
+        let tmp = self.dir.join(SNAPSHOT_TMP);
+        let snap = self.dir.join(SNAPSHOT_FILE);
+        let wal = self.dir.join(WAL_FILE);
+        self.shim.write_file(&tmp, &bytes)?;
+        self.shim.rename(&tmp, &snap)?;
+        // The snapshot now holds everything; an empty log completes the
+        // cycle. If this truncation fails the log merely replays over
+        // the snapshot to the same state (apply is idempotent per key).
+        self.shim.write_file(&wal, &[])?;
+        inner.wal_len = 0;
+        Ok(())
+    }
+
+    /// The warm-start payload for a run, present only when its
+    /// [`RunCompleteRecord`] commit marker was recovered — a partially
+    /// persisted run is never served.
+    pub fn warm_run(&self, domain: &str, fingerprint: u64) -> Option<WarmRun> {
+        let inner = self.lock();
+        let counters = inner
+            .state
+            .complete
+            .get(&(domain.to_string(), fingerprint))?
+            .clone();
+        let attrs = inner
+            .state
+            .instances
+            .range(
+                (domain.to_string(), fingerprint, 0, 0)
+                    ..=(domain.to_string(), fingerprint, u32::MAX, u32::MAX),
+            )
+            .map(|((_, _, iface, attr), (values, degraded))| {
+                (*iface, *attr, values.clone(), *degraded)
+            })
+            .collect();
+        Some(WarmRun { attrs, counters })
+    }
+
+    /// The stored probe verdict on a lender, if any.
+    pub fn borrow_verdict(&self, domain: &str, attr: &str, lender: &str) -> Option<bool> {
+        self.lock()
+            .state
+            .borrows
+            .get(&(domain.to_string(), attr.to_string(), lender.to_string()))
+            .copied()
+    }
+
+    /// The stored validation model for an attribute, if any.
+    pub fn model(&self, domain: &str, attr: &str) -> Option<ModelRecord> {
+        self.lock()
+            .state
+            .models
+            .get(&(domain.to_string(), attr.to_string()))
+            .cloned()
+    }
+
+    /// Total facts currently held.
+    pub fn facts(&self) -> usize {
+        self.lock().state.len()
+    }
+
+    /// A deep copy of the current state (the sweep harness compares
+    /// these for equality).
+    pub fn state_snapshot(&self) -> State {
+        self.lock().state.clone()
+    }
+}
+
+/// One stream's fsck result.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamCheck {
+    /// File name (`snapshot.log` / `wal.log`).
+    pub file: String,
+    /// Does the file exist?
+    pub present: bool,
+    /// Committed records.
+    pub records: u64,
+    /// Committed bytes.
+    pub committed_bytes: u64,
+    /// Torn-tail bytes past the committed prefix.
+    pub truncated_bytes: u64,
+    /// Records per kind, `(kind, count)` in kind order.
+    pub kinds: Vec<(String, u64)>,
+}
+
+/// A read-only integrity report over a store directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// The directory checked.
+    pub dir: String,
+    /// Snapshot and log checks, in that order.
+    pub streams: Vec<StreamCheck>,
+    /// Was an abandoned `snapshot.tmp` present?
+    pub orphan_tmp: bool,
+}
+
+impl FsckReport {
+    /// Clean means: every stream scans to its end and no crash
+    /// artefacts are lying around.
+    pub fn clean(&self) -> bool {
+        !self.orphan_tmp && self.streams.iter().all(|s| s.truncated_bytes == 0)
+    }
+
+    /// Total committed records across streams.
+    pub fn total_records(&self) -> u64 {
+        self.streams.iter().map(|s| s.records).sum()
+    }
+
+    /// Deterministic human-readable rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("store fsck: {}\n", self.dir);
+        for s in &self.streams {
+            if !s.present {
+                out.push_str(&format!("  {:<14} absent\n", s.file));
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<14} {} records, {} committed bytes, {} torn bytes\n",
+                s.file, s.records, s.committed_bytes, s.truncated_bytes
+            ));
+            for (kind, n) in &s.kinds {
+                out.push_str(&format!("    {kind:<14} {n}\n"));
+            }
+        }
+        if self.orphan_tmp {
+            out.push_str("  snapshot.tmp   orphaned (crash artefact)\n");
+        }
+        out.push_str(&format!(
+            "  verdict: {}\n",
+            if self.clean() {
+                "clean"
+            } else {
+                "recoverable damage"
+            }
+        ));
+        out
+    }
+}
+
+fn check_stream(dir: &Path, file: &str) -> Result<StreamCheck, StoreError> {
+    let mut out = StreamCheck {
+        file: file.to_string(),
+        ..StreamCheck::default()
+    };
+    let Some(bytes) = read_raw(&dir.join(file))? else {
+        return Ok(out);
+    };
+    out.present = true;
+    let s: Scan = scan(&bytes);
+    out.records = s.records.len() as u64;
+    out.committed_bytes = s.committed_bytes;
+    out.truncated_bytes = s.truncated_bytes;
+    let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for rec in &s.records {
+        let n = kinds.entry(rec.kind()).or_insert(0);
+        *n = n.saturating_add(1);
+    }
+    out.kinds = kinds.into_iter().map(|(k, n)| (k.to_string(), n)).collect();
+    Ok(out)
+}
+
+/// Check a store directory without opening (or mutating) it: scan both
+/// streams, count committed records per kind, and report torn tails and
+/// crash artefacts. Damage is *reported*, never repaired — recovery
+/// belongs to [`Store::open`].
+pub fn fsck(dir: &Path) -> Result<FsckReport, StoreError> {
+    Ok(FsckReport {
+        dir: dir.display().to_string(),
+        streams: vec![
+            check_stream(dir, SNAPSHOT_FILE)?,
+            check_stream(dir, WAL_FILE)?,
+        ],
+        orphan_tmp: dir.join(SNAPSHOT_TMP).exists(),
+    })
+}

@@ -24,7 +24,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of [`Counter`] variants (the fixed size of a [`MetricSet`]).
-pub const NUM_COUNTERS: usize = 43;
+pub const NUM_COUNTERS: usize = 49;
 
 /// Every counter the pipeline records, in serialization order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -115,6 +115,18 @@ pub enum Counter {
     FaultQuotaDenied,
     /// Attributes that finished in a degraded state (partial results).
     FaultAttrsDegraded,
+    /// Attributes served from the persistent store (acquisition skipped).
+    StoreWarmHit,
+    /// Attributes acquired fresh because the store had no usable entry.
+    StoreWarmMiss,
+    /// Log records replayed over a snapshot during store recovery.
+    StoreLogReplay,
+    /// Log records discarded as torn/corrupt during store recovery.
+    StoreTruncatedRecords,
+    /// Committed bytes recovered from the store's snapshot + log.
+    StoreRecoveredBytes,
+    /// Records appended to the store's log.
+    StoreRecordsWritten,
 }
 
 impl Counter {
@@ -163,6 +175,12 @@ impl Counter {
         Counter::FaultBreakerOpen,
         Counter::FaultQuotaDenied,
         Counter::FaultAttrsDegraded,
+        Counter::StoreWarmHit,
+        Counter::StoreWarmMiss,
+        Counter::StoreLogReplay,
+        Counter::StoreTruncatedRecords,
+        Counter::StoreRecoveredBytes,
+        Counter::StoreRecordsWritten,
     ];
 
     /// The counter's stable snake_case name (the JSONL key).
@@ -211,6 +229,12 @@ impl Counter {
             Counter::FaultBreakerOpen => "fault_breaker_open",
             Counter::FaultQuotaDenied => "fault_quota_denied",
             Counter::FaultAttrsDegraded => "fault_attrs_degraded",
+            Counter::StoreWarmHit => "store_warm_hit",
+            Counter::StoreWarmMiss => "store_warm_miss",
+            Counter::StoreLogReplay => "store_log_replay",
+            Counter::StoreTruncatedRecords => "store_truncated_records",
+            Counter::StoreRecoveredBytes => "store_recovered_bytes",
+            Counter::StoreRecordsWritten => "store_records_written",
         }
     }
 

@@ -1,0 +1,76 @@
+//! Warm start: run acquisition twice through a crash-safe persistent
+//! store and watch the second run replay from disk — byte-identical
+//! instances, near-zero engine traffic.
+//!
+//! ```sh
+//! cargo run --release --example warm_start
+//! ```
+
+use std::sync::Arc;
+
+use webiq::core::{Components, WebIQConfig};
+use webiq::pipeline::DomainPipeline;
+use webiq::store::Store;
+use webiq::trace::Counter;
+
+/// Engine queries issued by this thread so far (the warm path never
+/// spawns workers, so its delta is fully visible here).
+fn engine_queries() -> u64 {
+    let m = webiq::trace::snapshot();
+    m.get(Counter::EngineSearchIssued) + m.get(Counter::EngineHitIssued)
+}
+
+fn main() {
+    let pipeline = DomainPipeline::build("book", 0x1ce0).expect("book is a known domain");
+    let dir = std::env::temp_dir().join(format!("webiq-warm-start-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Cold run: acquire from the simulated Web, persisting every merged
+    // item through the store's checksummed append log. Single-threaded
+    // so the engine counters land on this thread.
+    let store = Arc::new(Store::open(&dir).expect("store opens"));
+    let cfg = WebIQConfig {
+        threads: Some(1),
+        store: Some(Arc::clone(&store)),
+        ..WebIQConfig::default()
+    };
+    let before = engine_queries();
+    let cold = pipeline
+        .acquire(Components::ALL, &cfg)
+        .expect("cold acquisition");
+    let cold_queries = engine_queries() - before;
+    println!(
+        "cold run: {} attributes enriched, {} facts persisted, {cold_queries} engine queries",
+        cold.acquired.len(),
+        store.state_snapshot().len(),
+    );
+    drop(cfg);
+    drop(store);
+
+    // Warm run: a fresh handle recovers the store from disk, finds the
+    // completed run's commit marker under the identical input
+    // fingerprint, and replays it without touching the engine.
+    let store = Arc::new(Store::open(&dir).expect("store reopens"));
+    let warm_cfg = WebIQConfig {
+        threads: Some(1),
+        store: Some(store),
+        ..WebIQConfig::default()
+    };
+    let before = engine_queries();
+    let warm = pipeline
+        .acquire(Components::ALL, &warm_cfg)
+        .expect("warm acquisition");
+    let warm_queries = engine_queries() - before;
+    println!(
+        "warm run: {} attributes enriched, {warm_queries} engine queries",
+        warm.acquired.len(),
+    );
+
+    println!(
+        "engine-query delta: {cold_queries} cold -> {warm_queries} warm \
+         ({} saved); instances byte-identical: {}",
+        cold_queries - warm_queries,
+        warm.acquired == cold.acquired,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,7 +1,8 @@
 //! `webiq-report` — render JSONL traces, gate on trace diffs, explain
-//! decisions, and render profile attribution reports.
+//! decisions, render profile attribution reports, and fsck persistent
+//! knowledge stores.
 //!
-//! Four modes:
+//! Five modes:
 //!
 //! ```text
 //! webiq-report TRACE.jsonl [MORE.jsonl ...]
@@ -9,6 +10,7 @@
 //!                   [--decisions] [--prof-baseline FILE --prof-candidate FILE]
 //! webiq-report explain TRACE.jsonl [QUERY]
 //! webiq-report profile PROF_BASELINE.json
+//! webiq-report store STORE_DIR
 //! ```
 //!
 //! The render mode prints one per-stage funnel per root span (one per
@@ -44,6 +46,13 @@
 //! Amdahl/USL scaling diagnosis from a `PROF_BASELINE.json` written by
 //! `experiments profile`. The report is a pure function of the file:
 //! byte-identical across reruns.
+//!
+//! The store mode fscks a `webiq-store` directory without mutating it:
+//! both log streams are scanned frame by frame and the per-kind record
+//! census, committed byte counts, and any unreadable tail are reported.
+//! Exit codes: `0` clean, `1` recoverable damage found (a torn tail or
+//! an orphan `snapshot.tmp` — the next `Store::open` repairs it), `2`
+//! on I/O or usage errors.
 #![forbid(unsafe_code)]
 
 use std::io::Read;
@@ -61,6 +70,7 @@ const USAGE: &str = "usage: webiq-report TRACE.jsonl [MORE.jsonl ...]
                     [--decisions] [--prof-baseline FILE --prof-candidate FILE]
        webiq-report explain TRACE.jsonl [QUERY]
        webiq-report profile PROF_BASELINE.json
+       webiq-report store STORE_DIR
 `-` reads a trace from stdin (at most one input may be `-`)";
 
 fn main() -> ExitCode {
@@ -73,6 +83,7 @@ fn main() -> ExitCode {
         Some((first, rest)) if first == "diff" => run_diff(rest),
         Some((first, rest)) if first == "explain" => run_explain(rest),
         Some((first, rest)) if first == "profile" => run_profile(rest),
+        Some((first, rest)) if first == "store" => run_store(rest),
         _ => run_render(&args),
     }
 }
@@ -276,6 +287,29 @@ fn run_explain(args: &[String]) -> ExitCode {
     };
     print!("{}", Provenance::from_events(&events).explain(query));
     ExitCode::SUCCESS
+}
+
+/// Fsck a persistent knowledge store: read-only scan of both log
+/// streams, exit 0 clean / 1 recoverable damage.
+fn run_store(args: &[String]) -> ExitCode {
+    let [dir] = args else {
+        eprintln!("webiq-report: store needs exactly one store directory\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    match webiq::store::fsck(std::path::Path::new(dir)) {
+        Ok(report) => {
+            print!("{}", report.render_text());
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("webiq-report: {}", WebIqError::from(e));
+            ExitCode::from(2)
+        }
+    }
 }
 
 /// Render the attribution + scaling report from a profile baseline.

@@ -18,6 +18,7 @@
 //! | [`prof`] | always-on performance attribution: lock/cache/worker counters, per-stage timers |
 //! | [`obs`] | live `/metrics` exposition, windowed aggregation, trace-diff regression gating |
 //! | [`fault`] | deterministic fault injection, virtual-time retry/backoff, circuit breaking, quota tracking |
+//! | [`store`] | crash-safe persistent knowledge store: checksummed append log + snapshot, verified recovery |
 //! | [`core`] | **WebIQ itself**: Surface, Attr-Surface, Attr-Deep, and the §5 strategy |
 //!
 //! The [`pipeline`] module wires everything together for one domain; see
@@ -34,6 +35,7 @@ pub use webiq_nlp as nlp;
 pub use webiq_obs as obs;
 pub use webiq_prof as prof;
 pub use webiq_stats as stats;
+pub use webiq_store as store;
 pub use webiq_trace as trace;
 pub use webiq_web as web;
 pub use webiq_why as why;
